@@ -1,0 +1,96 @@
+// Regenerates Figure 10: batching-phase partitioning quality.
+//  (a)/(b) BSI relative to Hashing  — Tweets, TPC-H
+//  (c)/(d) BCI relative to Shuffle  — Tweets, TPC-H
+// GCM and DEBS are included as well (the paper reports they match).
+#include <map>
+
+#include "bench_util.h"
+#include "stats/metrics.h"
+
+using namespace prompt;
+using namespace prompt::bench;
+
+namespace {
+
+struct Quality {
+  double bsi = 0;
+  double bci = 0;
+  double ksr = 0;
+  double mpi = 0;
+};
+
+std::map<PartitionerType, Quality> Measure(DatasetId dataset) {
+  constexpr int kBatches = 12;
+  constexpr double kRate = 60000;
+  const TimeMicros interval = Seconds(1);
+
+  std::map<PartitionerType, Quality> out;
+  for (PartitionerType type : EvaluationTechniques()) {
+    auto rate = std::make_shared<ConstantRate>(kRate);
+    auto source = MakeDataset(dataset, rate, /*seed=*/21,
+                              /*synd_zipf=*/1.0, /*cardinality_scale=*/0.1);
+    auto partitioner = CreatePartitioner(type);
+    Quality q;
+    Tuple t{};
+    bool pending = false;
+    for (int b = 0; b < kBatches; ++b) {
+      const TimeMicros start = b * interval;
+      const TimeMicros end = start + interval;
+      partitioner->Begin(16, start, end);
+      if (pending && t.ts < end) {
+        partitioner->OnTuple(t);
+        pending = false;
+      }
+      while (!pending) {
+        source->Next(&t);
+        if (t.ts >= end) {
+          pending = true;
+          break;
+        }
+        partitioner->OnTuple(t);
+      }
+      auto batch = partitioner->Seal(b);
+      auto m = ComputeBlockMetrics(batch);
+      q.bsi += m.bsi;
+      q.bci += m.bci;
+      q.ksr += m.ksr;
+      q.mpi += m.mpi;
+    }
+    q.bsi /= kBatches;
+    q.bci /= kBatches;
+    q.ksr /= kBatches;
+    q.mpi /= kBatches;
+    out[type] = q;
+  }
+  return out;
+}
+
+void Report(DatasetId dataset) {
+  auto rows = Measure(dataset);
+  const double hash_bsi = std::max(rows[PartitionerType::kHash].bsi, 1e-9);
+  const double shuffle_bci =
+      std::max(rows[PartitionerType::kShuffle].bci, 1e-9);
+
+  PrintHeader(std::string("Figure 10 — ") + DatasetName(dataset));
+  PrintRow({"Technique", "BSI", "BSI/Hash", "BCI", "BCI/Shuffle", "KSR",
+            "MPI"});
+  for (PartitionerType type : EvaluationTechniques()) {
+    const Quality& q = rows[type];
+    PrintRow({PartitionerTypeName(type), Fmt(q.bsi, 1),
+              Fmt(q.bsi / hash_bsi, 3), Fmt(q.bci, 1),
+              Fmt(q.bci / shuffle_bci, 3), Fmt(q.ksr, 3), Fmt(q.mpi, 4)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 10: Data Partitioning Metrics (lower is better; BSI relative\n"
+      "to Hashing as in Fig. 10a/b, BCI relative to Shuffle as in 10c/d)\n");
+  Report(DatasetId::kTweets);  // Fig. 10a / 10c
+  Report(DatasetId::kTpch);    // Fig. 10b / 10d
+  Report(DatasetId::kGcm);     // reported as "similar" in the paper
+  Report(DatasetId::kDebs);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Regenerates Figure 11: maximum sustainable throughput under variable
+// (sinusoidal) input rates.
+//  (a)-(c): per batch interval (1, 2, 3 s) for Tweets, DEBS, GCM
+//  (d):     vs Zipf exponent z in {0.1 .. 2.0} on SynD at a 3 s interval
+// The back-pressure probe reports the highest mean rate with a stable
+// pipeline, exactly the paper's measurement methodology.
+#include <cstring>
+
+#include "bench_util.h"
+
+using namespace prompt;
+using namespace prompt::bench;
+
+namespace {
+
+void VariableRateExperiment(DatasetId dataset) {
+  PrintHeader(std::string("Figure 11 — max throughput (tuples/s), ") +
+              DatasetName(dataset) + ", sinusoidal rate");
+  PrintRow({"Technique", "interval=1s", "interval=2s", "interval=3s"});
+  for (PartitionerType type : EvaluationTechniques()) {
+    std::vector<std::string> cells = {PartitionerTypeName(type)};
+    for (double interval_s : {1.0, 2.0, 3.0}) {
+      ThroughputSetup setup;
+      setup.batch_interval = Seconds(interval_s);
+      setup.batches_per_probe = 8;
+      setup.search_iterations = 6;
+      cells.push_back(Fmt(MaxThroughput(dataset, type, setup), 0));
+    }
+    PrintRow(cells);
+  }
+}
+
+void SkewExperiment() {
+  PrintHeader(
+      "Figure 11d — max throughput (tuples/s) vs Zipf exponent, SynD, "
+      "interval=3s");
+  const double zs[] = {0.1, 0.4, 0.8, 1.0, 1.2, 1.6, 2.0};
+  std::vector<std::string> header = {"Technique"};
+  for (double z : zs) header.push_back("z=" + Fmt(z, 1));
+  PrintRow(header, 11);
+  for (PartitionerType type : EvaluationTechniques()) {
+    std::vector<std::string> cells = {PartitionerTypeName(type)};
+    for (double z : zs) {
+      ThroughputSetup setup;
+      setup.batch_interval = Seconds(3);
+      setup.batches_per_probe = 6;
+      setup.search_iterations = 6;
+      cells.push_back(Fmt(MaxThroughput(DatasetId::kSynD, type, setup, z), 0));
+    }
+    PrintRow(cells, 11);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  VariableRateExperiment(DatasetId::kTweets);  // Fig. 11a
+  if (!quick) {
+    VariableRateExperiment(DatasetId::kDebs);  // Fig. 11b
+    VariableRateExperiment(DatasetId::kGcm);   // Fig. 11c
+  }
+  SkewExperiment();  // Fig. 11d
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates Figure 13: distribution of reduce-task completion times per
+// batch for Time-based partitioning (a) vs Prompt (b) over thousands of
+// batches under a variable input rate.
+#include "bench_util.h"
+#include "stats/histogram.h"
+
+#include "common/hash.h"
+
+using namespace prompt;
+using namespace prompt::bench;
+
+namespace {
+
+void Report(PartitionerType type, double mean_rate) {
+  auto rate =
+      std::make_shared<SinusoidalRate>(mean_rate, 0.35, Seconds(4));
+  auto source = MakeDataset(DatasetId::kTweets, rate, /*seed=*/33,
+                            /*synd_zipf=*/1.0, /*cardinality_scale=*/0.02);
+
+  EngineOptions opts;
+  opts.batch_interval = Seconds(1);
+  opts.map_tasks = 16;
+  opts.reduce_tasks = 16;
+  opts.cores = 16;
+  opts.cost = BenchCostModel();
+  opts.unstable_queue_intervals = 1e9;
+  opts.use_prompt_reduce = type == PartitionerType::kPrompt;
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8), CreatePartitioner(type),
+                          source.get());
+  auto summary = engine.Run(1000);
+
+  Histogram mean_ms, spread_ms, latency_ms;
+  for (const auto& b : summary.batches) {
+    mean_ms.Record(b.reduce_completion_mean_ms);
+    spread_ms.Record(b.reduce_completion_max_ms - b.reduce_completion_min_ms);
+    latency_ms.Record(static_cast<double>(b.latency) / 1000.0);
+  }
+
+  PrintHeader(std::string("Figure 13 — reduce completion distribution, ") +
+              PartitionerTypeName(type) + " (" +
+              std::to_string(summary.batches.size()) + " batches)");
+  PrintRow({"metric", "p5", "p50", "p95", "max", "stddev"});
+  auto row = [&](const char* name, Histogram& h) {
+    PrintRow({name, Fmt(h.Percentile(5), 1), Fmt(h.Percentile(50), 1),
+              Fmt(h.Percentile(95), 1), Fmt(h.Max(), 1), Fmt(h.StdDev(), 1)});
+  };
+  row("avgReduceDone(ms)", mean_ms);
+  row("taskSpread(ms)", spread_ms);
+  row("batchLatency(ms)", latency_ms);
+}
+
+}  // namespace
+
+int main() {
+  // Rate chosen so Time-based is stressed but not collapsed; identical for
+  // both techniques.
+  const double kRate = 5200;
+  Report(PartitionerType::kTimeBased, kRate);  // Fig. 13a
+  Report(PartitionerType::kPrompt, kRate);     // Fig. 13b
+  std::printf(
+      "\nExpected shape: Prompt's avgReduceDone variance and task spread are\n"
+      "far narrower than Time-based's, giving a tight latency band.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §8 consistency in action: run on a simulated 4-node cluster with
+// replicated batches, kill a node mid-run, keep processing on the survivors,
+// and recompute a lost batch's output from its surviving replica —
+// exactly-once at batch granularity.
+#include <cstdio>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "workload/sources.h"
+
+using namespace prompt;
+
+int main() {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 2000;
+  params.zipf = 1.0;
+  params.rate = std::make_shared<ConstantRate>(12000);
+  SynDSource source(std::move(params));
+
+  EngineOptions options;
+  options.batch_interval = Millis(500);
+  options.map_tasks = 8;
+  options.reduce_tasks = 4;
+  options.cluster_enabled = true;
+  options.cluster.nodes = 4;
+  options.cluster.cores_per_node = 2;
+  options.cluster.replication_factor = 2;
+
+  MicroBatchEngine engine(options, JobSpec::WordCount(6),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          &source);
+
+  std::printf("cluster: 4 nodes x 2 cores, replication factor 2\n\n");
+
+  auto report = [&](const RunSummary& s, const char* phase) {
+    for (const auto& b : s.batches) {
+      std::printf(
+          "[%s] batch %2lu: %5lu tuples, map %4.1fms (%u remote), "
+          "latency %6.1fms\n",
+          phase, static_cast<unsigned long>(b.batch_id),
+          static_cast<unsigned long>(b.num_tuples),
+          static_cast<double>(b.map_makespan) / 1000.0, b.remote_map_tasks,
+          static_cast<double>(b.latency) / 1000.0);
+    }
+  };
+
+  report(engine.Run(4), "healthy ");
+
+  std::printf("\n*** killing node 2 (its block replicas and cores are gone)\n\n");
+  if (auto st = engine.KillNode(2); !st.ok()) {
+    std::printf("kill failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  report(engine.Run(4), "degraded");
+
+  // The window still covers batches processed before the failure; §8 says a
+  // lost batch state is recomputed from the replicated input. Demonstrate
+  // on batch 3 (processed pre-failure, replicas spread over nodes).
+  std::printf("\nrecovering batch 3 from surviving replicas...\n");
+  auto redo = engine.RecomputeBatchFromStore(3);
+  if (!redo.ok()) {
+    std::printf("recovery failed: %s\n", redo.status().ToString().c_str());
+    return 1;
+  }
+  double total = 0;
+  for (const KV& kv : *redo) total += kv.value;
+  std::printf("recomputed %zu per-key aggregates (%.0f tuples accounted)\n",
+              redo->size(), total);
+
+  std::printf("\n*** node 2 rejoins\n\n");
+  (void)engine.ReviveNode(2);
+  report(engine.Run(3), "restored");
+
+  std::printf("\nwindow covers %zu batches, %zu keys — no gaps despite the "
+              "failure.\n",
+              engine.window().depth(), engine.window().Result().size());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Side-by-side look at what each partitioning technique does to one
+// micro-batch: block sizes, cardinalities, fragmentation, and the cost-model
+// metrics of §3.3. A compact way to *see* Fig. 4 and Fig. 6 of the paper.
+#include <cstdio>
+
+#include "baselines/factory.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "stats/metrics.h"
+
+using namespace prompt;
+
+int main() {
+  // One batch: 100k tuples, Zipf z=1.3 over 10k keys, 8 blocks.
+  const uint64_t kTuples = 100000;
+  const uint32_t kBlocks = 8;
+  Rng rng(99);
+  ZipfSampler zipf(10000, 1.3);
+  std::vector<Tuple> tuples(kTuples);
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    tuples[i] = Tuple{static_cast<TimeMicros>(i * 10),
+                      Mix64(zipf.Sample(rng)), 1.0};
+  }
+
+  std::printf(
+      "One micro-batch: %lu tuples, Zipf z=1.3, %u blocks\n\n"
+      "%-12s %-28s %-26s %-7s %-7s %-7s\n",
+      static_cast<unsigned long>(kTuples), kBlocks, "Technique",
+      "block sizes (min..max)", "cardinalities (min..max)", "BSI", "BCI",
+      "KSR");
+
+  for (PartitionerType type : EvaluationTechniques()) {
+    auto partitioner = CreatePartitioner(type);
+    partitioner->Begin(kBlocks, 0, Seconds(1));
+    for (const Tuple& t : tuples) partitioner->OnTuple(t);
+    auto batch = partitioner->Seal(0);
+
+    uint64_t min_size = UINT64_MAX, max_size = 0;
+    uint64_t min_card = UINT64_MAX, max_card = 0;
+    for (const auto& block : batch.blocks) {
+      min_size = std::min(min_size, block.size());
+      max_size = std::max(max_size, block.size());
+      min_card = std::min(min_card, block.cardinality());
+      max_card = std::max(max_card, block.cardinality());
+    }
+    auto m = ComputeBlockMetrics(batch);
+    char sizes[64], cards[64];
+    std::snprintf(sizes, sizeof(sizes), "%lu..%lu",
+                  static_cast<unsigned long>(min_size),
+                  static_cast<unsigned long>(max_size));
+    std::snprintf(cards, sizeof(cards), "%lu..%lu",
+                  static_cast<unsigned long>(min_card),
+                  static_cast<unsigned long>(max_card));
+    std::printf("%-12s %-28s %-26s %-7.0f %-7.0f %-7.2f\n",
+                partitioner->name(), sizes, cards, m.bsi, m.bci, m.ksr);
+  }
+
+  std::printf(
+      "\nReading the table: Shuffle equalizes sizes but explodes KSR (every\n"
+      "hot key in every block); Hash keeps KSR=1 but skews sizes; Prompt\n"
+      "holds all three close to ideal — the Fig. 6 trade-off.\n");
+  return 0;
+}

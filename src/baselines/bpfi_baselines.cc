@@ -1,0 +1,123 @@
+#include "baselines/bpfi_baselines.h"
+
+#include <algorithm>
+
+#include "common/flat_map.h"
+
+namespace prompt {
+
+namespace {
+
+void FinalizePlanStats(PartitionPlan* plan, uint64_t num_keys) {
+  FlatMap<uint32_t> blocks_of_key(num_keys + 8);
+  for (const auto& block : plan->blocks) {
+    FlatMap<char> seen(block.size() + 8);
+    for (const PlanPlacement& pl : block) {
+      bool inserted = false;
+      seen.GetOrInsert(pl.key_index, &inserted);
+      if (inserted) {
+        ++plan->fragments;
+        ++blocks_of_key.GetOrInsert(pl.key_index);
+      }
+    }
+  }
+  blocks_of_key.ForEach([plan](KeyId, uint32_t n) {
+    if (n > 1) ++plan->split_keys;
+  });
+}
+
+}  // namespace
+
+PartitionPlan BuildFfdPlan(const AccumulatedBatch& batch,
+                           uint32_t num_blocks) {
+  PartitionPlan plan;
+  plan.blocks.resize(num_blocks);
+  const auto& keys = batch.keys();
+  if (keys.empty()) return plan;
+  const uint64_t capacity =
+      (batch.num_tuples() + num_blocks - 1) / num_blocks;
+
+  std::vector<uint64_t> sizes(num_blocks, 0);
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    uint64_t remaining = keys[i].count;
+    uint64_t skip = 0;
+    // First fit: earliest block with room for the whole key.
+    bool placed = false;
+    for (uint32_t b = 0; b < num_blocks && !placed; ++b) {
+      if (sizes[b] + remaining <= capacity) {
+        plan.blocks[b].push_back(PlanPlacement{i, skip, remaining});
+        sizes[b] += remaining;
+        placed = true;
+      }
+    }
+    if (placed) continue;
+    // No block holds it entirely: fragment greedily across blocks in order.
+    for (uint32_t b = 0; b < num_blocks && remaining > 0; ++b) {
+      uint64_t room = sizes[b] < capacity ? capacity - sizes[b] : 0;
+      if (room == 0) continue;
+      uint64_t take = std::min(room, remaining);
+      plan.blocks[b].push_back(PlanPlacement{i, skip, take});
+      sizes[b] += take;
+      skip += take;
+      remaining -= take;
+    }
+    if (remaining > 0) {
+      // Rounding tail: dump on the smallest block.
+      uint32_t smallest = static_cast<uint32_t>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+      plan.blocks[smallest].push_back(PlanPlacement{i, skip, remaining});
+      sizes[smallest] += remaining;
+    }
+  }
+  FinalizePlanStats(&plan, keys.size());
+  return plan;
+}
+
+PartitionPlan BuildFragMinPlan(const AccumulatedBatch& batch,
+                               uint32_t num_blocks) {
+  PartitionPlan plan;
+  plan.blocks.resize(num_blocks);
+  const auto& keys = batch.keys();
+  if (keys.empty()) return plan;
+  const uint64_t capacity =
+      (batch.num_tuples() + num_blocks - 1) / num_blocks;
+
+  uint32_t b = 0;
+  uint64_t used = 0;
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    uint64_t remaining = keys[i].count;
+    uint64_t skip = 0;
+    while (remaining > 0) {
+      if (used >= capacity && b + 1 < num_blocks) {
+        ++b;
+        used = 0;
+      }
+      uint64_t room = b + 1 < num_blocks
+                          ? (used < capacity ? capacity - used : 0)
+                          : remaining;  // last block absorbs the tail
+      uint64_t take = std::min(std::max<uint64_t>(room, 1), remaining);
+      plan.blocks[b].push_back(PlanPlacement{i, skip, take});
+      used += take;
+      skip += take;
+      remaining -= take;
+    }
+  }
+  FinalizePlanStats(&plan, keys.size());
+  return plan;
+}
+
+PartitionedBatch BpfiBaselinePartitioner::Seal(uint64_t batch_id) {
+  Stopwatch watch;
+  AccumulatedBatch sealed = accumulator_.Seal();
+  PartitionPlan plan = kind_ == Kind::kFfd
+                           ? BuildFfdPlan(sealed, num_blocks_)
+                           : BuildFragMinPlan(sealed, num_blocks_);
+  const TimeMicros cost = watch.ElapsedMicros();
+  PartitionedBatch out = MaterializePlan(sealed, plan, num_blocks_);
+  out.batch_id = batch_id;
+  out.seal_time = batch_end_;
+  out.partition_cost = cost;
+  return out;
+}
+
+}  // namespace prompt

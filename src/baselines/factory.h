@@ -1,0 +1,52 @@
+// Factory over every partitioning technique compared in the paper, keyed by
+// the names used in its figures.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/partitioner.h"
+#include "core/prompt_partitioner.h"
+
+namespace prompt {
+
+/// \brief All batching-phase techniques available to experiments.
+enum class PartitionerType {
+  kTimeBased,
+  kShuffle,
+  kHash,
+  kPk2,
+  kPk5,
+  kCam,
+  kPrompt,
+  kPromptPostSort,
+  kFfd,
+  kFragMin,
+  kSketch,
+};
+
+/// \brief Construction parameters shared by the factory.
+struct PartitionerConfig {
+  PromptPartitionerOptions prompt;
+  /// Candidate count for cAM (the paper sweeps this per workload and keeps
+  /// the best; bench harnesses do the same sweep).
+  uint32_t cam_candidates = 4;
+  /// Counter budget for the sketch-driven baseline.
+  size_t sketch_capacity = 256;
+};
+
+/// \brief Creates a partitioner instance of the given type.
+std::unique_ptr<BatchPartitioner> CreatePartitioner(
+    PartitionerType type, const PartitionerConfig& config = {});
+
+/// \brief Parses a figure-style name ("Prompt", "PK2", "cAM", ...).
+Result<PartitionerType> PartitionerTypeFromName(const std::string& name);
+
+/// \brief The comparison set of the paper's evaluation figures.
+std::vector<PartitionerType> EvaluationTechniques();
+
+const char* PartitionerTypeName(PartitionerType type);
+
+}  // namespace prompt

@@ -1,0 +1,62 @@
+#include "baselines/sketch_partitioner.h"
+
+#include "common/hash.h"
+
+namespace prompt {
+
+void SketchPartitioner::Begin(uint32_t num_blocks, TimeMicros /*start*/,
+                              TimeMicros end) {
+  PROMPT_CHECK(num_blocks >= 1);
+  num_blocks_ = num_blocks;
+  batch_end_ = end;
+  buffer_.clear();
+  sketch_.Clear();
+}
+
+void SketchPartitioner::OnTuple(const Tuple& t) {
+  buffer_.push_back(t);
+  sketch_.Add(t.key);
+}
+
+PartitionedBatch SketchPartitioner::Seal(uint64_t batch_id) {
+  Stopwatch watch;
+  PartitionedBatch out;
+  out.batch_id = batch_id;
+  out.seal_time = batch_end_;
+  out.num_tuples = buffer_.size();
+  out.blocks.reserve(num_blocks_);
+  for (uint32_t b = 0; b < num_blocks_; ++b) out.blocks.emplace_back(b);
+
+  // Heavy = estimated share above 1 / (heavy_fraction * blocks): such keys
+  // would overflow a block on their own, so they round-robin.
+  const double threshold =
+      static_cast<double>(sketch_.total()) /
+      (options_.heavy_fraction * static_cast<double>(num_blocks_));
+  FlatMap<uint32_t> heavy_cursor(sketch_.capacity());
+  for (const auto& e : sketch_.TopEntries()) {
+    if (static_cast<double>(e.count) > threshold) {
+      heavy_cursor.GetOrInsert(e.key) = HashKey(e.key) % num_blocks_;
+    }
+  }
+
+  FlatMap<char> distinct(buffer_.size() / 4 + 16);
+  for (const Tuple& t : buffer_) {
+    distinct.GetOrInsert(t.key);
+    uint32_t* cursor = heavy_cursor.Find(t.key);
+    uint32_t block;
+    if (cursor != nullptr) {
+      block = *cursor;
+      *cursor = (*cursor + 1) % num_blocks_;  // spread the heavy key
+    } else {
+      block = static_cast<uint32_t>(HashKey(t.key) % num_blocks_);
+    }
+    out.blocks[block].Append(t);
+  }
+  out.num_keys = distinct.size();
+  for (DataBlock& b : out.blocks) b.Finalize();
+  out.ComputeSplitFlags();
+  out.partition_cost = watch.ElapsedMicros();
+  return out;
+}
+
+}  // namespace prompt

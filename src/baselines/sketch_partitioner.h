@@ -1,0 +1,49 @@
+// Sketch-driven partitioner: what a bounded-memory, tuple-at-a-time system
+// (e.g. Gedik's lossy-counting partitioning functions [18]) would do in the
+// micro-batch setting — detect heavy hitters with a Space-Saving sketch and
+// split only those, hashing everything else. The ablation counterpart to
+// Prompt's thesis that exact per-batch statistics are affordable and pay off
+// (§2.2.4).
+#pragma once
+
+#include <vector>
+
+#include "common/flat_map.h"
+#include "core/partitioner.h"
+#include "stats/space_saving.h"
+
+namespace prompt {
+
+/// \brief Options for the sketch-driven baseline.
+struct SketchPartitionerOptions {
+  /// Counters kept by the Space-Saving sketch.
+  size_t sketch_capacity = 256;
+  /// A key whose estimated share exceeds 1/(heavy_fraction * blocks) of the
+  /// batch is treated as heavy and split round-robin.
+  double heavy_fraction = 2.0;
+};
+
+/// \brief Buffers the batch, tracks frequencies approximately, and at seal
+/// time splits only the sketch's heavy hitters (hash for the rest).
+class SketchPartitioner final : public BatchPartitioner {
+ public:
+  explicit SketchPartitioner(SketchPartitionerOptions options = {})
+      : options_(options), sketch_(options.sketch_capacity) {}
+
+  const char* name() const override { return "SketchHH"; }
+
+  void Begin(uint32_t num_blocks, TimeMicros start, TimeMicros end) override;
+  void OnTuple(const Tuple& t) override;
+  PartitionedBatch Seal(uint64_t batch_id) override;
+
+  const SpaceSaving& sketch() const { return sketch_; }
+
+ private:
+  SketchPartitionerOptions options_;
+  SpaceSaving sketch_;
+  std::vector<Tuple> buffer_;
+  uint32_t num_blocks_ = 1;
+  TimeMicros batch_end_ = 0;
+};
+
+}  // namespace prompt

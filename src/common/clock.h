@@ -1,0 +1,90 @@
+// Time abstraction: the engine runs against a Clock so throughput and
+// elasticity experiments can execute in deterministic virtual time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace prompt {
+
+/// Microseconds since an arbitrary epoch. All engine-visible timestamps,
+/// batch intervals and task durations use this unit.
+using TimeMicros = int64_t;
+
+constexpr TimeMicros kMicrosPerMilli = 1000;
+constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+
+inline constexpr TimeMicros Millis(int64_t ms) { return ms * kMicrosPerMilli; }
+inline constexpr TimeMicros Seconds(double s) {
+  return static_cast<TimeMicros>(s * kMicrosPerSecond);
+}
+inline constexpr double ToSeconds(TimeMicros t) {
+  return static_cast<double>(t) / kMicrosPerSecond;
+}
+
+/// \brief Source of "now" for the engine.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds.
+  virtual TimeMicros Now() const = 0;
+};
+
+/// \brief Wall-clock time (steady), used when examples execute for real.
+class SystemClock final : public Clock {
+ public:
+  TimeMicros Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// \brief Manually advanced clock for discrete-event simulation.
+///
+/// The simulation driver advances it; everything else only reads it, so the
+/// same engine code runs unmodified under virtual or wall time.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves time forward by delta (must be >= 0).
+  void Advance(TimeMicros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Jumps to an absolute time (must not move backwards).
+  void AdvanceTo(TimeMicros t) {
+    TimeMicros cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<TimeMicros> now_;
+};
+
+/// \brief Scoped stopwatch measuring wall time in microseconds.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart() {
+    start_ = std::chrono::steady_clock::now();
+  }
+  TimeMicros ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,116 @@
+// Minimal command-line flag parsing for the tools and harness binaries:
+// --name=value and --name (boolean) forms, with typed accessors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prompt {
+
+/// \brief Parses `--key=value` / `--flag` arguments.
+///
+/// Unrecognized positional arguments are collected separately; consumers
+/// can reject them or use them (e.g. a query string). Accessors record the
+/// keys they saw so UnknownFlags() can report typos.
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          flags_[arg.substr(2)] = "true";
+        } else {
+          flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const {
+    return flags_.count(name) > 0;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") {
+    queried_.insert(name);
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) {
+    queried_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    try {
+      size_t pos = 0;
+      int64_t v = std::stoll(it->second, &pos);
+      if (pos != it->second.size()) {
+        return Status::Invalid("--" + name + " expects an integer, got '" +
+                               it->second + "'");
+      }
+      return v;
+    } catch (...) {
+      return Status::Invalid("--" + name + " expects an integer, got '" +
+                             it->second + "'");
+    }
+  }
+
+  Result<double> GetDouble(const std::string& name, double fallback) {
+    queried_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    try {
+      size_t pos = 0;
+      double v = std::stod(it->second, &pos);
+      if (pos != it->second.size()) {
+        return Status::Invalid("--" + name + " expects a number, got '" +
+                               it->second + "'");
+      }
+      return v;
+    } catch (...) {
+      return Status::Invalid("--" + name + " expects a number, got '" +
+                             it->second + "'");
+    }
+  }
+
+  Result<bool> GetBool(const std::string& name, bool fallback) {
+    queried_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    if (it->second == "true" || it->second == "1" || it->second == "yes") {
+      return true;
+    }
+    if (it->second == "false" || it->second == "0" || it->second == "no") {
+      return false;
+    }
+    return Status::Invalid("--" + name + " expects a boolean, got '" +
+                           it->second + "'");
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present on the command line that no accessor asked about.
+  std::vector<std::string> UnknownFlags() const {
+    std::vector<std::string> unknown;
+    for (const auto& [k, v] : flags_) {
+      if (queried_.count(k) == 0) unknown.push_back(k);
+    }
+    return unknown;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::set<std::string> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,116 @@
+// Open-addressing hash map specialized for uint64 keys. This is the HTable
+// backbone of the frequency-aware accumulator (Alg. 1) and the per-block
+// statistics in the metrics module; std::unordered_map's node allocations
+// would dominate the per-tuple path.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief Linear-probing hash map from uint64 keys to V.
+///
+/// Tombstone-free: the accumulator never erases individual keys (batches are
+/// cleared wholesale), so deletion is simply not offered. Load factor is kept
+/// under 0.7 by doubling.
+template <typename V>
+class FlatMap {
+ public:
+  struct Slot {
+    uint64_t key;
+    V value;
+  };
+
+  explicit FlatMap(size_t initial_capacity = 16) {
+    size_t cap = 16;
+    while (cap < initial_capacity * 2) cap <<= 1;
+    slots_.resize(cap);
+    used_.assign(cap, false);
+  }
+
+  /// Returns the value for key, inserting a default-constructed V first if
+  /// absent. `inserted` (optional) reports whether an insert happened.
+  V& GetOrInsert(uint64_t key, bool* inserted = nullptr) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) Grow();
+    size_t idx = Probe(key);
+    if (!used_[idx]) {
+      used_[idx] = true;
+      slots_[idx].key = key;
+      slots_[idx].value = V{};
+      ++size_;
+      if (inserted) *inserted = true;
+    } else if (inserted) {
+      *inserted = false;
+    }
+    return slots_[idx].value;
+  }
+
+  /// Pointer to value or nullptr when absent.
+  V* Find(uint64_t key) {
+    size_t idx = Probe(key);
+    return used_[idx] ? &slots_[idx].value : nullptr;
+  }
+  const V* Find(uint64_t key) const {
+    size_t idx = Probe(key);
+    return used_[idx] ? &slots_[idx].value : nullptr;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops all entries, retaining capacity.
+  void Clear() {
+    used_.assign(used_.size(), false);
+    size_ = 0;
+  }
+
+  /// Applies f(key, value&) to every entry (unspecified order).
+  template <typename F>
+  void ForEach(F&& f) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) f(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) f(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  size_t Probe(uint64_t key) const {
+    size_t mask = slots_.size() - 1;
+    size_t idx = HashKey(key) & mask;
+    while (used_[idx] && slots_[idx].key != key) idx = (idx + 1) & mask;
+    return idx;
+  }
+
+  void Grow() {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<char> old_used = std::move(used_);
+    slots_.assign(old_slots.size() * 2, Slot{});
+    used_.assign(old_used.size() * 2, false);
+    size_ = 0;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      size_t idx = Probe(old_slots[i].key);
+      used_[idx] = true;
+      slots_[idx] = std::move(old_slots[i]);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<char> used_;  // char, not bool, to avoid bitset proxies
+  size_t size_ = 0;
+};
+
+}  // namespace prompt

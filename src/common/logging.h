@@ -1,0 +1,62 @@
+// Minimal leveled logger. Defaults to WARN so benchmarks stay quiet; examples
+// raise the level for narrative output.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace prompt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Global logging configuration.
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Log(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Log(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define PROMPT_LOG(level) \
+  ::prompt::internal::LogMessage(::prompt::LogLevel::level).stream()
+
+}  // namespace prompt

@@ -1,0 +1,54 @@
+// Core preprocessor utilities shared across the Prompt codebase.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PROMPT_STRINGIFY_IMPL(x) #x
+#define PROMPT_STRINGIFY(x) PROMPT_STRINGIFY_IMPL(x)
+
+/// \brief Abort with a message when an internal invariant is violated.
+///
+/// Unlike assert(), PROMPT_CHECK is active in all build types. It is reserved
+/// for invariants whose violation indicates a bug in this library, never for
+/// user input validation (use Status for that).
+#define PROMPT_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::std::fprintf(stderr, "PROMPT_CHECK failed at %s:%d: %s\n", __FILE__, \
+                     __LINE__, PROMPT_STRINGIFY(cond));                      \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+#define PROMPT_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::std::fprintf(stderr, "PROMPT_CHECK failed at %s:%d: %s (%s)\n",      \
+                     __FILE__, __LINE__, PROMPT_STRINGIFY(cond), (msg));     \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+#define PROMPT_CONCAT_IMPL(a, b) a##b
+#define PROMPT_CONCAT(a, b) PROMPT_CONCAT_IMPL(a, b)
+
+/// \brief Propagate a non-OK Status from the current function.
+#define PROMPT_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::prompt::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// \brief Assign the value of a Result<T> expression or propagate its error.
+#define PROMPT_ASSIGN_OR_RETURN(lhs, expr)                        \
+  PROMPT_ASSIGN_OR_RETURN_IMPL(PROMPT_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define PROMPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#define PROMPT_DISALLOW_COPY_AND_ASSIGN(T) \
+  T(const T&) = delete;                    \
+  T& operator=(const T&) = delete

@@ -1,0 +1,17 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace prompt {
+
+std::vector<uint64_t> RandomPermutation(uint64_t n, Rng& rng) {
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), uint64_t{0});
+  for (uint64_t i = n; i > 1; --i) {
+    uint64_t j = rng.NextBounded(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace prompt

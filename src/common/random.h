@@ -1,0 +1,154 @@
+// Deterministic PRNG and distribution samplers for workload generation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief xoshiro256** PRNG: fast, high quality, fully deterministic per seed.
+///
+/// All randomness in the library flows through explicitly seeded instances of
+/// this class so experiments are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t NextBounded(uint64_t bound) {
+    PROMPT_CHECK(bound > 0);
+    // Lemire's nearly-divisionless method.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + NextDouble() * (hi - lo);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponential inter-arrival sample with the given rate (events/unit).
+  double NextExponential(double rate) {
+    PROMPT_CHECK(rate > 0);
+    double u = NextDouble();
+    if (u <= 0) u = 1e-18;
+    return -std::log(u) / rate;
+  }
+
+  /// Standard normal via Box-Muller (no state caching; simple and adequate).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0) u1 = 1e-18;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// \brief Zipf(N, z) sampler over ranks {0, ..., n-1}.
+///
+/// Rank r is drawn with probability proportional to 1/(r+1)^z. Uses the
+/// rejection-inversion method of Hörmann & Derflinger, which is O(1) per
+/// sample and exact — no table construction, so cardinalities up to 10^7
+/// (the paper's SynD setting) are cheap.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double z) : n_(n), z_(z) {
+    PROMPT_CHECK(n >= 1);
+    PROMPT_CHECK(z >= 0.0);
+    if (z_ < 1e-9) return;  // uniform fallback
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - HInv(H(2.5) - std::pow(2.0, -z_));
+  }
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const {
+    if (z_ < 1e-9) return rng.NextBounded(n_);
+    while (true) {
+      double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+      double x = HInv(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      double kd = static_cast<double>(k);
+      if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -z_)) {
+        return k - 1;
+      }
+    }
+  }
+
+  /// Exact probability of rank r (for tests; O(n) normalization cached).
+  double Pmf(uint64_t rank) const {
+    if (z_ < 1e-9) return 1.0 / static_cast<double>(n_);
+    if (norm_ == 0.0) {
+      double s = 0.0;
+      for (uint64_t i = 1; i <= n_; ++i) s += std::pow(double(i), -z_);
+      norm_ = s;
+    }
+    return std::pow(static_cast<double>(rank + 1), -z_) / norm_;
+  }
+
+ private:
+  // H(x) = integral of x^-z; closed forms per z == 1 or not.
+  double H(double x) const {
+    if (std::abs(z_ - 1.0) < 1e-12) return std::log(x);
+    return std::pow(x, 1.0 - z_) / (1.0 - z_);
+  }
+  double HInv(double u) const {
+    if (std::abs(z_ - 1.0) < 1e-12) return std::exp(u);
+    return std::pow(u * (1.0 - z_), 1.0 / (1.0 - z_));
+  }
+
+  uint64_t n_;
+  double z_;
+  double h_x1_ = 0, h_n_ = 0, s_ = 0;
+  mutable double norm_ = 0.0;
+};
+
+/// \brief Fisher-Yates permutation of {0..n-1}; used to decouple Zipf rank
+/// from key identity so hash-based baselines are not accidentally favoured.
+std::vector<uint64_t> RandomPermutation(uint64_t n, Rng& rng);
+
+}  // namespace prompt

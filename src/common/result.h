@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, modeled on arrow::Result.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace prompt {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Functions that can fail but produce a value return Result<T>. Use
+/// PROMPT_ASSIGN_OR_RETURN to unwrap inside Status/Result-returning code.
+template <typename T>
+class Result {
+ public:
+  /// Construct from a value (implicit so `return value;` works).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT
+
+  /// Construct from a non-OK status (implicit so `return status;` works).
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    PROMPT_CHECK_MSG(!std::get<Status>(storage_).ok(),
+                     "Result constructed from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The error status (OK() if a value is present).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(storage_);
+  }
+
+  /// The value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    PROMPT_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    PROMPT_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(storage_);
+  }
+  T ValueOrDie() && {
+    PROMPT_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(storage_));
+  }
+
+  /// The value without checking; undefined when !ok(). Used by macros after
+  /// an explicit ok() check.
+  T ValueUnsafe() && { return std::move(std::get<T>(storage_)); }
+  const T& ValueUnsafe() const& { return std::get<T>(storage_); }
+
+  /// Value or a fallback when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace prompt

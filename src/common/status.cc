@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace prompt {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kCapacityError:
+      return "Capacity error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kUnknownError:
+      return "Unknown error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+  }
+  return "Unrecognized code";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace prompt

@@ -1,0 +1,132 @@
+// Arrow/RocksDB-style Status for error handling without exceptions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace prompt {
+
+/// \brief Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kKeyError,
+  kCapacityError,
+  kNotImplemented,
+  kIOError,
+  kAlreadyExists,
+  kUnknownError,
+  kCancelled,
+  kResourceExhausted,
+};
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Status is the library-wide error channel; no exceptions cross the public
+/// API. The OK state carries no allocation so returning Status::OK() in hot
+/// paths is free.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknownError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsCapacityError() const { return code() == StatusCode::kCapacityError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Human-readable "Code: message" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr <=> OK.
+  std::unique_ptr<State> state_;
+};
+
+/// \brief Name of a StatusCode, e.g. "Invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+}  // namespace prompt

@@ -1,0 +1,98 @@
+// Fixed-size worker pool: the "cores" of the simulated cluster when the
+// engine executes Map/Reduce tasks for real.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief Fixed-size thread pool with a wait-for-drain barrier.
+///
+/// The engine submits one closure per Map/Reduce task and uses WaitIdle() as
+/// the stage barrier (all Map tasks of a batch must finish before its Reduce
+/// stage is scheduled).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    PROMPT_CHECK(num_threads > 0);
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues a task; aborts if the pool is shut down.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PROMPT_CHECK_MSG(!shutdown_, "Submit after Shutdown");
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    work_available_.notify_one();
+  }
+
+  /// Blocks until every submitted task has completed.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Stops accepting work, drains the queue, joins workers. Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_available_.wait(lock,
+                             [this] { return !queue_.empty() || shutdown_; });
+        if (queue_.empty()) {
+          if (shutdown_) return;
+          continue;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace prompt

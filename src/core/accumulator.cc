@@ -1,0 +1,121 @@
+#include "core/accumulator.h"
+
+#include <algorithm>
+
+namespace prompt {
+
+void MicrobatchAccumulator::Begin(TimeMicros start, TimeMicros end) {
+  PROMPT_CHECK(end > start);
+  batch_start_ = start;
+  batch_end_ = end;
+  num_tuples_ = 0;
+  tree_updates_ = 0;
+  table_.Clear();
+  tree_.Clear();
+  arena_.clear();
+  next_.clear();
+  // f <- N_est / (K_avg * budget): the best step under a uniform-key
+  // assumption (§4.1). Each key then adapts its own step as it is observed.
+  const uint64_t denom =
+      std::max<uint64_t>(1, options_.avg_keys * options_.budget);
+  initial_f_step_ = std::max<uint64_t>(1, options_.estimated_tuples / denom);
+}
+
+void MicrobatchAccumulator::TreeUpdate(KeyId key, KeyState& ks,
+                                       TimeMicros now) {
+  tree_.Update(key, ks.freq_updated, ks.freq_current);
+  ++tree_updates_;
+  ks.freq_updated = ks.freq_current;
+  if (ks.budget_left > 0) --ks.budget_left;
+  // f.step = (N_est / budget) * Freq_Current / N_C  (Alg. 1 line 13):
+  // frequent keys need proportionally more arrivals before their next
+  // repositioning, keeping per-key updates within budget.
+  const uint64_t n_c = std::max<uint64_t>(1, num_tuples_);
+  const uint64_t base =
+      std::max<uint64_t>(1, options_.estimated_tuples /
+                                std::max<uint32_t>(1, options_.budget));
+  ks.f_step = std::max<uint64_t>(1, base * ks.freq_current / n_c);
+  // t.step = remaining interval / remaining budget (Alg. 1 line 19).
+  const TimeMicros remaining = std::max<TimeMicros>(0, batch_end_ - now);
+  ks.t_next =
+      now + remaining / std::max<uint32_t>(1, ks.budget_left ? ks.budget_left : 1);
+}
+
+void MicrobatchAccumulator::Add(const Tuple& t) {
+  const TimeMicros now = t.ts;
+  ++num_tuples_;
+
+  const uint32_t tuple_idx = static_cast<uint32_t>(arena_.size());
+  arena_.push_back(t);
+  next_.push_back(SortedKeyRun::kNoTuple);
+
+  bool inserted = false;
+  KeyState& ks = table_.GetOrInsert(t.key, &inserted);
+  if (inserted) {
+    // New key (Alg. 1 lines 24-30): chain the tuple, create a CountTree node
+    // with count 1, and initialize its budget steps.
+    ks.freq_current = 1;
+    ks.freq_updated = 1;
+    ks.budget_left = options_.budget;
+    ks.f_step = initial_f_step_;
+    const TimeMicros remaining = std::max<TimeMicros>(0, batch_end_ - now);
+    ks.t_next = now + remaining / std::max<uint32_t>(1, options_.budget);
+    ks.head = ks.tail = tuple_idx;
+    tree_.Insert(t.key, 1);
+    return;
+  }
+
+  // Existing key (Alg. 1 lines 4-23): chain the tuple, then decide whether
+  // this arrival triggers a budgeted CountTree repositioning.
+  next_[ks.tail] = tuple_idx;
+  ks.tail = tuple_idx;
+  ++ks.freq_current;
+
+  if (ks.budget_left == 0) return;  // budget exhausted: count stays stale
+  const uint64_t delta_freq = ks.freq_current - ks.freq_updated;
+  if (delta_freq >= ks.f_step) {
+    TreeUpdate(t.key, ks, now);
+  } else if (now >= ks.t_next) {
+    TreeUpdate(t.key, ks, now);
+  }
+  // else: key not yet eligible for an update (line 21).
+}
+
+AccumulatedBatch MicrobatchAccumulator::MakeBatch(
+    std::vector<SortedKeyRun> keys) const {
+  AccumulatedBatch batch;
+  batch.num_tuples_ = num_tuples_;
+  batch.keys_ = std::move(keys);
+  batch.arena_ = &arena_;
+  batch.next_ = &next_;
+  return batch;
+}
+
+AccumulatedBatch MicrobatchAccumulator::Seal() {
+  std::vector<SortedKeyRun> keys;
+  keys.reserve(tree_.size());
+  // Reverse in-order traversal: quasi-sorted, highest tree count first. The
+  // emitted counts are the exact HTable frequencies; only the *order* is
+  // approximate when budgets ran out.
+  tree_.ForEachDescending([this, &keys](KeyId k, uint64_t) {
+    const KeyState* ks = table_.Find(k);
+    PROMPT_CHECK(ks != nullptr);
+    keys.push_back(SortedKeyRun{k, ks->freq_current, ks->head});
+  });
+  return MakeBatch(std::move(keys));
+}
+
+AccumulatedBatch MicrobatchAccumulator::SealWithPostSort() {
+  std::vector<SortedKeyRun> keys;
+  keys.reserve(table_.size());
+  table_.ForEach([&keys](KeyId k, const KeyState& ks) {
+    keys.push_back(SortedKeyRun{k, ks.freq_current, ks.head});
+  });
+  std::sort(keys.begin(), keys.end(),
+            [](const SortedKeyRun& a, const SortedKeyRun& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  return MakeBatch(std::move(keys));
+}
+
+}  // namespace prompt

@@ -1,0 +1,149 @@
+// Frequency-aware micro-batch buffering (paper §4.1, Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/flat_map.h"
+#include "common/macros.h"
+#include "model/tuple.h"
+#include "stats/count_tree.h"
+
+namespace prompt {
+
+/// \brief Tuning knobs of the buffering mechanism.
+struct AccumulatorOptions {
+  /// Maximum CountTree updates allowed per key per batch interval (the
+  /// `budget` of Alg. 1). Bounds total update work to K * budget * log K.
+  uint32_t budget = 16;
+  /// Estimated tuples in the interval (N_est), from the receiver's EWMA of
+  /// past data rates. Used to derive the initial frequency step
+  /// f = N_est / (K_avg * budget).
+  uint64_t estimated_tuples = 100000;
+  /// Average distinct keys over past batches (K_avg).
+  uint64_t avg_keys = 1000;
+};
+
+/// \brief One entry of the sealed quasi-sorted key list:
+/// `⟨key, count, tupleList⟩` with the tuple list referenced as a chain head
+/// into the accumulator's arena.
+struct SortedKeyRun {
+  KeyId key = 0;
+  uint64_t count = 0;
+  uint32_t head = kNoTuple;
+
+  static constexpr uint32_t kNoTuple = 0xffffffffu;
+};
+
+/// \brief View over a sealed batch: quasi-sorted keys (descending frequency)
+/// plus access to each key's buffered tuples. Valid until the owning
+/// accumulator's next Begin().
+class AccumulatedBatch {
+ public:
+  uint64_t num_tuples() const { return num_tuples_; }
+  uint64_t num_keys() const { return keys_.size(); }
+
+  /// Keys in (quasi-)descending frequency order; `count` is the *exact*
+  /// final frequency (the HTable always has exact counts — only the ordering
+  /// is approximate, coming from the budget-limited CountTree).
+  const std::vector<SortedKeyRun>& keys() const { return keys_; }
+
+  /// Applies f(const Tuple&) to up to `limit` tuples of the run, starting
+  /// after skipping `skip` tuples of its chain. Fragmented keys consume their
+  /// chain in segments: fragment i passes skip = sum of earlier fragment
+  /// sizes.
+  template <typename F>
+  void ForEachTuple(const SortedKeyRun& run, uint64_t skip, uint64_t limit,
+                    F&& f) const {
+    uint32_t idx = run.head;
+    while (skip > 0 && idx != SortedKeyRun::kNoTuple) {
+      idx = (*next_)[idx];
+      --skip;
+    }
+    while (limit > 0 && idx != SortedKeyRun::kNoTuple) {
+      f((*arena_)[idx]);
+      idx = (*next_)[idx];
+      --limit;
+    }
+  }
+
+ private:
+  friend class MicrobatchAccumulator;
+  uint64_t num_tuples_ = 0;
+  std::vector<SortedKeyRun> keys_;
+  const std::vector<Tuple>* arena_ = nullptr;
+  const std::vector<uint32_t>* next_ = nullptr;
+};
+
+/// \brief Algorithm 1: buffers a batch interval's tuples in an HTable of
+/// per-key chains while progressively maintaining a CountTree of key
+/// frequencies under a per-key update budget.
+///
+/// The HTable value tracks the exact current frequency (Freq_Current), the
+/// frequency last reflected into the tree (Freq_Updated), the remaining
+/// budget, and the adaptive frequency/time steps. An incoming tuple triggers
+/// a tree reposition when it satisfies its key's f.step or t.step; otherwise
+/// the tuple is only chained. Seal() walks the tree in descending order —
+/// the quasi-sorted partitioner input — with no separate sorting pass.
+class MicrobatchAccumulator {
+ public:
+  explicit MicrobatchAccumulator(AccumulatorOptions options = {})
+      : options_(options), table_(1024) {}
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(MicrobatchAccumulator);
+
+  /// Starts a new batch interval [start, end). Clears all state.
+  void Begin(TimeMicros start, TimeMicros end);
+
+  /// Ingests one tuple; `t.ts` doubles as Time_Now (tuples arrive in
+  /// timestamp order per the model's assumptions).
+  void Add(const Tuple& t);
+
+  /// Ends the interval: in-order CountTree traversal producing the
+  /// quasi-sorted key list. The accumulator's arena stays alive (and the
+  /// returned view valid) until the next Begin().
+  AccumulatedBatch Seal();
+
+  /// Post-sort baseline (Fig. 14a): ignores the CountTree ordering and
+  /// exactly sorts keys by final frequency at seal time. Costs an explicit
+  /// O(K log K) sort on the critical path, which is what the paper's
+  /// "Post-Sort" configuration measures.
+  AccumulatedBatch SealWithPostSort();
+
+  uint64_t num_tuples() const { return num_tuples_; }
+  uint64_t num_keys() const { return table_.size(); }
+
+  /// Total CountTree repositionings in the current batch (test/ablation
+  /// observability: bounded by num_keys * budget).
+  uint64_t tree_updates() const { return tree_updates_; }
+
+  const AccumulatorOptions& options() const { return options_; }
+  void set_options(const AccumulatorOptions& o) { options_ = o; }
+
+ private:
+  struct KeyState {
+    uint64_t freq_current = 0;
+    uint64_t freq_updated = 0;
+    uint32_t budget_left = 0;
+    uint64_t f_step = 1;
+    TimeMicros t_next = 0;
+    uint32_t head = SortedKeyRun::kNoTuple;
+    uint32_t tail = SortedKeyRun::kNoTuple;
+  };
+
+  void TreeUpdate(KeyId key, KeyState& ks, TimeMicros now);
+  AccumulatedBatch MakeBatch(std::vector<SortedKeyRun> keys) const;
+
+  AccumulatorOptions options_;
+  FlatMap<KeyState> table_;
+  CountTree tree_;
+  std::vector<Tuple> arena_;
+  std::vector<uint32_t> next_;
+  TimeMicros batch_start_ = 0;
+  TimeMicros batch_end_ = 0;
+  uint64_t num_tuples_ = 0;
+  uint64_t initial_f_step_ = 1;
+  uint64_t tree_updates_ = 0;
+};
+
+}  // namespace prompt

@@ -1,0 +1,114 @@
+#include "core/elastic_controller.h"
+
+#include <algorithm>
+
+namespace prompt {
+
+ElasticController::ElasticController(ElasticityOptions options,
+                                     uint32_t initial_map_tasks,
+                                     uint32_t initial_reduce_tasks)
+    : options_(options),
+      map_tasks_(initial_map_tasks),
+      reduce_tasks_(initial_reduce_tasks),
+      rate_trend_(options.trend_lookback),
+      keys_trend_(options.trend_lookback) {}
+
+ElasticityZone ElasticController::ZoneOf(double w,
+                                         const ElasticityOptions& options) {
+  if (w > options.threshold) return ElasticityZone::kOverloaded;
+  if (w < options.threshold - options.step) {
+    return ElasticityZone::kUnderUtilized;
+  }
+  return ElasticityZone::kStable;
+}
+
+ScaleDecision ElasticController::OnBatchCompleted(double w,
+                                                  uint64_t num_tuples,
+                                                  uint64_t num_keys) {
+  rate_trend_.Observe(static_cast<double>(num_tuples));
+  keys_trend_.Observe(static_cast<double>(num_keys));
+
+  ScaleDecision decision;
+  decision.zone = ZoneOf(w, options_);
+
+  switch (decision.zone) {
+    case ElasticityZone::kOverloaded:
+      ++above_count_;
+      below_count_ = 0;
+      break;
+    case ElasticityZone::kUnderUtilized:
+      ++below_count_;
+      above_count_ = 0;
+      break;
+    case ElasticityZone::kStable:
+      above_count_ = 0;
+      below_count_ = 0;
+      break;
+  }
+
+  // The grace period after an action blocks *reverse* decisions only
+  // (paper §6): continued scaling in the same direction stays allowed, so
+  // the controller can track a sustained ramp one increment per d batches.
+  const bool grace_active = grace_remaining_ > 0;
+  if (grace_active) --grace_remaining_;
+
+  if (above_count_ >= options_.d) {
+    if (grace_active && last_direction_ < 0) {
+      decision.in_grace_period = true;
+      above_count_ = 0;
+      return decision;
+    }
+    // Scale OUT. Rate increase ⇒ more Mappers; cardinality increase ⇒ more
+    // Reducers; if neither statistic moved, the workload got more expensive
+    // per tuple — grow both so W recovers.
+    const bool rate_up = rate_trend_.Increasing();
+    const bool keys_up = keys_trend_.Increasing();
+    if (rate_up || (!rate_up && !keys_up)) {
+      if (map_tasks_ < options_.max_map_tasks) {
+        decision.delta_map = 1;
+      }
+    }
+    if (keys_up || (!rate_up && !keys_up)) {
+      if (reduce_tasks_ < options_.max_reduce_tasks) {
+        decision.delta_reduce = 1;
+      }
+    }
+    above_count_ = 0;
+  } else if (below_count_ >= options_.d) {
+    if (grace_active && last_direction_ > 0) {
+      decision.in_grace_period = true;
+      below_count_ = 0;
+      return decision;
+    }
+    // Scale IN, by the same criteria: remove the task type whose driving
+    // statistic decreased; if neither moved, shrink both lazily.
+    const bool rate_down = rate_trend_.Decreasing();
+    const bool keys_down = keys_trend_.Decreasing();
+    if (rate_down || (!rate_down && !keys_down)) {
+      if (map_tasks_ > options_.min_map_tasks) {
+        decision.delta_map = -1;
+      }
+    }
+    if (keys_down || (!rate_down && !keys_down)) {
+      if (reduce_tasks_ > options_.min_reduce_tasks) {
+        decision.delta_reduce = -1;
+      }
+    }
+    below_count_ = 0;
+  }
+
+  if (decision.changed()) {
+    map_tasks_ = static_cast<uint32_t>(
+        std::clamp<int64_t>(static_cast<int64_t>(map_tasks_) + decision.delta_map,
+                            options_.min_map_tasks, options_.max_map_tasks));
+    reduce_tasks_ = static_cast<uint32_t>(std::clamp<int64_t>(
+        static_cast<int64_t>(reduce_tasks_) + decision.delta_reduce,
+        options_.min_reduce_tasks, options_.max_reduce_tasks));
+    grace_remaining_ = options_.d;
+    last_direction_ =
+        (decision.delta_map + decision.delta_reduce) > 0 ? 1 : -1;
+  }
+  return decision;
+}
+
+}  // namespace prompt

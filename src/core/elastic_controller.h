@@ -1,0 +1,76 @@
+// Latency-aware auto-scaling (paper §6, Algorithm 4): a threshold-based
+// controller over W = processing_time / batch_interval with three elasticity
+// zones and a rate-vs-cardinality rule for choosing what to scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/ewma.h"
+
+namespace prompt {
+
+/// \brief Controller thresholds (paper defaults: thres = 90%, step = 10%,
+/// d consecutive batches before acting, plus a grace period of d batches
+/// after any action during which no reverse decision is made).
+struct ElasticityOptions {
+  double threshold = 0.90;  ///< L_thres: scale OUT above this W
+  double step = 0.10;       ///< L_step: scale IN below threshold - step
+  int d = 3;                ///< consecutive batches required to act
+  uint32_t min_map_tasks = 1;
+  uint32_t min_reduce_tasks = 1;
+  uint32_t max_map_tasks = 256;
+  uint32_t max_reduce_tasks = 256;
+  /// Lookback for the rate/cardinality trend tests of Alg. 4.
+  int trend_lookback = 3;
+};
+
+/// \brief Elasticity zone of the current batch (Fig. 9b).
+enum class ElasticityZone {
+  kUnderUtilized,  ///< Zone 1: W < threshold - step, resources removable
+  kStable,         ///< Zone 2: within the stability band
+  kOverloaded,     ///< Zone 3: W > threshold, resources must be added
+};
+
+/// \brief Scaling decision for the next batch's execution graph.
+struct ScaleDecision {
+  int32_t delta_map = 0;
+  int32_t delta_reduce = 0;
+  ElasticityZone zone = ElasticityZone::kStable;
+  bool in_grace_period = false;
+
+  bool changed() const { return delta_map != 0 || delta_reduce != 0; }
+};
+
+/// \brief Algorithm 4. Call OnBatchCompleted once per finished batch with
+/// its observed W and workload statistics; apply the returned deltas to the
+/// execution graph before scheduling the next batch.
+class ElasticController {
+ public:
+  ElasticController(ElasticityOptions options, uint32_t initial_map_tasks,
+                    uint32_t initial_reduce_tasks);
+
+  /// \param w processing_time / batch_interval of the completed batch
+  /// \param num_tuples data-rate statistic from the buffering layer
+  /// \param num_keys data-distribution statistic from the buffering layer
+  ScaleDecision OnBatchCompleted(double w, uint64_t num_tuples,
+                                 uint64_t num_keys);
+
+  uint32_t map_tasks() const { return map_tasks_; }
+  uint32_t reduce_tasks() const { return reduce_tasks_; }
+
+  static ElasticityZone ZoneOf(double w, const ElasticityOptions& options);
+
+ private:
+  ElasticityOptions options_;
+  uint32_t map_tasks_;
+  uint32_t reduce_tasks_;
+  int above_count_ = 0;  ///< consecutive batches with W > threshold
+  int below_count_ = 0;  ///< consecutive batches with W < threshold - step
+  int grace_remaining_ = 0;
+  int last_direction_ = 0;  ///< +1 after scale-out, -1 after scale-in
+  TrendTracker rate_trend_;
+  TrendTracker keys_trend_;
+};
+
+}  // namespace prompt

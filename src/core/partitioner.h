@@ -1,0 +1,50 @@
+// Batching-phase partitioner interface: every technique compared in the
+// paper (Time-based, Shuffle, Hash, PK-2/PK-5, cAM, Prompt) implements it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "model/batch.h"
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief Produces a micro-batch's data blocks from the tuples of one batch
+/// interval.
+///
+/// Lifecycle per batch: Begin(p, start, end) → OnTuple(t)* → Seal(id).
+/// Online techniques place each tuple immediately in OnTuple; Prompt buffers
+/// in the frequency-aware accumulator and partitions holistically at Seal.
+/// Elasticity may change `p` between batches via Begin.
+class BatchPartitioner {
+ public:
+  virtual ~BatchPartitioner() = default;
+
+  /// Technique name as used in the paper's figures (e.g. "Prompt", "PK2").
+  virtual const char* name() const = 0;
+
+  /// Opens a batch interval [start, end) to be partitioned into `num_blocks`
+  /// data blocks. Discards any prior batch state.
+  virtual void Begin(uint32_t num_blocks, TimeMicros start,
+                     TimeMicros end) = 0;
+
+  /// Ingests one tuple of the current interval (timestamp order).
+  virtual void OnTuple(const Tuple& t) = 0;
+
+  /// Closes the batch and returns its data blocks with per-key fragment
+  /// summaries and split flags populated. `partition_cost` is set to the
+  /// wall time of the partitioning decision itself (Fig. 14b).
+  virtual PartitionedBatch Seal(uint64_t batch_id) = 0;
+
+  /// Receiver feedback after each batch: EWMA estimates of tuples per batch
+  /// (N_est) and distinct keys (K_avg). Techniques without runtime
+  /// statistics ignore it.
+  virtual void UpdateEstimates(uint64_t estimated_tuples, uint64_t avg_keys) {
+    (void)estimated_tuples;
+    (void)avg_keys;
+  }
+};
+
+}  // namespace prompt

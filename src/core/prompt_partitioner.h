@@ -1,0 +1,82 @@
+// Prompt's load-balanced batch partitioning (paper §4.2, Algorithm 2):
+// a heuristic for Balanced Bin Packing with Fragmentable Items (B-BPFI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "core/partitioner.h"
+
+namespace prompt {
+
+/// \brief One key-to-block placement of a partition plan. `skip`/`take`
+/// select a segment of the key's buffered tuple chain, so a fragmented key
+/// consumes its chain in disjoint segments across blocks.
+struct PlanPlacement {
+  uint32_t key_index = 0;  ///< index into AccumulatedBatch::keys()
+  uint64_t skip = 0;
+  uint64_t take = 0;
+};
+
+/// \brief Keys-to-blocks assignment produced by the B-BPFI heuristic.
+struct PartitionPlan {
+  std::vector<std::vector<PlanPlacement>> blocks;
+  uint64_t split_keys = 0;     ///< keys fragmented over 2+ blocks
+  uint64_t fragments = 0;      ///< total placements after per-block merging
+};
+
+/// \brief Options of the Prompt batching-phase partitioner.
+struct PromptPartitionerOptions {
+  AccumulatorOptions accumulator;
+  /// Use the exact post-sort at seal instead of the CountTree order
+  /// (the Fig. 14a "Post-Sort" ablation).
+  bool post_sort = false;
+};
+
+/// \brief Runs Algorithm 2 on a sealed batch: split keys larger than
+/// S_cut = P_size / P_cardinality round-robin, zigzag-assign the remaining
+/// keys (Best-Fit-Decreasing effect without size bookkeeping), then place
+/// residuals with Best-Fit preferring key locality.
+///
+/// Exposed separately from the BatchPartitioner wrapper so tests and the
+/// Fig. 6 ablation can exercise the plan construction in isolation.
+PartitionPlan BuildPromptPlan(const AccumulatedBatch& batch,
+                              uint32_t num_blocks);
+
+/// \brief Copies tuples into DataBlocks per the plan and computes each
+/// block's fragment summary (same-key placements within a block merge into
+/// one fragment).
+PartitionedBatch MaterializePlan(const AccumulatedBatch& batch,
+                                 const PartitionPlan& plan,
+                                 uint32_t num_blocks);
+
+/// \brief The full Prompt batching-phase pipeline: frequency-aware buffering
+/// (Alg. 1) + B-BPFI heuristic (Alg. 2).
+class PromptPartitioner final : public BatchPartitioner {
+ public:
+  explicit PromptPartitioner(PromptPartitionerOptions options = {})
+      : options_(options), accumulator_(options.accumulator) {}
+
+  const char* name() const override {
+    return options_.post_sort ? "Prompt+PostSort" : "Prompt";
+  }
+
+  void Begin(uint32_t num_blocks, TimeMicros start, TimeMicros end) override;
+  void OnTuple(const Tuple& t) override;
+  PartitionedBatch Seal(uint64_t batch_id) override;
+
+  /// Accumulator observability (tree updates etc.) for tests/ablations.
+  const MicrobatchAccumulator& accumulator() const { return accumulator_; }
+
+  /// Updates rate estimates fed into the next Begin (receiver EWMAs).
+  void UpdateEstimates(uint64_t estimated_tuples, uint64_t avg_keys) override;
+
+ private:
+  PromptPartitionerOptions options_;
+  MicrobatchAccumulator accumulator_;
+  uint32_t num_blocks_ = 1;
+  TimeMicros batch_end_ = 0;
+};
+
+}  // namespace prompt

@@ -1,0 +1,89 @@
+#include "core/reduce_allocator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.h"
+
+namespace prompt {
+
+namespace {
+// Seed shared by every Map task so split keys collide onto the same bucket
+// without coordination.
+constexpr uint64_t kReduceHashSeed = 0x5eedf00dULL;
+
+uint32_t BucketOf(KeyId key, uint32_t num_buckets) {
+  return static_cast<uint32_t>(HashKey(key, kReduceHashSeed) % num_buckets);
+}
+}  // namespace
+
+std::vector<uint32_t> HashReduceAllocator::Assign(
+    const std::vector<KeyCluster>& clusters, uint32_t num_buckets) {
+  std::vector<uint32_t> assignment(clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    assignment[i] = BucketOf(clusters[i].key, num_buckets);
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> PromptReduceAllocator::Assign(
+    const std::vector<KeyCluster>& clusters, uint32_t num_buckets) {
+  std::vector<uint32_t> assignment(clusters.size());
+  if (num_buckets == 0) return assignment;
+
+  // Expected even share per bucket (Alg. 3 line 1).
+  uint64_t total = 0;
+  for (const KeyCluster& c : clusters) total += c.size;
+  const double bucket_size =
+      static_cast<double>(total) / static_cast<double>(num_buckets);
+
+  // Lines 2-3: split keys must follow the global hash; they consume capacity.
+  std::vector<double> used(num_buckets, 0.0);
+  std::vector<size_t> non_split;
+  non_split.reserve(clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    if (clusters[i].split) {
+      uint32_t b = BucketOf(clusters[i].key, num_buckets);
+      assignment[i] = b;
+      used[b] += static_cast<double>(clusters[i].size);
+    } else {
+      non_split.push_back(i);
+    }
+  }
+
+  // Line 4: sort non-split clusters by decreasing size.
+  std::sort(non_split.begin(), non_split.end(), [&](size_t a, size_t b) {
+    return clusters[a].size != clusters[b].size
+               ? clusters[a].size > clusters[b].size
+               : clusters[a].key < clusters[b].key;
+  });
+
+  // Lines 5-12: Worst-Fit with bucket retirement — each chosen bucket
+  // leaves the candidate set until all buckets received a cluster, which
+  // also balances the number of clusters per bucket.
+  std::vector<char> available(num_buckets, 1);
+  uint32_t available_count = num_buckets;
+  for (size_t i : non_split) {
+    if (available_count == 0) {
+      std::fill(available.begin(), available.end(), 1);
+      available_count = num_buckets;
+    }
+    uint32_t best = 0;
+    double best_room = -1e300;
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      if (!available[b]) continue;
+      double room = bucket_size - used[b];
+      if (room > best_room) {
+        best_room = room;
+        best = b;
+      }
+    }
+    assignment[i] = best;
+    used[best] += static_cast<double>(clusters[i].size);
+    available[best] = 0;
+    --available_count;
+  }
+  return assignment;
+}
+
+}  // namespace prompt

@@ -1,0 +1,62 @@
+// Processing-phase partitioning (paper §5, Algorithm 3): each Map task
+// locally assigns its output key clusters to Reduce buckets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief One key cluster of a Map task's intermediate output: all values it
+/// produced for a key, plus the block reference-table bit saying whether the
+/// key is split across blocks of this batch.
+struct KeyCluster {
+  KeyId key = 0;
+  uint64_t size = 0;  ///< number of intermediate (k, v) pairs
+  bool split = false;
+};
+
+/// \brief Assigns each cluster index to a Reduce bucket.
+///
+/// Correctness constraint shared by all implementations: a *split* key must
+/// map to the same bucket from every Map task without coordination, so split
+/// keys always go through a deterministic hash. Implementations differ in
+/// how they place the non-split clusters.
+class ReduceAllocator {
+ public:
+  virtual ~ReduceAllocator() = default;
+  virtual const char* name() const = 0;
+
+  /// Returns assignment[i] = bucket of clusters[i], with num_buckets >= 1.
+  virtual std::vector<uint32_t> Assign(const std::vector<KeyCluster>& clusters,
+                                       uint32_t num_buckets) = 0;
+};
+
+/// \brief Baseline: bucket = hash(key) % r for every cluster (conventional
+/// Spark-style shuffle; Fig. 8a).
+class HashReduceAllocator final : public ReduceAllocator {
+ public:
+  const char* name() const override { return "HashShuffle"; }
+  std::vector<uint32_t> Assign(const std::vector<KeyCluster>& clusters,
+                               uint32_t num_buckets) override;
+};
+
+/// \brief Algorithm 3: split keys are hashed; non-split clusters are sorted
+/// by decreasing size and placed with Worst-Fit over remaining bucket
+/// capacity, removing each chosen bucket from candidacy until every bucket
+/// has received a cluster (balances cluster counts, limits overflow).
+///
+/// The expected bucket size |I|/r is computed from this Map task's own
+/// output only — no inter-task communication — and the residual capacity
+/// after hashing the split keys defines the variable bin capacities of the
+/// B-BPVC formulation.
+class PromptReduceAllocator final : public ReduceAllocator {
+ public:
+  const char* name() const override { return "PromptWorstFit"; }
+  std::vector<uint32_t> Assign(const std::vector<KeyCluster>& clusters,
+                               uint32_t num_buckets) override;
+};
+
+}  // namespace prompt

@@ -1,0 +1,44 @@
+#include "engine/backpressure.h"
+
+#include <algorithm>
+
+namespace prompt {
+
+bool IsStableRun(const RunSummary& summary, TimeMicros batch_interval,
+                 const StabilityCriteria& criteria) {
+  if (!summary.stable) return false;
+  if (summary.batches.size() <= criteria.warmup_batches) return false;
+  if (summary.MeanW(criteria.warmup_batches) > criteria.max_mean_w) {
+    return false;
+  }
+  const TimeMicros final_queue = summary.batches.back().queue_delay;
+  return static_cast<double>(final_queue) <=
+         criteria.max_final_queue_frac * static_cast<double>(batch_interval);
+}
+
+double FindMaxSustainableRate(
+    const std::function<RunSummary(double rate)>& run_at_rate,
+    TimeMicros batch_interval, double lo_rate, double hi_rate,
+    int iterations, const StabilityCriteria& criteria) {
+  PROMPT_CHECK(lo_rate > 0 && hi_rate > lo_rate);
+  // Ensure the bracket actually brackets: grow hi until unstable (bounded).
+  double lo = lo_rate;
+  double hi = hi_rate;
+  if (IsStableRun(run_at_rate(hi), batch_interval, criteria)) {
+    return hi;  // even the max probed rate is sustainable
+  }
+  if (!IsStableRun(run_at_rate(lo), batch_interval, criteria)) {
+    return 0;  // even the min probed rate overloads the system
+  }
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (IsStableRun(run_at_rate(mid), batch_interval, criteria)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace prompt

@@ -1,0 +1,41 @@
+// Back-pressure probe: finds the maximum sustainable ingestion rate — the
+// paper's throughput metric ("the triggering of Spark Streaming's
+// back-pressure is used to report the maximum throughput achieved", §7.2).
+#pragma once
+
+#include <functional>
+
+#include "engine/engine.h"
+
+namespace prompt {
+
+/// \brief Stability criterion parameters.
+struct StabilityCriteria {
+  /// Batches ignored at the start of a run (system warm-up, §7 measure 4).
+  size_t warmup_batches = 5;
+  /// Mean W = processing/interval over the measured batches must not exceed
+  /// this (1.0 = the stability line of Fig. 9a).
+  double max_mean_w = 1.0;
+  /// The pipeline must have caught up by the end: final queueing delay at
+  /// most this fraction of the batch interval.
+  double max_final_queue_frac = 0.5;
+};
+
+/// \brief True when the run kept processing time within the batch interval
+/// without accumulating queued batches.
+bool IsStableRun(const RunSummary& summary, TimeMicros batch_interval,
+                 const StabilityCriteria& criteria = {});
+
+/// \brief Binary-searches the highest offered rate (tuples/sec) for which
+/// `run_at_rate` reports a stable run. The callback builds a fresh
+/// source+engine at the given mean rate and returns its RunSummary.
+///
+/// Stability is monotone in offered load under a fixed configuration, so
+/// `iterations` bisection steps give lo-hi resolution of
+/// (hi - lo) / 2^iterations.
+double FindMaxSustainableRate(
+    const std::function<RunSummary(double rate)>& run_at_rate,
+    TimeMicros batch_interval, double lo_rate, double hi_rate,
+    int iterations = 12, const StabilityCriteria& criteria = {});
+
+}  // namespace prompt

@@ -1,0 +1,58 @@
+#include "engine/batch_resizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prompt {
+
+TimeMicros BatchIntervalController::OnBatchCompleted(
+    TimeMicros interval, TimeMicros processing_time) {
+  samples_.push_back(Sample{static_cast<double>(interval),
+                            static_cast<double>(processing_time)});
+  if (static_cast<int>(samples_.size()) > options_.lookback) {
+    samples_.pop_front();
+  }
+
+  const double t = static_cast<double>(interval);
+  const double target = options_.target_ratio;
+  double desired;
+
+  // Least squares proc = a*T + b over the lookback window.
+  const size_t n = samples_.size();
+  double sum_t = 0, sum_p = 0, sum_tt = 0, sum_tp = 0;
+  for (const Sample& s : samples_) {
+    sum_t += s.interval;
+    sum_p += s.processing;
+    sum_tt += s.interval * s.interval;
+    sum_tp += s.interval * s.processing;
+  }
+  const double denom = static_cast<double>(n) * sum_tt - sum_t * sum_t;
+  if (n >= 2 && std::abs(denom) > 1e-3 * sum_tt) {
+    const double a = (static_cast<double>(n) * sum_tp - sum_t * sum_p) / denom;
+    const double b = (sum_p - a * sum_t) / static_cast<double>(n);
+    if (a < target && b > 0) {
+      // Fixed point of a*T + b = target*T.
+      desired = b / (target - a);
+    } else if (a >= target) {
+      // Per-interval work rate alone exceeds the target: no interval can
+      // satisfy it (the system is overloaded); grow toward the max.
+      desired = static_cast<double>(options_.max_interval);
+    } else {
+      // Degenerate fit (b <= 0): fall back to the ratio step below.
+      desired = t * (static_cast<double>(processing_time) / t) / target;
+    }
+  } else {
+    // Too few distinct observations: multiplicative step from the observed
+    // ratio, proc/interval -> target.
+    const double ratio = static_cast<double>(processing_time) / t;
+    desired = t * ratio / target;
+  }
+
+  const double stepped = t + options_.gain * (desired - t);
+  const double clamped =
+      std::clamp(stepped, static_cast<double>(options_.min_interval),
+                 static_cast<double>(options_.max_interval));
+  return static_cast<TimeMicros>(clamped);
+}
+
+}  // namespace prompt

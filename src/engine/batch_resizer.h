@@ -1,0 +1,58 @@
+// Adaptive batch resizing — the alternative approach of Das et al. [12]
+// (§9 related work). Instead of repartitioning or scaling resources, the
+// batch interval itself is adjusted until processing time matches it.
+// Implemented as a comparison baseline: the paper's §1 argument is that
+// resizing stabilizes the system but inflates end-to-end latency, whereas
+// Prompt holds the interval (and thus the latency SLA) fixed.
+#pragma once
+
+#include <deque>
+
+#include "common/clock.h"
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief Controller parameters (defaults follow the fixed-point scheme of
+/// the original paper: target the interval slightly above processing time).
+struct BatchResizerOptions {
+  TimeMicros min_interval = Millis(100);
+  TimeMicros max_interval = Seconds(30);
+  /// Desired processing_time / interval ratio after convergence (< 1 keeps
+  /// slack for variance).
+  double target_ratio = 0.85;
+  /// Observations kept for the linear model of processing time vs interval.
+  int lookback = 6;
+  /// Fraction of the computed correction applied per step (damping).
+  double gain = 0.6;
+};
+
+/// \brief Estimates processing time as a linear function of the interval
+/// (proc(T) ≈ a·T + b: per-tuple work grows with the tuples a longer
+/// interval accumulates; b is the fixed stage overhead) and steps the
+/// interval toward the fixed point proc(T) = target_ratio · T.
+class BatchIntervalController {
+ public:
+  explicit BatchIntervalController(BatchResizerOptions options = {})
+      : options_(options) {
+    PROMPT_CHECK(options_.min_interval > 0);
+    PROMPT_CHECK(options_.max_interval >= options_.min_interval);
+    PROMPT_CHECK(options_.target_ratio > 0 && options_.target_ratio <= 1);
+  }
+
+  /// Feeds one completed batch; returns the interval for the next batch.
+  TimeMicros OnBatchCompleted(TimeMicros interval, TimeMicros processing_time);
+
+  const BatchResizerOptions& options() const { return options_; }
+
+ private:
+  struct Sample {
+    double interval;
+    double processing;
+  };
+
+  BatchResizerOptions options_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace prompt

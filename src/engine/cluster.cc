@@ -1,0 +1,184 @@
+#include "engine/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "engine/serde.h"
+
+namespace prompt {
+
+SimulatedCluster::SimulatedCluster(ClusterOptions options)
+    : options_(options), alive_(options.nodes, 1) {
+  PROMPT_CHECK(options.nodes >= 1);
+  PROMPT_CHECK(options.cores_per_node >= 1);
+  PROMPT_CHECK(options.replication_factor >= 1);
+}
+
+uint32_t SimulatedCluster::alive_nodes() const {
+  uint32_t n = 0;
+  for (char a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+Status SimulatedCluster::KillNode(uint32_t node) {
+  if (node >= alive_.size()) return Status::OutOfRange("no such node");
+  if (!alive_[node]) return Status::Invalid("node already dead");
+  alive_[node] = 0;
+  return Status::OK();
+}
+
+Status SimulatedCluster::ReviveNode(uint32_t node) {
+  if (node >= alive_.size()) return Status::OutOfRange("no such node");
+  if (alive_[node]) return Status::Invalid("node already alive");
+  alive_[node] = 1;
+  return Status::OK();
+}
+
+Result<std::vector<BlockPlacement>> SimulatedCluster::PlaceBlocks(
+    uint32_t num_blocks) const {
+  std::vector<uint32_t> alive_ids;
+  for (uint32_t n = 0; n < options_.nodes; ++n) {
+    if (alive_[n]) alive_ids.push_back(n);
+  }
+  const uint32_t rf = std::min<uint32_t>(options_.replication_factor,
+                                         static_cast<uint32_t>(alive_ids.size()));
+  if (rf == 0) return Status::ResourceExhausted("no alive nodes to place on");
+
+  std::vector<BlockPlacement> placements(num_blocks);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    BlockPlacement& p = placements[b];
+    p.replicas.reserve(rf);
+    for (uint32_t r = 0; r < rf; ++r) {
+      p.replicas.push_back(alive_ids[(b + r) % alive_ids.size()]);
+    }
+  }
+  return placements;
+}
+
+Result<uint32_t> SimulatedCluster::PreferredNode(
+    const BlockPlacement& placement) const {
+  for (uint32_t node : placement.replicas) {
+    if (alive(node)) return node;
+  }
+  return Status::KeyError("all replicas of the block were lost");
+}
+
+LocalityStageResult ScheduleMapStageWithLocality(
+    const std::vector<TimeMicros>& durations,
+    const std::vector<BlockPlacement>& placements,
+    const SimulatedCluster& cluster) {
+  PROMPT_CHECK(durations.size() == placements.size());
+  LocalityStageResult result;
+  result.completion.assign(durations.size(), 0);
+  if (durations.empty()) return result;
+
+  // Per-node min-heaps of core free times (dead nodes get no cores).
+  std::vector<std::priority_queue<TimeMicros, std::vector<TimeMicros>,
+                                  std::greater<TimeMicros>>>
+      cores(cluster.nodes());
+  for (uint32_t n = 0; n < cluster.nodes(); ++n) {
+    if (!cluster.alive(n)) continue;
+    for (uint32_t c = 0; c < cluster.cores_per_node(); ++c) cores[n].push(0);
+  }
+
+  std::vector<size_t> order(durations.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return durations[a] > durations[b];
+  });
+
+  const double penalty = cluster.options().remote_read_penalty;
+  for (size_t idx : order) {
+    // Earliest-finishing local (replica-holding) option.
+    int best_local = -1;
+    TimeMicros best_local_finish = 0;
+    for (uint32_t n : placements[idx].replicas) {
+      if (!cluster.alive(n) || cores[n].empty()) continue;
+      TimeMicros finish = cores[n].top() + durations[idx];
+      if (best_local < 0 || finish < best_local_finish) {
+        best_local = static_cast<int>(n);
+        best_local_finish = finish;
+      }
+    }
+    // Earliest-finishing option anywhere, paying the remote penalty.
+    int best_any = -1;
+    TimeMicros best_any_finish = 0;
+    const TimeMicros remote_cost = static_cast<TimeMicros>(
+        static_cast<double>(durations[idx]) * (1.0 + penalty));
+    for (uint32_t n = 0; n < cluster.nodes(); ++n) {
+      if (!cluster.alive(n) || cores[n].empty()) continue;
+      TimeMicros finish = cores[n].top() + remote_cost;
+      if (best_any < 0 || finish < best_any_finish) {
+        best_any = static_cast<int>(n);
+        best_any_finish = finish;
+      }
+    }
+    PROMPT_CHECK_MSG(best_local >= 0 || best_any >= 0,
+                     "no alive cores in the cluster");
+
+    uint32_t node;
+    TimeMicros finish;
+    if (best_local >= 0 &&
+        (best_any < 0 || best_local_finish <= best_any_finish)) {
+      node = static_cast<uint32_t>(best_local);
+      finish = best_local_finish;
+    } else {
+      node = static_cast<uint32_t>(best_any);
+      finish = best_any_finish;
+      ++result.remote_tasks;
+    }
+    cores[node].pop();
+    cores[node].push(finish);
+    result.completion[idx] = finish;
+    result.makespan = std::max(result.makespan, finish);
+  }
+  return result;
+}
+
+Status BatchStore::Write(const PartitionedBatch& batch) {
+  std::vector<uint32_t> targets;
+  for (uint32_t n = 0; n < cluster_->nodes(); ++n) {
+    if (cluster_->alive(n)) targets.push_back(n);
+  }
+  if (targets.empty()) {
+    return Status::ResourceExhausted("no alive nodes for replication");
+  }
+  const uint32_t rf = std::min<uint32_t>(
+      cluster_->options().replication_factor,
+      static_cast<uint32_t>(targets.size()));
+  std::string bytes = EncodeBatch(batch);
+  auto& copies = replicas_[batch.batch_id];
+  copies.clear();
+  // Spread replica sets by batch id so one failure doesn't hit every batch.
+  const size_t start = batch.batch_id % targets.size();
+  for (uint32_t r = 0; r < rf; ++r) {
+    copies[targets[(start + r) % targets.size()]] = bytes;
+  }
+  return Status::OK();
+}
+
+Result<PartitionedBatch> BatchStore::Read(uint64_t batch_id) const {
+  auto it = replicas_.find(batch_id);
+  if (it == replicas_.end()) {
+    return Status::KeyError("batch " + std::to_string(batch_id) +
+                            " not in the store");
+  }
+  for (const auto& [node, bytes] : it->second) {
+    if (cluster_->alive(node)) return DecodeBatch(bytes);
+  }
+  return Status::Unknown("every replica of batch " + std::to_string(batch_id) +
+                         " was lost");
+}
+
+void BatchStore::Evict(uint64_t batch_id) { replicas_.erase(batch_id); }
+
+size_t BatchStore::BytesOnNode(uint32_t node) const {
+  size_t total = 0;
+  for (const auto& [id, copies] : replicas_) {
+    auto it = copies.find(node);
+    if (it != copies.end()) total += it->second.size();
+  }
+  return total;
+}
+
+}  // namespace prompt

@@ -1,0 +1,116 @@
+// Simulated cluster: nodes × cores, replicated block placement, locality-
+// aware stage scheduling, and node-failure injection. Models the EC2
+// deployment of §7 and the batch-replication consistency story of §8.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/scheduler.h"
+#include "model/batch.h"
+
+namespace prompt {
+
+/// \brief Cluster shape and data-placement policy.
+struct ClusterOptions {
+  uint32_t nodes = 4;
+  uint32_t cores_per_node = 4;
+  /// Copies kept of every data block (§8: "exactly-once semantics is
+  /// guaranteed by initially replicating the input batch"). 1 = no fault
+  /// tolerance.
+  uint32_t replication_factor = 2;
+  /// Cost multiplier for a Map task reading its block from a non-replica
+  /// node (network transfer).
+  double remote_read_penalty = 0.25;
+};
+
+/// \brief Where a block's replicas live. replicas[0] is the primary.
+struct BlockPlacement {
+  std::vector<uint32_t> replicas;
+};
+
+/// \brief Nodes, failures, and block placement.
+class SimulatedCluster {
+ public:
+  explicit SimulatedCluster(ClusterOptions options);
+
+  uint32_t nodes() const { return options_.nodes; }
+  uint32_t cores_per_node() const { return options_.cores_per_node; }
+  uint32_t alive_nodes() const;
+  uint32_t total_alive_cores() const {
+    return alive_nodes() * options_.cores_per_node;
+  }
+  const ClusterOptions& options() const { return options_; }
+
+  bool alive(uint32_t node) const {
+    return node < alive_.size() && alive_[node];
+  }
+
+  /// Fails a node: its memory (replica copies) is lost and its cores stop
+  /// accepting tasks until Revive.
+  Status KillNode(uint32_t node);
+  Status ReviveNode(uint32_t node);
+
+  /// Round-robin placement of `num_blocks` blocks with
+  /// `replication_factor` distinct alive nodes each.
+  Result<std::vector<BlockPlacement>> PlaceBlocks(uint32_t num_blocks) const;
+
+  /// The first alive replica of a placement, or KeyError when every replica
+  /// was lost (the batch is unrecoverable).
+  Result<uint32_t> PreferredNode(const BlockPlacement& placement) const;
+
+ private:
+  ClusterOptions options_;
+  std::vector<char> alive_;
+};
+
+/// \brief Locality-aware map-stage schedule.
+struct LocalityStageResult {
+  TimeMicros makespan = 0;
+  std::vector<TimeMicros> completion;
+  uint32_t remote_tasks = 0;  ///< tasks that paid the remote-read penalty
+};
+
+/// \brief Schedules map tasks over per-node core pools. Each task prefers a
+/// node holding a replica of its block; it runs remotely (duration scaled by
+/// 1 + remote_read_penalty) only when that finishes earlier than waiting for
+/// a local core — Spark-style delay-scheduling in spirit.
+LocalityStageResult ScheduleMapStageWithLocality(
+    const std::vector<TimeMicros>& durations,
+    const std::vector<BlockPlacement>& placements,
+    const SimulatedCluster& cluster);
+
+/// \brief Per-node in-memory store of serialized batches (§8 replication).
+///
+/// Write() encodes the batch once and places a copy on each replica node of
+/// its placement set; KillNode on the cluster makes those copies
+/// unreadable; Read() recovers the batch from any surviving replica.
+class BatchStore {
+ public:
+  explicit BatchStore(const SimulatedCluster* cluster) : cluster_(cluster) {}
+
+  /// Stores the batch on `replication_factor` alive nodes.
+  Status Write(const PartitionedBatch& batch);
+
+  /// Recovers a batch from any alive replica; KeyError if unknown,
+  /// Unknown if every replica's node is dead.
+  Result<PartitionedBatch> Read(uint64_t batch_id) const;
+
+  /// Drops a batch's replicas everywhere (it expired from the window and is
+  /// no longer needed for recovery — §8's garbage collection rule).
+  void Evict(uint64_t batch_id);
+
+  /// Total bytes held on the given node (capacity accounting).
+  size_t BytesOnNode(uint32_t node) const;
+
+ private:
+  const SimulatedCluster* cluster_;
+  // batch id -> (node -> serialized copy). Copies on dead nodes are kept in
+  // the map but unreadable, mirroring memory lost with the process.
+  std::map<uint64_t, std::map<uint32_t, std::string>> replicas_;
+};
+
+}  // namespace prompt

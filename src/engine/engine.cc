@@ -1,0 +1,341 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace prompt {
+
+double RunSummary::MeanW(size_t warmup) const {
+  if (batches.size() <= warmup) return 0;
+  double sum = 0;
+  for (size_t i = warmup; i < batches.size(); ++i) sum += batches[i].w;
+  return sum / static_cast<double>(batches.size() - warmup);
+}
+
+double RunSummary::MeanThroughputTuplesPerSec(TimeMicros interval,
+                                              size_t warmup) const {
+  if (batches.size() <= warmup || interval <= 0) return 0;
+  uint64_t tuples = 0;
+  for (size_t i = warmup; i < batches.size(); ++i) {
+    tuples += batches[i].num_tuples;
+  }
+  const double seconds =
+      ToSeconds(interval) * static_cast<double>(batches.size() - warmup);
+  return static_cast<double>(tuples) / seconds;
+}
+
+MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
+                                   std::unique_ptr<BatchPartitioner> partitioner,
+                                   TupleSource* source)
+    : options_(options),
+      job_(std::move(job)),
+      partitioner_(std::move(partitioner)),
+      source_(source),
+      map_tasks_(options.map_tasks),
+      reduce_tasks_(options.reduce_tasks) {
+  PROMPT_CHECK(partitioner_ != nullptr);
+  PROMPT_CHECK(source_ != nullptr);
+  PROMPT_CHECK(options_.batch_interval > 0);
+  if (options_.use_prompt_reduce) {
+    allocator_ = std::make_unique<PromptReduceAllocator>();
+  } else {
+    allocator_ = std::make_unique<HashReduceAllocator>();
+  }
+  executor_ = std::make_unique<BatchExecutor>(job_, CostModel(options_.cost),
+                                              allocator_.get(), options_.mode);
+  window_ = std::make_unique<WindowState>(job_.reduce, job_.window_batches);
+  if (options_.elasticity_enabled) {
+    elastic_ = std::make_unique<ElasticController>(
+        options_.elasticity, options_.map_tasks, options_.reduce_tasks);
+  }
+  if (options_.mode == ExecutionMode::kReal) {
+    pool_ = std::make_unique<ThreadPool>(options_.cores);
+  }
+  if (options_.cluster_enabled) {
+    cluster_ = std::make_unique<SimulatedCluster>(options_.cluster);
+    store_ = std::make_unique<BatchStore>(cluster_.get());
+  }
+  current_interval_ = options_.batch_interval;
+  if (options_.batch_resizing_enabled) {
+    resizer_ = std::make_unique<BatchIntervalController>(options_.batch_resizer);
+  }
+}
+
+MicroBatchEngine::~MicroBatchEngine() = default;
+
+BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
+                                           TimeMicros interval) {
+  BatchReport report;
+  report.batch_id = batch.batch_id;
+  report.batch_interval = interval;
+  report.num_tuples = batch.num_tuples;
+  report.num_keys = batch.num_keys;
+  report.map_tasks = static_cast<uint32_t>(batch.blocks.size());
+  report.reduce_tasks = reduce_tasks_;
+  report.partition_cost = batch.partition_cost;
+
+  // Early Batch Release (§4.2): the partitioner worked during the slack
+  // before the heartbeat; only the excess delays processing.
+  const TimeMicros slack = static_cast<TimeMicros>(
+      options_.early_release_frac * static_cast<double>(interval));
+  const TimeMicros scaled_cost = static_cast<TimeMicros>(
+      options_.cost.partition_cost_scale *
+      static_cast<double>(batch.partition_cost));
+  report.partition_overflow = std::max<TimeMicros>(0, scaled_cost - slack);
+
+  if (options_.collect_partition_metrics) {
+    report.partition_metrics = ComputeBlockMetrics(batch, options_.mpi_weights);
+  }
+
+  const uint32_t cluster_cores =
+      cluster_ != nullptr ? std::max<uint32_t>(1, cluster_->total_alive_cores())
+                          : options_.cores;
+  const uint32_t map_cores =
+      options_.cores_track_tasks
+          ? std::max<uint32_t>(1, static_cast<uint32_t>(batch.blocks.size()))
+          : cluster_cores;
+  const uint32_t reduce_cores =
+      options_.cores_track_tasks ? std::max<uint32_t>(1, reduce_tasks_)
+                                 : cluster_cores;
+
+  // Execute both stages (scheduler uses the smaller of the two core counts
+  // internally per stage via two calls).
+  BatchExecution exec;
+  {
+    // BatchExecutor schedules each stage with one core count; when the two
+    // differ (elasticity), run it with map cores and rescale the reduce
+    // stage below.
+    exec = executor_->Execute(batch, reduce_tasks_, map_cores, pool_.get());
+    if (reduce_cores != map_cores) {
+      StageSchedule rs = ScheduleStage(exec.reduce_task_costs, reduce_cores);
+      exec.reduce_makespan = rs.makespan;
+      exec.reduce_completions = std::move(rs.completion);
+    }
+  }
+
+  if (cluster_ != nullptr) {
+    // Re-schedule the Map stage with data locality over per-node cores:
+    // every task prefers a node holding a replica of its block.
+    auto placements =
+        cluster_->PlaceBlocks(static_cast<uint32_t>(batch.blocks.size()));
+    if (placements.ok()) {
+      LocalityStageResult locality = ScheduleMapStageWithLocality(
+          exec.map_task_costs, *placements, *cluster_);
+      exec.map_makespan = locality.makespan;
+      report.remote_map_tasks = locality.remote_tasks;
+    }
+  }
+
+  report.map_makespan = exec.map_makespan;
+  report.reduce_makespan = exec.reduce_makespan;
+  report.processing_time =
+      report.partition_overflow + exec.map_makespan + exec.reduce_makespan;
+  report.w = static_cast<double>(report.processing_time) /
+             static_cast<double>(interval);
+  report.reduce_bucket_bsi = BucketSizeImbalance(exec.bucket_tuples);
+
+  if (!exec.reduce_completions.empty()) {
+    double sum = 0, lo = 1e300, hi = 0;
+    for (TimeMicros c : exec.reduce_completions) {
+      double ms = static_cast<double>(c) / 1000.0;
+      sum += ms;
+      lo = std::min(lo, ms);
+      hi = std::max(hi, ms);
+    }
+    report.reduce_completion_mean_ms =
+        sum / static_cast<double>(exec.reduce_completions.size());
+    report.reduce_completion_min_ms = lo;
+    report.reduce_completion_max_ms = hi;
+  }
+
+  // Extra queries run their Map/Reduce stages over the same blocks
+  // sequentially (one shared cluster), extending the batch's processing
+  // time the way consecutive Spark jobs on one context would.
+  for (ExtraQuery& extra : extra_queries_) {
+    BatchExecution extra_exec =
+        extra.executor->Execute(batch, reduce_tasks_, map_cores, pool_.get());
+    report.processing_time +=
+        extra_exec.map_makespan + extra_exec.reduce_makespan;
+    extra.window->AddBatch(std::move(extra_exec.output));
+  }
+  if (!extra_queries_.empty()) {
+    report.w = static_cast<double>(report.processing_time) /
+               static_cast<double>(interval);
+  }
+
+  if (options_.replicate_input) {
+    last_replica_ = std::make_unique<PartitionedBatch>(batch);
+    last_output_ = exec.output;
+  }
+  if (store_ != nullptr) {
+    // §8: replicate the sealed input batch across nodes; copies are only
+    // needed while the batch is inside the query window.
+    Status st = store_->Write(batch);
+    if (!st.ok()) {
+      PROMPT_LOG(kWarn) << "batch replication failed: " << st.ToString();
+    }
+    if (batch.batch_id >= job_.window_batches) {
+      store_->Evict(batch.batch_id - job_.window_batches);
+    }
+  }
+  window_->AddBatch(std::move(exec.output));
+  return report;
+}
+
+Result<size_t> MicroBatchEngine::AddQuery(JobSpec job) {
+  if (run_started_) {
+    return Status::Invalid("AddQuery must be called before the first Run");
+  }
+  ExtraQuery extra;
+  extra.executor = std::make_unique<BatchExecutor>(
+      job, CostModel(options_.cost), allocator_.get(), options_.mode);
+  extra.window = std::make_unique<WindowState>(job.reduce, job.window_batches);
+  extra.job = std::move(job);
+  extra_queries_.push_back(std::move(extra));
+  return extra_queries_.size() - 1;
+}
+
+Result<const WindowState*> MicroBatchEngine::QueryWindow(
+    size_t query_id) const {
+  if (query_id >= extra_queries_.size()) {
+    return Status::OutOfRange("no such query id");
+  }
+  return static_cast<const WindowState*>(extra_queries_[query_id].window.get());
+}
+
+Status MicroBatchEngine::KillNode(uint32_t node) {
+  if (cluster_ == nullptr) return Status::Invalid("cluster mode disabled");
+  return cluster_->KillNode(node);
+}
+
+Status MicroBatchEngine::ReviveNode(uint32_t node) {
+  if (cluster_ == nullptr) return Status::Invalid("cluster mode disabled");
+  return cluster_->ReviveNode(node);
+}
+
+Result<std::vector<KV>> MicroBatchEngine::RecomputeBatchFromStore(
+    uint64_t batch_id) {
+  if (store_ == nullptr) return Status::Invalid("cluster mode disabled");
+  PROMPT_ASSIGN_OR_RETURN(PartitionedBatch batch, store_->Read(batch_id));
+  BatchExecution redo = executor_->Execute(
+      batch, reduce_tasks_,
+      std::max<uint32_t>(1, cluster_->total_alive_cores()), pool_.get());
+  return std::move(redo.output);
+}
+
+RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
+  run_started_ = true;
+  RunSummary summary;
+  summary.batches.reserve(num_batches);
+
+  for (uint32_t i = 0; i < num_batches; ++i) {
+    const TimeMicros interval = current_interval_;
+    const TimeMicros start = next_batch_start_;
+    const TimeMicros end = start + interval;
+    next_batch_start_ = end;
+
+    // --- Batching phase: accumulate this interval's tuples. ---
+    partitioner_->Begin(map_tasks_, start, end);
+    if (have_pending_ && pending_.ts < end) {
+      partitioner_->OnTuple(pending_);
+      have_pending_ = false;
+    }
+    if (!have_pending_) {
+      Tuple t;
+      while (source_->Next(&t)) {
+        if (t.ts >= end) {
+          pending_ = t;
+          have_pending_ = true;
+          break;
+        }
+        partitioner_->OnTuple(t);
+      }
+    }
+
+    PartitionedBatch batch = partitioner_->Seal(next_batch_id_++);
+
+    // --- Processing phase: starts at the heartbeat, or when the pipeline
+    // frees if earlier batches are still running (queueing). ---
+    const TimeMicros proc_start = std::max(end, pipeline_free_at_);
+    BatchReport report = ProcessBatch(std::move(batch), interval);
+    report.queue_delay = proc_start - end;
+    pipeline_free_at_ = proc_start + report.processing_time;
+    report.latency = pipeline_free_at_ - start;
+
+    // Stability accounting (back-pressure would engage past the bound).
+    if (static_cast<double>(report.queue_delay) >
+        options_.unstable_queue_intervals * static_cast<double>(interval)) {
+      summary.stable = false;
+      summary.unstable_at_batch =
+          std::min(summary.unstable_at_batch, report.batch_id);
+    }
+
+    // --- Feedback loops. ---
+    // Receiver estimates for Alg. 1 (N_est, K_avg).
+    const double alpha = 0.4;
+    if (!est_init_) {
+      est_tuples_ = static_cast<double>(report.num_tuples);
+      est_keys_ = static_cast<double>(report.num_keys);
+      est_init_ = true;
+    } else {
+      est_tuples_ = alpha * static_cast<double>(report.num_tuples) +
+                    (1 - alpha) * est_tuples_;
+      est_keys_ = alpha * static_cast<double>(report.num_keys) +
+                  (1 - alpha) * est_keys_;
+    }
+    partitioner_->UpdateEstimates(static_cast<uint64_t>(est_tuples_),
+                                  static_cast<uint64_t>(est_keys_));
+
+    // Batch resizing baseline [12]: step the next interval toward the
+    // fixed point processing_time = target * interval.
+    if (resizer_ != nullptr) {
+      current_interval_ =
+          resizer_->OnBatchCompleted(interval, report.processing_time);
+    }
+
+    // Alg. 4 elasticity.
+    if (elastic_ != nullptr) {
+      ScaleDecision d = elastic_->OnBatchCompleted(
+          report.w, report.num_tuples, report.num_keys);
+      (void)d;
+      map_tasks_ = elastic_->map_tasks();
+      reduce_tasks_ = elastic_->reduce_tasks();
+    }
+
+    summary.batches.push_back(report);
+  }
+  return summary;
+}
+
+Status MicroBatchEngine::VerifyRecoveryOfLastBatch() {
+  if (!options_.replicate_input) {
+    return Status::Invalid("replication disabled; enable replicate_input");
+  }
+  if (last_replica_ == nullptr) {
+    return Status::Invalid("no batch has been processed yet");
+  }
+  // Recompute from the replicated input blocks, exactly as the recovery
+  // path would after losing the batch's state (§8).
+  BatchExecution redo = executor_->Execute(
+      *last_replica_, reduce_tasks_, options_.cores, pool_.get());
+  std::unordered_map<KeyId, double> original;
+  for (const KV& kv : last_output_) original[kv.key] = kv.value;
+  if (redo.output.size() != last_output_.size()) {
+    return Status::Unknown("recomputed output cardinality mismatch");
+  }
+  for (const KV& kv : redo.output) {
+    auto it = original.find(kv.key);
+    if (it == original.end()) {
+      return Status::Unknown("recomputed output contains unexpected key");
+    }
+    if (std::abs(it->second - kv.value) > 1e-9 * std::max(1.0, std::abs(it->second))) {
+      return Status::Unknown("recomputed aggregate differs (not exactly-once)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prompt

@@ -1,0 +1,215 @@
+// MicroBatchEngine: the distributed micro-batch stream-processing substrate
+// (a from-scratch Spark-Streaming-style engine) that hosts the partitioning
+// techniques under test.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/elastic_controller.h"
+#include "engine/batch_resizer.h"
+#include "engine/cluster.h"
+#include "core/partitioner.h"
+#include "core/reduce_allocator.h"
+#include "engine/execution.h"
+#include "engine/window.h"
+#include "stats/metrics.h"
+#include "workload/source.h"
+
+namespace prompt {
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  /// Heartbeat period; fixed per run to honor the application's latency SLA
+  /// (the paper's design constraint 1).
+  TimeMicros batch_interval = Seconds(1);
+  /// Initial Map parallelism = number of data blocks per batch (the paper
+  /// bounds blocks by available cores).
+  uint32_t map_tasks = 8;
+  uint32_t reduce_tasks = 8;
+  /// Simulated processing cores available to the scheduler.
+  uint32_t cores = 8;
+  /// When true (elasticity experiments), each stage gets as many cores as it
+  /// has tasks — resources are "available on-demand" (§3.1 constraint 2).
+  bool cores_track_tasks = false;
+  /// Early Batch Release slack as a fraction of the interval (§4.2, ≤5%).
+  double early_release_frac = 0.05;
+  CostModelParams cost;
+  ExecutionMode mode = ExecutionMode::kSimulated;
+  /// Alg. 3 Worst-Fit Reduce allocation (true) vs conventional hashing.
+  bool use_prompt_reduce = true;
+  bool elasticity_enabled = false;
+  ElasticityOptions elasticity;
+  /// Compute BSI/BCI/KSR/MPI per batch (costs a pass over fragments).
+  bool collect_partition_metrics = false;
+  MpiWeights mpi_weights;
+  /// §8 consistency: replicate each batch's input blocks so a failed batch
+  /// can be recomputed exactly-once.
+  bool replicate_input = false;
+  /// Run over a simulated multi-node cluster instead of a flat core pool:
+  /// replicated block placement, locality-aware Map scheduling, per-node
+  /// batch replicas, node-failure injection (KillNode).
+  bool cluster_enabled = false;
+  ClusterOptions cluster;
+  /// Adaptive batch resizing (Das et al. [12]) — a comparison baseline that
+  /// grows/shrinks the batch interval instead of fixing it. Mutually
+  /// exclusive with elasticity in experiments (the paper contrasts them).
+  bool batch_resizing_enabled = false;
+  BatchResizerOptions batch_resizer;
+  /// Declare the run unstable once queueing delay exceeds this many
+  /// intervals (back-pressure would have engaged).
+  double unstable_queue_intervals = 8.0;
+};
+
+/// \brief Per-batch observability record.
+struct BatchReport {
+  uint64_t batch_id = 0;
+  /// Interval this batch accumulated over (varies under batch resizing).
+  TimeMicros batch_interval = 0;
+  uint64_t num_tuples = 0;
+  uint64_t num_keys = 0;
+  uint32_t map_tasks = 0;
+  uint32_t reduce_tasks = 0;
+  TimeMicros partition_cost = 0;      ///< measured partitioner decision time
+  TimeMicros partition_overflow = 0;  ///< part exceeding the release slack
+  TimeMicros map_makespan = 0;
+  TimeMicros reduce_makespan = 0;
+  TimeMicros processing_time = 0;  ///< overflow + map + reduce makespans
+  TimeMicros queue_delay = 0;      ///< wait behind earlier batches
+  TimeMicros latency = 0;          ///< end-to-end: interval + queue + proc
+  double w = 0;                    ///< processing_time / batch_interval
+  PartitionMetrics partition_metrics;  ///< zeros unless collection enabled
+  double reduce_bucket_bsi = 0;        ///< Eqn. 3 over this batch's buckets
+  /// Reduce-task completion spread within the batch (Fig. 13): mean and
+  /// max-min band of completion times relative to reduce-stage start.
+  double reduce_completion_mean_ms = 0;
+  double reduce_completion_min_ms = 0;
+  double reduce_completion_max_ms = 0;
+  /// Map tasks that read their block remotely (cluster mode only).
+  uint32_t remote_map_tasks = 0;
+};
+
+/// \brief Summary over a run.
+struct RunSummary {
+  std::vector<BatchReport> batches;
+  bool stable = true;
+  /// First batch id at which the queue exceeded the instability bound
+  /// (UINT64_MAX when the run stayed stable).
+  uint64_t unstable_at_batch = UINT64_MAX;
+
+  double MeanW(size_t warmup = 0) const;
+  double MeanThroughputTuplesPerSec(TimeMicros interval,
+                                    size_t warmup = 0) const;
+};
+
+/// \brief Ties together source → partitioner → executor → window, repeating
+/// the batching/processing pipeline with batching of batch x+1 overlapped
+/// with processing of batch x (paper Fig. 2).
+class MicroBatchEngine {
+ public:
+  /// \param source not owned; must outlive the engine.
+  MicroBatchEngine(EngineOptions options, JobSpec job,
+                   std::unique_ptr<BatchPartitioner> partitioner,
+                   TupleSource* source);
+  ~MicroBatchEngine();
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(MicroBatchEngine);
+
+  /// Runs `num_batches` batch intervals and returns per-batch reports.
+  /// Callable repeatedly; state (window, clock, queue) carries over.
+  RunSummary Run(uint32_t num_batches);
+
+  /// Current windowed query answer. Checkpoint() is available through this
+  /// reference; restoring goes through RestoreWindow below.
+  const WindowState& window() const { return *window_; }
+
+  /// Replaces the window state from a WindowState::Checkpoint() blob (e.g.
+  /// on planned restart). The checkpoint's window geometry must match.
+  Status RestoreWindow(const std::string& checkpoint) {
+    return window_->Restore(checkpoint);
+  }
+
+  /// Registers an additional streaming query sharing this engine's batching
+  /// phase: the same partitioned blocks feed every query's Map/Reduce
+  /// pipeline sequentially (key-based partitioning is query-agnostic, so
+  /// batching work is done once). Must be called before the first Run.
+  /// Returns an id for QueryWindow().
+  Result<size_t> AddQuery(JobSpec job);
+
+  /// Windowed answer of an extra query registered with AddQuery.
+  Result<const WindowState*> QueryWindow(size_t query_id) const;
+
+  /// Current parallelism (after any elastic scaling).
+  uint32_t map_tasks() const { return map_tasks_; }
+  uint32_t reduce_tasks() const { return reduce_tasks_; }
+
+  /// §8 fault tolerance: recomputes the most recent batch from its
+  /// replicated input blocks and verifies the recomputed output matches the
+  /// original (exactly-once at batch granularity). Requires
+  /// options.replicate_input.
+  Status VerifyRecoveryOfLastBatch();
+
+  // ---- Cluster mode (options.cluster_enabled) ----
+
+  /// Injects a node failure / recovery into the simulated cluster.
+  Status KillNode(uint32_t node);
+  Status ReviveNode(uint32_t node);
+
+  /// Recomputes a batch's per-key output from the replicas surviving in the
+  /// BatchStore — the §8 recovery path after losing a batch's state.
+  /// KeyError if the batch already expired from the store; Unknown when all
+  /// replicas died with their nodes.
+  Result<std::vector<KV>> RecomputeBatchFromStore(uint64_t batch_id);
+
+  const SimulatedCluster* cluster() const { return cluster_.get(); }
+  const BatchStore* store() const { return store_.get(); }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  BatchReport ProcessBatch(PartitionedBatch batch, TimeMicros interval);
+
+  EngineOptions options_;
+  JobSpec job_;
+  std::unique_ptr<BatchPartitioner> partitioner_;
+  TupleSource* source_;
+  std::unique_ptr<ReduceAllocator> allocator_;
+  std::unique_ptr<BatchExecutor> executor_;
+  std::unique_ptr<WindowState> window_;
+  std::unique_ptr<ElasticController> elastic_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SimulatedCluster> cluster_;
+  std::unique_ptr<BatchStore> store_;
+
+  // Extra queries sharing the batching phase (AddQuery).
+  struct ExtraQuery {
+    JobSpec job;
+    std::unique_ptr<BatchExecutor> executor;
+    std::unique_ptr<WindowState> window;
+  };
+  std::vector<ExtraQuery> extra_queries_;
+  bool run_started_ = false;
+
+  uint32_t map_tasks_;
+  uint32_t reduce_tasks_;
+  TimeMicros current_interval_ = 0;
+  std::unique_ptr<BatchIntervalController> resizer_;
+  uint64_t next_batch_id_ = 0;
+  TimeMicros next_batch_start_ = 0;
+  TimeMicros pipeline_free_at_ = 0;  ///< when the processing pipeline frees
+  bool have_pending_ = false;
+  Tuple pending_{};  ///< one-tuple lookahead across batch boundaries
+
+  // EWMA estimates feeding Alg. 1's N_est and K_avg.
+  double est_tuples_ = 0;
+  double est_keys_ = 0;
+  bool est_init_ = false;
+
+  // Replica of the last batch's input + output for recovery verification.
+  std::unique_ptr<PartitionedBatch> last_replica_;
+  std::vector<KV> last_output_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,158 @@
+#include "engine/execution.h"
+
+#include <algorithm>
+
+#include "common/flat_map.h"
+#include "common/thread_pool.h"
+
+namespace prompt {
+
+BatchExecutor::BatchExecutor(JobSpec job, CostModel cost_model,
+                             ReduceAllocator* allocator, ExecutionMode mode)
+    : job_(std::move(job)),
+      cost_model_(cost_model),
+      allocator_(allocator),
+      mode_(mode) {
+  PROMPT_CHECK(allocator_ != nullptr);
+}
+
+std::vector<MapCluster> BatchExecutor::RunMapTask(
+    const DataBlock& block) const {
+  // Split flags from the block reference table (written at batching time).
+  FlatMap<char> split_keys(block.cardinality() + 8);
+  for (const KeyFragment& f : block.fragments()) {
+    if (f.split) split_keys.GetOrInsert(f.key) = 1;
+  }
+
+  struct Agg {
+    uint64_t size = 0;
+    double partial = 0.0;
+    bool init = false;
+  };
+  FlatMap<Agg> clusters(block.cardinality() + 8);
+  std::vector<KV> emitted;
+  emitted.reserve(2);
+  for (const Tuple& t : block.tuples()) {
+    emitted.clear();
+    job_.map->Map(t, &emitted);
+    for (const KV& kv : emitted) {
+      Agg& agg = clusters.GetOrInsert(kv.key);
+      if (!agg.init) {
+        agg.partial = job_.reduce->Identity();
+        agg.init = true;
+      }
+      agg.partial = job_.reduce->Combine(agg.partial, kv.value);
+      ++agg.size;
+    }
+  }
+
+  std::vector<MapCluster> out;
+  out.reserve(clusters.size());
+  clusters.ForEach([&](KeyId key, const Agg& agg) {
+    const char* split = split_keys.Find(key);
+    out.push_back(MapCluster{key, agg.size, split != nullptr, agg.partial});
+  });
+  return out;
+}
+
+BatchExecution BatchExecutor::Execute(const PartitionedBatch& batch,
+                                      uint32_t reduce_tasks, uint32_t cores,
+                                      ThreadPool* pool) {
+  PROMPT_CHECK(reduce_tasks >= 1);
+  PROMPT_CHECK(cores >= 1);
+  BatchExecution exec;
+  const size_t m = batch.blocks.size();
+  std::vector<std::vector<MapCluster>> map_outputs(m);
+  exec.map_task_costs.assign(m, 0);
+
+  // --- Map stage ---
+  if (mode_ == ExecutionMode::kReal && pool != nullptr) {
+    for (size_t i = 0; i < m; ++i) {
+      pool->Submit([this, i, &batch, &map_outputs, &exec] {
+        Stopwatch watch;
+        map_outputs[i] = RunMapTask(batch.blocks[i]);
+        exec.map_task_costs[i] = std::max<TimeMicros>(1, watch.ElapsedMicros());
+      });
+    }
+    pool->WaitIdle();
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      map_outputs[i] = RunMapTask(batch.blocks[i]);
+      exec.map_task_costs[i] = cost_model_.MapTaskCost(
+          batch.blocks[i].size(), batch.blocks[i].cardinality());
+    }
+  }
+  exec.map_makespan = ScheduleStage(exec.map_task_costs, cores).makespan;
+
+  // --- Shuffle: each Map task independently assigns its clusters to the
+  // Reduce buckets (Alg. 3 for Prompt, hashing for the baselines). ---
+  struct Agg {
+    double value = 0.0;
+    bool init = false;
+  };
+  std::vector<FlatMap<Agg>> bucket_state;
+  bucket_state.reserve(reduce_tasks);
+  for (uint32_t j = 0; j < reduce_tasks; ++j) bucket_state.emplace_back(256);
+  exec.bucket_tuples.assign(reduce_tasks, 0);
+  exec.bucket_clusters.assign(reduce_tasks, 0);
+
+  std::vector<KeyCluster> view;
+  for (size_t i = 0; i < m; ++i) {
+    const auto& clusters = map_outputs[i];
+    view.clear();
+    view.reserve(clusters.size());
+    for (const MapCluster& c : clusters) {
+      view.push_back(KeyCluster{c.key, c.size, c.split});
+    }
+    std::vector<uint32_t> assignment = allocator_->Assign(view, reduce_tasks);
+    PROMPT_CHECK(assignment.size() == clusters.size());
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      const uint32_t j = assignment[c];
+      PROMPT_CHECK(j < reduce_tasks);
+      Agg& agg = bucket_state[j].GetOrInsert(clusters[c].key);
+      if (!agg.init) {
+        agg.value = job_.reduce->Identity();
+        agg.init = true;
+      }
+      agg.value = job_.reduce->Combine(agg.value, clusters[c].partial);
+      exec.bucket_tuples[j] += clusters[c].size;
+      ++exec.bucket_clusters[j];
+    }
+  }
+
+  // --- Reduce stage ---
+  exec.reduce_task_costs.assign(reduce_tasks, 0);
+  for (uint32_t j = 0; j < reduce_tasks; ++j) {
+    if (mode_ == ExecutionMode::kReal) {
+      // The merge already happened while draining the shuffle; model the
+      // measured cost as proportional to the real merged volume by timing a
+      // walk over the bucket (cheap but non-zero).
+      Stopwatch watch;
+      volatile double sink = 0;
+      bucket_state[j].ForEach([&sink](KeyId, const Agg& a) {
+        sink = sink + a.value;
+      });
+      exec.reduce_task_costs[j] = std::max<TimeMicros>(
+          1, watch.ElapsedMicros() +
+                 static_cast<TimeMicros>(exec.bucket_tuples[j] / 100));
+    } else {
+      exec.reduce_task_costs[j] = cost_model_.ReduceTaskCost(ReduceTaskInput{
+          exec.bucket_tuples[j], exec.bucket_clusters[j]});
+    }
+  }
+  StageSchedule reduce_schedule = ScheduleStage(exec.reduce_task_costs, cores);
+  exec.reduce_makespan = reduce_schedule.makespan;
+  exec.reduce_completions = std::move(reduce_schedule.completion);
+
+  // --- Batch output: per-key aggregates (keys are disjoint across buckets
+  // because non-split keys live in one block and split keys hash
+  // consistently). ---
+  for (uint32_t j = 0; j < reduce_tasks; ++j) {
+    bucket_state[j].ForEach([&exec](KeyId key, const Agg& agg) {
+      exec.output.push_back(KV{key, agg.value});
+    });
+  }
+  return exec;
+}
+
+}  // namespace prompt

@@ -1,0 +1,5 @@
+// Forwarding header: the job definition lives in the data-model layer so
+// substrates below the engine (workload catalogs) can reference it.
+#pragma once
+
+#include "model/job.h"

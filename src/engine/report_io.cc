@@ -1,0 +1,93 @@
+#include "engine/report_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace prompt {
+
+namespace {
+constexpr const char* kHeader =
+    "batch_id,interval_us,tuples,keys,map_tasks,reduce_tasks,"
+    "partition_cost_us,map_makespan_us,reduce_makespan_us,processing_us,"
+    "queue_us,latency_us,w,bsi,bci,ksr,mpi,reduce_bucket_bsi";
+}  // namespace
+
+void WriteReportsCsv(const std::vector<BatchReport>& reports,
+                     std::ostream* out) {
+  // Round-trippable doubles.
+  out->precision(17);
+  *out << kHeader << "\n";
+  for (const BatchReport& b : reports) {
+    *out << b.batch_id << ',' << b.batch_interval << ',' << b.num_tuples
+         << ',' << b.num_keys << ',' << b.map_tasks << ',' << b.reduce_tasks
+         << ',' << b.partition_cost << ',' << b.map_makespan << ','
+         << b.reduce_makespan << ',' << b.processing_time << ','
+         << b.queue_delay << ',' << b.latency << ',' << b.w << ','
+         << b.partition_metrics.bsi << ',' << b.partition_metrics.bci << ','
+         << b.partition_metrics.ksr << ',' << b.partition_metrics.mpi << ','
+         << b.reduce_bucket_bsi << "\n";
+  }
+}
+
+Status WriteReportsCsvFile(const std::vector<BatchReport>& reports,
+                           const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  WriteReportsCsv(reports, &file);
+  file.flush();
+  if (!file.good()) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::vector<BatchReport>> ReadReportsCsv(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) || line != kHeader) {
+    return Status::Invalid("missing or unexpected CSV header");
+  }
+  std::vector<BatchReport> reports;
+  size_t line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    if (cells.size() != 18) {
+      return Status::Invalid("line " + std::to_string(line_no) + " has " +
+                             std::to_string(cells.size()) +
+                             " fields, expected 18");
+    }
+    try {
+      BatchReport b;
+      size_t i = 0;
+      b.batch_id = std::stoull(cells[i++]);
+      b.batch_interval = std::stoll(cells[i++]);
+      b.num_tuples = std::stoull(cells[i++]);
+      b.num_keys = std::stoull(cells[i++]);
+      b.map_tasks = static_cast<uint32_t>(std::stoul(cells[i++]));
+      b.reduce_tasks = static_cast<uint32_t>(std::stoul(cells[i++]));
+      b.partition_cost = std::stoll(cells[i++]);
+      b.map_makespan = std::stoll(cells[i++]);
+      b.reduce_makespan = std::stoll(cells[i++]);
+      b.processing_time = std::stoll(cells[i++]);
+      b.queue_delay = std::stoll(cells[i++]);
+      b.latency = std::stoll(cells[i++]);
+      b.w = std::stod(cells[i++]);
+      b.partition_metrics.bsi = std::stod(cells[i++]);
+      b.partition_metrics.bci = std::stod(cells[i++]);
+      b.partition_metrics.ksr = std::stod(cells[i++]);
+      b.partition_metrics.mpi = std::stod(cells[i++]);
+      b.reduce_bucket_bsi = std::stod(cells[i++]);
+      reports.push_back(b);
+    } catch (...) {
+      return Status::Invalid("unparsable number on line " +
+                             std::to_string(line_no));
+    }
+  }
+  return reports;
+}
+
+}  // namespace prompt

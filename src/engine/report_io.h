@@ -1,0 +1,29 @@
+// CSV export of per-batch reports, so harness output can be plotted or
+// diffed without re-running experiments.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+
+namespace prompt {
+
+/// \brief Writes the reports as CSV with a header row. Columns:
+/// batch_id,interval_us,tuples,keys,map_tasks,reduce_tasks,partition_cost_us,
+/// map_makespan_us,reduce_makespan_us,processing_us,queue_us,latency_us,w,
+/// bsi,bci,ksr,mpi,reduce_bucket_bsi
+void WriteReportsCsv(const std::vector<BatchReport>& reports,
+                     std::ostream* out);
+
+/// \brief Writes the CSV to a file path; IOError on failure.
+Status WriteReportsCsvFile(const std::vector<BatchReport>& reports,
+                           const std::string& path);
+
+/// \brief Parses a CSV produced by WriteReportsCsv back into reports
+/// (fields not serialized stay default). Invalid on malformed input.
+Result<std::vector<BatchReport>> ReadReportsCsv(std::istream* in);
+
+}  // namespace prompt

@@ -1,0 +1,41 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace prompt {
+
+StageSchedule ScheduleStage(const std::vector<TimeMicros>& durations,
+                            uint32_t cores) {
+  PROMPT_CHECK(cores >= 1);
+  StageSchedule schedule;
+  schedule.completion.assign(durations.size(), 0);
+  if (durations.empty()) return schedule;
+
+  std::vector<size_t> order(durations.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return durations[a] > durations[b];
+  });
+
+  // Min-heap of core free times.
+  std::priority_queue<TimeMicros, std::vector<TimeMicros>,
+                      std::greater<TimeMicros>>
+      free_at;
+  for (uint32_t c = 0; c < cores; ++c) free_at.push(0);
+
+  for (size_t idx : order) {
+    TimeMicros start = free_at.top();
+    free_at.pop();
+    TimeMicros end = start + durations[idx];
+    schedule.completion[idx] = end;
+    schedule.makespan = std::max(schedule.makespan, end);
+    free_at.push(end);
+  }
+  return schedule;
+}
+
+}  // namespace prompt

@@ -1,0 +1,27 @@
+// Task scheduling over the simulated cluster's cores: computes stage
+// makespans the way a Spark-style scheduler would fill free cores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace prompt {
+
+/// \brief Completion profile of one stage (Map wave or Reduce wave).
+struct StageSchedule {
+  TimeMicros makespan = 0;
+  /// Completion time of each task relative to stage start, in input order.
+  std::vector<TimeMicros> completion;
+};
+
+/// \brief Schedules tasks with the given durations onto `cores` identical
+/// cores using Longest-Processing-Time list scheduling (sort by decreasing
+/// duration, always assign to the earliest-free core). With tasks <= cores
+/// the makespan reduces to the max task duration — exactly the
+/// `max MapTaskTime + max ReduceTaskTime` processing-time model of Eqn. 1.
+StageSchedule ScheduleStage(const std::vector<TimeMicros>& durations,
+                            uint32_t cores);
+
+}  // namespace prompt

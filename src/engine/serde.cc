@@ -1,0 +1,166 @@
+#include "engine/serde.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace prompt {
+
+namespace {
+
+constexpr uint32_t kBatchMagic = 0x50524d42;  // "PRMB"
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+void PutI64(int64_t v, std::string* out) { PutU64(static_cast<uint64_t>(v), out); }
+void PutF64(double v, std::string* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(bits, out);
+}
+
+bool GetU32(const std::string& in, size_t* off, uint32_t* v) {
+  if (*off + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *off, 4);
+  *off += 4;
+  return true;
+}
+bool GetU64(const std::string& in, size_t* off, uint64_t* v) {
+  if (*off + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *off, 8);
+  *off += 8;
+  return true;
+}
+bool GetI64(const std::string& in, size_t* off, int64_t* v) {
+  return GetU64(in, off, reinterpret_cast<uint64_t*>(v));
+}
+bool GetF64(const std::string& in, size_t* off, double* v) {
+  uint64_t bits;
+  if (!GetU64(in, off, &bits)) return false;
+  std::memcpy(v, &bits, 8);
+  return true;
+}
+
+uint64_t Checksum(const std::string& bytes, size_t from) {
+  // FNV over the payload, mixed; cheap and adequate for corruption checks.
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = from; i < bytes.size(); ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
+    h *= 1099511628211ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+void EncodeBlock(const DataBlock& block, std::string* out) {
+  PutU32(block.block_id(), out);
+  PutU64(block.size(), out);
+  PutU64(block.cardinality(), out);
+  for (const Tuple& t : block.tuples()) {
+    PutI64(t.ts, out);
+    PutU64(t.key, out);
+    PutF64(t.value, out);
+  }
+  for (const KeyFragment& f : block.fragments()) {
+    PutU64(f.key, out);
+    PutU64(f.count, out);
+    out->push_back(f.split ? 1 : 0);
+  }
+}
+
+Result<DataBlock> DecodeBlock(const std::string& bytes, size_t* offset) {
+  uint32_t block_id = 0;
+  uint64_t tuples = 0, fragments = 0;
+  if (!GetU32(bytes, offset, &block_id) || !GetU64(bytes, offset, &tuples) ||
+      !GetU64(bytes, offset, &fragments)) {
+    return Status::Invalid("truncated block header");
+  }
+  // Sanity bound: each tuple needs 24 bytes, each fragment 17.
+  if (tuples * 24 + fragments * 17 > bytes.size() - *offset) {
+    return Status::Invalid("block header inconsistent with payload size");
+  }
+  DataBlock block(block_id);
+  block.mutable_tuples().reserve(tuples);
+  for (uint64_t i = 0; i < tuples; ++i) {
+    Tuple t;
+    if (!GetI64(bytes, offset, &t.ts) || !GetU64(bytes, offset, &t.key) ||
+        !GetF64(bytes, offset, &t.value)) {
+      return Status::Invalid("truncated tuple payload");
+    }
+    block.Append(t);
+  }
+  auto& frags = block.mutable_fragments();
+  frags.reserve(fragments);
+  for (uint64_t i = 0; i < fragments; ++i) {
+    KeyFragment f;
+    if (!GetU64(bytes, offset, &f.key) || !GetU64(bytes, offset, &f.count) ||
+        *offset >= bytes.size()) {
+      return Status::Invalid("truncated fragment payload");
+    }
+    f.split = bytes[(*offset)++] != 0;
+    frags.push_back(f);
+  }
+  return block;
+}
+
+std::string EncodeBatch(const PartitionedBatch& batch) {
+  std::string payload;
+  PutU64(batch.batch_id, &payload);
+  PutI64(batch.seal_time, &payload);
+  PutU64(batch.num_tuples, &payload);
+  PutU64(batch.num_keys, &payload);
+  PutI64(batch.partition_cost, &payload);
+  PutU32(static_cast<uint32_t>(batch.blocks.size()), &payload);
+  for (const DataBlock& block : batch.blocks) EncodeBlock(block, &payload);
+
+  std::string out;
+  PutU32(kBatchMagic, &out);
+  PutU64(Checksum(payload, 0), &out);
+  out += payload;
+  return out;
+}
+
+Result<PartitionedBatch> DecodeBatch(const std::string& bytes) {
+  size_t off = 0;
+  uint32_t magic = 0;
+  uint64_t checksum = 0;
+  if (!GetU32(bytes, &off, &magic) || magic != kBatchMagic) {
+    return Status::Invalid("bad batch magic");
+  }
+  if (!GetU64(bytes, &off, &checksum)) {
+    return Status::Invalid("truncated checksum");
+  }
+  if (Checksum(bytes, off) != checksum) {
+    return Status::Invalid("batch payload checksum mismatch");
+  }
+  PartitionedBatch batch;
+  uint32_t num_blocks = 0;
+  if (!GetU64(bytes, &off, &batch.batch_id) ||
+      !GetI64(bytes, &off, &batch.seal_time) ||
+      !GetU64(bytes, &off, &batch.num_tuples) ||
+      !GetU64(bytes, &off, &batch.num_keys) ||
+      !GetI64(bytes, &off, &batch.partition_cost) ||
+      !GetU32(bytes, &off, &num_blocks)) {
+    return Status::Invalid("truncated batch header");
+  }
+  batch.blocks.reserve(num_blocks);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    PROMPT_ASSIGN_OR_RETURN(DataBlock block, DecodeBlock(bytes, &off));
+    batch.blocks.push_back(std::move(block));
+  }
+  if (off != bytes.size()) {
+    return Status::Invalid("trailing bytes after batch payload");
+  }
+  return batch;
+}
+
+}  // namespace prompt

@@ -1,0 +1,30 @@
+// Binary serialization of sealed blocks and batches — the "seal and
+// serialize the data blocks and place them on the memory of the cluster
+// nodes" step of the paper's batching module (§7), and the representation
+// the replication store (§8) keeps per node.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "model/batch.h"
+
+namespace prompt {
+
+/// \brief Appends the little-endian wire encoding of a block to `out`.
+///
+/// Layout: block_id, tuple count, fragment count, tuples (ts, key, value),
+/// fragments (key, count, split).
+void EncodeBlock(const DataBlock& block, std::string* out);
+
+/// \brief Decodes one block starting at `*offset`; advances the offset.
+Result<DataBlock> DecodeBlock(const std::string& bytes, size_t* offset);
+
+/// \brief Encodes a whole partitioned batch (header + every block).
+std::string EncodeBatch(const PartitionedBatch& batch);
+
+/// \brief Decodes a batch; fails with Status::Invalid on truncation or a
+/// corrupted header, and verifies the checksum of the payload.
+Result<PartitionedBatch> DecodeBatch(const std::string& bytes);
+
+}  // namespace prompt

@@ -1,0 +1,97 @@
+// Sliding-window query state over batch outputs (paper Fig. 3): the answer
+// aggregates the last W batch outputs; expiring batches are subtracted via
+// the inverse Reduce function instead of recomputation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/job.h"
+
+namespace prompt {
+
+/// \brief Maintains the windowed query answer incrementally.
+class WindowState {
+ public:
+  WindowState(std::shared_ptr<ReduceFunction> reduce, uint32_t window_batches)
+      : reduce_(std::move(reduce)), window_batches_(window_batches) {}
+
+  /// Folds one batch's per-key output into the window, expiring the oldest
+  /// batch when the window is full. Invertible aggregates retract the
+  /// expired batch with the inverse Reduce; non-invertible ones (MIN/MAX)
+  /// recompute the window answer from the retained batch outputs.
+  void AddBatch(std::vector<KV> batch_output) {
+    const bool incremental = reduce_->invertible();
+    if (incremental) {
+      for (const KV& kv : batch_output) {
+        auto [it, inserted] = result_.try_emplace(kv.key, reduce_->Identity());
+        it->second = reduce_->Combine(it->second, kv.value);
+      }
+    }
+    history_.push_back(std::move(batch_output));
+    bool expired = false;
+    if (history_.size() > window_batches_) {
+      if (incremental) {
+        for (const KV& kv : history_.front()) {
+          auto it = result_.find(kv.key);
+          if (it == result_.end()) continue;
+          it->second = reduce_->Inverse(it->second, kv.value);
+          if (it->second == reduce_->Identity()) result_.erase(it);
+        }
+      }
+      history_.pop_front();
+      expired = true;
+    }
+    if (!incremental) {
+      // Recompute only when needed: before the window fills, folding the new
+      // batch is enough; after an expiry the whole window is rebuilt.
+      if (expired) {
+        result_.clear();
+        for (const auto& batch : history_) {
+          for (const KV& kv : batch) {
+            auto [it, inserted] =
+                result_.try_emplace(kv.key, reduce_->Identity());
+            it->second = reduce_->Combine(it->second, kv.value);
+          }
+        }
+      } else {
+        for (const KV& kv : history_.back()) {
+          auto [it, inserted] =
+              result_.try_emplace(kv.key, reduce_->Identity());
+          it->second = reduce_->Combine(it->second, kv.value);
+        }
+      }
+    }
+  }
+
+  /// Current window answer: key -> aggregate over in-window batches.
+  const std::unordered_map<KeyId, double>& Result() const { return result_; }
+
+  /// Number of batches currently inside the window.
+  size_t depth() const { return history_.size(); }
+
+  uint32_t window_batches() const { return window_batches_; }
+
+  /// Top-k keys by aggregate (TopKCount workload helper).
+  std::vector<KV> TopK(size_t k) const;
+
+  /// Serializes the retained batch outputs (the window's authoritative
+  /// state — the result map is derivable). Restore() rebuilds both; §8
+  /// keeps state recoverable by recomputation, and checkpointing the
+  /// per-batch outputs shortcuts that for planned restarts.
+  std::string Checkpoint() const;
+  Status Restore(const std::string& bytes);
+
+ private:
+  std::shared_ptr<ReduceFunction> reduce_;
+  uint32_t window_batches_;
+  std::deque<std::vector<KV>> history_;
+  std::unordered_map<KeyId, double> result_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,70 @@
+// DataBlock: the unit of Map-stage parallelism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief One partition of a micro-batch, processed by exactly one Map task.
+///
+/// A block carries its tuples plus a per-key summary (the block "reference
+/// table" of §5): fragment counts and split flags. Batching-phase
+/// partitioners produce blocks; the scheduler hands each to a Map task.
+class DataBlock {
+ public:
+  DataBlock() = default;
+  explicit DataBlock(uint32_t block_id) : block_id_(block_id) {}
+
+  uint32_t block_id() const { return block_id_; }
+  void set_block_id(uint32_t id) { block_id_ = id; }
+
+  /// Number of tuples (the |block| of Eqn. 2).
+  uint64_t size() const { return tuples_.size(); }
+  /// Number of distinct keys (the ||block|| of Eqn. 4).
+  uint64_t cardinality() const { return fragments_.size(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  /// Per-key fragments; valid after Finalize() (or for blocks built directly
+  /// from a partition plan).
+  const std::vector<KeyFragment>& fragments() const { return fragments_; }
+  std::vector<KeyFragment>& mutable_fragments() { return fragments_; }
+
+  /// Appends a tuple (online partitioners build blocks tuple-at-a-time).
+  void Append(const Tuple& t) { tuples_.push_back(t); }
+
+  /// Computes the per-key fragment summary from the stored tuples. Online
+  /// partitioners call this once at batch seal; plan-driven construction
+  /// (Prompt) fills fragments_ directly instead.
+  void Finalize() {
+    FlatMap<uint64_t> counts(tuples_.size() / 2 + 8);
+    for (const Tuple& t : tuples_) ++counts.GetOrInsert(t.key);
+    fragments_.clear();
+    fragments_.reserve(counts.size());
+    counts.ForEach([this](KeyId k, uint64_t c) {
+      fragments_.push_back(KeyFragment{k, c, false});
+    });
+  }
+
+  /// Marks the given key split (present in other blocks too).
+  void MarkSplit(KeyId key) {
+    for (auto& f : fragments_) {
+      if (f.key == key) {
+        f.split = true;
+        return;
+      }
+    }
+  }
+
+ private:
+  uint32_t block_id_ = 0;
+  std::vector<Tuple> tuples_;
+  std::vector<KeyFragment> fragments_;
+};
+
+}  // namespace prompt

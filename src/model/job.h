@@ -1,0 +1,141 @@
+// Streaming query definition: a Map-Reduce computation applied to every
+// micro-batch, with windowed aggregation over batch outputs (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief One intermediate (key, value) pair emitted by the Map stage.
+struct KV {
+  KeyId key = 0;
+  double value = 0.0;
+};
+
+/// \brief User Map function: Map(k, v) -> list of (k', v').
+class MapFunction {
+ public:
+  virtual ~MapFunction() = default;
+  virtual void Map(const Tuple& t, std::vector<KV>* out) const = 0;
+};
+
+/// \brief Associative, commutative Reduce, optionally with an inverse for
+/// incremental window retraction (paper Fig. 3: expired batches are
+/// subtracted from the window answer instead of recomputing it).
+class ReduceFunction {
+ public:
+  virtual ~ReduceFunction() = default;
+  virtual double Identity() const = 0;
+  virtual double Combine(double a, double b) const = 0;
+  /// True when Inverse() is exact. Non-invertible aggregates (MIN/MAX) make
+  /// the window fall back to recomputation over the in-window batches —
+  /// the "redundant recalculation" the paper's inverse functions avoid.
+  virtual bool invertible() const { return true; }
+  /// Removes `expired` from `aggregate` (the inverse Reduce of [43]).
+  /// Only called when invertible() is true.
+  virtual double Inverse(double aggregate, double expired) const = 0;
+};
+
+/// \brief Map stage of WordCount-style queries: emit (key, 1).
+class CountMap final : public MapFunction {
+ public:
+  void Map(const Tuple& t, std::vector<KV>* out) const override {
+    out->push_back(KV{t.key, 1.0});
+  }
+};
+
+/// \brief Map stage of per-key SUM queries: emit (key, value).
+class ValueMap final : public MapFunction {
+ public:
+  void Map(const Tuple& t, std::vector<KV>* out) const override {
+    out->push_back(KV{t.key, t.value});
+  }
+};
+
+/// \brief Map stage applying a filter predicate before emitting (key, value).
+class FilterMap final : public MapFunction {
+ public:
+  explicit FilterMap(std::function<bool(const Tuple&)> pred)
+      : pred_(std::move(pred)) {}
+  void Map(const Tuple& t, std::vector<KV>* out) const override {
+    if (pred_(t)) out->push_back(KV{t.key, t.value});
+  }
+
+ private:
+  std::function<bool(const Tuple&)> pred_;
+};
+
+/// \brief SUM / COUNT aggregation with subtraction as the inverse.
+class SumReduce final : public ReduceFunction {
+ public:
+  double Identity() const override { return 0.0; }
+  double Combine(double a, double b) const override { return a + b; }
+  double Inverse(double aggregate, double expired) const override {
+    return aggregate - expired;
+  }
+};
+
+/// \brief Per-key MAX. Not invertible: windows recompute on expiry.
+class MaxReduce final : public ReduceFunction {
+ public:
+  double Identity() const override {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double Combine(double a, double b) const override {
+    return a > b ? a : b;
+  }
+  bool invertible() const override { return false; }
+  double Inverse(double aggregate, double) const override {
+    return aggregate;  // unreachable; windows recompute instead
+  }
+};
+
+/// \brief Per-key MIN. Not invertible: windows recompute on expiry.
+class MinReduce final : public ReduceFunction {
+ public:
+  double Identity() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  double Combine(double a, double b) const override {
+    return a < b ? a : b;
+  }
+  bool invertible() const override { return false; }
+  double Inverse(double aggregate, double) const override {
+    return aggregate;
+  }
+};
+
+/// \brief A compiled streaming query: Map + Reduce + window geometry.
+///
+/// The window is expressed in batches (paper Fig. 3): `window_batches`
+/// consecutive batch outputs constitute the query answer; the slide is one
+/// batch (every heartbeat produces an updated answer).
+struct JobSpec {
+  std::shared_ptr<MapFunction> map = std::make_shared<CountMap>();
+  std::shared_ptr<ReduceFunction> reduce = std::make_shared<SumReduce>();
+  uint32_t window_batches = 10;
+
+  static JobSpec WordCount(uint32_t window_batches = 10) {
+    JobSpec job;
+    job.map = std::make_shared<CountMap>();
+    job.reduce = std::make_shared<SumReduce>();
+    job.window_batches = window_batches;
+    return job;
+  }
+
+  static JobSpec KeyedSum(uint32_t window_batches = 10) {
+    JobSpec job;
+    job.map = std::make_shared<ValueMap>();
+    job.reduce = std::make_shared<SumReduce>();
+    job.window_batches = window_batches;
+    return job;
+  }
+};
+
+}  // namespace prompt

@@ -1,0 +1,38 @@
+// The stream data model: tuples, key fragments, data blocks, micro-batches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace prompt {
+
+/// Dictionary-encoded partitioning key. Sources with textual keys (words,
+/// taxi medallions) intern strings into KeyIds once at ingestion.
+using KeyId = uint64_t;
+
+/// \brief One stream tuple: `(timestamp, key, value)` per the paper's schema.
+///
+/// Timestamps are assigned by the originating source and arrive in
+/// non-decreasing order (paper §2.1 assumption 1).
+struct Tuple {
+  TimeMicros ts = 0;
+  KeyId key = 0;
+  double value = 0.0;
+};
+
+static_assert(sizeof(Tuple) == 24, "Tuple should stay a compact POD");
+
+/// \brief Per-block summary of one key: how many of its tuples landed in the
+/// block and whether the key also appears in other blocks of the same batch.
+struct KeyFragment {
+  KeyId key = 0;
+  uint64_t count = 0;
+  /// True when this key is split across 2+ blocks of the batch. Map tasks use
+  /// this "reference table" bit to route split keys by hashing (Alg. 3).
+  bool split = false;
+};
+
+}  // namespace prompt

@@ -1,0 +1,231 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace prompt {
+
+namespace {
+
+struct Token {
+  std::string text;   // uppercased
+  std::string raw;    // original spelling (for error messages)
+  size_t position;    // character offset in the input
+};
+
+std::vector<Token> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto is_op_char = [](char c) {
+    return c == '<' || c == '>' || c == '=' || c == '!';
+  };
+  while (i < input.size()) {
+    if (std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (is_op_char(input[i])) {
+      while (i < input.size() && is_op_char(input[i])) ++i;
+    } else {
+      while (i < input.size() &&
+             !std::isspace(static_cast<unsigned char>(input[i])) &&
+             !is_op_char(input[i])) {
+        ++i;
+      }
+    }
+    Token t;
+    t.raw = input.substr(start, i - start);
+    t.text = t.raw;
+    for (char& c : t.text) c = static_cast<char>(std::toupper(c));
+    t.position = start;
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+// Local shorthand: propagate a Status as the Result error.
+#define PROMPT_RETURN_QUERY(expr)          \
+  do {                                     \
+    ::prompt::Status _st = (expr);         \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text)
+      : text_(text), tokens_(Tokenize(text)) {}
+
+  Result<CompiledQuery> Parse() {
+    PROMPT_RETURN_QUERY(Expect("SELECT"));
+    PROMPT_RETURN_QUERY(ParseAggregate());
+    if (Accept("TOP")) {
+      PROMPT_RETURN_QUERY(ParseTopK());
+    }
+    if (Accept("WHERE")) {
+      PROMPT_RETURN_QUERY(ParseCondition());
+      while (Accept("AND")) {
+        PROMPT_RETURN_QUERY(ParseCondition());
+      }
+    }
+    PROMPT_RETURN_QUERY(Expect("WINDOW"));
+    PROMPT_RETURN_QUERY(ParseDuration(&window_));
+    if (Accept("SLIDE")) {
+      PROMPT_RETURN_QUERY(ParseDuration(&slide_));
+    }
+    if (pos_ < tokens_.size()) {
+      return Error("unexpected trailing token '" + tokens_[pos_].raw + "'");
+    }
+
+    QueryBuilder builder;
+    builder.Select(aggregate_).Window(window_, slide_).Top(top_k_);
+    for (auto& pred : predicates_) builder.Where(std::move(pred));
+    PROMPT_ASSIGN_OR_RETURN(CompiledQuery query, builder.Build());
+    query.text = text_;
+    return query;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    size_t at = pos_ < tokens_.size() ? tokens_[pos_].position : text_.size();
+    return Status::Invalid(msg + " at position " + std::to_string(at) +
+                           " in query: " + text_);
+  }
+
+  bool Accept(const char* keyword) {
+    if (pos_ < tokens_.size() && tokens_[pos_].text == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const char* keyword) {
+    if (!Accept(keyword)) {
+      return Error(std::string("expected ") + keyword);
+    }
+    return Status::OK();
+  }
+
+  Status ParseAggregate() {
+    if (Accept("COUNT")) {
+      aggregate_ = Aggregate::kCount;
+    } else if (Accept("SUM")) {
+      aggregate_ = Aggregate::kSum;
+    } else if (Accept("MIN")) {
+      aggregate_ = Aggregate::kMin;
+    } else if (Accept("MAX")) {
+      aggregate_ = Aggregate::kMax;
+    } else {
+      return Error("expected aggregate (COUNT|SUM|MIN|MAX)");
+    }
+    return Status::OK();
+  }
+
+  Status ParseTopK() {
+    double k = 0;
+    PROMPT_RETURN_QUERY(ParseNumber(&k));
+    if (k < 1 || k != static_cast<double>(static_cast<uint32_t>(k))) {
+      return Error("TOP expects a positive integer");
+    }
+    top_k_ = static_cast<uint32_t>(k);
+    return Status::OK();
+  }
+
+  Status ParseNumber(double* out) {
+    if (pos_ >= tokens_.size()) return Error("expected a number");
+    const std::string& raw = tokens_[pos_].raw;
+    const char* begin = raw.data();
+    const char* end = begin + raw.size();
+    double value = 0;
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+      return Error("expected a number, got '" + raw + "'");
+    }
+    ++pos_;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseCondition() {
+    bool on_value = false;
+    if (Accept("VALUE")) {
+      on_value = true;
+    } else if (Accept("KEY")) {
+      on_value = false;
+    } else {
+      return Error("expected VALUE or KEY");
+    }
+    if (pos_ >= tokens_.size()) return Error("expected comparison operator");
+    std::string op = tokens_[pos_].text;
+    if (op != "<" && op != "<=" && op != ">" && op != ">=" && op != "=" &&
+        op != "==" && op != "!=") {
+      return Error("unknown comparison operator '" + tokens_[pos_].raw + "'");
+    }
+    ++pos_;
+    double rhs = 0;
+    PROMPT_RETURN_QUERY(ParseNumber(&rhs));
+
+    predicates_.push_back([on_value, op, rhs](const Tuple& t) {
+      const double lhs =
+          on_value ? t.value : static_cast<double>(t.key);
+      if (op == "<") return lhs < rhs;
+      if (op == "<=") return lhs <= rhs;
+      if (op == ">") return lhs > rhs;
+      if (op == ">=") return lhs >= rhs;
+      if (op == "!=") return lhs != rhs;
+      return lhs == rhs;  // "=" or "=="
+    });
+    return Status::OK();
+  }
+
+  Status ParseDuration(TimeMicros* out) {
+    if (pos_ >= tokens_.size()) return Error("expected a duration");
+    const std::string& tok = tokens_[pos_].text;
+    size_t digits = 0;
+    while (digits < tok.size() &&
+           std::isdigit(static_cast<unsigned char>(tok[digits]))) {
+      ++digits;
+    }
+    if (digits == 0) return Error("expected a duration, got '" + tok + "'");
+    int64_t amount = 0;
+    std::from_chars(tok.data(), tok.data() + digits, amount);
+    std::string unit = tok.substr(digits);
+    TimeMicros scale;
+    if (unit == "MS") {
+      scale = kMicrosPerMilli;
+    } else if (unit == "S" || unit.empty()) {
+      scale = kMicrosPerSecond;
+    } else if (unit == "M") {
+      scale = 60 * kMicrosPerSecond;
+    } else {
+      return Error("unknown duration unit '" + unit + "' (use MS, S or M)");
+    }
+    if (amount <= 0) return Error("duration must be positive");
+    ++pos_;
+    *out = amount * scale;
+    return Status::OK();
+  }
+
+#undef PROMPT_RETURN_QUERY
+
+  const std::string& text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+
+  Aggregate aggregate_ = Aggregate::kCount;
+  uint32_t top_k_ = 0;
+  std::vector<std::function<bool(const Tuple&)>> predicates_;
+  TimeMicros window_ = Seconds(30);
+  TimeMicros slide_ = Seconds(1);
+};
+
+}  // namespace
+
+Result<CompiledQuery> ParseQuery(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace prompt

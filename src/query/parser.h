@@ -1,0 +1,27 @@
+// Text form of the declarative query language:
+//
+//   query    := SELECT agg [TOP k] [WHERE cond {AND cond}] WINDOW dur
+//               [SLIDE dur]
+//   agg      := COUNT | SUM | MIN | MAX
+//   cond     := (VALUE | KEY) op number
+//   op       := < | <= | > | >= | = | == | !=
+//   dur      := integer (MS | S | M)       e.g. 500MS, 30S, 2M
+//
+// Keywords are case-insensitive. SLIDE defaults to 1 second. Examples:
+//   "SELECT COUNT WINDOW 30S"                          (WordCount)
+//   "SELECT COUNT TOP 10 WINDOW 30S"                   (TopKCount)
+//   "SELECT SUM WHERE VALUE > 2.5 WINDOW 2M SLIDE 5S"  (DEBS-style)
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "query/query.h"
+
+namespace prompt {
+
+/// \brief Compiles the text form into a CompiledQuery. Returns
+/// Status::Invalid with a position-annotated message on syntax errors.
+Result<CompiledQuery> ParseQuery(const std::string& text);
+
+}  // namespace prompt

@@ -1,0 +1,90 @@
+#include "query/query.h"
+
+namespace prompt {
+
+const char* AggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kCount: return "COUNT";
+    case Aggregate::kSum: return "SUM";
+    case Aggregate::kMin: return "MIN";
+    case Aggregate::kMax: return "MAX";
+  }
+  return "?";
+}
+
+namespace {
+
+class CountingFilterMap final : public MapFunction {
+ public:
+  CountingFilterMap(std::function<bool(const Tuple&)> filter, bool count)
+      : filter_(std::move(filter)), count_(count) {}
+
+  void Map(const Tuple& t, std::vector<KV>* out) const override {
+    if (filter_ && !filter_(t)) return;
+    out->push_back(KV{t.key, count_ ? 1.0 : t.value});
+  }
+
+ private:
+  std::function<bool(const Tuple&)> filter_;
+  bool count_;
+};
+
+}  // namespace
+
+JobSpec MakeJob(Aggregate agg, std::function<bool(const Tuple&)> filter,
+                uint32_t window_batches) {
+  JobSpec job;
+  job.map = std::make_shared<CountingFilterMap>(std::move(filter),
+                                                agg == Aggregate::kCount);
+  switch (agg) {
+    case Aggregate::kCount:
+    case Aggregate::kSum:
+      job.reduce = std::make_shared<SumReduce>();
+      break;
+    case Aggregate::kMin:
+      job.reduce = std::make_shared<MinReduce>();
+      break;
+    case Aggregate::kMax:
+      job.reduce = std::make_shared<MaxReduce>();
+      break;
+  }
+  job.window_batches = window_batches;
+  return job;
+}
+
+Result<CompiledQuery> QueryBuilder::Build() const {
+  if (slide_ <= 0) return Status::Invalid("slide must be positive");
+  if (window_ <= 0) return Status::Invalid("window must be positive");
+  if (window_ < slide_) {
+    return Status::Invalid("window must be at least one slide long");
+  }
+  if (window_ % slide_ != 0) {
+    return Status::Invalid(
+        "window must be a whole multiple of the slide (batch interval)");
+  }
+
+  CompiledQuery query;
+  query.window = window_;
+  query.slide = slide_;
+  query.top_k = top_k_;
+
+  std::function<bool(const Tuple&)> filter;
+  if (!predicates_.empty()) {
+    auto preds = predicates_;
+    filter = [preds](const Tuple& t) {
+      for (const auto& p : preds) {
+        if (!p(t)) return false;
+      }
+      return true;
+    };
+  }
+  query.job = MakeJob(aggregate_, std::move(filter), query.window_batches());
+  query.text = std::string("SELECT ") + AggregateName(aggregate_) +
+               (predicates_.empty() ? "" : " WHERE <" +
+                    std::to_string(predicates_.size()) + " predicates>") +
+               " WINDOW " + std::to_string(window_ / kMicrosPerSecond) +
+               "s SLIDE " + std::to_string(slide_ / kMicrosPerSecond) + "s";
+  return query;
+}
+
+}  // namespace prompt

@@ -1,0 +1,88 @@
+// Declarative query layer (paper §2.1: "a streaming query Q submitted in a
+// declarative or imperative form is compiled into a Map-Reduce execution
+// graph"). QueryBuilder is the imperative form; parser.h compiles the
+// declarative text form into the same CompiledQuery.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "engine/job.h"
+
+namespace prompt {
+
+/// \brief Aggregation applied per key at the Reduce stage.
+enum class Aggregate { kCount, kSum, kMin, kMax };
+
+const char* AggregateName(Aggregate agg);
+
+/// \brief A compiled streaming query: the Map-Reduce job plus window
+/// geometry and result shaping.
+struct CompiledQuery {
+  JobSpec job;
+  /// Window length and slide in stream time. The engine's batch interval
+  /// equals the slide; the window spans window/slide batches (Fig. 3).
+  TimeMicros window = Seconds(30);
+  TimeMicros slide = Seconds(1);
+  /// 0 = report the full per-key answer; otherwise the k heaviest keys
+  /// (the paper's TopKCount workload).
+  uint32_t top_k = 0;
+  std::string text;  ///< normalized description, e.g. for logging
+
+  uint32_t window_batches() const {
+    return static_cast<uint32_t>((window + slide - 1) / slide);
+  }
+};
+
+/// \brief Imperative query construction.
+///
+/// ```
+/// auto q = QueryBuilder()
+///              .Select(Aggregate::kSum)
+///              .Where([](const Tuple& t) { return t.value > 10; })
+///              .Window(Seconds(30), Seconds(1))
+///              .Top(5)
+///              .Build();
+/// ```
+class QueryBuilder {
+ public:
+  QueryBuilder& Select(Aggregate agg) {
+    aggregate_ = agg;
+    return *this;
+  }
+  /// Adds a conjunct to the Map-stage filter.
+  QueryBuilder& Where(std::function<bool(const Tuple&)> predicate) {
+    predicates_.push_back(std::move(predicate));
+    return *this;
+  }
+  QueryBuilder& Window(TimeMicros window, TimeMicros slide) {
+    window_ = window;
+    slide_ = slide;
+    return *this;
+  }
+  QueryBuilder& Top(uint32_t k) {
+    top_k_ = k;
+    return *this;
+  }
+
+  /// Validates and compiles. Fails when the window is not a positive
+  /// multiple of the slide.
+  Result<CompiledQuery> Build() const;
+
+ private:
+  Aggregate aggregate_ = Aggregate::kCount;
+  std::vector<std::function<bool(const Tuple&)>> predicates_;
+  TimeMicros window_ = Seconds(30);
+  TimeMicros slide_ = Seconds(1);
+  uint32_t top_k_ = 0;
+};
+
+/// \brief Builds the JobSpec (map + reduce + window batches) for an
+/// aggregate with an optional filter.
+JobSpec MakeJob(Aggregate agg,
+                std::function<bool(const Tuple&)> filter,
+                uint32_t window_batches);
+
+}  // namespace prompt

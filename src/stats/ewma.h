@@ -1,0 +1,81 @@
+// Exponentially-weighted moving averages for the receiver's rate and
+// cardinality estimates (N_est and K_avg of Alg. 1's f initialisation).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace prompt {
+
+/// \brief Simple EWMA over scalar observations.
+class Ewma {
+ public:
+  /// \param alpha weight of the newest observation, in (0, 1].
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void Observe(double value) {
+    if (!initialized_) {
+      value_ = value;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+  }
+
+  /// Current estimate; `fallback` until the first observation.
+  double Value(double fallback = 0.0) const {
+    return initialized_ ? value_ : fallback;
+  }
+
+  bool initialized() const { return initialized_; }
+
+  void Reset() { initialized_ = false; value_ = 0; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+/// \brief Tracks whether a scalar trend is increasing over a lookback of d
+/// observations — the "data rate increased / data distribution increased"
+/// tests of Alg. 4.
+class TrendTracker {
+ public:
+  explicit TrendTracker(int lookback = 3) : lookback_(lookback) {}
+
+  void Observe(double value) {
+    prev_ = last_;
+    last_ = value;
+    history_.push_back(value);
+    if (static_cast<int>(history_.size()) > lookback_ + 1) {
+      history_.erase(history_.begin());
+    }
+  }
+
+  /// True when the newest observation exceeds the oldest in the lookback
+  /// window by more than `tolerance` (relative).
+  bool Increasing(double tolerance = 0.02) const {
+    if (history_.size() < 2) return false;
+    double oldest = history_.front();
+    double newest = history_.back();
+    if (oldest <= 0) return newest > 0;
+    return (newest - oldest) / oldest > tolerance;
+  }
+
+  bool Decreasing(double tolerance = 0.02) const {
+    if (history_.size() < 2) return false;
+    double oldest = history_.front();
+    double newest = history_.back();
+    if (oldest <= 0) return false;
+    return (oldest - newest) / oldest > tolerance;
+  }
+
+ private:
+  int lookback_;
+  double prev_ = 0;
+  double last_ = 0;
+  std::vector<double> history_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,72 @@
+// Latency histogram with percentile queries (Fig. 13 reporting).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief Exact-sample histogram: records every value, answers percentiles.
+///
+/// Experiments record at most a few hundred thousand batch latencies, so
+/// storing raw samples is cheap and keeps percentiles exact.
+class Histogram {
+ public:
+  void Record(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double Min() const { return Percentile(0); }
+  double Max() const { return Percentile(100); }
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+  double StdDev() const {
+    if (samples_.size() < 2) return 0;
+    double mean = Mean();
+    double var = 0;
+    for (double v : samples_) var += (v - mean) * (v - mean);
+    return std::sqrt(var / static_cast<double>(samples_.size()));
+  }
+
+  /// p in [0, 100]; nearest-rank percentile.
+  double Percentile(double p) const {
+    PROMPT_CHECK(p >= 0 && p <= 100);
+    if (samples_.empty()) return 0;
+    Sort();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void Sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace prompt

@@ -1,0 +1,89 @@
+// HyperLogLog cardinality estimator. The elasticity controller's
+// data-distribution statistic is the number of distinct keys per batch
+// (Alg. 4); the accumulator counts it exactly, but a receiver in front of
+// the engine (or a DEBS-scale 8M-key deployment that samples) can use this
+// to track cardinality in O(2^p) bytes.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace prompt {
+
+/// \brief Flajolet et al.'s HyperLogLog with the standard bias corrections.
+class HyperLogLog {
+ public:
+  /// \param precision register-count exponent p in [4, 18]; standard error
+  /// is ~1.04 / sqrt(2^p) (p=12 -> ~1.6%).
+  explicit HyperLogLog(int precision = 12)
+      : precision_(precision), registers_(size_t{1} << precision, 0) {
+    PROMPT_CHECK(precision >= 4 && precision <= 18);
+  }
+
+  /// Observes a key (hashed internally).
+  void Add(uint64_t key) { AddHash(HashKey(key, 0x9e3779b9)); }
+
+  /// Observes a pre-hashed 64-bit value.
+  void AddHash(uint64_t hash) {
+    const uint32_t idx = static_cast<uint32_t>(hash >> (64 - precision_));
+    const uint64_t rest = hash << precision_;
+    // Rank = position of the first 1-bit in the remaining bits, 1-based.
+    const uint8_t rank = rest == 0
+                             ? static_cast<uint8_t>(64 - precision_ + 1)
+                             : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+    if (rank > registers_[idx]) registers_[idx] = rank;
+  }
+
+  /// Estimated number of distinct values observed.
+  double Estimate() const {
+    const double m = static_cast<double>(registers_.size());
+    double sum = 0;
+    int zeros = 0;
+    for (uint8_t r : registers_) {
+      sum += std::ldexp(1.0, -r);
+      if (r == 0) ++zeros;
+    }
+    const double alpha = AlphaFor(registers_.size());
+    double estimate = alpha * m * m / sum;
+    if (estimate <= 2.5 * m && zeros > 0) {
+      // Small-range correction: linear counting.
+      estimate = m * std::log(m / static_cast<double>(zeros));
+    }
+    return estimate;
+  }
+
+  /// Union with another sketch of the same precision.
+  Status Merge(const HyperLogLog& other) {
+    if (other.precision_ != precision_) {
+      return Status::Invalid("precision mismatch in HyperLogLog merge");
+    }
+    for (size_t i = 0; i < registers_.size(); ++i) {
+      registers_[i] = std::max(registers_[i], other.registers_[i]);
+    }
+    return Status::OK();
+  }
+
+  void Clear() { std::fill(registers_.begin(), registers_.end(), 0); }
+
+  int precision() const { return precision_; }
+  size_t memory_bytes() const { return registers_.size(); }
+
+ private:
+  static double AlphaFor(size_t m) {
+    if (m == 16) return 0.673;
+    if (m == 32) return 0.697;
+    if (m == 64) return 0.709;
+    return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace prompt

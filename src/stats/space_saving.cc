@@ -1,0 +1,27 @@
+#include "stats/space_saving.h"
+
+#include <algorithm>
+
+namespace prompt {
+
+std::vector<SpaceSaving::Entry> SpaceSaving::TopEntries() const {
+  std::vector<Entry> out = heap_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::HeavyHitters(double phi) const {
+  const double threshold = phi * static_cast<double>(total_);
+  std::vector<Entry> out;
+  for (const Entry& e : heap_) {
+    if (static_cast<double>(e.count - e.error) > threshold) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  return out;
+}
+
+}  // namespace prompt

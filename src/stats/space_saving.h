@@ -1,0 +1,146 @@
+// Space-Saving heavy-hitter sketch (Metwally et al.) — the bounded-memory,
+// approximate alternative to Prompt's exact HTable+CountTree statistics.
+// Gedik's partitioning functions [18] use lossy counting in the same role;
+// the paper's position (§2.2.4) is that micro-batching makes *exact*
+// per-batch statistics affordable. This sketch exists to quantify that
+// trade-off (ablation A7): what a sketch-driven partitioner loses in
+// ordering quality and split decisions.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/macros.h"
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief Fixed-capacity top-k frequency tracker.
+///
+/// Holds at most `capacity` counters. A hit increments its counter; a miss
+/// evicts the minimum counter and inherits its count + 1 (the classical
+/// Space-Saving overestimate). Count error per key is bounded by the evicted
+/// minimum at its insertion.
+class SpaceSaving {
+ public:
+  struct Entry {
+    KeyId key = 0;
+    uint64_t count = 0;  ///< estimated frequency (over-estimate)
+    uint64_t error = 0;  ///< max over-estimation carried from eviction
+  };
+
+  explicit SpaceSaving(size_t capacity) : capacity_(capacity), index_(capacity) {
+    PROMPT_CHECK(capacity >= 1);
+    heap_.reserve(capacity);
+  }
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(SpaceSaving);
+
+  /// Observes one occurrence of `key`.
+  void Add(KeyId key) {
+    ++total_;
+    uint32_t* slot = index_.Find(key);
+    if (slot != nullptr && *slot != kEvicted) {
+      heap_[*slot].count++;
+      SiftDown(*slot);
+      return;
+    }
+    if (heap_.size() < capacity_) {
+      heap_.push_back(Entry{key, 1, 0});
+      index_.GetOrInsert(key) = static_cast<uint32_t>(heap_.size() - 1);
+      SiftUp(static_cast<uint32_t>(heap_.size() - 1));
+      return;
+    }
+    // Evict the minimum: the newcomer inherits min+1 with error = min.
+    // FlatMap has no erase, so the evicted key leaves a tombstone; the
+    // index is rebuilt once tombstones dominate, keeping memory O(capacity)
+    // amortized.
+    Entry& min = heap_[0];
+    index_.GetOrInsert(min.key) = kEvicted;
+    ++tombstones_;
+    min = Entry{key, min.count + 1, min.count};
+    index_.GetOrInsert(key) = 0;
+    SiftDown(0);
+    if (tombstones_ > 8 * capacity_) RebuildIndex();
+  }
+
+  /// Estimated count for a key (0 when not tracked).
+  uint64_t Estimate(KeyId key) const {
+    const uint32_t* slot = index_.Find(key);
+    if (slot == nullptr || *slot == kEvicted) return 0;
+    return heap_[*slot].count;
+  }
+
+  /// True when the key currently holds a counter.
+  bool Tracks(KeyId key) const {
+    const uint32_t* slot = index_.Find(key);
+    return slot != nullptr && *slot != kEvicted;
+  }
+
+  /// Entries sorted by decreasing estimated count.
+  std::vector<Entry> TopEntries() const;
+
+  /// Guaranteed heavy hitters: entries whose lower bound (count - error)
+  /// exceeds phi * total observations.
+  std::vector<Entry> HeavyHitters(double phi) const;
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total() const { return total_; }
+
+  void Clear() {
+    heap_.clear();
+    index_.Clear();
+    total_ = 0;
+    tombstones_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kEvicted = 0xffffffffu;
+
+  void Swap(uint32_t a, uint32_t b) {
+    std::swap(heap_[a], heap_[b]);
+    index_.GetOrInsert(heap_[a].key) = a;
+    index_.GetOrInsert(heap_[b].key) = b;
+  }
+
+  // Min-heap on count.
+  void SiftUp(uint32_t i) {
+    while (i > 0) {
+      uint32_t parent = (i - 1) / 2;
+      if (heap_[parent].count <= heap_[i].count) break;
+      Swap(parent, i);
+      i = parent;
+    }
+  }
+
+  void SiftDown(uint32_t i) {
+    const uint32_t n = static_cast<uint32_t>(heap_.size());
+    while (true) {
+      uint32_t smallest = i;
+      uint32_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && heap_[l].count < heap_[smallest].count) smallest = l;
+      if (r < n && heap_[r].count < heap_[smallest].count) smallest = r;
+      if (smallest == i) break;
+      Swap(smallest, i);
+      i = smallest;
+    }
+  }
+
+  void RebuildIndex() {
+    index_ = FlatMap<uint32_t>(capacity_);
+    for (uint32_t i = 0; i < heap_.size(); ++i) {
+      index_.GetOrInsert(heap_[i].key) = i;
+    }
+    tombstones_ = 0;
+  }
+
+  size_t capacity_;
+  std::vector<Entry> heap_;      // min-heap by count
+  FlatMap<uint32_t> index_;      // key -> heap slot (kEvicted = gone)
+  uint64_t total_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace prompt

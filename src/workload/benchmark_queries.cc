@@ -1,0 +1,136 @@
+#include "workload/benchmark_queries.h"
+
+#include <algorithm>
+
+namespace prompt {
+
+namespace {
+
+TimeMicros Scale(TimeMicros paper_time, double time_scale) {
+  return std::max<TimeMicros>(
+      Millis(100),
+      static_cast<TimeMicros>(static_cast<double>(paper_time) * time_scale));
+}
+
+JobSpec CountJob() {
+  JobSpec job;
+  job.map = std::make_shared<CountMap>();
+  job.reduce = std::make_shared<SumReduce>();
+  return job;
+}
+
+JobSpec SumJob() {
+  JobSpec job;
+  job.map = std::make_shared<ValueMap>();
+  job.reduce = std::make_shared<SumReduce>();
+  return job;
+}
+
+}  // namespace
+
+std::vector<BenchmarkWorkload> PaperWorkloads(double time_scale) {
+  std::vector<BenchmarkWorkload> workloads;
+
+  // WordCount: sliding count over 30 seconds (already seconds-scale in the
+  // paper; keep as-is).
+  {
+    BenchmarkWorkload w;
+    w.name = "WordCount";
+    w.dataset = DatasetId::kTweets;
+    w.job = CountJob();
+    w.window = Seconds(30);
+    w.slide = Seconds(1);
+    w.description = "sliding word count over 30s (Tweets)";
+    workloads.push_back(w);
+  }
+  // TopKCount: k most frequent words over the past 30 seconds.
+  {
+    BenchmarkWorkload w;
+    w.name = "TopKCount";
+    w.dataset = DatasetId::kTweets;
+    w.job = CountJob();
+    w.window = Seconds(30);
+    w.slide = Seconds(1);
+    w.top_k = 10;
+    w.description = "10 most frequent words over 30s (Tweets)";
+    workloads.push_back(w);
+  }
+  // DEBS Query 1: total fare per taxi, 2h window / 5min slide.
+  {
+    BenchmarkWorkload w;
+    w.name = "DebsQ1";
+    w.dataset = DatasetId::kDebs;
+    w.job = SumJob();
+    w.window = Scale(2 * 60 * Seconds(60), time_scale);
+    w.slide = Scale(5 * Seconds(60), time_scale);
+    w.description = "total fare per taxi, 2h window / 5min slide (scaled)";
+    workloads.push_back(w);
+  }
+  // DEBS Query 2: total distance per taxi, 45min window / 1min slide.
+  {
+    BenchmarkWorkload w;
+    w.name = "DebsQ2";
+    w.dataset = DatasetId::kDebs;
+    w.job = SumJob();
+    w.window = Scale(45 * Seconds(60), time_scale);
+    w.slide = Scale(Seconds(60), time_scale);
+    w.description = "total distance per taxi, 45min/1min (scaled)";
+    workloads.push_back(w);
+  }
+  // GCM: aggregate CPU usage per job (queries "similar to [25]").
+  {
+    BenchmarkWorkload w;
+    w.name = "GcmUsage";
+    w.dataset = DatasetId::kGcm;
+    w.job = SumJob();
+    w.window = Scale(10 * Seconds(60), time_scale);
+    w.slide = Scale(Seconds(60), time_scale);
+    w.description = "total CPU usage per job, 10min/1min (scaled)";
+    workloads.push_back(w);
+  }
+  // TPC-H Q1-style: quantity per part over the past hour, 1min slide.
+  {
+    BenchmarkWorkload w;
+    w.name = "TpchQ1";
+    w.dataset = DatasetId::kTpch;
+    w.job = SumJob();
+    w.window = Scale(60 * Seconds(60), time_scale);
+    w.slide = Scale(Seconds(60), time_scale);
+    w.description = "quantity per part over 1h / 1min slide (scaled)";
+    workloads.push_back(w);
+  }
+  // TPC-H Q6-style: discounted revenue for qualifying items (filter + sum).
+  {
+    BenchmarkWorkload w;
+    w.name = "TpchQ6";
+    w.dataset = DatasetId::kTpch;
+    JobSpec job;
+    job.map = std::make_shared<FilterMap>(
+        [](const Tuple& t) { return t.value >= 5 && t.value < 25; });
+    job.reduce = std::make_shared<SumReduce>();
+    w.job = job;
+    w.window = Scale(60 * Seconds(60), time_scale);
+    w.slide = Scale(Seconds(60), time_scale);
+    w.description =
+        "summed quantity for items with 5 <= quantity < 25 (Q6-style filter)";
+    workloads.push_back(w);
+  }
+
+  for (BenchmarkWorkload& w : workloads) {
+    w.job.window_batches =
+        static_cast<uint32_t>(std::max<TimeMicros>(1, w.window / w.slide));
+  }
+  return workloads;
+}
+
+Result<BenchmarkWorkload> WorkloadByName(const std::string& name,
+                                         double time_scale) {
+  for (BenchmarkWorkload& w : PaperWorkloads(time_scale)) {
+    if (w.name == name) return std::move(w);
+  }
+  return Status::Invalid("unknown workload: " + name +
+                         " (try WordCount, TopKCount, DebsQ1, DebsQ2, "
+                         "GcmUsage, TpchQ1, TpchQ6)");
+}
+
+}  // namespace prompt

@@ -1,0 +1,37 @@
+// The paper's named workloads (§7.1) as first-class query definitions, so
+// benches, tools, and examples run the same thing by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/job.h"
+#include "workload/sources.h"
+
+namespace prompt {
+
+/// \brief One (dataset, query) workload from the paper's evaluation.
+struct BenchmarkWorkload {
+  std::string name;
+  DatasetId dataset;
+  JobSpec job;
+  /// Window and slide in paper time, scaled by `time_scale` (the paper's
+  /// windows are minutes-to-hours; benches run them seconds-scaled).
+  TimeMicros window = Seconds(30);
+  TimeMicros slide = Seconds(1);
+  uint32_t top_k = 0;
+  std::string description;
+};
+
+/// \brief All workloads of §7.1, with windows scaled by `time_scale`
+/// (1.0 = paper time; the default 1/60 maps minutes to seconds).
+std::vector<BenchmarkWorkload> PaperWorkloads(double time_scale = 1.0 / 60.0);
+
+/// \brief Lookup by name ("WordCount", "TopKCount", "DebsQ1", "DebsQ2",
+/// "GcmUsage", "TpchQ1", "TpchQ6").
+Result<BenchmarkWorkload> WorkloadByName(const std::string& name,
+                                         double time_scale = 1.0 / 60.0);
+
+}  // namespace prompt

@@ -1,0 +1,69 @@
+// Multi-receiver support: merges several ordered tuple streams into one
+// timestamp-ordered stream (the engine's Stream Receiver SR_1 in Fig. 1 can
+// front multiple upstream feeds).
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "workload/source.h"
+
+namespace prompt {
+
+/// \brief K-way merge of timestamp-ordered sources.
+///
+/// Each constituent source must produce non-decreasing timestamps; the
+/// merge then yields a globally non-decreasing stream. A source that
+/// exhausts (Next() == false) simply drops out of the merge.
+class CompositeSource final : public TupleSource {
+ public:
+  explicit CompositeSource(std::vector<TupleSource*> sources)
+      : sources_(std::move(sources)) {
+    PROMPT_CHECK(!sources_.empty());
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      Tuple t;
+      if (sources_[i]->Next(&t)) {
+        heap_.push(Head{t, i});
+      }
+    }
+  }
+
+  const char* name() const override { return "Composite"; }
+
+  uint64_t cardinality() const override {
+    uint64_t total = 0;
+    for (const TupleSource* s : sources_) total += s->cardinality();
+    return total;
+  }
+
+  bool Next(Tuple* t) override {
+    if (heap_.empty()) return false;
+    Head head = heap_.top();
+    heap_.pop();
+    *t = head.tuple;
+    Tuple next;
+    if (sources_[head.index]->Next(&next)) {
+      heap_.push(Head{next, head.index});
+    }
+    return true;
+  }
+
+  size_t active_sources() const { return heap_.size(); }
+
+ private:
+  struct Head {
+    Tuple tuple;
+    size_t index;
+    bool operator>(const Head& other) const {
+      return tuple.ts != other.tuple.ts ? tuple.ts > other.tuple.ts
+                                        : index > other.index;
+    }
+  };
+
+  std::vector<TupleSource*> sources_;
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap_;
+};
+
+}  // namespace prompt

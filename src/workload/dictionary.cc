@@ -1,0 +1,36 @@
+#include "workload/dictionary.h"
+
+#include <array>
+
+namespace prompt {
+
+std::string SynthesizeWord(uint64_t rank) {
+  static constexpr std::array<const char*, 24> kSyllables = {
+      "re", "to", "na", "si", "la", "ke", "mi", "do", "va", "lu", "pe", "ri",
+      "so", "ta", "ne", "ko", "ma", "du", "vi", "le", "pa", "ru", "se", "ti"};
+  // Bijective base-24 over syllables: short words for low ranks.
+  std::string word;
+  uint64_t n = rank + 1;
+  while (n > 0) {
+    --n;
+    word += kSyllables[n % kSyllables.size()];
+    n /= kSyllables.size();
+  }
+  return word;
+}
+
+std::string SynthesizeMedallion(uint64_t rank) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string label(4, '0');
+  uint64_t n = rank;
+  for (int i = 3; i >= 0; --i) {
+    label[i] = kHex[n % 16];
+    n /= 16;
+  }
+  label += '-';
+  label += static_cast<char>('A' + (rank / 65536) % 26);
+  label += static_cast<char>('A' + (rank / (65536 * 26)) % 26);
+  return label;
+}
+
+}  // namespace prompt

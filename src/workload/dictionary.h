@@ -1,0 +1,82 @@
+// String-key dictionary: sources with textual partitioning keys (words,
+// taxi medallions) intern each string once and stream compact KeyIds; sinks
+// reverse-map ids for display. Mirrors the dictionary encoding a production
+// receiver performs before partitioning.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief Bidirectional string <-> KeyId mapping with stable ids.
+///
+/// Ids are dense (0, 1, 2, ...) in first-intern order, so they double as
+/// indices into per-key arrays. Not thread-safe: interning happens on the
+/// single receiver thread, lookups on the driver.
+class KeyDictionary {
+ public:
+  /// Returns the id for `text`, interning it on first sight.
+  KeyId Intern(std::string_view text) {
+    auto it = index_.find(text);
+    if (it != index_.end()) return it->second;
+    strings_.emplace_back(text);
+    const KeyId id = static_cast<KeyId>(strings_.size() - 1);
+    // deque never relocates elements, so the view stays valid.
+    index_.emplace(std::string_view(strings_.back()), id);
+    return id;
+  }
+
+  /// Reverse lookup; KeyError for ids never interned.
+  Result<std::string_view> Lookup(KeyId id) const {
+    if (id >= strings_.size()) {
+      return Status::KeyError("unknown key id " + std::to_string(id));
+    }
+    return std::string_view(strings_[id]);
+  }
+
+  /// Lookup that never fails (returns a placeholder for foreign ids);
+  /// convenient in display paths.
+  std::string LookupOr(KeyId id, std::string fallback = "<?>") const {
+    auto r = Lookup(id);
+    return r.ok() ? std::string(*r) : fallback;
+  }
+
+  bool Contains(std::string_view text) const {
+    return index_.find(text) != index_.end();
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, KeyId, Hash, Eq> index_;
+};
+
+/// \brief Deterministically synthesizes a pronounceable word for a
+/// vocabulary rank ("re", "tona", "silakemi", ...). Rank 0 gets the
+/// shortest word, mirroring the inverse length/frequency law of text.
+std::string SynthesizeWord(uint64_t rank);
+
+/// \brief NYC-style taxi medallion label for a rank, e.g. "7F23-MD".
+std::string SynthesizeMedallion(uint64_t rank);
+
+}  // namespace prompt

@@ -1,0 +1,151 @@
+// Bounded out-of-order arrival and its antidote. The model (§2.1) assumes
+// tuples arrive in timestamp order with a bounded source-to-ingestion delay;
+// §8 handles ordering "at a coarse granularity, where a maximum delay ...
+// can be defined [for] all delayed tuples from the source to be included in
+// the correct batch". DisorderedSource injects bounded disorder for testing;
+// ReorderBuffer restores order up to that maximum delay, dropping (and
+// counting) anything later — the revision-tuple territory the paper leaves
+// outside the engine.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/source.h"
+
+namespace prompt {
+
+/// \brief Wraps an ordered source and releases its tuples with bounded
+/// timestamp disorder: each tuple may be overtaken by others for up to
+/// `max_displacement` positions, so timestamps regress by a bounded amount.
+class DisorderedSource final : public TupleSource {
+ public:
+  DisorderedSource(TupleSource* inner, size_t max_displacement,
+                   uint64_t seed = 7)
+      : inner_(inner), window_(max_displacement + 1), rng_(seed) {
+    PROMPT_CHECK(inner != nullptr);
+    Refill();
+  }
+
+  const char* name() const override { return "Disordered"; }
+  uint64_t cardinality() const override { return inner_->cardinality(); }
+
+  bool Next(Tuple* t) override {
+    if (buffer_.empty()) return false;
+    // Emit either the overdue oldest element (hard displacement bound) or a
+    // random one. Without the age rule a tuple could linger geometrically
+    // long and displacement would be unbounded.
+    size_t oldest = 0;
+    for (size_t i = 1; i < buffer_.size(); ++i) {
+      if (buffer_[i].seq < buffer_[oldest].seq) oldest = i;
+    }
+    size_t pick;
+    if (emit_seq_ - buffer_[oldest].seq >= window_ - 1) {
+      pick = oldest;
+    } else {
+      pick = rng_.NextBounded(buffer_.size());
+    }
+    *t = buffer_[pick].tuple;
+    buffer_[pick] = buffer_.back();
+    buffer_.pop_back();
+    ++emit_seq_;
+    Tuple next;
+    if (inner_->Next(&next)) {
+      buffer_.push_back(Entry{next, enter_seq_++});
+    }
+    return true;
+  }
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    uint64_t seq;
+  };
+
+  void Refill() {
+    Tuple t;
+    while (buffer_.size() < window_ && inner_->Next(&t)) {
+      buffer_.push_back(Entry{t, enter_seq_++});
+    }
+  }
+
+  TupleSource* inner_;
+  size_t window_;
+  Rng rng_;
+  std::vector<Entry> buffer_;
+  uint64_t enter_seq_ = 0;
+  uint64_t emit_seq_ = 0;
+};
+
+/// \brief Watermark reorder buffer in front of the batching layer.
+///
+/// Tuples are held until the watermark (max timestamp seen minus
+/// `max_delay`) passes them, then released in exact timestamp order. A tuple
+/// older than the watermark at arrival is *late*: it is dropped and counted
+/// (the paper's engine excludes such tuples; revision processing [15] would
+/// handle them upstream).
+class ReorderBuffer final : public TupleSource {
+ public:
+  ReorderBuffer(TupleSource* inner, TimeMicros max_delay)
+      : inner_(inner), max_delay_(max_delay) {
+    PROMPT_CHECK(inner != nullptr);
+    PROMPT_CHECK(max_delay >= 0);
+  }
+
+  const char* name() const override { return "Reordered"; }
+  uint64_t cardinality() const override { return inner_->cardinality(); }
+
+  bool Next(Tuple* t) override {
+    while (true) {
+      // Release the head once the watermark passed it.
+      if (!heap_.empty() && heap_.top().ts <= watermark()) {
+        *t = heap_.top();
+        heap_.pop();
+        last_released_ = t->ts;
+        return true;
+      }
+      Tuple incoming;
+      if (!inner_->Next(&incoming)) {
+        // Inner stream ended: drain the buffer in order.
+        if (heap_.empty()) return false;
+        *t = heap_.top();
+        heap_.pop();
+        last_released_ = t->ts;
+        return true;
+      }
+      if (incoming.ts < last_released_) {
+        // Later than the configured maximum delay: excluded.
+        ++dropped_;
+        continue;
+      }
+      max_seen_ = std::max(max_seen_, incoming.ts);
+      heap_.push(incoming);
+    }
+  }
+
+  /// Tuples dropped for exceeding the maximum delay.
+  uint64_t dropped() const { return dropped_; }
+
+  size_t buffered() const { return heap_.size(); }
+
+ private:
+  TimeMicros watermark() const { return max_seen_ - max_delay_; }
+
+  struct TsGreater {
+    bool operator()(const Tuple& a, const Tuple& b) const {
+      return a.ts > b.ts;
+    }
+  };
+
+  TupleSource* inner_;
+  TimeMicros max_delay_;
+  TimeMicros max_seen_ = 0;
+  TimeMicros last_released_ = 0;
+  uint64_t dropped_ = 0;
+  std::priority_queue<Tuple, std::vector<Tuple>, TsGreater> heap_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,105 @@
+// Input data-rate profiles: constant, sinusoidal (Fig. 11's variable-rate
+// experiment), and piecewise ramps (Fig. 12's elasticity experiment).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief Offered load over time, in tuples per second.
+class RateProfile {
+ public:
+  virtual ~RateProfile() = default;
+  /// Instantaneous rate at time t (tuples/sec); must be > 0.
+  virtual double RateAt(TimeMicros t) const = 0;
+};
+
+/// \brief Fixed rate.
+class ConstantRate final : public RateProfile {
+ public:
+  explicit ConstantRate(double tuples_per_sec) : rate_(tuples_per_sec) {
+    PROMPT_CHECK(tuples_per_sec > 0);
+  }
+  double RateAt(TimeMicros) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// \brief Sinusoidal rate around a mean — the paper's "sinusoidal changes to
+/// the input data rate" simulating variable workload spikes (§7.2).
+class SinusoidalRate final : public RateProfile {
+ public:
+  SinusoidalRate(double mean, double amplitude_frac, TimeMicros period)
+      : mean_(mean), amplitude_frac_(amplitude_frac), period_(period) {
+    PROMPT_CHECK(mean > 0);
+    PROMPT_CHECK(amplitude_frac >= 0 && amplitude_frac < 1);
+    PROMPT_CHECK(period > 0);
+  }
+  double RateAt(TimeMicros t) const override {
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(t % period_) /
+                         static_cast<double>(period_);
+    return mean_ * (1.0 + amplitude_frac_ * std::sin(phase));
+  }
+
+ private:
+  double mean_;
+  double amplitude_frac_;
+  TimeMicros period_;
+};
+
+/// \brief Piecewise-linear rate through (time, rate) knots; clamps outside.
+class PiecewiseRate final : public RateProfile {
+ public:
+  struct Knot {
+    TimeMicros t;
+    double rate;
+  };
+  explicit PiecewiseRate(std::vector<Knot> knots) : knots_(std::move(knots)) {
+    PROMPT_CHECK(!knots_.empty());
+    for (size_t i = 1; i < knots_.size(); ++i) {
+      PROMPT_CHECK(knots_[i].t > knots_[i - 1].t);
+    }
+  }
+  double RateAt(TimeMicros t) const override {
+    if (t <= knots_.front().t) return knots_.front().rate;
+    if (t >= knots_.back().t) return knots_.back().rate;
+    for (size_t i = 1; i < knots_.size(); ++i) {
+      if (t <= knots_[i].t) {
+        const double f = static_cast<double>(t - knots_[i - 1].t) /
+                         static_cast<double>(knots_[i].t - knots_[i - 1].t);
+        return knots_[i - 1].rate + f * (knots_[i].rate - knots_[i - 1].rate);
+      }
+    }
+    return knots_.back().rate;
+  }
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+/// \brief Multiplies an underlying profile by a scale factor (used by the
+/// back-pressure probe to sweep offered load without rebuilding sources).
+class ScaledRate final : public RateProfile {
+ public:
+  ScaledRate(std::shared_ptr<const RateProfile> base, double scale)
+      : base_(std::move(base)), scale_(scale) {
+    PROMPT_CHECK(scale > 0);
+  }
+  double RateAt(TimeMicros t) const override {
+    return base_->RateAt(t) * scale_;
+  }
+
+ private:
+  std::shared_ptr<const RateProfile> base_;
+  double scale_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,29 @@
+// Tuple sources: the stream generators standing in for the paper's datasets
+// (Table 1). Each source paces its timestamps according to a RateProfile and
+// draws keys from a dataset-specific distribution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief Infinite ordered stream of tuples.
+///
+/// Next() produces tuples with non-decreasing timestamps (the model's
+/// arrival-order assumption). Sources are deterministic per seed.
+class TupleSource {
+ public:
+  virtual ~TupleSource() = default;
+  virtual const char* name() const = 0;
+  /// Produces the next tuple. Returns false when the stream is exhausted
+  /// (synthetic sources are infinite and always return true).
+  virtual bool Next(Tuple* t) = 0;
+  /// Nominal distinct-key cardinality of the dataset (Table 1 column).
+  virtual uint64_t cardinality() const = 0;
+};
+
+}  // namespace prompt

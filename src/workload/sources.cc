@@ -1,0 +1,142 @@
+#include "workload/sources.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace prompt {
+
+ZipfKeyedSource::ZipfKeyedSource(Params params)
+    : params_(std::move(params)),
+      rng_(params_.seed),
+      zipf_(params_.cardinality, params_.zipf),
+      now_(static_cast<double>(params_.start_time)) {
+  PROMPT_CHECK_MSG(params_.rate != nullptr, "source requires a rate profile");
+}
+
+TimeMicros ZipfKeyedSource::NextTimestamp() {
+  const double rate = params_.rate->RateAt(static_cast<TimeMicros>(now_));
+  PROMPT_CHECK(rate > 0);
+  now_ += 1e6 / rate;
+  return static_cast<TimeMicros>(now_);
+}
+
+bool ZipfKeyedSource::Next(Tuple* t) {
+  t->ts = NextTimestamp();
+  const uint64_t rank = zipf_.Sample(rng_);
+  // Mix64 is a bijection on 64-bit ints: decorrelates key id from rank
+  // without a giant permutation table.
+  t->key = Mix64(rank ^ (params_.seed << 32));
+  t->value = NextValue(rng_);
+  return true;
+}
+
+TweetsSource::TweetsSource(Params params)
+    : ZipfKeyedSource(std::move(params)) {}
+
+bool TweetsSource::Next(Tuple* t) {
+  if (words_left_ == 0) {
+    // New tweet: 8-20 words sharing one arrival timestamp. The rate profile
+    // paces *words* so throughput units stay tuples/sec across datasets.
+    words_left_ = 8 + static_cast<uint32_t>(rng_.NextBounded(13));
+    tweet_ts_ = NextTimestamp();
+  } else {
+    NextTimestamp();  // keep pacing consistent per emitted word
+  }
+  --words_left_;
+  t->ts = tweet_ts_;
+  const uint64_t rank = zipf_.Sample(rng_);
+  t->key = Mix64(rank ^ (params_.seed << 32));
+  t->value = 1.0;
+  return true;
+}
+
+DebsTaxiSource::DebsTaxiSource(Params params, Query query)
+    : ZipfKeyedSource(std::move(params)), query_(query) {}
+
+double DebsTaxiSource::NextValue(Rng& rng) {
+  if (query_ == Query::kFare) {
+    // Fare: base + metered component, heavy right tail for airport runs.
+    double fare = 2.5 + rng.NextExponential(0.12);
+    return std::min(fare, 120.0);
+  }
+  // Distance in miles: mostly short urban hops.
+  double miles = 0.3 + rng.NextExponential(0.45);
+  return std::min(miles, 40.0);
+}
+
+GcmSource::GcmSource(Params params) : ZipfKeyedSource(std::move(params)) {}
+
+double GcmSource::NextValue(Rng& rng) {
+  // Normalized CPU usage sample in [0, 1], beta-like via squaring.
+  double u = rng.NextDouble();
+  return u * u;
+}
+
+TpchLineItemSource::TpchLineItemSource(Params params)
+    : ZipfKeyedSource(std::move(params)) {}
+
+double TpchLineItemSource::NextValue(Rng& rng) {
+  // l_quantity: uniform integer 1..50 per the TPC-H generator.
+  return static_cast<double>(1 + rng.NextBounded(50));
+}
+
+std::unique_ptr<TupleSource> MakeDataset(
+    DatasetId id, std::shared_ptr<const RateProfile> rate, uint64_t seed,
+    double synd_zipf, double cardinality_scale) {
+  ZipfKeyedSource::Params params;
+  params.rate = std::move(rate);
+  params.seed = seed;
+  switch (id) {
+    case DatasetId::kTweets:
+      params.cardinality = 790000;  // Table 1
+      params.zipf = 1.0;            // natural-language word law
+      break;
+    case DatasetId::kSynD:
+      params.cardinality = 1000000;  // Table 1: 500k-1M
+      params.zipf = synd_zipf;
+      break;
+    case DatasetId::kDebs:
+      params.cardinality = 8000000;  // Table 1
+      params.zipf = 0.6;             // moderate per-cab activity skew
+      break;
+    case DatasetId::kGcm:
+      params.cardinality = 600000;  // Table 1
+      params.zipf = 1.2;            // long-running services dominate events
+      break;
+    case DatasetId::kTpch:
+      params.cardinality = 1000000;  // Table 1
+      params.zipf = 0.3;             // near-uniform part popularity
+      break;
+  }
+  params.cardinality = std::max<uint64_t>(
+      16, static_cast<uint64_t>(static_cast<double>(params.cardinality) *
+                                cardinality_scale));
+  switch (id) {
+    case DatasetId::kTweets:
+      return std::make_unique<TweetsSource>(std::move(params));
+    case DatasetId::kSynD:
+      return std::make_unique<SynDSource>(std::move(params));
+    case DatasetId::kDebs:
+      return std::make_unique<DebsTaxiSource>(std::move(params),
+                                              DebsTaxiSource::Query::kFare);
+    case DatasetId::kGcm:
+      return std::make_unique<GcmSource>(std::move(params));
+    case DatasetId::kTpch:
+      return std::make_unique<TpchLineItemSource>(std::move(params));
+  }
+  return nullptr;
+}
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kTweets: return "Tweets";
+    case DatasetId::kSynD: return "SynD";
+    case DatasetId::kDebs: return "DEBS";
+    case DatasetId::kGcm: return "GCM";
+    case DatasetId::kTpch: return "TPC-H";
+  }
+  return "?";
+}
+
+}  // namespace prompt

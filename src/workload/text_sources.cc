@@ -1,0 +1,47 @@
+#include "workload/text_sources.h"
+
+#include <algorithm>
+
+namespace prompt {
+
+WordStreamSource::WordStreamSource(Params params)
+    : params_(std::move(params)),
+      rng_(params_.seed),
+      zipf_(params_.vocabulary, params_.zipf) {
+  PROMPT_CHECK_MSG(params_.rate != nullptr, "source requires a rate profile");
+}
+
+bool WordStreamSource::Next(Tuple* t) {
+  const double rate = params_.rate->RateAt(static_cast<TimeMicros>(now_));
+  now_ += 1e6 / rate;
+  if (words_left_ == 0) {
+    words_left_ = 8 + static_cast<uint32_t>(rng_.NextBounded(13));
+    tweet_ts_ = static_cast<TimeMicros>(now_);
+  }
+  --words_left_;
+  const uint64_t rank = zipf_.Sample(rng_);
+  t->ts = tweet_ts_;
+  t->key = dictionary_.Intern(SynthesizeWord(rank));
+  t->value = 1.0;
+  return true;
+}
+
+MedallionTripSource::MedallionTripSource(Params params)
+    : params_(std::move(params)),
+      rng_(params_.seed),
+      zipf_(params_.medallions, params_.zipf) {
+  PROMPT_CHECK_MSG(params_.rate != nullptr, "source requires a rate profile");
+}
+
+bool MedallionTripSource::Next(Tuple* t) {
+  const double rate = params_.rate->RateAt(static_cast<TimeMicros>(now_));
+  now_ += 1e6 / rate;
+  const uint64_t rank = zipf_.Sample(rng_);
+  t->ts = static_cast<TimeMicros>(now_);
+  t->key = dictionary_.Intern(SynthesizeMedallion(rank));
+  // Trip fare: base + metered tail, capped like the DEBS data.
+  t->value = std::min(2.5 + rng_.NextExponential(0.12), 120.0);
+  return true;
+}
+
+}  // namespace prompt

@@ -1,0 +1,61 @@
+#include "baselines/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+TEST(FactoryTest, CreatesEveryType) {
+  for (PartitionerType type :
+       {PartitionerType::kTimeBased, PartitionerType::kShuffle,
+        PartitionerType::kHash, PartitionerType::kPk2, PartitionerType::kPk5,
+        PartitionerType::kCam, PartitionerType::kPrompt,
+        PartitionerType::kPromptPostSort, PartitionerType::kFfd,
+        PartitionerType::kFragMin}) {
+    auto p = CreatePartitioner(type);
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), PartitionerTypeName(type));
+  }
+}
+
+TEST(FactoryTest, NameRoundTrip) {
+  for (PartitionerType type : EvaluationTechniques()) {
+    auto parsed = PartitionerTypeFromName(PartitionerTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(FactoryTest, UnknownNameIsInvalid) {
+  auto r = PartitionerTypeFromName("RoundRobinDeluxe");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalid());
+}
+
+TEST(FactoryTest, EvaluationSetMatchesThePaper) {
+  auto set = EvaluationTechniques();
+  EXPECT_EQ(set.size(), 7u);
+  EXPECT_EQ(set.back(), PartitionerType::kPrompt);
+}
+
+TEST(FactoryTest, EveryTechniquePartitionsABatch) {
+  auto tuples = testing::ZipfTuples(4000, 100, 1.0, 0, Seconds(1));
+  for (PartitionerType type : EvaluationTechniques()) {
+    auto p = CreatePartitioner(type);
+    auto batch = testing::RunBatch(*p, tuples, 4, 0, Seconds(1));
+    EXPECT_EQ(batch.num_tuples, 4000u) << p->name();
+    EXPECT_EQ(batch.blocks.size(), 4u) << p->name();
+  }
+}
+
+TEST(FactoryTest, CamCandidatesConfigurable) {
+  PartitionerConfig config;
+  config.cam_candidates = 7;
+  auto p = CreatePartitioner(PartitionerType::kCam, config);
+  ASSERT_NE(p, nullptr);
+}
+
+}  // namespace
+}  // namespace prompt

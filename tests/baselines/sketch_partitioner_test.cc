@@ -1,0 +1,90 @@
+#include "baselines/sketch_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/prompt_partitioner.h"
+#include "stats/metrics.h"
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+using testing::BatchKeyHistogram;
+using testing::KeyHistogram;
+using testing::RunBatch;
+using testing::ZipfTuples;
+
+constexpr TimeMicros kStart = 0;
+constexpr TimeMicros kEnd = Seconds(1);
+
+TEST(SketchPartitionerTest, ConservesTuples) {
+  SketchPartitioner partitioner;
+  auto tuples = ZipfTuples(20000, 800, 1.3, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 8, kStart, kEnd);
+  EXPECT_EQ(BatchKeyHistogram(batch), KeyHistogram(tuples));
+  EXPECT_EQ(batch.num_tuples, tuples.size());
+  EXPECT_EQ(batch.num_keys, KeyHistogram(tuples).size());
+}
+
+TEST(SketchPartitionerTest, SplitsHeavyHittersOnly) {
+  SketchPartitioner partitioner;
+  partitioner.Begin(4, kStart, kEnd);
+  // One dominating key plus light tail.
+  for (int i = 0; i < 8000; ++i) partitioner.OnTuple(Tuple{kStart + i, 1, 1.0});
+  for (int i = 0; i < 2000; ++i) {
+    partitioner.OnTuple(
+        Tuple{kStart + 8000 + i, static_cast<KeyId>(100 + i % 500), 1.0});
+  }
+  auto batch = partitioner.Seal(0);
+  int blocks_with_hot = 0;
+  for (const auto& block : batch.blocks) {
+    for (const auto& f : block.fragments()) {
+      if (f.key == 1) {
+        ++blocks_with_hot;
+        EXPECT_TRUE(f.split);
+      }
+    }
+  }
+  EXPECT_EQ(blocks_with_hot, 4);  // round-robined everywhere
+  // The light keys stay hashed to single blocks.
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_LT(m.split_keys, 5u);
+}
+
+TEST(SketchPartitionerTest, BalancesSkewBetterThanHash) {
+  auto tuples = ZipfTuples(40000, 5000, 1.6, kStart, kEnd);
+  SketchPartitioner sketch;
+  auto sketch_batch = RunBatch(sketch, tuples, 8, kStart, kEnd);
+  auto sketch_m = ComputeBlockMetrics(sketch_batch);
+
+  // Splitting the sketch's heavy hitters must keep size imbalance well
+  // below hashing's (where the hot key pins a whole block).
+  PromptPartitioner prompt;
+  auto prompt_batch = RunBatch(prompt, tuples, 8, kStart, kEnd);
+  auto prompt_m = ComputeBlockMetrics(prompt_batch);
+  EXPECT_LT(sketch_m.bsi, 0.5 * sketch_m.avg_block_size);
+  // But exact statistics still win on the combined objective.
+  EXPECT_LE(prompt_m.mpi, sketch_m.mpi * 1.2);
+}
+
+TEST(SketchPartitionerTest, WorksWithTinySketch) {
+  SketchPartitionerOptions opts;
+  opts.sketch_capacity = 4;
+  SketchPartitioner partitioner(opts);
+  auto tuples = ZipfTuples(5000, 100, 1.0, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 4, kStart, kEnd);
+  EXPECT_EQ(batch.num_tuples, 5000u);
+}
+
+TEST(SketchPartitionerTest, ReusableAcrossBatches) {
+  SketchPartitioner partitioner;
+  for (int i = 0; i < 3; ++i) {
+    auto tuples = ZipfTuples(2000, 50, 1.0, i * kEnd, (i + 1) * kEnd, 10 + i);
+    auto batch =
+        RunBatch(partitioner, tuples, 4, i * kEnd, (i + 1) * kEnd, i);
+    EXPECT_EQ(batch.num_tuples, 2000u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,54 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace prompt {
+namespace {
+
+TEST(ClockTest, UnitHelpers) {
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2.0), 2000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(1500000), 1.5);
+}
+
+TEST(VirtualClockTest, StartsAtGivenTime) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(VirtualClockTest, AdvanceAddsDelta) {
+  VirtualClock clock;
+  clock.Advance(250);
+  clock.Advance(750);
+  EXPECT_EQ(clock.Now(), 1000);
+}
+
+TEST(VirtualClockTest, AdvanceToNeverMovesBackwards) {
+  VirtualClock clock(500);
+  clock.AdvanceTo(400);
+  EXPECT_EQ(clock.Now(), 500);
+  clock.AdvanceTo(900);
+  EXPECT_EQ(clock.Now(), 900);
+}
+
+TEST(SystemClockTest, MonotonicallyIncreases) {
+  SystemClock clock;
+  TimeMicros a = clock.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  TimeMicros b = clock.Now();
+  EXPECT_GT(b, a);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  TimeMicros elapsed = watch.ElapsedMicros();
+  EXPECT_GE(elapsed, 4000);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMicros(), elapsed);
+}
+
+}  // namespace
+}  // namespace prompt

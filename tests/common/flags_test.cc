@@ -1,0 +1,70 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, StringFlags) {
+  auto flags = Parse({"--dataset=Tweets", "--technique=Prompt"});
+  EXPECT_EQ(flags.GetString("dataset", "x"), "Tweets");
+  EXPECT_EQ(flags.GetString("technique", "x"), "Prompt");
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(FlagsTest, IntFlags) {
+  auto flags = Parse({"--batches=42", "--bad=4x2"});
+  EXPECT_EQ(*flags.GetInt("batches", 0), 42);
+  EXPECT_EQ(*flags.GetInt("missing", 7), 7);
+  EXPECT_TRUE(flags.GetInt("bad", 0).status().IsInvalid());
+}
+
+TEST(FlagsTest, DoubleFlags) {
+  auto flags = Parse({"--rate=1.5e4", "--bad=abc"});
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("rate", 0), 15000.0);
+  EXPECT_TRUE(flags.GetDouble("bad", 0).status().IsInvalid());
+}
+
+TEST(FlagsTest, BoolFlags) {
+  auto flags =
+      Parse({"--elastic", "--metrics=false", "--quiet=yes", "--bad=maybe"});
+  EXPECT_TRUE(*flags.GetBool("elastic", false));
+  EXPECT_FALSE(*flags.GetBool("metrics", true));
+  EXPECT_TRUE(*flags.GetBool("quiet", false));
+  EXPECT_FALSE(*flags.GetBool("missing", false));
+  EXPECT_TRUE(flags.GetBool("bad", false).status().IsInvalid());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto flags = Parse({"--a=1", "run", "now"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "now");
+}
+
+TEST(FlagsTest, UnknownFlagsAreReported) {
+  auto flags = Parse({"--known=1", "--typo=2"});
+  flags.GetInt("known", 0);
+  auto unknown = flags.UnknownFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, HasDetectsPresence) {
+  auto flags = Parse({"--x=1"});
+  EXPECT_TRUE(flags.Has("x"));
+  EXPECT_FALSE(flags.Has("y"));
+}
+
+TEST(FlagsTest, EmptyValue) {
+  auto flags = Parse({"--name="});
+  EXPECT_EQ(flags.GetString("name", "z"), "");
+}
+
+}  // namespace
+}  // namespace prompt

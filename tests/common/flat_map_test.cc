@@ -1,0 +1,102 @@
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace prompt {
+namespace {
+
+TEST(FlatMapTest, InsertAndFind) {
+  FlatMap<int> map;
+  map.GetOrInsert(1) = 10;
+  map.GetOrInsert(2) = 20;
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 10);
+  EXPECT_EQ(*map.Find(2), 20);
+  EXPECT_EQ(map.Find(3), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMapTest, GetOrInsertReportsInsertion) {
+  FlatMap<int> map;
+  bool inserted = false;
+  map.GetOrInsert(5, &inserted);
+  EXPECT_TRUE(inserted);
+  map.GetOrInsert(5, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, DefaultConstructsValue) {
+  FlatMap<uint64_t> map;
+  EXPECT_EQ(map.GetOrInsert(9), 0u);
+  ++map.GetOrInsert(9);
+  EXPECT_EQ(*map.Find(9), 1u);
+}
+
+TEST(FlatMapTest, GrowsBeyondInitialCapacity) {
+  FlatMap<uint64_t> map(4);
+  for (uint64_t k = 0; k < 10000; ++k) map.GetOrInsert(k) = k * 2;
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), k * 2);
+  }
+}
+
+TEST(FlatMapTest, ClearRetainsUsability) {
+  FlatMap<int> map;
+  for (uint64_t k = 0; k < 100; ++k) map.GetOrInsert(k) = 1;
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5), nullptr);
+  map.GetOrInsert(5) = 7;
+  EXPECT_EQ(*map.Find(5), 7);
+}
+
+TEST(FlatMapTest, ForEachVisitsAllEntriesOnce) {
+  FlatMap<uint64_t> map;
+  for (uint64_t k = 100; k < 200; ++k) map.GetOrInsert(k) = k;
+  uint64_t visits = 0, key_sum = 0;
+  map.ForEach([&](uint64_t k, uint64_t v) {
+    ++visits;
+    key_sum += k;
+    EXPECT_EQ(k, v);
+  });
+  EXPECT_EQ(visits, 100u);
+  EXPECT_EQ(key_sum, (100 + 199) * 100 / 2);
+}
+
+TEST(FlatMapTest, MatchesUnorderedMapUnderRandomOps) {
+  FlatMap<int> map;
+  std::unordered_map<uint64_t, int> reference;
+  Rng rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextBounded(5000);
+    int delta = static_cast<int>(rng.NextBounded(10));
+    map.GetOrInsert(key) += delta;
+    reference[key] += delta;
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    ASSERT_NE(map.Find(k), nullptr);
+    EXPECT_EQ(*map.Find(k), v);
+  }
+}
+
+TEST(FlatMapTest, HandlesAdversarialKeys) {
+  // Keys differing only in high bits; linear probing must still separate.
+  FlatMap<int> map;
+  for (uint64_t k = 0; k < 64; ++k) map.GetOrInsert(k << 58) = static_cast<int>(k);
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_NE(map.Find(k << 58), nullptr);
+    EXPECT_EQ(*map.Find(k << 58), static_cast<int>(k));
+  }
+}
+
+}  // namespace
+}  // namespace prompt

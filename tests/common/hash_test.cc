@@ -1,0 +1,59 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+namespace prompt {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(HashTest, Mix64IsInjectiveOnSample) {
+  // Mix64 is a bijection on uint64; verify no collisions over a dense range.
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(Mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(HashTest, SeedsBehaveAsIndependentFunctions) {
+  // The d-choices partitioners rely on different seeds giving different
+  // block assignments for the same key.
+  int differing = 0;
+  constexpr int kTrials = 1000;
+  for (uint64_t k = 0; k < kTrials; ++k) {
+    if (HashKey(k, 1) % 16 != HashKey(k, 2) % 16) ++differing;
+  }
+  // Two independent uniform choices over 16 differ with prob 15/16.
+  EXPECT_GT(differing, kTrials * 8 / 10);
+}
+
+TEST(HashTest, HashKeyDistributesUniformly) {
+  constexpr int kBuckets = 8;
+  constexpr int kKeys = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ++counts[HashKey(k) % kBuckets];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kBuckets, kKeys / kBuckets * 0.05);
+  }
+}
+
+TEST(HashTest, HashBytesMatchesOnEqualContent) {
+  EXPECT_EQ(HashBytes("taxi-medallion-42"), HashBytes("taxi-medallion-42"));
+  EXPECT_NE(HashBytes("word-a"), HashBytes("word-b"));
+  EXPECT_NE(HashBytes("word-a", 1), HashBytes("word-a", 2));
+}
+
+TEST(HashTest, HashBytesEmptyIsStable) {
+  EXPECT_EQ(HashBytes(""), HashBytes(std::string_view{}));
+}
+
+}  // namespace
+}  // namespace prompt

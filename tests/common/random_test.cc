@@ -1,0 +1,130 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace prompt {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  bool any_diff = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasExpectedMean) {
+  Rng rng(3);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0, sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(ZipfTest, UniformWhenZeroExponent) {
+  Rng rng(5);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 10, kN / 10 * 0.1);
+}
+
+TEST(ZipfTest, RanksStayInRange) {
+  Rng rng(6);
+  ZipfSampler zipf(1000, 1.5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+// Property sweep: empirical rank frequencies track the exact PMF across
+// exponents, including z == 1 (the log-form special case).
+class ZipfSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweepTest, EmpiricalMatchesPmf) {
+  const double z = GetParam();
+  constexpr uint64_t kN = 50;
+  constexpr int kSamples = 200000;
+  Rng rng(42);
+  ZipfSampler zipf(kN, z);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t r = 0; r < 5; ++r) {
+    double expected = zipf.Pmf(r) * kSamples;
+    EXPECT_NEAR(counts[r], expected, std::max(40.0, expected * 0.08))
+        << "rank " << r << " z=" << z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweepTest,
+                         ::testing::Values(0.1, 0.5, 0.9, 1.0, 1.2, 1.5, 2.0));
+
+TEST(ZipfTest, HighSkewConcentratesOnHead) {
+  Rng rng(7);
+  ZipfSampler zipf(100000, 1.8);
+  int head = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (zipf.Sample(rng) < 10) ++head;
+  }
+  EXPECT_GT(head, kN / 2);  // top-10 ranks dominate at z=1.8
+}
+
+TEST(PermutationTest, IsAPermutation) {
+  Rng rng(8);
+  auto perm = RandomPermutation(1000, rng);
+  std::vector<bool> seen(1000, false);
+  for (uint64_t v : perm) {
+    ASSERT_LT(v, 1000u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,77 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prompt {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::Invalid("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  PROMPT_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+Status CheckPositive(int x) {
+  PROMPT_RETURN_NOT_OK(ParsePositive(x).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::KeyError("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsKeyError());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> bad = Doubled(-3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalid());
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValue) {
+  Result<int> good = Doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(CheckPositive(1).ok());
+  EXPECT_TRUE(CheckPositive(0).IsInvalid());
+}
+
+TEST(ResultTest, VectorValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace prompt

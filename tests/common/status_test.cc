@@ -1,0 +1,76 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Invalid("bad partition count");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalid());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad partition count");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad partition count");
+}
+
+TEST(StatusTest, AllFactoriesMapToPredicates) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::KeyError("x").IsKeyError());
+  EXPECT_TRUE(Status::CapacityError("x").IsCapacityError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::KeyError("missing key 7");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsKeyError());
+  EXPECT_EQ(copy.message(), "missing key 7");
+  EXPECT_EQ(s, copy);
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::IOError("disk");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIOError());
+}
+
+TEST(StatusTest, AssignmentOverwrites) {
+  Status s = Status::Invalid("a");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+  s = Status::Unknown("b");
+  EXPECT_EQ(s.code(), StatusCode::kUnknownError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("x"), Status::Invalid("x"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::Invalid("y"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::KeyError("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCapacityError),
+               "Capacity error");
+}
+
+}  // namespace
+}  // namespace prompt

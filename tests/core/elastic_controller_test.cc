@@ -1,0 +1,176 @@
+#include "core/elastic_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+ElasticityOptions DefaultOptions() {
+  ElasticityOptions opts;
+  opts.threshold = 0.9;
+  opts.step = 0.1;
+  opts.d = 3;
+  return opts;
+}
+
+TEST(ElasticControllerTest, ZoneClassification) {
+  auto opts = DefaultOptions();
+  EXPECT_EQ(ElasticController::ZoneOf(0.5, opts),
+            ElasticityZone::kUnderUtilized);
+  EXPECT_EQ(ElasticController::ZoneOf(0.85, opts), ElasticityZone::kStable);
+  EXPECT_EQ(ElasticController::ZoneOf(0.95, opts),
+            ElasticityZone::kOverloaded);
+}
+
+TEST(ElasticControllerTest, StableZoneNeverScales) {
+  ElasticController controller(DefaultOptions(), 4, 4);
+  for (int i = 0; i < 20; ++i) {
+    auto d = controller.OnBatchCompleted(0.85, 1000, 100);
+    EXPECT_FALSE(d.changed());
+  }
+  EXPECT_EQ(controller.map_tasks(), 4u);
+  EXPECT_EQ(controller.reduce_tasks(), 4u);
+}
+
+TEST(ElasticControllerTest, ScaleOutRequiresDConsecutiveBatches) {
+  ElasticController controller(DefaultOptions(), 4, 4);
+  // Rising rate so the trend test attributes load to data rate.
+  EXPECT_FALSE(controller.OnBatchCompleted(1.2, 1000, 100).changed());
+  EXPECT_FALSE(controller.OnBatchCompleted(1.2, 1100, 100).changed());
+  auto d = controller.OnBatchCompleted(1.2, 1200, 100);
+  EXPECT_TRUE(d.changed());
+  EXPECT_EQ(d.delta_map, 1);
+  EXPECT_EQ(controller.map_tasks(), 5u);
+}
+
+TEST(ElasticControllerTest, StableBatchResetsTheCount) {
+  ElasticController controller(DefaultOptions(), 4, 4);
+  controller.OnBatchCompleted(1.2, 1000, 100);
+  controller.OnBatchCompleted(1.2, 1100, 100);
+  controller.OnBatchCompleted(0.85, 1100, 100);  // back to stable
+  auto d = controller.OnBatchCompleted(1.2, 1200, 100);
+  EXPECT_FALSE(d.changed());  // count restarted
+}
+
+TEST(ElasticControllerTest, RateIncreaseAddsMappers) {
+  ElasticController controller(DefaultOptions(), 4, 4);
+  // Rate rising, keys flat -> mappers only (Alg. 4 lines 6-7).
+  uint64_t rate = 1000;
+  ScaleDecision last;
+  for (int i = 0; i < 3; ++i) {
+    last = controller.OnBatchCompleted(1.1, rate, 100);
+    rate += 200;
+  }
+  EXPECT_EQ(last.delta_map, 1);
+  EXPECT_EQ(last.delta_reduce, 0);
+}
+
+TEST(ElasticControllerTest, CardinalityIncreaseAddsReducers) {
+  ElasticController controller(DefaultOptions(), 4, 4);
+  uint64_t keys = 100;
+  ScaleDecision last;
+  for (int i = 0; i < 3; ++i) {
+    last = controller.OnBatchCompleted(1.1, 1000, keys);
+    keys += 50;
+  }
+  EXPECT_EQ(last.delta_map, 0);
+  EXPECT_EQ(last.delta_reduce, 1);
+}
+
+TEST(ElasticControllerTest, BothTrendsAddBoth) {
+  ElasticController controller(DefaultOptions(), 4, 4);
+  uint64_t rate = 1000, keys = 100;
+  ScaleDecision last;
+  for (int i = 0; i < 3; ++i) {
+    last = controller.OnBatchCompleted(1.1, rate, keys);
+    rate += 300;
+    keys += 40;
+  }
+  EXPECT_EQ(last.delta_map, 1);
+  EXPECT_EQ(last.delta_reduce, 1);
+}
+
+TEST(ElasticControllerTest, GracePeriodBlocksImmediateReversal) {
+  ElasticController controller(DefaultOptions(), 4, 4);
+  uint64_t rate = 1000;
+  for (int i = 0; i < 3; ++i) {
+    controller.OnBatchCompleted(1.1, rate, 100);
+    rate += 200;
+  }
+  ASSERT_EQ(controller.map_tasks(), 5u);
+  // Under-utilized right after scaling out: the grace period blocks the
+  // reverse (scale-in) decision when its d-count fills.
+  ScaleDecision d{};
+  for (int i = 0; i < 3; ++i) {
+    d = controller.OnBatchCompleted(0.2, rate, 100);
+    EXPECT_FALSE(d.changed());
+  }
+  EXPECT_TRUE(d.in_grace_period);  // the suppressed reversal
+  EXPECT_EQ(controller.map_tasks(), 5u);
+}
+
+TEST(ElasticControllerTest, GraceAllowsContinuedScalingInSameDirection) {
+  // §6: the grace period prevents *reverse* decisions; a sustained overload
+  // keeps adding one task per d batches (the "repeat until W <= thres"
+  // behaviour).
+  ElasticController controller(DefaultOptions(), 4, 4);
+  uint64_t rate = 1000;
+  for (int i = 0; i < 9; ++i) {
+    controller.OnBatchCompleted(1.3, rate, 100);
+    rate += 200;
+  }
+  EXPECT_EQ(controller.map_tasks(), 7u);  // 3 scale-outs in 9 batches (d=3)
+}
+
+TEST(ElasticControllerTest, ScaleInAfterSustainedUnderutilization) {
+  ElasticController controller(DefaultOptions(), 8, 8);
+  uint64_t rate = 5000;
+  ScaleDecision last;
+  for (int i = 0; i < 3; ++i) {
+    last = controller.OnBatchCompleted(0.3, rate, 500);
+    rate -= 800;  // falling rate
+  }
+  EXPECT_EQ(last.delta_map, -1);
+  EXPECT_EQ(controller.map_tasks(), 7u);
+}
+
+TEST(ElasticControllerTest, RespectsMinimumTasks) {
+  auto opts = DefaultOptions();
+  opts.min_map_tasks = 2;
+  opts.min_reduce_tasks = 2;
+  ElasticController controller(opts, 2, 2);
+  uint64_t rate = 5000;
+  for (int round = 0; round < 10; ++round) {
+    controller.OnBatchCompleted(0.1, rate, 10);
+    rate = rate > 500 ? rate - 400 : rate;
+  }
+  EXPECT_GE(controller.map_tasks(), 2u);
+  EXPECT_GE(controller.reduce_tasks(), 2u);
+}
+
+TEST(ElasticControllerTest, RespectsMaximumTasks) {
+  auto opts = DefaultOptions();
+  opts.max_map_tasks = 5;
+  ElasticController controller(opts, 4, 4);
+  uint64_t rate = 1000;
+  for (int round = 0; round < 30; ++round) {
+    controller.OnBatchCompleted(1.5, rate, 100);
+    rate += 500;
+  }
+  EXPECT_LE(controller.map_tasks(), 5u);
+}
+
+TEST(ElasticControllerTest, FlatStatisticsStillScaleOutWhenOverloaded) {
+  // W above threshold but neither statistic trending: workload got more
+  // expensive per tuple; grow both.
+  ElasticController controller(DefaultOptions(), 4, 4);
+  ScaleDecision last;
+  for (int i = 0; i < 3; ++i) {
+    last = controller.OnBatchCompleted(1.3, 1000, 100);
+  }
+  EXPECT_EQ(last.delta_map, 1);
+  EXPECT_EQ(last.delta_reduce, 1);
+}
+
+}  // namespace
+}  // namespace prompt

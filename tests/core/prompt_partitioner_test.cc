@@ -1,0 +1,247 @@
+#include "core/prompt_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stats/metrics.h"
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+using testing::Accumulate;
+using testing::KeyHistogram;
+using testing::RunBatch;
+using testing::ZipfTuples;
+
+constexpr TimeMicros kStart = 0;
+constexpr TimeMicros kEnd = Seconds(1);
+
+TEST(PromptPlanTest, EmptyBatchYieldsEmptyBlocks) {
+  MicrobatchAccumulator acc;
+  acc.Begin(kStart, kEnd);
+  auto sealed = acc.Seal();
+  auto plan = BuildPromptPlan(sealed, 4);
+  EXPECT_EQ(plan.blocks.size(), 4u);
+  for (const auto& b : plan.blocks) EXPECT_TRUE(b.empty());
+  auto batch = MaterializePlan(sealed, plan, 4);
+  EXPECT_EQ(batch.blocks.size(), 4u);
+}
+
+TEST(PromptPlanTest, PlanCoversEveryTupleExactlyOnce) {
+  MicrobatchAccumulator acc;
+  auto tuples = ZipfTuples(30000, 2000, 1.2, kStart, kEnd);
+  auto sealed = Accumulate(acc, tuples, kStart, kEnd);
+  auto plan = BuildPromptPlan(sealed, 8);
+
+  // Per-key takes must sum to the key's count with disjoint segments.
+  std::map<uint32_t, uint64_t> taken;
+  for (const auto& block : plan.blocks) {
+    for (const auto& pl : block) taken[pl.key_index] += pl.take;
+  }
+  ASSERT_EQ(taken.size(), sealed.keys().size());
+  for (const auto& [idx, take] : taken) {
+    EXPECT_EQ(take, sealed.keys()[idx].count) << "key index " << idx;
+  }
+}
+
+TEST(PromptPlanTest, MaterializedBatchPreservesKeyHistogram) {
+  MicrobatchAccumulator acc;
+  auto tuples = ZipfTuples(20000, 500, 1.5, kStart, kEnd);
+  auto sealed = Accumulate(acc, tuples, kStart, kEnd);
+  auto plan = BuildPromptPlan(sealed, 6);
+  auto batch = MaterializePlan(sealed, plan, 6);
+
+  EXPECT_EQ(testing::BatchKeyHistogram(batch), KeyHistogram(tuples));
+  EXPECT_EQ(batch.num_tuples, tuples.size());
+}
+
+TEST(PromptPlanTest, BlockSizesAreNearlyEqualUnderHeavySkew) {
+  MicrobatchAccumulator acc;
+  auto tuples = ZipfTuples(50000, 10000, 1.8, kStart, kEnd);
+  auto sealed = Accumulate(acc, tuples, kStart, kEnd);
+  const uint32_t p = 8;
+  auto plan = BuildPromptPlan(sealed, p);
+  auto batch = MaterializePlan(sealed, plan, p);
+
+  auto m = ComputeBlockMetrics(batch);
+  // BSI within 5% of the average block size despite z=1.8 skew.
+  EXPECT_LT(m.bsi, 0.05 * m.avg_block_size)
+      << "max=" << m.max_block_size << " avg=" << m.avg_block_size;
+}
+
+TEST(PromptPlanTest, CardinalityIsBalanced) {
+  MicrobatchAccumulator acc;
+  auto tuples = ZipfTuples(40000, 4000, 1.0, kStart, kEnd);
+  auto sealed = Accumulate(acc, tuples, kStart, kEnd);
+  const uint32_t p = 5;
+  auto plan = BuildPromptPlan(sealed, p);
+  auto batch = MaterializePlan(sealed, plan, p);
+
+  auto m = ComputeBlockMetrics(batch);
+  // BCI small relative to the per-block average cardinality. The Best-Fit
+  // residual pass (Alg. 2 line 23) can pile diverted residuals onto one
+  // nearly-full block, so the bound is looser than for sizes.
+  EXPECT_LT(m.bci, 0.25 * m.avg_block_cardinality);
+  // Cardinality magnitude stays near the ideal K/P share (unlike shuffle,
+  // where every block's cardinality approaches K).
+  EXPECT_LT(static_cast<double>(m.max_block_cardinality),
+            1.5 * m.avg_block_cardinality);
+}
+
+TEST(PromptPlanTest, FragmentationIsLimited) {
+  MicrobatchAccumulator acc;
+  auto tuples = ZipfTuples(50000, 5000, 1.4, kStart, kEnd);
+  auto sealed = Accumulate(acc, tuples, kStart, kEnd);
+  const uint32_t p = 8;
+  auto plan = BuildPromptPlan(sealed, p);
+  auto batch = MaterializePlan(sealed, plan, p);
+
+  auto m = ComputeBlockMetrics(batch);
+  // Only keys above S_cut may fragment; KSR stays close to 1.
+  EXPECT_LT(m.ksr, 1.05);
+  // And far below shuffle's worst case of ~p fragments per key.
+  EXPECT_LT(m.ksr, static_cast<double>(p) / 2);
+}
+
+TEST(PromptPlanTest, SingleBlockTakesEverything) {
+  MicrobatchAccumulator acc;
+  auto tuples = ZipfTuples(1000, 100, 1.0, kStart, kEnd);
+  auto sealed = Accumulate(acc, tuples, kStart, kEnd);
+  auto plan = BuildPromptPlan(sealed, 1);
+  auto batch = MaterializePlan(sealed, plan, 1);
+  EXPECT_EQ(batch.blocks[0].size(), 1000u);
+  EXPECT_EQ(plan.split_keys, 0u);
+}
+
+TEST(PromptPlanTest, MoreBlocksThanKeys) {
+  MicrobatchAccumulator acc;
+  acc.Begin(kStart, kEnd);
+  for (int i = 0; i < 90; ++i) {
+    acc.Add(Tuple{kStart + i, static_cast<KeyId>(i % 3), 1.0});
+  }
+  auto sealed = acc.Seal();
+  auto plan = BuildPromptPlan(sealed, 6);
+  auto batch = MaterializePlan(sealed, plan, 6);
+  // 3 keys x 30 tuples into 6 blocks of capacity 15: every key must split,
+  // sizes stay equal.
+  uint64_t total = 0;
+  for (const auto& b : batch.blocks) total += b.size();
+  EXPECT_EQ(total, 90u);
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_LE(m.bsi, 1.0);
+}
+
+TEST(PromptPlanTest, OneGiantKeyIsSpreadAcrossBlocks) {
+  MicrobatchAccumulator acc;
+  acc.Begin(kStart, kEnd);
+  for (int i = 0; i < 10000; ++i) acc.Add(Tuple{kStart + i, 42, 1.0});
+  for (int i = 0; i < 100; ++i) {
+    acc.Add(Tuple{kStart + 20000 + i, static_cast<KeyId>(100 + i), 1.0});
+  }
+  auto sealed = acc.Seal();
+  const uint32_t p = 4;
+  auto plan = BuildPromptPlan(sealed, p);
+  auto batch = MaterializePlan(sealed, plan, p);
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_LT(m.bsi, 0.1 * m.avg_block_size);
+  // The giant key must appear in multiple blocks.
+  int blocks_with_42 = 0;
+  for (const auto& b : batch.blocks) {
+    for (const auto& f : b.fragments()) {
+      if (f.key == 42) {
+        ++blocks_with_42;
+        EXPECT_TRUE(f.split);
+      }
+    }
+  }
+  EXPECT_GE(blocks_with_42, 2);
+}
+
+// Property sweep over (tuples, keys, blocks, skew): invariants hold across
+// the workload space.
+struct PlanSweepParam {
+  uint64_t tuples;
+  uint64_t cardinality;
+  uint32_t blocks;
+  double z;
+};
+
+class PromptPlanSweepTest : public ::testing::TestWithParam<PlanSweepParam> {};
+
+TEST_P(PromptPlanSweepTest, InvariantsHold) {
+  const auto& p = GetParam();
+  MicrobatchAccumulator acc;
+  auto tuples = ZipfTuples(p.tuples, p.cardinality, p.z, kStart, kEnd);
+  auto sealed = Accumulate(acc, tuples, kStart, kEnd);
+  auto plan = BuildPromptPlan(sealed, p.blocks);
+  auto batch = MaterializePlan(sealed, plan, p.blocks);
+
+  // 1. Conservation.
+  EXPECT_EQ(testing::BatchKeyHistogram(batch), KeyHistogram(tuples));
+  // 2. Size balance: max block within 2x average (loose bound that must
+  // hold even for degenerate shapes).
+  auto m = ComputeBlockMetrics(batch);
+  if (m.avg_block_size >= 1) {
+    EXPECT_LE(static_cast<double>(m.max_block_size), 2.0 * m.avg_block_size + 8);
+  }
+  // 3. Fragment accounting matches plan stats.
+  EXPECT_EQ(m.total_fragments, plan.fragments);
+  EXPECT_EQ(m.split_keys, plan.split_keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadShapes, PromptPlanSweepTest,
+    ::testing::Values(PlanSweepParam{1000, 10, 4, 0.5},
+                      PlanSweepParam{5000, 5000, 4, 0.0},
+                      PlanSweepParam{20000, 200, 16, 1.0},
+                      PlanSweepParam{20000, 200, 3, 2.0},
+                      PlanSweepParam{500, 1, 4, 1.0},
+                      PlanSweepParam{10000, 100, 1, 1.5},
+                      PlanSweepParam{30000, 30000, 8, 1.2}));
+
+TEST(PromptPartitionerTest, FullPipelineProducesBalancedBatch) {
+  PromptPartitioner partitioner;
+  auto tuples = ZipfTuples(30000, 1000, 1.3, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 8, kStart, kEnd, 17);
+  EXPECT_EQ(batch.batch_id, 17u);
+  EXPECT_EQ(batch.num_tuples, tuples.size());
+  EXPECT_EQ(batch.blocks.size(), 8u);
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_LT(m.bsi, 0.05 * m.avg_block_size);
+  EXPECT_GE(batch.seal_time, kEnd);
+}
+
+TEST(PromptPartitionerTest, ReportsPartitionCost) {
+  PromptPartitioner partitioner;
+  auto tuples = ZipfTuples(50000, 5000, 1.0, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 8, kStart, kEnd);
+  EXPECT_GT(batch.partition_cost, 0);
+  // The decision must be far cheaper than the 5% slack of a 1s interval.
+  EXPECT_LT(batch.partition_cost, Seconds(1) / 20);
+}
+
+TEST(PromptPartitionerTest, ReusableAcrossBatches) {
+  PromptPartitioner partitioner;
+  for (int i = 0; i < 3; ++i) {
+    TimeMicros start = i * kEnd;
+    auto tuples = ZipfTuples(5000, 200, 1.0, start, start + kEnd,
+                             /*seed=*/100 + i);
+    auto batch = RunBatch(partitioner, tuples, 4, start, start + kEnd, i);
+    EXPECT_EQ(batch.num_tuples, 5000u);
+  }
+}
+
+TEST(PromptPartitionerTest, PostSortVariantNameAndBehaviour) {
+  PromptPartitionerOptions opts;
+  opts.post_sort = true;
+  PromptPartitioner partitioner(opts);
+  EXPECT_STREQ(partitioner.name(), "Prompt+PostSort");
+  auto tuples = ZipfTuples(10000, 500, 1.0, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 4, kStart, kEnd);
+  EXPECT_EQ(batch.num_tuples, 10000u);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,143 @@
+#include "core/reduce_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/metrics.h"
+
+namespace prompt {
+namespace {
+
+std::vector<uint64_t> BucketSizes(const std::vector<KeyCluster>& clusters,
+                                  const std::vector<uint32_t>& assignment,
+                                  uint32_t r) {
+  std::vector<uint64_t> sizes(r, 0);
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    sizes[assignment[i]] += clusters[i].size;
+  }
+  return sizes;
+}
+
+TEST(HashReduceAllocatorTest, DeterministicPerKey) {
+  HashReduceAllocator alloc;
+  std::vector<KeyCluster> a = {{1, 10, false}, {2, 5, true}};
+  std::vector<KeyCluster> b = {{2, 99, true}, {1, 1, false}};
+  auto assign_a = alloc.Assign(a, 7);
+  auto assign_b = alloc.Assign(b, 7);
+  EXPECT_EQ(assign_a[0], assign_b[1]);  // key 1
+  EXPECT_EQ(assign_a[1], assign_b[0]);  // key 2
+}
+
+TEST(HashReduceAllocatorTest, AllBucketsInRange) {
+  HashReduceAllocator alloc;
+  std::vector<KeyCluster> clusters;
+  for (uint64_t k = 0; k < 1000; ++k) clusters.push_back({k, 1, false});
+  auto assignment = alloc.Assign(clusters, 9);
+  for (uint32_t b : assignment) EXPECT_LT(b, 9u);
+}
+
+TEST(PromptReduceAllocatorTest, SplitKeysFollowTheSharedHash) {
+  // Split keys must land on the same bucket as HashReduceAllocator would
+  // choose, so independent Map tasks agree without coordination.
+  PromptReduceAllocator prompt_alloc;
+  HashReduceAllocator hash_alloc;
+  std::vector<KeyCluster> clusters;
+  for (uint64_t k = 0; k < 200; ++k) clusters.push_back({k, k + 1, true});
+  auto a = prompt_alloc.Assign(clusters, 8);
+  auto b = hash_alloc.Assign(clusters, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PromptReduceAllocatorTest, TwoMapTasksAgreeOnSplitKeys) {
+  PromptReduceAllocator alloc;
+  // Same split key appears in two different task outputs with different
+  // cluster sizes and neighbors.
+  std::vector<KeyCluster> task1 = {{7, 100, true}, {1, 50, false}};
+  std::vector<KeyCluster> task2 = {{3, 10, false}, {7, 2, true}, {9, 5, false}};
+  auto a1 = alloc.Assign(task1, 4);
+  auto a2 = alloc.Assign(task2, 4);
+  EXPECT_EQ(a1[0], a2[1]);  // key 7 agrees
+}
+
+TEST(PromptReduceAllocatorTest, NonSplitClustersBalanceBuckets) {
+  PromptReduceAllocator prompt_alloc;
+  HashReduceAllocator hash_alloc;
+  // Skewed non-split cluster sizes, many more clusters than buckets so a
+  // smart allocator has room to balance.
+  Rng rng(3);
+  ZipfSampler zipf(2000, 1.0);
+  std::map<uint64_t, uint64_t> sizes;
+  for (int i = 0; i < 40000; ++i) ++sizes[zipf.Sample(rng)];
+  std::vector<KeyCluster> clusters;
+  for (const auto& [k, s] : sizes) clusters.push_back({k, s, false});
+
+  const uint32_t r = 8;
+  auto prompt_assign = prompt_alloc.Assign(clusters, r);
+  auto hash_assign = hash_alloc.Assign(clusters, r);
+  double prompt_bsi =
+      BucketSizeImbalance(BucketSizes(clusters, prompt_assign, r));
+  double hash_bsi = BucketSizeImbalance(BucketSizes(clusters, hash_assign, r));
+  EXPECT_LT(prompt_bsi, hash_bsi * 0.5)
+      << "Worst-Fit should at least halve hashing's bucket imbalance";
+}
+
+TEST(PromptReduceAllocatorTest, BucketRetirementBalancesClusterCounts) {
+  PromptReduceAllocator alloc;
+  std::vector<KeyCluster> clusters;
+  for (uint64_t k = 0; k < 16; ++k) clusters.push_back({k, 10, false});
+  auto assignment = alloc.Assign(clusters, 4);
+  std::vector<int> counts(4, 0);
+  for (uint32_t b : assignment) ++counts[b];
+  for (int c : counts) EXPECT_EQ(c, 4);  // 16 equal clusters over 4 buckets
+}
+
+TEST(PromptReduceAllocatorTest, EmptyInput) {
+  PromptReduceAllocator alloc;
+  auto assignment = alloc.Assign({}, 4);
+  EXPECT_TRUE(assignment.empty());
+}
+
+TEST(PromptReduceAllocatorTest, SingleBucketTakesAll) {
+  PromptReduceAllocator alloc;
+  std::vector<KeyCluster> clusters = {{1, 5, false}, {2, 3, true}};
+  auto assignment = alloc.Assign(clusters, 1);
+  EXPECT_EQ(assignment[0], 0u);
+  EXPECT_EQ(assignment[1], 0u);
+}
+
+TEST(PromptReduceAllocatorTest, LargestClustersGoFirstToEmptiestBuckets) {
+  PromptReduceAllocator alloc;
+  // One huge, three small, r=2. Worst-Fit puts the huge cluster alone
+  // first; bucket retirement (Alg. 3 lines 7-9) then alternates buckets, so
+  // exactly one small cluster joins the huge one after the candidate reset.
+  std::vector<KeyCluster> clusters = {
+      {1, 1000, false}, {2, 10, false}, {3, 10, false}, {4, 10, false}};
+  auto assignment = alloc.Assign(clusters, 2);
+  auto sizes = BucketSizes(clusters, assignment, 2);
+  EXPECT_EQ(std::max(sizes[0], sizes[1]), 1010u);
+  EXPECT_EQ(std::min(sizes[0], sizes[1]), 20u);
+  EXPECT_NE(assignment[0], assignment[1]);  // first small avoids the huge one
+}
+
+// Sweep: with many equal clusters, Worst-Fit yields near-perfect balance for
+// any bucket count.
+class ReduceAllocSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ReduceAllocSweepTest, EqualClustersSpreadEvenly) {
+  const uint32_t r = GetParam();
+  PromptReduceAllocator alloc;
+  std::vector<KeyCluster> clusters;
+  for (uint64_t k = 0; k < 40 * r; ++k) clusters.push_back({k, 7, false});
+  auto assignment = alloc.Assign(clusters, r);
+  auto sizes = BucketSizes(clusters, assignment, r);
+  EXPECT_DOUBLE_EQ(BucketSizeImbalance(sizes), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, ReduceAllocSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33));
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,121 @@
+#include "engine/batch_resizer.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+TEST(BatchIntervalControllerTest, StableLoadKeepsIntervalSteady) {
+  BatchIntervalController controller;
+  TimeMicros interval = Seconds(1);
+  // Processing at exactly the target ratio: the interval should converge,
+  // not drift.
+  for (int i = 0; i < 20; ++i) {
+    interval = controller.OnBatchCompleted(
+        interval, static_cast<TimeMicros>(0.85 * interval));
+  }
+  EXPECT_NEAR(static_cast<double>(interval), 1e6, 2e5);
+}
+
+TEST(BatchIntervalControllerTest, OverloadGrowsInterval) {
+  BatchIntervalController controller;
+  TimeMicros interval = Seconds(1);
+  // Processing dominated by fixed overhead: longer intervals amortize it.
+  // proc(T) = 0.4*T + 800ms.
+  for (int i = 0; i < 30; ++i) {
+    TimeMicros proc = static_cast<TimeMicros>(0.4 * interval) + Millis(800);
+    interval = controller.OnBatchCompleted(interval, proc);
+  }
+  // Fixed point: T = b/(target-a) = 0.8/(0.85-0.4) ≈ 1.78s.
+  EXPECT_GT(interval, Seconds(1.4));
+  EXPECT_LT(interval, Seconds(2.4));
+}
+
+TEST(BatchIntervalControllerTest, LightLoadShrinksInterval) {
+  BatchIntervalController controller;
+  TimeMicros interval = Seconds(5);
+  // proc(T) = 0.2*T + 100ms: fixed point ≈ 154ms.
+  for (int i = 0; i < 40; ++i) {
+    TimeMicros proc = static_cast<TimeMicros>(0.2 * interval) + Millis(100);
+    interval = controller.OnBatchCompleted(interval, proc);
+  }
+  EXPECT_LT(interval, Millis(400));
+}
+
+TEST(BatchIntervalControllerTest, RespectsBounds) {
+  BatchResizerOptions opts;
+  opts.min_interval = Millis(500);
+  opts.max_interval = Seconds(2);
+  BatchIntervalController controller(opts);
+  TimeMicros interval = Seconds(1);
+  for (int i = 0; i < 20; ++i) {
+    interval = controller.OnBatchCompleted(interval, interval * 10);
+  }
+  EXPECT_EQ(interval, Seconds(2));
+  for (int i = 0; i < 40; ++i) {
+    interval = controller.OnBatchCompleted(interval, Millis(1));
+  }
+  EXPECT_EQ(interval, Millis(500));
+}
+
+TEST(BatchResizingEngineTest, IntervalAdaptsAndStabilizes) {
+  // An overloaded fixed interval becomes stable once resizing kicks in,
+  // at the cost of a longer interval (= higher latency floor), which is the
+  // paper's §1 critique of the approach.
+  ZipfKeyedSource::Params params;
+  params.cardinality = 500;
+  params.zipf = 1.0;
+  params.rate = std::make_shared<ConstantRate>(10000);
+  SynDSource source(std::move(params));
+
+  EngineOptions opts;
+  opts.batch_interval = Millis(200);
+  opts.map_tasks = 4;
+  opts.reduce_tasks = 4;
+  opts.cores = 4;
+  // Heavy fixed overhead per stage: short intervals can't amortize it.
+  opts.cost.map_task_fixed_us = 120000;
+  opts.cost.reduce_task_fixed_us = 120000;
+  opts.cost.map_per_tuple_us = 20;
+  opts.batch_resizing_enabled = true;
+  opts.unstable_queue_intervals = 1e9;
+
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          &source);
+  auto summary = engine.Run(40);
+  // Initially overloaded (W > 1 at 200ms), converges to W <= ~1.
+  EXPECT_GT(summary.batches.front().w, 1.0);
+  double late_w = 0;
+  TimeMicros late_interval = 0;
+  for (size_t i = summary.batches.size() - 5; i < summary.batches.size(); ++i) {
+    late_w = std::max(late_w, summary.batches[i].w);
+    late_interval = summary.batches[i].batch_interval;
+  }
+  EXPECT_LT(late_w, 1.05);
+  EXPECT_GT(late_interval, Millis(200));  // paid with a longer interval
+}
+
+TEST(BatchResizingEngineTest, ReportsPerBatchInterval) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 100;
+  params.zipf = 0.5;
+  params.rate = std::make_shared<ConstantRate>(5000);
+  SynDSource source(std::move(params));
+  EngineOptions opts;
+  opts.batch_interval = Millis(300);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kShuffle),
+                          &source);
+  auto summary = engine.Run(3);
+  for (const auto& b : summary.batches) {
+    EXPECT_EQ(b.batch_interval, Millis(300));  // fixed when resizing off
+  }
+}
+
+}  // namespace
+}  // namespace prompt

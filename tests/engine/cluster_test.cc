@@ -1,0 +1,191 @@
+#include "engine/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/prompt_partitioner.h"
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions opts;
+  opts.nodes = 4;
+  opts.cores_per_node = 2;
+  opts.replication_factor = 2;
+  return opts;
+}
+
+TEST(ClusterTest, AliveAccounting) {
+  SimulatedCluster cluster(SmallCluster());
+  EXPECT_EQ(cluster.alive_nodes(), 4u);
+  EXPECT_EQ(cluster.total_alive_cores(), 8u);
+  ASSERT_TRUE(cluster.KillNode(1).ok());
+  EXPECT_EQ(cluster.alive_nodes(), 3u);
+  EXPECT_FALSE(cluster.alive(1));
+  EXPECT_TRUE(cluster.KillNode(1).IsInvalid());  // already dead
+  ASSERT_TRUE(cluster.ReviveNode(1).ok());
+  EXPECT_TRUE(cluster.alive(1));
+  EXPECT_TRUE(cluster.KillNode(99).IsOutOfRange());
+}
+
+TEST(ClusterTest, PlacementUsesDistinctNodes) {
+  SimulatedCluster cluster(SmallCluster());
+  auto placements = cluster.PlaceBlocks(8);
+  ASSERT_TRUE(placements.ok());
+  ASSERT_EQ(placements->size(), 8u);
+  for (const auto& p : *placements) {
+    ASSERT_EQ(p.replicas.size(), 2u);
+    EXPECT_NE(p.replicas[0], p.replicas[1]);
+  }
+  // Primaries round-robin over all nodes.
+  std::set<uint32_t> primaries;
+  for (const auto& p : *placements) primaries.insert(p.replicas[0]);
+  EXPECT_EQ(primaries.size(), 4u);
+}
+
+TEST(ClusterTest, PlacementSkipsDeadNodes) {
+  SimulatedCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  auto placements = cluster.PlaceBlocks(6);
+  ASSERT_TRUE(placements.ok());
+  for (const auto& p : *placements) {
+    for (uint32_t n : p.replicas) EXPECT_NE(n, 0u);
+  }
+}
+
+TEST(ClusterTest, PreferredNodeFallsBackToSurvivingReplica) {
+  SimulatedCluster cluster(SmallCluster());
+  BlockPlacement p{{0, 2}};
+  EXPECT_EQ(*cluster.PreferredNode(p), 0u);
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  EXPECT_EQ(*cluster.PreferredNode(p), 2u);
+  ASSERT_TRUE(cluster.KillNode(2).ok());
+  EXPECT_TRUE(cluster.PreferredNode(p).status().IsKeyError());
+}
+
+TEST(ClusterTest, ReplicationCappedByAliveNodes) {
+  ClusterOptions opts = SmallCluster();
+  opts.replication_factor = 10;  // more than nodes
+  SimulatedCluster cluster(opts);
+  auto placements = cluster.PlaceBlocks(2);
+  ASSERT_TRUE(placements.ok());
+  EXPECT_EQ((*placements)[0].replicas.size(), 4u);
+}
+
+TEST(LocalitySchedulingTest, AllLocalWhenCoresSuffice) {
+  SimulatedCluster cluster(SmallCluster());
+  auto placements = *cluster.PlaceBlocks(8);  // 8 tasks on 8 cores
+  std::vector<TimeMicros> durations(8, 100);
+  auto r = ScheduleMapStageWithLocality(durations, placements, cluster);
+  EXPECT_EQ(r.remote_tasks, 0u);
+  EXPECT_EQ(r.makespan, 100);
+}
+
+TEST(LocalitySchedulingTest, RemoteExecutionPaysPenalty) {
+  // All blocks on node 0 (rf=1), so its 2 cores saturate and other tasks
+  // run remotely at 1.25x.
+  ClusterOptions opts = SmallCluster();
+  opts.replication_factor = 1;
+  SimulatedCluster cluster(opts);
+  std::vector<BlockPlacement> placements(8, BlockPlacement{{0}});
+  std::vector<TimeMicros> durations(8, 100);
+  auto r = ScheduleMapStageWithLocality(durations, placements, cluster);
+  EXPECT_GT(r.remote_tasks, 0u);
+  // Remote option: 6 cores on other nodes, 125 each; local: 2 cores, queued.
+  EXPECT_LE(r.makespan, 250);
+}
+
+TEST(LocalitySchedulingTest, DeadNodeCoresAreNotUsed) {
+  SimulatedCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.KillNode(3).ok());
+  auto placements = *cluster.PlaceBlocks(6);
+  std::vector<TimeMicros> durations(6, 100);
+  auto r = ScheduleMapStageWithLocality(durations, placements, cluster);
+  EXPECT_EQ(r.makespan, 100);  // 6 tasks on 6 alive cores
+}
+
+TEST(LocalitySchedulingTest, PrefersWaitingOverExpensiveRemote) {
+  // One node holds everything, remote penalty enormous: waiting locally
+  // beats going remote.
+  ClusterOptions opts = SmallCluster();
+  opts.replication_factor = 1;
+  opts.remote_read_penalty = 50.0;
+  SimulatedCluster cluster(opts);
+  std::vector<BlockPlacement> placements(4, BlockPlacement{{0}});
+  std::vector<TimeMicros> durations(4, 100);
+  auto r = ScheduleMapStageWithLocality(durations, placements, cluster);
+  EXPECT_EQ(r.remote_tasks, 0u);
+  EXPECT_EQ(r.makespan, 200);  // 4 tasks, 2 local cores
+}
+
+TEST(BatchStoreTest, WriteReadRoundTrip) {
+  SimulatedCluster cluster(SmallCluster());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(2000, 100, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 4, 0, Seconds(1), 5);
+  ASSERT_TRUE(store.Write(batch).ok());
+  auto read = store.Read(5);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->num_tuples, 2000u);
+  EXPECT_EQ(read->blocks.size(), 4u);
+}
+
+TEST(BatchStoreTest, SurvivesSingleNodeFailure) {
+  SimulatedCluster cluster(SmallCluster());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), 9);
+  ASSERT_TRUE(store.Write(batch).ok());
+  // Kill nodes one at a time; with rf=2 the batch survives any single loss.
+  for (uint32_t n = 0; n < 4; ++n) {
+    ASSERT_TRUE(cluster.KillNode(n).ok());
+    EXPECT_TRUE(store.Read(9).ok()) << "after killing node " << n;
+    ASSERT_TRUE(cluster.ReviveNode(n).ok());
+  }
+}
+
+TEST(BatchStoreTest, LosingAllReplicasIsDetected) {
+  SimulatedCluster cluster(SmallCluster());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), 3);
+  ASSERT_TRUE(store.Write(batch).ok());
+  // Find and kill exactly the replica holders.
+  uint32_t killed = 0;
+  for (uint32_t n = 0; n < 4 && killed < 2; ++n) {
+    if (store.BytesOnNode(n) > 0) {
+      ASSERT_TRUE(cluster.KillNode(n).ok());
+      ++killed;
+    }
+  }
+  ASSERT_EQ(killed, 2u);
+  auto r = store.Read(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnknownError);
+}
+
+TEST(BatchStoreTest, EvictFreesMemoryAndForgets) {
+  SimulatedCluster cluster(SmallCluster());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), 11);
+  ASSERT_TRUE(store.Write(batch).ok());
+  size_t total = 0;
+  for (uint32_t n = 0; n < 4; ++n) total += store.BytesOnNode(n);
+  EXPECT_GT(total, 0u);
+  store.Evict(11);
+  total = 0;
+  for (uint32_t n = 0; n < 4; ++n) total += store.BytesOnNode(n);
+  EXPECT_EQ(total, 0u);
+  EXPECT_TRUE(store.Read(11).status().IsKeyError());
+}
+
+}  // namespace
+}  // namespace prompt

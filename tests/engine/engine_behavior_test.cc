@@ -1,0 +1,179 @@
+// Focused behavioural tests of engine mechanics: early-release accounting,
+// instability marking, cores-follow-tasks scheduling, and metric collection.
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+std::unique_ptr<TupleSource> MakeSource(double rate, double z = 1.0,
+                                        uint64_t cardinality = 2000,
+                                        uint64_t seed = 3) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = cardinality;
+  params.zipf = z;
+  params.seed = seed;
+  params.rate = std::make_shared<ConstantRate>(rate);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+TEST(EngineBehaviorTest, PartitionOverflowChargedBeyondSlack) {
+  auto opts = EngineOptions{};
+  opts.batch_interval = Millis(200);
+  opts.early_release_frac = 0.05;  // 10ms slack
+  // Inflate the measured decision cost so it dwarfs the slack.
+  opts.cost.partition_cost_scale = 1e5;
+  auto source = MakeSource(20000);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  auto summary = engine.Run(3);
+  for (const auto& b : summary.batches) {
+    EXPECT_GT(b.partition_overflow, 0);
+    EXPECT_GE(b.processing_time, b.partition_overflow);
+  }
+
+  // Same run with a huge slack: no overflow reaches processing.
+  auto opts2 = opts;
+  opts2.early_release_frac = 0.9;
+  opts2.cost.partition_cost_scale = 1.0;
+  auto source2 = MakeSource(20000);
+  MicroBatchEngine engine2(opts2, JobSpec::WordCount(4),
+                           CreatePartitioner(PartitionerType::kPrompt),
+                           source2.get());
+  for (const auto& b : engine2.Run(3).batches) {
+    EXPECT_EQ(b.partition_overflow, 0);
+  }
+}
+
+TEST(EngineBehaviorTest, UnstableAtBatchIsFirstOffender) {
+  EngineOptions opts;
+  opts.batch_interval = Millis(100);
+  opts.map_tasks = 2;
+  opts.reduce_tasks = 2;
+  opts.cores = 2;
+  opts.cost.map_per_tuple_us = 500;  // massive overload
+  opts.unstable_queue_intervals = 1.0;
+  auto source = MakeSource(20000);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kShuffle),
+                          source.get());
+  auto summary = engine.Run(8);
+  ASSERT_FALSE(summary.stable);
+  ASSERT_LT(summary.unstable_at_batch, 8u);
+  // Every batch before the marked one respected the queue bound.
+  for (const auto& b : summary.batches) {
+    if (b.batch_id < summary.unstable_at_batch) {
+      EXPECT_LE(static_cast<double>(b.queue_delay),
+                1.0 * static_cast<double>(opts.batch_interval));
+    }
+  }
+}
+
+TEST(EngineBehaviorTest, CoresTrackTasksSpeedsUpWithMoreTasks) {
+  auto run_with_tasks = [](uint32_t tasks) {
+    EngineOptions opts;
+    opts.batch_interval = Millis(500);
+    opts.map_tasks = tasks;
+    opts.reduce_tasks = tasks;
+    opts.cores = 64;
+    opts.cores_track_tasks = true;
+    opts.cost.map_per_tuple_us = 50;
+    opts.unstable_queue_intervals = 1e9;
+    auto source = MakeSource(10000);
+    MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    return engine.Run(4).batches.back().processing_time;
+  };
+  TimeMicros with_4 = run_with_tasks(4);
+  TimeMicros with_16 = run_with_tasks(16);
+  // 4x the tasks with cores tracking tasks: processing close to 4x faster
+  // (fixed per-task overheads damp it slightly).
+  EXPECT_LT(with_16, with_4 / 2);
+}
+
+TEST(EngineBehaviorTest, MetricsRankPromptAboveHashUnderSkew) {
+  auto measure = [](PartitionerType type) {
+    EngineOptions opts;
+    opts.batch_interval = Millis(250);
+    opts.collect_partition_metrics = true;
+    auto source = MakeSource(30000, 1.5, 5000, 8);
+    MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                            CreatePartitioner(type), source.get());
+    auto summary = engine.Run(4);
+    double mpi = 0;
+    for (const auto& b : summary.batches) mpi += b.partition_metrics.mpi;
+    return mpi / 4;
+  };
+  EXPECT_LT(measure(PartitionerType::kPrompt),
+            measure(PartitionerType::kHash));
+}
+
+TEST(EngineBehaviorTest, WindowTopKThroughEngine) {
+  EngineOptions opts;
+  opts.batch_interval = Millis(250);
+  auto source = MakeSource(20000, 1.6, 1000, 4);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  engine.Run(5);
+  auto top = engine.window().TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].value, top[1].value);
+  EXPECT_GE(top[1].value, top[2].value);
+  // The hottest key at z=1.6 dominates clearly.
+  EXPECT_GT(top[0].value, 2 * top[1].value);
+}
+
+TEST(EngineBehaviorTest, WindowCheckpointSurvivesEngineRestart) {
+  auto opts = EngineOptions{};
+  opts.batch_interval = Millis(250);
+  auto source = MakeSource(10000, 1.0, 500, 21);
+  std::string checkpoint;
+  std::map<KeyId, double> before;
+  {
+    MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    engine.Run(6);
+    checkpoint = engine.window().Checkpoint();
+    before.insert(engine.window().Result().begin(),
+                  engine.window().Result().end());
+  }
+  // "Restart": a fresh engine restores the window without replaying.
+  auto source2 = MakeSource(10000, 1.0, 500, 22);
+  MicroBatchEngine engine2(opts, JobSpec::WordCount(4),
+                           CreatePartitioner(PartitionerType::kPrompt),
+                           source2.get());
+  ASSERT_TRUE(engine2.RestoreWindow(checkpoint).ok());
+  std::map<KeyId, double> after(engine2.window().Result().begin(),
+                                engine2.window().Result().end());
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(engine2.window().depth(), 4u);
+}
+
+TEST(EngineBehaviorTest, EmptyStreamIntervalsProduceEmptyBatches) {
+  // A source whose tuples only start after 3 intervals.
+  ZipfKeyedSource::Params params;
+  params.cardinality = 10;
+  params.zipf = 0.5;
+  params.rate = std::make_shared<ConstantRate>(1000);
+  params.start_time = Millis(750);
+  SynDSource source(std::move(params));
+  EngineOptions opts;
+  opts.batch_interval = Millis(250);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          &source);
+  auto summary = engine.Run(5);
+  EXPECT_EQ(summary.batches[0].num_tuples, 0u);
+  EXPECT_EQ(summary.batches[1].num_tuples, 0u);
+  EXPECT_GT(summary.batches[4].num_tuples, 0u);
+}
+
+}  // namespace
+}  // namespace prompt

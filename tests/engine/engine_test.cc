@@ -1,0 +1,214 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/factory.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+std::shared_ptr<const RateProfile> Constant(double rate) {
+  return std::make_shared<ConstantRate>(rate);
+}
+
+std::unique_ptr<TupleSource> MakeSource(double rate, double z = 1.0,
+                                        uint64_t cardinality = 1000,
+                                        uint64_t seed = 42) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = cardinality;
+  params.zipf = z;
+  params.seed = seed;
+  params.rate = Constant(rate);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+EngineOptions FastOptions() {
+  EngineOptions opts;
+  opts.batch_interval = Millis(200);
+  opts.map_tasks = 4;
+  opts.reduce_tasks = 4;
+  opts.cores = 4;
+  return opts;
+}
+
+TEST(EngineTest, RunsRequestedBatches) {
+  auto source = MakeSource(20000);
+  MicroBatchEngine engine(FastOptions(), JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  auto summary = engine.Run(10);
+  EXPECT_EQ(summary.batches.size(), 10u);
+  for (const auto& b : summary.batches) {
+    EXPECT_NEAR(b.num_tuples, 4000, 600);  // 20k/s * 0.2s
+    EXPECT_GT(b.processing_time, 0);
+    EXPECT_GE(b.latency, FastOptions().batch_interval);
+  }
+}
+
+TEST(EngineTest, BatchIdsAreSequentialAcrossRuns) {
+  auto source = MakeSource(5000);
+  MicroBatchEngine engine(FastOptions(), JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kShuffle),
+                          source.get());
+  auto s1 = engine.Run(3);
+  auto s2 = engine.Run(2);
+  EXPECT_EQ(s1.batches.back().batch_id, 2u);
+  EXPECT_EQ(s2.batches.front().batch_id, 3u);
+}
+
+TEST(EngineTest, WindowAnswerMatchesNaiveReference) {
+  // Drive the engine and an independent naive computation from two
+  // identically-seeded sources; window answers must agree exactly.
+  auto source = MakeSource(10000, 1.0, 300, 7);
+  auto opts = FastOptions();
+  const uint32_t kWindow = 3;
+  MicroBatchEngine engine(opts, JobSpec::WordCount(kWindow),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  const uint32_t kBatches = 8;
+  auto summary = engine.Run(kBatches);
+  ASSERT_EQ(summary.batches.size(), kBatches);
+
+  auto ref_source = MakeSource(10000, 1.0, 300, 7);
+  std::vector<std::map<KeyId, double>> per_batch(kBatches);
+  Tuple t;
+  while (ref_source->Next(&t)) {
+    uint64_t idx = static_cast<uint64_t>(t.ts) / opts.batch_interval;
+    if (idx >= kBatches) break;
+    per_batch[idx][t.key] += 1.0;
+  }
+  std::map<KeyId, double> expected;
+  for (uint32_t b = kBatches - kWindow; b < kBatches; ++b) {
+    for (const auto& [k, v] : per_batch[b]) expected[k] += v;
+  }
+
+  const auto& got = engine.window().Result();
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, v] : expected) {
+    ASSERT_NEAR(got.at(k), v, 1e-9) << "key " << k;
+  }
+}
+
+TEST(EngineTest, OverloadQueuesBatchesAndRaisesLatency) {
+  auto opts = FastOptions();
+  // 20k/s * 0.2s = 4000 tuples over 4 blocks = 1000/block; at 300 µs/tuple a
+  // Map task alone takes 300 ms > the 200 ms interval.
+  opts.cost.map_per_tuple_us = 300.0;
+  opts.unstable_queue_intervals = 2.0;
+  auto source = MakeSource(20000);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  auto summary = engine.Run(10);
+  EXPECT_FALSE(summary.stable);
+  EXPECT_LT(summary.unstable_at_batch, 10u);
+  // Queue delay must be increasing.
+  EXPECT_GT(summary.batches.back().queue_delay,
+            summary.batches[2].queue_delay);
+  EXPECT_GT(summary.MeanW(2), 1.0);
+}
+
+TEST(EngineTest, LightLoadStaysStable) {
+  auto source = MakeSource(5000);
+  MicroBatchEngine engine(FastOptions(), JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  auto summary = engine.Run(10);
+  EXPECT_TRUE(summary.stable);
+  for (const auto& b : summary.batches) EXPECT_EQ(b.queue_delay, 0);
+  EXPECT_LT(summary.MeanW(2), 1.0);
+}
+
+TEST(EngineTest, CollectsPartitionMetricsWhenAsked) {
+  auto opts = FastOptions();
+  opts.collect_partition_metrics = true;
+  auto source = MakeSource(20000, 1.4);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kHash),
+                          source.get());
+  auto summary = engine.Run(3);
+  EXPECT_GT(summary.batches[1].partition_metrics.distinct_keys, 0u);
+  EXPECT_GT(summary.batches[1].partition_metrics.bsi, 0.0);
+}
+
+TEST(EngineTest, ElasticityScalesOutUnderRisingLoad) {
+  auto opts = FastOptions();
+  opts.elasticity_enabled = true;
+  opts.cores_track_tasks = true;
+  opts.map_tasks = 2;
+  opts.reduce_tasks = 2;
+  opts.elasticity.d = 2;
+  // 60k/s peak * 0.2s / 2 blocks * 40µs = 240ms > 200ms interval at the
+  // initial parallelism; scaling out restores stability.
+  opts.cost.map_per_tuple_us = 40.0;
+
+  ZipfKeyedSource::Params params;
+  params.cardinality = 2000;
+  params.zipf = 1.0;
+  params.rate = std::make_shared<PiecewiseRate>(
+      std::vector<PiecewiseRate::Knot>{{0, 5000}, {Seconds(4), 60000}});
+  SynDSource source(std::move(params));
+
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          &source);
+  auto summary = engine.Run(25);
+  EXPECT_GT(engine.map_tasks(), 2u) << "should have scaled out";
+  // After scaling, W should have recovered for the later batches.
+  double late_w = 0;
+  for (size_t i = summary.batches.size() - 3; i < summary.batches.size(); ++i) {
+    late_w = std::max(late_w, summary.batches[i].w);
+  }
+  EXPECT_LT(late_w, 2.0);
+}
+
+TEST(EngineTest, RecoveryVerificationRequiresReplication) {
+  auto source = MakeSource(5000);
+  MicroBatchEngine engine(FastOptions(), JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  engine.Run(2);
+  EXPECT_TRUE(engine.VerifyRecoveryOfLastBatch().IsInvalid());
+}
+
+TEST(EngineTest, RecomputedBatchMatchesOriginal) {
+  auto opts = FastOptions();
+  opts.replicate_input = true;
+  auto source = MakeSource(10000);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  engine.Run(3);
+  EXPECT_TRUE(engine.VerifyRecoveryOfLastBatch().ok());
+}
+
+TEST(EngineTest, RealModeRunsEndToEnd) {
+  auto opts = FastOptions();
+  opts.mode = ExecutionMode::kReal;
+  opts.batch_interval = Millis(100);
+  auto source = MakeSource(10000);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(2),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  auto summary = engine.Run(3);
+  EXPECT_EQ(summary.batches.size(), 3u);
+  for (const auto& b : summary.batches) {
+    EXPECT_GT(b.map_makespan, 0);
+  }
+  EXPECT_FALSE(engine.window().Result().empty());
+}
+
+TEST(EngineTest, ThroughputSummary) {
+  auto source = MakeSource(10000);
+  MicroBatchEngine engine(FastOptions(), JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  auto summary = engine.Run(10);
+  EXPECT_NEAR(summary.MeanThroughputTuplesPerSec(Millis(200), 2), 10000, 1500);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,179 @@
+#include "engine/execution.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/online_partitioners.h"
+#include "common/thread_pool.h"
+#include "core/prompt_partitioner.h"
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+using testing::KeyHistogram;
+using testing::RunBatch;
+using testing::ZipfTuples;
+
+constexpr TimeMicros kStart = 0;
+constexpr TimeMicros kEnd = Seconds(1);
+
+std::map<KeyId, double> OutputToMap(const std::vector<KV>& output) {
+  std::map<KeyId, double> m;
+  for (const KV& kv : output) {
+    EXPECT_EQ(m.count(kv.key), 0u) << "duplicate key in batch output";
+    m[kv.key] = kv.value;
+  }
+  return m;
+}
+
+TEST(ExecutionTest, WordCountMatchesReference) {
+  PromptPartitioner partitioner;
+  auto tuples = ZipfTuples(20000, 400, 1.2, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 6, kStart, kEnd);
+
+  PromptReduceAllocator allocator;
+  BatchExecutor executor(JobSpec::WordCount(), CostModel(), &allocator,
+                         ExecutionMode::kSimulated);
+  auto exec = executor.Execute(batch, 4, 8);
+
+  auto got = OutputToMap(exec.output);
+  auto expected = KeyHistogram(tuples);
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, count] : expected) {
+    EXPECT_DOUBLE_EQ(got[k], static_cast<double>(count)) << "key " << k;
+  }
+}
+
+TEST(ExecutionTest, KeyedSumMatchesReference) {
+  HashPartitioner partitioner;
+  partitioner.Begin(4, kStart, kEnd);
+  std::map<KeyId, double> expected;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    Tuple t{kStart + i, rng.NextBounded(100), rng.NextDouble()};
+    expected[t.key] += t.value;
+    partitioner.OnTuple(t);
+  }
+  auto batch = partitioner.Seal(0);
+
+  HashReduceAllocator allocator;
+  BatchExecutor executor(JobSpec::KeyedSum(), CostModel(), &allocator,
+                         ExecutionMode::kSimulated);
+  auto exec = executor.Execute(batch, 4, 8);
+  auto got = OutputToMap(exec.output);
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, sum] : expected) {
+    EXPECT_NEAR(got[k], sum, 1e-9) << "key " << k;
+  }
+}
+
+TEST(ExecutionTest, SplitKeysAggregateToOneBucketOnly) {
+  // A shuffle-partitioned batch splits every hot key across all blocks; the
+  // final output must still contain each key exactly once.
+  ShufflePartitioner partitioner;
+  auto tuples = ZipfTuples(30000, 60, 1.0, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 8, kStart, kEnd);
+
+  PromptReduceAllocator allocator;
+  BatchExecutor executor(JobSpec::WordCount(), CostModel(), &allocator,
+                         ExecutionMode::kSimulated);
+  auto exec = executor.Execute(batch, 5, 8);
+  auto got = OutputToMap(exec.output);  // asserts uniqueness
+  auto expected = KeyHistogram(tuples);
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, count] : expected) {
+    EXPECT_DOUBLE_EQ(got[k], static_cast<double>(count));
+  }
+}
+
+TEST(ExecutionTest, BucketStatsAccountAllTuples) {
+  PromptPartitioner partitioner;
+  auto tuples = ZipfTuples(12000, 300, 1.1, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 4, kStart, kEnd);
+  PromptReduceAllocator allocator;
+  BatchExecutor executor(JobSpec::WordCount(), CostModel(), &allocator,
+                         ExecutionMode::kSimulated);
+  auto exec = executor.Execute(batch, 3, 8);
+  uint64_t total = 0;
+  for (uint64_t b : exec.bucket_tuples) total += b;
+  EXPECT_EQ(total, 12000u);
+}
+
+TEST(ExecutionTest, CostsFollowTheCostModel) {
+  HashPartitioner partitioner;
+  auto tuples = ZipfTuples(10000, 100, 0.5, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 4, kStart, kEnd);
+  CostModelParams params;
+  params.map_task_fixed_us = 100;
+  params.map_per_tuple_us = 1.0;
+  params.map_per_key_us = 0.0;
+  HashReduceAllocator allocator;
+  BatchExecutor executor(JobSpec::WordCount(), CostModel(params), &allocator,
+                         ExecutionMode::kSimulated);
+  auto exec = executor.Execute(batch, 4, 8);
+  for (size_t i = 0; i < batch.blocks.size(); ++i) {
+    EXPECT_EQ(exec.map_task_costs[i],
+              100 + static_cast<TimeMicros>(batch.blocks[i].size()));
+  }
+}
+
+TEST(ExecutionTest, FilterMapDropsTuples) {
+  HashPartitioner partitioner;
+  partitioner.Begin(2, kStart, kEnd);
+  for (int i = 0; i < 100; ++i) {
+    partitioner.OnTuple(Tuple{kStart + i, static_cast<KeyId>(i % 10),
+                              static_cast<double>(i)});
+  }
+  auto batch = partitioner.Seal(0);
+  JobSpec job;
+  job.map = std::make_shared<FilterMap>(
+      [](const Tuple& t) { return t.value >= 50; });
+  job.reduce = std::make_shared<SumReduce>();
+  HashReduceAllocator allocator;
+  BatchExecutor executor(job, CostModel(), &allocator,
+                         ExecutionMode::kSimulated);
+  auto exec = executor.Execute(batch, 2, 4);
+  double total = 0;
+  for (const KV& kv : exec.output) total += kv.value;
+  // Sum of 50..99.
+  EXPECT_DOUBLE_EQ(total, (50 + 99) * 50 / 2.0);
+}
+
+TEST(ExecutionTest, RealModeMatchesSimulatedOutputs) {
+  PromptPartitioner partitioner;
+  auto tuples = ZipfTuples(15000, 250, 1.0, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 4, kStart, kEnd);
+  PromptReduceAllocator allocator;
+
+  BatchExecutor sim(JobSpec::WordCount(), CostModel(), &allocator,
+                    ExecutionMode::kSimulated);
+  auto sim_exec = sim.Execute(batch, 4, 4);
+
+  ThreadPool pool(4);
+  BatchExecutor real(JobSpec::WordCount(), CostModel(), &allocator,
+                     ExecutionMode::kReal);
+  auto real_exec = real.Execute(batch, 4, 4, &pool);
+
+  EXPECT_EQ(OutputToMap(sim_exec.output), OutputToMap(real_exec.output));
+  EXPECT_GT(real_exec.map_makespan, 0);
+}
+
+TEST(ExecutionTest, ReduceCompletionsReported) {
+  PromptPartitioner partitioner;
+  auto tuples = ZipfTuples(8000, 200, 1.0, kStart, kEnd);
+  auto batch = RunBatch(partitioner, tuples, 4, kStart, kEnd);
+  PromptReduceAllocator allocator;
+  BatchExecutor executor(JobSpec::WordCount(), CostModel(), &allocator,
+                         ExecutionMode::kSimulated);
+  auto exec = executor.Execute(batch, 6, 8);
+  ASSERT_EQ(exec.reduce_completions.size(), 6u);
+  for (TimeMicros c : exec.reduce_completions) {
+    EXPECT_GT(c, 0);
+    EXPECT_LE(c, exec.reduce_makespan);
+  }
+}
+
+}  // namespace
+}  // namespace prompt

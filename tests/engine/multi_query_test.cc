@@ -1,0 +1,127 @@
+// Multi-query execution over shared batching: one batching/partitioning
+// phase feeds several streaming queries (count, sum, max) with independent
+// windows.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+std::unique_ptr<TupleSource> MakeSource(uint64_t seed = 61) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 300;
+  params.zipf = 0.8;
+  params.seed = seed;
+  params.rate = std::make_shared<ConstantRate>(8000);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+TEST(MultiQueryTest, ExtraQueriesComputeIndependently) {
+  auto source = MakeSource();
+  EngineOptions opts;
+  opts.batch_interval = Millis(250);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  auto sum_id = engine.AddQuery(JobSpec::KeyedSum(4));
+  ASSERT_TRUE(sum_id.ok());
+  JobSpec max_job;
+  max_job.map = std::make_shared<ValueMap>();
+  max_job.reduce = std::make_shared<MaxReduce>();
+  max_job.window_batches = 2;
+  auto max_id = engine.AddQuery(max_job);
+  ASSERT_TRUE(max_id.ok());
+
+  engine.Run(5);
+
+  // SynD values are all 1.0: per-key SUM == COUNT, per-key MAX == 1.
+  const auto& count_window = engine.window().Result();
+  auto sum_window = engine.QueryWindow(*sum_id);
+  ASSERT_TRUE(sum_window.ok());
+  auto max_window = engine.QueryWindow(*max_id);
+  ASSERT_TRUE(max_window.ok());
+
+  ASSERT_EQ((*sum_window)->Result().size(), count_window.size());
+  for (const auto& [k, v] : count_window) {
+    EXPECT_DOUBLE_EQ((*sum_window)->Result().at(k), v) << k;
+  }
+  EXPECT_EQ((*max_window)->window_batches(), 2u);
+  for (const auto& [k, v] : (*max_window)->Result()) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(MultiQueryTest, ExtraQueriesExtendProcessingTime) {
+  auto run_with_queries = [](int extra) {
+    auto source = MakeSource(9);
+    EngineOptions opts;
+    opts.batch_interval = Millis(500);
+    opts.cost.map_per_tuple_us = 50;
+    opts.unstable_queue_intervals = 1e9;
+    MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    for (int i = 0; i < extra; ++i) {
+      EXPECT_TRUE(engine.AddQuery(JobSpec::KeyedSum(4)).ok());
+    }
+    return engine.Run(3).batches.back().processing_time;
+  };
+  TimeMicros one = run_with_queries(0);
+  TimeMicros three = run_with_queries(2);
+  EXPECT_GT(three, 2 * one);  // three sequential jobs per batch
+}
+
+TEST(MultiQueryTest, AddQueryAfterRunIsRejected) {
+  auto source = MakeSource();
+  EngineOptions opts;
+  opts.batch_interval = Millis(250);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  engine.Run(1);
+  EXPECT_TRUE(engine.AddQuery(JobSpec::KeyedSum(4)).status().IsInvalid());
+}
+
+TEST(MultiQueryTest, QueryWindowBoundsChecked) {
+  auto source = MakeSource();
+  EngineOptions opts;
+  opts.batch_interval = Millis(250);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  EXPECT_TRUE(engine.QueryWindow(0).status().IsOutOfRange());
+}
+
+TEST(MultiQueryStressTest, LargeBatchManyQueries) {
+  // 0.5M tuples across 2 batches with 3 concurrent queries: a smoke-level
+  // stress of the shared-batching path.
+  ZipfKeyedSource::Params params;
+  params.cardinality = 50000;
+  params.zipf = 1.1;
+  params.rate = std::make_shared<ConstantRate>(250000);
+  SynDSource source(std::move(params));
+  EngineOptions opts;
+  opts.batch_interval = Seconds(1);
+  opts.map_tasks = 16;
+  opts.reduce_tasks = 16;
+  opts.cores = 16;
+  opts.unstable_queue_intervals = 1e9;
+  MicroBatchEngine engine(opts, JobSpec::WordCount(2),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          &source);
+  ASSERT_TRUE(engine.AddQuery(JobSpec::KeyedSum(2)).ok());
+  ASSERT_TRUE(engine.AddQuery(JobSpec::WordCount(1)).ok());
+  auto summary = engine.Run(2);
+  for (const auto& b : summary.batches) {
+    EXPECT_NEAR(static_cast<double>(b.num_tuples), 250000, 2000);
+  }
+  EXPECT_GT(engine.window().Result().size(), 20000u);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,89 @@
+#include "engine/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "baselines/factory.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+std::vector<BatchReport> SampleReports() {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 200;
+  params.zipf = 1.0;
+  params.rate = std::make_shared<ConstantRate>(8000);
+  SynDSource source(std::move(params));
+  EngineOptions opts;
+  opts.batch_interval = Millis(250);
+  opts.collect_partition_metrics = true;
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          &source);
+  return engine.Run(5).batches;
+}
+
+TEST(ReportIoTest, RoundTrip) {
+  auto reports = SampleReports();
+  std::stringstream buffer;
+  WriteReportsCsv(reports, &buffer);
+  auto parsed = ReadReportsCsv(&buffer);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), reports.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].batch_id, reports[i].batch_id);
+    EXPECT_EQ((*parsed)[i].num_tuples, reports[i].num_tuples);
+    EXPECT_EQ((*parsed)[i].processing_time, reports[i].processing_time);
+    EXPECT_EQ((*parsed)[i].latency, reports[i].latency);
+    EXPECT_DOUBLE_EQ((*parsed)[i].partition_metrics.ksr,
+                     reports[i].partition_metrics.ksr);
+  }
+}
+
+TEST(ReportIoTest, HeaderIsValidated) {
+  std::stringstream buffer("not,a,header\n1,2,3\n");
+  EXPECT_TRUE(ReadReportsCsv(&buffer).status().IsInvalid());
+}
+
+TEST(ReportIoTest, FieldCountIsValidated) {
+  auto reports = SampleReports();
+  std::stringstream buffer;
+  WriteReportsCsv(reports, &buffer);
+  std::string text = buffer.str();
+  text += "1,2,3\n";  // short row
+  std::stringstream bad(text);
+  EXPECT_TRUE(ReadReportsCsv(&bad).status().IsInvalid());
+}
+
+TEST(ReportIoTest, NumbersAreValidated) {
+  auto reports = SampleReports();
+  std::stringstream buffer;
+  WriteReportsCsv(reports, &buffer);
+  std::string text = buffer.str();
+  // Corrupt the first data cell.
+  size_t pos = text.find('\n') + 1;
+  text[pos] = 'x';
+  std::stringstream bad(text);
+  EXPECT_TRUE(ReadReportsCsv(&bad).status().IsInvalid());
+}
+
+TEST(ReportIoTest, FileWriteFailsOnBadPath) {
+  EXPECT_TRUE(
+      WriteReportsCsvFile({}, "/nonexistent-dir/reports.csv").IsIOError());
+}
+
+TEST(ReportIoTest, FileRoundTrip) {
+  auto reports = SampleReports();
+  const std::string path = ::testing::TempDir() + "/prompt_reports.csv";
+  ASSERT_TRUE(WriteReportsCsvFile(reports, path).ok());
+  std::ifstream in(path);
+  auto parsed = ReadReportsCsv(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), reports.size());
+}
+
+}  // namespace
+}  // namespace prompt

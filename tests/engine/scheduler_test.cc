@@ -1,0 +1,68 @@
+#include "engine/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace prompt {
+namespace {
+
+TEST(SchedulerTest, EmptyStage) {
+  auto s = ScheduleStage({}, 4);
+  EXPECT_EQ(s.makespan, 0);
+  EXPECT_TRUE(s.completion.empty());
+}
+
+TEST(SchedulerTest, FewerTasksThanCoresGivesMaxTask) {
+  // Eqn. 1 regime: stage time = max task time.
+  auto s = ScheduleStage({100, 300, 200}, 8);
+  EXPECT_EQ(s.makespan, 300);
+  EXPECT_EQ(s.completion[0], 100);
+  EXPECT_EQ(s.completion[1], 300);
+  EXPECT_EQ(s.completion[2], 200);
+}
+
+TEST(SchedulerTest, SingleCoreSerializes) {
+  auto s = ScheduleStage({100, 300, 200}, 1);
+  EXPECT_EQ(s.makespan, 600);
+}
+
+TEST(SchedulerTest, LptBalancesTwoCores) {
+  // Tasks 5,4,3,3,3 on 2 cores. LPT assigns 5|4, 3 to the 4-core (7),
+  // 3 to the 5-core (8), 3 to the 7-core (10): makespan 10 (optimal is 9;
+  // LPT is a 4/3-approximation, which this instance exercises).
+  auto s = ScheduleStage({5, 4, 3, 3, 3}, 2);
+  EXPECT_EQ(s.makespan, 10);
+}
+
+TEST(SchedulerTest, MakespanAtLeastLowerBounds) {
+  std::vector<TimeMicros> durations = {7, 13, 2, 9, 4, 4, 11, 6};
+  for (uint32_t cores : {1u, 2u, 3u, 4u, 8u}) {
+    auto s = ScheduleStage(durations, cores);
+    TimeMicros total = std::accumulate(durations.begin(), durations.end(),
+                                       TimeMicros{0});
+    TimeMicros max_task =
+        *std::max_element(durations.begin(), durations.end());
+    EXPECT_GE(s.makespan, max_task);
+    EXPECT_GE(s.makespan, (total + cores - 1) / cores);
+    // LPT guarantee: within 4/3 + 1/(3m) of optimal >= lower bound * 4/3 + 1.
+    EXPECT_LE(s.makespan,
+              (total / cores + max_task) * 4 / 3 + 2);
+  }
+}
+
+TEST(SchedulerTest, CompletionTimesMatchInputOrder) {
+  auto s = ScheduleStage({10, 20}, 2);
+  EXPECT_EQ(s.completion.size(), 2u);
+  EXPECT_EQ(s.completion[0], 10);
+  EXPECT_EQ(s.completion[1], 20);
+}
+
+TEST(SchedulerTest, EqualTasksPerfectlyParallel) {
+  std::vector<TimeMicros> durations(16, 100);
+  auto s = ScheduleStage(durations, 4);
+  EXPECT_EQ(s.makespan, 400);
+}
+
+}  // namespace
+}  // namespace prompt

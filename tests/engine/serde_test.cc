@@ -1,0 +1,94 @@
+#include "engine/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "core/prompt_partitioner.h"
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+using testing::RunBatch;
+using testing::ZipfTuples;
+
+PartitionedBatch MakeBatch(uint64_t tuples = 5000, uint32_t blocks = 4) {
+  PromptPartitioner partitioner;
+  auto data = ZipfTuples(tuples, 200, 1.1, 0, Seconds(1));
+  return RunBatch(partitioner, data, blocks, 0, Seconds(1), /*batch_id=*/42);
+}
+
+TEST(SerdeTest, BatchRoundTrip) {
+  auto batch = MakeBatch();
+  std::string bytes = EncodeBatch(batch);
+  auto decoded = DecodeBatch(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  EXPECT_EQ(decoded->batch_id, batch.batch_id);
+  EXPECT_EQ(decoded->seal_time, batch.seal_time);
+  EXPECT_EQ(decoded->num_tuples, batch.num_tuples);
+  EXPECT_EQ(decoded->num_keys, batch.num_keys);
+  ASSERT_EQ(decoded->blocks.size(), batch.blocks.size());
+  for (size_t b = 0; b < batch.blocks.size(); ++b) {
+    const DataBlock& in = batch.blocks[b];
+    const DataBlock& out = decoded->blocks[b];
+    EXPECT_EQ(out.block_id(), in.block_id());
+    ASSERT_EQ(out.size(), in.size());
+    ASSERT_EQ(out.cardinality(), in.cardinality());
+    for (size_t i = 0; i < in.tuples().size(); ++i) {
+      EXPECT_EQ(out.tuples()[i].ts, in.tuples()[i].ts);
+      EXPECT_EQ(out.tuples()[i].key, in.tuples()[i].key);
+      EXPECT_DOUBLE_EQ(out.tuples()[i].value, in.tuples()[i].value);
+    }
+    for (size_t i = 0; i < in.fragments().size(); ++i) {
+      EXPECT_EQ(out.fragments()[i].key, in.fragments()[i].key);
+      EXPECT_EQ(out.fragments()[i].count, in.fragments()[i].count);
+      EXPECT_EQ(out.fragments()[i].split, in.fragments()[i].split);
+    }
+  }
+}
+
+TEST(SerdeTest, EmptyBatchRoundTrip) {
+  PartitionedBatch batch;
+  batch.batch_id = 7;
+  auto decoded = DecodeBatch(EncodeBatch(batch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->batch_id, 7u);
+  EXPECT_TRUE(decoded->blocks.empty());
+}
+
+TEST(SerdeTest, RejectsBadMagic) {
+  std::string bytes = EncodeBatch(MakeBatch(100, 2));
+  bytes[0] ^= 0xff;
+  EXPECT_TRUE(DecodeBatch(bytes).status().IsInvalid());
+}
+
+TEST(SerdeTest, DetectsPayloadCorruption) {
+  std::string bytes = EncodeBatch(MakeBatch(100, 2));
+  bytes[bytes.size() / 2] ^= 0x01;
+  auto r = DecodeBatch(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SerdeTest, DetectsTruncation) {
+  std::string bytes = EncodeBatch(MakeBatch(100, 2));
+  for (size_t cut : {size_t{3}, size_t{10}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_TRUE(DecodeBatch(bytes.substr(0, cut)).status().IsInvalid())
+        << "cut=" << cut;
+  }
+}
+
+TEST(SerdeTest, DetectsTrailingGarbage) {
+  std::string bytes = EncodeBatch(MakeBatch(100, 2));
+  bytes += "extra";
+  EXPECT_TRUE(DecodeBatch(bytes).status().IsInvalid());
+}
+
+TEST(SerdeTest, EncodingIsDeterministic) {
+  auto batch = MakeBatch(1000, 3);
+  EXPECT_EQ(EncodeBatch(batch), EncodeBatch(batch));
+}
+
+}  // namespace
+}  // namespace prompt

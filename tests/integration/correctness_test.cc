@@ -1,0 +1,88 @@
+// Cross-cutting invariant: the streaming query answer must be identical no
+// matter which partitioning technique is used — partitioning affects
+// performance, never results.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+std::map<KeyId, double> WindowAnswer(PartitionerType type, bool prompt_reduce,
+                                     DatasetId dataset = DatasetId::kSynD) {
+  EngineOptions opts;
+  opts.batch_interval = Millis(200);
+  opts.map_tasks = 5;
+  opts.reduce_tasks = 3;
+  opts.cores = 4;
+  opts.use_prompt_reduce = prompt_reduce;
+  auto source = MakeDataset(dataset, std::make_shared<ConstantRate>(15000),
+                            /*seed=*/1234);
+  MicroBatchEngine engine(opts, JobSpec::WordCount(4), CreatePartitioner(type),
+                          source.get());
+  engine.Run(6);
+  std::map<KeyId, double> out(engine.window().Result().begin(),
+                              engine.window().Result().end());
+  return out;
+}
+
+TEST(CorrectnessTest, AllTechniquesComputeTheSameAnswer) {
+  auto reference = WindowAnswer(PartitionerType::kHash, false);
+  ASSERT_FALSE(reference.empty());
+  for (PartitionerType type : EvaluationTechniques()) {
+    auto got = WindowAnswer(type, /*prompt_reduce=*/true);
+    EXPECT_EQ(got, reference) << PartitionerTypeName(type);
+  }
+}
+
+TEST(CorrectnessTest, ReduceAllocatorDoesNotChangeAnswers) {
+  auto with_prompt = WindowAnswer(PartitionerType::kPrompt, true);
+  auto with_hash = WindowAnswer(PartitionerType::kPrompt, false);
+  EXPECT_EQ(with_prompt, with_hash);
+}
+
+TEST(CorrectnessTest, HoldsAcrossDatasets) {
+  for (DatasetId dataset :
+       {DatasetId::kTweets, DatasetId::kGcm, DatasetId::kTpch}) {
+    auto prompt_answer =
+        WindowAnswer(PartitionerType::kPrompt, true, dataset);
+    auto shuffle_answer =
+        WindowAnswer(PartitionerType::kShuffle, true, dataset);
+    EXPECT_EQ(prompt_answer, shuffle_answer) << DatasetName(dataset);
+  }
+}
+
+TEST(CorrectnessTest, KeyedSumAgreesAcrossTechniques) {
+  auto run = [](PartitionerType type) {
+    EngineOptions opts;
+    opts.batch_interval = Millis(200);
+    opts.map_tasks = 4;
+    opts.reduce_tasks = 4;
+    opts.cores = 4;
+    ZipfKeyedSource::Params params;
+    params.cardinality = 5000;
+    params.zipf = 0.6;
+    params.seed = 99;
+    params.rate = std::make_shared<ConstantRate>(10000);
+    DebsTaxiSource source(std::move(params), DebsTaxiSource::Query::kFare);
+    MicroBatchEngine engine(opts, JobSpec::KeyedSum(3),
+                            CreatePartitioner(type), &source);
+    engine.Run(5);
+    std::map<KeyId, double> out(engine.window().Result().begin(),
+                                engine.window().Result().end());
+    return out;
+  };
+  auto ref = run(PartitionerType::kHash);
+  auto got = run(PartitionerType::kPrompt);
+  ASSERT_EQ(ref.size(), got.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NEAR(got.at(k), v, 1e-6 * std::max(1.0, std::abs(v))) << k;
+  }
+}
+
+}  // namespace
+}  // namespace prompt

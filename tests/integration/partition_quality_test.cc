@@ -1,0 +1,112 @@
+// Integration-level checks that the paper's headline quality relationships
+// hold in this implementation (the "shape" assertions backing Fig. 10).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/factory.h"
+#include "stats/metrics.h"
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+using testing::RunBatch;
+using testing::ZipfTuples;
+
+constexpr TimeMicros kStart = 0;
+constexpr TimeMicros kEnd = Seconds(1);
+
+struct QualityRow {
+  PartitionMetrics m;
+};
+
+std::map<PartitionerType, PartitionMetrics> MeasureAll(double z,
+                                                       uint64_t cardinality,
+                                                       uint64_t tuples) {
+  std::map<PartitionerType, PartitionMetrics> rows;
+  auto data = ZipfTuples(tuples, cardinality, z, kStart, kEnd, /*seed=*/11);
+  for (PartitionerType type : EvaluationTechniques()) {
+    auto partitioner = CreatePartitioner(type);
+    auto batch = RunBatch(*partitioner, data, 8, kStart, kEnd);
+    rows[type] = ComputeBlockMetrics(batch);
+  }
+  return rows;
+}
+
+TEST(PartitionQualityTest, PromptNearShuffleOnSizeBalance) {
+  auto rows = MeasureAll(1.4, 2000, 40000);
+  const double hash_bsi = rows[PartitionerType::kHash].bsi;
+  ASSERT_GT(hash_bsi, 0);
+  // Fig. 10a/b: Prompt and Shuffle BSI (relative to Hash) near 0.
+  EXPECT_LT(rows[PartitionerType::kPrompt].bsi / hash_bsi, 0.1);
+  EXPECT_LT(rows[PartitionerType::kShuffle].bsi / hash_bsi, 0.05);
+  // PK2 sits between Hash and Prompt.
+  EXPECT_LT(rows[PartitionerType::kPk2].bsi, hash_bsi);
+}
+
+TEST(PartitionQualityTest, PromptNearHashOnCardinalityBalance) {
+  auto rows = MeasureAll(1.4, 2000, 40000);
+  // Fig. 10c/d: Prompt keeps per-block key cardinality at the hash-like
+  // K/P share — shuffle replicates hot keys into every block, so its
+  // per-block cardinality approaches K.
+  const auto& prompt = rows[PartitionerType::kPrompt];
+  const auto& hash = rows[PartitionerType::kHash];
+  const auto& shuffle = rows[PartitionerType::kShuffle];
+  EXPECT_LT(prompt.avg_block_cardinality, shuffle.avg_block_cardinality / 2);
+  EXPECT_LT(prompt.max_block_cardinality,
+            2 * std::max<uint64_t>(hash.max_block_cardinality, 1));
+  // Imbalance stays a small fraction of the per-block average.
+  EXPECT_LT(prompt.bci, 0.35 * prompt.avg_block_cardinality);
+}
+
+TEST(PartitionQualityTest, PromptMinimizesCombinedImbalanceUnderSkew) {
+  // At meaningful skew Prompt's MPI beats the single-objective baselines;
+  // at near-uniform loads hash is already near-optimal on all three
+  // objectives, so there Prompt need only be competitive.
+  for (double z : {1.2, 1.6}) {
+    auto rows = MeasureAll(z, 3000, 50000);
+    const double prompt_mpi = rows[PartitionerType::kPrompt].mpi;
+    for (PartitionerType other :
+         {PartitionerType::kTimeBased, PartitionerType::kShuffle,
+          PartitionerType::kHash}) {
+      EXPECT_LE(prompt_mpi, rows[other].mpi * 1.05)
+          << "z=" << z << " vs " << PartitionerTypeName(other);
+    }
+  }
+  auto rows = MeasureAll(0.8, 3000, 50000);
+  double best_other = 1e300;
+  for (PartitionerType other :
+       {PartitionerType::kTimeBased, PartitionerType::kShuffle,
+        PartitionerType::kHash}) {
+    best_other = std::min(best_other, rows[other].mpi);
+  }
+  EXPECT_LE(rows[PartitionerType::kPrompt].mpi, best_other * 2.0);
+}
+
+TEST(PartitionQualityTest, PromptKsrFarBelowShuffle) {
+  auto rows = MeasureAll(1.2, 1000, 40000);
+  EXPECT_LT(rows[PartitionerType::kPrompt].ksr,
+            rows[PartitionerType::kShuffle].ksr / 2);
+  EXPECT_DOUBLE_EQ(rows[PartitionerType::kHash].ksr, 1.0);
+}
+
+TEST(PartitionQualityTest, MpiWeightExtremesMimicShuffleAndHash) {
+  // §3.3: p1=1 ranks partitioners by pure size balance (shuffle optimal);
+  // p3=1 by pure locality (hash optimal).
+  auto data = ZipfTuples(40000, 2000, 1.4, kStart, kEnd);
+  auto measure = [&](PartitionerType type, const MpiWeights& w) {
+    auto p = CreatePartitioner(type);
+    auto batch = RunBatch(*p, data, 8, kStart, kEnd);
+    return ComputeBlockMetrics(batch, w).mpi;
+  };
+  MpiWeights size_only{1, 0, 0};
+  EXPECT_LE(measure(PartitionerType::kShuffle, size_only),
+            measure(PartitionerType::kHash, size_only));
+  MpiWeights locality_only{0, 0, 1};
+  EXPECT_LE(measure(PartitionerType::kHash, locality_only),
+            measure(PartitionerType::kShuffle, locality_only));
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,74 @@
+// §8 consistency: batch replication, recompute-on-failure, exactly-once at
+// batch granularity, and window retraction under recovery.
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+EngineOptions RecoveryOptions() {
+  EngineOptions opts;
+  opts.batch_interval = Millis(200);
+  opts.map_tasks = 4;
+  opts.reduce_tasks = 3;
+  opts.cores = 4;
+  opts.replicate_input = true;
+  return opts;
+}
+
+std::unique_ptr<TupleSource> MakeSource(uint64_t seed = 5) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 800;
+  params.zipf = 1.0;
+  params.seed = seed;
+  params.rate = std::make_shared<ConstantRate>(8000);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+TEST(RecoveryTest, EveryBatchIsRecomputable) {
+  auto source = MakeSource();
+  MicroBatchEngine engine(RecoveryOptions(), JobSpec::WordCount(3),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  for (int i = 0; i < 5; ++i) {
+    engine.Run(1);
+    EXPECT_TRUE(engine.VerifyRecoveryOfLastBatch().ok()) << "batch " << i;
+  }
+}
+
+TEST(RecoveryTest, RecomputationIsDeterministicAcrossTechniques) {
+  for (PartitionerType type :
+       {PartitionerType::kShuffle, PartitionerType::kPk5,
+        PartitionerType::kPrompt}) {
+    auto source = MakeSource(17);
+    MicroBatchEngine engine(RecoveryOptions(), JobSpec::WordCount(3),
+                            CreatePartitioner(type), source.get());
+    engine.Run(3);
+    EXPECT_TRUE(engine.VerifyRecoveryOfLastBatch().ok())
+        << PartitionerTypeName(type);
+  }
+}
+
+TEST(RecoveryTest, RecoveryWorksUnderElasticScaling) {
+  auto opts = RecoveryOptions();
+  opts.elasticity_enabled = true;
+  opts.cores_track_tasks = true;
+  opts.elasticity.d = 2;
+  ZipfKeyedSource::Params params;
+  params.cardinality = 800;
+  params.zipf = 1.0;
+  params.rate = std::make_shared<PiecewiseRate>(
+      std::vector<PiecewiseRate::Knot>{{0, 4000}, {Seconds(3), 40000}});
+  SynDSource source(std::move(params));
+  MicroBatchEngine engine(opts, JobSpec::WordCount(3),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          &source);
+  engine.Run(15);
+  EXPECT_TRUE(engine.VerifyRecoveryOfLastBatch().ok());
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "model/batch.h"
+#include "model/block.h"
+#include "model/tuple.h"
+
+namespace prompt {
+namespace {
+
+TEST(TupleTest, IsCompactPod) {
+  EXPECT_EQ(sizeof(Tuple), 24u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<Tuple>);
+}
+
+TEST(DataBlockTest, FinalizeComputesFragments) {
+  DataBlock block(3);
+  for (int i = 0; i < 5; ++i) block.Append(Tuple{i, 1, 1.0});
+  for (int i = 0; i < 2; ++i) block.Append(Tuple{i, 2, 1.0});
+  block.Finalize();
+  EXPECT_EQ(block.block_id(), 3u);
+  EXPECT_EQ(block.size(), 7u);
+  EXPECT_EQ(block.cardinality(), 2u);
+  uint64_t total = 0;
+  for (const auto& f : block.fragments()) {
+    total += f.count;
+    EXPECT_FALSE(f.split);
+    if (f.key == 1) {
+      EXPECT_EQ(f.count, 5u);
+    }
+    if (f.key == 2) {
+      EXPECT_EQ(f.count, 2u);
+    }
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(DataBlockTest, FinalizeOnEmptyBlock) {
+  DataBlock block;
+  block.Finalize();
+  EXPECT_EQ(block.size(), 0u);
+  EXPECT_EQ(block.cardinality(), 0u);
+}
+
+TEST(DataBlockTest, MarkSplitTargetsOneKey) {
+  DataBlock block;
+  block.Append(Tuple{0, 1, 1.0});
+  block.Append(Tuple{0, 2, 1.0});
+  block.Finalize();
+  block.MarkSplit(2);
+  for (const auto& f : block.fragments()) {
+    EXPECT_EQ(f.split, f.key == 2);
+  }
+}
+
+TEST(PartitionedBatchTest, ComputeSplitFlagsAcrossBlocks) {
+  PartitionedBatch batch;
+  DataBlock a(0), b(1);
+  a.Append(Tuple{0, 1, 1.0});
+  a.Append(Tuple{0, 2, 1.0});
+  b.Append(Tuple{0, 1, 1.0});
+  b.Append(Tuple{0, 3, 1.0});
+  a.Finalize();
+  b.Finalize();
+  batch.blocks.push_back(std::move(a));
+  batch.blocks.push_back(std::move(b));
+  batch.num_keys = 3;
+  uint64_t split = batch.ComputeSplitFlags();
+  EXPECT_EQ(split, 1u);  // only key 1 spans both blocks
+  for (const auto& block : batch.blocks) {
+    for (const auto& f : block.fragments()) {
+      EXPECT_EQ(f.split, f.key == 1) << "key " << f.key;
+    }
+  }
+}
+
+TEST(PartitionedBatchTest, ComputeSplitFlagsEmptyBatch) {
+  PartitionedBatch batch;
+  EXPECT_EQ(batch.ComputeSplitFlags(), 0u);
+}
+
+}  // namespace
+}  // namespace prompt

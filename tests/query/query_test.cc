@@ -1,0 +1,92 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+TEST(QueryBuilderTest, DefaultsToWordCount) {
+  auto q = QueryBuilder().Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->window_batches(), 30u);
+  EXPECT_EQ(q->top_k, 0u);
+  std::vector<KV> out;
+  q->job.map->Map(Tuple{0, 7, 3.5}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 1.0);  // COUNT emits 1
+}
+
+TEST(QueryBuilderTest, SumEmitsValues) {
+  auto q = QueryBuilder().Select(Aggregate::kSum).Build();
+  ASSERT_TRUE(q.ok());
+  std::vector<KV> out;
+  q->job.map->Map(Tuple{0, 7, 3.5}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 3.5);
+}
+
+TEST(QueryBuilderTest, MinMaxAreNotInvertible) {
+  auto qmin = QueryBuilder().Select(Aggregate::kMin).Build();
+  auto qmax = QueryBuilder().Select(Aggregate::kMax).Build();
+  ASSERT_TRUE(qmin.ok());
+  ASSERT_TRUE(qmax.ok());
+  EXPECT_FALSE(qmin->job.reduce->invertible());
+  EXPECT_FALSE(qmax->job.reduce->invertible());
+  EXPECT_DOUBLE_EQ(qmax->job.reduce->Combine(3.0, 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(qmin->job.reduce->Combine(3.0, 7.0), 3.0);
+}
+
+TEST(QueryBuilderTest, PredicatesAreConjunctive) {
+  auto q = QueryBuilder()
+               .Where([](const Tuple& t) { return t.value > 1; })
+               .Where([](const Tuple& t) { return t.value < 5; })
+               .Build();
+  ASSERT_TRUE(q.ok());
+  std::vector<KV> out;
+  q->job.map->Map(Tuple{0, 1, 3.0}, &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  q->job.map->Map(Tuple{0, 1, 7.0}, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  q->job.map->Map(Tuple{0, 1, 0.5}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(QueryBuilderTest, WindowGeometry) {
+  auto q = QueryBuilder().Window(Seconds(120), Seconds(5)).Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->window_batches(), 24u);
+  EXPECT_EQ(q->job.window_batches, 24u);
+}
+
+TEST(QueryBuilderTest, RejectsBadWindows) {
+  EXPECT_TRUE(QueryBuilder().Window(0, Seconds(1)).Build().status().IsInvalid());
+  EXPECT_TRUE(QueryBuilder().Window(Seconds(1), 0).Build().status().IsInvalid());
+  EXPECT_TRUE(QueryBuilder()
+                  .Window(Seconds(1), Seconds(2))
+                  .Build()
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(QueryBuilder()
+                  .Window(Seconds(7), Seconds(2))
+                  .Build()
+                  .status()
+                  .IsInvalid());  // not a multiple
+}
+
+TEST(QueryBuilderTest, TopKCarriesThrough) {
+  auto q = QueryBuilder().Top(10).Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->top_k, 10u);
+}
+
+TEST(AggregateNameTest, AllNames) {
+  EXPECT_STREQ(AggregateName(Aggregate::kCount), "COUNT");
+  EXPECT_STREQ(AggregateName(Aggregate::kSum), "SUM");
+  EXPECT_STREQ(AggregateName(Aggregate::kMin), "MIN");
+  EXPECT_STREQ(AggregateName(Aggregate::kMax), "MAX");
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,81 @@
+#include "stats/ewma.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+TEST(EwmaTest, FirstObservationInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.Value(99.0), 99.0);
+  e.Observe(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.Value(), 10.0);
+}
+
+TEST(EwmaTest, BlendsObservations) {
+  Ewma e(0.5);
+  e.Observe(10.0);
+  e.Observe(20.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 15.0);
+  e.Observe(15.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 15.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.Observe(42.0);
+  EXPECT_NEAR(e.Value(), 42.0, 1e-9);
+}
+
+TEST(EwmaTest, ResetForgets) {
+  Ewma e(0.3);
+  e.Observe(5.0);
+  e.Reset();
+  EXPECT_FALSE(e.initialized());
+}
+
+TEST(TrendTrackerTest, DetectsIncrease) {
+  TrendTracker t(3);
+  t.Observe(100);
+  t.Observe(110);
+  t.Observe(125);
+  t.Observe(140);
+  EXPECT_TRUE(t.Increasing());
+  EXPECT_FALSE(t.Decreasing());
+}
+
+TEST(TrendTrackerTest, DetectsDecrease) {
+  TrendTracker t(3);
+  for (double v : {200.0, 180.0, 150.0, 120.0}) t.Observe(v);
+  EXPECT_TRUE(t.Decreasing());
+  EXPECT_FALSE(t.Increasing());
+}
+
+TEST(TrendTrackerTest, FlatIsNeither) {
+  TrendTracker t(3);
+  for (double v : {100.0, 101.0, 100.0, 100.5}) t.Observe(v);
+  EXPECT_FALSE(t.Increasing());
+  EXPECT_FALSE(t.Decreasing());
+}
+
+TEST(TrendTrackerTest, SingleObservationIsNeither) {
+  TrendTracker t(3);
+  t.Observe(5);
+  EXPECT_FALSE(t.Increasing());
+  EXPECT_FALSE(t.Decreasing());
+}
+
+TEST(TrendTrackerTest, ToleranceSuppressesNoise) {
+  TrendTracker t(3);
+  t.Observe(1000);
+  t.Observe(1005);
+  t.Observe(1010);
+  t.Observe(1015);
+  EXPECT_FALSE(t.Increasing(0.05));  // 1.5% < 5% tolerance
+  EXPECT_TRUE(t.Increasing(0.001));
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,55 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 2.5);
+}
+
+TEST(HistogramTest, RecordAfterPercentileQuery) {
+  Histogram h;
+  h.Record(5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  h.Record(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+}
+
+TEST(HistogramTest, StdDev) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Record(v);
+  EXPECT_NEAR(h.StdDev(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(1.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,75 @@
+#include "stats/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace prompt {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 100000; ++i) hll.Add(42);
+  EXPECT_NEAR(hll.Estimate(), 1.0, 1.0);
+}
+
+class HllAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HllAccuracyTest, WithinExpectedError) {
+  const uint64_t n = GetParam();
+  HyperLogLog hll(12);  // ~1.6% standard error
+  for (uint64_t k = 0; k < n; ++k) hll.Add(k);
+  const double estimate = hll.Estimate();
+  EXPECT_NEAR(estimate, static_cast<double>(n),
+              std::max(8.0, 0.06 * static_cast<double>(n)))
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracyTest,
+                         ::testing::Values(10, 100, 1000, 50000, 1000000));
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), both(12);
+  for (uint64_t k = 0; k < 30000; ++k) {
+    a.Add(k);
+    both.Add(k);
+  }
+  for (uint64_t k = 20000; k < 60000; ++k) {
+    b.Add(k);
+    both.Add(k);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_NEAR(a.Estimate(), both.Estimate(), 0.01 * both.Estimate() + 10);
+  EXPECT_NEAR(a.Estimate(), 60000, 3000);
+}
+
+TEST(HyperLogLogTest, MergeRejectsPrecisionMismatch) {
+  HyperLogLog a(10), b(12);
+  EXPECT_TRUE(a.Merge(b).IsInvalid());
+}
+
+TEST(HyperLogLogTest, ClearResets) {
+  HyperLogLog hll(10);
+  for (uint64_t k = 0; k < 1000; ++k) hll.Add(k);
+  hll.Clear();
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1.0);
+}
+
+TEST(HyperLogLogTest, MemoryIsRegisterCount) {
+  EXPECT_EQ(HyperLogLog(10).memory_bytes(), 1024u);
+  EXPECT_EQ(HyperLogLog(14).memory_bytes(), 16384u);
+}
+
+TEST(HyperLogLogTest, LowPrecisionStillReasonable) {
+  HyperLogLog hll(6);  // 64 registers, ~13% error
+  for (uint64_t k = 0; k < 100000; ++k) hll.Add(k);
+  EXPECT_NEAR(hll.Estimate(), 100000, 35000);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,121 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+// Builds a block with `counts[i]` tuples of key base+i.
+DataBlock MakeBlock(uint32_t id, KeyId base,
+                    const std::vector<uint64_t>& counts) {
+  DataBlock b(id);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    for (uint64_t n = 0; n < counts[i]; ++n) {
+      b.Append(Tuple{0, base + i, 1.0});
+    }
+  }
+  b.Finalize();
+  return b;
+}
+
+PartitionedBatch MakeBatch(std::vector<DataBlock> blocks) {
+  PartitionedBatch batch;
+  for (auto& b : blocks) {
+    batch.num_tuples += b.size();
+    batch.blocks.push_back(std::move(b));
+  }
+  batch.num_keys = 0;  // recomputed by metrics
+  batch.ComputeSplitFlags();
+  return batch;
+}
+
+TEST(MetricsTest, PerfectlyBalancedBatchHasZeroImbalance) {
+  auto batch = MakeBatch({MakeBlock(0, 0, {5, 5}), MakeBlock(1, 10, {5, 5})});
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_DOUBLE_EQ(m.bsi, 0.0);
+  EXPECT_DOUBLE_EQ(m.bci, 0.0);
+  EXPECT_DOUBLE_EQ(m.ksr, 1.0);
+  EXPECT_DOUBLE_EQ(m.mpi, 0.0);
+}
+
+TEST(MetricsTest, BsiIsMaxMinusAverage) {
+  // Sizes 30 and 10: max 30, avg 20 -> BSI 10 (Eqn. 2).
+  auto batch = MakeBatch({MakeBlock(0, 0, {30}), MakeBlock(1, 1, {10})});
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_DOUBLE_EQ(m.bsi, 10.0);
+  EXPECT_EQ(m.max_block_size, 30u);
+  EXPECT_DOUBLE_EQ(m.avg_block_size, 20.0);
+}
+
+TEST(MetricsTest, BciIsCardinalityMaxMinusAverage) {
+  // Cardinalities 4 and 2: max 4, avg 3 -> BCI 1 (Eqn. 4).
+  auto batch = MakeBatch(
+      {MakeBlock(0, 0, {1, 1, 1, 1}), MakeBlock(1, 10, {2, 2})});
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_DOUBLE_EQ(m.bci, 1.0);
+}
+
+TEST(MetricsTest, KsrCountsFragmentsPerKey) {
+  // Key 0 appears in both blocks (2 fragments), key 1 and 2 once each.
+  // KSR = 4 fragments / 3 keys (Eqn. 5).
+  auto batch = MakeBatch({MakeBlock(0, 0, {3, 2}),      // keys 0,1
+                          MakeBlock(1, 0, {3}),         // key 0 again
+                          MakeBlock(2, 2, {4})});       // key 2
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_EQ(m.total_fragments, 4u);
+  EXPECT_EQ(m.distinct_keys, 3u);
+  EXPECT_DOUBLE_EQ(m.ksr, 4.0 / 3.0);
+  EXPECT_EQ(m.split_keys, 1u);
+}
+
+TEST(MetricsTest, SplitFlagsMarkMultiBlockKeys) {
+  auto batch = MakeBatch({MakeBlock(0, 0, {3, 2}), MakeBlock(1, 0, {3})});
+  int split_fragments = 0;
+  for (const auto& block : batch.blocks) {
+    for (const auto& f : block.fragments()) {
+      if (f.split) {
+        ++split_fragments;
+        EXPECT_EQ(f.key, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(split_fragments, 2);  // key 0's fragment in each block
+}
+
+TEST(MetricsTest, MpiWeightsShiftEmphasis) {
+  // Imbalanced sizes, no splitting.
+  auto batch = MakeBatch({MakeBlock(0, 0, {40}), MakeBlock(1, 1, {10})});
+  MpiWeights size_only{1.0, 0.0, 0.0};
+  MpiWeights locality_only{0.0, 0.0, 1.0};
+  auto m_size = ComputeBlockMetrics(batch, size_only);
+  auto m_loc = ComputeBlockMetrics(batch, locality_only);
+  EXPECT_GT(m_size.mpi, 0.0);          // size imbalance dominates
+  EXPECT_DOUBLE_EQ(m_loc.mpi, 0.0);    // KSR == 1, so locality-only MPI == 0
+}
+
+TEST(MetricsTest, EmptyBatch) {
+  PartitionedBatch batch;
+  auto m = ComputeBlockMetrics(batch);
+  EXPECT_DOUBLE_EQ(m.bsi, 0.0);
+  EXPECT_DOUBLE_EQ(m.ksr, 1.0);
+}
+
+TEST(MetricsTest, BucketImbalance) {
+  std::vector<uint64_t> buckets = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(BucketSizeImbalance(buckets), 30.0 - 20.0);
+  std::vector<uint64_t> even = {10, 10, 10};
+  EXPECT_DOUBLE_EQ(BucketSizeImbalance(even), 0.0);
+  EXPECT_DOUBLE_EQ(BucketSizeImbalance({}), 0.0);
+}
+
+TEST(MetricsTest, SpreadStatistics) {
+  std::vector<uint64_t> sizes = {2, 4, 6, 8};
+  auto s = ComputeSpread(sizes);
+  EXPECT_EQ(s.max, 8u);
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_DOUBLE_EQ(s.avg, 5.0);
+  EXPECT_NEAR(s.stddev, 2.2360679, 1e-6);
+}
+
+}  // namespace
+}  // namespace prompt

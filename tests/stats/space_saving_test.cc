@@ -1,0 +1,123 @@
+#include "stats/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace prompt {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving sketch(16);
+  for (int i = 0; i < 10; ++i) {
+    for (uint64_t k = 0; k <= static_cast<uint64_t>(i); ++k) sketch.Add(k);
+  }
+  // Key k was added (10 - k) times.
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(sketch.Estimate(k), 10 - k);
+  }
+  EXPECT_EQ(sketch.size(), 10u);
+}
+
+TEST(SpaceSavingTest, EstimateZeroForUnknownKey) {
+  SpaceSaving sketch(4);
+  sketch.Add(1);
+  EXPECT_EQ(sketch.Estimate(99), 0u);
+  EXPECT_FALSE(sketch.Tracks(99));
+}
+
+TEST(SpaceSavingTest, CapacityIsRespected) {
+  SpaceSaving sketch(8);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) sketch.Add(rng.NextBounded(1000));
+  EXPECT_EQ(sketch.size(), 8u);
+  EXPECT_EQ(sketch.total(), 10000u);
+}
+
+TEST(SpaceSavingTest, NeverUnderestimates) {
+  // Space-Saving guarantees estimate >= true count for tracked keys.
+  SpaceSaving sketch(32);
+  Rng rng(7);
+  ZipfSampler zipf(500, 1.2);
+  std::map<KeyId, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    KeyId k = zipf.Sample(rng);
+    ++truth[k];
+    sketch.Add(k);
+  }
+  for (const auto& e : sketch.TopEntries()) {
+    EXPECT_GE(e.count, truth[e.key]) << "key " << e.key;
+    EXPECT_LE(e.count - e.error, truth[e.key] + 0u) << "lower bound invalid";
+  }
+}
+
+TEST(SpaceSavingTest, FindsTrueHeavyHittersUnderSkew) {
+  SpaceSaving sketch(64);
+  Rng rng(3);
+  ZipfSampler zipf(100000, 1.3);
+  std::map<KeyId, uint64_t> truth;
+  for (int i = 0; i < 200000; ++i) {
+    KeyId k = zipf.Sample(rng);
+    ++truth[k];
+    sketch.Add(k);
+  }
+  // Every key above 2% of the stream must be reported as a heavy hitter.
+  auto hitters = sketch.HeavyHitters(0.02);
+  std::map<KeyId, bool> reported;
+  for (const auto& e : hitters) reported[e.key] = true;
+  for (const auto& [k, c] : truth) {
+    if (c > 0.02 * 200000 * 1.2) {
+      EXPECT_TRUE(reported[k]) << "missed heavy hitter " << k;
+    }
+  }
+}
+
+TEST(SpaceSavingTest, TopEntriesSortedDescending) {
+  SpaceSaving sketch(16);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) sketch.Add(rng.NextBounded(10));
+  auto top = sketch.TopEntries();
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+}
+
+TEST(SpaceSavingTest, EvictedKeyCanReturn) {
+  SpaceSaving sketch(2);
+  sketch.Add(1);
+  sketch.Add(1);
+  sketch.Add(2);
+  sketch.Add(3);  // evicts 2 (min)
+  EXPECT_FALSE(sketch.Tracks(2));
+  sketch.Add(2);  // 2 returns, evicting the min
+  EXPECT_TRUE(sketch.Tracks(2));
+}
+
+TEST(SpaceSavingTest, IndexRebuildKeepsConsistency) {
+  // Push far more distinct keys than capacity to force tombstone rebuilds.
+  SpaceSaving sketch(4);
+  for (uint64_t k = 0; k < 10000; ++k) sketch.Add(k);
+  EXPECT_EQ(sketch.size(), 4u);
+  // The most recent keys are tracked with inherited counts.
+  auto top = sketch.TopEntries();
+  ASSERT_EQ(top.size(), 4u);
+  for (const auto& e : top) {
+    EXPECT_TRUE(sketch.Tracks(e.key));
+    EXPECT_EQ(sketch.Estimate(e.key), e.count);
+  }
+}
+
+TEST(SpaceSavingTest, ClearResets) {
+  SpaceSaving sketch(4);
+  sketch.Add(1);
+  sketch.Clear();
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_EQ(sketch.total(), 0u);
+  sketch.Add(2);
+  EXPECT_EQ(sketch.Estimate(2), 1u);
+}
+
+}  // namespace
+}  // namespace prompt

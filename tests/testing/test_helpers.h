@@ -1,0 +1,74 @@
+// Shared helpers for feeding partitioners with synthetic batches in tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/accumulator.h"
+#include "core/partitioner.h"
+#include "model/tuple.h"
+
+namespace prompt::testing {
+
+/// Generates `n` tuples with Zipf(cardinality, z) keys and timestamps spread
+/// evenly over [start, end).
+inline std::vector<Tuple> ZipfTuples(uint64_t n, uint64_t cardinality,
+                                     double z, TimeMicros start,
+                                     TimeMicros end, uint64_t seed = 42) {
+  Rng rng(seed);
+  ZipfSampler zipf(cardinality, z);
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  const double step = static_cast<double>(end - start) / static_cast<double>(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.ts = start + static_cast<TimeMicros>(step * static_cast<double>(i));
+    t.key = zipf.Sample(rng);
+    t.value = 1.0;
+    tuples.push_back(t);
+  }
+  return tuples;
+}
+
+/// Runs a full Begin/OnTuple*/Seal cycle.
+inline PartitionedBatch RunBatch(BatchPartitioner& partitioner,
+                                 const std::vector<Tuple>& tuples,
+                                 uint32_t num_blocks, TimeMicros start,
+                                 TimeMicros end, uint64_t batch_id = 0) {
+  partitioner.Begin(num_blocks, start, end);
+  for (const Tuple& t : tuples) partitioner.OnTuple(t);
+  return partitioner.Seal(batch_id);
+}
+
+/// Feeds tuples into an accumulator and seals it.
+inline AccumulatedBatch Accumulate(MicrobatchAccumulator& acc,
+                                   const std::vector<Tuple>& tuples,
+                                   TimeMicros start, TimeMicros end) {
+  acc.Begin(start, end);
+  for (const Tuple& t : tuples) acc.Add(t);
+  return acc.Seal();
+}
+
+/// Exact per-key histogram of a tuple set.
+inline std::map<KeyId, uint64_t> KeyHistogram(const std::vector<Tuple>& tuples) {
+  std::map<KeyId, uint64_t> hist;
+  for (const Tuple& t : tuples) ++hist[t.key];
+  return hist;
+}
+
+/// Sum of block sizes and per-key totals across all blocks of a batch; used
+/// to assert no tuple was lost or duplicated by a partitioner.
+inline std::map<KeyId, uint64_t> BatchKeyHistogram(
+    const PartitionedBatch& batch) {
+  std::map<KeyId, uint64_t> hist;
+  for (const auto& block : batch.blocks) {
+    for (const Tuple& t : block.tuples()) ++hist[t.key];
+  }
+  return hist;
+}
+
+}  // namespace prompt::testing

@@ -1,0 +1,79 @@
+#include "workload/benchmark_queries.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+
+namespace prompt {
+namespace {
+
+TEST(BenchmarkQueriesTest, AllWorkloadsPresent) {
+  auto workloads = PaperWorkloads();
+  ASSERT_EQ(workloads.size(), 7u);
+  for (const auto& w : workloads) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_GT(w.window, 0);
+    EXPECT_GT(w.slide, 0);
+    EXPECT_GE(w.job.window_batches, 1u);
+    EXPECT_NE(w.job.map, nullptr);
+    EXPECT_NE(w.job.reduce, nullptr);
+  }
+}
+
+TEST(BenchmarkQueriesTest, LookupByName) {
+  auto q1 = WorkloadByName("DebsQ1");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->dataset, DatasetId::kDebs);
+  // 2h window / 5min slide = 24 batches regardless of time scale.
+  EXPECT_EQ(q1->job.window_batches, 24u);
+
+  EXPECT_TRUE(WorkloadByName("Nope").status().IsInvalid());
+}
+
+TEST(BenchmarkQueriesTest, TimeScaleShrinksWindows) {
+  auto paper = WorkloadByName("DebsQ2", 1.0);
+  auto scaled = WorkloadByName("DebsQ2", 1.0 / 60.0);
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(paper->window, 45 * Seconds(60));
+  EXPECT_EQ(scaled->window, Seconds(45));
+  EXPECT_EQ(paper->job.window_batches, scaled->job.window_batches);
+}
+
+TEST(BenchmarkQueriesTest, TopKCountCarriesK) {
+  auto topk = WorkloadByName("TopKCount");
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->top_k, 10u);
+}
+
+TEST(BenchmarkQueriesTest, TpchQ6FilterApplies) {
+  auto q6 = WorkloadByName("TpchQ6");
+  ASSERT_TRUE(q6.ok());
+  std::vector<KV> out;
+  q6->job.map->Map(Tuple{0, 1, 10.0}, &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  q6->job.map->Map(Tuple{0, 1, 30.0}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BenchmarkQueriesTest, WorkloadsRunOnTheEngine) {
+  for (const char* name : {"WordCount", "DebsQ1", "GcmUsage", "TpchQ6"}) {
+    auto w = WorkloadByName(name, 1.0 / 300.0);  // extra-compressed windows
+    ASSERT_TRUE(w.ok()) << name;
+    auto source = MakeDataset(w->dataset, std::make_shared<ConstantRate>(8000),
+                              7, 1.0, 0.01);
+    EngineOptions opts;
+    opts.batch_interval = w->slide;
+    MicroBatchEngine engine(opts, w->job,
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    auto summary = engine.Run(3);
+    EXPECT_EQ(summary.batches.size(), 3u) << name;
+    EXPECT_GT(summary.batches[2].num_tuples, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/composite_source.h"
+#include "workload/disorder.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+std::unique_ptr<SynDSource> MakeSource(double rate, uint64_t seed) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 100;
+  params.zipf = 1.0;
+  params.seed = seed;
+  params.rate = std::make_shared<ConstantRate>(rate);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+TEST(CompositeSourceTest, MergesInTimestampOrder) {
+  auto a = MakeSource(1000, 1);
+  auto b = MakeSource(3000, 2);
+  auto c = MakeSource(500, 3);
+  CompositeSource merged({a.get(), b.get(), c.get()});
+  EXPECT_EQ(merged.active_sources(), 3u);
+
+  Tuple t;
+  TimeMicros prev = -1;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(merged.Next(&t));
+    ASSERT_GE(t.ts, prev) << "merge violated order at " << i;
+    prev = t.ts;
+  }
+}
+
+TEST(CompositeSourceTest, RateIsSumOfConstituents) {
+  auto a = MakeSource(1000, 1);
+  auto b = MakeSource(3000, 2);
+  CompositeSource merged({a.get(), b.get()});
+  Tuple t{};
+  int n = 0;
+  while (true) {
+    merged.Next(&t);
+    if (t.ts >= Seconds(1)) break;
+    ++n;
+  }
+  EXPECT_NEAR(n, 4000, 200);
+}
+
+TEST(CompositeSourceTest, CardinalitySums) {
+  auto a = MakeSource(1000, 1);
+  auto b = MakeSource(1000, 2);
+  CompositeSource merged({a.get(), b.get()});
+  EXPECT_EQ(merged.cardinality(), 200u);
+}
+
+// A finite source for exhaustion tests.
+class FiniteSource final : public TupleSource {
+ public:
+  FiniteSource(TimeMicros step, int count) : step_(step), remaining_(count) {}
+  const char* name() const override { return "Finite"; }
+  uint64_t cardinality() const override { return 1; }
+  bool Next(Tuple* t) override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    now_ += step_;
+    *t = Tuple{now_, 1, 1.0};
+    return true;
+  }
+
+ private:
+  TimeMicros step_;
+  TimeMicros now_ = 0;
+  int remaining_;
+};
+
+TEST(CompositeSourceTest, DrainsExhaustedSources) {
+  FiniteSource a(10, 5);
+  FiniteSource b(7, 8);
+  CompositeSource merged({&a, &b});
+  Tuple t;
+  int n = 0;
+  while (merged.Next(&t)) ++n;
+  EXPECT_EQ(n, 13);
+  EXPECT_FALSE(merged.Next(&t));
+}
+
+TEST(DisorderedSourceTest, IntroducesBoundedDisorder) {
+  auto inner = MakeSource(10000, 4);
+  DisorderedSource disordered(inner.get(), 16);
+  Tuple t;
+  TimeMicros prev = 0;
+  int inversions = 0;
+  TimeMicros worst_regression = 0;
+  TimeMicros max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(disordered.Next(&t));
+    if (t.ts < prev) ++inversions;
+    max_seen = std::max(max_seen, t.ts);
+    worst_regression = std::max(worst_regression, max_seen - t.ts);
+    prev = t.ts;
+  }
+  EXPECT_GT(inversions, 0) << "should actually disorder the stream";
+  // Displacement bound: at 10k/s, 17 positions is a few ms of regression.
+  EXPECT_LE(worst_regression, Millis(5));
+}
+
+TEST(ReorderBufferTest, RestoresExactOrder) {
+  auto inner = MakeSource(10000, 4);
+  DisorderedSource disordered(inner.get(), 16);
+  ReorderBuffer reordered(&disordered, Millis(5));
+  Tuple t;
+  TimeMicros prev = -1;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(reordered.Next(&t));
+    ASSERT_GE(t.ts, prev) << "reorder buffer failed at " << i;
+    prev = t.ts;
+  }
+  EXPECT_EQ(reordered.dropped(), 0u);
+}
+
+TEST(ReorderBufferTest, LosslessWhenDelayCoversDisorder) {
+  // Count tuples over a fixed stream-time horizon with and without the
+  // disorder+reorder pipeline; they must agree.
+  auto count_until = [](TupleSource& src, TimeMicros horizon) {
+    Tuple t{};
+    std::map<KeyId, int> hist;
+    while (src.Next(&t) && t.ts < horizon) ++hist[t.key];
+    return hist;
+  };
+  auto plain = MakeSource(5000, 9);
+  auto expected = count_until(*plain, Millis(500));
+
+  auto inner = MakeSource(5000, 9);
+  DisorderedSource disordered(inner.get(), 8);
+  ReorderBuffer reordered(&disordered, Millis(10));
+  auto got = count_until(reordered, Millis(500));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ReorderBufferTest, DropsTuplesBeyondMaxDelay) {
+  auto inner = MakeSource(20000, 11);
+  DisorderedSource disordered(inner.get(), 64);  // ~3.2ms max regression
+  ReorderBuffer reordered(&disordered, Millis(0));  // no tolerance at all
+  Tuple t;
+  TimeMicros prev = -1;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(reordered.Next(&t));
+    ASSERT_GE(t.ts, prev);  // order still guaranteed...
+    prev = t.ts;
+  }
+  EXPECT_GT(reordered.dropped(), 0u);  // ...at the price of drops
+}
+
+}  // namespace
+}  // namespace prompt

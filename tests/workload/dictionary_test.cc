@@ -1,0 +1,117 @@
+#include "workload/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/text_sources.h"
+
+namespace prompt {
+namespace {
+
+TEST(KeyDictionaryTest, InternIsIdempotent) {
+  KeyDictionary dict;
+  KeyId a = dict.Intern("hello");
+  KeyId b = dict.Intern("world");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("hello"), a);
+  EXPECT_EQ(dict.Intern("world"), b);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(KeyDictionaryTest, IdsAreDense) {
+  KeyDictionary dict;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dict.Intern("k" + std::to_string(i)), static_cast<KeyId>(i));
+  }
+}
+
+TEST(KeyDictionaryTest, LookupRoundTrip) {
+  KeyDictionary dict;
+  KeyId id = dict.Intern("medallion-7");
+  auto r = dict.Lookup(id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "medallion-7");
+}
+
+TEST(KeyDictionaryTest, LookupUnknownIdFails) {
+  KeyDictionary dict;
+  EXPECT_TRUE(dict.Lookup(0).status().IsKeyError());
+  EXPECT_EQ(dict.LookupOr(5, "??"), "??");
+}
+
+TEST(KeyDictionaryTest, ContainsChecksWithoutInterning) {
+  KeyDictionary dict;
+  dict.Intern("a");
+  EXPECT_TRUE(dict.Contains("a"));
+  EXPECT_FALSE(dict.Contains("b"));
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(KeyDictionaryTest, SurvivesManyInterns) {
+  // deque storage must keep views valid across growth.
+  KeyDictionary dict;
+  std::vector<KeyId> ids;
+  for (int i = 0; i < 50000; ++i) {
+    ids.push_back(dict.Intern("key-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 50000; i += 997) {
+    auto r = dict.Lookup(ids[i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, "key-" + std::to_string(i));
+  }
+}
+
+TEST(SynthesizeWordTest, DistinctAndDeterministic) {
+  std::set<std::string> words;
+  for (uint64_t rank = 0; rank < 10000; ++rank) {
+    auto w = SynthesizeWord(rank);
+    EXPECT_TRUE(words.insert(w).second) << "duplicate word " << w;
+    EXPECT_EQ(w, SynthesizeWord(rank));
+  }
+  // Low ranks get short words.
+  EXPECT_LE(SynthesizeWord(0).size(), SynthesizeWord(5000).size());
+}
+
+TEST(SynthesizeMedallionTest, DistinctLabels) {
+  std::set<std::string> labels;
+  for (uint64_t rank = 0; rank < 100000; rank += 7) {
+    EXPECT_TRUE(labels.insert(SynthesizeMedallion(rank)).second);
+  }
+}
+
+TEST(WordStreamSourceTest, EmitsInternedWords) {
+  WordStreamSource::Params params;
+  params.vocabulary = 1000;
+  params.zipf = 1.0;
+  params.rate = std::make_shared<ConstantRate>(10000);
+  WordStreamSource source(std::move(params));
+  Tuple t;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(source.Next(&t));
+    auto word = source.dictionary().Lookup(t.key);
+    ASSERT_TRUE(word.ok());
+    EXPECT_FALSE(word->empty());
+  }
+  EXPECT_GT(source.dictionary().size(), 100u);
+  EXPECT_LE(source.dictionary().size(), 1000u);
+}
+
+TEST(MedallionTripSourceTest, FaresAndLabels) {
+  MedallionTripSource::Params params;
+  params.medallions = 5000;
+  params.rate = std::make_shared<ConstantRate>(5000);
+  MedallionTripSource source(std::move(params));
+  Tuple t;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(source.Next(&t));
+    EXPECT_GE(t.value, 2.5);
+    EXPECT_LE(t.value, 120.0);
+    auto label = source.dictionary().Lookup(t.key);
+    ASSERT_TRUE(label.ok());
+    EXPECT_EQ(label->size(), 7u);  // "XXXX-YY"
+  }
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,57 @@
+#include "workload/rate_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+TEST(ConstantRateTest, IsConstant) {
+  ConstantRate rate(1234.5);
+  EXPECT_DOUBLE_EQ(rate.RateAt(0), 1234.5);
+  EXPECT_DOUBLE_EQ(rate.RateAt(Seconds(100)), 1234.5);
+}
+
+TEST(SinusoidalRateTest, OscillatesAroundMean) {
+  SinusoidalRate rate(1000, 0.5, Seconds(10));
+  EXPECT_NEAR(rate.RateAt(0), 1000, 1e-6);                    // sin(0)=0
+  EXPECT_NEAR(rate.RateAt(Seconds(2.5)), 1500, 1e-6);         // peak
+  EXPECT_NEAR(rate.RateAt(Seconds(7.5)), 500, 1e-6);          // trough
+  EXPECT_NEAR(rate.RateAt(Seconds(10)), 1000, 1e-6);          // wraps
+}
+
+TEST(SinusoidalRateTest, NeverNonPositiveForValidAmplitude) {
+  SinusoidalRate rate(100, 0.99, Seconds(1));
+  for (TimeMicros t = 0; t < Seconds(2); t += Millis(13)) {
+    EXPECT_GT(rate.RateAt(t), 0);
+  }
+}
+
+TEST(PiecewiseRateTest, InterpolatesLinearly) {
+  PiecewiseRate rate({{0, 100}, {Seconds(10), 1100}});
+  EXPECT_DOUBLE_EQ(rate.RateAt(0), 100);
+  EXPECT_DOUBLE_EQ(rate.RateAt(Seconds(5)), 600);
+  EXPECT_DOUBLE_EQ(rate.RateAt(Seconds(10)), 1100);
+}
+
+TEST(PiecewiseRateTest, ClampsOutsideKnots) {
+  PiecewiseRate rate({{Seconds(1), 100}, {Seconds(2), 200}});
+  EXPECT_DOUBLE_EQ(rate.RateAt(0), 100);
+  EXPECT_DOUBLE_EQ(rate.RateAt(Seconds(99)), 200);
+}
+
+TEST(PiecewiseRateTest, MultiSegmentRampUpDown) {
+  PiecewiseRate rate(
+      {{0, 100}, {Seconds(2), 500}, {Seconds(4), 500}, {Seconds(6), 200}});
+  EXPECT_DOUBLE_EQ(rate.RateAt(Seconds(1)), 300);
+  EXPECT_DOUBLE_EQ(rate.RateAt(Seconds(3)), 500);
+  EXPECT_DOUBLE_EQ(rate.RateAt(Seconds(5)), 350);
+}
+
+TEST(ScaledRateTest, MultipliesBase) {
+  auto base = std::make_shared<ConstantRate>(100);
+  ScaledRate scaled(base, 2.5);
+  EXPECT_DOUBLE_EQ(scaled.RateAt(0), 250);
+}
+
+}  // namespace
+}  // namespace prompt

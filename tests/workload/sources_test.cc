@@ -1,0 +1,170 @@
+#include "workload/sources.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace prompt {
+namespace {
+
+std::shared_ptr<const RateProfile> Constant(double rate) {
+  return std::make_shared<ConstantRate>(rate);
+}
+
+TEST(SourcesTest, TimestampsAreNonDecreasing) {
+  for (DatasetId id : {DatasetId::kTweets, DatasetId::kSynD, DatasetId::kDebs,
+                       DatasetId::kGcm, DatasetId::kTpch}) {
+    auto source = MakeDataset(id, Constant(10000));
+    Tuple t;
+    TimeMicros prev = -1;
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(source->Next(&t));
+      ASSERT_GE(t.ts, prev) << DatasetName(id);
+      prev = t.ts;
+    }
+  }
+}
+
+TEST(SourcesTest, DeterministicPerSeed) {
+  auto a = MakeDataset(DatasetId::kSynD, Constant(1000), 7);
+  auto b = MakeDataset(DatasetId::kSynD, Constant(1000), 7);
+  auto c = MakeDataset(DatasetId::kSynD, Constant(1000), 8);
+  Tuple ta, tb, tc;
+  bool all_same_c = true;
+  for (int i = 0; i < 1000; ++i) {
+    a->Next(&ta);
+    b->Next(&tb);
+    c->Next(&tc);
+    ASSERT_EQ(ta.key, tb.key);
+    ASSERT_EQ(ta.ts, tb.ts);
+    if (ta.key != tc.key) all_same_c = false;
+  }
+  EXPECT_FALSE(all_same_c);
+}
+
+TEST(SourcesTest, PacingMatchesConstantRate) {
+  auto source = MakeDataset(DatasetId::kSynD, Constant(50000));
+  Tuple t{};
+  for (int i = 0; i < 50000; ++i) source->Next(&t);
+  // 50k tuples at 50k/s ~ 1 second of stream time.
+  EXPECT_NEAR(ToSeconds(t.ts), 1.0, 0.02);
+}
+
+TEST(SourcesTest, SinusoidalRateModulatesDensity) {
+  auto rate = std::make_shared<SinusoidalRate>(10000, 0.8, Seconds(2));
+  auto source = MakeDataset(DatasetId::kSynD, rate);
+  std::map<int64_t, int> per_half_second;
+  Tuple t;
+  while (true) {
+    source->Next(&t);
+    if (t.ts >= Seconds(2)) break;
+    ++per_half_second[t.ts / Millis(500)];
+  }
+  // First half-second (rising toward peak) much denser than the third
+  // (falling toward trough).
+  EXPECT_GT(per_half_second[0], per_half_second[2] * 2);
+}
+
+TEST(SourcesTest, SkewConcentratesKeys) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 100000;
+  params.zipf = 1.8;
+  params.rate = Constant(10000);
+  SynDSource skewed(std::move(params));
+
+  std::map<KeyId, int> counts;
+  Tuple t;
+  for (int i = 0; i < 20000; ++i) {
+    skewed.Next(&t);
+    ++counts[t.key];
+  }
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 2000);  // hottest key dominates at z=1.8
+}
+
+TEST(SourcesTest, NearUniformSpreadsKeys) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 100000;
+  params.zipf = 0.1;
+  params.rate = Constant(10000);
+  SynDSource uniform(std::move(params));
+  std::map<KeyId, int> counts;
+  Tuple t;
+  for (int i = 0; i < 20000; ++i) {
+    uniform.Next(&t);
+    ++counts[t.key];
+  }
+  // Nearly all keys distinct when drawing 20k of 100k near-uniformly.
+  EXPECT_GT(counts.size(), 15000u);
+}
+
+TEST(SourcesTest, TweetsBurstsShareTimestamps) {
+  auto source = MakeDataset(DatasetId::kTweets, Constant(10000));
+  std::map<TimeMicros, int> words_per_ts;
+  Tuple t;
+  for (int i = 0; i < 5000; ++i) {
+    source->Next(&t);
+    ++words_per_ts[t.ts];
+  }
+  int total = 0, bursts = 0;
+  for (const auto& [ts, n] : words_per_ts) {
+    total += n;
+    if (n >= 8) ++bursts;
+  }
+  EXPECT_GT(bursts, 0) << "tweets should burst 8-20 words per timestamp";
+  EXPECT_NEAR(static_cast<double>(total) / words_per_ts.size(), 14.0, 4.0);
+}
+
+TEST(SourcesTest, DebsValuesLookLikeFares) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 10000;
+  params.zipf = 0.6;
+  params.rate = Constant(1000);
+  DebsTaxiSource fares(std::move(params), DebsTaxiSource::Query::kFare);
+  Tuple t;
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    fares.Next(&t);
+    ASSERT_GE(t.value, 2.5);
+    ASSERT_LE(t.value, 120.0);
+    sum += t.value;
+  }
+  EXPECT_GT(sum / 5000, 5.0);  // mean fare above the base
+}
+
+TEST(SourcesTest, TpchQuantitiesAreIntegral) {
+  auto source = MakeDataset(DatasetId::kTpch, Constant(1000));
+  Tuple t;
+  for (int i = 0; i < 2000; ++i) {
+    source->Next(&t);
+    ASSERT_GE(t.value, 1.0);
+    ASSERT_LE(t.value, 50.0);
+    ASSERT_DOUBLE_EQ(t.value, std::floor(t.value));
+  }
+}
+
+TEST(SourcesTest, Table1CardinalitiesMatchThePaper) {
+  auto rate = Constant(1000);
+  EXPECT_EQ(MakeDataset(DatasetId::kTweets, rate)->cardinality(), 790000u);
+  EXPECT_EQ(MakeDataset(DatasetId::kSynD, rate)->cardinality(), 1000000u);
+  EXPECT_EQ(MakeDataset(DatasetId::kDebs, rate)->cardinality(), 8000000u);
+  EXPECT_EQ(MakeDataset(DatasetId::kGcm, rate)->cardinality(), 600000u);
+  EXPECT_EQ(MakeDataset(DatasetId::kTpch, rate)->cardinality(), 1000000u);
+}
+
+TEST(SourcesTest, GcmValuesAreNormalizedCpu) {
+  auto source = MakeDataset(DatasetId::kGcm, Constant(1000));
+  Tuple t;
+  for (int i = 0; i < 2000; ++i) {
+    source->Next(&t);
+    ASSERT_GE(t.value, 0.0);
+    ASSERT_LE(t.value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace prompt
