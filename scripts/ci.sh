@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point: configure, build (the project compiles with
+# -Wall -Wextra; CI additionally promotes warnings to errors), run the full
+# test suite, and leave the ctest log at $LOG_DIR/ctest.log for upload.
+#
+# Usage: scripts/ci.sh [build-dir]
+# Env:   LOG_DIR     where to write logs (default: <build-dir>)
+#        SANITIZE    '', 'thread', or 'address' — forwarded to PROMPT_SANITIZE
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+LOG_DIR="${LOG_DIR:-${BUILD_DIR}}"
+SANITIZE="${SANITIZE:-}"
+mkdir -p "${LOG_DIR}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_CXX_FLAGS="-Werror" \
+  -DPROMPT_SANITIZE="${SANITIZE}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" 2>&1 | tee "${LOG_DIR}/build.log"
+
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j "$(nproc)" 2>&1 | tee "${LOG_DIR}/ctest.log"

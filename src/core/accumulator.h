@@ -49,6 +49,23 @@ class AccumulatedBatch {
   /// is approximate, coming from the budget-limited CountTree).
   const std::vector<SortedKeyRun>& keys() const { return keys_; }
 
+  /// Assembles a batch view over externally owned merged storage — the
+  /// output of the sharded ingest pipeline, whose k-way merge concatenates
+  /// the per-shard arenas (with chain indices rebased) and interleaves the
+  /// per-shard quasi-sorted run lists. The storage must outlive the view,
+  /// exactly like an accumulator's arena outlives its sealed batch.
+  static AccumulatedBatch FromMerged(uint64_t num_tuples,
+                                     std::vector<SortedKeyRun> keys,
+                                     const std::vector<Tuple>* arena,
+                                     const std::vector<uint32_t>* next) {
+    AccumulatedBatch batch;
+    batch.num_tuples_ = num_tuples;
+    batch.keys_ = std::move(keys);
+    batch.arena_ = arena;
+    batch.next_ = next;
+    return batch;
+  }
+
   /// Applies f(const Tuple&) to up to `limit` tuples of the run, starting
   /// after skipping `skip` tuples of its chain. Fragmented keys consume their
   /// chain in segments: fragment i passes skip = sum of earlier fragment
@@ -116,6 +133,12 @@ class MicrobatchAccumulator {
   /// Total CountTree repositionings in the current batch (test/ablation
   /// observability: bounded by num_keys * budget).
   uint64_t tree_updates() const { return tree_updates_; }
+
+  /// Raw buffered-tuple storage of the current batch. The sharded ingest
+  /// pipeline reads these after Seal() to rebase each shard's chains into
+  /// the merged arena; both stay valid until the next Begin().
+  const std::vector<Tuple>& arena() const { return arena_; }
+  const std::vector<uint32_t>& chain_next() const { return next_; }
 
   const AccumulatorOptions& options() const { return options_; }
   void set_options(const AccumulatorOptions& o) { options_ = o; }

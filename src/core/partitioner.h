@@ -11,6 +11,8 @@
 
 namespace prompt {
 
+class AccumulatedBatch;
+
 /// \brief Produces a micro-batch's data blocks from the tuples of one batch
 /// interval.
 ///
@@ -44,6 +46,21 @@ class BatchPartitioner {
   virtual void UpdateEstimates(uint64_t estimated_tuples, uint64_t avg_keys) {
     (void)estimated_tuples;
     (void)avg_keys;
+  }
+
+  /// Parallel-ingest fast path: seals directly from a pre-accumulated
+  /// quasi-sorted batch (the sharded pipeline's merged output), skipping
+  /// OnTuple entirely. Techniques whose batching phase consumes the
+  /// quasi-sorted key list (Prompt, Alg. 2) override this; the default
+  /// reports "unsupported" and the caller must replay tuples via OnTuple.
+  /// When supported, `out` is fully populated (blocks, ids, costs) and the
+  /// current batch's OnTuple state is discarded.
+  virtual bool SealAccumulated(const AccumulatedBatch& accumulated,
+                               uint64_t batch_id, PartitionedBatch* out) {
+    (void)accumulated;
+    (void)batch_id;
+    (void)out;
+    return false;
   }
 };
 

@@ -246,6 +246,23 @@ PartitionedBatch PromptPartitioner::Seal(uint64_t batch_id) {
   return out;
 }
 
+bool PromptPartitioner::SealAccumulated(const AccumulatedBatch& accumulated,
+                                        uint64_t batch_id,
+                                        PartitionedBatch* out) {
+  // The post-sort ablation measures an exact sort over the *own* accumulator's
+  // key list; the merged view's storage is externally owned, so fall back to
+  // the replay path and let Seal() run SealWithPostSort there.
+  if (options_.post_sort) return false;
+  Stopwatch watch;
+  PartitionPlan plan = BuildPromptPlan(accumulated, num_blocks_);
+  const TimeMicros decision_cost = watch.ElapsedMicros();
+  *out = MaterializePlan(accumulated, plan, num_blocks_);
+  out->batch_id = batch_id;
+  out->seal_time = batch_end_;
+  out->partition_cost = decision_cost;
+  return true;
+}
+
 void PromptPartitioner::UpdateEstimates(uint64_t estimated_tuples,
                                         uint64_t avg_keys) {
   options_.accumulator.estimated_tuples = std::max<uint64_t>(1, estimated_tuples);

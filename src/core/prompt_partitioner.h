@@ -66,6 +66,12 @@ class PromptPartitioner final : public BatchPartitioner {
   void OnTuple(const Tuple& t) override;
   PartitionedBatch Seal(uint64_t batch_id) override;
 
+  /// Runs Alg. 2 directly on the sharded ingest pipeline's merged
+  /// quasi-sorted batch, skipping this instance's accumulator. Returns false
+  /// under the post-sort ablation (which must re-sort inside Seal()).
+  bool SealAccumulated(const AccumulatedBatch& accumulated, uint64_t batch_id,
+                       PartitionedBatch* out) override;
+
   /// Accumulator observability (tree updates etc.) for tests/ablations.
   const MicrobatchAccumulator& accumulator() const { return accumulator_; }
 

@@ -16,6 +16,7 @@
 #include "core/reduce_allocator.h"
 #include "engine/execution.h"
 #include "engine/window.h"
+#include "ingest/pipeline.h"
 #include "stats/metrics.h"
 #include "workload/source.h"
 
@@ -62,6 +63,13 @@ struct EngineOptions {
   /// Declare the run unstable once queueing delay exceeds this many
   /// intervals (back-pressure would have engaged).
   double unstable_queue_intervals = 8.0;
+  /// Shards of the parallel ingest pipeline (src/ingest/) used during the
+  /// batching phase. 1 = the seed's single-threaded path (source drained
+  /// straight into the partitioner); > 1 routes tuples by hash(key) % shards
+  /// to that many accumulator workers and k-way merges at the cut-off.
+  uint32_t ingest_shards = 1;
+  /// Per-shard SPSC ring capacity when ingest_shards > 1.
+  size_t ingest_ring_capacity = 16 * 1024;
 };
 
 /// \brief Per-batch observability record.
@@ -168,6 +176,12 @@ class MicroBatchEngine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// Per-shard ingest observability for the last batch; nullptr when running
+  /// single-threaded (ingest_shards <= 1).
+  const IngestMetrics* ingest_metrics() const {
+    return ingest_ != nullptr ? &ingest_->last_metrics() : nullptr;
+  }
+
  private:
   BatchReport ProcessBatch(PartitionedBatch batch, TimeMicros interval);
 
@@ -182,6 +196,7 @@ class MicroBatchEngine {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SimulatedCluster> cluster_;
   std::unique_ptr<BatchStore> store_;
+  std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest_shards > 1
 
   // Extra queries sharing the batching phase (AddQuery).
   struct ExtraQuery {

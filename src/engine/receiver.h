@@ -13,6 +13,7 @@
 #include "common/queue.h"
 #include "common/result.h"
 #include "core/partitioner.h"
+#include "ingest/pipeline.h"
 #include "workload/source.h"
 
 namespace prompt {
@@ -27,6 +28,15 @@ struct ReceiverOptions {
   /// Bound of the ingestion queue; a full queue blocks the producer
   /// (back-pressure toward the source).
   size_t queue_capacity = 64 * 1024;
+  /// Shards of the parallel ingest pipeline (src/ingest/). 1 keeps the seed's
+  /// single-threaded path: the batching loop feeds the partitioner directly.
+  /// > 1 routes tuples by hash(key) % shards to that many accumulator
+  /// workers and k-way merges their runs at the cut-off; partitioners that
+  /// support SealAccumulated (Prompt) consume the merged list directly,
+  /// others have it replayed through OnTuple in quasi-sorted order.
+  uint32_t ingest_shards = 1;
+  /// Per-shard SPSC ring capacity when ingest_shards > 1.
+  size_t ingest_ring_capacity = 16 * 1024;
 };
 
 /// \brief One sealed batch plus receiver-side accounting.
@@ -68,13 +78,25 @@ class StreamReceiver {
 
   uint64_t batches_emitted() const { return next_batch_id_; }
 
+  /// Per-shard ingest observability for the last sealed batch; nullptr when
+  /// running single-threaded (ingest_shards <= 1).
+  const IngestMetrics* ingest_metrics() const {
+    return pipeline_ != nullptr ? &pipeline_->last_metrics() : nullptr;
+  }
+
  private:
   void ProducerLoop();
+  /// Sharded-path batch body: routes to the pipeline, seals, merges and
+  /// hands the merged batch to the partitioner.
+  Result<ReceivedBatch> NextBatchSharded(uint32_t num_blocks,
+                                         TimeMicros start, TimeMicros end,
+                                         TimeMicros cutoff);
 
   TupleSource* source_;
   BatchPartitioner* partitioner_;
   ReceiverOptions options_;
   BlockingQueue<Tuple> queue_;
+  std::unique_ptr<ParallelIngestPipeline> pipeline_;  // ingest_shards > 1
   std::thread producer_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
@@ -82,6 +104,10 @@ class StreamReceiver {
   TimeMicros next_start_ = 0;
   bool have_pending_ = false;
   Tuple pending_{};
+  // Receiver-side EWMA estimates feeding the pipeline's shard budgets.
+  bool est_init_ = false;
+  double est_tuples_ = 0;
+  double est_keys_ = 0;
 };
 
 }  // namespace prompt

@@ -1,0 +1,61 @@
+// Heartbeat k-way merge: combines the per-shard quasi-sorted SortedKeyRun
+// lists produced by the sharded ingest pipeline into one global quasi-sorted
+// list, preserving the seed's "no dedicated post-sort" property. Shards own
+// disjoint key sets (tuples are routed by hash(key) % S), so the merge never
+// has to combine counts — it only interleaves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/accumulator.h"
+
+namespace prompt {
+
+/// \brief Descending (count, key) priority used across the merge: higher
+/// count first, ties broken by smaller key (matching SealWithPostSort).
+inline bool RunBefore(const SortedKeyRun& a, const SortedKeyRun& b) {
+  return a.count != b.count ? a.count > b.count : a.key < b.key;
+}
+
+/// \brief Tournament loser tree over K descending run lists.
+///
+/// Classic replacement-selection structure: the K current front runs sit at
+/// the leaves, internal nodes remember the loser of each match, and the
+/// overall winner is popped in O(log K) per element — versus O(K) for naive
+/// scanning or O(log K) with a binary heap's larger constant. K = 1 and
+/// exhausted inputs degrade gracefully.
+class LoserTree {
+ public:
+  explicit LoserTree(std::vector<std::span<const SortedKeyRun>> inputs);
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(LoserTree);
+
+  /// Pops the next run in descending (count, key) order. `source` (optional)
+  /// receives the index of the input list the run came from. Returns false
+  /// when every input is exhausted.
+  bool Next(SortedKeyRun* out, uint32_t* source = nullptr);
+
+  /// Total runs remaining across all inputs.
+  size_t remaining() const { return remaining_; }
+
+ private:
+  const SortedKeyRun& Front(uint32_t leaf) const;
+  uint32_t Replay(uint32_t leaf);
+
+  std::vector<std::span<const SortedKeyRun>> inputs_;
+  std::vector<size_t> cursor_;   // next unread element per input
+  std::vector<uint32_t> tree_;   // internal nodes: loser leaf indices
+  uint32_t k_ = 0;               // leaves (padded input count)
+  uint32_t winner_ = 0;
+  size_t remaining_ = 0;
+};
+
+/// \brief Merges per-shard quasi-sorted run lists into one list. Counts are
+/// copied bit-for-bit (they are exact HTable frequencies in every shard);
+/// only the interleaving order is decided here.
+std::vector<SortedKeyRun> MergeShardRuns(
+    std::vector<std::span<const SortedKeyRun>> shards);
+
+}  // namespace prompt

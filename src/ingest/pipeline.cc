@@ -1,0 +1,237 @@
+#include "ingest/pipeline.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/hash.h"
+#include "ingest/merge.h"
+
+namespace prompt {
+
+namespace {
+
+// Per-shard Alg. 1 options: a shard sees ~1/S of the tuples and (with a
+// well-mixed key hash) ~1/S of the keys, so N_est and K_avg shrink together
+// and the initial frequency step f = N_est / (K_avg * budget) — and with it
+// the per-key update cadence — matches the single-accumulator setting.
+AccumulatorOptions ScaleForShard(AccumulatorOptions base, uint32_t shards) {
+  base.estimated_tuples =
+      std::max<uint64_t>(1, base.estimated_tuples / shards);
+  base.avg_keys = std::max<uint64_t>(1, base.avg_keys / shards);
+  return base;
+}
+
+}  // namespace
+
+ParallelIngestPipeline::ParallelIngestPipeline(ParallelIngestOptions options)
+    : options_(options) {
+  PROMPT_CHECK(options_.num_shards >= 1);
+  PROMPT_CHECK(options_.ring_capacity >= 2);
+  shard_options_ = ScaleForShard(options_.accumulator, options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.ring_capacity));
+    shards_.back()->stats.ring_capacity = shards_.back()->ring.capacity();
+  }
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ParallelIngestPipeline::~ParallelIngestPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ParallelIngestPipeline::UpdateEstimates(uint64_t estimated_tuples,
+                                             uint64_t avg_keys) {
+  options_.accumulator.estimated_tuples =
+      std::max<uint64_t>(1, estimated_tuples);
+  options_.accumulator.avg_keys = std::max<uint64_t>(1, avg_keys);
+}
+
+void ParallelIngestPipeline::PushMsg(uint32_t shard, const IngestMsg& msg) {
+  SpinBackoff backoff;
+  while (!shards_[shard]->ring.TryPush(msg)) backoff.Pause();
+}
+
+void ParallelIngestPipeline::BeginBatch(TimeMicros start, TimeMicros end) {
+  PROMPT_CHECK(!batch_open_);
+  batch_start_ = start;
+  batch_end_ = end;
+  shard_options_ = ScaleForShard(options_.accumulator, num_shards());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed_count_ = 0;
+    copied_count_ = 0;
+  }
+  ++batch_epoch_;
+  IngestMsg begin;
+  begin.kind = IngestMsg::kBegin;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    Shard& shard = *shards_[i];
+    shard.routed_this_batch = 0;
+    shard.stats.ring_high_water = 0;
+    // Batch params and scaled options are published above; the ring push's
+    // release store orders them before the worker's kBegin.
+    PushMsg(i, begin);
+  }
+  batch_open_ = true;
+  ingest_watch_.Restart();
+}
+
+void ParallelIngestPipeline::Ingest(const Tuple& t) {
+  const uint32_t s =
+      static_cast<uint32_t>(HashKey(t.key) % num_shards());
+  Shard& shard = *shards_[s];
+  IngestMsg msg;
+  msg.tuple = t;
+  msg.kind = IngestMsg::kTuple;
+  PushMsg(s, msg);
+  ++shard.routed_this_batch;
+  // Occupancy is sampled, not tracked per push: reading both ring indices
+  // every tuple would reintroduce the shared-line traffic the cached-index
+  // ring avoids.
+  if ((++shard.ring_occupancy_probe & 255u) == 0) {
+    shard.stats.ring_high_water =
+        std::max<uint64_t>(shard.stats.ring_high_water, shard.ring.size());
+  }
+}
+
+const AccumulatedBatch& ParallelIngestPipeline::SealBatch() {
+  PROMPT_CHECK(batch_open_);
+  metrics_.ingest_wall = ingest_watch_.ElapsedMicros();
+
+  IngestMsg seal;
+  seal.kind = IngestMsg::kSeal;
+  for (uint32_t i = 0; i < num_shards(); ++i) PushMsg(i, seal);
+
+  // Phase 1: the seal barrier. Every worker drains its ring (FIFO order
+  // guarantees it has consumed all of this batch's tuples), seals its
+  // accumulator and reports in.
+  Stopwatch barrier_watch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return sealed_count_ == num_shards(); });
+  }
+  metrics_.seal_barrier_latency = barrier_watch.ElapsedMicros();
+
+  // Phase 2: rebase + merge. Shard chains are index-based, so concatenating
+  // the arenas with per-shard offsets preserves every chain; workers copy
+  // their own segments while this thread merges the run lists.
+  Stopwatch merge_watch;
+  uint64_t total = 0;
+  for (auto& shard : shards_) {
+    shard->arena_offset = total;
+    total += shard->stats.tuples;
+  }
+  PROMPT_CHECK_MSG(total < SortedKeyRun::kNoTuple,
+                   "merged batch exceeds 32-bit arena addressing");
+  merged_arena_.resize(total);
+  merged_next_.resize(total);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copy_epoch_ = batch_epoch_;
+    cv_.notify_all();
+  }
+
+  std::vector<std::span<const SortedKeyRun>> inputs;
+  inputs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    inputs.emplace_back(shard->sealed.keys());
+  }
+  LoserTree tree(std::move(inputs));
+  std::vector<SortedKeyRun> runs;
+  runs.reserve(tree.remaining());
+  SortedKeyRun run;
+  uint32_t source = 0;
+  while (tree.Next(&run, &source)) {
+    if (run.head != SortedKeyRun::kNoTuple) {
+      run.head += static_cast<uint32_t>(shards_[source]->arena_offset);
+    }
+    runs.push_back(run);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return copied_count_ == num_shards(); });
+  }
+  metrics_.merge_latency = merge_watch.ElapsedMicros();
+
+  merged_batch_ = AccumulatedBatch::FromMerged(total, std::move(runs),
+                                               &merged_arena_, &merged_next_);
+  metrics_.shards.clear();
+  metrics_.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) metrics_.shards.push_back(shard->stats);
+  metrics_.total_tuples = total;
+  batch_open_ = false;
+  return merged_batch_;
+}
+
+void ParallelIngestPipeline::WorkerLoop(uint32_t index) {
+  Shard& shard = *shards_[index];
+  SpinBackoff backoff;
+  uint64_t my_epoch = 0;
+  for (;;) {
+    IngestMsg msg;
+    if (!shard.ring.TryPop(&msg)) {
+      if (stopped_) return;
+      backoff.Pause();
+      continue;
+    }
+    backoff.Reset();
+    switch (msg.kind) {
+      case IngestMsg::kTuple:
+        shard.accumulator.Add(msg.tuple);
+        break;
+      case IngestMsg::kBegin:
+        shard.accumulator.set_options(shard_options_);
+        shard.accumulator.Begin(batch_start_, batch_end_);
+        ++my_epoch;
+        break;
+      case IngestMsg::kSeal: {
+        Stopwatch seal_watch;
+        shard.sealed = shard.accumulator.Seal();
+        shard.stats.seal_latency = seal_watch.ElapsedMicros();
+        shard.stats.tuples = shard.accumulator.num_tuples();
+        shard.stats.keys = shard.accumulator.num_keys();
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          ++sealed_count_;
+          cv_.notify_all();
+          cv_.wait(lock, [this, my_epoch] {
+            return copy_epoch_ >= my_epoch || stopped_;
+          });
+          if (stopped_) return;
+        }
+        Stopwatch copy_watch;
+        const uint32_t off = static_cast<uint32_t>(shard.arena_offset);
+        const std::vector<Tuple>& arena = shard.accumulator.arena();
+        const std::vector<uint32_t>& next = shard.accumulator.chain_next();
+        std::copy(arena.begin(), arena.end(), merged_arena_.begin() + off);
+        for (size_t i = 0; i < next.size(); ++i) {
+          merged_next_[off + i] = next[i] == SortedKeyRun::kNoTuple
+                                      ? SortedKeyRun::kNoTuple
+                                      : next[i] + off;
+        }
+        shard.stats.copy_latency = copy_watch.ElapsedMicros();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++copied_count_;
+          cv_.notify_all();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace prompt

@@ -1,0 +1,146 @@
+// Sharded parallel ingest pipeline: multi-core frequency-aware buffering
+// with a heartbeat k-way merge.
+//
+// The seed's batching phase is single-threaded — one thread drains the
+// ingestion queue into one MicrobatchAccumulator — so Alg. 1 throughput is
+// capped by one core. Prompt's design shards cleanly: per-key state (HTable
+// chain + CountTree position) is independent across disjoint key sets, so
+// tuples routed by hash(key) % S land in S private accumulators that never
+// share state. At the early-release cut-off a seal barrier stops all shards
+// and a loser-tree k-way merge interleaves the per-shard quasi-sorted run
+// lists into one global quasi-sorted list with exact counts, which feeds
+// Alg. 2 (BuildPromptPlan) unchanged.
+//
+// Thread roles:
+//   router (caller of Ingest)  --SPSC ring-->  shard worker 0..S-1
+// Each ring is strictly single-producer/single-consumer. Batch control
+// (Begin/Seal/Stop) travels in-band through the rings, so a worker has
+// consumed every tuple of a batch before it sees the batch's seal message —
+// no separate flush protocol.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "core/accumulator.h"
+#include "ingest/spsc_ring.h"
+#include "stats/metrics.h"
+
+namespace prompt {
+
+/// \brief Configuration of the sharded ingest pipeline.
+struct ParallelIngestOptions {
+  /// Shard workers (>= 1). 1 still exercises the full route/seal/merge path
+  /// on a single worker thread.
+  uint32_t num_shards = 4;
+  /// Per-shard SPSC ring capacity (rounded up to a power of two). A full
+  /// ring blocks the router — back-pressure toward the source.
+  size_t ring_capacity = 16 * 1024;
+  /// Base (whole-batch) Alg. 1 options. Each shard receives a proportionally
+  /// scaled copy: estimated_tuples / S and avg_keys / S, same budget — the
+  /// per-key frequency step then matches the single-accumulator setting.
+  AccumulatorOptions accumulator;
+};
+
+/// \brief S shard workers, each owning a private MicrobatchAccumulator, fed
+/// over lock-free SPSC rings; sealed per-shard runs are k-way merged at the
+/// heartbeat into one AccumulatedBatch with exact per-key counts.
+///
+/// Lifecycle per batch interval, driven by one router thread:
+///   BeginBatch(start, end) -> Ingest(t)* -> SealBatch()
+/// The view returned by SealBatch stays valid until the next BeginBatch,
+/// mirroring MicrobatchAccumulator's arena lifetime contract.
+class ParallelIngestPipeline {
+ public:
+  explicit ParallelIngestPipeline(ParallelIngestOptions options);
+  ~ParallelIngestPipeline();
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(ParallelIngestPipeline);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Receiver EWMA feedback (N_est, K_avg), divided across shards at the
+  /// next BeginBatch.
+  void UpdateEstimates(uint64_t estimated_tuples, uint64_t avg_keys);
+
+  /// Opens a batch interval [start, end) on every shard.
+  void BeginBatch(TimeMicros start, TimeMicros end);
+
+  /// Routes one tuple to its shard (hash(key) % S). Blocks (with backoff)
+  /// when the shard's ring is full.
+  void Ingest(const Tuple& t);
+
+  /// Seal barrier + merge: stops every shard, waits for their seals,
+  /// rebases the per-shard tuple chains into one merged arena (workers copy
+  /// their segments in parallel) while the router loser-tree-merges the
+  /// quasi-sorted run lists, and returns the combined batch view.
+  const AccumulatedBatch& SealBatch();
+
+  /// Ingest observability for the batch most recently sealed.
+  const IngestMetrics& last_metrics() const { return metrics_; }
+
+ private:
+  struct IngestMsg {
+    enum Kind : uint32_t { kTuple = 0, kBegin = 1, kSeal = 2, kStop = 3 };
+    Tuple tuple{};
+    uint32_t kind = kTuple;
+  };
+
+  struct Shard {
+    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing<IngestMsg> ring;
+    std::thread worker;
+    MicrobatchAccumulator accumulator;
+
+    // Seal handshake (written by the worker, read by the router after the
+    // barrier; the pipeline mutex orders the non-atomic fields).
+    AccumulatedBatch sealed;
+    uint64_t arena_offset = 0;  // set by router between barrier phases
+    ShardIngestStats stats;
+    uint64_t routed_this_batch = 0;  // router-side counter
+    uint32_t ring_occupancy_probe = 0;
+  };
+
+  void WorkerLoop(uint32_t index);
+  void PushMsg(uint32_t shard, const IngestMsg& msg);
+
+  ParallelIngestOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Batch parameters published before the kBegin message is pushed; the
+  // ring's release/acquire pair orders them for the workers.
+  TimeMicros batch_start_ = 0;
+  TimeMicros batch_end_ = 0;
+  AccumulatorOptions shard_options_;
+
+  // Two-phase seal barrier (mutex + condvar; shards may outnumber cores, so
+  // parking beats spinning).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t sealed_count_ = 0;
+  uint32_t copied_count_ = 0;
+  uint64_t copy_epoch_ = 0;   // workers copy when this reaches their epoch
+  uint64_t batch_epoch_ = 0;  // per-worker progress tracking
+
+  // Merged storage backing the returned AccumulatedBatch view.
+  std::vector<Tuple> merged_arena_;
+  std::vector<uint32_t> merged_next_;
+  AccumulatedBatch merged_batch_;
+
+  IngestMetrics metrics_;
+  Stopwatch ingest_watch_;
+  bool batch_open_ = false;
+  /// Atomic: idle workers poll it outside the mutex.
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace prompt

@@ -1,0 +1,110 @@
+// Lock-free single-producer/single-consumer ring buffer: the per-shard
+// channel of the parallel ingest pipeline. One router thread pushes, one
+// shard worker pops; no other thread may touch a given ring.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief Bounded wait-free SPSC ring (Lamport queue with cached indices).
+///
+/// Capacity is rounded up to a power of two. Producer and consumer each keep
+/// a cached copy of the other side's index so the common case touches only
+/// one shared cache line per operation; the cache is refreshed (an acquire
+/// load) only when the ring looks full/empty.
+///
+/// The ring itself never blocks — TryPush/TryPop fail fast and callers layer
+/// their own waiting strategy (see SpinBackoff below). Close() is a
+/// producer-side signal letting a draining consumer distinguish "empty for
+/// now" from "empty forever".
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(SpscRing);
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(const T& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when called from producer or consumer).
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Producer signals it will push no more items.
+  void Close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Producer-owned line: its index plus its cache of the consumer's.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer-owned line.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+/// \brief Escalating wait strategy for the spin loops around TryPush/TryPop:
+/// pure spins first (cheap when the peer is running on another core), then
+/// yields, then short sleeps (essential when shards outnumber cores — a
+/// spinning peer would otherwise starve the thread it is waiting for).
+class SpinBackoff {
+ public:
+  void Pause() {
+    ++spins_;
+    if (spins_ < 64) {
+      // busy spin
+    } else if (spins_ < 256) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void Reset() { spins_ = 0; }
+
+ private:
+  uint32_t spins_ = 0;
+};
+
+}  // namespace prompt

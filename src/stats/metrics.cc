@@ -1,5 +1,6 @@
 #include "stats/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/flat_map.h"
@@ -46,6 +47,25 @@ PartitionMetrics ComputeBlockMetrics(const PartitionedBatch& batch,
   m.mpi = weights.p1 * bsi_norm + weights.p2 * bci_norm +
           weights.p3 * (m.ksr - 1.0);
   return m;
+}
+
+double ShardLoadImbalance(const IngestMetrics& m) {
+  if (m.shards.empty() || m.total_tuples == 0) return 1.0;
+  uint64_t max = 0;
+  for (const ShardIngestStats& s : m.shards) max = std::max(max, s.tuples);
+  const double avg = static_cast<double>(m.total_tuples) /
+                     static_cast<double>(m.shards.size());
+  return avg > 0 ? static_cast<double>(max) / avg : 1.0;
+}
+
+double MaxRingOccupancyFrac(const IngestMetrics& m) {
+  double worst = 0;
+  for (const ShardIngestStats& s : m.shards) {
+    if (s.ring_capacity == 0) continue;
+    worst = std::max(worst, static_cast<double>(s.ring_high_water) /
+                                static_cast<double>(s.ring_capacity));
+  }
+  return worst;
 }
 
 double BucketSizeImbalance(std::span<const uint64_t> bucket_sizes) {

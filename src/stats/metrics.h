@@ -48,6 +48,46 @@ PartitionMetrics ComputeBlockMetrics(const PartitionedBatch& batch,
 /// \brief BSI over Reduce buckets (Eqn. 3): max bucket size - average.
 double BucketSizeImbalance(std::span<const uint64_t> bucket_sizes);
 
+/// \brief Per-shard accounting of one batch interval in the parallel ingest
+/// pipeline (src/ingest/). Filled by the shard workers and the router.
+struct ShardIngestStats {
+  uint64_t tuples = 0;           ///< tuples routed to this shard
+  uint64_t keys = 0;             ///< distinct keys the shard accumulated
+  uint64_t ring_high_water = 0;  ///< max observed ring occupancy (sampled)
+  uint64_t ring_capacity = 0;
+  TimeMicros seal_latency = 0;   ///< worker-side accumulator Seal() time
+  TimeMicros copy_latency = 0;   ///< worker-side arena publish time
+};
+
+/// \brief One batch interval's ingest-side observability: per-shard loads,
+/// the seal-barrier stall and the k-way merge cost — the quantities that
+/// bound how far sharding can scale the batching phase.
+struct IngestMetrics {
+  std::vector<ShardIngestStats> shards;
+  uint64_t total_tuples = 0;
+  /// Router wall time spent routing this batch (BeginBatch -> seal request).
+  TimeMicros ingest_wall = 0;
+  /// Seal request -> every shard sealed (the barrier of the cut-off).
+  TimeMicros seal_barrier_latency = 0;
+  /// Loser-tree merge + arena publication after the barrier.
+  TimeMicros merge_latency = 0;
+
+  /// Router-observed ingest rate over the batch (0 when unmeasurable).
+  double TuplesPerSec() const {
+    return ingest_wall > 0 ? static_cast<double>(total_tuples) /
+                                 (static_cast<double>(ingest_wall) / 1e6)
+                           : 0.0;
+  }
+};
+
+/// \brief Max-over-average shard load (1.0 = perfectly even routing): the
+/// ingest analogue of BSI, reported per batch by the pipeline.
+double ShardLoadImbalance(const IngestMetrics& m);
+
+/// \brief Highest ring occupancy across shards as a fraction of capacity —
+/// the early-warning signal for ingest back-pressure.
+double MaxRingOccupancyFrac(const IngestMetrics& m);
+
 /// \brief max/avg summary used in several experiment tables.
 struct SizeSpread {
   uint64_t max = 0;

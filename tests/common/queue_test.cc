@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -84,6 +85,120 @@ TEST(BlockingQueueTest, MpmcTransfersAllItems) {
   const int total = kProducers * kPerProducer;
   EXPECT_EQ(received.load(), total);
   EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+TEST(BlockingQueueTest, CloseUnblocksProducerBlockedOnFullQueue) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));  // queue now full
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    // Blocks on the full queue until Close(), which must fail the push
+    // rather than wedge the thread.
+    EXPECT_FALSE(q.Push(1));
+    returned.store(true);
+  });
+  // Give the producer time to reach the blocking wait before closing.
+  while (q.size() != 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  // The item pushed before Close is still drainable.
+  EXPECT_EQ(q.Pop(), 0);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWhileConsumersAndProducersBlocked) {
+  BlockingQueue<int> q(2);
+  q.Push(1);
+  q.Push(2);  // full: producers below will block
+  std::vector<std::thread> threads;
+  std::atomic<int> popped{0};
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&q] { q.Push(100); });  // may succeed or fail
+  }
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      while (q.Pop().has_value()) ++popped;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  for (auto& t : threads) t.join();
+  // Everything that was accepted must have been delivered; nobody deadlocks.
+  EXPECT_GE(popped.load(), 2);
+  EXPECT_LE(popped.load(), 5);
+}
+
+// Capacity-1 ping-pong: maximal full/empty contention. Every accepted item
+// must come out exactly once and in FIFO order per producer.
+TEST(BlockingQueueTest, FullEmptyRaceCapacityOne) {
+  constexpr int kItems = 20000;
+  BlockingQueue<int> q(1);
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.Push(i));
+    q.Close();
+  });
+  int expected = 0;
+  while (auto v = q.Pop()) {
+    ASSERT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+// TryPush/TryPop hammering alongside blocking ops must neither lose nor
+// duplicate items.
+TEST(BlockingQueueTest, MixedTryAndBlockingOps) {
+  constexpr int kPerProducer = 10000;
+  BlockingQueue<int> q(8);
+  std::atomic<long> pushed_sum{0};
+  std::atomic<long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+
+  std::thread blocking_producer([&] {
+    for (int i = 0; i < kPerProducer; ++i) {
+      ASSERT_TRUE(q.Push(i));
+      pushed_sum += i;
+    }
+  });
+  std::thread try_producer([&] {
+    for (int i = 0; i < kPerProducer; ++i) {
+      while (!q.TryPush(i)) std::this_thread::yield();
+      pushed_sum += i;
+    }
+  });
+  std::thread blocking_consumer([&] {
+    while (auto v = q.Pop()) {
+      popped_sum += *v;
+      ++popped_count;
+    }
+  });
+  std::thread try_consumer([&] {
+    for (;;) {
+      if (auto v = q.TryPop()) {
+        popped_sum += *v;
+        ++popped_count;
+      } else if (q.closed()) {
+        return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  blocking_producer.join();
+  try_producer.join();
+  q.Close();
+  blocking_consumer.join();
+  try_consumer.join();
+  // Drain any stragglers left when the try-consumer saw closed() early.
+  while (auto v = q.TryPop()) {
+    popped_sum += *v;
+    ++popped_count;
+  }
+  EXPECT_EQ(popped_count.load(), 2 * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
 }
 
 }  // namespace

@@ -1,0 +1,231 @@
+#include "ingest/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "baselines/online_partitioners.h"
+#include "core/prompt_partitioner.h"
+#include "engine/receiver.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+// A skewed tuple stream with timestamps spread over [start, end).
+std::vector<Tuple> MakeStream(uint64_t n, uint64_t cardinality, uint64_t seed,
+                              TimeMicros start, TimeMicros end) {
+  std::mt19937_64 rng(seed);
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  const TimeMicros span = end - start;
+  for (uint64_t i = 0; i < n; ++i) {
+    Tuple t;
+    // Squaring a uniform variate skews toward low key ids (a cheap Zipf-ish
+    // profile; the pipeline only cares that frequencies differ).
+    const double u =
+        static_cast<double>(rng() % 1000000) / 1000000.0;
+    t.key = static_cast<KeyId>(u * u * static_cast<double>(cardinality));
+    t.ts = start + static_cast<TimeMicros>(
+                       (static_cast<double>(i) / static_cast<double>(n)) *
+                       static_cast<double>(span));
+    t.value = 1.0;
+    tuples.push_back(t);
+  }
+  return tuples;
+}
+
+std::map<KeyId, uint64_t> KeyCounts(const AccumulatedBatch& batch) {
+  std::map<KeyId, uint64_t> counts;
+  for (const SortedKeyRun& run : batch.keys()) counts[run.key] += run.count;
+  return counts;
+}
+
+std::map<KeyId, uint64_t> KeyCounts(const PartitionedBatch& batch) {
+  std::map<KeyId, uint64_t> counts;
+  for (const DataBlock& b : batch.blocks) {
+    for (const KeyFragment& f : b.fragments()) counts[f.key] += f.count;
+  }
+  return counts;
+}
+
+// Tentpole acceptance: for any shard count the merged batch's per-key counts
+// are bit-identical to a single accumulator fed the same stream, and the
+// merged list stays quasi-sorted with every tuple reachable through the
+// rebased chains.
+TEST(ParallelIngestPipelineTest, MergedCountsMatchSingleAccumulator) {
+  const TimeMicros start = 0, end = Seconds(1);
+  const auto stream = MakeStream(20000, 400, 7, start, end);
+
+  MicrobatchAccumulator reference;
+  reference.Begin(start, end);
+  for (const Tuple& t : stream) reference.Add(t);
+  const auto expected = KeyCounts(reference.Seal());
+
+  for (uint32_t shards : {1u, 2u, 3u, 4u}) {
+    ParallelIngestOptions opts;
+    opts.num_shards = shards;
+    opts.ring_capacity = 256;  // small ring: exercises back-pressure
+    ParallelIngestPipeline pipeline(opts);
+    pipeline.BeginBatch(start, end);
+    for (const Tuple& t : stream) pipeline.Ingest(t);
+    const AccumulatedBatch& merged = pipeline.SealBatch();
+
+    EXPECT_EQ(merged.num_tuples(), stream.size()) << "shards=" << shards;
+    EXPECT_EQ(KeyCounts(merged), expected) << "shards=" << shards;
+
+    // Every run's chain must yield exactly `count` tuples of that key.
+    uint64_t chained = 0;
+    for (const SortedKeyRun& run : merged.keys()) {
+      uint64_t seen = 0;
+      merged.ForEachTuple(run, 0, run.count, [&](const Tuple& t) {
+        EXPECT_EQ(t.key, run.key);
+        ++seen;
+      });
+      EXPECT_EQ(seen, run.count) << "key=" << run.key;
+      chained += seen;
+    }
+    EXPECT_EQ(chained, merged.num_tuples());
+
+    const IngestMetrics& m = pipeline.last_metrics();
+    EXPECT_EQ(m.shards.size(), shards);
+    EXPECT_EQ(m.total_tuples, stream.size());
+  }
+}
+
+TEST(ParallelIngestPipelineTest, MultipleBatchesReuseWorkers) {
+  ParallelIngestOptions opts;
+  opts.num_shards = 3;
+  ParallelIngestPipeline pipeline(opts);
+  for (int b = 0; b < 4; ++b) {
+    const TimeMicros start = Seconds(b), end = Seconds(b + 1);
+    const auto stream =
+        MakeStream(5000, 100, 100 + static_cast<uint64_t>(b), start, end);
+    MicrobatchAccumulator reference;
+    reference.Begin(start, end);
+    for (const Tuple& t : stream) reference.Add(t);
+    const auto expected = KeyCounts(reference.Seal());
+
+    pipeline.BeginBatch(start, end);
+    for (const Tuple& t : stream) pipeline.Ingest(t);
+    const AccumulatedBatch& merged = pipeline.SealBatch();
+    EXPECT_EQ(KeyCounts(merged), expected) << "batch=" << b;
+  }
+}
+
+TEST(ParallelIngestPipelineTest, EmptyBatch) {
+  ParallelIngestOptions opts;
+  opts.num_shards = 4;
+  ParallelIngestPipeline pipeline(opts);
+  pipeline.BeginBatch(0, Seconds(1));
+  const AccumulatedBatch& merged = pipeline.SealBatch();
+  EXPECT_EQ(merged.num_tuples(), 0u);
+  EXPECT_TRUE(merged.keys().empty());
+  // And a non-empty batch right after still works.
+  pipeline.BeginBatch(Seconds(1), Seconds(2));
+  Tuple t;
+  t.ts = Seconds(1);
+  t.key = 42;
+  pipeline.Ingest(t);
+  const AccumulatedBatch& merged2 = pipeline.SealBatch();
+  EXPECT_EQ(merged2.num_tuples(), 1u);
+  ASSERT_EQ(merged2.keys().size(), 1u);
+  EXPECT_EQ(merged2.keys()[0].key, 42u);
+}
+
+TEST(ParallelIngestPipelineTest, ShardStatsCoverAllTuples) {
+  ParallelIngestOptions opts;
+  opts.num_shards = 4;
+  ParallelIngestPipeline pipeline(opts);
+  const auto stream = MakeStream(10000, 1000, 3, 0, Seconds(1));
+  pipeline.BeginBatch(0, Seconds(1));
+  for (const Tuple& t : stream) pipeline.Ingest(t);
+  pipeline.SealBatch();
+  const IngestMetrics& m = pipeline.last_metrics();
+  uint64_t tuples = 0, keys = 0;
+  for (const ShardIngestStats& s : m.shards) {
+    tuples += s.tuples;
+    keys += s.keys;
+  }
+  EXPECT_EQ(tuples, stream.size());
+  EXPECT_GT(keys, 0u);
+  EXPECT_GE(ShardLoadImbalance(m), 1.0);
+}
+
+// --- Receiver integration ---
+
+std::unique_ptr<TupleSource> MakeSource(double rate = 10000,
+                                        uint64_t seed = 1) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 300;
+  params.zipf = 1.0;
+  params.seed = seed;
+  params.rate = std::make_shared<ConstantRate>(rate);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+// Sharded receiver + Prompt (SealAccumulated fast path) produces batches with
+// the same tuple membership and per-key counts as the single-threaded
+// receiver over an identical source.
+TEST(ReceiverShardedIngestTest, MatchesSingleThreadedReceiver) {
+  auto source_a = MakeSource(10000, 9);
+  auto source_b = MakeSource(10000, 9);
+  PromptPartitioner part_a, part_b;
+  ReceiverOptions opts_a;
+  opts_a.batch_interval = Millis(200);
+  ReceiverOptions opts_b = opts_a;
+  opts_b.ingest_shards = 3;
+  opts_b.ingest_ring_capacity = 512;
+
+  StreamReceiver single(source_a.get(), &part_a, opts_a);
+  StreamReceiver sharded(source_b.get(), &part_b, opts_b);
+  ASSERT_TRUE(single.Start().ok());
+  ASSERT_TRUE(sharded.Start().ok());
+  for (int i = 0; i < 4; ++i) {
+    auto a = single.NextBatch(4);
+    auto b = sharded.NextBatch(4);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(b->batch.num_tuples, a->batch.num_tuples) << "batch " << i;
+    EXPECT_EQ(b->batch.num_keys, a->batch.num_keys) << "batch " << i;
+    EXPECT_EQ(KeyCounts(b->batch), KeyCounts(a->batch)) << "batch " << i;
+    EXPECT_EQ(b->batch.batch_id, a->batch.batch_id);
+  }
+  const IngestMetrics* m = sharded.ingest_metrics();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->shards.size(), 3u);
+  single.Stop();
+  sharded.Stop();
+}
+
+// A partitioner without the SealAccumulated fast path gets the merged batch
+// replayed through OnTuple: totals must still match the single-threaded run.
+TEST(ReceiverShardedIngestTest, FallbackReplayForOnlinePartitioner) {
+  auto source_a = MakeSource(8000, 21);
+  auto source_b = MakeSource(8000, 21);
+  HashPartitioner part_a, part_b;
+  ReceiverOptions opts_a;
+  opts_a.batch_interval = Millis(200);
+  ReceiverOptions opts_b = opts_a;
+  opts_b.ingest_shards = 2;
+
+  StreamReceiver single(source_a.get(), &part_a, opts_a);
+  StreamReceiver sharded(source_b.get(), &part_b, opts_b);
+  ASSERT_TRUE(single.Start().ok());
+  ASSERT_TRUE(sharded.Start().ok());
+  for (int i = 0; i < 3; ++i) {
+    auto a = single.NextBatch(4);
+    auto b = sharded.NextBatch(4);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b->batch.num_tuples, a->batch.num_tuples) << "batch " << i;
+    EXPECT_EQ(KeyCounts(b->batch), KeyCounts(a->batch)) << "batch " << i;
+  }
+  single.Stop();
+  sharded.Stop();
+}
+
+}  // namespace
+}  // namespace prompt

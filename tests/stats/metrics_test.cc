@@ -108,6 +108,29 @@ TEST(MetricsTest, BucketImbalance) {
   EXPECT_DOUBLE_EQ(BucketSizeImbalance({}), 0.0);
 }
 
+TEST(MetricsTest, ShardIngestAggregates) {
+  IngestMetrics m;
+  EXPECT_DOUBLE_EQ(ShardLoadImbalance(m), 1.0);  // degenerate: no shards
+  EXPECT_DOUBLE_EQ(MaxRingOccupancyFrac(m), 0.0);
+  EXPECT_DOUBLE_EQ(m.TuplesPerSec(), 0.0);
+
+  ShardIngestStats a;
+  a.tuples = 300;
+  a.ring_high_water = 32;
+  a.ring_capacity = 128;
+  ShardIngestStats b;
+  b.tuples = 100;
+  b.ring_high_water = 64;
+  b.ring_capacity = 128;
+  m.shards = {a, b};
+  m.total_tuples = 400;
+  m.ingest_wall = 2000000;  // 2 s
+  // max shard tuples / mean shard tuples = 300 / 200.
+  EXPECT_DOUBLE_EQ(ShardLoadImbalance(m), 1.5);
+  EXPECT_DOUBLE_EQ(MaxRingOccupancyFrac(m), 0.5);
+  EXPECT_DOUBLE_EQ(m.TuplesPerSec(), 200.0);
+}
+
 TEST(MetricsTest, SpreadStatistics) {
   std::vector<uint64_t> sizes = {2, 4, 6, 8};
   auto s = ComputeSpread(sizes);

@@ -73,6 +73,11 @@ int main(int argc, char** argv) {
   if (!scale.ok()) return Fail(scale.status());
   auto seed = flags.GetInt("seed", 42);
   if (!seed.ok()) return Fail(seed.status());
+  auto ingest_shards = flags.GetInt("ingest_shards", 1);
+  if (!ingest_shards.ok()) return Fail(ingest_shards.status());
+  if (*ingest_shards < 1) {
+    return Fail(Status::Invalid("--ingest_shards must be >= 1"));
+  }
   auto elastic = flags.GetBool("elastic", false);
   if (!elastic.ok()) return Fail(elastic.status());
   auto metrics = flags.GetBool("metrics", false);
@@ -110,6 +115,7 @@ int main(int argc, char** argv) {
   options.reduce_tasks = static_cast<uint32_t>(*tasks);
   options.cores = static_cast<uint32_t>(*tasks);
   options.collect_partition_metrics = *metrics;
+  options.ingest_shards = static_cast<uint32_t>(*ingest_shards);
   options.cost.map_per_tuple_us = *map_us;
   options.cost.map_per_key_us = *map_us / 4;
   options.cost.reduce_per_tuple_us = *map_us / 8;
