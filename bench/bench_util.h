@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "baselines/factory.h"
 #include "engine/backpressure.h"
 #include "engine/engine.h"
+#include "obs/sink.h"
 #include "workload/sources.h"
 
 namespace prompt::bench {
@@ -84,10 +86,13 @@ inline double MaxThroughput(DatasetId dataset, PartitionerType type,
                                 setup.hi_rate, setup.search_iterations);
 }
 
-/// Prints a markdown-ish table row.
+/// Prints a markdown-ish table row through the shared obs formatting path
+/// (TableSink) — the same code that renders promptctl per-batch tables.
 inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
-  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
-  std::printf("\n");
+  TableSink sink(&std::cout, width, /*auto_header=*/false);
+  Record row;
+  for (const auto& c : cells) row.Set("", c);
+  sink.Write(row);
 }
 
 inline std::string Fmt(double v, int decimals = 2) {

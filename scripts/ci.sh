@@ -21,3 +21,17 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" 2>&1 | tee "${LOG_DIR}/build.log"
 
 cd "${BUILD_DIR}"
 ctest --output-on-failure -j "$(nproc)" 2>&1 | tee "${LOG_DIR}/ctest.log"
+cd ..
+
+# Observability smoke: a short sharded Zipf run with tracing on must produce
+# exactly one JSONL trace record per batch. The trace lands in $LOG_DIR for
+# artifact upload.
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=4000 --batches=5 --ingest_shards=2 --zipf=1.0 \
+  --trace_out="${LOG_DIR}/smoke-trace.jsonl" --metrics_every=5 \
+  2>&1 | tee "${LOG_DIR}/smoke.log"
+TRACE_LINES="$(wc -l < "${LOG_DIR}/smoke-trace.jsonl")"
+if [[ "${TRACE_LINES}" -ne 5 ]]; then
+  echo "observability smoke: expected 5 trace records, got ${TRACE_LINES}" >&2
+  exit 1
+fi

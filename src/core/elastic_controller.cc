@@ -13,6 +13,18 @@ ElasticController::ElasticController(ElasticityOptions options,
       rate_trend_(options.trend_lookback),
       keys_trend_(options.trend_lookback) {}
 
+void ElasticController::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  scale_out_total_ = registry->GetCounter("prompt_elastic_scale_out_total");
+  scale_in_total_ = registry->GetCounter("prompt_elastic_scale_in_total");
+  grace_blocked_total_ =
+      registry->GetCounter("prompt_elastic_grace_blocked_total");
+  map_tasks_gauge_ = registry->GetGauge("prompt_elastic_map_tasks");
+  reduce_tasks_gauge_ = registry->GetGauge("prompt_elastic_reduce_tasks");
+  map_tasks_gauge_->Set(map_tasks_);
+  reduce_tasks_gauge_->Set(reduce_tasks_);
+}
+
 ElasticityZone ElasticController::ZoneOf(double w,
                                          const ElasticityOptions& options) {
   if (w > options.threshold) return ElasticityZone::kOverloaded;
@@ -56,6 +68,7 @@ ScaleDecision ElasticController::OnBatchCompleted(double w,
     if (grace_active && last_direction_ < 0) {
       decision.in_grace_period = true;
       above_count_ = 0;
+      if (grace_blocked_total_ != nullptr) grace_blocked_total_->Increment();
       return decision;
     }
     // Scale OUT. Rate increase ⇒ more Mappers; cardinality increase ⇒ more
@@ -78,6 +91,7 @@ ScaleDecision ElasticController::OnBatchCompleted(double w,
     if (grace_active && last_direction_ > 0) {
       decision.in_grace_period = true;
       below_count_ = 0;
+      if (grace_blocked_total_ != nullptr) grace_blocked_total_->Increment();
       return decision;
     }
     // Scale IN, by the same criteria: remove the task type whose driving
@@ -107,6 +121,11 @@ ScaleDecision ElasticController::OnBatchCompleted(double w,
     grace_remaining_ = options_.d;
     last_direction_ =
         (decision.delta_map + decision.delta_reduce) > 0 ? 1 : -1;
+    if (scale_out_total_ != nullptr) {
+      (last_direction_ > 0 ? scale_out_total_ : scale_in_total_)->Increment();
+      map_tasks_gauge_->Set(map_tasks_);
+      reduce_tasks_gauge_->Set(reduce_tasks_);
+    }
   }
   return decision;
 }

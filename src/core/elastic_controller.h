@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "stats/ewma.h"
 
 namespace prompt {
@@ -59,6 +60,10 @@ class ElasticController {
   uint32_t map_tasks() const { return map_tasks_; }
   uint32_t reduce_tasks() const { return reduce_tasks_; }
 
+  /// Publishes scaling activity (scale-out/in counts, grace-period blocks,
+  /// current task gauges) into `registry`. nullptr disables (the default).
+  void BindMetrics(MetricsRegistry* registry);
+
   static ElasticityZone ZoneOf(double w, const ElasticityOptions& options);
 
  private:
@@ -71,6 +76,13 @@ class ElasticController {
   int last_direction_ = 0;  ///< +1 after scale-out, -1 after scale-in
   TrendTracker rate_trend_;
   TrendTracker keys_trend_;
+
+  // Optional instrumentation handles (all null or all set).
+  Counter* scale_out_total_ = nullptr;
+  Counter* scale_in_total_ = nullptr;
+  Counter* grace_blocked_total_ = nullptr;
+  Gauge* map_tasks_gauge_ = nullptr;
+  Gauge* reduce_tasks_gauge_ = nullptr;
 };
 
 }  // namespace prompt

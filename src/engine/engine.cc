@@ -8,6 +8,15 @@
 
 namespace prompt {
 
+namespace {
+
+bool IsDefaultWeights(const MpiWeights& w) {
+  const MpiWeights def;
+  return w.p1 == def.p1 && w.p2 == def.p2 && w.p3 == def.p3;
+}
+
+}  // namespace
+
 double RunSummary::MeanW(size_t warmup) const {
   if (batches.size() <= warmup) return 0;
   double sum = 0;
@@ -39,6 +48,18 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
   PROMPT_CHECK(partitioner_ != nullptr);
   PROMPT_CHECK(source_ != nullptr);
   PROMPT_CHECK(options_.batch_interval > 0);
+  // Deprecated-alias merge (one release): the flat observability fields of
+  // EngineOptions feed the obs sub-struct when it was left at defaults.
+  options_.obs.collect_partition_metrics |= options_.collect_partition_metrics;
+  if (!IsDefaultWeights(options_.mpi_weights) &&
+      IsDefaultWeights(options_.obs.mpi_weights)) {
+    options_.obs.mpi_weights = options_.mpi_weights;
+  }
+  obs_ = std::make_unique<Observability>(options_.obs);
+  if (!obs_->init_status().ok()) {
+    PROMPT_LOG(kWarn) << "observability sink setup failed: "
+                      << obs_->init_status().ToString();
+  }
   if (options_.use_prompt_reduce) {
     allocator_ = std::make_unique<PromptReduceAllocator>();
   } else {
@@ -46,10 +67,12 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
   }
   executor_ = std::make_unique<BatchExecutor>(job_, CostModel(options_.cost),
                                               allocator_.get(), options_.mode);
+  executor_->BindMetrics(obs_->registry());
   window_ = std::make_unique<WindowState>(job_.reduce, job_.window_batches);
   if (options_.elasticity_enabled) {
     elastic_ = std::make_unique<ElasticController>(
         options_.elasticity, options_.map_tasks, options_.reduce_tasks);
+    elastic_->BindMetrics(obs_->registry());
   }
   if (options_.mode == ExecutionMode::kReal) {
     pool_ = std::make_unique<ThreadPool>(options_.cores);
@@ -67,6 +90,7 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
     pio.num_shards = options_.ingest_shards;
     pio.ring_capacity = options_.ingest_ring_capacity;
     ingest_ = std::make_unique<ParallelIngestPipeline>(pio);
+    ingest_->BindMetrics(obs_->registry());
   }
 }
 
@@ -92,8 +116,9 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
       static_cast<double>(batch.partition_cost));
   report.partition_overflow = std::max<TimeMicros>(0, scaled_cost - slack);
 
-  if (options_.collect_partition_metrics) {
-    report.partition_metrics = ComputeBlockMetrics(batch, options_.mpi_weights);
+  if (options_.obs.collect_partition_metrics) {
+    report.partition_metrics =
+        ComputeBlockMetrics(batch, options_.obs.mpi_weights);
   }
 
   const uint32_t cluster_cores =
@@ -198,6 +223,7 @@ Result<size_t> MicroBatchEngine::AddQuery(JobSpec job) {
   ExtraQuery extra;
   extra.executor = std::make_unique<BatchExecutor>(
       job, CostModel(options_.cost), allocator_.get(), options_.mode);
+  extra.executor->BindMetrics(obs_->registry());
   extra.window = std::make_unique<WindowState>(job.reduce, job.window_batches);
   extra.job = std::move(job);
   extra_queries_.push_back(std::move(extra));
@@ -236,6 +262,8 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
   run_started_ = true;
   RunSummary summary;
   summary.batches.reserve(num_batches);
+  const bool observe = obs_->active();
+  if (observe) obs_->OnRunStart(num_batches);
 
   for (uint32_t i = 0; i < num_batches; ++i) {
     const TimeMicros interval = current_interval_;
@@ -296,6 +324,12 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
     report.queue_delay = proc_start - end;
     pipeline_free_at_ = proc_start + report.processing_time;
     report.latency = pipeline_free_at_ - start;
+    if (ingest_ != nullptr) {
+      // Fold the batching phase's per-shard stats into the report — the
+      // embedded form replaces the deprecated ingest_metrics() accessor.
+      report.ingest = ingest_->last_metrics();
+      report.has_ingest = true;
+    }
 
     // Stability accounting (back-pressure would engage past the bound).
     if (static_cast<double>(report.queue_delay) >
@@ -341,9 +375,67 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
       reduce_tasks_ = elastic_->reduce_tasks();
     }
 
+    if (observe) {
+      if (obs_->tracing_active()) {
+        RecordBatchTrace(report, interval, start);
+        obs_->OnBatchComplete(
+            report, obs_->recorder()->EndBatch(report.num_tuples,
+                                               report.num_keys,
+                                               report.latency));
+      } else {
+        obs_->OnBatchComplete(report, BatchTrace{});
+      }
+    }
+
     summary.batches.push_back(report);
   }
+  if (observe) obs_->OnRunEnd();
   return summary;
+}
+
+void MicroBatchEngine::RecordBatchTrace(const BatchReport& report,
+                                        TimeMicros interval,
+                                        TimeMicros batch_start) {
+  TraceRecorder* rec = obs_->recorder();
+  rec->BeginBatch(report.batch_id, batch_start);
+
+  // Depth-0 spans tile the end-to-end latency:
+  //   latency = interval + queue_delay + overflow + map + reduce (+ extras).
+  rec->AddSpan("accumulate", 0, interval, 0);
+  if (report.has_ingest) {
+    // Wall-clock annotations from the sharded batching phase, nested under
+    // the accumulate interval (the barrier and merge run at the cut-off).
+    rec->AddSpan("ingest_route", 0, report.ingest.ingest_wall, 1);
+    rec->AddSpan("seal_barrier", interval, report.ingest.seal_barrier_latency,
+                 1);
+    rec->AddSpan("kway_merge", interval, report.ingest.merge_latency, 1);
+  }
+  // The B-BPFI plan runs inside the early-release slack; only its overflow
+  // reaches the critical path (as the "plan_overflow" span below).
+  const TimeMicros scaled_cost = static_cast<TimeMicros>(
+      options_.cost.partition_cost_scale *
+      static_cast<double>(report.partition_cost));
+  const TimeMicros in_slack = scaled_cost - report.partition_overflow;
+  if (in_slack > 0) rec->AddSpan("plan", interval - in_slack, in_slack, 1);
+
+  TimeMicros cursor = interval;
+  if (report.queue_delay > 0) {
+    rec->AddSpan("queue", cursor, report.queue_delay, 0);
+    cursor += report.queue_delay;
+  }
+  if (report.partition_overflow > 0) {
+    rec->AddSpan("plan_overflow", cursor, report.partition_overflow, 0);
+    cursor += report.partition_overflow;
+  }
+  rec->AddSpan("map", cursor, report.map_makespan, 0);
+  cursor += report.map_makespan;
+  rec->AddSpan("reduce", cursor, report.reduce_makespan, 0);
+  cursor += report.reduce_makespan;
+  // Extra queries sharing the batching phase extend processing sequentially.
+  const TimeMicros extras =
+      report.processing_time -
+      (report.partition_overflow + report.map_makespan + report.reduce_makespan);
+  if (extras > 0) rec->AddSpan("extra_queries", cursor, extras, 0);
 }
 
 Status MicroBatchEngine::VerifyRecoveryOfLastBatch() {

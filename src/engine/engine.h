@@ -17,6 +17,8 @@
 #include "engine/execution.h"
 #include "engine/window.h"
 #include "ingest/pipeline.h"
+#include "obs/batch_report.h"
+#include "obs/observability.h"
 #include "stats/metrics.h"
 #include "workload/source.h"
 
@@ -44,8 +46,14 @@ struct EngineOptions {
   bool use_prompt_reduce = true;
   bool elasticity_enabled = false;
   ElasticityOptions elasticity;
-  /// Compute BSI/BCI/KSR/MPI per batch (costs a pass over fragments).
+  /// Observability configuration: partition-quality metrics, the metrics
+  /// registry, per-batch structured traces and their sinks (src/obs/).
+  ObservabilityOptions obs;
+  /// \deprecated Alias for obs.collect_partition_metrics, honored for one
+  /// release; setting either enables per-batch BSI/BCI/KSR/MPI collection.
   bool collect_partition_metrics = false;
+  /// \deprecated Alias for obs.mpi_weights, honored for one release: a
+  /// non-default value here wins when obs.mpi_weights was left at defaults.
   MpiWeights mpi_weights;
   /// §8 consistency: replicate each batch's input blocks so a failed batch
   /// can be recomputed exactly-once.
@@ -72,33 +80,8 @@ struct EngineOptions {
   size_t ingest_ring_capacity = 16 * 1024;
 };
 
-/// \brief Per-batch observability record.
-struct BatchReport {
-  uint64_t batch_id = 0;
-  /// Interval this batch accumulated over (varies under batch resizing).
-  TimeMicros batch_interval = 0;
-  uint64_t num_tuples = 0;
-  uint64_t num_keys = 0;
-  uint32_t map_tasks = 0;
-  uint32_t reduce_tasks = 0;
-  TimeMicros partition_cost = 0;      ///< measured partitioner decision time
-  TimeMicros partition_overflow = 0;  ///< part exceeding the release slack
-  TimeMicros map_makespan = 0;
-  TimeMicros reduce_makespan = 0;
-  TimeMicros processing_time = 0;  ///< overflow + map + reduce makespans
-  TimeMicros queue_delay = 0;      ///< wait behind earlier batches
-  TimeMicros latency = 0;          ///< end-to-end: interval + queue + proc
-  double w = 0;                    ///< processing_time / batch_interval
-  PartitionMetrics partition_metrics;  ///< zeros unless collection enabled
-  double reduce_bucket_bsi = 0;        ///< Eqn. 3 over this batch's buckets
-  /// Reduce-task completion spread within the batch (Fig. 13): mean and
-  /// max-min band of completion times relative to reduce-stage start.
-  double reduce_completion_mean_ms = 0;
-  double reduce_completion_min_ms = 0;
-  double reduce_completion_max_ms = 0;
-  /// Map tasks that read their block remotely (cluster mode only).
-  uint32_t remote_map_tasks = 0;
-};
+// BatchReport — the per-batch observability record — lives in
+// obs/batch_report.h so report writers and sinks don't depend on the engine.
 
 /// \brief Summary over a run.
 struct RunSummary {
@@ -176,14 +159,28 @@ class MicroBatchEngine {
 
   const EngineOptions& options() const { return options_; }
 
-  /// Per-shard ingest observability for the last batch; nullptr when running
+  /// \deprecated Use the embedded BatchReport::ingest (has_ingest) instead;
+  /// this raw-pointer accessor will be removed next release. Per-shard
+  /// ingest observability for the last batch; nullptr when running
   /// single-threaded (ingest_shards <= 1).
   const IngestMetrics* ingest_metrics() const {
     return ingest_ != nullptr ? &ingest_->last_metrics() : nullptr;
   }
 
+  /// The engine's observability stack (registry, trace recorder, sinks).
+  /// Configure through EngineOptions::obs; attach extra sinks/observers
+  /// before the first Run.
+  Observability* observability() { return obs_.get(); }
+  const Observability* observability() const { return obs_.get(); }
+
+  /// Fan-out shortcut for observability()->AddObserver.
+  void AddObserver(Observer* observer) { obs_->AddObserver(observer); }
+
  private:
   BatchReport ProcessBatch(PartitionedBatch batch, TimeMicros interval);
+  /// Lays the batch's timeline spans into the trace recorder (tracing only).
+  void RecordBatchTrace(const BatchReport& report, TimeMicros interval,
+                        TimeMicros batch_start);
 
   EngineOptions options_;
   JobSpec job_;
@@ -197,6 +194,7 @@ class MicroBatchEngine {
   std::unique_ptr<SimulatedCluster> cluster_;
   std::unique_ptr<BatchStore> store_;
   std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest_shards > 1
+  std::unique_ptr<Observability> obs_;
 
   // Extra queries sharing the batching phase (AddQuery).
   struct ExtraQuery {

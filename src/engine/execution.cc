@@ -16,6 +16,14 @@ BatchExecutor::BatchExecutor(JobSpec job, CostModel cost_model,
   PROMPT_CHECK(allocator_ != nullptr);
 }
 
+void BatchExecutor::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  map_tasks_total_ = registry->GetCounter("prompt_map_tasks_total");
+  reduce_tasks_total_ = registry->GetCounter("prompt_reduce_tasks_total");
+  map_task_cost_us_ = registry->GetHistogram("prompt_map_task_cost_us");
+  reduce_task_cost_us_ = registry->GetHistogram("prompt_reduce_task_cost_us");
+}
+
 std::vector<MapCluster> BatchExecutor::RunMapTask(
     const DataBlock& block) const {
   // Split flags from the block reference table (written at batching time).
@@ -143,6 +151,17 @@ BatchExecution BatchExecutor::Execute(const PartitionedBatch& batch,
   StageSchedule reduce_schedule = ScheduleStage(exec.reduce_task_costs, cores);
   exec.reduce_makespan = reduce_schedule.makespan;
   exec.reduce_completions = std::move(reduce_schedule.completion);
+
+  if (map_tasks_total_ != nullptr) {
+    map_tasks_total_->Increment(m);
+    reduce_tasks_total_->Increment(reduce_tasks);
+    for (TimeMicros c : exec.map_task_costs) {
+      map_task_cost_us_->Observe(static_cast<double>(c));
+    }
+    for (TimeMicros c : exec.reduce_task_costs) {
+      reduce_task_cost_us_->Observe(static_cast<double>(c));
+    }
+  }
 
   // --- Batch output: per-key aggregates (keys are disjoint across buckets
   // because non-split keys live in one block and split keys hash

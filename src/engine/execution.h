@@ -12,6 +12,7 @@
 #include "engine/job.h"
 #include "engine/scheduler.h"
 #include "model/batch.h"
+#include "obs/metrics_registry.h"
 
 namespace prompt {
 
@@ -67,6 +68,11 @@ class BatchExecutor {
   BatchExecution Execute(const PartitionedBatch& batch, uint32_t reduce_tasks,
                          uint32_t cores, ThreadPool* pool = nullptr);
 
+  /// Publishes per-task cost distributions and stage counters into
+  /// `registry`. nullptr disables (the default) — Execute then records
+  /// nothing beyond the returned BatchExecution.
+  void BindMetrics(MetricsRegistry* registry);
+
   const JobSpec& job() const { return job_; }
 
  private:
@@ -78,6 +84,12 @@ class BatchExecutor {
   CostModel cost_model_;
   ReduceAllocator* allocator_;
   ExecutionMode mode_;
+
+  // Optional instrumentation handles (all null or all set).
+  Counter* map_tasks_total_ = nullptr;
+  Counter* reduce_tasks_total_ = nullptr;
+  HistogramMetric* map_task_cost_us_ = nullptr;
+  HistogramMetric* reduce_task_cost_us_ = nullptr;
 };
 
 }  // namespace prompt

@@ -3,9 +3,16 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/observability.h"
+#include "obs/sink.h"
+
 namespace prompt {
 
 namespace {
+// The column set ReportRecord emits, in order. ReadReportsCsv validates
+// against this string, and WriteReportsCsv emits it even for empty runs
+// (CsvSink derives the header from the first record, so an empty report
+// vector would otherwise produce an empty file).
 constexpr const char* kHeader =
     "batch_id,interval_us,tuples,keys,map_tasks,reduce_tasks,"
     "partition_cost_us,map_makespan_us,reduce_makespan_us,processing_us,"
@@ -14,19 +21,12 @@ constexpr const char* kHeader =
 
 void WriteReportsCsv(const std::vector<BatchReport>& reports,
                      std::ostream* out) {
-  // Round-trippable doubles.
-  out->precision(17);
-  *out << kHeader << "\n";
-  for (const BatchReport& b : reports) {
-    *out << b.batch_id << ',' << b.batch_interval << ',' << b.num_tuples
-         << ',' << b.num_keys << ',' << b.map_tasks << ',' << b.reduce_tasks
-         << ',' << b.partition_cost << ',' << b.map_makespan << ','
-         << b.reduce_makespan << ',' << b.processing_time << ','
-         << b.queue_delay << ',' << b.latency << ',' << b.w << ','
-         << b.partition_metrics.bsi << ',' << b.partition_metrics.bci << ','
-         << b.partition_metrics.ksr << ',' << b.partition_metrics.mpi << ','
-         << b.reduce_bucket_bsi << "\n";
+  if (reports.empty()) {
+    *out << kHeader << "\n";
+    return;
   }
+  CsvSink sink(out);
+  for (const BatchReport& b : reports) sink.Write(ReportRecord(b));
 }
 
 Status WriteReportsCsvFile(const std::vector<BatchReport>& reports,
@@ -39,6 +39,12 @@ Status WriteReportsCsvFile(const std::vector<BatchReport>& reports,
   file.flush();
   if (!file.good()) return Status::IOError("write to " + path + " failed");
   return Status::OK();
+}
+
+void WriteReportsJsonl(const std::vector<BatchReport>& reports,
+                       std::ostream* out) {
+  JsonlSink sink(out);
+  for (const BatchReport& b : reports) sink.Write(ReportRecord(b));
 }
 
 Result<std::vector<BatchReport>> ReadReportsCsv(std::istream* in) {

@@ -1,5 +1,7 @@
-// CSV export of per-batch reports, so harness output can be plotted or
-// diffed without re-running experiments.
+// CSV/JSONL export of per-batch reports, so harness output can be plotted
+// or diffed without re-running experiments. Thin adapter over the obs sink
+// layer: every row flows through ReportRecord + a RecordSink, so this file,
+// promptctl and the bench figure writers share one formatting path.
 #pragma once
 
 #include <ostream>
@@ -7,7 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "engine/engine.h"
+#include "obs/batch_report.h"
 
 namespace prompt {
 
@@ -21,6 +23,10 @@ void WriteReportsCsv(const std::vector<BatchReport>& reports,
 /// \brief Writes the CSV to a file path; IOError on failure.
 Status WriteReportsCsvFile(const std::vector<BatchReport>& reports,
                            const std::string& path);
+
+/// \brief Same rows as one JSON object per line (field names = CSV columns).
+void WriteReportsJsonl(const std::vector<BatchReport>& reports,
+                       std::ostream* out);
 
 /// \brief Parses a CSV produced by WriteReportsCsv back into reports
 /// (fields not serialized stay default). Invalid on malformed input.

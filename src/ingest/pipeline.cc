@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <span>
+#include <string>
 
 #include "common/hash.h"
 #include "ingest/merge.h"
@@ -56,9 +57,25 @@ void ParallelIngestPipeline::UpdateEstimates(uint64_t estimated_tuples,
   options_.accumulator.avg_keys = std::max<uint64_t>(1, avg_keys);
 }
 
+void ParallelIngestPipeline::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  ring_stalls_total_ =
+      registry->GetCounter("prompt_ingest_ring_stalls_total");
+  seal_barrier_us_ = registry->GetHistogram("prompt_ingest_seal_barrier_us");
+  merge_us_ = registry->GetHistogram("prompt_ingest_merge_us");
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    shards_[i]->tuples_total = registry->GetCounter(
+        "prompt_ingest_tuples_total", {{"shard", std::to_string(i)}});
+  }
+}
+
 void ParallelIngestPipeline::PushMsg(uint32_t shard, const IngestMsg& msg) {
+  if (shards_[shard]->ring.TryPush(msg)) return;
+  if (ring_stalls_total_ != nullptr) ring_stalls_total_->Increment();
   SpinBackoff backoff;
-  while (!shards_[shard]->ring.TryPush(msg)) backoff.Pause();
+  do {
+    backoff.Pause();
+  } while (!shards_[shard]->ring.TryPush(msg));
 }
 
 void ParallelIngestPipeline::BeginBatch(TimeMicros start, TimeMicros end) {
@@ -170,6 +187,14 @@ const AccumulatedBatch& ParallelIngestPipeline::SealBatch() {
   metrics_.shards.reserve(shards_.size());
   for (const auto& shard : shards_) metrics_.shards.push_back(shard->stats);
   metrics_.total_tuples = total;
+  if (seal_barrier_us_ != nullptr) {
+    seal_barrier_us_->Observe(
+        static_cast<double>(metrics_.seal_barrier_latency));
+    merge_us_->Observe(static_cast<double>(metrics_.merge_latency));
+    for (const auto& shard : shards_) {
+      shard->tuples_total->Increment(shard->stats.tuples);
+    }
+  }
   batch_open_ = false;
   return merged_batch_;
 }

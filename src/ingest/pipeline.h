@@ -31,6 +31,7 @@
 #include "common/macros.h"
 #include "core/accumulator.h"
 #include "ingest/spsc_ring.h"
+#include "obs/metrics_registry.h"
 #include "stats/metrics.h"
 
 namespace prompt {
@@ -87,6 +88,12 @@ class ParallelIngestPipeline {
   /// Ingest observability for the batch most recently sealed.
   const IngestMetrics& last_metrics() const { return metrics_; }
 
+  /// Publishes cumulative ingest activity (per-shard routed tuples, router
+  /// stalls on full rings, seal/merge latency distributions) into
+  /// `registry`. nullptr disables (the default). Call from the router thread
+  /// before the first BeginBatch.
+  void BindMetrics(MetricsRegistry* registry);
+
  private:
   struct IngestMsg {
     enum Kind : uint32_t { kTuple = 0, kBegin = 1, kSeal = 2, kStop = 3 };
@@ -108,6 +115,7 @@ class ParallelIngestPipeline {
     ShardIngestStats stats;
     uint64_t routed_this_batch = 0;  // router-side counter
     uint32_t ring_occupancy_probe = 0;
+    Counter* tuples_total = nullptr;  // optional instrumentation (router-side)
   };
 
   void WorkerLoop(uint32_t index);
@@ -139,6 +147,11 @@ class ParallelIngestPipeline {
   IngestMetrics metrics_;
   Stopwatch ingest_watch_;
   bool batch_open_ = false;
+
+  // Optional instrumentation handles (all null or all set), router-side.
+  Counter* ring_stalls_total_ = nullptr;
+  HistogramMetric* seal_barrier_us_ = nullptr;
+  HistogramMetric* merge_us_ = nullptr;
   /// Atomic: idle workers poll it outside the mutex.
   std::atomic<bool> stopped_{false};
 };

@@ -1,0 +1,47 @@
+// Per-batch observability record. Lives in src/obs/ (not the engine) so
+// every consumer — report_io, sinks, bench figure writers, external
+// Observers — shares one definition without pulling in the engine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "stats/metrics.h"
+
+namespace prompt {
+
+/// \brief Everything the engine reports about one processed micro-batch.
+struct BatchReport {
+  uint64_t batch_id = 0;
+  /// Interval this batch accumulated over (varies under batch resizing).
+  TimeMicros batch_interval = 0;
+  uint64_t num_tuples = 0;
+  uint64_t num_keys = 0;
+  uint32_t map_tasks = 0;
+  uint32_t reduce_tasks = 0;
+  TimeMicros partition_cost = 0;      ///< measured partitioner decision time
+  TimeMicros partition_overflow = 0;  ///< part exceeding the release slack
+  TimeMicros map_makespan = 0;
+  TimeMicros reduce_makespan = 0;
+  TimeMicros processing_time = 0;  ///< overflow + map + reduce makespans
+  TimeMicros queue_delay = 0;      ///< wait behind earlier batches
+  TimeMicros latency = 0;          ///< end-to-end: interval + queue + proc
+  double w = 0;                    ///< processing_time / batch_interval
+  PartitionMetrics partition_metrics;  ///< zeros unless collection enabled
+  double reduce_bucket_bsi = 0;        ///< Eqn. 3 over this batch's buckets
+  /// Reduce-task completion spread within the batch (Fig. 13): mean and
+  /// max-min band of completion times relative to reduce-stage start.
+  double reduce_completion_mean_ms = 0;
+  double reduce_completion_min_ms = 0;
+  double reduce_completion_max_ms = 0;
+  /// Map tasks that read their block remotely (cluster mode only).
+  uint32_t remote_map_tasks = 0;
+
+  /// Per-shard ingest observability of this batch's batching phase.
+  /// Populated (has_ingest = true) when the engine runs the sharded ingest
+  /// pipeline (EngineOptions::ingest_shards > 1); default otherwise.
+  IngestMetrics ingest;
+  bool has_ingest = false;
+};
+
+}  // namespace prompt

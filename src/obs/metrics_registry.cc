@@ -1,0 +1,159 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+
+namespace prompt {
+
+size_t HistogramMetric::BucketOf(double v) {
+  if (!(v > 1.0)) return 0;  // also catches NaN and negatives
+  const int exp = std::ilogb(v);
+  // Bucket i covers (2^(i-1), 2^i]: values exactly at a power of two stay in
+  // their exponent's bucket, everything above moves one up.
+  size_t bucket = static_cast<size_t>(exp);
+  if (v > std::ldexp(1.0, exp)) ++bucket;
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+std::array<uint64_t, HistogramMetric::kBuckets> HistogramMetric::BucketCounts()
+    const {
+  std::array<uint64_t, kBuckets> out{};
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double HistogramMetric::Quantile(double q) const {
+  PROMPT_CHECK(q >= 0.0 && q <= 1.0);
+  const auto counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lower = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double upper = std::ldexp(1.0, static_cast<int>(i));
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return lower + within * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets));  // unreachable
+}
+
+std::string MetricSample::FullName() const {
+  std::string out = name;
+  if (!labels.empty()) {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out += ',';
+      first = false;
+      out += k;
+      out += '=';
+      out += v;
+    }
+    out += '}';
+  }
+  return out;
+}
+
+namespace {
+
+std::string KeyOf(std::string_view name, const MetricLabels& labels) {
+  MetricSample s;
+  s.name = std::string(name);
+  s.labels = labels;
+  return s.FullName();
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      MetricLabels labels,
+                                                      MetricSample::Kind kind) {
+  std::string key = KeyOf(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    PROMPT_CHECK_MSG(it->second.kind == kind,
+                     "metric re-registered with a different kind");
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = std::string(name);
+  entry.labels = std::move(labels);
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricSample::Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricSample::Kind::kHistogram:
+      entry.histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  return &entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), MetricSample::Kind::kCounter)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), MetricSample::Kind::kGauge)
+      ->gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(std::string_view name,
+                                               MetricLabels labels) {
+  return FindOrCreate(name, std::move(labels), MetricSample::Kind::kHistogram)
+      ->histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        s.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricSample::Kind::kGauge:
+        s.value = entry.gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        s.count = entry.histogram->count();
+        s.sum = entry.histogram->sum();
+        s.value = entry.histogram->Mean();
+        s.p50 = entry.histogram->Quantile(0.50);
+        s.p95 = entry.histogram->Quantile(0.95);
+        s.p99 = entry.histogram->Quantile(0.99);
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already sorted by full name
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace prompt

@@ -1,0 +1,149 @@
+// Labeled runtime metrics: counters, gauges and log-bucketed histograms.
+//
+// Design constraints (ISSUE 2):
+//  - lock-cheap on the hot path: Get*() hands out stable pointers; all
+//    mutation is relaxed atomics on those handles. The registry mutex is
+//    taken only at registration and snapshot time, never per observation.
+//  - zero-cost when disabled: components hold a nullable handle/registry
+//    pointer and skip instrumentation on nullptr — one predictable branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace prompt {
+
+/// \brief Metric labels as ordered key=value pairs. Order is part of the
+/// identity (callers pass them in a fixed order, so no canonicalization).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// \brief Concurrent histogram over exponential (power-of-two) buckets.
+///
+/// Bucket i counts observations in (2^(i-1), 2^i]; bucket 0 holds values
+/// <= 1 and the last bucket is open-ended. Quantiles interpolate linearly
+/// inside the winning bucket — ~2x worst-case relative error, plenty for
+/// task-cost and latency distributions while keeping Observe() to two
+/// relaxed atomic adds and no allocation.
+class HistogramMetric {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Observe(double v) {
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+  /// q in [0, 1]. Approximate (bucket-interpolated) quantile.
+  double Quantile(double q) const;
+
+  /// Snapshot of per-bucket counts (index i = upper bound 2^i).
+  std::array<uint64_t, kBuckets> BucketCounts() const;
+
+ private:
+  static size_t BucketOf(double v);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// \brief One metric's state at snapshot time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  MetricLabels labels;
+  Kind kind = Kind::kCounter;
+  /// Counter/gauge value; histogram mean.
+  double value = 0;
+  /// Histogram extras (zero for counters/gauges).
+  uint64_t count = 0;
+  double sum = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+
+  /// `name{k=v,...}` — the stable identity string.
+  std::string FullName() const;
+};
+
+/// \brief Owner and directory of all metrics. Handles returned by Get*()
+/// stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(MetricsRegistry);
+
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use. Aborts if the name is already registered as another kind.
+  Counter* GetCounter(std::string_view name, MetricLabels labels = {});
+  Gauge* GetGauge(std::string_view name, MetricLabels labels = {});
+  HistogramMetric* GetHistogram(std::string_view name, MetricLabels labels = {});
+
+  /// Point-in-time view of every registered metric, sorted by full name.
+  std::vector<MetricSample> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind;
+    std::string name;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, MetricLabels labels,
+                      MetricSample::Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,154 @@
+#include "obs/observability.h"
+
+namespace prompt {
+
+Observability::Observability(ObservabilityOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics_every > 0) options_.metrics_enabled = true;
+  if (!options_.trace_path.empty()) options_.trace_enabled = true;
+
+  if (options_.metrics_enabled) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    batches_total_ = registry_->GetCounter("prompt_batches_total");
+    tuples_total_ = registry_->GetCounter("prompt_tuples_total");
+    latency_us_ = registry_->GetHistogram("prompt_batch_latency_us");
+    queue_us_ = registry_->GetHistogram("prompt_batch_queue_us");
+    partition_cost_us_ = registry_->GetHistogram("prompt_partition_cost_us");
+    w_gauge_ = registry_->GetGauge("prompt_batch_w");
+    map_tasks_gauge_ = registry_->GetGauge("prompt_map_tasks");
+    reduce_tasks_gauge_ = registry_->GetGauge("prompt_reduce_tasks");
+  }
+
+  if (!options_.trace_path.empty()) {
+    auto sink = FileTraceSink::Open(options_.trace_path);
+    if (sink.ok()) {
+      trace_sinks_.push_back(std::move(*sink));
+    } else {
+      init_status_ = sink.status();
+    }
+  }
+  if (!options_.metrics_path.empty()) {
+    auto sink =
+        FileRecordSink::Open(options_.metrics_path, FileRecordSink::Format::kJsonl);
+    if (sink.ok()) {
+      metrics_file_ = std::move(*sink);
+    } else if (init_status_.ok()) {
+      init_status_ = sink.status();
+    }
+  }
+}
+
+Observability::~Observability() {
+  for (auto& sink : trace_sinks_) sink->Flush();
+  for (auto& sink : report_sinks_) sink->Flush();
+  if (metrics_file_ != nullptr) metrics_file_->Flush();
+}
+
+void Observability::AddTraceSink(std::unique_ptr<TraceSink> sink) {
+  trace_sinks_.push_back(std::move(sink));
+}
+
+void Observability::AddReportSink(std::unique_ptr<RecordSink> sink) {
+  report_sinks_.push_back(std::move(sink));
+}
+
+void Observability::AddObserver(Observer* observer) {
+  PROMPT_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void Observability::OnRunStart(uint32_t num_batches) {
+  for (Observer* o : observers_) o->OnRunStart(num_batches);
+}
+
+void Observability::OnBatchComplete(const BatchReport& report,
+                                    const BatchTrace& trace) {
+  if (registry_ != nullptr) {
+    batches_total_->Increment();
+    tuples_total_->Increment(report.num_tuples);
+    latency_us_->Observe(static_cast<double>(report.latency));
+    queue_us_->Observe(static_cast<double>(report.queue_delay));
+    partition_cost_us_->Observe(static_cast<double>(report.partition_cost));
+    w_gauge_->Set(report.w);
+    map_tasks_gauge_->Set(report.map_tasks);
+    reduce_tasks_gauge_->Set(report.reduce_tasks);
+    if (report.has_ingest) {
+      // Registered lazily: most runs never shard the ingest phase.
+      if (shard_imbalance_gauge_ == nullptr) {
+        shard_imbalance_gauge_ =
+            registry_->GetGauge("prompt_ingest_shard_imbalance");
+        ring_occupancy_gauge_ =
+            registry_->GetGauge("prompt_ingest_ring_occupancy_frac");
+        merge_us_ = registry_->GetHistogram("prompt_ingest_merge_us");
+        seal_barrier_us_ =
+            registry_->GetHistogram("prompt_ingest_seal_barrier_us");
+      }
+      shard_imbalance_gauge_->Set(ShardLoadImbalance(report.ingest));
+      ring_occupancy_gauge_->Set(MaxRingOccupancyFrac(report.ingest));
+      merge_us_->Observe(static_cast<double>(report.ingest.merge_latency));
+      seal_barrier_us_->Observe(
+          static_cast<double>(report.ingest.seal_barrier_latency));
+    }
+  }
+
+  if (!report_sinks_.empty()) {
+    const Record row = ReportRecord(report);
+    for (auto& sink : report_sinks_) sink->Write(row);
+  }
+  for (auto& sink : trace_sinks_) sink->Write(trace);
+  for (Observer* o : observers_) o->OnBatchComplete(report, trace);
+
+  if (options_.metrics_every > 0 &&
+      (report.batch_id + 1) % options_.metrics_every == 0) {
+    EmitMetricsSnapshot(report.batch_id);
+  }
+}
+
+void Observability::OnRunEnd() {
+  for (Observer* o : observers_) o->OnRunEnd();
+  for (auto& sink : trace_sinks_) sink->Flush();
+  for (auto& sink : report_sinks_) sink->Flush();
+  if (metrics_file_ != nullptr) metrics_file_->Flush();
+}
+
+void Observability::EmitMetricsSnapshot(uint64_t after_batch) {
+  if (registry_ == nullptr) return;
+  const std::vector<MetricSample> snapshot = registry_->Snapshot();
+  if (metrics_file_ != nullptr) {
+    for (const Record& r : SnapshotRecords(snapshot)) {
+      Record row;
+      row.Set("after_batch", after_batch);
+      for (const RecordField& f : r.fields()) row.Append(f);
+      metrics_file_->Write(row);
+    }
+    metrics_file_->Flush();
+  } else {
+    std::cout << "# metrics after batch " << after_batch << "\n";
+    WriteSnapshotText(snapshot, &std::cout);
+  }
+}
+
+Record ReportRecord(const BatchReport& report) {
+  Record r;
+  r.Set("batch_id", report.batch_id)
+      .Set("interval_us", static_cast<int64_t>(report.batch_interval))
+      .Set("tuples", report.num_tuples)
+      .Set("keys", report.num_keys)
+      .Set("map_tasks", report.map_tasks)
+      .Set("reduce_tasks", report.reduce_tasks)
+      .Set("partition_cost_us", static_cast<int64_t>(report.partition_cost))
+      .Set("map_makespan_us", static_cast<int64_t>(report.map_makespan))
+      .Set("reduce_makespan_us", static_cast<int64_t>(report.reduce_makespan))
+      .Set("processing_us", static_cast<int64_t>(report.processing_time))
+      .Set("queue_us", static_cast<int64_t>(report.queue_delay))
+      .Set("latency_us", static_cast<int64_t>(report.latency))
+      .Set("w", report.w)
+      .Set("bsi", report.partition_metrics.bsi)
+      .Set("bci", report.partition_metrics.bci)
+      .Set("ksr", report.partition_metrics.ksr)
+      .Set("mpi", report.partition_metrics.mpi)
+      .Set("reduce_bucket_bsi", report.reduce_bucket_bsi);
+  return r;
+}
+
+}  // namespace prompt

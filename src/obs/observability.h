@@ -1,0 +1,128 @@
+// Observability composite: one object owning the MetricsRegistry, the
+// TraceRecorder and every configured sink, implementing the Observer
+// interface the engine drives. EngineOptions::obs configures it; components
+// (ingest pipeline, executor, elastic controller) receive the registry via
+// BindMetrics and record through cached handles.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/batch_report.h"
+#include "obs/metrics_registry.h"
+#include "obs/observer.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+namespace prompt {
+
+/// \brief Observability configuration, grouped out of the flat EngineOptions
+/// (the old EngineOptions::collect_partition_metrics / mpi_weights fields
+/// remain as deprecated aliases for one release).
+struct ObservabilityOptions {
+  /// Compute BSI/BCI/KSR/MPI per batch (costs a pass over fragments).
+  bool collect_partition_metrics = false;
+  MpiWeights mpi_weights;
+
+  /// Maintain the MetricsRegistry (counters/gauges/histograms) during runs.
+  bool metrics_enabled = false;
+  /// Emit a metrics snapshot every N batches (0 = never). Implies
+  /// metrics_enabled.
+  uint32_t metrics_every = 0;
+  /// Snapshot destination: a JSONL file path, or "" for human-readable text
+  /// on stdout.
+  std::string metrics_path;
+
+  /// Build one structured BatchTrace per batch. Implied by trace_path or by
+  /// any attached trace sink / external Observer.
+  bool trace_enabled = false;
+  /// JSONL trace destination (one record per batch); "" = no file.
+  std::string trace_path;
+};
+
+/// \brief Standard Observer implementation: registry + recorder + sinks.
+class Observability final : public Observer {
+ public:
+  explicit Observability(ObservabilityOptions options);
+  ~Observability() override;
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(Observability);
+
+  /// Result of opening the sinks configured through paths in the options
+  /// (OK when none were configured).
+  const Status& init_status() const { return init_status_; }
+
+  /// Any instrumentation consumer attached? The engine skips report/trace
+  /// assembly entirely when false — the disabled path costs one branch.
+  bool active() const {
+    return metrics_enabled() || tracing_active() || !report_sinks_.empty();
+  }
+  bool metrics_enabled() const { return registry_ != nullptr; }
+  bool tracing_active() const {
+    return options_.trace_enabled || !trace_sinks_.empty() ||
+           !observers_.empty();
+  }
+
+  /// Registry for component instrumentation; nullptr when metrics are
+  /// disabled (callers skip on nullptr — the zero-cost contract).
+  MetricsRegistry* registry() { return registry_.get(); }
+  const MetricsRegistry* registry() const { return registry_.get(); }
+
+  /// Recorder the engine lays batch timelines into (always valid; unused
+  /// when tracing is inactive).
+  TraceRecorder* recorder() { return &recorder_; }
+
+  void AddTraceSink(std::unique_ptr<TraceSink> sink);
+  /// Per-batch report rows (ReportRecord) flow into these.
+  void AddReportSink(std::unique_ptr<RecordSink> sink);
+  /// Fan-out to an external observer (not owned; must outlive this object).
+  void AddObserver(Observer* observer);
+
+  const ObservabilityOptions& options() const { return options_; }
+
+  /// Writes the current registry snapshot to the configured metrics
+  /// destination (no-op when metrics are disabled).
+  void EmitMetricsSnapshot(uint64_t after_batch);
+
+  // Observer interface (driven by the engine).
+  void OnRunStart(uint32_t num_batches) override;
+  void OnBatchComplete(const BatchReport& report,
+                       const BatchTrace& trace) override;
+  void OnRunEnd() override;
+
+ private:
+  ObservabilityOptions options_;
+  Status init_status_;
+
+  std::unique_ptr<MetricsRegistry> registry_;
+  TraceRecorder recorder_;
+  std::vector<std::unique_ptr<TraceSink>> trace_sinks_;
+  std::vector<std::unique_ptr<RecordSink>> report_sinks_;
+  std::vector<Observer*> observers_;
+
+  // Snapshot destination (JSONL file) when metrics_path is set.
+  std::unique_ptr<FileRecordSink> metrics_file_;
+
+  // Cached hot-path handles (valid iff registry_ != nullptr).
+  Counter* batches_total_ = nullptr;
+  Counter* tuples_total_ = nullptr;
+  HistogramMetric* latency_us_ = nullptr;
+  HistogramMetric* queue_us_ = nullptr;
+  HistogramMetric* partition_cost_us_ = nullptr;
+  Gauge* w_gauge_ = nullptr;
+  Gauge* map_tasks_gauge_ = nullptr;
+  Gauge* reduce_tasks_gauge_ = nullptr;
+  Gauge* shard_imbalance_gauge_ = nullptr;
+  Gauge* ring_occupancy_gauge_ = nullptr;
+  HistogramMetric* merge_us_ = nullptr;
+  HistogramMetric* seal_barrier_us_ = nullptr;
+};
+
+/// \brief Lowers a BatchReport to the canonical 18-column row every writer
+/// (CSV export, JSONL, promptctl table) shares. Column names and order are
+/// the report_io CSV schema — code that round-trips CSVs depends on them.
+Record ReportRecord(const BatchReport& report);
+
+}  // namespace prompt

@@ -1,0 +1,38 @@
+// The single instrumentation interface of the engine. Everything the engine
+// measures — per-batch reports, structured traces, run lifecycle — flows
+// through Observer callbacks; the Observability composite (observability.h)
+// is the standard implementation that fans out to a MetricsRegistry and
+// pluggable sinks, and user code can attach its own Observer for custom
+// collection (tests, dashboards, experiment harnesses).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/batch_report.h"
+#include "obs/trace.h"
+
+namespace prompt {
+
+/// \brief Callbacks invoked by MicroBatchEngine on its driver thread, in
+/// batch order. Implementations must not block (they sit between batches on
+/// the engine loop) and must not retain the references past the call.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// A Run() of `num_batches` intervals is starting.
+  virtual void OnRunStart(uint32_t num_batches) { (void)num_batches; }
+
+  /// One batch finished processing. `trace` covers the batch's timeline;
+  /// its depth-0 spans tile report.latency.
+  virtual void OnBatchComplete(const BatchReport& report,
+                               const BatchTrace& trace) {
+    (void)report;
+    (void)trace;
+  }
+
+  /// The Run() call is returning.
+  virtual void OnRunEnd() {}
+};
+
+}  // namespace prompt

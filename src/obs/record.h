@@ -1,0 +1,63 @@
+// The one row model every report/metrics writer shares: an ordered list of
+// named fields. BatchReport, metric snapshots and the bench figure tables
+// all lower to Records before hitting a sink, so CSV/JSONL/table formatting
+// exists exactly once (src/obs/sink.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace prompt {
+
+/// \brief One named cell of a Record. Integer and floating fields keep their
+/// native type so sinks can format them losslessly (CSV round-trips).
+struct RecordField {
+  std::string name;
+  std::variant<uint64_t, int64_t, double, std::string> value;
+};
+
+/// \brief An ordered collection of named fields — one output row.
+///
+/// Field order is the column order; sinks derive headers from the first
+/// record they see. Building a Record is allocation-light (two small strings
+/// per field) and only happens on observability paths, never per tuple.
+class Record {
+ public:
+  Record() = default;
+
+  Record& Set(std::string_view name, uint64_t v) { return Push(name, v); }
+  Record& Set(std::string_view name, int64_t v) { return Push(name, v); }
+  Record& Set(std::string_view name, uint32_t v) {
+    return Push(name, static_cast<uint64_t>(v));
+  }
+  Record& Set(std::string_view name, double v) { return Push(name, v); }
+  Record& Set(std::string_view name, std::string v) {
+    fields_.push_back(RecordField{std::string(name), std::move(v)});
+    return *this;
+  }
+  Record& Set(std::string_view name, const char* v) {
+    return Set(name, std::string(v));
+  }
+  Record& Append(RecordField field) {
+    fields_.push_back(std::move(field));
+    return *this;
+  }
+
+  const std::vector<RecordField>& fields() const { return fields_; }
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+ private:
+  template <typename T>
+  Record& Push(std::string_view name, T v) {
+    fields_.push_back(RecordField{std::string(name), v});
+    return *this;
+  }
+
+  std::vector<RecordField> fields_;
+};
+
+}  // namespace prompt

@@ -1,0 +1,145 @@
+// Pluggable output sinks — the single formatting path for per-batch
+// reports, metric snapshots and batch traces. Three wire formats share one
+// row model (Record): CSV for plotting/diffing, JSONL for machine ingestion
+// of structured traces, and fixed-width tables for humans.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+#include "obs/record.h"
+#include "obs/trace.h"
+
+namespace prompt {
+
+/// \brief Destination for Record rows (reports, figure tables, snapshots).
+///
+/// Sinks are stateful per table: the first record fixes the column set.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void Write(const Record& record) = 0;
+  virtual void Flush() {}
+};
+
+/// \brief CSV with a header row derived from the first record's field names.
+/// Doubles print with max_digits10 precision so files round-trip.
+class CsvSink : public RecordSink {
+ public:
+  /// \param out not owned; must outlive the sink.
+  explicit CsvSink(std::ostream* out) : out_(out) {}
+
+  void Write(const Record& record) override;
+  void Flush() override { out_->flush(); }
+
+ private:
+  std::ostream* out_;
+  bool wrote_header_ = false;
+};
+
+/// \brief One JSON object per line; field types map to JSON natively.
+class JsonlSink : public RecordSink {
+ public:
+  explicit JsonlSink(std::ostream* out) : out_(out) {}
+
+  void Write(const Record& record) override;
+  void Flush() override { out_->flush(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// \brief Human-readable fixed-width table.
+class TableSink : public RecordSink {
+ public:
+  /// \param auto_header print the field names as the first row (set false
+  ///        when the caller emits its own header row).
+  explicit TableSink(std::ostream* out, int column_width = 14,
+                     bool auto_header = true)
+      : out_(out), width_(column_width), auto_header_(auto_header) {}
+
+  void Write(const Record& record) override;
+  void Flush() override { out_->flush(); }
+
+ private:
+  std::ostream* out_;
+  int width_;
+  bool auto_header_;
+  bool wrote_header_ = false;
+};
+
+/// \brief Destination for per-batch structured traces.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Write(const BatchTrace& trace) = 0;
+  virtual void Flush() {}
+};
+
+/// \brief One JSONL record per batch:
+/// {"batch_id":N,"start_us":..,"latency_us":..,"tuples":..,"keys":..,
+///  "spans":[{"name":"map","start_us":..,"dur_us":..,"depth":0},...]}
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream* out) : out_(out) {}
+
+  void Write(const BatchTrace& trace) override;
+  void Flush() override { out_->flush(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// \brief Formats one value with full round-trip precision (shared by the
+/// CSV and JSONL encoders; exact integer formatting for integral fields).
+std::string FormatFieldValue(const RecordField& field);
+
+/// \brief JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// \brief Lowers a metrics snapshot to Records (one per metric) — flows
+/// registry contents through any RecordSink.
+std::vector<Record> SnapshotRecords(const std::vector<MetricSample>& snapshot);
+
+/// \brief Writes a snapshot in a compact human format:
+/// `name{labels}  value` lines, histograms with count/mean/p50/p95/p99.
+void WriteSnapshotText(const std::vector<MetricSample>& snapshot,
+                       std::ostream* out);
+
+/// \brief A RecordSink (or TraceSink) bound to a file it owns.
+class FileRecordSink : public RecordSink {
+ public:
+  enum class Format { kCsv, kJsonl, kTable };
+
+  /// Opens `path` for writing; Status::IOError on failure.
+  static Result<std::unique_ptr<FileRecordSink>> Open(const std::string& path,
+                                                      Format format);
+  void Write(const Record& record) override { inner_->Write(record); }
+  void Flush() override;
+
+ private:
+  FileRecordSink() = default;
+
+  std::unique_ptr<std::ostream> file_;
+  std::unique_ptr<RecordSink> inner_;
+};
+
+class FileTraceSink : public TraceSink {
+ public:
+  static Result<std::unique_ptr<FileTraceSink>> Open(const std::string& path);
+  void Write(const BatchTrace& trace) override { inner_->Write(trace); }
+  void Flush() override;
+
+ private:
+  FileTraceSink() = default;
+
+  std::unique_ptr<std::ostream> file_;
+  std::unique_ptr<JsonlTraceSink> inner_;
+};
+
+}  // namespace prompt

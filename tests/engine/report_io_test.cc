@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "baselines/factory.h"
+#include "engine/engine.h"
 #include "workload/sources.h"
 
 namespace prompt {

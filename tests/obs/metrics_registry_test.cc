@@ -1,0 +1,119 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace prompt {
+namespace {
+
+TEST(MetricsRegistryTest, HandlesAreStableAndKeyedByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total");
+  Counter* b = registry.GetCounter("requests_total");
+  EXPECT_EQ(a, b);
+
+  Counter* shard0 = registry.GetCounter("tuples_total", {{"shard", "0"}});
+  Counter* shard1 = registry.GetCounter("tuples_total", {{"shard", "1"}});
+  EXPECT_NE(shard0, shard1);
+  EXPECT_EQ(shard0, registry.GetCounter("tuples_total", {{"shard", "0"}}));
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("w");
+  gauge->Set(0.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.5);
+  gauge->Add(0.25);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.75);
+}
+
+TEST(MetricsRegistryTest, HistogramCountsSumsAndQuantiles) {
+  MetricsRegistry registry;
+  HistogramMetric* hist = registry.GetHistogram("latency_us");
+  for (int v = 1; v <= 1000; ++v) hist->Observe(v);
+  EXPECT_EQ(hist->count(), 1000u);
+  EXPECT_DOUBLE_EQ(hist->sum(), 500500.0);
+  EXPECT_DOUBLE_EQ(hist->Mean(), 500.5);
+
+  // Power-of-two buckets interpolate inside the winning bucket: ~2x
+  // worst-case relative error. The median of 1..1000 must land within a
+  // factor of two of 500 and the quantiles must be monotone.
+  const double p50 = hist->Quantile(0.5);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_LE(hist->Quantile(0.1), hist->Quantile(0.5));
+  EXPECT_LE(hist->Quantile(0.5), hist->Quantile(0.99));
+  EXPECT_LE(hist->Quantile(0.99), 1024.0);
+}
+
+TEST(MetricsRegistryTest, HistogramConcurrentObserve) {
+  MetricsRegistry registry;
+  HistogramMetric* hist = registry.GetHistogram("cost_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist->count(), static_cast<uint64_t>(kThreads * kPerThread));
+  // Sum of (1+..+8) * 20000, accumulated with CAS — exact for integers.
+  EXPECT_DOUBLE_EQ(hist->sum(), 36.0 * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_counter")->Increment(7);
+  registry.GetGauge("a_gauge")->Set(1.5);
+  HistogramMetric* hist = registry.GetHistogram("c_hist");
+  hist->Observe(10);
+  hist->Observe(20);
+
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "a_gauge");
+  EXPECT_EQ(snapshot[0].kind, MetricSample::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 1.5);
+  EXPECT_EQ(snapshot[1].name, "b_counter");
+  EXPECT_EQ(snapshot[1].kind, MetricSample::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(snapshot[1].value, 7.0);
+  EXPECT_EQ(snapshot[2].name, "c_hist");
+  EXPECT_EQ(snapshot[2].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(snapshot[2].count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot[2].sum, 30.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].value, 15.0);  // mean
+}
+
+TEST(MetricsRegistryTest, FullNameIncludesLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("tuples_total", {{"shard", "3"}, {"node", "a"}});
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].FullName(), "tuples_total{shard=3,node=a}");
+}
+
+}  // namespace
+}  // namespace prompt

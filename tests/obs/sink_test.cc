@@ -1,0 +1,149 @@
+#include "obs/sink.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/observability.h"
+
+namespace prompt {
+namespace {
+
+Record SampleRecord() {
+  Record r;
+  r.Set("id", static_cast<uint64_t>(3))
+      .Set("delta", static_cast<int64_t>(-12))
+      .Set("ratio", 0.5)
+      .Set("label", "zipf");
+  return r;
+}
+
+TEST(CsvSinkTest, GoldenOutputWithHeaderFromFirstRecord) {
+  std::ostringstream out;
+  CsvSink sink(&out);
+  sink.Write(SampleRecord());
+  Record second;
+  second.Set("id", static_cast<uint64_t>(4))
+      .Set("delta", static_cast<int64_t>(0))
+      .Set("ratio", 1.25)
+      .Set("label", "uniform");
+  sink.Write(second);
+  EXPECT_EQ(out.str(),
+            "id,delta,ratio,label\n"
+            "3,-12,0.5,zipf\n"
+            "4,0,1.25,uniform\n");
+}
+
+TEST(CsvSinkTest, DoublesRoundTrip) {
+  std::ostringstream out;
+  CsvSink sink(&out);
+  Record r;
+  const double v = 0.1234567890123456789;
+  r.Set("v", v);
+  sink.Write(r);
+  std::istringstream in(out.str());
+  std::string header, cell;
+  std::getline(in, header);
+  std::getline(in, cell);
+  EXPECT_DOUBLE_EQ(std::stod(cell), v);
+}
+
+TEST(JsonlSinkTest, GoldenOutputAndEscaping) {
+  std::ostringstream out;
+  JsonlSink sink(&out);
+  Record r;
+  r.Set("n", static_cast<uint64_t>(1)).Set("s", "a\"b\\c\nd");
+  sink.Write(r);
+  EXPECT_EQ(out.str(), "{\"n\":1,\"s\":\"a\\\"b\\\\c\\nd\"}\n");
+}
+
+TEST(TableSinkTest, FixedWidthWithOptionalHeader) {
+  std::ostringstream out;
+  TableSink sink(&out, /*column_width=*/6);
+  Record r;
+  r.Set("id", static_cast<uint64_t>(42)).Set("name", "x");
+  sink.Write(r);
+  EXPECT_EQ(out.str(),
+            "id    name  \n"
+            "42    x     \n");
+
+  std::ostringstream bare;
+  TableSink no_header(&bare, 6, /*auto_header=*/false);
+  no_header.Write(r);
+  EXPECT_EQ(bare.str(), "42    x     \n");
+}
+
+TEST(JsonlTraceSinkTest, GoldenTraceRecord) {
+  BatchTrace trace;
+  trace.batch_id = 2;
+  trace.batch_start = 2000000;
+  trace.latency = 1100;
+  trace.num_tuples = 10;
+  trace.num_keys = 4;
+  trace.spans.push_back(TraceSpan{"accumulate", 0, 1000, 0});
+  trace.spans.push_back(TraceSpan{"seal_barrier", 1000, 7, 1});
+  trace.spans.push_back(TraceSpan{"map", 1000, 100, 0});
+
+  std::ostringstream out;
+  JsonlTraceSink sink(&out);
+  sink.Write(trace);
+  EXPECT_EQ(out.str(),
+            "{\"batch_id\":2,\"start_us\":2000000,\"latency_us\":1100,"
+            "\"tuples\":10,\"keys\":4,\"spans\":["
+            "{\"name\":\"accumulate\",\"start_us\":0,\"dur_us\":1000,"
+            "\"depth\":0},"
+            "{\"name\":\"seal_barrier\",\"start_us\":1000,\"dur_us\":7,"
+            "\"depth\":1},"
+            "{\"name\":\"map\",\"start_us\":1000,\"dur_us\":100,"
+            "\"depth\":0}]}\n");
+}
+
+TEST(ReportRecordTest, ColumnsMatchTheReportIoCsvSchema) {
+  BatchReport report;
+  const Record row = ReportRecord(report);
+  std::string joined;
+  for (const RecordField& f : row.fields()) {
+    if (!joined.empty()) joined += ',';
+    joined += f.name;
+  }
+  EXPECT_EQ(joined,
+            "batch_id,interval_us,tuples,keys,map_tasks,reduce_tasks,"
+            "partition_cost_us,map_makespan_us,reduce_makespan_us,"
+            "processing_us,queue_us,latency_us,w,bsi,bci,ksr,mpi,"
+            "reduce_bucket_bsi");
+}
+
+TEST(SnapshotRecordsTest, LowersEveryMetricKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Increment(2);
+  registry.GetGauge("b_gauge")->Set(0.5);
+  registry.GetHistogram("c_hist")->Observe(8);
+
+  const auto records = SnapshotRecords(registry.Snapshot());
+  ASSERT_EQ(records.size(), 3u);
+  // Counter row: metric, kind, value.
+  EXPECT_EQ(records[0].fields()[0].name, "metric");
+  EXPECT_EQ(std::get<std::string>(records[0].fields()[0].value), "a_total");
+  EXPECT_EQ(std::get<std::string>(records[0].fields()[1].value), "counter");
+  // Histogram row carries count/sum/quantiles.
+  EXPECT_EQ(records[2].size(), 8u);
+
+  std::ostringstream out;
+  WriteSnapshotText(registry.Snapshot(), &out);
+  EXPECT_NE(out.str().find("a_total  2"), std::string::npos);
+  EXPECT_NE(out.str().find("c_hist  count=1"), std::string::npos);
+}
+
+TEST(FileSinkTest, OpenFailsWithIoError) {
+  auto bad = FileRecordSink::Open("/no/such/dir/out.csv",
+                                  FileRecordSink::Format::kCsv);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsIOError());
+
+  auto bad_trace = FileTraceSink::Open("/no/such/dir/trace.jsonl");
+  ASSERT_FALSE(bad_trace.ok());
+  EXPECT_TRUE(bad_trace.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+TEST(TraceRecorderTest, ExplicitSpansTileTheLatency) {
+  TraceRecorder recorder;
+  recorder.BeginBatch(/*batch_id=*/7, /*batch_start=*/1000000);
+  recorder.AddSpan("accumulate", 0, 1000000);
+  recorder.AddSpan("map", 1000000, 60000);
+  recorder.AddSpan("reduce", 1060000, 40000);
+  const BatchTrace& trace = recorder.EndBatch(/*num_tuples=*/500,
+                                              /*num_keys=*/100,
+                                              /*latency=*/1100000);
+
+  EXPECT_EQ(trace.batch_id, 7u);
+  EXPECT_EQ(trace.batch_start, 1000000);
+  EXPECT_EQ(trace.num_tuples, 500u);
+  EXPECT_EQ(trace.num_keys, 100u);
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.TopLevelTotal(), 1100000);
+  EXPECT_DOUBLE_EQ(trace.Coverage(), 1.0);
+
+  const TraceSpan* map = trace.FindSpan("map");
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->start, 1000000);
+  EXPECT_EQ(map->duration, 60000);
+  EXPECT_EQ(trace.FindSpan("no_such_span"), nullptr);
+}
+
+TEST(TraceRecorderTest, NestedSpansArePlacedAsAnnotations) {
+  TraceRecorder recorder;
+  recorder.BeginBatch(0, 0);
+  recorder.AddSpan("accumulate", 0, 1000);
+  recorder.AddSpan("seal_barrier", 1000, 40, /*depth=*/1);
+  recorder.AddSpan("kway_merge", 1040, 10, /*depth=*/1);
+  const BatchTrace& trace = recorder.EndBatch(1, 1, 1000);
+
+  // Depth-1 spans annotate; only depth-0 spans count toward coverage.
+  EXPECT_EQ(trace.TopLevelTotal(), 1000);
+  EXPECT_DOUBLE_EQ(trace.Coverage(), 1.0);
+  EXPECT_EQ(trace.FindSpan("seal_barrier")->depth, 1u);
+}
+
+TEST(TraceRecorderTest, ScopedSpansNestByOpenCount) {
+  TraceRecorder recorder;
+  recorder.BeginBatch(0, 0);
+  {
+    auto outer = recorder.StartSpan("outer");
+    {
+      auto inner = recorder.StartSpan("inner");
+    }  // inner closes first
+  }
+  const BatchTrace& trace = recorder.EndBatch(0, 0, 0);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.FindSpan("outer")->depth, 0u);
+  EXPECT_EQ(trace.FindSpan("inner")->depth, 1u);
+  // Wall-clock scopes: inner is contained in outer.
+  EXPECT_LE(trace.FindSpan("inner")->duration,
+            trace.FindSpan("outer")->duration);
+}
+
+TEST(TraceRecorderTest, ScopeEndIsIdempotent) {
+  TraceRecorder recorder;
+  recorder.BeginBatch(0, 0);
+  auto span = recorder.StartSpan("work");
+  span.End();
+  span.End();  // no-op
+  const BatchTrace& trace = recorder.EndBatch(0, 0, 0);
+  EXPECT_EQ(trace.spans.size(), 1u);
+}
+
+TEST(TraceRecorderTest, CoverageReportsMissingSpans) {
+  TraceRecorder recorder;
+  recorder.BeginBatch(0, 0);
+  recorder.AddSpan("accumulate", 0, 900);
+  const BatchTrace& trace = recorder.EndBatch(0, 0, 1000);
+  EXPECT_DOUBLE_EQ(trace.Coverage(), 0.9);
+}
+
+TEST(TraceRecorderTest, RecorderIsReusableAcrossBatches) {
+  TraceRecorder recorder;
+  recorder.BeginBatch(0, 0);
+  recorder.AddSpan("a", 0, 10);
+  recorder.EndBatch(0, 0, 10);
+
+  recorder.BeginBatch(1, 500);
+  const BatchTrace& second = recorder.current();
+  EXPECT_EQ(second.batch_id, 1u);
+  EXPECT_TRUE(second.spans.empty());
+  recorder.AddSpan("b", 0, 20);
+  EXPECT_EQ(recorder.EndBatch(0, 0, 20).spans.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prompt

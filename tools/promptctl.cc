@@ -7,12 +7,20 @@
 //
 //   promptctl --list                     # datasets and techniques
 //   promptctl --technique=cAM --elastic  # Alg. 4 elasticity on
+//
+// Observability:
+//   --trace_out=trace.jsonl    one structured trace per batch (spans for
+//                              accumulate/seal/merge/plan/map/reduce)
+//   --metrics_every=N          metrics snapshot every N batches (stdout, or
+//                              --metrics_out=metrics.jsonl for a file)
 #include <cstdio>
+#include <iostream>
 
 #include "baselines/factory.h"
 #include "common/flags.h"
 #include "engine/engine.h"
 #include "engine/report_io.h"
+#include "obs/sink.h"
 #include "query/parser.h"
 #include "workload/sources.h"
 
@@ -86,6 +94,13 @@ int main(int argc, char** argv) {
   // terms proportionally so W is meaningful at CLI scales.
   auto map_us = flags.GetDouble("map_us", 200);
   if (!map_us.ok()) return Fail(map_us.status());
+  auto metrics_every = flags.GetInt("metrics_every", 0);
+  if (!metrics_every.ok()) return Fail(metrics_every.status());
+  if (*metrics_every < 0) {
+    return Fail(Status::Invalid("--metrics_every must be >= 0"));
+  }
+  const std::string trace_path = flags.GetString("trace_out", "");
+  const std::string metrics_path = flags.GetString("metrics_out", "");
   const std::string csv_path = flags.GetString("csv", "");
   const std::string query_text =
       flags.GetString("query", "SELECT COUNT TOP 10 WINDOW 10S");
@@ -114,7 +129,10 @@ int main(int argc, char** argv) {
   options.map_tasks = static_cast<uint32_t>(*tasks);
   options.reduce_tasks = static_cast<uint32_t>(*tasks);
   options.cores = static_cast<uint32_t>(*tasks);
-  options.collect_partition_metrics = *metrics;
+  options.obs.collect_partition_metrics = *metrics;
+  options.obs.trace_path = trace_path;
+  options.obs.metrics_every = static_cast<uint32_t>(*metrics_every);
+  options.obs.metrics_path = metrics_path;
   options.ingest_shards = static_cast<uint32_t>(*ingest_shards);
   options.cost.map_per_tuple_us = *map_us;
   options.cost.map_per_key_us = *map_us / 4;
@@ -133,31 +151,38 @@ int main(int argc, char** argv) {
 
   MicroBatchEngine engine(options, query->job, CreatePartitioner(*technique),
                           source.get());
+  if (const Status& st = engine.observability()->init_status(); !st.ok()) {
+    return Fail(st);
+  }
 
   std::printf("dataset=%s technique=%s rate=%.0f/s interval=%lldms query=\"%s\"\n\n",
               DatasetName(*dataset), PartitionerTypeName(*technique), *rate,
               static_cast<long long>(query->slide / 1000),
               query_text.c_str());
-  std::printf("%5s %9s %7s %9s %6s %6s %6s %9s%s\n", "batch", "tuples",
-              "keys", "proc(ms)", "W", "map", "red", "lat(ms)",
-              *metrics ? "   BSI      KSR" : "");
 
   RunSummary summary = engine.Run(static_cast<uint32_t>(*batches));
+  TableSink table(&std::cout, /*column_width=*/10);
   for (const BatchReport& b : summary.batches) {
-    std::printf("%5llu %9llu %7llu %9.1f %6.2f %6u %6u %9.1f",
-                static_cast<unsigned long long>(b.batch_id),
-                static_cast<unsigned long long>(b.num_tuples),
-                static_cast<unsigned long long>(b.num_keys),
-                static_cast<double>(b.processing_time) / 1000.0, b.w,
-                b.map_tasks, b.reduce_tasks,
-                static_cast<double>(b.latency) / 1000.0);
+    Record row;
+    row.Set("batch", b.batch_id)
+        .Set("tuples", b.num_tuples)
+        .Set("keys", b.num_keys)
+        .Set("proc_ms", static_cast<double>(b.processing_time) / 1000.0)
+        .Set("W", b.w)
+        .Set("map", b.map_tasks)
+        .Set("red", b.reduce_tasks)
+        .Set("lat_ms", static_cast<double>(b.latency) / 1000.0);
     if (*metrics) {
-      std::printf("   %-8.0f %.3f", b.partition_metrics.bsi,
-                  b.partition_metrics.ksr);
+      row.Set("bsi", b.partition_metrics.bsi)
+          .Set("ksr", b.partition_metrics.ksr);
     }
-    std::printf("\n");
+    table.Write(row);
   }
 
+  if (!trace_path.empty()) {
+    std::printf("\n(wrote %zu batch traces to %s)\n", summary.batches.size(),
+                trace_path.c_str());
+  }
   if (!csv_path.empty()) {
     if (auto st = WriteReportsCsvFile(summary.batches, csv_path); !st.ok()) {
       return Fail(st);
