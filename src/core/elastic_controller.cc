@@ -25,6 +25,27 @@ void ElasticController::BindMetrics(MetricsRegistry* registry) {
   reduce_tasks_gauge_->Set(reduce_tasks_);
 }
 
+void ElasticController::OnCapacityChange(uint32_t total_cores) {
+  capacity_ = std::max<uint32_t>(1, total_cores);
+  const uint32_t map_cap =
+      std::max(options_.min_map_tasks, std::min(options_.max_map_tasks, capacity_));
+  const uint32_t reduce_cap = std::max(
+      options_.min_reduce_tasks, std::min(options_.max_reduce_tasks, capacity_));
+  const bool shrunk = map_tasks_ > map_cap || reduce_tasks_ > reduce_cap;
+  map_tasks_ = std::min(map_tasks_, map_cap);
+  reduce_tasks_ = std::min(reduce_tasks_, reduce_cap);
+  above_count_ = below_count_ = 0;
+  if (shrunk) {
+    grace_remaining_ = options_.d;
+    last_direction_ = -1;
+    if (scale_in_total_ != nullptr) {
+      scale_in_total_->Increment();
+      map_tasks_gauge_->Set(map_tasks_);
+      reduce_tasks_gauge_->Set(reduce_tasks_);
+    }
+  }
+}
+
 ElasticityZone ElasticController::ZoneOf(double w,
                                          const ElasticityOptions& options) {
   if (w > options.threshold) return ElasticityZone::kOverloaded;
@@ -77,12 +98,12 @@ ScaleDecision ElasticController::OnBatchCompleted(double w,
     const bool rate_up = rate_trend_.Increasing();
     const bool keys_up = keys_trend_.Increasing();
     if (rate_up || (!rate_up && !keys_up)) {
-      if (map_tasks_ < options_.max_map_tasks) {
+      if (map_tasks_ < std::min(options_.max_map_tasks, capacity_)) {
         decision.delta_map = 1;
       }
     }
     if (keys_up || (!rate_up && !keys_up)) {
-      if (reduce_tasks_ < options_.max_reduce_tasks) {
+      if (reduce_tasks_ < std::min(options_.max_reduce_tasks, capacity_)) {
         decision.delta_reduce = 1;
       }
     }

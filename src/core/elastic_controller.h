@@ -57,6 +57,17 @@ class ElasticController {
   ScaleDecision OnBatchCompleted(double w, uint64_t num_tuples,
                                  uint64_t num_keys);
 
+  /// Fault-tolerance feed (§8 recovery): the cluster's usable core count
+  /// changed (node loss or rejoin). Caps future scale-out at the new
+  /// capacity and immediately scales in if the current graph no longer
+  /// fits, opening a grace period so the controller doesn't fight the
+  /// forced move on the next batch.
+  void OnCapacityChange(uint32_t total_cores);
+
+  /// Current scale-out ceiling from capacity feeds (UINT32_MAX until the
+  /// first OnCapacityChange).
+  uint32_t capacity() const { return capacity_; }
+
   uint32_t map_tasks() const { return map_tasks_; }
   uint32_t reduce_tasks() const { return reduce_tasks_; }
 
@@ -70,6 +81,7 @@ class ElasticController {
   ElasticityOptions options_;
   uint32_t map_tasks_;
   uint32_t reduce_tasks_;
+  uint32_t capacity_ = UINT32_MAX;  ///< cores available (OnCapacityChange)
   int above_count_ = 0;  ///< consecutive batches with W > threshold
   int below_count_ = 0;  ///< consecutive batches with W < threshold - step
   int grace_remaining_ = 0;

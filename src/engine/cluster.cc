@@ -135,7 +135,7 @@ LocalityStageResult ScheduleMapStageWithLocality(
   return result;
 }
 
-Status BatchStore::Write(const PartitionedBatch& batch) {
+Result<uint32_t> BatchStore::Write(const PartitionedBatch& batch) {
   std::vector<uint32_t> targets;
   for (uint32_t n = 0; n < cluster_->nodes(); ++n) {
     if (cluster_->alive(n)) targets.push_back(n);
@@ -143,6 +143,8 @@ Status BatchStore::Write(const PartitionedBatch& batch) {
   if (targets.empty()) {
     return Status::ResourceExhausted("no alive nodes for replication");
   }
+  // Degrade gracefully when the cluster is short of the target factor:
+  // write to every alive node and let the caller see the reduced count.
   const uint32_t rf = std::min<uint32_t>(
       cluster_->options().replication_factor,
       static_cast<uint32_t>(targets.size()));
@@ -154,7 +156,7 @@ Status BatchStore::Write(const PartitionedBatch& batch) {
   for (uint32_t r = 0; r < rf; ++r) {
     copies[targets[(start + r) % targets.size()]] = bytes;
   }
-  return Status::OK();
+  return rf;
 }
 
 Result<PartitionedBatch> BatchStore::Read(uint64_t batch_id) const {
@@ -171,6 +173,65 @@ Result<PartitionedBatch> BatchStore::Read(uint64_t batch_id) const {
 }
 
 void BatchStore::Evict(uint64_t batch_id) { replicas_.erase(batch_id); }
+
+void BatchStore::DropNode(uint32_t node) {
+  for (auto& [id, copies] : replicas_) copies.erase(node);
+}
+
+uint32_t BatchStore::AliveReplicaCount(uint64_t batch_id) const {
+  auto it = replicas_.find(batch_id);
+  if (it == replicas_.end()) return 0;
+  uint32_t alive = 0;
+  for (const auto& [node, bytes] : it->second) {
+    if (cluster_->alive(node)) ++alive;
+  }
+  return alive;
+}
+
+uint32_t BatchStore::UnderReplicatedCount(uint32_t replication_factor) const {
+  uint32_t count = 0;
+  for (const auto& [id, copies] : replicas_) {
+    if (AliveReplicaCount(id) < replication_factor) ++count;
+  }
+  return count;
+}
+
+TopUpResult BatchStore::TopUpReplication(uint32_t replication_factor) {
+  TopUpResult result;
+  std::vector<uint32_t> alive_ids;
+  for (uint32_t n = 0; n < cluster_->nodes(); ++n) {
+    if (cluster_->alive(n)) alive_ids.push_back(n);
+  }
+  const uint32_t target = std::min<uint32_t>(
+      replication_factor, static_cast<uint32_t>(alive_ids.size()));
+  for (auto& [id, copies] : replicas_) {
+    const std::string* source = nullptr;
+    uint32_t alive_copies = 0;
+    for (const auto& [node, bytes] : copies) {
+      if (cluster_->alive(node)) {
+        ++alive_copies;
+        source = &bytes;
+      }
+    }
+    if (source == nullptr) {
+      // Every copy died with its node: unrecoverable, permanently lost.
+      ++result.under_replicated;
+      continue;
+    }
+    for (uint32_t n : alive_ids) {
+      if (alive_copies >= target) break;
+      if (copies.count(n) > 0 && cluster_->alive(n)) continue;
+      const std::string bytes = *source;
+      copies[n] = bytes;
+      source = &copies[n];
+      ++alive_copies;
+      ++result.copies_added;
+      result.bytes_copied += static_cast<uint32_t>(bytes.size());
+    }
+    if (alive_copies < replication_factor) ++result.under_replicated;
+  }
+  return result;
+}
 
 size_t BatchStore::BytesOnNode(uint32_t node) const {
   size_t total = 0;

@@ -83,6 +83,13 @@ LocalityStageResult ScheduleMapStageWithLocality(
     const std::vector<BlockPlacement>& placements,
     const SimulatedCluster& cluster);
 
+/// \brief Outcome of a replication top-up pass (recovery after node loss).
+struct TopUpResult {
+  uint32_t copies_added = 0;       ///< new replicas placed on alive nodes
+  uint32_t bytes_copied = 0;       ///< total re-replication traffic
+  uint32_t under_replicated = 0;   ///< batches still below the target factor
+};
+
 /// \brief Per-node in-memory store of serialized batches (§8 replication).
 ///
 /// Write() encodes the batch once and places a copy on each replica node of
@@ -92,8 +99,11 @@ class BatchStore {
  public:
   explicit BatchStore(const SimulatedCluster* cluster) : cluster_(cluster) {}
 
-  /// Stores the batch on `replication_factor` alive nodes.
-  Status Write(const PartitionedBatch& batch);
+  /// Stores the batch on `replication_factor` alive nodes, degrading to
+  /// however many are alive when the cluster is short (the batch is then
+  /// under-replicated, not failed). Returns the number of copies placed;
+  /// ResourceExhausted only when no node is alive.
+  Result<uint32_t> Write(const PartitionedBatch& batch);
 
   /// Recovers a batch from any alive replica; KeyError if unknown,
   /// Unknown if every replica's node is dead.
@@ -103,13 +113,30 @@ class BatchStore {
   /// no longer needed for recovery — §8's garbage collection rule).
   void Evict(uint64_t batch_id);
 
+  /// Permanently drops every copy held on `node` — the memory lost when the
+  /// node's process dies. Reviving the node later restores scheduling
+  /// capacity only, never these copies.
+  void DropNode(uint32_t node);
+
+  /// Copies of the batch currently readable (on alive nodes).
+  uint32_t AliveReplicaCount(uint64_t batch_id) const;
+
+  /// Batches with fewer than `replication_factor` readable copies.
+  uint32_t UnderReplicatedCount(uint32_t replication_factor) const;
+
+  /// Re-replicates every under-replicated batch back toward
+  /// `replication_factor` using the surviving copies as sources — the §8
+  /// recovery step after a node loss. Batches with zero readable copies are
+  /// unrecoverable and stay lost (counted in `under_replicated`).
+  TopUpResult TopUpReplication(uint32_t replication_factor);
+
   /// Total bytes held on the given node (capacity accounting).
   size_t BytesOnNode(uint32_t node) const;
 
  private:
   const SimulatedCluster* cluster_;
-  // batch id -> (node -> serialized copy). Copies on dead nodes are kept in
-  // the map but unreadable, mirroring memory lost with the process.
+  // batch id -> (node -> serialized copy). Copies on dead nodes stay until
+  // DropNode, mirroring memory lost with the process (unreadable meanwhile).
   std::map<uint64_t, std::map<uint32_t, std::string>> replicas_;
 };
 

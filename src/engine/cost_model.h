@@ -26,6 +26,9 @@ struct CostModelParams {
   /// Scales the measured batching-phase partitioning cost when charging it
   /// against the early-release slack (models slower production substrates).
   double partition_cost_scale = 1.0;
+  /// Network cost of copying one KiB of replica data between nodes during
+  /// re-replication after a node loss (§8 recovery traffic).
+  double replicate_per_kib_us = 20.0;
 };
 
 /// \brief Input summary of one Reduce task.

@@ -5,17 +5,9 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "fault/recovery.h"
 
 namespace prompt {
-
-namespace {
-
-bool IsDefaultWeights(const MpiWeights& w) {
-  const MpiWeights def;
-  return w.p1 == def.p1 && w.p2 == def.p2 && w.p3 == def.p3;
-}
-
-}  // namespace
 
 double RunSummary::MeanW(size_t warmup) const {
   if (batches.size() <= warmup) return 0;
@@ -48,13 +40,6 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
   PROMPT_CHECK(partitioner_ != nullptr);
   PROMPT_CHECK(source_ != nullptr);
   PROMPT_CHECK(options_.batch_interval > 0);
-  // Deprecated-alias merge (one release): the flat observability fields of
-  // EngineOptions feed the obs sub-struct when it was left at defaults.
-  options_.obs.collect_partition_metrics |= options_.collect_partition_metrics;
-  if (!IsDefaultWeights(options_.mpi_weights) &&
-      IsDefaultWeights(options_.obs.mpi_weights)) {
-    options_.obs.mpi_weights = options_.mpi_weights;
-  }
   obs_ = std::make_unique<Observability>(options_.obs);
   if (!obs_->init_status().ok()) {
     PROMPT_LOG(kWarn) << "observability sink setup failed: "
@@ -80,6 +65,20 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
   if (options_.cluster_enabled) {
     cluster_ = std::make_unique<SimulatedCluster>(options_.cluster);
     store_ = std::make_unique<BatchStore>(cluster_.get());
+  }
+  if (options_.faults.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(options_.faults);
+    const bool has_node_events =
+        options_.faults.random.enabled ||
+        std::any_of(options_.faults.schedule.begin(),
+                    options_.faults.schedule.end(), [](const FaultEvent& e) {
+                      return e.kind == FaultKind::kKillNode ||
+                             e.kind == FaultKind::kReviveNode;
+                    });
+    if (has_node_events && cluster_ == nullptr) {
+      PROMPT_LOG(kWarn) << "fault schedule has node events but cluster mode "
+                           "is off; kills/revives will be ignored";
+    }
   }
   current_interval_ = options_.batch_interval;
   if (options_.batch_resizing_enabled) {
@@ -121,6 +120,31 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
         ComputeBlockMetrics(batch, options_.obs.mpi_weights);
   }
 
+  // §8: replicate the sealed input across nodes *before* any stage runs, so
+  // a mid-stage failure can replay the batch from surviving copies. Copies
+  // are only needed while the batch is inside the query window (evicted at
+  // the end of this function).
+  if (store_ != nullptr) {
+    Result<uint32_t> copies = store_->Write(batch);
+    if (!copies.ok()) {
+      PROMPT_LOG(kWarn) << "batch replication failed: "
+                        << copies.status().ToString();
+    }
+    // Gauge, not an event count: while the cluster is degraded every batch
+    // reports how many in-window batches sit below the configured factor
+    // (a later top-up in this same batch refreshes the field).
+    report.under_replicated_batches =
+        store_->UnderReplicatedCount(options_.cluster.replication_factor);
+  }
+
+  // Failure-detection point 1: the batch boundary. Manual KillNode calls
+  // made between runs are recovered here too.
+  for (uint32_t node : pending_node_losses_) {
+    RecoverFromNodeLoss(node, &report);
+  }
+  pending_node_losses_.clear();
+  PollFaults(batch.batch_id, FaultPoint::kBatchStart, &report);
+
   const uint32_t cluster_cores =
       cluster_ != nullptr ? std::max<uint32_t>(1, cluster_->total_alive_cores())
                           : options_.cores;
@@ -147,6 +171,11 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
     }
   }
 
+  // Injected stragglers / transient task failures: retry + speculation
+  // adjust the map-task durations before scheduling finalizes.
+  const bool retry_exhausted =
+      ApplyTaskPerturbations(batch.batch_id, map_cores, &exec, &report);
+
   if (cluster_ != nullptr) {
     // Re-schedule the Map stage with data locality over per-node cores:
     // every task prefers a node holding a replica of its block.
@@ -160,10 +189,36 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
     }
   }
 
+  // Failure-detection points 2 and 3: mid-stage. A node lost while a stage
+  // runs discards that attempt's in-flight state; the attempted makespans
+  // stay on the clock (the pipeline slot was spent) and the batch is redone
+  // from replicated input on the survivors, charged to recovery_time.
+  bool replay_current = retry_exhausted;
+  replay_current |= PollFaults(batch.batch_id, FaultPoint::kMapStage, &report);
+  replay_current |=
+      PollFaults(batch.batch_id, FaultPoint::kReduceStage, &report);
+  if (replay_current) {
+    Result<BatchExecution> redo =
+        store_ != nullptr
+            ? ReplayBatchFromStore(batch.batch_id, &report)
+            : Result<BatchExecution>(
+                  Status::Invalid("no replicated input to replay from"));
+    if (redo.ok()) {
+      exec.output = std::move(redo->output);
+    } else {
+      // Exactly-once is lost for this batch: no surviving replica (or no
+      // store at all). Keep the original attempt's output so the stream
+      // continues, but flag the loss.
+      PROMPT_LOG(kWarn) << "batch " << batch.batch_id
+                        << " unrecoverable: " << redo.status().ToString();
+      report.unrecoverable = true;
+    }
+  }
+
   report.map_makespan = exec.map_makespan;
   report.reduce_makespan = exec.reduce_makespan;
-  report.processing_time =
-      report.partition_overflow + exec.map_makespan + exec.reduce_makespan;
+  report.processing_time = report.partition_overflow + exec.map_makespan +
+                           exec.reduce_makespan + report.recovery_time;
   report.w = static_cast<double>(report.processing_time) /
              static_cast<double>(interval);
   report.reduce_bucket_bsi = BucketSizeImbalance(exec.bucket_tuples);
@@ -201,18 +256,21 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
     last_replica_ = std::make_unique<PartitionedBatch>(batch);
     last_output_ = exec.output;
   }
-  if (store_ != nullptr) {
-    // §8: replicate the sealed input batch across nodes; copies are only
-    // needed while the batch is inside the query window.
-    Status st = store_->Write(batch);
-    if (!st.ok()) {
-      PROMPT_LOG(kWarn) << "batch replication failed: " << st.ToString();
-    }
-    if (batch.batch_id >= job_.window_batches) {
-      store_->Evict(batch.batch_id - job_.window_batches);
-    }
+  if (store_ != nullptr && batch.batch_id >= job_.window_batches) {
+    // §8 GC rule: a batch expiring from the window can never be replayed
+    // again, so its replicas are dropped.
+    store_->Evict(batch.batch_id - job_.window_batches);
   }
   window_->AddBatch(std::move(exec.output));
+  if (cluster_ != nullptr) {
+    // Track which node hosts this batch's reduce-bucket state, mirroring the
+    // window's retained history: losing that node later triggers a replay.
+    window_state_nodes_.push_back(
+        WindowReplica{batch.batch_id, PickStateNode(batch.batch_id)});
+    while (window_state_nodes_.size() > window_->depth()) {
+      window_state_nodes_.pop_front();
+    }
+  }
   return report;
 }
 
@@ -240,12 +298,165 @@ Result<const WindowState*> MicroBatchEngine::QueryWindow(
 
 Status MicroBatchEngine::KillNode(uint32_t node) {
   if (cluster_ == nullptr) return Status::Invalid("cluster mode disabled");
-  return cluster_->KillNode(node);
+  PROMPT_RETURN_NOT_OK(cluster_->KillNode(node));
+  // The node's memory died with it: its replica copies are gone for good
+  // (reviving later restores cores only). Recovery — replay of in-window
+  // batches and the replication top-up — runs at the next batch boundary,
+  // the engine's failure-detection point.
+  store_->DropNode(node);
+  pending_node_losses_.push_back(node);
+  return Status::OK();
 }
 
 Status MicroBatchEngine::ReviveNode(uint32_t node) {
   if (cluster_ == nullptr) return Status::Invalid("cluster mode disabled");
-  return cluster_->ReviveNode(node);
+  PROMPT_RETURN_NOT_OK(cluster_->ReviveNode(node));
+  if (elastic_ != nullptr) {
+    elastic_->OnCapacityChange(cluster_->total_alive_cores());
+    map_tasks_ = elastic_->map_tasks();
+    reduce_tasks_ = elastic_->reduce_tasks();
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> MicroBatchEngine::AliveNodes() const {
+  std::vector<uint32_t> alive;
+  if (cluster_ == nullptr) return alive;
+  alive.reserve(cluster_->nodes());
+  for (uint32_t n = 0; n < cluster_->nodes(); ++n) {
+    if (cluster_->alive(n)) alive.push_back(n);
+  }
+  return alive;
+}
+
+uint32_t MicroBatchEngine::PickStateNode(uint64_t batch_id) const {
+  const std::vector<uint32_t> alive = AliveNodes();
+  if (alive.empty()) return 0;
+  return alive[batch_id % alive.size()];
+}
+
+bool MicroBatchEngine::PollFaults(uint64_t batch_id, FaultPoint point,
+                                  BatchReport* report) {
+  if (fault_ == nullptr || cluster_ == nullptr) return false;
+  bool killed = false;
+  for (const FaultEvent& event : fault_->Poll(batch_id, point, AliveNodes())) {
+    if (event.kind == FaultKind::kKillNode) {
+      Status st = cluster_->KillNode(event.target);
+      if (!st.ok()) continue;  // already dead / unknown node: no-op
+      PROMPT_LOG(kWarn) << "fault injected: node " << event.target
+                        << " killed at batch " << batch_id;
+      store_->DropNode(event.target);
+      RecoverFromNodeLoss(event.target, report);
+      killed = true;
+    } else if (event.kind == FaultKind::kReviveNode) {
+      Status st = cluster_->ReviveNode(event.target);
+      if (!st.ok()) continue;
+      // The node rejoins with empty memory: capacity is back (the elastic
+      // controller may scale out again) and the extra room lets the store
+      // restore the replication factor.
+      TopUpStoreReplication(report);
+      if (elastic_ != nullptr) {
+        elastic_->OnCapacityChange(cluster_->total_alive_cores());
+        map_tasks_ = elastic_->map_tasks();
+        reduce_tasks_ = elastic_->reduce_tasks();
+      }
+    }
+  }
+  return killed;
+}
+
+void MicroBatchEngine::RecoverFromNodeLoss(uint32_t node, BatchReport* report) {
+  report->recovered_from_failure = true;
+  // Replay every in-window batch whose reduce-bucket state lived on the dead
+  // node: recompute from replicated input and patch its window contribution.
+  for (size_t i = 0; i < window_state_nodes_.size(); ++i) {
+    WindowReplica& wr = window_state_nodes_[i];
+    if (wr.node != node) continue;
+    Result<BatchExecution> redo = ReplayBatchFromStore(wr.batch_id, report);
+    if (!redo.ok()) {
+      PROMPT_LOG(kWarn) << "in-window batch " << wr.batch_id
+                        << " unrecoverable: " << redo.status().ToString();
+      report->unrecoverable = true;
+      continue;
+    }
+    Status st = window_->ReplaceBatch(i, std::move(redo->output));
+    if (!st.ok()) {
+      PROMPT_LOG(kWarn) << "window patch failed for batch " << wr.batch_id
+                        << ": " << st.ToString();
+      continue;
+    }
+    wr.node = PickStateNode(wr.batch_id);  // re-home on a survivor
+  }
+  // Re-replicate under-replicated batches back toward the target factor.
+  TopUpStoreReplication(report);
+  // Alg. 4 capacity feed: the controller sees the reduced cluster now, not
+  // d batches of degraded W later.
+  if (elastic_ != nullptr) {
+    elastic_->OnCapacityChange(cluster_->total_alive_cores());
+    map_tasks_ = elastic_->map_tasks();
+    reduce_tasks_ = elastic_->reduce_tasks();
+  }
+}
+
+Result<BatchExecution> MicroBatchEngine::ReplayBatchFromStore(
+    uint64_t batch_id, BatchReport* report) {
+  if (store_ == nullptr) return Status::Invalid("cluster mode disabled");
+  PROMPT_ASSIGN_OR_RETURN(PartitionedBatch replica, store_->Read(batch_id));
+  // Alg. 2-flavoured re-plan: the replica's block count assumed the original
+  // cluster; repack to at most the cores that survive.
+  const uint32_t cores = std::max<uint32_t>(1, cluster_->total_alive_cores());
+  RepackBlocks(&replica, cores);
+  BatchExecution redo =
+      executor_->Execute(replica, reduce_tasks_, cores, pool_.get());
+  report->recovery_time += redo.map_makespan + redo.reduce_makespan;
+  ++report->batches_replayed;
+  return redo;
+}
+
+void MicroBatchEngine::TopUpStoreReplication(BatchReport* report) {
+  if (store_ == nullptr) return;
+  TopUpResult topup =
+      store_->TopUpReplication(options_.cluster.replication_factor);
+  report->under_replicated_batches = topup.under_replicated;
+  report->recovery_time += static_cast<TimeMicros>(
+      options_.cost.replicate_per_kib_us *
+      static_cast<double>(topup.bytes_copied) / 1024.0);
+}
+
+bool MicroBatchEngine::ApplyTaskPerturbations(uint64_t batch_id,
+                                              uint32_t map_cores,
+                                              BatchExecution* exec,
+                                              BatchReport* report) {
+  if (fault_ == nullptr) return false;
+  const TaskPerturbations faults = fault_->TaskFaults(batch_id);
+  if (faults.empty()) return false;
+  const std::vector<TimeMicros> clean = exec->map_task_costs;
+  for (const auto& [task, delay] : faults.delays) {
+    if (task < exec->map_task_costs.size()) {
+      exec->map_task_costs[task] += delay;
+    }
+  }
+  bool exhausted = false;
+  for (const auto& [task, failures] : faults.failures) {
+    if (task >= exec->map_task_costs.size()) continue;
+    const RetryOutcome outcome = ApplyRetryPolicy(
+        exec->map_task_costs[task], failures, options_.faults.max_task_retries,
+        options_.faults.retry_backoff);
+    exec->map_task_costs[task] = outcome.effective_cost;
+    report->tasks_retried += outcome.retries;
+    exhausted |= outcome.exhausted;
+  }
+  if (options_.faults.speculation_enabled) {
+    SpeculationResult spec = ApplySpeculation(
+        exec->map_task_costs, clean, options_.faults.speculation_multiplier);
+    exec->map_task_costs = std::move(spec.costs);
+    report->tasks_speculated += spec.speculated;
+  }
+  // Re-derive the map makespan from the perturbed durations (cluster mode
+  // re-schedules once more with locality right after).
+  StageSchedule ms = ScheduleStage(exec->map_task_costs, map_cores);
+  exec->map_makespan = ms.makespan;
+  return exhausted;
 }
 
 Result<std::vector<KV>> MicroBatchEngine::RecomputeBatchFromStore(
@@ -330,6 +541,16 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
       report.ingest = ingest_->last_metrics();
       report.has_ingest = true;
     }
+
+    // Fault-tolerance aggregates.
+    summary.batches_replayed += report.batches_replayed;
+    summary.tasks_retried += report.tasks_retried;
+    summary.tasks_speculated += report.tasks_speculated;
+    if (report.recovered_from_failure) ++summary.failures_recovered;
+    summary.total_recovery_time += report.recovery_time;
+    summary.max_recovery_time =
+        std::max(summary.max_recovery_time, report.recovery_time);
+    summary.data_loss |= report.unrecoverable;
 
     // Stability accounting (back-pressure would engage past the bound).
     if (static_cast<double>(report.queue_delay) >
@@ -431,10 +652,17 @@ void MicroBatchEngine::RecordBatchTrace(const BatchReport& report,
   cursor += report.map_makespan;
   rec->AddSpan("reduce", cursor, report.reduce_makespan, 0);
   cursor += report.reduce_makespan;
+  // Recovery work (replays, re-replication) done while this batch held the
+  // pipeline — modeled as running after the ordinary stages.
+  if (report.recovery_time > 0) {
+    rec->AddSpan("recovery", cursor, report.recovery_time, 0);
+    cursor += report.recovery_time;
+  }
   // Extra queries sharing the batching phase extend processing sequentially.
   const TimeMicros extras =
       report.processing_time -
-      (report.partition_overflow + report.map_makespan + report.reduce_makespan);
+      (report.partition_overflow + report.map_makespan +
+       report.reduce_makespan + report.recovery_time);
   if (extras > 0) rec->AddSpan("extra_queries", cursor, extras, 0);
 }
 
@@ -446,9 +674,15 @@ Status MicroBatchEngine::VerifyRecoveryOfLastBatch() {
     return Status::Invalid("no batch has been processed yet");
   }
   // Recompute from the replicated input blocks, exactly as the recovery
-  // path would after losing the batch's state (§8).
-  BatchExecution redo = executor_->Execute(
-      *last_replica_, reduce_tasks_, options_.cores, pool_.get());
+  // path would after losing the batch's state (§8) — over the cores that
+  // are actually alive now, not the configured total: recovery after a node
+  // loss runs on the shrunken cluster.
+  const uint32_t recovery_cores =
+      cluster_ != nullptr ? std::max<uint32_t>(1, cluster_->total_alive_cores())
+                          : options_.cores;
+  BatchExecution redo = executor_->Execute(*last_replica_, reduce_tasks_,
+                                           recovery_cores, pool_.get());
+  last_verify_recovery_cost_ = redo.map_makespan + redo.reduce_makespan;
   std::unordered_map<KeyId, double> original;
   for (const KV& kv : last_output_) original[kv.key] = kv.value;
   if (redo.output.size() != last_output_.size()) {

@@ -3,6 +3,7 @@
 // techniques under test.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/reduce_allocator.h"
 #include "engine/execution.h"
 #include "engine/window.h"
+#include "fault/fault_injector.h"
 #include "ingest/pipeline.h"
 #include "obs/batch_report.h"
 #include "obs/observability.h"
@@ -49,12 +51,10 @@ struct EngineOptions {
   /// Observability configuration: partition-quality metrics, the metrics
   /// registry, per-batch structured traces and their sinks (src/obs/).
   ObservabilityOptions obs;
-  /// \deprecated Alias for obs.collect_partition_metrics, honored for one
-  /// release; setting either enables per-batch BSI/BCI/KSR/MPI collection.
-  bool collect_partition_metrics = false;
-  /// \deprecated Alias for obs.mpi_weights, honored for one release: a
-  /// non-default value here wins when obs.mpi_weights was left at defaults.
-  MpiWeights mpi_weights;
+  /// Deterministic fault injection + in-loop recovery (src/fault/): a seeded
+  /// schedule of node kills/revives and task delays/failures polled at stage
+  /// boundaries, plus the retry/speculation policies applied when they fire.
+  FaultOptions faults;
   /// §8 consistency: replicate each batch's input blocks so a failed batch
   /// can be recomputed exactly-once.
   bool replicate_input = false;
@@ -90,6 +90,20 @@ struct RunSummary {
   /// First batch id at which the queue exceeded the instability bound
   /// (UINT64_MAX when the run stayed stable).
   uint64_t unstable_at_batch = UINT64_MAX;
+
+  // ---- Fault-tolerance aggregates over the run (sums of the per-batch
+  // BatchReport recovery fields; zeros on a failure-free run).
+  uint64_t batches_replayed = 0;
+  uint64_t tasks_retried = 0;
+  uint64_t tasks_speculated = 0;
+  /// Node losses detected and handled inside the run loop.
+  uint64_t failures_recovered = 0;
+  TimeMicros total_recovery_time = 0;
+  /// Worst single-batch recovery latency (the §8 recovery-latency metric).
+  TimeMicros max_recovery_time = 0;
+  /// True when any batch needed a replica that no longer existed
+  /// (replication factor too low): exactly-once was not preserved.
+  bool data_loss = false;
 
   double MeanW(size_t warmup = 0) const;
   double MeanThroughputTuplesPerSec(TimeMicros interval,
@@ -139,8 +153,15 @@ class MicroBatchEngine {
   /// §8 fault tolerance: recomputes the most recent batch from its
   /// replicated input blocks and verifies the recomputed output matches the
   /// original (exactly-once at batch granularity). Requires
-  /// options.replicate_input.
+  /// options.replicate_input. In cluster mode the recomputation is costed
+  /// over the cluster's *currently alive* cores, not the configured total.
   Status VerifyRecoveryOfLastBatch();
+
+  /// Virtual cost of the last VerifyRecoveryOfLastBatch recomputation
+  /// (map + reduce makespans on the surviving cores). 0 before first call.
+  TimeMicros last_verify_recovery_cost() const {
+    return last_verify_recovery_cost_;
+  }
 
   // ---- Cluster mode (options.cluster_enabled) ----
 
@@ -181,6 +202,33 @@ class MicroBatchEngine {
   /// Lays the batch's timeline spans into the trace recorder (tracing only).
   void RecordBatchTrace(const BatchReport& report, TimeMicros interval,
                         TimeMicros batch_start);
+
+  // ---- In-loop fault handling (src/fault/) ----
+  /// Node ids currently alive (empty outside cluster mode).
+  std::vector<uint32_t> AliveNodes() const;
+  /// Deterministic alive node chosen to host a batch's reduce-bucket state.
+  uint32_t PickStateNode(uint64_t batch_id) const;
+  /// Applies the injector's kill/revive events scheduled at `point`; kills
+  /// run the full §8 recovery routine. Returns true when a kill fired.
+  bool PollFaults(uint64_t batch_id, FaultPoint point, BatchReport* report);
+  /// §8 recovery after `node` died: drop its replica copies, replay
+  /// in-window batches whose bucket state lived there, top up replication,
+  /// and feed the reduced capacity to the elastic controller.
+  void RecoverFromNodeLoss(uint32_t node, BatchReport* report);
+  /// Re-executes one batch from surviving store replicas on the currently
+  /// alive cores (input repacked to fit, Alg. 2 style). Charges the redo to
+  /// report->recovery_time and counts it in batches_replayed.
+  Result<BatchExecution> ReplayBatchFromStore(uint64_t batch_id,
+                                              BatchReport* report);
+  /// Re-replicates under-replicated batches toward the configured factor and
+  /// charges the copy traffic to report->recovery_time.
+  void TopUpStoreReplication(BatchReport* report);
+  /// Injected per-task delays/failures for this batch: applies the bounded
+  /// retry policy and speculative re-execution to the map-task costs.
+  /// Returns true when some task exhausted its retry budget (the batch must
+  /// be replayed from replicated input).
+  bool ApplyTaskPerturbations(uint64_t batch_id, uint32_t map_cores,
+                              BatchExecution* exec, BatchReport* report);
 
   EngineOptions options_;
   JobSpec job_;
@@ -223,6 +271,21 @@ class MicroBatchEngine {
   // Replica of the last batch's input + output for recovery verification.
   std::unique_ptr<PartitionedBatch> last_replica_;
   std::vector<KV> last_output_;
+  TimeMicros last_verify_recovery_cost_ = 0;
+
+  // ---- Fault-injection / recovery state (cluster mode) ----
+  std::unique_ptr<FaultInjector> fault_;
+  /// Which alive node hosts each in-window batch's reduce-bucket state,
+  /// oldest first, mirroring the window's retained history: when that node
+  /// dies, the batch's contribution is replayed from replicated input.
+  struct WindowReplica {
+    uint64_t batch_id;
+    uint32_t node;
+  };
+  std::deque<WindowReplica> window_state_nodes_;
+  /// Nodes killed through the public KillNode API whose recovery runs at the
+  /// next batch boundary (the engine's failure-detection point).
+  std::vector<uint32_t> pending_node_losses_;
 };
 
 }  // namespace prompt

@@ -69,6 +69,40 @@ class WindowState {
     }
   }
 
+  /// Replaces the retained output of one in-window batch with a recomputed
+  /// one (§8 replay after its bucket state died with a node). `index` counts
+  /// from the oldest retained batch. The window answer is patched by
+  /// retracting the old contribution and folding in the new one.
+  Status ReplaceBatch(size_t index, std::vector<KV> batch_output) {
+    if (index >= history_.size()) {
+      return Status::OutOfRange("no batch at window index " +
+                                std::to_string(index));
+    }
+    if (reduce_->invertible()) {
+      for (const KV& kv : history_[index]) {
+        auto it = result_.find(kv.key);
+        if (it == result_.end()) continue;
+        it->second = reduce_->Inverse(it->second, kv.value);
+        if (it->second == reduce_->Identity()) result_.erase(it);
+      }
+      for (const KV& kv : batch_output) {
+        auto [it, inserted] = result_.try_emplace(kv.key, reduce_->Identity());
+        it->second = reduce_->Combine(it->second, kv.value);
+      }
+      history_[index] = std::move(batch_output);
+    } else {
+      history_[index] = std::move(batch_output);
+      result_.clear();
+      for (const auto& batch : history_) {
+        for (const KV& kv : batch) {
+          auto [it, inserted] = result_.try_emplace(kv.key, reduce_->Identity());
+          it->second = reduce_->Combine(it->second, kv.value);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
   /// Current window answer: key -> aggregate over in-window batches.
   const std::unordered_map<KeyId, double>& Result() const { return result_; }
 

@@ -1,0 +1,122 @@
+// Deterministic fault injection for the simulated cluster (§8 consistency
+// experiments): a seeded schedule of node kills/revives, per-task delays and
+// per-task failures that the engine polls at stage boundaries. Every run
+// with the same schedule (or the same random seed) injects the identical
+// fault sequence, so recovery behaviour is reproducible batch for batch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace prompt {
+
+/// \brief Where in the batch lifecycle an event fires. The engine polls the
+/// injector at each of these boundaries.
+enum class FaultPoint {
+  kBatchStart,   ///< after the batch sealed, before any stage ran
+  kMapStage,     ///< while the Map stage is running (work in flight is lost)
+  kReduceStage,  ///< while the Reduce stage is running
+};
+
+enum class FaultKind {
+  kKillNode,    ///< node loses its cores and every replica copy it held
+  kReviveNode,  ///< node rejoins with empty memory (capacity only)
+  kDelayTask,   ///< map task `target` takes `delay` extra µs (straggler)
+  kFailTask,    ///< map task `target` fails `times` times before succeeding
+};
+
+/// \brief One scheduled fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKillNode;
+  uint32_t target = 0;    ///< node id (kill/revive) or map-task index
+  uint64_t batch_id = 0;  ///< batch whose processing triggers the event
+  FaultPoint point = FaultPoint::kBatchStart;
+  TimeMicros delay = 0;   ///< kDelayTask: added duration
+  uint32_t times = 1;     ///< kFailTask: consecutive failures
+};
+
+/// \brief Seeded random failures: each batch's map stage kills one alive
+/// node with probability `kill_prob`, up to `max_kills` kills per run.
+struct RandomFaultOptions {
+  bool enabled = false;
+  double kill_prob = 0.0;
+  uint64_t seed = 42;
+  uint32_t max_kills = 1;
+  /// Revive a randomly-killed node this many batches later (0 = never).
+  uint32_t revive_after = 0;
+};
+
+/// \brief Fault schedule plus the in-loop recovery policy knobs.
+struct FaultOptions {
+  std::vector<FaultEvent> schedule;
+  RandomFaultOptions random;
+
+  /// Bounded per-task retry: a map task may fail at most this many times
+  /// before the whole batch is declared failed and replayed from the store.
+  uint32_t max_task_retries = 3;
+  /// Base backoff before re-launching a failed task; doubles per attempt.
+  TimeMicros retry_backoff = Millis(5);
+
+  /// Speculative re-execution of stragglers: a map task running longer than
+  /// `speculation_multiplier` × the stage median gets a backup copy launched
+  /// at the detection point; the first finisher wins.
+  bool speculation_enabled = true;
+  double speculation_multiplier = 2.0;
+
+  bool enabled() const { return !schedule.empty() || random.enabled; }
+};
+
+/// \brief Per-batch map-task perturbations (from kDelayTask / kFailTask).
+struct TaskPerturbations {
+  std::map<uint32_t, TimeMicros> delays;    ///< task -> added µs
+  std::map<uint32_t, uint32_t> failures;    ///< task -> failure count
+  bool empty() const { return delays.empty() && failures.empty(); }
+};
+
+/// \brief Deterministic fault source the engine polls at stage boundaries.
+///
+/// Scheduled events fire exactly at their (batch, point); random-mode kills
+/// are drawn from the seeded RNG at each map-stage poll, so the fault
+/// sequence is a pure function of (schedule, seed, alive-set history).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options);
+
+  /// Node-level events firing at this boundary. `alive_nodes` lists the
+  /// currently alive node ids (random mode picks its victim among them).
+  std::vector<FaultEvent> Poll(uint64_t batch_id, FaultPoint point,
+                               const std::vector<uint32_t>& alive_nodes);
+
+  /// Map-task delays and failures injected into this batch.
+  TaskPerturbations TaskFaults(uint64_t batch_id) const;
+
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  FaultOptions options_;
+  Rng rng_;
+  uint32_t random_kills_ = 0;
+  /// Revives scheduled by random mode: batch id -> nodes to revive.
+  std::multimap<uint64_t, uint32_t> pending_revives_;
+};
+
+/// \brief Parses a `--fault_schedule` spec into FaultOptions.
+///
+/// Grammar (events separated by `;`):
+///   kill:<node>@<batch>[.<stage>]     stage in {start,map,reduce}; default
+///   revive:<node>@<batch>[.<stage>]   is `start`
+///   delay:<task>@<batch>:<micros>     map task straggles by <micros> µs
+///   fail:<task>@<batch>[:<times>]     map task fails <times> times (def. 1)
+///   random:p=<prob>[,seed=<s>][,max_kills=<n>][,revive_after=<b>]
+///
+/// Example: "kill:2@5.map;revive:2@9" kills node 2 during batch 5's map
+/// stage and revives it at batch 9.
+Result<FaultOptions> ParseFaultSchedule(const std::string& spec);
+
+}  // namespace prompt

@@ -1,0 +1,76 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+
+namespace prompt {
+
+RetryOutcome ApplyRetryPolicy(TimeMicros base_cost, uint32_t failures,
+                              uint32_t max_retries, TimeMicros backoff) {
+  RetryOutcome outcome;
+  outcome.effective_cost = base_cost;
+  if (failures == 0) return outcome;
+
+  outcome.exhausted = failures > max_retries;
+  outcome.retries = std::min(failures, max_retries);
+  TimeMicros wait = backoff;
+  TimeMicros wasted = 0;
+  for (uint32_t attempt = 0; attempt < outcome.retries; ++attempt) {
+    wasted += base_cost + wait;
+    wait *= 2;
+  }
+  // Exhausted tasks never ran to completion: only the wasted attempts count
+  // (the batch-level replay pays for the successful execution).
+  outcome.effective_cost = outcome.exhausted ? wasted : base_cost + wasted;
+  return outcome;
+}
+
+SpeculationResult ApplySpeculation(const std::vector<TimeMicros>& costs,
+                                   const std::vector<TimeMicros>& clean_costs,
+                                   double multiplier) {
+  PROMPT_CHECK(costs.size() == clean_costs.size());
+  SpeculationResult result;
+  result.costs = costs;
+  if (costs.size() < 2 || multiplier <= 0) return result;
+
+  std::vector<TimeMicros> sorted = costs;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const TimeMicros median = sorted[sorted.size() / 2];
+  const TimeMicros detect = static_cast<TimeMicros>(
+      multiplier * static_cast<double>(median));
+  if (detect <= 0) return result;
+
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (costs[i] <= detect) continue;
+    // Backup launched at the detection point; first finisher wins.
+    result.costs[i] = std::min(costs[i], detect + clean_costs[i]);
+    ++result.speculated;
+  }
+  return result;
+}
+
+void RepackBlocks(PartitionedBatch* batch, uint32_t max_blocks) {
+  max_blocks = std::max<uint32_t>(1, max_blocks);
+  if (batch->blocks.size() <= max_blocks) return;
+
+  // Merge the two smallest blocks until the bound holds — the balance-aware
+  // inverse of Alg. 2's Worst-Fit placement.
+  auto smaller = [](const DataBlock& a, const DataBlock& b) {
+    return a.size() < b.size();
+  };
+  while (batch->blocks.size() > max_blocks) {
+    std::sort(batch->blocks.begin(), batch->blocks.end(), smaller);
+    DataBlock& dst = batch->blocks[0];
+    const DataBlock& src = batch->blocks[1];
+    for (const Tuple& t : src.tuples()) dst.Append(t);
+    batch->blocks.erase(batch->blocks.begin() + 1);
+    dst.Finalize();
+  }
+  for (size_t i = 0; i < batch->blocks.size(); ++i) {
+    batch->blocks[i].set_block_id(static_cast<uint32_t>(i));
+    batch->blocks[i].Finalize();
+  }
+  batch->ComputeSplitFlags();
+}
+
+}  // namespace prompt

@@ -1,0 +1,58 @@
+// In-loop recovery policies for the fault-tolerance subsystem: bounded task
+// retry with exponential backoff, speculative re-execution of stragglers
+// (first-finish wins), and the Alg. 2-flavoured block re-plan used when a
+// batch must be replayed over a reduced core count. Pure functions over
+// modeled task durations, so each policy is unit-testable without an engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "model/batch.h"
+
+namespace prompt {
+
+/// \brief Cost and accounting of retrying one failed task.
+struct RetryOutcome {
+  /// Modeled duration of the task including every failed attempt and the
+  /// backoff waits between them.
+  TimeMicros effective_cost = 0;
+  /// Failed attempts that were retried (bounded by the retry budget).
+  uint32_t retries = 0;
+  /// True when failures exceeded the budget — the task never succeeded and
+  /// the whole batch must be replayed from the replicated input.
+  bool exhausted = false;
+};
+
+/// \brief Bounded retry with exponential backoff: each failed attempt wastes
+/// the full task duration, then waits backoff × 2^attempt before relaunch.
+/// With `failures` ≤ `max_retries` the final attempt succeeds; beyond the
+/// budget the outcome is exhausted after `max_retries` wasted attempts.
+RetryOutcome ApplyRetryPolicy(TimeMicros base_cost, uint32_t failures,
+                              uint32_t max_retries, TimeMicros backoff);
+
+/// \brief Result of the speculative-execution pass over one map stage.
+struct SpeculationResult {
+  /// Effective per-task durations after first-finish-wins resolution.
+  std::vector<TimeMicros> costs;
+  /// Tasks for which a backup copy was launched.
+  uint32_t speculated = 0;
+};
+
+/// \brief Launches a backup copy for every straggler (duration > multiplier
+/// × stage median). The copy starts at the detection point (multiplier ×
+/// median) and runs for the task's clean duration `clean_costs[i]` (the
+/// modeled cost without the injected perturbation); whichever copy finishes
+/// first defines the task's effective duration.
+SpeculationResult ApplySpeculation(const std::vector<TimeMicros>& costs,
+                                   const std::vector<TimeMicros>& clean_costs,
+                                   double multiplier);
+
+/// \brief Alg. 2-flavoured re-plan for replay on a shrunken cluster: merges
+/// the smallest blocks pairwise until at most `max_blocks` remain, keeping
+/// tuple counts balanced (Worst-Fit in reverse). Split flags are recomputed.
+/// Per-key outputs are invariant — only Map parallelism changes.
+void RepackBlocks(PartitionedBatch* batch, uint32_t max_blocks);
+
+}  // namespace prompt

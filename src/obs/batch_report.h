@@ -37,6 +37,28 @@ struct BatchReport {
   /// Map tasks that read their block remotely (cluster mode only).
   uint32_t remote_map_tasks = 0;
 
+  // ---- Fault-tolerance accounting (src/fault/), zeros on healthy batches.
+  /// In-window batches recomputed from replicated input this interval
+  /// (includes the current batch when it was replayed after a mid-stage
+  /// node loss).
+  uint32_t batches_replayed = 0;
+  /// Failed map-task attempts recovered by the bounded-retry policy.
+  uint32_t tasks_retried = 0;
+  /// Stragglers that got a speculative backup copy (first-finish wins).
+  uint32_t tasks_speculated = 0;
+  /// Batches below the replication target after recovery ran (0 when the
+  /// top-up restored every batch to the configured factor).
+  uint32_t under_replicated_batches = 0;
+  /// Virtual time spent on recovery work (replays, re-execution after node
+  /// loss, re-replication traffic); included in processing_time and traced
+  /// as the depth-0 `recovery` span.
+  TimeMicros recovery_time = 0;
+  /// A node loss was detected and handled while this batch processed.
+  bool recovered_from_failure = false;
+  /// Replicas needed for recovery were gone (replication factor too low):
+  /// exactly-once could not be preserved for at least one batch.
+  bool unrecoverable = false;
+
   /// Per-shard ingest observability of this batch's batching phase.
   /// Populated (has_ingest = true) when the engine runs the sharded ingest
   /// pipeline (EngineOptions::ingest_shards > 1); default otherwise.

@@ -89,6 +89,30 @@ void Observability::OnBatchComplete(const BatchReport& report,
       seal_barrier_us_->Observe(
           static_cast<double>(report.ingest.seal_barrier_latency));
     }
+    const bool did_recovery = report.batches_replayed > 0 ||
+                              report.tasks_retried > 0 ||
+                              report.tasks_speculated > 0 ||
+                              report.under_replicated_batches > 0 ||
+                              report.recovery_time > 0;
+    if (did_recovery) {
+      // Registered lazily: most runs never inject or see a failure.
+      if (batches_replayed_total_ == nullptr) {
+        batches_replayed_total_ =
+            registry_->GetCounter("prompt_batches_replayed_total");
+        tasks_retried_total_ =
+            registry_->GetCounter("prompt_tasks_retried_total");
+        tasks_speculated_total_ =
+            registry_->GetCounter("prompt_tasks_speculated_total");
+        under_replicated_gauge_ =
+            registry_->GetGauge("prompt_under_replicated_batches");
+        recovery_us_ = registry_->GetHistogram("prompt_recovery_us");
+      }
+      batches_replayed_total_->Increment(report.batches_replayed);
+      tasks_retried_total_->Increment(report.tasks_retried);
+      tasks_speculated_total_->Increment(report.tasks_speculated);
+      under_replicated_gauge_->Set(report.under_replicated_batches);
+      recovery_us_->Observe(static_cast<double>(report.recovery_time));
+    }
   }
 
   if (!report_sinks_.empty()) {

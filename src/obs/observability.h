@@ -19,9 +19,7 @@
 
 namespace prompt {
 
-/// \brief Observability configuration, grouped out of the flat EngineOptions
-/// (the old EngineOptions::collect_partition_metrics / mpi_weights fields
-/// remain as deprecated aliases for one release).
+/// \brief Observability configuration, grouped out of the flat EngineOptions.
 struct ObservabilityOptions {
   /// Compute BSI/BCI/KSR/MPI per batch (costs a pass over fragments).
   bool collect_partition_metrics = false;
@@ -118,6 +116,14 @@ class Observability final : public Observer {
   Gauge* ring_occupancy_gauge_ = nullptr;
   HistogramMetric* merge_us_ = nullptr;
   HistogramMetric* seal_barrier_us_ = nullptr;
+
+  // Recovery handles, registered lazily on the first batch that did
+  // recovery work — failure-free runs never see these series.
+  Counter* batches_replayed_total_ = nullptr;
+  Counter* tasks_retried_total_ = nullptr;
+  Counter* tasks_speculated_total_ = nullptr;
+  Gauge* under_replicated_gauge_ = nullptr;
+  HistogramMetric* recovery_us_ = nullptr;
 };
 
 /// \brief Lowers a BatchReport to the canonical 18-column row every writer

@@ -160,6 +160,59 @@ TEST(ElasticControllerTest, RespectsMaximumTasks) {
   EXPECT_LE(controller.map_tasks(), 5u);
 }
 
+TEST(ElasticControllerTest, CapacityLossShrinksTheGraphImmediately) {
+  ElasticController controller(DefaultOptions(), 8, 8);
+  controller.OnCapacityChange(4);
+  EXPECT_EQ(controller.capacity(), 4u);
+  EXPECT_EQ(controller.map_tasks(), 4u);
+  EXPECT_EQ(controller.reduce_tasks(), 4u);
+  // The forced shrink counts as a scale-in, so the grace period blocks the
+  // reverse (scale-out) streak that overload would otherwise trigger.
+  ScaleDecision d;
+  for (int i = 0; i < 3; ++i) d = controller.OnBatchCompleted(1.5, 1000, 100);
+  EXPECT_TRUE(d.in_grace_period);
+  EXPECT_EQ(controller.map_tasks(), 4u);
+}
+
+TEST(ElasticControllerTest, CapacityCapsFutureScaleOut) {
+  ElasticController controller(DefaultOptions(), 2, 2);
+  controller.OnCapacityChange(3);
+  uint64_t rate = 1000;
+  for (int round = 0; round < 30; ++round) {
+    controller.OnBatchCompleted(1.5, rate, 100);
+    rate += 500;
+  }
+  EXPECT_LE(controller.map_tasks(), 3u);
+  EXPECT_LE(controller.reduce_tasks(), 3u);
+}
+
+TEST(ElasticControllerTest, CapacityRestoredReopensHeadroom) {
+  ElasticController controller(DefaultOptions(), 2, 2);
+  controller.OnCapacityChange(2);
+  uint64_t rate = 1000;
+  for (int round = 0; round < 15; ++round) {
+    controller.OnBatchCompleted(1.5, rate, 100);
+    rate += 500;
+  }
+  EXPECT_EQ(controller.map_tasks(), 2u);  // pinned at capacity
+  controller.OnCapacityChange(8);         // the node rejoined
+  for (int round = 0; round < 15; ++round) {
+    controller.OnBatchCompleted(1.5, rate, 100);
+    rate += 500;
+  }
+  EXPECT_GT(controller.map_tasks(), 2u);
+}
+
+TEST(ElasticControllerTest, CapacityChangeRespectsMinimumTasks) {
+  auto opts = DefaultOptions();
+  opts.min_map_tasks = 2;
+  opts.min_reduce_tasks = 2;
+  ElasticController controller(opts, 4, 4);
+  controller.OnCapacityChange(1);
+  EXPECT_EQ(controller.map_tasks(), 2u);
+  EXPECT_EQ(controller.reduce_tasks(), 2u);
+}
+
 TEST(ElasticControllerTest, FlatStatisticsStillScaleOutWhenOverloaded) {
   // W above threshold but neither statistic trending: workload got more
   // expensive per tuple; grow both.

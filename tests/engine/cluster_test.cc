@@ -170,6 +170,115 @@ TEST(BatchStoreTest, LosingAllReplicasIsDetected) {
   EXPECT_EQ(r.status().code(), StatusCode::kUnknownError);
 }
 
+TEST(BatchStoreTest, WriteReportsFullReplicationWhenClusterIsHealthy) {
+  SimulatedCluster cluster(SmallCluster());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), 4);
+  auto copies = store.Write(batch);
+  ASSERT_TRUE(copies.ok());
+  EXPECT_EQ(*copies, 2u);
+  EXPECT_EQ(store.AliveReplicaCount(4), 2u);
+  EXPECT_EQ(store.UnderReplicatedCount(2), 0u);
+}
+
+TEST(BatchStoreTest, WriteDegradesGracefullyWhenNodesAreShort) {
+  // 2 nodes, rf=2, one dead: the write succeeds with a single copy and the
+  // batch is visibly under-replicated rather than failed.
+  ClusterOptions opts = SmallCluster();
+  opts.nodes = 2;
+  SimulatedCluster cluster(opts);
+  ASSERT_TRUE(cluster.KillNode(1).ok());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), 4);
+  auto copies = store.Write(batch);
+  ASSERT_TRUE(copies.ok());
+  EXPECT_EQ(*copies, 1u);
+  EXPECT_EQ(store.UnderReplicatedCount(2), 1u);
+  EXPECT_TRUE(store.Read(4).ok());
+
+  // Only when zero nodes are alive does the write actually fail.
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  EXPECT_TRUE(store.Write(batch).status().IsResourceExhausted());
+}
+
+TEST(BatchStoreTest, ReviveRestoresCapacityButNotDroppedCopies) {
+  SimulatedCluster cluster(SmallCluster());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), 0);
+  ASSERT_TRUE(store.Write(batch).ok());  // batch 0 -> copies on nodes 0, 1
+
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  store.DropNode(0);  // memory died with the process
+  EXPECT_EQ(store.AliveReplicaCount(0), 1u);
+
+  // Reviving brings the cores back but never the dropped copies.
+  ASSERT_TRUE(cluster.ReviveNode(0).ok());
+  EXPECT_EQ(cluster.total_alive_cores(), 8u);
+  EXPECT_EQ(store.BytesOnNode(0), 0u);
+  EXPECT_EQ(store.AliveReplicaCount(0), 1u);
+  EXPECT_EQ(store.UnderReplicatedCount(2), 1u);
+}
+
+TEST(BatchStoreTest, TopUpRestoresTheReplicationFactor) {
+  SimulatedCluster cluster(SmallCluster());
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  for (uint64_t id = 0; id < 4; ++id) {
+    auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), id);
+    ASSERT_TRUE(store.Write(batch).ok());
+  }
+  ASSERT_TRUE(cluster.KillNode(1).ok());
+  store.DropNode(1);
+  const uint32_t short_batches = store.UnderReplicatedCount(2);
+  EXPECT_GT(short_batches, 0u);
+
+  TopUpResult result = store.TopUpReplication(2);
+  EXPECT_EQ(result.copies_added, short_batches);
+  EXPECT_GT(result.bytes_copied, 0u);
+  EXPECT_EQ(result.under_replicated, 0u);
+  EXPECT_EQ(store.UnderReplicatedCount(2), 0u);
+  for (uint64_t id = 0; id < 4; ++id) {
+    EXPECT_EQ(store.AliveReplicaCount(id), 2u) << "batch " << id;
+  }
+  // New copies never land on the dead node.
+  EXPECT_EQ(store.BytesOnNode(1), 0u);
+}
+
+TEST(BatchStoreTest, TopUpReportsPermanentlyLostBatches) {
+  ClusterOptions opts = SmallCluster();
+  opts.replication_factor = 1;
+  SimulatedCluster cluster(opts);
+  BatchStore store(&cluster);
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(500, 50, 1.0, 0, Seconds(1));
+  auto batch = testing::RunBatch(partitioner, data, 2, 0, Seconds(1), 0);
+  ASSERT_TRUE(store.Write(batch).ok());  // single copy, on node 0
+
+  ASSERT_TRUE(cluster.KillNode(0).ok());
+  store.DropNode(0);
+  TopUpResult result = store.TopUpReplication(1);
+  EXPECT_EQ(result.copies_added, 0u);
+  EXPECT_EQ(result.under_replicated, 1u);  // nothing left to copy from
+}
+
+TEST(ClusterTest, DoubleKillAndDoubleReviveAreCleanlyRejected) {
+  SimulatedCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.KillNode(2).ok());
+  EXPECT_TRUE(cluster.KillNode(2).IsInvalid());
+  EXPECT_EQ(cluster.alive_nodes(), 3u);  // rejection left no side effects
+  ASSERT_TRUE(cluster.ReviveNode(2).ok());
+  EXPECT_TRUE(cluster.ReviveNode(2).IsInvalid());
+  EXPECT_EQ(cluster.alive_nodes(), 4u);
+  EXPECT_TRUE(cluster.ReviveNode(99).IsOutOfRange());
+}
+
 TEST(BatchStoreTest, EvictFreesMemoryAndForgets) {
   SimulatedCluster cluster(SmallCluster());
   BatchStore store(&cluster);

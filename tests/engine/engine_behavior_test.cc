@@ -100,7 +100,7 @@ TEST(EngineBehaviorTest, MetricsRankPromptAboveHashUnderSkew) {
   auto measure = [](PartitionerType type) {
     EngineOptions opts;
     opts.batch_interval = Millis(250);
-    opts.collect_partition_metrics = true;
+    opts.obs.collect_partition_metrics = true;
     auto source = MakeSource(30000, 1.5, 5000, 8);
     MicroBatchEngine engine(opts, JobSpec::WordCount(4),
                             CreatePartitioner(type), source.get());

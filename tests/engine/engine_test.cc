@@ -124,7 +124,7 @@ TEST(EngineTest, LightLoadStaysStable) {
 
 TEST(EngineTest, CollectsPartitionMetricsWhenAsked) {
   auto opts = FastOptions();
-  opts.collect_partition_metrics = true;
+  opts.obs.collect_partition_metrics = true;
   auto source = MakeSource(20000, 1.4);
   MicroBatchEngine engine(opts, JobSpec::WordCount(4),
                           CreatePartitioner(PartitionerType::kHash),

@@ -20,7 +20,7 @@ std::vector<BatchReport> SampleReports() {
   SynDSource source(std::move(params));
   EngineOptions opts;
   opts.batch_interval = Millis(250);
-  opts.collect_partition_metrics = true;
+  opts.obs.collect_partition_metrics = true;
   MicroBatchEngine engine(opts, JobSpec::WordCount(4),
                           CreatePartitioner(PartitionerType::kPrompt),
                           &source);

@@ -1,0 +1,148 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace prompt {
+namespace {
+
+std::vector<uint32_t> FourNodes() { return {0, 1, 2, 3}; }
+
+TEST(FaultScheduleParseTest, KillWithStageAndRevive) {
+  auto options = ParseFaultSchedule("kill:2@5.map;revive:2@9");
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  ASSERT_EQ(options->schedule.size(), 2u);
+
+  const FaultEvent& kill = options->schedule[0];
+  EXPECT_EQ(kill.kind, FaultKind::kKillNode);
+  EXPECT_EQ(kill.target, 2u);
+  EXPECT_EQ(kill.batch_id, 5u);
+  EXPECT_EQ(kill.point, FaultPoint::kMapStage);
+
+  const FaultEvent& revive = options->schedule[1];
+  EXPECT_EQ(revive.kind, FaultKind::kReviveNode);
+  EXPECT_EQ(revive.target, 2u);
+  EXPECT_EQ(revive.batch_id, 9u);
+  EXPECT_EQ(revive.point, FaultPoint::kBatchStart);  // default stage
+}
+
+TEST(FaultScheduleParseTest, DelayAndFail) {
+  auto options = ParseFaultSchedule("delay:3@2:15000;fail:1@4:2;fail:6@4");
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  ASSERT_EQ(options->schedule.size(), 3u);
+  EXPECT_EQ(options->schedule[0].kind, FaultKind::kDelayTask);
+  EXPECT_EQ(options->schedule[0].target, 3u);
+  EXPECT_EQ(options->schedule[0].batch_id, 2u);
+  EXPECT_EQ(options->schedule[0].delay, 15000);
+  EXPECT_EQ(options->schedule[1].kind, FaultKind::kFailTask);
+  EXPECT_EQ(options->schedule[1].times, 2u);
+  EXPECT_EQ(options->schedule[2].times, 1u);  // default failure count
+}
+
+TEST(FaultScheduleParseTest, RandomMode) {
+  auto options =
+      ParseFaultSchedule("random:p=0.25,seed=7,max_kills=2,revive_after=3");
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_TRUE(options->random.enabled);
+  EXPECT_DOUBLE_EQ(options->random.kill_prob, 0.25);
+  EXPECT_EQ(options->random.seed, 7u);
+  EXPECT_EQ(options->random.max_kills, 2u);
+  EXPECT_EQ(options->random.revive_after, 3u);
+}
+
+TEST(FaultScheduleParseTest, RejectsMalformedSpecs) {
+  EXPECT_TRUE(ParseFaultSchedule("").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("kill:2").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("kill:x@5").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("kill:2@5.shuffle").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("explode:2@5").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("delay:3@2").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("random:p=1.5").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("random:frequency=1").status().IsInvalid());
+}
+
+TEST(FaultInjectorTest, ScheduledEventsFireExactlyAtTheirPoint) {
+  auto options = ParseFaultSchedule("kill:2@5.map;revive:2@9");
+  ASSERT_TRUE(options.ok());
+  FaultInjector injector(*options);
+
+  // Nothing before the scheduled batch, and nothing at other stages.
+  for (uint64_t batch = 0; batch < 5; ++batch) {
+    for (FaultPoint point : {FaultPoint::kBatchStart, FaultPoint::kMapStage,
+                             FaultPoint::kReduceStage}) {
+      EXPECT_TRUE(injector.Poll(batch, point, FourNodes()).empty());
+    }
+  }
+  EXPECT_TRUE(injector.Poll(5, FaultPoint::kBatchStart, FourNodes()).empty());
+
+  auto fired = injector.Poll(5, FaultPoint::kMapStage, FourNodes());
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::kKillNode);
+  EXPECT_EQ(fired[0].target, 2u);
+
+  auto revive = injector.Poll(9, FaultPoint::kBatchStart, {0, 1, 3});
+  ASSERT_EQ(revive.size(), 1u);
+  EXPECT_EQ(revive[0].kind, FaultKind::kReviveNode);
+  EXPECT_EQ(revive[0].target, 2u);
+}
+
+TEST(FaultInjectorTest, TaskFaultsAccumulatePerBatch) {
+  auto options = ParseFaultSchedule("delay:3@2:15000;delay:3@2:5000;fail:1@2:2");
+  ASSERT_TRUE(options.ok());
+  FaultInjector injector(*options);
+
+  TaskPerturbations p = injector.TaskFaults(2);
+  ASSERT_EQ(p.delays.size(), 1u);
+  EXPECT_EQ(p.delays.at(3), 20000);  // repeated delays add up
+  ASSERT_EQ(p.failures.size(), 1u);
+  EXPECT_EQ(p.failures.at(1), 2u);
+  EXPECT_TRUE(injector.TaskFaults(3).empty());
+}
+
+TEST(FaultInjectorTest, RandomModeIsReproducibleForAFixedSeed) {
+  auto options = ParseFaultSchedule("random:p=0.3,seed=11,max_kills=2");
+  ASSERT_TRUE(options.ok());
+
+  auto run = [&]() {
+    FaultInjector injector(*options);
+    std::vector<std::pair<uint64_t, uint32_t>> kills;
+    std::vector<uint32_t> alive = FourNodes();
+    for (uint64_t batch = 0; batch < 50; ++batch) {
+      for (const FaultEvent& e :
+           injector.Poll(batch, FaultPoint::kMapStage, alive)) {
+        if (e.kind == FaultKind::kKillNode) {
+          kills.emplace_back(batch, e.target);
+          alive.erase(std::find(alive.begin(), alive.end(), e.target));
+        }
+      }
+    }
+    return kills;
+  };
+
+  const auto first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_LE(first.size(), 2u);  // max_kills bound holds
+}
+
+TEST(FaultInjectorTest, RandomModeSchedulesRevives) {
+  FaultOptions options;
+  options.random.enabled = true;
+  options.random.kill_prob = 1.0;  // kill at the first map-stage poll
+  options.random.max_kills = 1;
+  options.random.revive_after = 2;
+  FaultInjector injector(options);
+
+  auto kills = injector.Poll(0, FaultPoint::kMapStage, FourNodes());
+  ASSERT_EQ(kills.size(), 1u);
+  const uint32_t victim = kills[0].target;
+
+  EXPECT_TRUE(injector.Poll(1, FaultPoint::kBatchStart, FourNodes()).empty());
+  auto revives = injector.Poll(2, FaultPoint::kBatchStart, FourNodes());
+  ASSERT_EQ(revives.size(), 1u);
+  EXPECT_EQ(revives[0].kind, FaultKind::kReviveNode);
+  EXPECT_EQ(revives[0].target, victim);
+  // The revive fires once, not again on later polls.
+  EXPECT_TRUE(injector.Poll(2, FaultPoint::kBatchStart, FourNodes()).empty());
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,93 @@
+#include "fault/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "core/prompt_partitioner.h"
+#include "testing/test_helpers.h"
+
+namespace prompt {
+namespace {
+
+TEST(RetryPolicyTest, NoFailuresCostsTheBaseDuration) {
+  RetryOutcome outcome = ApplyRetryPolicy(1000, 0, 3, 100);
+  EXPECT_EQ(outcome.effective_cost, 1000);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_FALSE(outcome.exhausted);
+}
+
+TEST(RetryPolicyTest, EachFailureWastesAnAttemptPlusDoublingBackoff) {
+  // 2 failures: wasted = (1000+100) + (1000+200); success adds base 1000.
+  RetryOutcome outcome = ApplyRetryPolicy(1000, 2, 3, 100);
+  EXPECT_EQ(outcome.effective_cost, 1000 + 1100 + 1200);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_FALSE(outcome.exhausted);
+}
+
+TEST(RetryPolicyTest, ExhaustionStopsAtTheBudget) {
+  // 5 failures against a budget of 2: two wasted attempts, never succeeds.
+  RetryOutcome outcome = ApplyRetryPolicy(1000, 5, 2, 100);
+  EXPECT_TRUE(outcome.exhausted);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_EQ(outcome.effective_cost, 1100 + 1200);
+}
+
+TEST(SpeculationTest, StragglerCappedByBackupCopy) {
+  // Median 1000, multiplier 2 -> detection at 2000. Task 3 (10000) gets a
+  // backup launched at 2000 running its clean 1000 -> finishes at 3000.
+  const std::vector<TimeMicros> costs = {1000, 1000, 1000, 10000};
+  const std::vector<TimeMicros> clean = {1000, 1000, 1000, 1000};
+  SpeculationResult result = ApplySpeculation(costs, clean, 2.0);
+  EXPECT_EQ(result.speculated, 1u);
+  EXPECT_EQ(result.costs[3], 3000);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(result.costs[i], 1000);
+}
+
+TEST(SpeculationTest, OriginalWinsWhenItWouldFinishFirst) {
+  // Straggler at 2500 vs backup finishing at 2000 + 1800 = 3800: the
+  // original copy is still the first finisher.
+  const std::vector<TimeMicros> costs = {1000, 1000, 1000, 2500};
+  const std::vector<TimeMicros> clean = {1000, 1000, 1000, 1800};
+  SpeculationResult result = ApplySpeculation(costs, clean, 2.0);
+  EXPECT_EQ(result.speculated, 1u);
+  EXPECT_EQ(result.costs[3], 2500);
+}
+
+TEST(SpeculationTest, NoStragglersNoBackups) {
+  const std::vector<TimeMicros> costs = {900, 1000, 1100, 1200};
+  SpeculationResult result = ApplySpeculation(costs, costs, 2.0);
+  EXPECT_EQ(result.speculated, 0u);
+  EXPECT_EQ(result.costs, costs);
+}
+
+TEST(RepackBlocksTest, MergesDownToTheCoreBoundPreservingTuples) {
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(4000, 300, 1.1, 0, Seconds(1));
+  PartitionedBatch batch =
+      testing::RunBatch(partitioner, data, /*blocks=*/8, 0, Seconds(1), 7);
+  ASSERT_GT(batch.blocks.size(), 2u);
+
+  uint64_t tuples_before = 0;
+  for (const DataBlock& b : batch.blocks) tuples_before += b.size();
+
+  RepackBlocks(&batch, 2);
+  ASSERT_EQ(batch.blocks.size(), 2u);
+  uint64_t tuples_after = 0;
+  for (size_t i = 0; i < batch.blocks.size(); ++i) {
+    EXPECT_EQ(batch.blocks[i].block_id(), static_cast<uint32_t>(i));
+    tuples_after += batch.blocks[i].size();
+  }
+  EXPECT_EQ(tuples_after, tuples_before);
+}
+
+TEST(RepackBlocksTest, NoOpWhenAlreadyWithinBound) {
+  PromptPartitioner partitioner;
+  auto data = testing::ZipfTuples(1000, 100, 1.1, 0, Seconds(1));
+  PartitionedBatch batch =
+      testing::RunBatch(partitioner, data, /*blocks=*/4, 0, Seconds(1), 7);
+  const size_t blocks = batch.blocks.size();
+  RepackBlocks(&batch, 8);
+  EXPECT_EQ(batch.blocks.size(), blocks);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,0 +1,292 @@
+// End-to-end fault injection + automatic in-loop recovery (§8): a node
+// killed mid-map-stage must leave the window aggregates bit-identical to a
+// failure-free run of the same seed, with the recovery visible in the
+// per-batch reports, the run summary, the trace and the metrics registry.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "obs/observability.h"
+#include "workload/sources.h"
+
+namespace prompt {
+namespace {
+
+EngineOptions ClusterEngineOptions(uint32_t replication_factor = 2) {
+  EngineOptions opts;
+  opts.batch_interval = Millis(200);
+  opts.map_tasks = 8;
+  opts.reduce_tasks = 4;
+  opts.cluster_enabled = true;
+  opts.cluster.nodes = 4;
+  opts.cluster.cores_per_node = 2;
+  opts.cluster.replication_factor = replication_factor;
+  opts.cores = 8;
+  return opts;
+}
+
+std::unique_ptr<TupleSource> MakeSource(uint64_t seed = 77) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 500;
+  params.zipf = 1.0;
+  params.seed = seed;
+  params.rate = std::make_shared<ConstantRate>(10000);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+std::map<KeyId, double> WindowMap(const WindowState& window) {
+  return {window.Result().begin(), window.Result().end()};
+}
+
+class CollectingObserver : public Observer {
+ public:
+  void OnBatchComplete(const BatchReport& report,
+                       const BatchTrace& trace) override {
+    reports.push_back(report);
+    traces.push_back(trace);
+  }
+  std::vector<BatchReport> reports;
+  std::vector<BatchTrace> traces;
+};
+
+// The acceptance bar: kill a node during the map stage mid-run; the final
+// window aggregates must match the failure-free twin bit for bit (WordCount
+// sums integer counts, exact in doubles under any combine order).
+TEST(FaultRecoveryTest, ExactlyOnceUnderMidMapNodeLoss) {
+  auto clean_src = MakeSource(123);
+  auto faulty_src = MakeSource(123);
+
+  MicroBatchEngine clean(ClusterEngineOptions(), JobSpec::WordCount(8),
+                         CreatePartitioner(PartitionerType::kPrompt),
+                         clean_src.get());
+
+  EngineOptions opts = ClusterEngineOptions();
+  auto faults = ParseFaultSchedule("kill:2@5.map");
+  ASSERT_TRUE(faults.ok());
+  opts.faults = *faults;
+  MicroBatchEngine faulty(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          faulty_src.get());
+  CollectingObserver observer;
+  faulty.AddObserver(&observer);
+
+  RunSummary clean_summary = clean.Run(10);
+  RunSummary faulty_summary = faulty.Run(10);
+
+  // The injected failure was detected, recovered, and accounted.
+  EXPECT_EQ(faulty.cluster()->alive_nodes(), 3u);
+  EXPECT_GT(faulty_summary.batches_replayed, 0u);
+  EXPECT_EQ(faulty_summary.failures_recovered, 1u);
+  EXPECT_GT(faulty_summary.total_recovery_time, 0);
+  EXPECT_GE(faulty_summary.max_recovery_time,
+            faulty_summary.total_recovery_time / 10);
+  EXPECT_FALSE(faulty_summary.data_loss);
+  const BatchReport& hit = faulty_summary.batches[5];
+  EXPECT_TRUE(hit.recovered_from_failure);
+  EXPECT_GT(hit.batches_replayed, 0u);
+  EXPECT_GT(hit.recovery_time, 0);
+  // Recovery work is on the batch's clock.
+  EXPECT_GE(hit.processing_time, hit.recovery_time);
+
+  // Exactly-once: identical window aggregates despite the loss.
+  EXPECT_EQ(WindowMap(clean.window()), WindowMap(faulty.window()));
+
+  // The recovery shows up as a depth-0 trace span of the hit batch.
+  const BatchTrace& trace = observer.traces[5];
+  const TraceSpan* span = trace.FindSpan("recovery");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->depth, 0u);
+  EXPECT_EQ(span->duration, hit.recovery_time);
+  // Healthy batches have no recovery span.
+  EXPECT_EQ(observer.traces[2].FindSpan("recovery"), nullptr);
+}
+
+TEST(FaultRecoveryTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    auto source = MakeSource(55);
+    EngineOptions opts = ClusterEngineOptions();
+    opts.faults = *ParseFaultSchedule("kill:1@3.map;revive:1@6");
+    MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    RunSummary summary = engine.Run(8);
+    return std::make_pair(WindowMap(engine.window()),
+                          summary.total_recovery_time);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(FaultRecoveryTest, KillLeavesUnderReplicationUntilReviveTopsUp) {
+  auto source = MakeSource();
+  EngineOptions opts = ClusterEngineOptions();
+  // Only 2 nodes: killing one leaves a single alive node, so rf=2 cannot be
+  // restored until the revive.
+  opts.cluster.nodes = 2;
+  opts.cores = 4;
+  opts.faults = *ParseFaultSchedule("kill:1@3;revive:1@6");
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  RunSummary summary = engine.Run(8);
+
+  // While node 1 is down every in-window batch is stuck below the factor.
+  EXPECT_GT(summary.batches[3].under_replicated_batches, 0u);
+  EXPECT_GT(summary.batches[4].under_replicated_batches, 0u);
+  // The revive triggers a top-up back to the configured factor.
+  EXPECT_EQ(summary.batches[6].under_replicated_batches, 0u);
+  for (uint64_t id = 7; id > 2; --id) {
+    EXPECT_EQ(engine.store()->AliveReplicaCount(id), 2u) << "batch " << id;
+  }
+}
+
+TEST(FaultRecoveryTest, ReplicationFactorOneIsUnrecoverable) {
+  auto source = MakeSource();
+  EngineOptions opts = ClusterEngineOptions(/*replication_factor=*/1);
+  // Batch 5's single copy lands on node 5 % 4 = 1; killing node 1 during
+  // the map stage destroys the only replica of the in-flight batch.
+  opts.faults = *ParseFaultSchedule("kill:1@5.map");
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  RunSummary summary = engine.Run(8);
+  EXPECT_TRUE(summary.data_loss);
+  EXPECT_TRUE(summary.batches[5].unrecoverable);
+}
+
+TEST(FaultRecoveryTest, TaskFailuresAreRetriedWithBoundedBudget) {
+  auto source = MakeSource();
+  EngineOptions opts = ClusterEngineOptions();
+  opts.faults = *ParseFaultSchedule("fail:0@2:2");
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  RunSummary summary = engine.Run(4);
+  EXPECT_EQ(summary.tasks_retried, 2u);
+  EXPECT_EQ(summary.batches_replayed, 0u);  // retries succeeded in place
+  EXPECT_FALSE(summary.data_loss);
+  // The wasted attempts made batch 2 slower than its neighbors.
+  EXPECT_GT(summary.batches[2].processing_time,
+            summary.batches[1].processing_time);
+}
+
+TEST(FaultRecoveryTest, ExhaustedRetriesTriggerBatchReplay) {
+  auto clean_src = MakeSource(31);
+  auto faulty_src = MakeSource(31);
+  EngineOptions opts = ClusterEngineOptions();
+  MicroBatchEngine clean(opts, JobSpec::WordCount(8),
+                         CreatePartitioner(PartitionerType::kPrompt),
+                         clean_src.get());
+  opts.faults = *ParseFaultSchedule("fail:0@2:9");  // budget is 3
+  MicroBatchEngine faulty(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          faulty_src.get());
+  RunSummary clean_summary = clean.Run(5);
+  RunSummary summary = faulty.Run(5);
+  (void)clean_summary;
+  EXPECT_EQ(summary.tasks_retried, 3u);
+  EXPECT_GT(summary.batches_replayed, 0u);
+  EXPECT_FALSE(summary.data_loss);
+  EXPECT_EQ(WindowMap(clean.window()), WindowMap(faulty.window()));
+}
+
+TEST(FaultRecoveryTest, StragglersGetSpeculativeBackups) {
+  auto source = MakeSource();
+  EngineOptions opts = ClusterEngineOptions();
+  // A delay far beyond 2x the stage median triggers speculation; the backup
+  // bounds the straggler's cost, so the batch stays fast.
+  opts.faults = *ParseFaultSchedule("delay:0@2:10000000");
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  RunSummary summary = engine.Run(4);
+  EXPECT_EQ(summary.tasks_speculated, 1u);
+  EXPECT_LT(summary.batches[2].processing_time, 10000000);
+
+  // Speculation off: the straggler dominates the makespan.
+  auto slow_src = MakeSource();
+  EngineOptions slow_opts = ClusterEngineOptions();
+  slow_opts.faults = *ParseFaultSchedule("delay:0@2:10000000");
+  slow_opts.faults.speculation_enabled = false;
+  MicroBatchEngine slow(slow_opts, JobSpec::WordCount(8),
+                        CreatePartitioner(PartitionerType::kPrompt),
+                        slow_src.get());
+  RunSummary slow_summary = slow.Run(4);
+  EXPECT_EQ(slow_summary.tasks_speculated, 0u);
+  EXPECT_GE(slow_summary.batches[2].processing_time, 10000000);
+}
+
+TEST(FaultRecoveryTest, CapacityFeedClampsElasticScaleOut) {
+  auto source = MakeSource();
+  EngineOptions opts = ClusterEngineOptions();
+  opts.elasticity_enabled = true;
+  opts.elasticity.max_map_tasks = 64;
+  opts.elasticity.max_reduce_tasks = 64;
+  opts.faults = *ParseFaultSchedule("kill:0@2;kill:1@2");
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  engine.Run(10);
+  // Two nodes down -> 4 cores of capacity; the controller may never scale
+  // past what the surviving cluster can run.
+  EXPECT_LE(engine.map_tasks(), 4u);
+  EXPECT_LE(engine.reduce_tasks(), 4u);
+}
+
+TEST(FaultRecoveryTest, RecoveryMetricsRegisteredLazily) {
+  auto source = MakeSource();
+  EngineOptions opts = ClusterEngineOptions();
+  opts.obs.metrics_enabled = true;
+  opts.faults = *ParseFaultSchedule("kill:2@3.map");
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  RunSummary summary = engine.Run(6);
+  MetricsRegistry* registry = engine.observability()->registry();
+  ASSERT_NE(registry, nullptr);
+  EXPECT_EQ(registry->GetCounter("prompt_batches_replayed_total")->value(),
+            summary.batches_replayed);
+  EXPECT_GT(registry->GetHistogram("prompt_recovery_us")->count(), 0u);
+
+  // A failure-free run never registers the recovery series.
+  auto clean_src = MakeSource();
+  EngineOptions clean_opts = ClusterEngineOptions();
+  clean_opts.obs.metrics_enabled = true;
+  MicroBatchEngine clean(clean_opts, JobSpec::WordCount(8),
+                         CreatePartitioner(PartitionerType::kPrompt),
+                         clean_src.get());
+  clean.Run(6);
+  bool has_recovery_series = false;
+  for (const MetricSample& s :
+       clean.observability()->registry()->Snapshot()) {
+    if (s.name.find("recovery") != std::string::npos ||
+        s.name.find("replayed") != std::string::npos) {
+      has_recovery_series = true;
+    }
+  }
+  EXPECT_FALSE(has_recovery_series);
+}
+
+TEST(FaultRecoveryTest, RandomModeWithFixedSeedIsReproducible) {
+  auto run = [] {
+    auto source = MakeSource(99);
+    EngineOptions opts = ClusterEngineOptions();
+    opts.faults =
+        *ParseFaultSchedule("random:p=0.4,seed=5,max_kills=1,revive_after=2");
+    MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    RunSummary summary = engine.Run(10);
+    return std::make_tuple(WindowMap(engine.window()),
+                           summary.failures_recovered,
+                           summary.total_recovery_time);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace prompt

@@ -52,6 +52,33 @@ TEST(RecoveryTest, RecomputationIsDeterministicAcrossTechniques) {
   }
 }
 
+TEST(RecoveryTest, VerifyRecomputesOverTheAliveCoreCount) {
+  // Regression: the recompute used to be costed over options.cores even
+  // after node losses shrank the cluster. Killing 3 of 4 nodes must make
+  // the same batch's recovery recomputation strictly more expensive
+  // (8 tasks on 2 surviving cores instead of 8).
+  auto opts = RecoveryOptions();
+  opts.map_tasks = 8;
+  opts.cluster_enabled = true;
+  opts.cluster.nodes = 4;
+  opts.cluster.cores_per_node = 2;
+  opts.cores = 8;
+  auto source = MakeSource();
+  MicroBatchEngine engine(opts, JobSpec::WordCount(3),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  engine.Run(3);
+  ASSERT_TRUE(engine.VerifyRecoveryOfLastBatch().ok());
+  const TimeMicros full_cluster_cost = engine.last_verify_recovery_cost();
+  ASSERT_GT(full_cluster_cost, 0);
+
+  ASSERT_TRUE(engine.KillNode(1).ok());
+  ASSERT_TRUE(engine.KillNode(2).ok());
+  ASSERT_TRUE(engine.KillNode(3).ok());
+  ASSERT_TRUE(engine.VerifyRecoveryOfLastBatch().ok());
+  EXPECT_GT(engine.last_verify_recovery_cost(), full_cluster_cost);
+}
+
 TEST(RecoveryTest, RecoveryWorksUnderElasticScaling) {
   auto opts = RecoveryOptions();
   opts.elasticity_enabled = true;

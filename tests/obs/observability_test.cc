@@ -154,11 +154,11 @@ TEST(ObservabilityTest, SingleThreadedIngestHasNoEmbeddedMetrics) {
   EXPECT_EQ(engine.ingest_metrics(), nullptr);
 }
 
-TEST(ObservabilityTest, DeprecatedFlatOptionsAliasIntoObs) {
+TEST(ObservabilityTest, ObsOptionsDrivePartitionMetricCollection) {
   auto source = MakeSource();
   EngineOptions opts = BaseOptions();
-  opts.collect_partition_metrics = true;  // legacy spelling
-  opts.mpi_weights.p1 = 0.7;              // legacy spelling, non-default
+  opts.obs.collect_partition_metrics = true;
+  opts.obs.mpi_weights.p1 = 0.7;
   // Hash partitioning of a Zipf stream leaves the blocks imbalanced, so a
   // collected BSI is provably non-zero (Prompt's plan can reach BSI == 0).
   MicroBatchEngine engine(opts, JobSpec::WordCount(4),

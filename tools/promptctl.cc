@@ -8,6 +8,10 @@
 //   promptctl --list                     # datasets and techniques
 //   promptctl --technique=cAM --elastic  # Alg. 4 elasticity on
 //
+// Fault injection (enables cluster mode):
+//   --fault_schedule="kill:2@5.map;revive:2@9"   seeded, deterministic
+//   --nodes=4 --cores_per_node=4 --replication=2 cluster shape
+//
 // Observability:
 //   --trace_out=trace.jsonl    one structured trace per batch (spans for
 //                              accumulate/seal/merge/plan/map/reduce)
@@ -102,6 +106,15 @@ int main(int argc, char** argv) {
   const std::string trace_path = flags.GetString("trace_out", "");
   const std::string metrics_path = flags.GetString("metrics_out", "");
   const std::string csv_path = flags.GetString("csv", "");
+  const std::string fault_spec = flags.GetString("fault_schedule", "");
+  auto nodes = flags.GetInt("nodes", 4);
+  if (!nodes.ok()) return Fail(nodes.status());
+  auto cores_per_node = flags.GetInt("cores_per_node", 4);
+  if (!cores_per_node.ok()) return Fail(cores_per_node.status());
+  auto replication = flags.GetInt("replication", 2);
+  if (!replication.ok()) return Fail(replication.status());
+  auto cluster = flags.GetBool("cluster", false);
+  if (!cluster.ok()) return Fail(cluster.status());
   const std::string query_text =
       flags.GetString("query", "SELECT COUNT TOP 10 WINDOW 10S");
   for (const std::string& unknown : flags.UnknownFlags()) {
@@ -147,6 +160,19 @@ int main(int argc, char** argv) {
     options.cores_track_tasks = true;
     options.elasticity.max_map_tasks = 256;
     options.elasticity.max_reduce_tasks = 256;
+  }
+  if (!fault_spec.empty()) {
+    auto faults = ParseFaultSchedule(fault_spec);
+    if (!faults.ok()) return Fail(faults.status());
+    options.faults = *faults;
+  }
+  if (*cluster || !fault_spec.empty()) {
+    // Fault injection targets nodes, so a schedule implies cluster mode.
+    options.cluster_enabled = true;
+    options.cluster.nodes = static_cast<uint32_t>(*nodes);
+    options.cluster.cores_per_node = static_cast<uint32_t>(*cores_per_node);
+    options.cluster.replication_factor = static_cast<uint32_t>(*replication);
+    options.cores = options.cluster.nodes * options.cluster.cores_per_node;
   }
 
   MicroBatchEngine engine(options, query->job, CreatePartitioner(*technique),
@@ -201,5 +227,17 @@ int main(int argc, char** argv) {
               summary.MeanW(2),
               summary.MeanThroughputTuplesPerSec(query->slide, 2),
               summary.stable ? "stable" : "UNSTABLE (back-pressure would engage)");
+  if (summary.failures_recovered > 0 || summary.batches_replayed > 0 ||
+      summary.tasks_retried > 0 || summary.tasks_speculated > 0) {
+    std::printf(
+        "recovery: failures=%llu replayed=%llu retried=%llu speculated=%llu "
+        "max_latency=%.1fms%s\n",
+        static_cast<unsigned long long>(summary.failures_recovered),
+        static_cast<unsigned long long>(summary.batches_replayed),
+        static_cast<unsigned long long>(summary.tasks_retried),
+        static_cast<unsigned long long>(summary.tasks_speculated),
+        static_cast<double>(summary.max_recovery_time) / 1000.0,
+        summary.data_loss ? "  DATA LOSS (raise --replication)" : "");
+  }
   return summary.stable ? 0 : 2;
 }
