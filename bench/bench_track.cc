@@ -1,0 +1,155 @@
+// Standardized benchmark tracker: runs a small fixed set of configurations
+// and writes BENCH_prompt.json — the time-series of record that CI compares
+// against the committed baseline (scripts/check_bench_regression.py).
+//
+// Signals come in two classes:
+//  - gated: computed in virtual time (deterministic per seed across
+//    machines), so the regression gate can hold them to a tight tolerance;
+//  - ungated: wall-clock (observability overhead) — tracked for trend
+//    plots, never failed on, because CI hosts are noisy.
+//
+//   bench_track [output.json]     default output: BENCH_prompt.json
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/timeseries.h"
+
+using namespace prompt;
+using namespace prompt::bench;
+
+namespace {
+
+struct Signal {
+  std::string id;
+  double value = 0;
+  std::string unit;
+  bool gate = true;
+  /// Allowed relative drift before the gate fails (both directions: an
+  /// unexplained improvement is a determinism bug in a virtual-time run).
+  double tolerance_pct = 0.1;
+};
+
+/// One tracked configuration: fixed-rate SynD run, virtual time end to end.
+RunSummary TrackedRun(double zipf, PartitionerType type, double rate,
+                      TimeSeriesStore* timeseries) {
+  auto profile = std::make_shared<ConstantRate>(rate);
+  auto source = MakeDataset(DatasetId::kSynD, profile, /*seed=*/42, zipf,
+                            /*cardinality_scale=*/0.02);
+  EngineOptions opts;
+  opts.batch_interval = Seconds(1);
+  opts.map_tasks = 16;
+  opts.reduce_tasks = 16;
+  opts.cores = 16;
+  opts.cost = BenchCostModel();
+  opts.unstable_queue_intervals = 1e9;
+  opts.obs.collect_partition_metrics = true;
+  opts.use_prompt_reduce = type == PartitionerType::kPrompt;
+  MicroBatchEngine engine(opts, JobSpec::WordCount(8), CreatePartitioner(type),
+                          source.get());
+  RunSummary summary = engine.Run(8);
+  for (const BatchReport& b : summary.batches) timeseries->Observe(b);
+  return summary;
+}
+
+void TrackConfig(const std::string& name, double zipf, PartitionerType type,
+                 double rate, std::vector<Signal>* out) {
+  TimeSeriesOptions ts_opts;
+  ts_opts.window = 8;
+  TimeSeriesStore timeseries(ts_opts);
+  RunSummary summary = TrackedRun(zipf, type, rate, &timeseries);
+
+  out->push_back({name + ".throughput_tps",
+                  summary.MeanThroughputTuplesPerSec(Seconds(1), /*warmup=*/2),
+                  "tuples/s"});
+  out->push_back({name + ".p99_latency_us",
+                  timeseries.Aggregate(TimeSeriesSignal::kLatencyUs).p99,
+                  "us"});
+  out->push_back({name + ".bucket_imbalance_mean",
+                  timeseries.Aggregate(TimeSeriesSignal::kBucketImbalance).mean,
+                  "tuples"});
+  out->push_back({name + ".block_load_ratio_max",
+                  timeseries.Aggregate(TimeSeriesSignal::kBlockLoadRatio).max,
+                  "ratio"});
+}
+
+/// Wall-clock overhead of the telemetry layer (ring + autopsy + exporter)
+/// over a metrics-only run — tracked, not gated.
+double TelemetryOverheadPct() {
+  auto run_once = [](bool telemetry) {
+    auto profile = std::make_shared<ConstantRate>(20000.0);
+    auto source = MakeDataset(DatasetId::kSynD, profile, /*seed=*/7, 1.0, 0.02);
+    EngineOptions opts;
+    opts.batch_interval = Seconds(1);
+    opts.map_tasks = 16;
+    opts.reduce_tasks = 16;
+    opts.cores = 16;
+    opts.cost = BenchCostModel();
+    opts.unstable_queue_intervals = 1e9;
+    opts.obs.metrics_enabled = true;
+    if (telemetry) {
+      opts.obs.serve_port = 0;
+      opts.obs.autopsy_enabled = true;
+    }
+    MicroBatchEngine engine(opts, JobSpec::WordCount(8),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    Stopwatch watch;
+    engine.Run(8);
+    return watch.ElapsedMicros();
+  };
+  TimeMicros off = run_once(false), on = run_once(true);
+  for (int i = 0; i < 4; ++i) {
+    off = std::min(off, run_once(false));
+    on = std::min(on, run_once(true));
+  }
+  return 100.0 * (static_cast<double>(on) - static_cast<double>(off)) /
+         static_cast<double>(off);
+}
+
+void WriteJson(const std::vector<Signal>& signals, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_track: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema_version\": 1,\n  \"signals\": [\n");
+  for (size_t i = 0; i < signals.size(); ++i) {
+    const Signal& s = signals[i];
+    std::fprintf(f,
+                 "    {\"id\": \"%s\", \"value\": %.6f, \"unit\": \"%s\", "
+                 "\"gate\": %s, \"tolerance_pct\": %.2f}%s\n",
+                 s.id.c_str(), s.value, s.unit.c_str(),
+                 s.gate ? "true" : "false", s.tolerance_pct,
+                 i + 1 < signals.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_prompt.json";
+  std::vector<Signal> signals;
+
+  // Gated, deterministic (virtual-time) signals.
+  TrackConfig("synd_z1.0_prompt", 1.0, PartitionerType::kPrompt, 8000.0,
+              &signals);
+  TrackConfig("synd_z1.4_hash", 1.4, PartitionerType::kHash, 8000.0, &signals);
+
+  // Ungated wall-clock trend signal: loose tolerance recorded for context.
+  signals.push_back({"telemetry_overhead_pct", TelemetryOverheadPct(), "%",
+                     /*gate=*/false, /*tolerance_pct=*/100.0});
+
+  WriteJson(signals, out_path);
+  std::printf("wrote %zu signals to %s\n", signals.size(), out_path.c_str());
+  for (const Signal& s : signals) {
+    std::printf("  %-40s %14.4f %-8s %s\n", s.id.c_str(), s.value,
+                s.unit.c_str(), s.gate ? "gated" : "ungated");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the standardized benchmark tracker and gates against the committed
+# baseline BENCH_prompt.json at the repo root.
+#
+#   scripts/bench_track.sh [build_dir]
+#
+# Environment:
+#   WARN_ONLY=1        report regressions without failing (nightly mode)
+#   UPDATE_BASELINE=1  rewrite the committed baseline from this run
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BASELINE="BENCH_prompt.json"
+CURRENT="${BUILD_DIR}/BENCH_prompt.json"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_track" ]]; then
+  echo "bench_track not built; run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target bench_track" >&2
+  exit 1
+fi
+
+"${BUILD_DIR}/bench/bench_track" "${CURRENT}"
+
+if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
+  cp "${CURRENT}" "${BASELINE}"
+  echo "baseline ${BASELINE} updated — commit it"
+  exit 0
+fi
+
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "no committed baseline ${BASELINE}; run UPDATE_BASELINE=1 $0 first" >&2
+  exit 1
+fi
+
+python3 scripts/check_bench_regression.py "${BASELINE}" "${CURRENT}"

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_prompt.json against the committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT
+
+Exit codes: 0 = within tolerance, 1 = regression (or malformed input).
+
+Gating rules:
+  - Only signals marked "gate": true in the *baseline* are enforced.
+  - A gated signal drifting more than its baseline tolerance_pct (relative,
+    either direction — the tracked runs are virtual-time deterministic, so
+    an unexplained improvement is as suspicious as a slowdown) fails.
+  - A gated baseline signal missing from the current run fails: silently
+    dropping a tracked signal is how regressions hide.
+  - New signals in the current run are reported but never fail.
+
+Environment:
+  WARN_ONLY=1   report violations, exit 0 (first-landing / nightly mode).
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if doc.get("schema_version") != 1 or "signals" not in doc:
+        print(f"error: {path} is not a schema_version=1 bench file",
+              file=sys.stderr)
+        sys.exit(1)
+    return {s["id"]: s for s in doc["signals"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+    warn_only = os.environ.get("WARN_ONLY") == "1"
+
+    violations = []
+    for sig_id, base in sorted(baseline.items()):
+        cur = current.get(sig_id)
+        if not base.get("gate", False):
+            status = "ungated"
+            delta = ""
+            if cur is not None and base["value"] != 0:
+                pct = 100.0 * (cur["value"] - base["value"]) / abs(base["value"])
+                delta = f"{pct:+.3f}%"
+            print(f"  {sig_id:45s} {status:10s} {delta}")
+            continue
+        if cur is None:
+            violations.append(f"{sig_id}: gated signal missing from current run")
+            print(f"  {sig_id:45s} MISSING")
+            continue
+        tolerance = base.get("tolerance_pct", 0.1)
+        if base["value"] == 0:
+            drift = 0.0 if cur["value"] == 0 else float("inf")
+        else:
+            drift = 100.0 * abs(cur["value"] - base["value"]) / abs(base["value"])
+        ok = drift <= tolerance
+        print(f"  {sig_id:45s} {'ok' if ok else 'FAIL':10s} "
+              f"drift={drift:.4f}% tol={tolerance}% "
+              f"({base['value']:.4f} -> {cur['value']:.4f})")
+        if not ok:
+            violations.append(
+                f"{sig_id}: {base['value']:.4f} -> {cur['value']:.4f} "
+                f"({drift:.3f}% > {tolerance}%)")
+
+    for sig_id in sorted(set(current) - set(baseline)):
+        print(f"  {sig_id:45s} new (not in baseline)")
+
+    if violations:
+        print(f"\n{len(violations)} gated signal(s) out of tolerance:")
+        for v in violations:
+            print(f"  - {v}")
+        if warn_only:
+            print("WARN_ONLY=1: reporting without failing")
+            return 0
+        return 1
+    print("\nall gated signals within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,3 +35,43 @@ if [[ "${TRACE_LINES}" -ne 5 ]]; then
   echo "observability smoke: expected 5 trace records, got ${TRACE_LINES}" >&2
   exit 1
 fi
+
+# Telemetry exporter smoke: hold promptctl's embedded HTTP server open after
+# a short run and scrape it. Validates the Prometheus exposition and the
+# time-series JSON end to end (outside the in-process unit tests).
+EXPORT_PORT=19123
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=4000 --batches=5 --ingest_shards=2 --zipf=1.0 \
+  --serve_metrics_port="${EXPORT_PORT}" --serve_hold_ms=10000 \
+  > "${LOG_DIR}/exporter-smoke.log" 2>&1 &
+EXPORT_PID=$!
+# Poll /timeseries.json until the exporter is up AND the run has completed
+# (batches_seen reaches 5) — scraping /metrics mid-run would race the count.
+SCRAPE_OK=0
+for _ in $(seq 1 50); do
+  if curl -fsS "http://127.0.0.1:${EXPORT_PORT}/timeseries.json" \
+       -o "${LOG_DIR}/exporter-timeseries.json" 2>/dev/null \
+     && python3 -c "
+import json, sys
+doc = json.load(open('${LOG_DIR}/exporter-timeseries.json'))
+sys.exit(0 if doc['batches_seen'] == 5 and len(doc['points']) == 5 else 1)
+" 2>/dev/null; then
+    SCRAPE_OK=1
+    break
+  fi
+  sleep 0.2
+done
+if [[ "${SCRAPE_OK}" -ne 1 ]]; then
+  echo "exporter smoke: /timeseries.json never reported the full run" >&2
+  kill "${EXPORT_PID}" 2>/dev/null || true
+  exit 1
+fi
+curl -fsS "http://127.0.0.1:${EXPORT_PORT}/metrics" \
+  -o "${LOG_DIR}/exporter-metrics.txt"
+curl -fsS "http://127.0.0.1:${EXPORT_PORT}/healthz" > /dev/null
+kill "${EXPORT_PID}" 2>/dev/null || true
+wait "${EXPORT_PID}" 2>/dev/null || true
+grep -q '^# TYPE prompt_batches_total counter' "${LOG_DIR}/exporter-metrics.txt"
+grep -q '^prompt_batches_total 5' "${LOG_DIR}/exporter-metrics.txt"
+grep -q '^prompt_batch_latency_us{quantile="0.99"}' "${LOG_DIR}/exporter-metrics.txt"
+echo "exporter smoke: /metrics, /timeseries.json, /healthz OK"

@@ -536,8 +536,8 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
     pipeline_free_at_ = proc_start + report.processing_time;
     report.latency = pipeline_free_at_ - start;
     if (ingest_ != nullptr) {
-      // Fold the batching phase's per-shard stats into the report — the
-      // embedded form replaces the deprecated ingest_metrics() accessor.
+      // Fold the batching phase's per-shard stats into the report; this
+      // embedded form is the only way callers see per-shard ingest state.
       report.ingest = ingest_->last_metrics();
       report.has_ingest = true;
     }

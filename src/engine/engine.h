@@ -180,14 +180,6 @@ class MicroBatchEngine {
 
   const EngineOptions& options() const { return options_; }
 
-  /// \deprecated Use the embedded BatchReport::ingest (has_ingest) instead;
-  /// this raw-pointer accessor will be removed next release. Per-shard
-  /// ingest observability for the last batch; nullptr when running
-  /// single-threaded (ingest_shards <= 1).
-  const IngestMetrics* ingest_metrics() const {
-    return ingest_ != nullptr ? &ingest_->last_metrics() : nullptr;
-  }
-
   /// The engine's observability stack (registry, trace recorder, sinks).
   /// Configure through EngineOptions::obs; attach extra sinks/observers
   /// before the first Run.

@@ -1,0 +1,99 @@
+// Per-batch skew autopsy: answers "why was batch N slow" by joining the
+// batch's report (trace-span totals, partition plan quality, ingest state,
+// recovery accounting) and attributing the latency beyond the ideal balanced
+// schedule to a dominant cause. Attribution is rule-based and fully
+// deterministic — same report, same verdict — so tests can assert exact
+// causes on synthetic workloads. Records flow through the standard
+// RecordSink path as JSONL `autopsy` rows and render as a human table via
+// `promptctl --explain <batch>`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "common/clock.h"
+#include "obs/batch_report.h"
+#include "obs/record.h"
+
+namespace prompt {
+
+/// \brief Causes a batch's excess latency can be attributed to. Order is the
+/// tie-break: on equal excess the earlier cause wins (deterministic).
+enum class BatchCause : size_t {
+  kNone = 0,            ///< every excess source below the noise floor
+  kQueueing,            ///< waited behind earlier batches (W > 1 upstream)
+  kRecovery,            ///< replays / re-replication after a failure
+  kSplitKeyOverflow,    ///< B-BPFI plan ran past the release slack
+  kStragglerCore,       ///< one Map block dominated the stage makespan
+  kBucketSkew,          ///< uneven reduce buckets spread completion times
+  kIngestBackpressure,  ///< an ingest ring ran near capacity at the cut-off
+  kCauseCount
+};
+
+inline constexpr size_t kBatchCauses =
+    static_cast<size_t>(BatchCause::kCauseCount);
+
+/// Stable wire name (JSONL records, test assertions, --explain output).
+std::string_view BatchCauseName(BatchCause cause);
+
+/// \brief Attribution thresholds.
+struct AutopsyOptions {
+  /// A batch is "healthy" (kNone) unless some cause's excess reaches
+  /// max(min_excess_us, min_excess_frac * batch_interval).
+  double min_excess_frac = 0.01;
+  TimeMicros min_excess_us = 1000;
+  /// Ring occupancy at or above this fraction counts as back-pressure.
+  double ring_pressure_threshold = 0.75;
+};
+
+/// \brief One batch's explained verdict.
+struct BatchAutopsy {
+  uint64_t batch_id = 0;
+  BatchCause dominant = BatchCause::kNone;
+  /// Excess microseconds attributed to each cause (kNone stays 0).
+  std::array<TimeMicros, kBatchCauses> excess{};
+  /// Sum of all per-cause excess.
+  TimeMicros total_excess = 0;
+  /// Noise floor the dominant cause had to clear.
+  TimeMicros threshold = 0;
+
+  // Context the rules fired on (for the human-readable table).
+  double block_load_ratio = 1.0;
+  double split_key_frac = 0;
+  double ring_occupancy = 0;
+
+  TimeMicros excess_of(BatchCause cause) const {
+    return excess[static_cast<size_t>(cause)];
+  }
+};
+
+/// \brief Runs the attribution rules over one batch report.
+///
+/// The rules (documented in DESIGN.md §10):
+///  - queueing            = report.queue_delay
+///  - recovery            = report.recovery_time
+///  - split_key_overflow  = report.partition_overflow (the plan's work is
+///                          dominated by heavy-key splitting; overflow past
+///                          the Early-Batch-Release slack is its signature)
+///  - straggler_core      = map_makespan * (1 - avg_block/max_block) when
+///                          the partition-metrics pass ran (0 otherwise)
+///  - bucket_skew         = (max - mean) reduce completion time
+///  - ingest_backpressure = seal_barrier + merge latency when some ring's
+///                          occupancy reached ring_pressure_threshold
+/// Dominant = argmax excess, earlier enum value wins ties; kNone when the
+/// max is below the noise floor.
+BatchAutopsy ExplainBatch(const BatchReport& report,
+                          const AutopsyOptions& options = {});
+
+/// \brief Lowers an autopsy to the canonical record row (JSONL sinks):
+/// record=autopsy, batch_id, dominant, total/threshold and one
+/// excess_<cause>_us column per cause.
+Record AutopsyRecord(const BatchAutopsy& autopsy);
+
+/// \brief Human-readable verdict + per-cause table (promptctl --explain).
+void WriteAutopsyText(const BatchAutopsy& autopsy, const BatchReport& report,
+                      std::ostream* out);
+
+}  // namespace prompt

@@ -1,0 +1,238 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace prompt {
+
+namespace {
+
+/// Prometheus label rendering: `name{k="v",...}` with quoted, escaped
+/// values — distinct from MetricSample::FullName's unquoted `k=v` identity.
+std::string PrometheusSeries(const std::string& name,
+                             const MetricLabels& labels,
+                             const MetricLabels& extra = {}) {
+  std::string out = name;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  bool first = true;
+  auto append = [&out, &first](const MetricLabels& ls) {
+    for (const auto& [k, v] : ls) {
+      if (!first) out += ',';
+      first = false;
+      out += k;
+      out += "=\"";
+      for (char c : v) {
+        if (c == '\\' || c == '"') out += '\\';
+        if (c == '\n') {
+          out += "\\n";
+          continue;
+        }
+        out += c;
+      }
+      out += '"';
+    }
+  };
+  append(labels);
+  append(extra);
+  out += '}';
+  return out;
+}
+
+std::string PrometheusValue(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string PrometheusExposition(const std::vector<MetricSample>& snapshot) {
+  std::string out;
+  // The snapshot is sorted by FullName, which does not group label variants
+  // of one metric adjacently ('{' sorts above '_'); dedupe TYPE lines by
+  // name instead of relying on adjacency.
+  std::vector<std::string> typed;
+  auto type_line = [&out, &typed](const std::string& name, const char* type) {
+    for (const auto& t : typed) {
+      if (t == name) return;
+    }
+    typed.push_back(name);
+    out += "# TYPE " + name + ' ' + type + '\n';
+  };
+  for (const MetricSample& s : snapshot) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        type_line(s.name, "counter");
+        out += PrometheusSeries(s.name, s.labels) + ' ' +
+               PrometheusValue(s.value) + '\n';
+        break;
+      case MetricSample::Kind::kGauge:
+        type_line(s.name, "gauge");
+        out += PrometheusSeries(s.name, s.labels) + ' ' +
+               PrometheusValue(s.value) + '\n';
+        break;
+      case MetricSample::Kind::kHistogram: {
+        // Exported as a summary: the registry keeps log-bucketed counts but
+        // snapshots carry pre-computed quantiles, which is what dashboards
+        // plot anyway.
+        type_line(s.name, "summary");
+        const std::pair<const char*, double> quantiles[] = {
+            {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}};
+        for (const auto& [q, v] : quantiles) {
+          out += PrometheusSeries(s.name, s.labels, {{"quantile", q}}) + ' ' +
+                 PrometheusValue(v) + '\n';
+        }
+        out += PrometheusSeries(s.name + "_sum", s.labels) + ' ' +
+               PrometheusValue(s.sum) + '\n';
+        out += PrometheusSeries(s.name + "_count", s.labels) + ' ' +
+               std::to_string(s.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+HttpExporter::HttpExporter(const MetricsRegistry* registry,
+                           const TimeSeriesStore* timeseries)
+    : registry_(registry), timeseries_(timeseries) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire) || listen_fd_ >= 0) {
+    return Status::Invalid("exporter already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname: " + err);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&HttpExporter::AcceptLoop, this);
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // A short poll timeout bounds how long Stop() waits for the join.
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+bool HttpExporter::RenderPath(const std::string& path, std::string* body,
+                              std::string* content_type) const {
+  if (path == "/healthz") {
+    *body = "ok\n";
+    *content_type = "text/plain; charset=utf-8";
+    return true;
+  }
+  if (path == "/metrics" && registry_ != nullptr) {
+    *body = PrometheusExposition(registry_->Snapshot());
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  if (path == "/timeseries.json" && timeseries_ != nullptr) {
+    std::ostringstream os;
+    timeseries_->WriteJson(&os);
+    *body = os.str();
+    *content_type = "application/json";
+    return true;
+  }
+  return false;
+}
+
+void HttpExporter::HandleConnection(int fd) const {
+  // Read just the request line; headers are irrelevant to the three
+  // endpoints and connections are one-shot (Connection: close).
+  char buf[2048];
+  std::string request;
+  while (request.find("\r\n") == std::string::npos &&
+         request.size() < sizeof(buf)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t eol = request.find("\r\n");
+  if (eol == std::string::npos) return;
+  std::istringstream line(request.substr(0, eol));
+  std::string method, target;
+  line >> method >> target;
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  std::string body, content_type, status = "200 OK";
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "method not allowed\n";
+    content_type = "text/plain; charset=utf-8";
+  } else if (!RenderPath(target, &body, &content_type)) {
+    status = "404 Not Found";
+    body = "not found\n";
+    content_type = "text/plain; charset=utf-8";
+  }
+  std::string response = "HTTP/1.1 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace prompt

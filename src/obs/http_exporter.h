@@ -1,0 +1,75 @@
+// Minimal embedded HTTP server exporting live telemetry from a running
+// engine: Prometheus text exposition of the MetricsRegistry (`/metrics`),
+// the per-batch time series with windowed aggregates (`/timeseries.json`)
+// and a liveness probe (`/healthz`). One accept thread, one request per
+// connection, responses built from the same snapshot paths the file sinks
+// use — the engine's hot path is never touched by a scrape (registry
+// snapshots and time-series reads take their own mutexes once per request).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
+
+namespace prompt {
+
+/// \brief Prometheus text exposition (version 0.0.4) of a registry
+/// snapshot. Counters/gauges map directly; histograms export as summaries
+/// (quantile-labeled series plus _sum and _count).
+std::string PrometheusExposition(const std::vector<MetricSample>& snapshot);
+
+/// \brief Embedded telemetry HTTP server.
+///
+/// Serves GET /metrics, /timeseries.json and /healthz until Stop() (also run
+/// by the destructor). Either source pointer may be nullptr — the matching
+/// endpoint then answers 404 while the others keep working.
+class HttpExporter {
+ public:
+  /// Neither pointer is owned; both must outlive the exporter.
+  HttpExporter(const MetricsRegistry* registry,
+               const TimeSeriesStore* timeseries);
+  ~HttpExporter();
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(HttpExporter);
+
+  /// Binds and listens on `port` (0 = any free port, see port()) and starts
+  /// the accept thread. May be called once.
+  Status Start(uint16_t port);
+
+  /// Stops serving and joins the accept thread (idempotent).
+  void Stop();
+
+  bool serving() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0 to the kernel's pick). 0 before Start.
+  uint16_t port() const { return port_; }
+
+  /// Requests answered so far (any status).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Response-body dispatch, exposed for tests and non-HTTP reuse. Returns
+  /// false for unknown paths. `content_type` is set on success.
+  bool RenderPath(const std::string& path, std::string* body,
+                  std::string* content_type) const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd) const;
+
+  const MetricsRegistry* registry_;
+  const TimeSeriesStore* timeseries_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  mutable std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace prompt

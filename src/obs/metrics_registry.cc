@@ -1,6 +1,7 @@
 #include "obs/metrics_registry.h"
 
 #include <cmath>
+#include <limits>
 
 namespace prompt {
 
@@ -24,6 +25,9 @@ std::array<uint64_t, HistogramMetric::kBuckets> HistogramMetric::BucketCounts()
 }
 
 double HistogramMetric::Quantile(double q) const {
+  // NaN would slip past a plain range check (both comparisons are false);
+  // reject it explicitly so callers get a diagnosable NaN, not an abort.
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
   PROMPT_CHECK(q >= 0.0 && q <= 1.0);
   const auto counts = BucketCounts();
   uint64_t total = 0;

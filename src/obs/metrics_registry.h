@@ -10,6 +10,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -64,7 +65,10 @@ class HistogramMetric {
  public:
   static constexpr size_t kBuckets = 64;
 
+  /// NaN observations are dropped — one NaN folded into sum_ would poison
+  /// the mean and every later sum forever.
   void Observe(double v) {
+    if (std::isnan(v)) return;
     buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     double cur = sum_.load(std::memory_order_relaxed);
@@ -80,7 +84,10 @@ class HistogramMetric {
     return n > 0 ? sum() / static_cast<double>(n) : 0.0;
   }
 
-  /// q in [0, 1]. Approximate (bucket-interpolated) quantile.
+  /// q in [0, 1]. Approximate (bucket-interpolated) quantile. Guaranteed
+  /// edges: an empty histogram returns 0.0; q = 0 returns the lower edge of
+  /// the first occupied bucket and q = 1 the upper edge of the last; a NaN
+  /// q is rejected by returning NaN. Out-of-range q aborts.
   double Quantile(double q) const;
 
   /// Snapshot of per-bucket counts (index i = upper bound 2^i).

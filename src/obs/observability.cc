@@ -6,6 +6,12 @@ Observability::Observability(ObservabilityOptions options)
     : options_(std::move(options)) {
   if (options_.metrics_every > 0) options_.metrics_enabled = true;
   if (!options_.trace_path.empty()) options_.trace_enabled = true;
+  if (!options_.autopsy_path.empty()) options_.autopsy_enabled = true;
+  if (options_.serve_port >= 0) {
+    // A live server without sources would serve nothing but /healthz.
+    options_.metrics_enabled = true;
+    if (options_.timeseries_capacity == 0) options_.timeseries_capacity = 1024;
+  }
 
   if (options_.metrics_enabled) {
     registry_ = std::make_unique<MetricsRegistry>();
@@ -36,12 +42,41 @@ Observability::Observability(ObservabilityOptions options)
       init_status_ = sink.status();
     }
   }
+  if (!options_.autopsy_path.empty()) {
+    auto sink = FileRecordSink::Open(options_.autopsy_path,
+                                     FileRecordSink::Format::kJsonl);
+    if (sink.ok()) {
+      autopsy_file_ = std::move(*sink);
+    } else if (init_status_.ok()) {
+      init_status_ = sink.status();
+    }
+  }
+
+  if (options_.timeseries_capacity > 0) {
+    TimeSeriesOptions ts;
+    ts.capacity = options_.timeseries_capacity;
+    ts.window = options_.timeseries_window;
+    ts.ewma_alpha = options_.timeseries_alpha;
+    timeseries_ = std::make_unique<TimeSeriesStore>(ts);
+  }
+  if (options_.serve_port >= 0) {
+    exporter_ =
+        std::make_unique<HttpExporter>(registry_.get(), timeseries_.get());
+    Status started =
+        exporter_->Start(static_cast<uint16_t>(options_.serve_port));
+    if (!started.ok()) {
+      exporter_.reset();
+      if (init_status_.ok()) init_status_ = std::move(started);
+    }
+  }
 }
 
 Observability::~Observability() {
+  if (exporter_ != nullptr) exporter_->Stop();
   for (auto& sink : trace_sinks_) sink->Flush();
   for (auto& sink : report_sinks_) sink->Flush();
   if (metrics_file_ != nullptr) metrics_file_->Flush();
+  if (autopsy_file_ != nullptr) autopsy_file_->Flush();
 }
 
 void Observability::AddTraceSink(std::unique_ptr<TraceSink> sink) {
@@ -115,6 +150,14 @@ void Observability::OnBatchComplete(const BatchReport& report,
     }
   }
 
+  if (timeseries_ != nullptr) timeseries_->Observe(report);
+  if (options_.autopsy_enabled) {
+    last_autopsy_ = ExplainBatch(report, options_.autopsy);
+    if (autopsy_file_ != nullptr) {
+      autopsy_file_->Write(AutopsyRecord(last_autopsy_));
+    }
+  }
+
   if (!report_sinks_.empty()) {
     const Record row = ReportRecord(report);
     for (auto& sink : report_sinks_) sink->Write(row);
@@ -133,6 +176,7 @@ void Observability::OnRunEnd() {
   for (auto& sink : trace_sinks_) sink->Flush();
   for (auto& sink : report_sinks_) sink->Flush();
   if (metrics_file_ != nullptr) metrics_file_->Flush();
+  if (autopsy_file_ != nullptr) autopsy_file_->Flush();
 }
 
 void Observability::EmitMetricsSnapshot(uint64_t after_batch) {

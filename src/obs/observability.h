@@ -11,10 +11,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/autopsy.h"
 #include "obs/batch_report.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics_registry.h"
 #include "obs/observer.h"
 #include "obs/sink.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace prompt {
@@ -39,6 +42,26 @@ struct ObservabilityOptions {
   bool trace_enabled = false;
   /// JSONL trace destination (one record per batch); "" = no file.
   std::string trace_path;
+
+  /// Retain a ring of per-batch signal points this many batches deep
+  /// (0 = no time series). Implied (at 1024) by serve_port >= 0.
+  size_t timeseries_capacity = 0;
+  /// Window W of the derived p50/p95/p99 aggregates.
+  uint32_t timeseries_window = 32;
+  /// EWMA weight of the newest batch.
+  double timeseries_alpha = 0.2;
+
+  /// Run the per-batch skew autopsy (deterministic cause attribution).
+  /// Implied by autopsy_path.
+  bool autopsy_enabled = false;
+  /// JSONL destination for `record=autopsy` rows; "" = no file.
+  std::string autopsy_path;
+  AutopsyOptions autopsy;
+
+  /// Serve /metrics, /timeseries.json and /healthz on 127.0.0.1:port
+  /// (0 = pick a free port, see Observability::exporter()->port();
+  /// -1 = no server). Implies metrics_enabled and a time series.
+  int serve_port = -1;
 };
 
 /// \brief Standard Observer implementation: registry + recorder + sinks.
@@ -55,13 +78,15 @@ class Observability final : public Observer {
   /// Any instrumentation consumer attached? The engine skips report/trace
   /// assembly entirely when false — the disabled path costs one branch.
   bool active() const {
-    return metrics_enabled() || tracing_active() || !report_sinks_.empty();
+    return metrics_enabled() || tracing_active() || !report_sinks_.empty() ||
+           timeseries_ != nullptr || autopsy_enabled();
   }
   bool metrics_enabled() const { return registry_ != nullptr; }
   bool tracing_active() const {
     return options_.trace_enabled || !trace_sinks_.empty() ||
            !observers_.empty();
   }
+  bool autopsy_enabled() const { return options_.autopsy_enabled; }
 
   /// Registry for component instrumentation; nullptr when metrics are
   /// disabled (callers skip on nullptr — the zero-cost contract).
@@ -71,6 +96,20 @@ class Observability final : public Observer {
   /// Recorder the engine lays batch timelines into (always valid; unused
   /// when tracing is inactive).
   TraceRecorder* recorder() { return &recorder_; }
+
+  /// Per-batch time series; nullptr when timeseries_capacity is 0 and no
+  /// server was requested.
+  TimeSeriesStore* timeseries() { return timeseries_.get(); }
+  const TimeSeriesStore* timeseries() const { return timeseries_.get(); }
+
+  /// Embedded telemetry server; nullptr when serve_port < 0. Started by the
+  /// constructor — a bind failure lands in init_status().
+  HttpExporter* exporter() { return exporter_.get(); }
+  const HttpExporter* exporter() const { return exporter_.get(); }
+
+  /// The most recent batch's autopsy (kNone batch 0 before any batch ran).
+  /// Only maintained while autopsy_enabled().
+  const BatchAutopsy& last_autopsy() const { return last_autopsy_; }
 
   void AddTraceSink(std::unique_ptr<TraceSink> sink);
   /// Per-batch report rows (ReportRecord) flow into these.
@@ -102,6 +141,11 @@ class Observability final : public Observer {
 
   // Snapshot destination (JSONL file) when metrics_path is set.
   std::unique_ptr<FileRecordSink> metrics_file_;
+  // Autopsy destination (JSONL file) when autopsy_path is set.
+  std::unique_ptr<FileRecordSink> autopsy_file_;
+
+  std::unique_ptr<TimeSeriesStore> timeseries_;
+  BatchAutopsy last_autopsy_;
 
   // Cached hot-path handles (valid iff registry_ != nullptr).
   Counter* batches_total_ = nullptr;
@@ -124,6 +168,10 @@ class Observability final : public Observer {
   Counter* tasks_speculated_total_ = nullptr;
   Gauge* under_replicated_gauge_ = nullptr;
   HistogramMetric* recovery_us_ = nullptr;
+
+  // Declared last: destroyed first, so the accept thread joins before the
+  // registry and time series it scrapes go away.
+  std::unique_ptr<HttpExporter> exporter_;
 };
 
 /// \brief Lowers a BatchReport to the canonical 18-column row every writer

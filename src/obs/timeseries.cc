@@ -1,0 +1,204 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+namespace prompt {
+
+namespace {
+
+std::string FormatJsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buf;
+}
+
+/// Deterministic quantile over a sorted window: the value at rank
+/// ceil(q * n) (1-based), the "nearest-rank" definition.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(rank + 0.999999) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::string_view TimeSeriesSignalName(TimeSeriesSignal signal) {
+  switch (signal) {
+    case TimeSeriesSignal::kLatencyUs:
+      return "latency_us";
+    case TimeSeriesSignal::kProcessingUs:
+      return "processing_us";
+    case TimeSeriesSignal::kQueueUs:
+      return "queue_us";
+    case TimeSeriesSignal::kBlockLoadRatio:
+      return "block_load_ratio";
+    case TimeSeriesSignal::kBucketImbalance:
+      return "bucket_imbalance";
+    case TimeSeriesSignal::kSplitKeyFrac:
+      return "split_key_frac";
+    case TimeSeriesSignal::kRingOccupancyFrac:
+      return "ring_occupancy_frac";
+    case TimeSeriesSignal::kRecoveryUs:
+      return "recovery_us";
+    case TimeSeriesSignal::kTuples:
+      return "tuples";
+    case TimeSeriesSignal::kSignalCount:
+      break;
+  }
+  return "unknown";
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(options) {
+  PROMPT_CHECK(options_.capacity > 0);
+  PROMPT_CHECK(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0);
+  ring_.resize(options_.capacity);
+}
+
+TimeSeriesPoint TimeSeriesStore::PointFrom(const BatchReport& report) {
+  TimeSeriesPoint p;
+  p.batch_id = report.batch_id;
+  p.set(TimeSeriesSignal::kLatencyUs, static_cast<double>(report.latency));
+  p.set(TimeSeriesSignal::kProcessingUs,
+        static_cast<double>(report.processing_time));
+  p.set(TimeSeriesSignal::kQueueUs, static_cast<double>(report.queue_delay));
+  // Block-load ratio needs the partition metrics pass; without it the
+  // max/avg fields are zero and the ratio reports balanced.
+  const PartitionMetrics& pm = report.partition_metrics;
+  p.set(TimeSeriesSignal::kBlockLoadRatio,
+        pm.avg_block_size > 0
+            ? static_cast<double>(pm.max_block_size) / pm.avg_block_size
+            : 1.0);
+  p.set(TimeSeriesSignal::kBucketImbalance, report.reduce_bucket_bsi);
+  p.set(TimeSeriesSignal::kSplitKeyFrac,
+        pm.distinct_keys > 0 ? static_cast<double>(pm.split_keys) /
+                                   static_cast<double>(pm.distinct_keys)
+                             : 0.0);
+  p.set(TimeSeriesSignal::kRingOccupancyFrac,
+        report.has_ingest ? MaxRingOccupancyFrac(report.ingest) : 0.0);
+  p.set(TimeSeriesSignal::kRecoveryUs,
+        static_cast<double>(report.recovery_time));
+  p.set(TimeSeriesSignal::kTuples, static_cast<double>(report.num_tuples));
+  return p;
+}
+
+void TimeSeriesStore::Push(const TimeSeriesPoint& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = point;
+  next_ = (next_ + 1) % options_.capacity;
+  size_ = std::min(size_ + 1, options_.capacity);
+  ++total_;
+  if (!ewma_init_) {
+    ewma_ = point.values;
+    ewma_init_ = true;
+  } else {
+    for (size_t i = 0; i < kTimeSeriesSignals; ++i) {
+      ewma_[i] = options_.ewma_alpha * point.values[i] +
+                 (1.0 - options_.ewma_alpha) * ewma_[i];
+    }
+  }
+}
+
+size_t TimeSeriesStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+uint64_t TimeSeriesStore::total_observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesStore::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t count = (n == 0 || n > size_) ? size_ : n;
+  std::vector<TimeSeriesPoint> out;
+  out.reserve(count);
+  // Oldest-of-window first: the slot `count` pushes before `next_`.
+  const size_t cap = options_.capacity;
+  const size_t start = (next_ + cap - count) % cap;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(start + i) % cap]);
+  }
+  return out;
+}
+
+size_t TimeSeriesStore::WindowSpanLocked(uint32_t window) const {
+  const size_t w = window == 0 ? options_.window : window;
+  return std::min<size_t>(w, size_);
+}
+
+WindowAggregate TimeSeriesStore::AggregateLocked(TimeSeriesSignal signal,
+                                                 uint32_t window) const {
+  WindowAggregate agg;
+  const size_t count = WindowSpanLocked(window);
+  if (count == 0) return agg;
+  const size_t cap = options_.capacity;
+  const size_t start = (next_ + cap - count) % cap;
+  std::vector<double> values;
+  values.reserve(count);
+  double sum = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const double v = ring_[(start + i) % cap].value(signal);
+    values.push_back(v);
+    sum += v;
+    agg.max = std::max(agg.max, v);
+  }
+  agg.count = count;
+  agg.last = values.back();
+  agg.mean = sum / static_cast<double>(count);
+  agg.ewma = ewma_[static_cast<size_t>(signal)];
+  std::sort(values.begin(), values.end());
+  agg.p50 = SortedQuantile(values, 0.50);
+  agg.p95 = SortedQuantile(values, 0.95);
+  agg.p99 = SortedQuantile(values, 0.99);
+  return agg;
+}
+
+WindowAggregate TimeSeriesStore::Aggregate(TimeSeriesSignal signal,
+                                           uint32_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AggregateLocked(signal, window);
+}
+
+void TimeSeriesStore::WriteJson(std::ostream* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out << "{\"capacity\":" << options_.capacity
+       << ",\"window\":" << options_.window << ",\"batches_seen\":" << total_
+       << ",\"size\":" << size_ << ",\"signals\":{";
+  for (size_t s = 0; s < kTimeSeriesSignals; ++s) {
+    const auto signal = static_cast<TimeSeriesSignal>(s);
+    const WindowAggregate agg = AggregateLocked(signal, 0);
+    if (s > 0) *out << ',';
+    *out << '"' << TimeSeriesSignalName(signal) << "\":{\"count\":" << agg.count
+         << ",\"last\":" << FormatJsonDouble(agg.last)
+         << ",\"ewma\":" << FormatJsonDouble(agg.ewma)
+         << ",\"mean\":" << FormatJsonDouble(agg.mean)
+         << ",\"p50\":" << FormatJsonDouble(agg.p50)
+         << ",\"p95\":" << FormatJsonDouble(agg.p95)
+         << ",\"p99\":" << FormatJsonDouble(agg.p99)
+         << ",\"max\":" << FormatJsonDouble(agg.max) << '}';
+  }
+  *out << "},\"points\":[";
+  const size_t cap = options_.capacity;
+  const size_t start = (next_ + cap - size_) % cap;
+  for (size_t i = 0; i < size_; ++i) {
+    const TimeSeriesPoint& p = ring_[(start + i) % cap];
+    if (i > 0) *out << ',';
+    *out << "{\"batch_id\":" << p.batch_id;
+    for (size_t s = 0; s < kTimeSeriesSignals; ++s) {
+      *out << ",\"" << TimeSeriesSignalName(static_cast<TimeSeriesSignal>(s))
+           << "\":" << FormatJsonDouble(p.values[s]);
+    }
+    *out << '}';
+  }
+  *out << "]}";
+}
+
+}  // namespace prompt

@@ -1,0 +1,133 @@
+// Continuous observability: a fixed-capacity ring of per-batch snapshots of
+// the partition-quality signals (max/mean block load ratio, reduce-bucket
+// imbalance, split-key fraction, shard ring occupancy, recovery time, ...)
+// plus derived windowed aggregates (EWMA, p50/p95/p99 over the last W
+// batches). Fed once per batch from Observability::OnBatchComplete — never
+// on the per-tuple path — and snapshotted by the HTTP exporter's
+// /timeseries.json endpoint, so reads and the engine's writes synchronize on
+// one mutex taken once per batch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/macros.h"
+#include "obs/batch_report.h"
+
+namespace prompt {
+
+/// \brief The per-batch signals the time series tracks. Fixed at compile
+/// time so a point is one flat array — no per-batch allocation beyond the
+/// ring slot.
+enum class TimeSeriesSignal : size_t {
+  kLatencyUs = 0,       ///< end-to-end batch latency
+  kProcessingUs,        ///< overflow + map + reduce (+ recovery) makespans
+  kQueueUs,             ///< wait behind earlier batches
+  kBlockLoadRatio,      ///< max/mean Map block size (1.0 = balanced)
+  kBucketImbalance,     ///< reduce-bucket BSI (Eqn. 3, tuples over average)
+  kSplitKeyFrac,        ///< split keys / distinct keys in the batch plan
+  kRingOccupancyFrac,   ///< max ingest-ring occupancy across shards
+  kRecoveryUs,          ///< recovery work charged to the batch
+  kTuples,              ///< batch size (rate proxy at fixed interval)
+  kSignalCount
+};
+
+inline constexpr size_t kTimeSeriesSignals =
+    static_cast<size_t>(TimeSeriesSignal::kSignalCount);
+
+/// Stable wire name of a signal (JSON keys, bench signal ids).
+std::string_view TimeSeriesSignalName(TimeSeriesSignal signal);
+
+/// \brief One batch's values of every tracked signal.
+struct TimeSeriesPoint {
+  uint64_t batch_id = 0;
+  std::array<double, kTimeSeriesSignals> values{};
+
+  double value(TimeSeriesSignal s) const {
+    return values[static_cast<size_t>(s)];
+  }
+  void set(TimeSeriesSignal s, double v) {
+    values[static_cast<size_t>(s)] = v;
+  }
+};
+
+/// \brief Windowed summary of one signal over the last W retained batches.
+struct WindowAggregate {
+  size_t count = 0;  ///< batches the aggregate covers (<= W)
+  double last = 0;   ///< newest observation
+  double ewma = 0;   ///< exponentially-weighted mean over the whole run
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// \brief Time-series configuration.
+struct TimeSeriesOptions {
+  /// Ring capacity in batches; the oldest point is overwritten at capacity.
+  size_t capacity = 1024;
+  /// Default window W for the derived aggregates.
+  uint32_t window = 32;
+  /// EWMA weight of the newest batch.
+  double ewma_alpha = 0.2;
+};
+
+/// \brief Fixed-capacity ring of per-batch signal snapshots with derived
+/// aggregates. Thread-safe: one mutex around pushes and reads (both are
+/// per-batch / per-scrape, never per-tuple).
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesOptions options = {});
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(TimeSeriesStore);
+
+  /// Derives every signal from the report and pushes one point.
+  void Observe(const BatchReport& report) { Push(PointFrom(report)); }
+
+  /// Pushes an already-built point (tests, replays) and steps the EWMAs.
+  void Push(const TimeSeriesPoint& point);
+
+  /// Signal derivation from a report, shared with the autopsy rules.
+  static TimeSeriesPoint PointFrom(const BatchReport& report);
+
+  /// Points currently retained (<= capacity).
+  size_t size() const;
+  size_t capacity() const { return options_.capacity; }
+  /// Batches observed over the store's lifetime (>= size once wrapped).
+  uint64_t total_observed() const;
+
+  /// The newest `n` points, oldest first. n = 0 returns everything retained.
+  std::vector<TimeSeriesPoint> Tail(size_t n = 0) const;
+
+  /// Windowed aggregate of one signal over the last `window` batches
+  /// (0 = the configured default window).
+  WindowAggregate Aggregate(TimeSeriesSignal signal, uint32_t window = 0) const;
+
+  /// One JSON object: configuration, per-signal windowed aggregates and the
+  /// retained points (the /timeseries.json response body).
+  void WriteJson(std::ostream* out) const;
+
+  const TimeSeriesOptions& options() const { return options_; }
+
+ private:
+  /// Points of the last `window` batches, oldest first. Caller holds mu_.
+  size_t WindowSpanLocked(uint32_t window) const;
+  WindowAggregate AggregateLocked(TimeSeriesSignal signal,
+                                  uint32_t window) const;
+
+  TimeSeriesOptions options_;
+  mutable std::mutex mu_;
+  std::vector<TimeSeriesPoint> ring_;
+  size_t next_ = 0;  ///< ring slot the next push writes
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+  std::array<double, kTimeSeriesSignals> ewma_{};
+  bool ewma_init_ = false;
+};
+
+}  // namespace prompt

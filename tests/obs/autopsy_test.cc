@@ -1,0 +1,153 @@
+#include "obs/autopsy.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace prompt {
+namespace {
+
+const RecordField* FindField(const Record& r, std::string_view name) {
+  for (const RecordField& f : r.fields()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+BatchReport HealthyReport() {
+  BatchReport r;
+  r.batch_id = 3;
+  r.batch_interval = 1000000;  // 1s
+  r.latency = 1050000;
+  return r;
+}
+
+TEST(AutopsyTest, HealthyBatchIsNone) {
+  const BatchAutopsy a = ExplainBatch(HealthyReport());
+  EXPECT_EQ(a.dominant, BatchCause::kNone);
+  EXPECT_EQ(a.total_excess, 0);
+  // Default noise floor: 1% of a 1s interval.
+  EXPECT_EQ(a.threshold, 10000);
+}
+
+TEST(AutopsyTest, QueueDelayDominates) {
+  BatchReport r = HealthyReport();
+  r.queue_delay = 400000;
+  const BatchAutopsy a = ExplainBatch(r);
+  EXPECT_EQ(a.dominant, BatchCause::kQueueing);
+  EXPECT_EQ(a.excess_of(BatchCause::kQueueing), 400000);
+}
+
+TEST(AutopsyTest, RecoveryDominates) {
+  BatchReport r = HealthyReport();
+  r.recovery_time = 250000;
+  r.queue_delay = 20000;
+  const BatchAutopsy a = ExplainBatch(r);
+  EXPECT_EQ(a.dominant, BatchCause::kRecovery);
+}
+
+TEST(AutopsyTest, SplitKeyOverflowDominates) {
+  BatchReport r = HealthyReport();
+  r.partition_overflow = 90000;
+  const BatchAutopsy a = ExplainBatch(r);
+  EXPECT_EQ(a.dominant, BatchCause::kSplitKeyOverflow);
+}
+
+TEST(AutopsyTest, StragglerCoreNeedsPartitionMetrics) {
+  BatchReport r = HealthyReport();
+  r.map_makespan = 600000;
+  // Without the partition-metrics pass the rule must stay mute.
+  EXPECT_EQ(ExplainBatch(r).excess_of(BatchCause::kStragglerCore), 0);
+
+  // max/avg = 3: a balanced plan would have finished in a third of the
+  // makespan, so two thirds of it is straggler excess.
+  r.partition_metrics.max_block_size = 300;
+  r.partition_metrics.avg_block_size = 100.0;
+  const BatchAutopsy a = ExplainBatch(r);
+  EXPECT_EQ(a.dominant, BatchCause::kStragglerCore);
+  EXPECT_EQ(a.excess_of(BatchCause::kStragglerCore), 400000);
+  EXPECT_DOUBLE_EQ(a.block_load_ratio, 3.0);
+}
+
+TEST(AutopsyTest, BucketSkewUsesReduceCompletionSpread) {
+  BatchReport r = HealthyReport();
+  r.reduce_completion_mean_ms = 40.0;
+  r.reduce_completion_max_ms = 120.0;
+  const BatchAutopsy a = ExplainBatch(r);
+  EXPECT_EQ(a.dominant, BatchCause::kBucketSkew);
+  EXPECT_EQ(a.excess_of(BatchCause::kBucketSkew), 80000);
+}
+
+TEST(AutopsyTest, IngestBackpressureNeedsRingPressure) {
+  BatchReport r = HealthyReport();
+  r.has_ingest = true;
+  r.ingest.seal_barrier_latency = 30000;
+  r.ingest.merge_latency = 20000;
+  ShardIngestStats shard;
+  shard.ring_capacity = 100;
+  shard.ring_high_water = 20;  // 20% — no pressure
+  r.ingest.shards.push_back(shard);
+  EXPECT_EQ(ExplainBatch(r).excess_of(BatchCause::kIngestBackpressure), 0);
+
+  r.ingest.shards[0].ring_high_water = 90;  // 90% >= default 75%
+  const BatchAutopsy a = ExplainBatch(r);
+  EXPECT_EQ(a.dominant, BatchCause::kIngestBackpressure);
+  EXPECT_EQ(a.excess_of(BatchCause::kIngestBackpressure), 50000);
+  EXPECT_DOUBLE_EQ(a.ring_occupancy, 0.9);
+}
+
+TEST(AutopsyTest, TiesResolveToTheEarlierCause) {
+  BatchReport r = HealthyReport();
+  r.queue_delay = 50000;
+  r.recovery_time = 50000;
+  // Equal excess: kQueueing precedes kRecovery in the enum, so it wins.
+  EXPECT_EQ(ExplainBatch(r).dominant, BatchCause::kQueueing);
+}
+
+TEST(AutopsyTest, ThresholdHonorsOptions) {
+  BatchReport r = HealthyReport();
+  r.queue_delay = 30000;
+  AutopsyOptions opts;
+  opts.min_excess_frac = 0.05;  // floor becomes 50ms
+  EXPECT_EQ(ExplainBatch(r, opts).dominant, BatchCause::kNone);
+  opts.min_excess_frac = 0.01;
+  EXPECT_EQ(ExplainBatch(r, opts).dominant, BatchCause::kQueueing);
+}
+
+TEST(AutopsyTest, RecordCarriesVerdictAndPerCauseExcess) {
+  BatchReport r = HealthyReport();
+  r.queue_delay = 400000;
+  const Record rec = AutopsyRecord(ExplainBatch(r));
+  const RecordField* kind = FindField(rec, "record");
+  ASSERT_NE(kind, nullptr);
+  EXPECT_EQ(std::get<std::string>(kind->value), "autopsy");
+  const RecordField* dominant = FindField(rec, "dominant");
+  ASSERT_NE(dominant, nullptr);
+  EXPECT_EQ(std::get<std::string>(dominant->value), "queueing");
+  const RecordField* excess = FindField(rec, "excess_queueing_us");
+  ASSERT_NE(excess, nullptr);
+  EXPECT_EQ(std::get<int64_t>(excess->value), 400000);
+  // Every cause gets its column, even at zero.
+  for (size_t c = 1; c < kBatchCauses; ++c) {
+    const std::string col =
+        "excess_" +
+        std::string(BatchCauseName(static_cast<BatchCause>(c))) + "_us";
+    EXPECT_NE(FindField(rec, col), nullptr) << col;
+  }
+}
+
+TEST(AutopsyTest, TextRenderingMarksTheDominantCause) {
+  BatchReport r = HealthyReport();
+  r.reduce_completion_mean_ms = 10.0;
+  r.reduce_completion_max_ms = 60.0;
+  const BatchAutopsy a = ExplainBatch(r);
+  std::ostringstream os;
+  WriteAutopsyText(a, r, &os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("dominant=bucket_skew"), std::string::npos) << text;
+  EXPECT_NE(text.find("<=="), std::string::npos);
+  EXPECT_NE(text.find("block_load_ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prompt

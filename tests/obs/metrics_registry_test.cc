@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -82,6 +85,86 @@ TEST(MetricsRegistryTest, HistogramConcurrentObserve) {
   EXPECT_EQ(hist->count(), static_cast<uint64_t>(kThreads * kPerThread));
   // Sum of (1+..+8) * 20000, accumulated with CAS — exact for integers.
   EXPECT_DOUBLE_EQ(hist->sum(), 36.0 * kPerThread);
+}
+
+TEST(MetricsRegistryTest, QuantileEdgeCases) {
+  HistogramMetric hist;
+  // Empty histogram: every quantile is the documented 0.0.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 0.0);
+
+  // Single observation of 5, bucket (4, 8]: q=0 returns the lower edge of
+  // the (only) occupied bucket, q=1 its upper edge, and everything between
+  // interpolates monotonically.
+  hist.Observe(5.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 8.0);
+  EXPECT_GE(hist.Quantile(0.5), 4.0);
+  EXPECT_LE(hist.Quantile(0.5), 8.0);
+}
+
+TEST(MetricsRegistryTest, QuantileRejectsNanQ) {
+  HistogramMetric hist;
+  hist.Observe(10.0);
+  const double nan_q = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(hist.Quantile(nan_q)));
+  // The histogram itself is untouched by the rejected query.
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 16.0);
+}
+
+TEST(MetricsRegistryTest, ObserveDropsNan) {
+  HistogramMetric hist;
+  hist.Observe(3.0);
+  hist.Observe(std::numeric_limits<double>::quiet_NaN());
+  hist.Observe(7.0);
+  // The NaN neither counts nor poisons the running sum/mean.
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 5.0);
+  EXPECT_FALSE(std::isnan(hist.Quantile(0.5)));
+}
+
+TEST(MetricsRegistryTest, GaugeConcurrentMixedSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("occupancy");
+  constexpr int kAdders = 4;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> stop{false};
+  // A writer hammers Set(0) while adders spin the CAS loop: Add must never
+  // lose its delta to a torn read-modify-write, and every CAS retry must
+  // terminate. The final Set(0) makes the end state exact.
+  std::thread setter([gauge, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) gauge->Set(0.0);
+  });
+  std::vector<std::thread> adders;
+  for (int t = 0; t < kAdders; ++t) {
+    adders.emplace_back([gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge->Add(1.0);
+    });
+  }
+  for (auto& t : adders) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  setter.join();
+  gauge->Set(0.0);
+  for (int i = 0; i < 1000; ++i) gauge->Add(2.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2000.0);
+}
+
+TEST(MetricsRegistryTest, GaugeConcurrentAddsAreExact) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Integer-valued doubles accumulate exactly under the CAS loop.
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads * kPerThread));
 }
 
 TEST(MetricsRegistryTest, SnapshotIsSortedAndTyped) {

@@ -138,10 +138,6 @@ TEST(ObservabilityTest, IngestMetricsEmbeddedInReports) {
     EXPECT_EQ(b.ingest.shards.size(), 2u);
     EXPECT_EQ(b.ingest.total_tuples, b.num_tuples);
   }
-  // The deprecated accessor still reflects the last batch.
-  ASSERT_NE(engine.ingest_metrics(), nullptr);
-  EXPECT_EQ(engine.ingest_metrics()->total_tuples,
-            summary.batches.back().ingest.total_tuples);
 }
 
 TEST(ObservabilityTest, SingleThreadedIngestHasNoEmbeddedMetrics) {
@@ -151,7 +147,6 @@ TEST(ObservabilityTest, SingleThreadedIngestHasNoEmbeddedMetrics) {
                           source.get());
   RunSummary summary = engine.Run(2);
   for (const BatchReport& b : summary.batches) EXPECT_FALSE(b.has_ingest);
-  EXPECT_EQ(engine.ingest_metrics(), nullptr);
 }
 
 TEST(ObservabilityTest, ObsOptionsDrivePartitionMetricCollection) {
@@ -242,6 +237,75 @@ TEST(ObservabilityTest, MetricsSnapshotJsonlFile) {
   EXPECT_GT(after_batch_1, 0u);
   EXPECT_EQ(lines % 2, 0u);
   EXPECT_GE(lines, 2 * after_batch_1);
+}
+
+TEST(ObservabilityTest, AutopsyPathWritesOneJsonlRecordPerBatch) {
+  const std::string path = ::testing::TempDir() + "/autopsy.jsonl";
+  ObservabilityOptions options;
+  options.autopsy_path = path;  // implies autopsy_enabled
+  Observability obs(options);
+  ASSERT_TRUE(obs.init_status().ok());
+  EXPECT_TRUE(obs.autopsy_enabled());
+  EXPECT_TRUE(obs.active());
+
+  BatchReport report;
+  report.batch_interval = 1000000;
+  for (uint64_t id = 0; id < 3; ++id) {
+    report.batch_id = id;
+    report.queue_delay = id == 2 ? 400000 : 0;  // only batch 2 queues
+    obs.OnBatchComplete(report, BatchTrace{});
+  }
+  obs.OnRunEnd();
+
+  EXPECT_EQ(obs.last_autopsy().batch_id, 2u);
+  EXPECT_EQ(obs.last_autopsy().dominant, BatchCause::kQueueing);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"record\":\"autopsy\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dominant\":\"none\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"dominant\":\"queueing\""), std::string::npos)
+      << lines[2];
+}
+
+TEST(ObservabilityTest, TimeSeriesOptionsCreateAndFeedTheStore) {
+  ObservabilityOptions options;
+  options.timeseries_capacity = 4;
+  Observability obs(options);
+  ASSERT_NE(obs.timeseries(), nullptr);
+  EXPECT_TRUE(obs.active());
+  EXPECT_EQ(obs.timeseries()->capacity(), 4u);
+
+  BatchReport report;
+  for (uint64_t id = 0; id < 6; ++id) {
+    report.batch_id = id;
+    report.latency = static_cast<TimeMicros>(1000 * (id + 1));
+    obs.OnBatchComplete(report, BatchTrace{});
+  }
+  EXPECT_EQ(obs.timeseries()->total_observed(), 6u);
+  EXPECT_EQ(obs.timeseries()->size(), 4u);  // wrapped
+  EXPECT_DOUBLE_EQ(
+      obs.timeseries()->Aggregate(TimeSeriesSignal::kLatencyUs).last, 6000.0);
+}
+
+TEST(ObservabilityTest, ServePortSpinsUpExporterWithImpliedSources) {
+  ObservabilityOptions options;
+  options.serve_port = 0;  // ephemeral; implies metrics + timeseries
+  Observability obs(options);
+  ASSERT_TRUE(obs.init_status().ok());
+  EXPECT_TRUE(obs.metrics_enabled());
+  ASSERT_NE(obs.timeseries(), nullptr);
+  ASSERT_NE(obs.exporter(), nullptr);
+  EXPECT_TRUE(obs.exporter()->serving());
+  EXPECT_NE(obs.exporter()->port(), 0);
+
+  std::string body, type;
+  EXPECT_TRUE(obs.exporter()->RenderPath("/timeseries.json", &body, &type));
+  EXPECT_NE(body.find("\"batches_seen\":0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace prompt {
+namespace {
+
+TimeSeriesPoint LatencyPoint(uint64_t batch_id, double latency_us) {
+  TimeSeriesPoint p;
+  p.batch_id = batch_id;
+  p.set(TimeSeriesSignal::kLatencyUs, latency_us);
+  return p;
+}
+
+TEST(TimeSeriesTest, PointFromDerivesEverySignal) {
+  BatchReport r;
+  r.batch_id = 7;
+  r.latency = 120000;
+  r.processing_time = 90000;
+  r.queue_delay = 5000;
+  r.recovery_time = 2500;
+  r.num_tuples = 4321;
+  r.reduce_bucket_bsi = 0.4;
+  r.partition_metrics.max_block_size = 300;
+  r.partition_metrics.avg_block_size = 100.0;
+  r.partition_metrics.split_keys = 5;
+  r.partition_metrics.distinct_keys = 50;
+
+  const TimeSeriesPoint p = TimeSeriesStore::PointFrom(r);
+  EXPECT_EQ(p.batch_id, 7u);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kLatencyUs), 120000.0);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kProcessingUs), 90000.0);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kQueueUs), 5000.0);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kBlockLoadRatio), 3.0);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kBucketImbalance), 0.4);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kSplitKeyFrac), 0.1);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kRingOccupancyFrac), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kRecoveryUs), 2500.0);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kTuples), 4321.0);
+}
+
+TEST(TimeSeriesTest, PointFromWithoutPartitionMetricsReportsBalanced) {
+  BatchReport r;  // collect_partition_metrics off: max/avg stay zero
+  const TimeSeriesPoint p = TimeSeriesStore::PointFrom(r);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kBlockLoadRatio), 1.0);
+  EXPECT_DOUBLE_EQ(p.value(TimeSeriesSignal::kSplitKeyFrac), 0.0);
+}
+
+TEST(TimeSeriesTest, RingWrapsAroundAtCapacity) {
+  TimeSeriesOptions opts;
+  opts.capacity = 4;
+  TimeSeriesStore store(opts);
+  for (uint64_t i = 0; i < 10; ++i) {
+    store.Push(LatencyPoint(i, static_cast<double>(i) * 100.0));
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.capacity(), 4u);
+  EXPECT_EQ(store.total_observed(), 10u);
+
+  // Only the newest 4 points survive, returned oldest first.
+  const std::vector<TimeSeriesPoint> tail = store.Tail();
+  ASSERT_EQ(tail.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tail[i].batch_id, 6u + i);
+    EXPECT_DOUBLE_EQ(tail[i].value(TimeSeriesSignal::kLatencyUs),
+                     (6.0 + static_cast<double>(i)) * 100.0);
+  }
+
+  // Aggregates cover only retained points: max/last come from batch 9 and
+  // the mean is over batches 6..9.
+  const WindowAggregate agg =
+      store.Aggregate(TimeSeriesSignal::kLatencyUs, /*window=*/8);
+  EXPECT_EQ(agg.count, 4u);
+  EXPECT_DOUBLE_EQ(agg.last, 900.0);
+  EXPECT_DOUBLE_EQ(agg.max, 900.0);
+  EXPECT_DOUBLE_EQ(agg.mean, (600.0 + 700.0 + 800.0 + 900.0) / 4.0);
+}
+
+TEST(TimeSeriesTest, TailHonorsRequestedWindow) {
+  TimeSeriesStore store;
+  for (uint64_t i = 0; i < 6; ++i) store.Push(LatencyPoint(i, 1.0));
+  EXPECT_EQ(store.Tail(2).size(), 2u);
+  EXPECT_EQ(store.Tail(2).front().batch_id, 4u);
+  EXPECT_EQ(store.Tail(100).size(), 6u);
+  EXPECT_EQ(store.Tail().size(), 6u);
+}
+
+TEST(TimeSeriesTest, QuantilesAreNearestRankOverTheWindow) {
+  TimeSeriesOptions opts;
+  opts.window = 100;
+  TimeSeriesStore store(opts);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    store.Push(LatencyPoint(i, static_cast<double>(i)));
+  }
+  const WindowAggregate agg = store.Aggregate(TimeSeriesSignal::kLatencyUs);
+  EXPECT_EQ(agg.count, 100u);
+  EXPECT_DOUBLE_EQ(agg.p50, 50.0);
+  EXPECT_DOUBLE_EQ(agg.p95, 95.0);
+  EXPECT_DOUBLE_EQ(agg.p99, 99.0);
+  EXPECT_DOUBLE_EQ(agg.max, 100.0);
+  EXPECT_DOUBLE_EQ(agg.mean, 50.5);
+}
+
+TEST(TimeSeriesTest, EwmaTracksTheConfiguredAlpha) {
+  TimeSeriesOptions opts;
+  opts.ewma_alpha = 0.5;
+  TimeSeriesStore store(opts);
+  store.Push(LatencyPoint(0, 100.0));  // first push seeds the EWMA
+  store.Push(LatencyPoint(1, 200.0));  // 0.5*200 + 0.5*100
+  const WindowAggregate agg = store.Aggregate(TimeSeriesSignal::kLatencyUs);
+  EXPECT_DOUBLE_EQ(agg.ewma, 150.0);
+}
+
+TEST(TimeSeriesTest, EmptyStoreAggregatesToZeros) {
+  TimeSeriesStore store;
+  const WindowAggregate agg = store.Aggregate(TimeSeriesSignal::kLatencyUs);
+  EXPECT_EQ(agg.count, 0u);
+  EXPECT_DOUBLE_EQ(agg.p99, 0.0);
+  EXPECT_DOUBLE_EQ(agg.mean, 0.0);
+}
+
+TEST(TimeSeriesTest, WriteJsonCoversEveryRetainedBatch) {
+  TimeSeriesOptions opts;
+  opts.capacity = 8;
+  TimeSeriesStore store(opts);
+  for (uint64_t i = 0; i < 5; ++i) {
+    store.Push(LatencyPoint(i, static_cast<double>(i + 1)));
+  }
+  std::ostringstream os;
+  store.WriteJson(&os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"batches_seen\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"size\":5"), std::string::npos);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_NE(json.find("\"batch_id\":" + std::to_string(i)),
+              std::string::npos)
+        << json;
+  }
+  // Every signal appears in the aggregate map by its stable wire name.
+  for (size_t s = 0; s < kTimeSeriesSignals; ++s) {
+    const std::string name(
+        TimeSeriesSignalName(static_cast<TimeSeriesSignal>(s)));
+    EXPECT_NE(json.find('"' + name + "\":{\"count\":"), std::string::npos)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace prompt

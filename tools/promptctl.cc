@@ -17,8 +17,15 @@
 //                              accumulate/seal/merge/plan/map/reduce)
 //   --metrics_every=N          metrics snapshot every N batches (stdout, or
 //                              --metrics_out=metrics.jsonl for a file)
+//   --serve_metrics_port=9464  live /metrics + /timeseries.json + /healthz
+//                              on 127.0.0.1 (0 = pick a free port);
+//                              --serve_hold_ms keeps serving after the run
+//   --explain=N                per-cause autopsy of batch N after the run
+//   --autopsy_out=a.jsonl      one autopsy record per batch
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "baselines/factory.h"
 #include "common/flags.h"
@@ -103,6 +110,16 @@ int main(int argc, char** argv) {
   if (*metrics_every < 0) {
     return Fail(Status::Invalid("--metrics_every must be >= 0"));
   }
+  auto serve_port = flags.GetInt("serve_metrics_port", -1);
+  if (!serve_port.ok()) return Fail(serve_port.status());
+  if (*serve_port > 65535) {
+    return Fail(Status::Invalid("--serve_metrics_port must be <= 65535"));
+  }
+  auto serve_hold_ms = flags.GetInt("serve_hold_ms", 0);
+  if (!serve_hold_ms.ok()) return Fail(serve_hold_ms.status());
+  auto explain_batch = flags.GetInt("explain", -1);
+  if (!explain_batch.ok()) return Fail(explain_batch.status());
+  const std::string autopsy_path = flags.GetString("autopsy_out", "");
   const std::string trace_path = flags.GetString("trace_out", "");
   const std::string metrics_path = flags.GetString("metrics_out", "");
   const std::string csv_path = flags.GetString("csv", "");
@@ -146,6 +163,13 @@ int main(int argc, char** argv) {
   options.obs.trace_path = trace_path;
   options.obs.metrics_every = static_cast<uint32_t>(*metrics_every);
   options.obs.metrics_path = metrics_path;
+  options.obs.serve_port = *serve_port;
+  options.obs.autopsy_path = autopsy_path;
+  if (*explain_batch >= 0 || !autopsy_path.empty()) {
+    options.obs.autopsy_enabled = true;
+    // The straggler/split-key rules read the partition-metrics pass.
+    options.obs.collect_partition_metrics = true;
+  }
   options.ingest_shards = static_cast<uint32_t>(*ingest_shards);
   options.cost.map_per_tuple_us = *map_us;
   options.cost.map_per_key_us = *map_us / 4;
@@ -180,6 +204,12 @@ int main(int argc, char** argv) {
   if (const Status& st = engine.observability()->init_status(); !st.ok()) {
     return Fail(st);
   }
+  if (const HttpExporter* exporter = engine.observability()->exporter();
+      exporter != nullptr) {
+    std::printf("serving telemetry on http://127.0.0.1:%u  "
+                "(/metrics /timeseries.json /healthz)\n",
+                exporter->port());
+  }
 
   std::printf("dataset=%s technique=%s rate=%.0f/s interval=%lldms query=\"%s\"\n\n",
               DatasetName(*dataset), PartitionerTypeName(*technique), *rate,
@@ -203,6 +233,22 @@ int main(int argc, char** argv) {
           .Set("ksr", b.partition_metrics.ksr);
     }
     table.Write(row);
+  }
+
+  if (*explain_batch >= 0) {
+    const auto id = static_cast<uint64_t>(*explain_batch);
+    const BatchReport* target = nullptr;
+    for (const BatchReport& b : summary.batches) {
+      if (b.batch_id == id) target = &b;
+    }
+    if (target == nullptr) {
+      return Fail(Status::OutOfRange("--explain=" + std::to_string(id) +
+                                     ": run produced batches 0.." +
+                                     std::to_string(summary.batches.size() - 1)));
+    }
+    std::printf("\n");
+    WriteAutopsyText(ExplainBatch(*target, options.obs.autopsy), *target,
+                     &std::cout);
   }
 
   if (!trace_path.empty()) {
@@ -238,6 +284,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(summary.tasks_speculated),
         static_cast<double>(summary.max_recovery_time) / 1000.0,
         summary.data_loss ? "  DATA LOSS (raise --replication)" : "");
+  }
+  if (engine.observability()->exporter() != nullptr && *serve_hold_ms > 0) {
+    std::printf("holding telemetry server for %lldms...\n",
+                static_cast<long long>(*serve_hold_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(*serve_hold_ms));
   }
   return summary.stable ? 0 : 2;
 }
