@@ -1,0 +1,120 @@
+// Adaptive technique switching under drift (the §7-style skew-shift
+// scenario): a stream that is uniform (z = 0) for the first half and Zipf
+// z = 1.4 from mid-run. Static techniques face a trade-off — Hash is cheap
+// on the uniform phase but straggles after the shift, Prompt absorbs the
+// shift but pays its machinery everywhere. The adaptive controller walks
+// down to Hash while the stream is calm and escalates back to Prompt once
+// the skew autopsies accumulate, landing within a few percent of the best
+// *static* technique on both phases.
+//
+// The harness is also the acceptance gate for the controller: it exits
+// non-zero unless (a) at least one switch fired in each direction, (b) the
+// adaptive per-phase mean latency (excluding each phase's transition window)
+// is within kMaxOverheadPct of the best static arm, and (c) the per-key
+// window aggregates are bit-identical to a static run over the same stream.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+
+using namespace prompt;
+using namespace prompt::bench;
+
+namespace {
+
+constexpr double kMaxOverheadPct = 5.0;
+
+int CheckClose(const char* phase, double adaptive_us, double best_us) {
+  const double overhead = 100.0 * (adaptive_us / best_us - 1.0);
+  std::printf("  %s: adaptive %.0f us vs best static %.0f us (%+.2f%%)\n",
+              phase, adaptive_us, best_us, overhead);
+  if (overhead > kMaxOverheadPct) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive %s mean latency %.2f%% above best static "
+                 "(limit %.1f%%)\n",
+                 phase, overhead, kMaxOverheadPct);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const SkewShiftSetup setup;
+  PrintHeader("Adaptive switching under a z=0 -> z=1.4 skew shift");
+
+  const PartitionerType statics[] = {PartitionerType::kHash,
+                                     PartitionerType::kPk2,
+                                     PartitionerType::kPrompt};
+  double best_phase1 = 1e18, best_phase2 = 1e18;
+  SkewShiftRun hash_run;
+
+  PrintRow({"technique", "phase1 mean ms", "phase2 mean ms", "switches"});
+  for (PartitionerType type : statics) {
+    SkewShiftRun run = RunSkewShift(setup, type, /*adaptive=*/false);
+    const double p1 = PhaseMeanLatencyUs(run.summary, setup, 1);
+    const double p2 = PhaseMeanLatencyUs(run.summary, setup, 2);
+    best_phase1 = std::min(best_phase1, p1);
+    best_phase2 = std::min(best_phase2, p2);
+    if (type == PartitionerType::kHash) hash_run = std::move(run);
+    PrintRow({PartitionerTypeName(type), Fmt(p1 / 1000.0), Fmt(p2 / 1000.0),
+              "static"});
+  }
+
+  SkewShiftRun adaptive =
+      RunSkewShift(setup, PartitionerType::kPrompt, /*adaptive=*/true);
+  const double a1 = PhaseMeanLatencyUs(adaptive.summary, setup, 1);
+  const double a2 = PhaseMeanLatencyUs(adaptive.summary, setup, 2);
+  PrintRow({"Adaptive", Fmt(a1 / 1000.0), Fmt(a2 / 1000.0),
+            "up=" + std::to_string(adaptive.summary.technique_switches_up) +
+                " down=" +
+                std::to_string(adaptive.summary.technique_switches_down)});
+  for (const auto& s : adaptive.summary.technique_switches) {
+    std::printf("  after batch %llu: %s -> %s (%s)\n",
+                static_cast<unsigned long long>(s.after_batch),
+                PartitionerTypeName(s.from), PartitionerTypeName(s.to),
+                s.reason.c_str());
+  }
+
+  int failures = 0;
+  if (adaptive.summary.technique_switches_up < 1 ||
+      adaptive.summary.technique_switches_down < 1) {
+    std::fprintf(stderr, "FAIL: expected >=1 switch in each direction "
+                         "(up=%llu down=%llu)\n",
+                 static_cast<unsigned long long>(
+                     adaptive.summary.technique_switches_up),
+                 static_cast<unsigned long long>(
+                     adaptive.summary.technique_switches_down));
+    ++failures;
+  }
+  failures += CheckClose("phase1", a1, best_phase1);
+  failures += CheckClose("phase2", a2, best_phase2);
+
+  // Partitioning decides placement only: the adaptive run's per-key window
+  // sums must equal a static replay's, bit for bit (WordCount sums small
+  // integers — double addition is exact in any order).
+  bool identical = adaptive.window.size() == hash_run.window.size();
+  if (identical) {
+    for (const auto& [key, value] : adaptive.window) {
+      auto it = hash_run.window.find(key);
+      if (it == hash_run.window.end() || it->second != value) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  std::printf("  window aggregates vs static replay: %s (%zu keys)\n",
+              identical ? "bit-identical" : "MISMATCH",
+              adaptive.window.size());
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: adaptive window diverged from static replay\n");
+    ++failures;
+  }
+
+  if (failures > 0) return 1;
+  std::printf("OK: adaptive within %.1f%% of best static on both phases\n",
+              kMaxOverheadPct);
+  return 0;
+}

@@ -76,6 +76,39 @@ void TrackConfig(const std::string& name, double zipf, PartitionerType type,
                   "ratio"});
 }
 
+/// The adaptive-switching drift scenario (bench/adaptive_switch.cc), fully
+/// virtual-time: per-phase mean latencies of the adaptive arm and the best
+/// static arm, plus the switch counts, all gated.
+void TrackAdaptiveShift(std::vector<Signal>* out) {
+  const SkewShiftSetup setup;
+  double best_phase1 = 1e18, best_phase2 = 1e18;
+  for (PartitionerType type :
+       {PartitionerType::kHash, PartitionerType::kPk2,
+        PartitionerType::kPrompt}) {
+    const SkewShiftRun run = RunSkewShift(setup, type, /*adaptive=*/false);
+    best_phase1 =
+        std::min(best_phase1, PhaseMeanLatencyUs(run.summary, setup, 1));
+    best_phase2 =
+        std::min(best_phase2, PhaseMeanLatencyUs(run.summary, setup, 2));
+  }
+  const SkewShiftRun adaptive =
+      RunSkewShift(setup, PartitionerType::kPrompt, /*adaptive=*/true);
+  out->push_back({"adaptive_shift.phase1_latency_us",
+                  PhaseMeanLatencyUs(adaptive.summary, setup, 1), "us"});
+  out->push_back({"adaptive_shift.phase2_latency_us",
+                  PhaseMeanLatencyUs(adaptive.summary, setup, 2), "us"});
+  out->push_back({"adaptive_shift.best_static_phase1_latency_us", best_phase1,
+                  "us"});
+  out->push_back({"adaptive_shift.best_static_phase2_latency_us", best_phase2,
+                  "us"});
+  out->push_back(
+      {"adaptive_shift.switches_up",
+       static_cast<double>(adaptive.summary.technique_switches_up), "count"});
+  out->push_back(
+      {"adaptive_shift.switches_down",
+       static_cast<double>(adaptive.summary.technique_switches_down), "count"});
+}
+
 /// Wall-clock overhead of the telemetry layer (ring + autopsy + exporter)
 /// over a metrics-only run — tracked, not gated.
 double TelemetryOverheadPct() {
@@ -140,6 +173,7 @@ int main(int argc, char** argv) {
   TrackConfig("synd_z1.0_prompt", 1.0, PartitionerType::kPrompt, 8000.0,
               &signals);
   TrackConfig("synd_z1.4_hash", 1.4, PartitionerType::kHash, 8000.0, &signals);
+  TrackAdaptiveShift(&signals);
 
   // Ungated wall-clock trend signal: loose tolerance recorded for context.
   signals.push_back({"telemetry_overhead_pct", TelemetryOverheadPct(), "%",

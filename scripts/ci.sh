@@ -36,6 +36,23 @@ if [[ "${TRACE_LINES}" -ne 5 ]]; then
   exit 1
 fi
 
+# Adaptive-switching smoke: a near-uniform run started on Prompt must shed
+# robustness (>= 1 technique switch), and every switch must be annotated in
+# the trace as an adapt_switch span on the first batch after it.
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=4000 --batches=12 --zipf=0.1 --adaptive \
+  --trace_out="${LOG_DIR}/adaptive-smoke-trace.jsonl" \
+  2>&1 | tee "${LOG_DIR}/adaptive-smoke.log"
+SWITCH_SPANS="$(grep -c 'adapt_switch:' "${LOG_DIR}/adaptive-smoke-trace.jsonl")"
+if [[ "${SWITCH_SPANS}" -lt 1 ]]; then
+  echo "adaptive smoke: expected >=1 adapt_switch trace span, got ${SWITCH_SPANS}" >&2
+  exit 1
+fi
+grep -q 'adaptive: .* switch' "${LOG_DIR}/adaptive-smoke.log" || {
+  echo "adaptive smoke: summary line missing from promptctl output" >&2
+  exit 1
+}
+
 # Telemetry exporter smoke: hold promptctl's embedded HTTP server open after
 # a short run and scrape it. Validates the Prometheus exposition and the
 # time-series JSON end to end (outside the in-process unit tests).

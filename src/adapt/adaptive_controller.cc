@@ -1,0 +1,185 @@
+#include "adapt/adaptive_controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace prompt {
+
+namespace {
+
+TimeSeriesOptions RingOptionsFor(const AdaptiveOptions& options) {
+  TimeSeriesOptions ts;
+  // The controller only ever reads window-W aggregates; a small ring keeps
+  // it allocation-light no matter how long the run is.
+  ts.capacity = std::max<size_t>(64, options.window * 2);
+  ts.window = options.window;
+  return ts;
+}
+
+size_t RungOf(const AdaptiveOptions& options, PartitionerType initial) {
+  for (size_t i = 0; i < options.candidates.size(); ++i) {
+    if (options.candidates[i] == initial) return i;
+  }
+  PROMPT_CHECK_MSG(false,
+                   "adaptive: initial technique is not in the candidate set");
+  return 0;
+}
+
+}  // namespace
+
+AdaptivePartitionController::AdaptivePartitionController(
+    AdaptiveOptions options, PartitionerType initial)
+    : options_(std::move(options)),
+      timeseries_(RingOptionsFor(options_)),
+      rung_(RungOf(options_, initial)) {
+  PROMPT_CHECK_MSG(!options_.candidates.empty(),
+                   "adaptive: candidate set must not be empty");
+  PROMPT_CHECK(options_.d >= 1);
+  PROMPT_CHECK(options_.window >= 1);
+}
+
+bool AdaptivePartitionController::IsSkewCause(BatchCause cause) {
+  return cause == BatchCause::kBucketSkew ||
+         cause == BatchCause::kStragglerCore ||
+         cause == BatchCause::kSplitKeyOverflow;
+}
+
+namespace {
+
+/// True for techniques that split keys only when the frequency model demands
+/// it (the B-BPFI family): for these, a near-zero split-key fraction means
+/// "the plan saw no heavy keys" — genuine calm evidence. Techniques that
+/// split unconditionally (PK2/PK5 spread every key across their candidate
+/// buckets; Shuffle splits everything) keep a high split fraction even on
+/// uniform data, so the gauge says nothing about skew under them.
+bool SplitsOnDemand(PartitionerType type) {
+  switch (type) {
+    case PartitionerType::kPrompt:
+    case PartitionerType::kPromptPostSort:
+    case PartitionerType::kFfd:
+    case PartitionerType::kFragMin:
+    case PartitionerType::kSketch:
+      return true;
+    case PartitionerType::kTimeBased:
+    case PartitionerType::kShuffle:
+    case PartitionerType::kHash:
+    case PartitionerType::kPk2:
+    case PartitionerType::kPk5:
+    case PartitionerType::kCam:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+AdaptiveDecision AdaptivePartitionController::OnBatchCompleted(
+    const BatchReport& report, const BatchAutopsy& autopsy) {
+  timeseries_.Observe(report);
+  // Same discipline as ElasticController: grace is judged on entry, so a
+  // switch's grace window covers the next grace_batches() batches fully.
+  const bool grace_active = grace_remaining_ > 0;
+  if (grace_active) --grace_remaining_;
+
+  // Evidence classification. A batch is skew evidence when the autopsy
+  // attributes its excess latency to a placement problem; calm evidence when
+  // the autopsy is clean AND the windowed skew signals sit near their ideal
+  // values. Anything else (queueing, recovery, back-pressure, or clean
+  // verdicts over a still-skewed window) resets both streaks — ambiguous
+  // batches must not accumulate toward either move.
+  const bool skew_evidence = IsSkewCause(autopsy.dominant);
+  bool calm_evidence = false;
+  if (!skew_evidence && autopsy.dominant == BatchCause::kNone) {
+    const WindowAggregate load =
+        timeseries_.Aggregate(TimeSeriesSignal::kBlockLoadRatio);
+    calm_evidence = load.mean <= options_.calm_block_load_ratio;
+    // The split-key gauge only means "no heavy keys" under a technique that
+    // splits on demand; unconditional splitters (PK2/PK5/Shuffle) keep it
+    // high on uniform data, so it is skipped for them.
+    if (calm_evidence && SplitsOnDemand(active())) {
+      const WindowAggregate split =
+          timeseries_.Aggregate(TimeSeriesSignal::kSplitKeyFrac);
+      calm_evidence = split.mean <= options_.calm_split_key_frac;
+    }
+  }
+  if (skew_evidence) {
+    ++skew_count_;
+    calm_count_ = 0;
+  } else if (calm_evidence) {
+    ++calm_count_;
+    skew_count_ = 0;
+  } else {
+    skew_count_ = 0;
+    calm_count_ = 0;
+  }
+
+  AdaptiveDecision decision;
+  decision.from = active();
+  decision.to = active();
+
+  // Escalation: d consecutive skewed batches jump to the top rung (the most
+  // robust candidate) — skew is a live SLA violation, so the controller does
+  // not probe intermediate rungs on the way up.
+  if (skew_count_ >= options_.d && rung_ + 1 < options_.candidates.size()) {
+    if (grace_active && last_direction_ < 0) {
+      // Streak restarts from zero after the block, mirroring the elastic
+      // controller's grace rule.
+      decision.blocked_by_grace = true;
+      skew_count_ = 0;
+      return decision;
+    }
+    rung_ = options_.candidates.size() - 1;
+    decision.switch_now = true;
+    decision.to = active();
+    decision.reason = "skew";
+    ++switches_up_;
+    last_direction_ = +1;
+    grace_remaining_ = grace_batches();
+    skew_count_ = 0;
+    calm_count_ = 0;
+    if (switches_up_total_ != nullptr) switches_up_total_->Increment();
+    if (active_technique_gauge_ != nullptr) {
+      active_technique_gauge_->Set(static_cast<double>(active()));
+    }
+    return decision;
+  }
+
+  // De-escalation: d consecutive calm batches step down one rung — shedding
+  // robustness is done a step at a time.
+  if (calm_count_ >= options_.d && rung_ > 0) {
+    if (grace_active && last_direction_ > 0) {
+      decision.blocked_by_grace = true;
+      calm_count_ = 0;
+      return decision;
+    }
+    --rung_;
+    decision.switch_now = true;
+    decision.to = active();
+    decision.reason = "calm";
+    ++switches_down_;
+    last_direction_ = -1;
+    grace_remaining_ = grace_batches();
+    skew_count_ = 0;
+    calm_count_ = 0;
+    if (switches_down_total_ != nullptr) switches_down_total_->Increment();
+    if (active_technique_gauge_ != nullptr) {
+      active_technique_gauge_->Set(static_cast<double>(active()));
+    }
+    return decision;
+  }
+
+  return decision;
+}
+
+void AdaptivePartitionController::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  switches_up_total_ = registry->GetCounter("prompt_partitioner_switches_total",
+                                            {{"direction", "up"}});
+  switches_down_total_ = registry->GetCounter(
+      "prompt_partitioner_switches_total", {{"direction", "down"}});
+  active_technique_gauge_ = registry->GetGauge("prompt_active_technique");
+  active_technique_gauge_->Set(static_cast<double>(active()));
+}
+
+}  // namespace prompt

@@ -1,0 +1,136 @@
+// Drift-aware adaptive partitioning (closing the telemetry → partitioning
+// loop): a controller that watches the per-batch skew signals PR 4 already
+// derives — TimeSeriesStore windowed aggregates plus the ExplainBatch
+// dominant-cause verdict — and decides, under the same d-consecutive-batches
+// + grace-period hysteresis discipline as ElasticController (Alg. 4), when
+// the engine should swap the live partitioning technique across a
+// configurable candidate ladder (cheapest first, most skew-robust last;
+// default Hash → PK2 → Prompt).
+//
+// The controller only *decides*; the engine applies the swap between
+// heartbeats (after Seal of batch i, before Begin of batch i+1), so no
+// in-flight batch ever mixes techniques and the per-key window aggregates
+// are unaffected by when switches happen (partitioning changes placement,
+// never tuple→key content).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/macros.h"
+#include "obs/autopsy.h"
+#include "obs/batch_report.h"
+#include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
+
+namespace prompt {
+
+/// \brief Adaptive-switching configuration (EngineOptions::adapt).
+struct AdaptiveOptions {
+  /// Master switch; when false the engine never constructs the controller.
+  bool enabled = false;
+  /// Candidate ladder, cheapest technique first, most skew-robust last.
+  /// The run's initial technique must be one of these rungs.
+  std::vector<PartitionerType> candidates = {
+      PartitionerType::kHash, PartitionerType::kPk2, PartitionerType::kPrompt};
+  /// Consecutive batches of evidence required before acting (hysteresis,
+  /// same role as ElasticityOptions::d).
+  int d = 3;
+  /// Batches after a switch during which a reverse-direction switch is
+  /// blocked (0 = reuse d, mirroring the elastic controller's grace rule).
+  int grace = 0;
+  /// Window W of the TimeSeriesStore aggregates the calm test reads.
+  uint32_t window = 4;
+  /// Calm (de-escalation) evidence: a batch counts as calm when the autopsy
+  /// verdict is kNone AND the windowed mean block-load ratio and split-key
+  /// fraction sit below these bounds ("ratio ≈ 1, split fraction ≈ 0").
+  /// The split-fraction test only applies while the active technique splits
+  /// keys on demand (the B-BPFI family) — unconditional splitters like
+  /// PK2/PK5 keep a high split fraction even on uniform data.
+  double calm_block_load_ratio = 1.10;
+  double calm_split_key_frac = 0.02;
+  /// Construction parameters handed to the factory when the engine builds
+  /// the switched-to technique.
+  PartitionerConfig config;
+};
+
+/// \brief One batch's verdict from the controller.
+struct AdaptiveDecision {
+  /// True when the engine should swap techniques before the next batch.
+  bool switch_now = false;
+  PartitionerType from = PartitionerType::kHash;
+  PartitionerType to = PartitionerType::kHash;
+  /// "skew" (escalation) or "calm" (de-escalation); "" when no switch.
+  const char* reason = "";
+  /// A d-streak completed but the grace period blocked the reverse move.
+  bool blocked_by_grace = false;
+};
+
+/// \brief Hysteresis controller over the candidate ladder.
+///
+/// Escalation: d consecutive batches whose dominant autopsy cause is skew
+/// (`kBucketSkew`, `kStragglerCore` or `kSplitKeyOverflow`) jump straight to
+/// the ladder's top rung — skew is a live SLA violation, so the controller
+/// goes to the most robust technique rather than probing intermediate rungs.
+/// De-escalation: d consecutive calm batches (see AdaptiveOptions) step down
+/// exactly one rung — shedding robustness is done cautiously.
+/// A grace period after any switch blocks the reverse direction only, so a
+/// fresh switch cannot be immediately undone by residual evidence, while
+/// continued same-direction pressure still acts.
+class AdaptivePartitionController {
+ public:
+  /// \param initial the technique the engine starts with; must be a rung of
+  /// options.candidates.
+  AdaptivePartitionController(AdaptiveOptions options, PartitionerType initial);
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(AdaptivePartitionController);
+
+  /// Feeds one completed batch (its report and autopsy verdict); the point
+  /// is pushed into the controller's own TimeSeriesStore before the rules
+  /// run. When the returned decision has switch_now, the controller has
+  /// already moved to `to` — the engine must apply the swap before the next
+  /// batch begins.
+  AdaptiveDecision OnBatchCompleted(const BatchReport& report,
+                                    const BatchAutopsy& autopsy);
+
+  /// The technique the controller currently wants live.
+  PartitionerType active() const { return options_.candidates[rung_]; }
+  size_t rung() const { return rung_; }
+
+  uint64_t switches_up() const { return switches_up_; }
+  uint64_t switches_down() const { return switches_down_; }
+
+  /// The controller's private signal ring (window = options.window).
+  const TimeSeriesStore& timeseries() const { return timeseries_; }
+
+  /// Publishes `prompt_partitioner_switches_total{direction=up|down}` and a
+  /// `prompt_active_technique` gauge (PartitionerType enum value) into
+  /// `registry`. nullptr disables (the default).
+  void BindMetrics(MetricsRegistry* registry);
+
+  /// True when `cause` counts as skew (escalation) evidence.
+  static bool IsSkewCause(BatchCause cause);
+
+  const AdaptiveOptions& options() const { return options_; }
+
+ private:
+  int grace_batches() const { return options_.grace > 0 ? options_.grace : options_.d; }
+
+  AdaptiveOptions options_;
+  TimeSeriesStore timeseries_;
+  size_t rung_;             ///< index into options_.candidates
+  int skew_count_ = 0;      ///< consecutive batches of skew evidence
+  int calm_count_ = 0;      ///< consecutive batches of calm evidence
+  int grace_remaining_ = 0;
+  int last_direction_ = 0;  ///< +1 after escalation, -1 after de-escalation
+  uint64_t switches_up_ = 0;
+  uint64_t switches_down_ = 0;
+
+  // Optional instrumentation handles (all null or all set).
+  Counter* switches_up_total_ = nullptr;
+  Counter* switches_down_total_ = nullptr;
+  Gauge* active_technique_gauge_ = nullptr;
+};
+
+}  // namespace prompt

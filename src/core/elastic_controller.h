@@ -26,11 +26,15 @@ struct ElasticityOptions {
   int trend_lookback = 3;
 };
 
-/// \brief Elasticity zone of the current batch (Fig. 9b).
+/// \brief Elasticity zone of the current batch (Fig. 9b). The stability
+/// band is closed at BOTH endpoints: W == threshold and
+/// W == threshold - step are kStable — only strictly outside the band does
+/// the controller count toward an action (ZoneOf pins this; the boundary
+/// tests in elastic_controller_test.cc are the executable spec).
 enum class ElasticityZone {
-  kUnderUtilized,  ///< Zone 1: W < threshold - step, resources removable
-  kStable,         ///< Zone 2: within the stability band
-  kOverloaded,     ///< Zone 3: W > threshold, resources must be added
+  kUnderUtilized,  ///< Zone 1: W < threshold - step (strict), removable
+  kStable,         ///< Zone 2: threshold - step <= W <= threshold
+  kOverloaded,     ///< Zone 3: W > threshold (strict), must add resources
 };
 
 /// \brief Scaling decision for the next batch's execution graph.

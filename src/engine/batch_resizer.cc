@@ -7,15 +7,27 @@ namespace prompt {
 
 TimeMicros BatchIntervalController::OnBatchCompleted(
     TimeMicros interval, TimeMicros processing_time) {
-  samples_.push_back(Sample{static_cast<double>(interval),
-                            static_cast<double>(processing_time)});
+  // Input-domain guard: a degenerate interval (0, or anything outside the
+  // controller's own bounds) previously reached `ratio = p / t` with t == 0
+  // and pushed NaN through std::clamp into the returned interval. Clamp the
+  // incoming interval into [min_interval, max_interval] (min_interval > 0 is
+  // a constructor invariant) and processing time to >= 0 before any math.
+  const double t = std::clamp(static_cast<double>(interval),
+                              static_cast<double>(options_.min_interval),
+                              static_cast<double>(options_.max_interval));
+  const double p = std::max(0.0, static_cast<double>(processing_time));
+  samples_.push_back(Sample{t, p});
   if (static_cast<int>(samples_.size()) > options_.lookback) {
     samples_.pop_front();
   }
 
-  const double t = static_cast<double>(interval);
   const double target = options_.target_ratio;
-  double desired;
+  // Shared fallback: multiplicative step from the observed ratio toward the
+  // fixed point — desired = t * (p/t) / target = p / target. Covers too few
+  // observations (n < 2), an ill-conditioned fit (near-zero interval
+  // variance, e.g. a constant-interval window), and the degenerate b <= 0
+  // fit, which all want the same step.
+  double desired = p / target;
 
   // Least squares proc = a*T + b over the lookback window.
   const size_t n = samples_.size();
@@ -37,16 +49,12 @@ TimeMicros BatchIntervalController::OnBatchCompleted(
       // Per-interval work rate alone exceeds the target: no interval can
       // satisfy it (the system is overloaded); grow toward the max.
       desired = static_cast<double>(options_.max_interval);
-    } else {
-      // Degenerate fit (b <= 0): fall back to the ratio step below.
-      desired = t * (static_cast<double>(processing_time) / t) / target;
     }
-  } else {
-    // Too few distinct observations: multiplicative step from the observed
-    // ratio, proc/interval -> target.
-    const double ratio = static_cast<double>(processing_time) / t;
-    desired = t * ratio / target;
+    // else b <= 0: keep the shared ratio-step fallback.
   }
+  // Belt and braces: any non-finite step ("hold") keeps the current
+  // interval — the controller must never emit NaN/inf downstream.
+  if (!std::isfinite(desired)) desired = t;
 
   const double stepped = t + options_.gain * (desired - t);
   const double clamped =

@@ -31,6 +31,15 @@ struct BatchResizerOptions {
 /// (proc(T) ≈ a·T + b: per-tuple work grows with the tuples a longer
 /// interval accumulates; b is the fixed stage overhead) and steps the
 /// interval toward the fixed point proc(T) = target_ratio · T.
+///
+/// Input-domain guarantees: OnBatchCompleted accepts *any* (interval,
+/// processing_time) pair — a zero or out-of-range interval is clamped into
+/// [min_interval, max_interval] before use, negative processing time is
+/// treated as 0, and a window with zero interval variance (constant-interval
+/// history, where the least-squares denominator vanishes) falls back to the
+/// ratio step. The returned interval is always finite and inside
+/// [min_interval, max_interval]; a non-finite internal step degrades to
+/// "hold the current interval", never to NaN.
 class BatchIntervalController {
  public:
   explicit BatchIntervalController(BatchResizerOptions options = {})

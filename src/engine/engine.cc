@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -40,6 +41,11 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
   PROMPT_CHECK(partitioner_ != nullptr);
   PROMPT_CHECK(source_ != nullptr);
   PROMPT_CHECK(options_.batch_interval > 0);
+  if (options_.adapt.enabled) {
+    // The controller's calm test reads block-load and split-key signals, so
+    // the partition-metrics pass must run regardless of what the caller set.
+    options_.obs.collect_partition_metrics = true;
+  }
   obs_ = std::make_unique<Observability>(options_.obs);
   if (!obs_->init_status().ok()) {
     PROMPT_LOG(kWarn) << "observability sink setup failed: "
@@ -91,6 +97,30 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
     ingest_ = std::make_unique<ParallelIngestPipeline>(pio);
     ingest_->BindMetrics(obs_->registry());
   }
+  // Every report carries the technique that sealed its batch when the
+  // partitioner's name round-trips through the factory (custom partitioners
+  // stay at -1).
+  {
+    Result<PartitionerType> type = PartitionerTypeFromName(partitioner_->name());
+    if (type.ok()) current_technique_ = static_cast<int32_t>(*type);
+  }
+  if (options_.adapt.enabled) {
+    const auto& candidates = options_.adapt.candidates;
+    const bool known = current_technique_ >= 0;
+    const bool in_ladder =
+        known && std::find(candidates.begin(), candidates.end(),
+                           static_cast<PartitionerType>(current_technique_)) !=
+                     candidates.end();
+    if (!in_ladder || candidates.empty()) {
+      PROMPT_LOG(kWarn)
+          << "adaptive switching disabled: initial partitioner '"
+          << partitioner_->name() << "' is not in the candidate set";
+    } else {
+      adapt_ = std::make_unique<AdaptivePartitionController>(
+          options_.adapt, static_cast<PartitionerType>(current_technique_));
+      adapt_->BindMetrics(obs_->registry());
+    }
+  }
 }
 
 MicroBatchEngine::~MicroBatchEngine() = default;
@@ -105,6 +135,13 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
   report.map_tasks = static_cast<uint32_t>(batch.blocks.size());
   report.reduce_tasks = reduce_tasks_;
   report.partition_cost = batch.partition_cost;
+  report.technique = current_technique_;
+  if (pending_switch_mark_) {
+    report.technique_switched = true;
+    report.switched_from = switched_from_;
+    pending_switch_mark_ = false;
+    switched_from_ = -1;
+  }
 
   // Early Batch Release (§4.2): the partitioner worked during the slack
   // before the heartbeat; only the excess delays processing.
@@ -608,6 +645,26 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
       }
     }
 
+    // Telemetry → partitioning feedback (src/adapt/): the controller sees
+    // this batch's report and autopsy verdict; an approved switch is applied
+    // here — after Seal of this batch, before Begin of the next — so no
+    // in-flight batch ever mixes techniques.
+    if (adapt_ != nullptr) {
+      const BatchAutopsy autopsy = ExplainBatch(report, options_.obs.autopsy);
+      const AdaptiveDecision decision =
+          adapt_->OnBatchCompleted(report, autopsy);
+      if (decision.switch_now) {
+        ApplyTechniqueSwitch(decision);
+        summary.technique_switches.push_back(RunSummary::TechniqueSwitch{
+            report.batch_id, decision.from, decision.to, decision.reason});
+        if (std::string_view(decision.reason) == "skew") {
+          ++summary.technique_switches_up;
+        } else {
+          ++summary.technique_switches_down;
+        }
+      }
+    }
+
     summary.batches.push_back(report);
   }
   if (observe) obs_->OnRunEnd();
@@ -623,6 +680,20 @@ void MicroBatchEngine::RecordBatchTrace(const BatchReport& report,
   // Depth-0 spans tile the end-to-end latency:
   //   latency = interval + queue_delay + overflow + map + reduce (+ extras).
   rec->AddSpan("accumulate", 0, interval, 0);
+  if (report.technique_switched) {
+    // Annotation marking the first batch the switched-to technique sealed.
+    std::string note = "adapt_switch:";
+    note += report.switched_from >= 0
+                ? PartitionerTypeName(
+                      static_cast<PartitionerType>(report.switched_from))
+                : "?";
+    note += "->";
+    note += report.technique >= 0
+                ? PartitionerTypeName(
+                      static_cast<PartitionerType>(report.technique))
+                : "?";
+    rec->AddSpan(note, 0, 0, 1);
+  }
   if (report.has_ingest) {
     // Wall-clock annotations from the sharded batching phase, nested under
     // the accumulate interval (the barrier and merge run at the cut-off).
@@ -664,6 +735,22 @@ void MicroBatchEngine::RecordBatchTrace(const BatchReport& report,
       (report.partition_overflow + report.map_makespan +
        report.reduce_makespan + report.recovery_time);
   if (extras > 0) rec->AddSpan("extra_queries", cursor, extras, 0);
+}
+
+void MicroBatchEngine::ApplyTechniqueSwitch(const AdaptiveDecision& decision) {
+  std::unique_ptr<BatchPartitioner> next =
+      CreatePartitioner(decision.to, options_.adapt.config);
+  PROMPT_CHECK(next != nullptr);
+  partitioner_ = std::move(next);
+  // Warm start: the incoming technique inherits the EWMA workload estimates
+  // (Alg. 1's N_est / K_avg feed) instead of re-learning from zero.
+  if (est_init_) {
+    partitioner_->UpdateEstimates(static_cast<uint64_t>(est_tuples_),
+                                  static_cast<uint64_t>(est_keys_));
+  }
+  current_technique_ = static_cast<int32_t>(decision.to);
+  pending_switch_mark_ = true;
+  switched_from_ = static_cast<int32_t>(decision.from);
 }
 
 Status MicroBatchEngine::VerifyRecoveryOfLastBatch() {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "adapt/adaptive_controller.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/elastic_controller.h"
@@ -48,6 +49,13 @@ struct EngineOptions {
   bool use_prompt_reduce = true;
   bool elasticity_enabled = false;
   ElasticityOptions elasticity;
+  /// Drift-aware adaptive technique switching (src/adapt/): when
+  /// adapt.enabled, the engine feeds each batch's report + autopsy verdict
+  /// to an AdaptivePartitionController and swaps the live partitioner
+  /// across adapt.candidates between heartbeats. The run's initial
+  /// partitioner must map to a factory type in the candidate set (the
+  /// engine warns and runs static otherwise).
+  AdaptiveOptions adapt;
   /// Observability configuration: partition-quality metrics, the metrics
   /// registry, per-batch structured traces and their sinks (src/obs/).
   ObservabilityOptions obs;
@@ -104,6 +112,17 @@ struct RunSummary {
   /// True when any batch needed a replica that no longer existed
   /// (replication factor too low): exactly-once was not preserved.
   bool data_loss = false;
+
+  // ---- Adaptive technique switching (src/adapt/), zeros on static runs.
+  struct TechniqueSwitch {
+    uint64_t after_batch;  ///< switch decided after this batch completed
+    PartitionerType from;
+    PartitionerType to;
+    std::string reason;  ///< "skew" (escalation) or "calm" (de-escalation)
+  };
+  std::vector<TechniqueSwitch> technique_switches;
+  uint64_t technique_switches_up = 0;    ///< escalations toward robustness
+  uint64_t technique_switches_down = 0;  ///< de-escalations toward cheapness
 
   double MeanW(size_t warmup = 0) const;
   double MeanThroughputTuplesPerSec(TimeMicros interval,
@@ -194,6 +213,11 @@ class MicroBatchEngine {
   /// Lays the batch's timeline spans into the trace recorder (tracing only).
   void RecordBatchTrace(const BatchReport& report, TimeMicros interval,
                         TimeMicros batch_start);
+  /// Swaps the live partitioner for `decision.to` between heartbeats: the
+  /// outgoing technique sealed the batch that just completed, the incoming
+  /// one begins the next batch, so no in-flight batch mixes techniques. The
+  /// new instance is warm-started from the engine's EWMA estimates.
+  void ApplyTechniqueSwitch(const AdaptiveDecision& decision);
 
   // ---- In-loop fault handling (src/fault/) ----
   /// Node ids currently alive (empty outside cluster mode).
@@ -235,6 +259,15 @@ class MicroBatchEngine {
   std::unique_ptr<BatchStore> store_;
   std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest_shards > 1
   std::unique_ptr<Observability> obs_;
+  std::unique_ptr<AdaptivePartitionController> adapt_;  // adapt.enabled
+
+  /// PartitionerType of the live partitioner (-1 when its name maps to no
+  /// factory type); stamped into every BatchReport.
+  int32_t current_technique_ = -1;
+  /// Set by ApplyTechniqueSwitch so the next batch's report (and trace)
+  /// carries the switch annotation.
+  bool pending_switch_mark_ = false;
+  int32_t switched_from_ = -1;
 
   // Extra queries sharing the batching phase (AddQuery).
   struct ExtraQuery {

@@ -37,6 +37,14 @@ struct BatchReport {
   /// Map tasks that read their block remotely (cluster mode only).
   uint32_t remote_map_tasks = 0;
 
+  // ---- Adaptive technique switching (src/adapt/). The engine stamps the
+  // technique that partitioned this batch; -1 when the partitioner's name
+  // maps to no factory type (custom partitioners).
+  int32_t technique = -1;  ///< PartitionerType enum value
+  /// First batch sealed by a new technique after an adaptive switch.
+  bool technique_switched = false;
+  int32_t switched_from = -1;  ///< previous PartitionerType; -1 otherwise
+
   // ---- Fault-tolerance accounting (src/fault/), zeros on healthy batches.
   /// In-window batches recomputed from replicated input this interval
   /// (includes the current batch when it was replayed after a mid-stage

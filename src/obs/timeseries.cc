@@ -48,6 +48,8 @@ std::string_view TimeSeriesSignalName(TimeSeriesSignal signal) {
       return "recovery_us";
     case TimeSeriesSignal::kTuples:
       return "tuples";
+    case TimeSeriesSignal::kActiveTechnique:
+      return "active_technique";
     case TimeSeriesSignal::kSignalCount:
       break;
   }
@@ -85,6 +87,8 @@ TimeSeriesPoint TimeSeriesStore::PointFrom(const BatchReport& report) {
   p.set(TimeSeriesSignal::kRecoveryUs,
         static_cast<double>(report.recovery_time));
   p.set(TimeSeriesSignal::kTuples, static_cast<double>(report.num_tuples));
+  p.set(TimeSeriesSignal::kActiveTechnique,
+        static_cast<double>(report.technique));
   return p;
 }
 

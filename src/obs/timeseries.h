@@ -34,6 +34,7 @@ enum class TimeSeriesSignal : size_t {
   kRingOccupancyFrac,   ///< max ingest-ring occupancy across shards
   kRecoveryUs,          ///< recovery work charged to the batch
   kTuples,              ///< batch size (rate proxy at fixed interval)
+  kActiveTechnique,     ///< PartitionerType that sealed the batch (-1 n/a)
   kSignalCount
 };
 

@@ -31,6 +31,23 @@ bool ZipfKeyedSource::Next(Tuple* t) {
   return true;
 }
 
+SkewShiftSource::SkewShiftSource(Params params, double zipf_after,
+                                 TimeMicros shift_at)
+    : ZipfKeyedSource(std::move(params)),
+      after_(params_.cardinality, zipf_after),
+      shift_at_(shift_at) {}
+
+bool SkewShiftSource::Next(Tuple* t) {
+  t->ts = NextTimestamp();
+  // Same rng_ stream and the same rank→key mixing on both sides: only the
+  // rank distribution changes at the shift.
+  const uint64_t rank =
+      (t->ts >= shift_at_ ? after_ : zipf_).Sample(rng_);
+  t->key = Mix64(rank ^ (params_.seed << 32));
+  t->value = 1.0;
+  return true;
+}
+
 TweetsSource::TweetsSource(Params params)
     : ZipfKeyedSource(std::move(params)) {}
 

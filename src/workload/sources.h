@@ -62,6 +62,22 @@ class SynDSource final : public ZipfKeyedSource {
   const char* name() const override { return "SynD"; }
 };
 
+/// \brief SynD with a mid-run skew shift (the §7 drift scenario): tuples
+/// with ts < shift_at draw ranks from Zipf(params.zipf), later ones from
+/// Zipf(zipf_after). Pacing, key mixing and value semantics are identical on
+/// both sides of the shift, so a partitioner sees a pure key-distribution
+/// drift — the adaptive-switching benchmarks' canonical workload.
+class SkewShiftSource final : public ZipfKeyedSource {
+ public:
+  SkewShiftSource(Params params, double zipf_after, TimeMicros shift_at);
+  const char* name() const override { return "SkewShift"; }
+  bool Next(Tuple* t) override;
+
+ private:
+  ZipfSampler after_;
+  TimeMicros shift_at_;
+};
+
 /// \brief Tweets: 2015 tweet sample, 790 k distinct words. Modeled as
 /// Zipf(z = 1.0) word frequencies (empirical law for natural text); each
 /// "tweet" bursts 8-20 word tuples at one timestamp, keys are words.

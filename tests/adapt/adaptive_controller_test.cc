@@ -1,0 +1,242 @@
+#include "adapt/adaptive_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+
+namespace prompt {
+namespace {
+
+// A report whose derived signals read "calm": block-load ratio 1.01,
+// split-key fraction 0.
+BatchReport CalmReport(uint64_t id) {
+  BatchReport r;
+  r.batch_id = id;
+  r.num_tuples = 1000;
+  r.partition_metrics.max_block_size = 101;
+  r.partition_metrics.avg_block_size = 100.0;
+  r.partition_metrics.distinct_keys = 100;
+  r.partition_metrics.split_keys = 0;
+  return r;
+}
+
+BatchAutopsy Verdict(BatchCause cause) {
+  BatchAutopsy a;
+  a.dominant = cause;
+  return a;
+}
+
+AdaptiveOptions TestOptions(int d = 3) {
+  AdaptiveOptions o;
+  o.enabled = true;
+  o.d = d;
+  return o;
+}
+
+TEST(AdaptiveControllerTest, EscalatesToTopRungAfterDConsecutiveSkewVerdicts) {
+  AdaptivePartitionController c(TestOptions(), PartitionerType::kHash);
+  EXPECT_FALSE(
+      c.OnBatchCompleted(CalmReport(0), Verdict(BatchCause::kBucketSkew))
+          .switch_now);
+  EXPECT_FALSE(
+      c.OnBatchCompleted(CalmReport(1), Verdict(BatchCause::kBucketSkew))
+          .switch_now);
+  auto d = c.OnBatchCompleted(CalmReport(2), Verdict(BatchCause::kBucketSkew));
+  EXPECT_TRUE(d.switch_now);
+  EXPECT_EQ(d.from, PartitionerType::kHash);
+  // Straight to the top rung, skipping PK2: skew is a live SLA violation.
+  EXPECT_EQ(d.to, PartitionerType::kPrompt);
+  EXPECT_STREQ(d.reason, "skew");
+  EXPECT_EQ(c.active(), PartitionerType::kPrompt);
+  EXPECT_EQ(c.switches_up(), 1u);
+  EXPECT_EQ(c.switches_down(), 0u);
+}
+
+TEST(AdaptiveControllerTest, AllThreeSkewCausesCountAsEvidence) {
+  EXPECT_TRUE(AdaptivePartitionController::IsSkewCause(BatchCause::kBucketSkew));
+  EXPECT_TRUE(
+      AdaptivePartitionController::IsSkewCause(BatchCause::kStragglerCore));
+  EXPECT_TRUE(
+      AdaptivePartitionController::IsSkewCause(BatchCause::kSplitKeyOverflow));
+  EXPECT_FALSE(AdaptivePartitionController::IsSkewCause(BatchCause::kNone));
+  EXPECT_FALSE(AdaptivePartitionController::IsSkewCause(BatchCause::kQueueing));
+  EXPECT_FALSE(AdaptivePartitionController::IsSkewCause(BatchCause::kRecovery));
+  EXPECT_FALSE(AdaptivePartitionController::IsSkewCause(
+      BatchCause::kIngestBackpressure));
+}
+
+TEST(AdaptiveControllerTest, DeEscalatesExactlyOneRungOnCalm) {
+  AdaptivePartitionController c(TestOptions(), PartitionerType::kPrompt);
+  EXPECT_FALSE(c.OnBatchCompleted(CalmReport(0), Verdict(BatchCause::kNone))
+                   .switch_now);
+  EXPECT_FALSE(c.OnBatchCompleted(CalmReport(1), Verdict(BatchCause::kNone))
+                   .switch_now);
+  auto d = c.OnBatchCompleted(CalmReport(2), Verdict(BatchCause::kNone));
+  EXPECT_TRUE(d.switch_now);
+  EXPECT_EQ(d.from, PartitionerType::kPrompt);
+  EXPECT_EQ(d.to, PartitionerType::kPk2);  // one rung, not straight to Hash
+  EXPECT_STREQ(d.reason, "calm");
+  EXPECT_EQ(c.switches_down(), 1u);
+}
+
+TEST(AdaptiveControllerTest, AmbiguousBatchesResetBothStreaks) {
+  AdaptivePartitionController c(TestOptions(), PartitionerType::kHash);
+  c.OnBatchCompleted(CalmReport(0), Verdict(BatchCause::kBucketSkew));
+  c.OnBatchCompleted(CalmReport(1), Verdict(BatchCause::kBucketSkew));
+  // Queueing is neither skew nor calm evidence: the streak restarts.
+  EXPECT_FALSE(c.OnBatchCompleted(CalmReport(2), Verdict(BatchCause::kQueueing))
+                   .switch_now);
+  EXPECT_FALSE(
+      c.OnBatchCompleted(CalmReport(3), Verdict(BatchCause::kBucketSkew))
+          .switch_now);
+  EXPECT_FALSE(
+      c.OnBatchCompleted(CalmReport(4), Verdict(BatchCause::kBucketSkew))
+          .switch_now);
+  EXPECT_TRUE(
+      c.OnBatchCompleted(CalmReport(5), Verdict(BatchCause::kBucketSkew))
+          .switch_now);
+}
+
+TEST(AdaptiveControllerTest, CleanVerdictOverSkewedWindowIsNotCalm) {
+  // Autopsy kNone but the windowed block-load ratio is way above the calm
+  // bound: the batch is ambiguous, so the controller never de-escalates.
+  AdaptivePartitionController c(TestOptions(), PartitionerType::kPrompt);
+  BatchReport skewed = CalmReport(0);
+  skewed.partition_metrics.max_block_size = 200;  // ratio = 2.0
+  for (uint64_t i = 0; i < 8; ++i) {
+    skewed.batch_id = i;
+    EXPECT_FALSE(
+        c.OnBatchCompleted(skewed, Verdict(BatchCause::kNone)).switch_now);
+  }
+  EXPECT_EQ(c.active(), PartitionerType::kPrompt);
+}
+
+TEST(AdaptiveControllerTest, GraceBlocksTheImmediateReversalOnly) {
+  AdaptivePartitionController c(TestOptions(/*d=*/2), PartitionerType::kHash);
+  c.OnBatchCompleted(CalmReport(0), Verdict(BatchCause::kBucketSkew));
+  ASSERT_TRUE(c.OnBatchCompleted(CalmReport(1), Verdict(BatchCause::kBucketSkew))
+                  .switch_now);
+  ASSERT_EQ(c.active(), PartitionerType::kPrompt);
+  // Two calm batches complete a d-streak inside the grace window (grace = d
+  // = 2 batches after the switch): the reverse move is suppressed and the
+  // streak restarts.
+  EXPECT_FALSE(c.OnBatchCompleted(CalmReport(2), Verdict(BatchCause::kNone))
+                   .switch_now);
+  auto blocked = c.OnBatchCompleted(CalmReport(3), Verdict(BatchCause::kNone));
+  EXPECT_FALSE(blocked.switch_now);
+  EXPECT_TRUE(blocked.blocked_by_grace);
+  EXPECT_EQ(c.active(), PartitionerType::kPrompt);
+  // Grace expired; a fresh calm streak now acts.
+  EXPECT_FALSE(c.OnBatchCompleted(CalmReport(4), Verdict(BatchCause::kNone))
+                   .switch_now);
+  auto d = c.OnBatchCompleted(CalmReport(5), Verdict(BatchCause::kNone));
+  EXPECT_TRUE(d.switch_now);
+  EXPECT_EQ(d.to, PartitionerType::kPk2);
+}
+
+TEST(AdaptiveControllerTest, GraceAllowsContinuedSameDirectionMoves) {
+  // Prompt -> PK2 on calm, then continued calm: the grace period only blocks
+  // the *reverse* direction, so the ladder keeps stepping down to Hash.
+  AdaptivePartitionController c(TestOptions(/*d=*/2), PartitionerType::kPrompt);
+  c.OnBatchCompleted(CalmReport(0), Verdict(BatchCause::kNone));
+  ASSERT_TRUE(
+      c.OnBatchCompleted(CalmReport(1), Verdict(BatchCause::kNone)).switch_now);
+  ASSERT_EQ(c.active(), PartitionerType::kPk2);
+  EXPECT_FALSE(
+      c.OnBatchCompleted(CalmReport(2), Verdict(BatchCause::kNone)).switch_now);
+  auto d = c.OnBatchCompleted(CalmReport(3), Verdict(BatchCause::kNone));
+  EXPECT_TRUE(d.switch_now);  // inside grace, but same direction
+  EXPECT_EQ(d.to, PartitionerType::kHash);
+  EXPECT_EQ(c.switches_down(), 2u);
+}
+
+TEST(AdaptiveControllerTest, SplitFractionOnlyGatesOnDemandSplitters) {
+  // split_keys 50/100: a B-BPFI plan that splits half its keys is clearly
+  // not calm, but PK2 splits every key by design — the same gauge says
+  // nothing there and must not block de-escalation.
+  BatchReport heavy_split = CalmReport(0);
+  heavy_split.partition_metrics.split_keys = 50;
+
+  AdaptiveOptions two_rung = TestOptions();
+  two_rung.candidates = {PartitionerType::kHash, PartitionerType::kPk2};
+  AdaptivePartitionController under_pk2(two_rung, PartitionerType::kPk2);
+  bool switched = false;
+  for (uint64_t i = 0; i < 3; ++i) {
+    heavy_split.batch_id = i;
+    switched = under_pk2.OnBatchCompleted(heavy_split, Verdict(BatchCause::kNone))
+                   .switch_now;
+  }
+  EXPECT_TRUE(switched);  // PK2 -> Hash despite the split gauge
+
+  AdaptivePartitionController under_prompt(TestOptions(),
+                                           PartitionerType::kPrompt);
+  for (uint64_t i = 0; i < 8; ++i) {
+    heavy_split.batch_id = i;
+    EXPECT_FALSE(
+        under_prompt.OnBatchCompleted(heavy_split, Verdict(BatchCause::kNone))
+            .switch_now);
+  }
+  EXPECT_EQ(under_prompt.active(), PartitionerType::kPrompt);
+}
+
+TEST(AdaptiveControllerTest, AtTopRungSkewNeverSwitches) {
+  AdaptivePartitionController c(TestOptions(), PartitionerType::kPrompt);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(
+        c.OnBatchCompleted(CalmReport(i), Verdict(BatchCause::kBucketSkew))
+            .switch_now);
+  }
+  EXPECT_EQ(c.active(), PartitionerType::kPrompt);
+  EXPECT_EQ(c.switches_up(), 0u);
+}
+
+TEST(AdaptiveControllerTest, AtBottomRungCalmNeverSwitches) {
+  AdaptivePartitionController c(TestOptions(), PartitionerType::kHash);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(c.OnBatchCompleted(CalmReport(i), Verdict(BatchCause::kNone))
+                     .switch_now);
+  }
+  EXPECT_EQ(c.active(), PartitionerType::kHash);
+  EXPECT_EQ(c.switches_down(), 0u);
+}
+
+TEST(AdaptiveControllerTest, ObservesEveryBatchIntoItsOwnRing) {
+  AdaptivePartitionController c(TestOptions(), PartitionerType::kHash);
+  for (uint64_t i = 0; i < 5; ++i) {
+    c.OnBatchCompleted(CalmReport(i), Verdict(BatchCause::kQueueing));
+  }
+  EXPECT_EQ(c.timeseries().total_observed(), 5u);
+  const WindowAggregate load =
+      c.timeseries().Aggregate(TimeSeriesSignal::kBlockLoadRatio);
+  EXPECT_NEAR(load.mean, 1.01, 1e-9);
+}
+
+TEST(AdaptiveControllerTest, BindMetricsPublishesSwitchesAndActiveTechnique) {
+  AdaptivePartitionController c(TestOptions(/*d=*/1), PartitionerType::kPk2);
+  MetricsRegistry registry;
+  c.BindMetrics(&registry);
+  Gauge* active = registry.GetGauge("prompt_active_technique");
+  EXPECT_EQ(active->value(), static_cast<double>(PartitionerType::kPk2));
+
+  // One escalation and (after grace) one de-escalation.
+  ASSERT_TRUE(c.OnBatchCompleted(CalmReport(0), Verdict(BatchCause::kBucketSkew))
+                  .switch_now);
+  c.OnBatchCompleted(CalmReport(1), Verdict(BatchCause::kNone));  // in grace
+  ASSERT_TRUE(
+      c.OnBatchCompleted(CalmReport(2), Verdict(BatchCause::kNone)).switch_now);
+
+  EXPECT_EQ(registry
+                .GetCounter("prompt_partitioner_switches_total",
+                            {{"direction", "up"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(registry
+                .GetCounter("prompt_partitioner_switches_total",
+                            {{"direction", "down"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(active->value(), static_cast<double>(c.active()));
+}
+
+}  // namespace
+}  // namespace prompt

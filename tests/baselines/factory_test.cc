@@ -7,24 +7,42 @@
 namespace prompt {
 namespace {
 
+// The enum has no sentinel; kSketch is its last enumerator and the values
+// are contiguous from 0, so iterating 0..kSketch visits every type. If an
+// enumerator is ever added after kSketch these exhaustive loops go stale —
+// extend them together with the enum.
+std::vector<PartitionerType> AllTypes() {
+  std::vector<PartitionerType> all;
+  for (int raw = 0; raw <= static_cast<int>(PartitionerType::kSketch); ++raw) {
+    all.push_back(static_cast<PartitionerType>(raw));
+  }
+  return all;
+}
+
 TEST(FactoryTest, CreatesEveryType) {
-  for (PartitionerType type :
-       {PartitionerType::kTimeBased, PartitionerType::kShuffle,
-        PartitionerType::kHash, PartitionerType::kPk2, PartitionerType::kPk5,
-        PartitionerType::kCam, PartitionerType::kPrompt,
-        PartitionerType::kPromptPostSort, PartitionerType::kFfd,
-        PartitionerType::kFragMin}) {
+  for (PartitionerType type : AllTypes()) {
     auto p = CreatePartitioner(type);
-    ASSERT_NE(p, nullptr);
+    ASSERT_NE(p, nullptr) << PartitionerTypeName(type);
     EXPECT_STREQ(p->name(), PartitionerTypeName(type));
   }
 }
 
+// Load-bearing for adaptive switching (promptctl parses --adapt_candidates
+// back into types): every enumerator must survive type -> name -> type.
 TEST(FactoryTest, NameRoundTrip) {
+  for (PartitionerType type : AllTypes()) {
+    const char* name = PartitionerTypeName(type);
+    ASSERT_STRNE(name, "?");
+    auto parsed = PartitionerTypeFromName(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, type) << name;
+  }
+}
+
+TEST(FactoryTest, EvaluationTechniquesAllConstructible) {
   for (PartitionerType type : EvaluationTechniques()) {
-    auto parsed = PartitionerTypeFromName(PartitionerTypeName(type));
-    ASSERT_TRUE(parsed.ok());
-    EXPECT_EQ(*parsed, type);
+    auto p = CreatePartitioner(type);
+    ASSERT_NE(p, nullptr) << PartitionerTypeName(type);
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace prompt {
 namespace {
 
@@ -20,6 +22,38 @@ TEST(ElasticControllerTest, ZoneClassification) {
   EXPECT_EQ(ElasticController::ZoneOf(0.85, opts), ElasticityZone::kStable);
   EXPECT_EQ(ElasticController::ZoneOf(0.95, opts),
             ElasticityZone::kOverloaded);
+}
+
+// Executable spec for the band boundaries: the stability band is closed at
+// BOTH endpoints — W == threshold and W == threshold - step are kStable;
+// only strictly outside the band counts toward an action. (threshold - step
+// is computed with the same expression ZoneOf uses, so the comparison is
+// against the identical floating-point value.)
+TEST(ElasticControllerTest, BandIsClosedAtBothBoundaries) {
+  auto opts = DefaultOptions();
+  const double upper = opts.threshold;
+  const double lower = opts.threshold - opts.step;
+  EXPECT_EQ(ElasticController::ZoneOf(upper, opts), ElasticityZone::kStable);
+  EXPECT_EQ(ElasticController::ZoneOf(lower, opts), ElasticityZone::kStable);
+  // One ulp outside either endpoint flips the zone.
+  EXPECT_EQ(ElasticController::ZoneOf(std::nextafter(upper, 2.0), opts),
+            ElasticityZone::kOverloaded);
+  EXPECT_EQ(ElasticController::ZoneOf(std::nextafter(lower, 0.0), opts),
+            ElasticityZone::kUnderUtilized);
+}
+
+TEST(ElasticControllerTest, ExactThresholdBatchesNeverScale) {
+  // Sitting exactly on the upper boundary for many batches must not count
+  // as overload — the d-streak never starts.
+  auto opts = DefaultOptions();
+  ElasticController controller(opts, 4, 4);
+  uint64_t rate = 1000;
+  for (int i = 0; i < 12; ++i) {
+    auto d = controller.OnBatchCompleted(opts.threshold, rate, 100);
+    EXPECT_FALSE(d.changed());
+    rate += 200;
+  }
+  EXPECT_EQ(controller.map_tasks(), 4u);
 }
 
 TEST(ElasticControllerTest, StableZoneNeverScales) {
@@ -50,6 +84,42 @@ TEST(ElasticControllerTest, StableBatchResetsTheCount) {
   controller.OnBatchCompleted(0.85, 1100, 100);  // back to stable
   auto d = controller.OnBatchCompleted(1.2, 1200, 100);
   EXPECT_FALSE(d.changed());  // count restarted
+}
+
+TEST(ElasticControllerTest, DirectZoneFlipResetsTheOpposingCount) {
+  // Overloaded -> under-utilized without passing through stable: the
+  // above-count must reset the moment the zone flips, and the below side
+  // starts its own fresh d-streak.
+  ElasticController controller(DefaultOptions(), 4, 4);
+  uint64_t rate = 5000;
+  controller.OnBatchCompleted(1.2, rate, 100);
+  controller.OnBatchCompleted(1.2, rate, 100);  // above-count = 2
+  ScaleDecision d;
+  d = controller.OnBatchCompleted(0.2, rate -= 800, 100);  // flip: below = 1
+  EXPECT_FALSE(d.changed());
+  d = controller.OnBatchCompleted(0.2, rate -= 800, 100);  // below = 2
+  EXPECT_FALSE(d.changed());
+  d = controller.OnBatchCompleted(0.2, rate -= 800, 100);  // below = 3
+  EXPECT_TRUE(d.changed());
+  EXPECT_EQ(d.delta_map, -1);
+}
+
+TEST(ElasticControllerTest, FlipThroughStableRequiresAFullFreshStreak) {
+  // 2 overloaded, 1 stable, 2 under-utilized, then overloaded again: both
+  // counters were cleared along the way, so only a brand-new 3-batch streak
+  // acts.
+  ElasticController controller(DefaultOptions(), 4, 4);
+  uint64_t rate = 1000;
+  EXPECT_FALSE(controller.OnBatchCompleted(1.2, rate += 200, 100).changed());
+  EXPECT_FALSE(controller.OnBatchCompleted(1.2, rate += 200, 100).changed());
+  EXPECT_FALSE(controller.OnBatchCompleted(0.85, rate, 100).changed());
+  EXPECT_FALSE(controller.OnBatchCompleted(0.2, rate, 100).changed());
+  EXPECT_FALSE(controller.OnBatchCompleted(0.2, rate, 100).changed());
+  EXPECT_FALSE(controller.OnBatchCompleted(1.2, rate += 200, 100).changed());
+  EXPECT_FALSE(controller.OnBatchCompleted(1.2, rate += 200, 100).changed());
+  auto d = controller.OnBatchCompleted(1.2, rate += 200, 100);
+  EXPECT_TRUE(d.changed());  // 3rd consecutive overloaded batch
+  EXPECT_EQ(controller.map_tasks(), 5u);
 }
 
 TEST(ElasticControllerTest, RateIncreaseAddsMappers) {
@@ -172,6 +242,22 @@ TEST(ElasticControllerTest, CapacityLossShrinksTheGraphImmediately) {
   for (int i = 0; i < 3; ++i) d = controller.OnBatchCompleted(1.5, 1000, 100);
   EXPECT_TRUE(d.in_grace_period);
   EXPECT_EQ(controller.map_tasks(), 4u);
+}
+
+TEST(ElasticControllerTest, CapacityChangeWithoutShrinkOpensNoGrace) {
+  // Only a *forced scale-in* opens a grace period; a capacity feed that the
+  // current graph already fits under must not suppress the next decision.
+  ElasticController controller(DefaultOptions(), 4, 4);
+  controller.OnCapacityChange(16);
+  EXPECT_EQ(controller.map_tasks(), 4u);
+  uint64_t rate = 1000;
+  ScaleDecision d;
+  for (int i = 0; i < 3; ++i) {
+    d = controller.OnBatchCompleted(1.2, rate, 100);
+    rate += 200;
+  }
+  EXPECT_TRUE(d.changed());  // streak acted, no grace in the way
+  EXPECT_FALSE(d.in_grace_period);
 }
 
 TEST(ElasticControllerTest, CapacityCapsFutureScaleOut) {

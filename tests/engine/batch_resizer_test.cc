@@ -62,6 +62,70 @@ TEST(BatchIntervalControllerTest, RespectsBounds) {
   EXPECT_EQ(interval, Millis(500));
 }
 
+// Regression: a zero interval used to reach `ratio = p / t` with t == 0 and
+// push NaN through std::clamp (which propagates NaN) into the returned
+// interval, poisoning every later step. The input-domain guarantee is that
+// any inputs produce a finite interval inside [min, max].
+TEST(BatchIntervalControllerTest, ZeroIntervalDoesNotProduceNaN) {
+  BatchIntervalController controller;
+  TimeMicros interval = 0;
+  for (int i = 0; i < 10; ++i) {
+    interval = controller.OnBatchCompleted(interval, Millis(50));
+    ASSERT_GE(interval, controller.options().min_interval);
+    ASSERT_LE(interval, controller.options().max_interval);
+  }
+}
+
+TEST(BatchIntervalControllerTest, ZeroProcessingShrinksTowardMin) {
+  BatchIntervalController controller;
+  TimeMicros interval = Seconds(5);
+  for (int i = 0; i < 40; ++i) {
+    interval = controller.OnBatchCompleted(interval, 0);
+    ASSERT_GE(interval, controller.options().min_interval);
+  }
+  // Free batches: the ratio step drives the interval to its floor, never
+  // below and never to a non-finite value.
+  EXPECT_EQ(interval, controller.options().min_interval);
+}
+
+// A constant-interval window has zero interval variance, so the
+// least-squares denominator n*Σt² - (Σt)² vanishes; the fit must be skipped
+// in favor of the ratio fallback instead of dividing by ~0.
+TEST(BatchIntervalControllerTest, ConstantIntervalWindowUsesRatioFallback) {
+  BatchIntervalController controller;
+  const TimeMicros fixed = Seconds(1);
+  TimeMicros next = 0;
+  for (int i = 0; i < 10; ++i) {
+    // Feed the same interval every batch (as a fixed-interval engine would)
+    // with processing above target: the controller should ask for growth.
+    next = controller.OnBatchCompleted(fixed, Seconds(2));
+  }
+  EXPECT_GT(next, fixed);
+  EXPECT_LE(next, controller.options().max_interval);
+}
+
+TEST(BatchIntervalControllerTest, AllInputCornersReturnFiniteClampedInterval) {
+  BatchResizerOptions opts;
+  opts.min_interval = Millis(100);
+  opts.max_interval = Seconds(30);
+  const TimeMicros intervals[] = {0, opts.min_interval, opts.max_interval};
+  const TimeMicros procs[] = {0, Seconds(100000)};
+  for (TimeMicros t0 : intervals) {
+    for (TimeMicros p0 : procs) {
+      BatchIntervalController controller(opts);
+      TimeMicros interval = t0;
+      // Hold each corner for several batches so degenerate windows (all-zero,
+      // all-max, zero-variance) build up, then verify every output stays in
+      // bounds — TimeMicros is integral, so in-bounds implies finite.
+      for (int i = 0; i < 8; ++i) {
+        interval = controller.OnBatchCompleted(interval, p0);
+        ASSERT_GE(interval, opts.min_interval) << "t0=" << t0 << " p0=" << p0;
+        ASSERT_LE(interval, opts.max_interval) << "t0=" << t0 << " p0=" << p0;
+      }
+    }
+  }
+}
+
 TEST(BatchResizingEngineTest, IntervalAdaptsAndStabilizes) {
   // An overloaded fixed interval becomes stable once resizing kicks in,
   // at the cost of a longer interval (= higher latency floor), which is the

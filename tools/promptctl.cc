@@ -22,9 +22,17 @@
 //                              --serve_hold_ms keeps serving after the run
 //   --explain=N                per-cause autopsy of batch N after the run
 //   --autopsy_out=a.jsonl      one autopsy record per batch
+//
+// Adaptive technique switching (src/adapt/):
+//   --adaptive                           telemetry-driven switching across
+//                                        the candidate ladder
+//   --adapt_candidates=Hash,PK2,Prompt   ladder, cheapest→most robust
+//   --adapt_d=3                          consecutive batches before a switch
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "baselines/factory.h"
@@ -99,6 +107,13 @@ int main(int argc, char** argv) {
   }
   auto elastic = flags.GetBool("elastic", false);
   if (!elastic.ok()) return Fail(elastic.status());
+  auto adaptive = flags.GetBool("adaptive", false);
+  if (!adaptive.ok()) return Fail(adaptive.status());
+  const std::string adapt_candidates =
+      flags.GetString("adapt_candidates", "Hash,PK2,Prompt");
+  auto adapt_d = flags.GetInt("adapt_d", 3);
+  if (!adapt_d.ok()) return Fail(adapt_d.status());
+  if (*adapt_d < 1) return Fail(Status::Invalid("--adapt_d must be >= 1"));
   auto metrics = flags.GetBool("metrics", false);
   if (!metrics.ok()) return Fail(metrics.status());
   // Virtual cost of one tuple's Map work (µs); scales all other cost-model
@@ -179,6 +194,34 @@ int main(int argc, char** argv) {
   options.cost.reduce_task_fixed_us = 2000;
   options.use_prompt_reduce = *technique == PartitionerType::kPrompt ||
                               *technique == PartitionerType::kPromptPostSort;
+  if (*adaptive) {
+    options.adapt.enabled = true;
+    options.adapt.d = *adapt_d;
+    options.adapt.candidates.clear();
+    std::string rest = adapt_candidates;
+    while (!rest.empty()) {
+      const size_t comma = rest.find(',');
+      const std::string token = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      if (token.empty()) continue;
+      auto candidate = PartitionerTypeFromName(token);
+      if (!candidate.ok()) return Fail(candidate.status());
+      options.adapt.candidates.push_back(*candidate);
+    }
+    if (options.adapt.candidates.empty()) {
+      return Fail(Status::Invalid("--adapt_candidates must name >= 1 technique"));
+    }
+    if (std::find(options.adapt.candidates.begin(),
+                  options.adapt.candidates.end(),
+                  *technique) == options.adapt.candidates.end()) {
+      return Fail(Status::Invalid(
+          std::string("--technique=") + PartitionerTypeName(*technique) +
+          " must be one of --adapt_candidates=" + adapt_candidates));
+    }
+    // The reduce allocator stays fixed across switches (only the batching
+    // technique adapts); Worst-Fit handles every candidate's buckets well.
+    options.use_prompt_reduce = true;
+  }
   if (*elastic) {
     options.elasticity_enabled = true;
     options.cores_track_tasks = true;
@@ -228,6 +271,12 @@ int main(int argc, char** argv) {
         .Set("map", b.map_tasks)
         .Set("red", b.reduce_tasks)
         .Set("lat_ms", static_cast<double>(b.latency) / 1000.0);
+    if (*adaptive) {
+      row.Set("tech", b.technique >= 0
+                          ? PartitionerTypeName(
+                                static_cast<PartitionerType>(b.technique))
+                          : "?");
+    }
     if (*metrics) {
       row.Set("bsi", b.partition_metrics.bsi)
           .Set("ksr", b.partition_metrics.ksr);
@@ -284,6 +333,20 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(summary.tasks_speculated),
         static_cast<double>(summary.max_recovery_time) / 1000.0,
         summary.data_loss ? "  DATA LOSS (raise --replication)" : "");
+  }
+  if (*adaptive) {
+    std::printf("adaptive: %llu switch(es) (up=%llu down=%llu)\n",
+                static_cast<unsigned long long>(
+                    summary.technique_switches.size()),
+                static_cast<unsigned long long>(summary.technique_switches_up),
+                static_cast<unsigned long long>(
+                    summary.technique_switches_down));
+    for (const RunSummary::TechniqueSwitch& s : summary.technique_switches) {
+      std::printf("  after batch %llu: %s -> %s (%s)\n",
+                  static_cast<unsigned long long>(s.after_batch),
+                  PartitionerTypeName(s.from), PartitionerTypeName(s.to),
+                  s.reason.c_str());
+    }
   }
   if (engine.observability()->exporter() != nullptr && *serve_hold_ms > 0) {
     std::printf("holding telemetry server for %lldms...\n",
