@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "multi_tenant_util.h"
 #include "obs/timeseries.h"
 
 using namespace prompt;
@@ -109,6 +110,42 @@ void TrackAdaptiveShift(std::vector<Signal>* out) {
        static_cast<double>(adaptive.summary.technique_switches_down), "count"});
 }
 
+/// The multi-tenant noisy-neighbor scenario (bench/multi_tenant_isolation):
+/// a calm uniform tenant shares ingest and slots with a Zipf-shifting
+/// neighbor. Fully virtual-time, so the isolation properties themselves are
+/// gated: calm drift signals must stay exactly zero, the noisy tenant's
+/// escalation and post-shift skew verdicts must keep firing.
+void TrackMultiTenant(std::vector<Signal>* out) {
+  const MultiTenantSetup setup;
+  const MultiTenantScenario shared =
+      RunMultiTenantScenario(setup, /*calm_only=*/false);
+  const MultiTenantScenario solo =
+      RunMultiTenantScenario(setup, /*calm_only=*/true);
+
+  out->push_back({"multi_tenant.calm_p99_latency_us",
+                  P99LatencyUs(shared.calm.summary), "us"});
+  out->push_back({"multi_tenant.calm_solo_p99_latency_us",
+                  P99LatencyUs(solo.calm.summary), "us"});
+  out->push_back({"multi_tenant.noisy_p99_latency_us",
+                  P99LatencyUs(shared.noisy.summary), "us"});
+  out->push_back(
+      {"multi_tenant.noisy_switches_up",
+       static_cast<double>(shared.noisy.summary.technique_switches_up),
+       "count"});
+  out->push_back({"multi_tenant.noisy_post_shift_skew_verdicts",
+                  static_cast<double>(SkewVerdicts(shared.noisy.causes,
+                                                   setup.shift_batch,
+                                                   shared.noisy.causes.size())),
+                  "count"});
+  out->push_back(
+      {"multi_tenant.calm_verdict_divergence",
+       static_cast<double>(CauseDivergence(shared.calm.causes,
+                                           solo.calm.causes)),
+       "count"});
+  out->push_back({"multi_tenant.calm_window_drift",
+                  WindowDrift(shared.calm.window, solo.calm.window), "delta"});
+}
+
 /// Wall-clock overhead of the telemetry layer (ring + autopsy + exporter)
 /// over a metrics-only run — tracked, not gated.
 double TelemetryOverheadPct() {
@@ -174,6 +211,7 @@ int main(int argc, char** argv) {
               &signals);
   TrackConfig("synd_z1.4_hash", 1.4, PartitionerType::kHash, 8000.0, &signals);
   TrackAdaptiveShift(&signals);
+  TrackMultiTenant(&signals);
 
   // Ungated wall-clock trend signal: loose tolerance recorded for context.
   signals.push_back({"telemetry_overhead_pct", TelemetryOverheadPct(), "%",

@@ -1,0 +1,106 @@
+// Noisy-neighbor isolation under the weighted-fair TenantScheduler
+// (self-asserting): a calm uniform tenant (even keys, static Hash) shares
+// one ingest stream and one 16-slot pool with a tenant whose odd-key slice
+// shifts from uniform to Zipf z = 1.4 mid-run. The harness exits non-zero
+// unless
+//   (a) the noisy tenant's adaptive ladder escalates (>= 1 switch up) and
+//       its post-shift autopsy stream carries skew verdicts,
+//   (b) the calm tenant's autopsy stream is bit-identical to its solo run —
+//       the neighbor's skew must not add, remove or change a single verdict
+//       (the calm workload's own occasional stragglers are fine; a *new*
+//       verdict would be leakage),
+//   (c) the calm tenant's p99 latency in the shared run is within
+//       kMaxP99DriftPct of its solo run on the same guaranteed slot share,
+//   (d) the calm tenant's window aggregates are bit-identical to that solo
+//       run (the scheduler guarantees slots, the KeyFilter guarantees data).
+// Everything runs on the virtual clock, so all five numbers are
+// bit-deterministic per seed — bench_track gates them in BENCH_prompt.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "multi_tenant_util.h"
+
+using namespace prompt;
+using namespace prompt::bench;
+
+namespace {
+
+constexpr double kMaxP99DriftPct = 10.0;
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  const MultiTenantSetup setup;
+  PrintHeader(
+      "Multi-tenant isolation: calm uniform tenant vs z=0 -> z=1.4 neighbor");
+
+  const MultiTenantScenario shared =
+      RunMultiTenantScenario(setup, /*calm_only=*/false);
+  const MultiTenantScenario solo =
+      RunMultiTenantScenario(setup, /*calm_only=*/true);
+
+  const double calm_p99 = P99LatencyUs(shared.calm.summary);
+  const double solo_p99 = P99LatencyUs(solo.calm.summary);
+  const double noisy_p99 = P99LatencyUs(shared.noisy.summary);
+  const double p99_drift_pct = 100.0 * (calm_p99 / solo_p99 - 1.0);
+  const uint64_t noisy_skew = SkewVerdicts(
+      shared.noisy.causes, setup.shift_batch, shared.noisy.causes.size());
+  const uint64_t calm_divergence =
+      CauseDivergence(shared.calm.causes, solo.calm.causes);
+  const double window_drift = WindowDrift(shared.calm.window, solo.calm.window);
+
+  PrintRow({"tenant", "p99 ms", "slots", "switches up", "skew verdicts"});
+  PrintRow({"calm (shared)", Fmt(calm_p99 / 1000.0),
+            std::to_string(shared.calm.slots_granted),
+            std::to_string(shared.calm.summary.technique_switches_up),
+            std::to_string(SkewVerdicts(shared.calm.causes, 0,
+                                        shared.calm.causes.size()))});
+  PrintRow({"calm (solo)", Fmt(solo_p99 / 1000.0),
+            std::to_string(solo.calm.slots_granted),
+            std::to_string(solo.calm.summary.technique_switches_up),
+            std::to_string(SkewVerdicts(solo.calm.causes, 0,
+                                        solo.calm.causes.size()))});
+  PrintRow({"noisy", Fmt(noisy_p99 / 1000.0),
+            std::to_string(shared.noisy.slots_granted),
+            std::to_string(shared.noisy.summary.technique_switches_up),
+            std::to_string(noisy_skew)});
+  for (const auto& s : shared.noisy.summary.technique_switches) {
+    std::printf("  noisy after batch %llu: %s -> %s (%s)\n",
+                static_cast<unsigned long long>(s.after_batch),
+                PartitionerTypeName(s.from), PartitionerTypeName(s.to),
+                s.reason.c_str());
+  }
+  std::printf("  calm p99 drift vs solo: %+.2f%% (limit %.1f%%)\n",
+              p99_drift_pct, kMaxP99DriftPct);
+
+  Check(shared.noisy.summary.technique_switches_up >= 1,
+        "noisy tenant escalates its ladder after the shift");
+  Check(noisy_skew >= 1,
+        "noisy tenant's post-shift autopsy stream carries skew verdicts");
+  Check(calm_divergence == 0,
+        "calm autopsy stream bit-identical to solo (no verdict leakage)");
+  Check(shared.calm.summary.technique_switches_up == 0,
+        "calm tenant never escalates (its slice never skews)");
+  Check(p99_drift_pct <= kMaxP99DriftPct && p99_drift_pct >= -kMaxP99DriftPct,
+        "calm shared-run p99 within 10% of its solo baseline");
+  Check(window_drift == 0.0,
+        "calm window aggregates bit-identical to the solo run");
+  Check(shared.calm.summary.stable && shared.noisy.summary.stable,
+        "both tenants stay stable");
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "FAIL: %d isolation assertion(s) violated\n",
+                 g_failures);
+    return 1;
+  }
+  std::printf("PASS: noisy neighbor contained; calm tenant unaffected\n");
+  return 0;
+}

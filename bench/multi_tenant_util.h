@@ -1,0 +1,214 @@
+// Shared scenario for the multi-tenant isolation bench and the regression
+// tracker (bench_track): a calm uniform tenant and a Zipf-shifting tenant
+// share one ingest stream under the weighted-fair TenantScheduler. Fully
+// virtual-time, so every number is bit-deterministic per seed.
+//
+// The key space splits by parity (KeyMappedSource: calm = even keys,
+// noisy = odd keys), so the tenants' slices are provably disjoint and the
+// calm tenant's answers can be compared bit-for-bit against its solo run —
+// the paper-style noisy-neighbor isolation claim.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/timeseries.h"
+#include "query/parser.h"
+#include "tenant/multi_tenant_engine.h"
+#include "workload/composite_source.h"
+#include "workload/key_map.h"
+
+namespace prompt::bench {
+
+struct MultiTenantSetup {
+  TimeMicros batch_interval = Seconds(1);
+  uint32_t batches = 24;
+  /// Batch at which the noisy tenant's slice shifts from uniform to Zipf.
+  uint32_t shift_batch = 12;
+  double rate = 4000;  ///< tuples/s per tenant
+  double zipf_calm = 0.0;
+  double zipf_noisy_before = 0.0;
+  double zipf_noisy_after = 1.4;
+  uint64_t cardinality = 500;  ///< per tenant
+  uint64_t calm_seed = 42;
+  uint64_t noisy_seed = 99;
+  /// Per-tenant Map/Reduce parallelism; the shared slot pool is
+  /// 2 * tasks (each equal-weight tenant's share equals its solo run).
+  uint32_t tasks = 8;
+};
+
+/// Owns the generator chain: two independent paced streams relabeled onto
+/// disjoint parities, optionally interleaved into one shared stream.
+struct MultiTenantSources {
+  std::unique_ptr<TupleSource> calm_inner;
+  std::unique_ptr<TupleSource> noisy_inner;
+  std::unique_ptr<KeyMappedSource> calm;
+  std::unique_ptr<KeyMappedSource> noisy;
+  std::unique_ptr<CompositeSource> shared;
+};
+
+inline MultiTenantSources MakeMultiTenantSources(const MultiTenantSetup& s,
+                                                 bool calm_only) {
+  MultiTenantSources out;
+  ZipfKeyedSource::Params calm_params;
+  calm_params.cardinality = s.cardinality;
+  calm_params.zipf = s.zipf_calm;
+  calm_params.seed = s.calm_seed;
+  calm_params.rate = std::make_shared<ConstantRate>(s.rate);
+  out.calm_inner = std::make_unique<SynDSource>(std::move(calm_params));
+  out.calm = std::make_unique<KeyMappedSource>(out.calm_inner.get(), 2, 0);
+  if (calm_only) return out;
+
+  ZipfKeyedSource::Params noisy_params;
+  noisy_params.cardinality = s.cardinality;
+  noisy_params.zipf = s.zipf_noisy_before;
+  noisy_params.seed = s.noisy_seed;
+  noisy_params.rate = std::make_shared<ConstantRate>(s.rate);
+  out.noisy_inner = std::make_unique<SkewShiftSource>(
+      std::move(noisy_params), s.zipf_noisy_after,
+      static_cast<TimeMicros>(s.shift_batch) * s.batch_interval);
+  out.noisy = std::make_unique<KeyMappedSource>(out.noisy_inner.get(), 2, 1);
+  out.shared = std::make_unique<CompositeSource>(
+      std::vector<TupleSource*>{out.calm.get(), out.noisy.get()});
+  return out;
+}
+
+inline TenantQuerySpec CalmTenantSpec() {
+  TenantQuerySpec spec;
+  spec.id = "calm";
+  spec.weight = 1;
+  spec.technique = PartitionerType::kHash;
+  spec.filter = *KeyFilter::Parse("mod:2:0");
+  spec.query = *ParseQuery("SELECT COUNT WINDOW 8S");
+  return spec;
+}
+
+inline TenantQuerySpec NoisyTenantSpec() {
+  TenantQuerySpec spec;
+  spec.id = "noisy";
+  spec.weight = 1;
+  spec.technique = PartitionerType::kHash;
+  spec.adaptive = true;
+  // Two-rung ladder, same rationale as the adaptive-switch bench: under the
+  // bench cost model PK2 is not a usable intermediate rung.
+  spec.adapt_candidates = {PartitionerType::kHash, PartitionerType::kPrompt};
+  spec.filter = *KeyFilter::Parse("mod:2:1");
+  spec.query = *ParseQuery("SELECT COUNT WINDOW 8S");
+  return spec;
+}
+
+inline MultiTenantEngineOptions MultiTenantBenchOptions(
+    const MultiTenantSetup& s, uint32_t total_slots) {
+  MultiTenantEngineOptions opts;
+  opts.batch_interval = s.batch_interval;
+  opts.total_slots = total_slots;
+  opts.map_tasks = s.tasks;
+  opts.reduce_tasks = s.tasks;
+  opts.cost = BenchCostModel();
+  opts.unstable_queue_intervals = 1e9;
+  opts.use_prompt_reduce = true;
+  opts.obs.collect_partition_metrics = true;
+  // Same calm thresholds as the single-tenant drift bench (DESIGN.md §11):
+  // floor the autopsy above uniform-phase hash noise, and tolerate the
+  // 2-3% of keys B-BPFI splits on uniform data from block straddling.
+  opts.obs.autopsy.min_excess_frac = 0.05;
+  opts.adapt_base.calm_split_key_frac = 0.05;
+  return opts;
+}
+
+/// One tenant's observables from a scenario run.
+struct TenantOutcome {
+  RunSummary summary;
+  std::vector<BatchCause> causes;
+  std::unordered_map<KeyId, double> window;
+  uint64_t slots_granted = 0;
+};
+
+struct MultiTenantScenario {
+  TenantOutcome calm;
+  TenantOutcome noisy;  ///< empty summary in the calm-solo run
+};
+
+/// Runs the shared two-tenant scenario (16 slots, weights 1:1), or the calm
+/// tenant alone on its guaranteed half of the pool (the solo baseline the
+/// isolation claims compare against).
+inline MultiTenantScenario RunMultiTenantScenario(const MultiTenantSetup& s,
+                                                  bool calm_only) {
+  MultiTenantSources sources = MakeMultiTenantSources(s, calm_only);
+  std::vector<TenantQuerySpec> specs = {CalmTenantSpec()};
+  if (!calm_only) specs.push_back(NoisyTenantSpec());
+  auto engine = MultiTenantEngine::Create(
+      MultiTenantBenchOptions(s, calm_only ? s.tasks : 2 * s.tasks),
+      std::move(specs),
+      calm_only ? static_cast<TupleSource*>(sources.calm.get())
+                : static_cast<TupleSource*>(sources.shared.get()));
+  PROMPT_CHECK(engine.ok());
+  MultiTenantRunSummary run = (*engine)->Run(s.batches);
+
+  MultiTenantScenario out;
+  auto fill = [&](size_t t, TenantOutcome* dst) {
+    dst->summary = std::move(run.tenants[t].summary);
+    dst->causes = std::move(run.tenants[t].causes);
+    dst->slots_granted = run.tenants[t].slots_granted;
+    dst->window = (*engine)->window(t).Result();
+  };
+  fill(0, &out.calm);
+  if (!calm_only) fill(1, &out.noisy);
+  return out;
+}
+
+/// p99 end-to-end latency over the whole run (TimeSeriesStore's estimator,
+/// the same one the telemetry endpoints report).
+inline double P99LatencyUs(const RunSummary& summary) {
+  TimeSeriesOptions opts;
+  opts.window = static_cast<uint32_t>(summary.batches.size());
+  TimeSeriesStore store(opts);
+  for (const BatchReport& b : summary.batches) store.Observe(b);
+  return store.Aggregate(TimeSeriesSignal::kLatencyUs).p99;
+}
+
+/// Verdicts attributing the batch to data skew (the causes the adaptive
+/// controller escalates on), counted over [begin, end) batch indices.
+inline uint64_t SkewVerdicts(const std::vector<BatchCause>& causes,
+                             size_t begin, size_t end) {
+  uint64_t n = 0;
+  for (size_t i = begin; i < end && i < causes.size(); ++i) {
+    if (causes[i] == BatchCause::kSplitKeyOverflow ||
+        causes[i] == BatchCause::kStragglerCore ||
+        causes[i] == BatchCause::kBucketSkew) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// Batches whose verdicts differ between two runs of the same tenant (0 =
+/// the autopsy streams are bit-identical; the isolation requirement for the
+/// calm tenant — its own workload may have verdicts, the neighbor must not
+/// add, remove or change any).
+inline uint64_t CauseDivergence(const std::vector<BatchCause>& a,
+                                const std::vector<BatchCause>& b) {
+  if (a.size() != b.size()) return a.size() + b.size();
+  uint64_t n = 0;
+  for (size_t i = 0; i < a.size(); ++i) n += (a[i] != b[i]) ? 1 : 0;
+  return n;
+}
+
+/// Largest absolute per-key difference between two window answers (0.0 when
+/// bit-identical, which is what the isolation scenario requires).
+inline double WindowDrift(const std::unordered_map<KeyId, double>& a,
+                          const std::unordered_map<KeyId, double>& b) {
+  if (a.size() != b.size()) return 1e18;
+  double drift = 0;
+  for (const auto& [key, value] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) return 1e18;
+    const double d = value - it->second;
+    drift = std::max(drift, d < 0 ? -d : d);
+  }
+  return drift;
+}
+
+}  // namespace prompt::bench

@@ -19,9 +19,10 @@ cmake -B "${BUILD_DIR}" -S . \
   -DPROMPT_SANITIZE="${SANITIZE}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" 2>&1 | tee "${LOG_DIR}/build.log"
 
-cd "${BUILD_DIR}"
-ctest --output-on-failure -j "$(nproc)" 2>&1 | tee "${LOG_DIR}/ctest.log"
-cd ..
+# No cd: a relative LOG_DIR must keep resolving from the repo root, or the
+# tee above would fail (and with pipefail, kill the script) after ctest.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" 2>&1 \
+  | tee "${LOG_DIR}/ctest.log"
 
 # Observability smoke: a short sharded Zipf run with tracing on must produce
 # exactly one JSONL trace record per batch. The trace lands in $LOG_DIR for
@@ -92,3 +93,27 @@ grep -q '^# TYPE prompt_batches_total counter' "${LOG_DIR}/exporter-metrics.txt"
 grep -q '^prompt_batches_total 5' "${LOG_DIR}/exporter-metrics.txt"
 grep -q '^prompt_batch_latency_us{quantile="0.99"}' "${LOG_DIR}/exporter-metrics.txt"
 echo "exporter smoke: /metrics, /timeseries.json, /healthz OK"
+
+# Multi-tenant smoke: two tenants share one ingest stream; each must emit
+# its own tenant-labeled autopsy stream (one JSONL row per tenant per batch)
+# and the adaptive tenant's escalation must land in the run summary.
+"${BUILD_DIR}/tools/promptctl" --queries=examples/two_tenants.query \
+  --dataset=SynD --rate=8000 --batches=10 --zipf=1.2 \
+  --autopsy_out="${LOG_DIR}/mt-smoke-autopsy.jsonl" \
+  2>&1 | tee "${LOG_DIR}/mt-smoke.log"
+CALM_ROWS="$(grep -c '"tenant":"calm"' "${LOG_DIR}/mt-smoke-autopsy.jsonl")"
+NOISY_ROWS="$(grep -c '"tenant":"noisy"' "${LOG_DIR}/mt-smoke-autopsy.jsonl")"
+if [[ "${CALM_ROWS}" -ne 10 || "${NOISY_ROWS}" -ne 10 ]]; then
+  echo "multi-tenant smoke: expected 10 autopsy rows per tenant," \
+    "got calm=${CALM_ROWS} noisy=${NOISY_ROWS}" >&2
+  exit 1
+fi
+grep -q '^tenant calm' "${LOG_DIR}/mt-smoke.log" || {
+  echo "multi-tenant smoke: calm tenant section missing" >&2
+  exit 1
+}
+grep -q '^tenant noisy' "${LOG_DIR}/mt-smoke.log" || {
+  echo "multi-tenant smoke: noisy tenant section missing" >&2
+  exit 1
+}
+echo "multi-tenant smoke: per-tenant autopsy streams OK"

@@ -172,13 +172,18 @@ AdaptiveDecision AdaptivePartitionController::OnBatchCompleted(
   return decision;
 }
 
-void AdaptivePartitionController::BindMetrics(MetricsRegistry* registry) {
+void AdaptivePartitionController::BindMetrics(MetricsRegistry* registry,
+                                              const MetricLabels& labels) {
   if (registry == nullptr) return;
-  switches_up_total_ = registry->GetCounter("prompt_partitioner_switches_total",
-                                            {{"direction", "up"}});
-  switches_down_total_ = registry->GetCounter(
-      "prompt_partitioner_switches_total", {{"direction", "down"}});
-  active_technique_gauge_ = registry->GetGauge("prompt_active_technique");
+  MetricLabels up = labels, down = labels;
+  up.emplace_back("direction", "up");
+  down.emplace_back("direction", "down");
+  switches_up_total_ =
+      registry->GetCounter("prompt_partitioner_switches_total", up);
+  switches_down_total_ =
+      registry->GetCounter("prompt_partitioner_switches_total", down);
+  active_technique_gauge_ =
+      registry->GetGauge("prompt_active_technique", labels);
   active_technique_gauge_->Set(static_cast<double>(active()));
 }
 

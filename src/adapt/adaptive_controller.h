@@ -107,7 +107,8 @@ class AdaptivePartitionController {
   /// Publishes `prompt_partitioner_switches_total{direction=up|down}` and a
   /// `prompt_active_technique` gauge (PartitionerType enum value) into
   /// `registry`. nullptr disables (the default).
-  void BindMetrics(MetricsRegistry* registry);
+  void BindMetrics(MetricsRegistry* registry,
+                   const MetricLabels& labels = {});
 
   /// True when `cause` counts as skew (escalation) evidence.
   static bool IsSkewCause(BatchCause cause);

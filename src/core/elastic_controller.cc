@@ -13,14 +13,18 @@ ElasticController::ElasticController(ElasticityOptions options,
       rate_trend_(options.trend_lookback),
       keys_trend_(options.trend_lookback) {}
 
-void ElasticController::BindMetrics(MetricsRegistry* registry) {
+void ElasticController::BindMetrics(MetricsRegistry* registry,
+                                    const MetricLabels& labels) {
   if (registry == nullptr) return;
-  scale_out_total_ = registry->GetCounter("prompt_elastic_scale_out_total");
-  scale_in_total_ = registry->GetCounter("prompt_elastic_scale_in_total");
+  scale_out_total_ =
+      registry->GetCounter("prompt_elastic_scale_out_total", labels);
+  scale_in_total_ =
+      registry->GetCounter("prompt_elastic_scale_in_total", labels);
   grace_blocked_total_ =
-      registry->GetCounter("prompt_elastic_grace_blocked_total");
-  map_tasks_gauge_ = registry->GetGauge("prompt_elastic_map_tasks");
-  reduce_tasks_gauge_ = registry->GetGauge("prompt_elastic_reduce_tasks");
+      registry->GetCounter("prompt_elastic_grace_blocked_total", labels);
+  map_tasks_gauge_ = registry->GetGauge("prompt_elastic_map_tasks", labels);
+  reduce_tasks_gauge_ =
+      registry->GetGauge("prompt_elastic_reduce_tasks", labels);
   map_tasks_gauge_->Set(map_tasks_);
   reduce_tasks_gauge_->Set(reduce_tasks_);
 }

@@ -77,7 +77,8 @@ class ElasticController {
 
   /// Publishes scaling activity (scale-out/in counts, grace-period blocks,
   /// current task gauges) into `registry`. nullptr disables (the default).
-  void BindMetrics(MetricsRegistry* registry);
+  void BindMetrics(MetricsRegistry* registry,
+                   const MetricLabels& labels = {});
 
   static ElasticityZone ZoneOf(double w, const ElasticityOptions& options);
 

@@ -29,16 +29,27 @@ double RunSummary::MeanThroughputTuplesPerSec(TimeMicros interval,
   return static_cast<double>(tuples) / seconds;
 }
 
+/// The per-query slice of the engine options (QueryContext construction).
+static QueryContextOptions QueryOptionsFrom(const EngineOptions& options) {
+  QueryContextOptions qc;
+  qc.map_tasks = options.map_tasks;
+  qc.reduce_tasks = options.reduce_tasks;
+  qc.cost = options.cost;
+  qc.mode = options.mode;
+  qc.use_prompt_reduce = options.use_prompt_reduce;
+  qc.elasticity_enabled = options.elasticity_enabled;
+  qc.elasticity = options.elasticity;
+  qc.batch_resizing_enabled = options.batch_resizing_enabled;
+  qc.batch_resizer = options.batch_resizer;
+  qc.adapt = options.adapt;
+  return qc;
+}
+
 MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
                                    std::unique_ptr<BatchPartitioner> partitioner,
                                    TupleSource* source)
-    : options_(options),
-      job_(std::move(job)),
-      partitioner_(std::move(partitioner)),
-      source_(source),
-      map_tasks_(options.map_tasks),
-      reduce_tasks_(options.reduce_tasks) {
-  PROMPT_CHECK(partitioner_ != nullptr);
+    : options_(options), job_(std::move(job)), source_(source) {
+  PROMPT_CHECK(partitioner != nullptr);
   PROMPT_CHECK(source_ != nullptr);
   PROMPT_CHECK(options_.batch_interval > 0);
   if (options_.adapt.enabled) {
@@ -51,20 +62,11 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
     PROMPT_LOG(kWarn) << "observability sink setup failed: "
                       << obs_->init_status().ToString();
   }
-  if (options_.use_prompt_reduce) {
-    allocator_ = std::make_unique<PromptReduceAllocator>();
-  } else {
-    allocator_ = std::make_unique<HashReduceAllocator>();
-  }
-  executor_ = std::make_unique<BatchExecutor>(job_, CostModel(options_.cost),
-                                              allocator_.get(), options_.mode);
-  executor_->BindMetrics(obs_->registry());
-  window_ = std::make_unique<WindowState>(job_.reduce, job_.window_batches);
-  if (options_.elasticity_enabled) {
-    elastic_ = std::make_unique<ElasticController>(
-        options_.elasticity, options_.map_tasks, options_.reduce_tasks);
-    elastic_->BindMetrics(obs_->registry());
-  }
+  // The single-tenant fast path: all per-query state (partitioner, window,
+  // controllers, estimates) lives in one QueryContext the run loop drives.
+  query_ = std::make_unique<QueryContext>(
+      /*id=*/"default", QueryOptionsFrom(options_), job_,
+      std::move(partitioner), obs_->registry());
   if (options_.mode == ExecutionMode::kReal) {
     pool_ = std::make_unique<ThreadPool>(options_.cores);
   }
@@ -87,39 +89,12 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
     }
   }
   current_interval_ = options_.batch_interval;
-  if (options_.batch_resizing_enabled) {
-    resizer_ = std::make_unique<BatchIntervalController>(options_.batch_resizer);
-  }
   if (options_.ingest_shards > 1) {
     ParallelIngestOptions pio;
     pio.num_shards = options_.ingest_shards;
     pio.ring_capacity = options_.ingest_ring_capacity;
     ingest_ = std::make_unique<ParallelIngestPipeline>(pio);
     ingest_->BindMetrics(obs_->registry());
-  }
-  // Every report carries the technique that sealed its batch when the
-  // partitioner's name round-trips through the factory (custom partitioners
-  // stay at -1).
-  {
-    Result<PartitionerType> type = PartitionerTypeFromName(partitioner_->name());
-    if (type.ok()) current_technique_ = static_cast<int32_t>(*type);
-  }
-  if (options_.adapt.enabled) {
-    const auto& candidates = options_.adapt.candidates;
-    const bool known = current_technique_ >= 0;
-    const bool in_ladder =
-        known && std::find(candidates.begin(), candidates.end(),
-                           static_cast<PartitionerType>(current_technique_)) !=
-                     candidates.end();
-    if (!in_ladder || candidates.empty()) {
-      PROMPT_LOG(kWarn)
-          << "adaptive switching disabled: initial partitioner '"
-          << partitioner_->name() << "' is not in the candidate set";
-    } else {
-      adapt_ = std::make_unique<AdaptivePartitionController>(
-          options_.adapt, static_cast<PartitionerType>(current_technique_));
-      adapt_->BindMetrics(obs_->registry());
-    }
   }
 }
 
@@ -133,15 +108,9 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
   report.num_tuples = batch.num_tuples;
   report.num_keys = batch.num_keys;
   report.map_tasks = static_cast<uint32_t>(batch.blocks.size());
-  report.reduce_tasks = reduce_tasks_;
+  report.reduce_tasks = query_->reduce_tasks;
   report.partition_cost = batch.partition_cost;
-  report.technique = current_technique_;
-  if (pending_switch_mark_) {
-    report.technique_switched = true;
-    report.switched_from = switched_from_;
-    pending_switch_mark_ = false;
-    switched_from_ = -1;
-  }
+  query_->MarkTechnique(&report);
 
   // Early Batch Release (§4.2): the partitioner worked during the slack
   // before the heartbeat; only the excess delays processing.
@@ -190,7 +159,7 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
           ? std::max<uint32_t>(1, static_cast<uint32_t>(batch.blocks.size()))
           : cluster_cores;
   const uint32_t reduce_cores =
-      options_.cores_track_tasks ? std::max<uint32_t>(1, reduce_tasks_)
+      options_.cores_track_tasks ? std::max<uint32_t>(1, query_->reduce_tasks)
                                  : cluster_cores;
 
   // Execute both stages (scheduler uses the smaller of the two core counts
@@ -200,7 +169,7 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
     // BatchExecutor schedules each stage with one core count; when the two
     // differ (elasticity), run it with map cores and rescale the reduce
     // stage below.
-    exec = executor_->Execute(batch, reduce_tasks_, map_cores, pool_.get());
+    exec = query_->executor->Execute(batch, query_->reduce_tasks, map_cores, pool_.get());
     if (reduce_cores != map_cores) {
       StageSchedule rs = ScheduleStage(exec.reduce_task_costs, reduce_cores);
       exec.reduce_makespan = rs.makespan;
@@ -279,7 +248,7 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
   // time the way consecutive Spark jobs on one context would.
   for (ExtraQuery& extra : extra_queries_) {
     BatchExecution extra_exec =
-        extra.executor->Execute(batch, reduce_tasks_, map_cores, pool_.get());
+        extra.executor->Execute(batch, query_->reduce_tasks, map_cores, pool_.get());
     report.processing_time +=
         extra_exec.map_makespan + extra_exec.reduce_makespan;
     extra.window->AddBatch(std::move(extra_exec.output));
@@ -290,22 +259,22 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
   }
 
   if (options_.replicate_input) {
-    last_replica_ = std::make_unique<PartitionedBatch>(batch);
-    last_output_ = exec.output;
+    query_->last_replica = std::make_unique<PartitionedBatch>(batch);
+    query_->last_output = exec.output;
   }
   if (store_ != nullptr && batch.batch_id >= job_.window_batches) {
     // §8 GC rule: a batch expiring from the window can never be replayed
     // again, so its replicas are dropped.
     store_->Evict(batch.batch_id - job_.window_batches);
   }
-  window_->AddBatch(std::move(exec.output));
+  query_->window->AddBatch(std::move(exec.output));
   if (cluster_ != nullptr) {
     // Track which node hosts this batch's reduce-bucket state, mirroring the
     // window's retained history: losing that node later triggers a replay.
-    window_state_nodes_.push_back(
-        WindowReplica{batch.batch_id, PickStateNode(batch.batch_id)});
-    while (window_state_nodes_.size() > window_->depth()) {
-      window_state_nodes_.pop_front();
+    query_->window_state_nodes.push_back(QueryContext::WindowReplica{
+        batch.batch_id, PickStateNode(batch.batch_id)});
+    while (query_->window_state_nodes.size() > query_->window->depth()) {
+      query_->window_state_nodes.pop_front();
     }
   }
   return report;
@@ -317,7 +286,7 @@ Result<size_t> MicroBatchEngine::AddQuery(JobSpec job) {
   }
   ExtraQuery extra;
   extra.executor = std::make_unique<BatchExecutor>(
-      job, CostModel(options_.cost), allocator_.get(), options_.mode);
+      job, CostModel(options_.cost), query_->allocator.get(), options_.mode);
   extra.executor->BindMetrics(obs_->registry());
   extra.window = std::make_unique<WindowState>(job.reduce, job.window_batches);
   extra.job = std::move(job);
@@ -348,10 +317,10 @@ Status MicroBatchEngine::KillNode(uint32_t node) {
 Status MicroBatchEngine::ReviveNode(uint32_t node) {
   if (cluster_ == nullptr) return Status::Invalid("cluster mode disabled");
   PROMPT_RETURN_NOT_OK(cluster_->ReviveNode(node));
-  if (elastic_ != nullptr) {
-    elastic_->OnCapacityChange(cluster_->total_alive_cores());
-    map_tasks_ = elastic_->map_tasks();
-    reduce_tasks_ = elastic_->reduce_tasks();
+  if (query_->elastic != nullptr) {
+    query_->elastic->OnCapacityChange(cluster_->total_alive_cores());
+    query_->map_tasks = query_->elastic->map_tasks();
+    query_->reduce_tasks = query_->elastic->reduce_tasks();
   }
   return Status::OK();
 }
@@ -392,10 +361,10 @@ bool MicroBatchEngine::PollFaults(uint64_t batch_id, FaultPoint point,
       // controller may scale out again) and the extra room lets the store
       // restore the replication factor.
       TopUpStoreReplication(report);
-      if (elastic_ != nullptr) {
-        elastic_->OnCapacityChange(cluster_->total_alive_cores());
-        map_tasks_ = elastic_->map_tasks();
-        reduce_tasks_ = elastic_->reduce_tasks();
+      if (query_->elastic != nullptr) {
+        query_->elastic->OnCapacityChange(cluster_->total_alive_cores());
+        query_->map_tasks = query_->elastic->map_tasks();
+        query_->reduce_tasks = query_->elastic->reduce_tasks();
       }
     }
   }
@@ -406,8 +375,8 @@ void MicroBatchEngine::RecoverFromNodeLoss(uint32_t node, BatchReport* report) {
   report->recovered_from_failure = true;
   // Replay every in-window batch whose reduce-bucket state lived on the dead
   // node: recompute from replicated input and patch its window contribution.
-  for (size_t i = 0; i < window_state_nodes_.size(); ++i) {
-    WindowReplica& wr = window_state_nodes_[i];
+  for (size_t i = 0; i < query_->window_state_nodes.size(); ++i) {
+    QueryContext::WindowReplica& wr = query_->window_state_nodes[i];
     if (wr.node != node) continue;
     Result<BatchExecution> redo = ReplayBatchFromStore(wr.batch_id, report);
     if (!redo.ok()) {
@@ -416,7 +385,7 @@ void MicroBatchEngine::RecoverFromNodeLoss(uint32_t node, BatchReport* report) {
       report->unrecoverable = true;
       continue;
     }
-    Status st = window_->ReplaceBatch(i, std::move(redo->output));
+    Status st = query_->window->ReplaceBatch(i, std::move(redo->output));
     if (!st.ok()) {
       PROMPT_LOG(kWarn) << "window patch failed for batch " << wr.batch_id
                         << ": " << st.ToString();
@@ -428,10 +397,10 @@ void MicroBatchEngine::RecoverFromNodeLoss(uint32_t node, BatchReport* report) {
   TopUpStoreReplication(report);
   // Alg. 4 capacity feed: the controller sees the reduced cluster now, not
   // d batches of degraded W later.
-  if (elastic_ != nullptr) {
-    elastic_->OnCapacityChange(cluster_->total_alive_cores());
-    map_tasks_ = elastic_->map_tasks();
-    reduce_tasks_ = elastic_->reduce_tasks();
+  if (query_->elastic != nullptr) {
+    query_->elastic->OnCapacityChange(cluster_->total_alive_cores());
+    query_->map_tasks = query_->elastic->map_tasks();
+    query_->reduce_tasks = query_->elastic->reduce_tasks();
   }
 }
 
@@ -444,7 +413,7 @@ Result<BatchExecution> MicroBatchEngine::ReplayBatchFromStore(
   const uint32_t cores = std::max<uint32_t>(1, cluster_->total_alive_cores());
   RepackBlocks(&replica, cores);
   BatchExecution redo =
-      executor_->Execute(replica, reduce_tasks_, cores, pool_.get());
+      query_->executor->Execute(replica, query_->reduce_tasks, cores, pool_.get());
   report->recovery_time += redo.map_makespan + redo.reduce_makespan;
   ++report->batches_replayed;
   return redo;
@@ -500,8 +469,8 @@ Result<std::vector<KV>> MicroBatchEngine::RecomputeBatchFromStore(
     uint64_t batch_id) {
   if (store_ == nullptr) return Status::Invalid("cluster mode disabled");
   PROMPT_ASSIGN_OR_RETURN(PartitionedBatch batch, store_->Read(batch_id));
-  BatchExecution redo = executor_->Execute(
-      batch, reduce_tasks_,
+  BatchExecution redo = query_->executor->Execute(
+      batch, query_->reduce_tasks,
       std::max<uint32_t>(1, cluster_->total_alive_cores()), pool_.get());
   return std::move(redo.output);
 }
@@ -520,13 +489,13 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
     next_batch_start_ = end;
 
     // --- Batching phase: accumulate this interval's tuples. ---
-    partitioner_->Begin(map_tasks_, start, end);
+    query_->partitioner->Begin(query_->map_tasks, start, end);
     if (ingest_ != nullptr) ingest_->BeginBatch(start, end);
     auto sink = [&](const Tuple& t) {
       if (ingest_ != nullptr) {
         ingest_->Ingest(t);
       } else {
-        partitioner_->OnTuple(t);
+        query_->partitioner->OnTuple(t);
       }
     };
     if (have_pending_ && pending_.ts < end) {
@@ -548,30 +517,30 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
     PartitionedBatch batch;
     if (ingest_ != nullptr) {
       const AccumulatedBatch& merged = ingest_->SealBatch();
-      if (!partitioner_->SealAccumulated(merged, next_batch_id_, &batch)) {
+      if (!query_->partitioner->SealAccumulated(merged, query_->next_batch_id, &batch)) {
         // No quasi-sorted fast path: replay the merged batch through the
         // per-tuple interface in quasi-sorted order.
         for (const SortedKeyRun& run : merged.keys()) {
           merged.ForEachTuple(run, 0, run.count,
-                              [&](const Tuple& t) { partitioner_->OnTuple(t); });
+                              [&](const Tuple& t) { query_->partitioner->OnTuple(t); });
         }
-        batch = partitioner_->Seal(next_batch_id_);
+        batch = query_->partitioner->Seal(query_->next_batch_id);
       }
-      ++next_batch_id_;
+      ++query_->next_batch_id;
       // The merge runs in the release slack alongside Alg. 2, on the same
       // critical path toward the heartbeat — account it as decision cost.
       batch.partition_cost += ingest_->last_metrics().merge_latency;
     } else {
-      batch = partitioner_->Seal(next_batch_id_++);
+      batch = query_->partitioner->Seal(query_->next_batch_id++);
     }
 
     // --- Processing phase: starts at the heartbeat, or when the pipeline
     // frees if earlier batches are still running (queueing). ---
-    const TimeMicros proc_start = std::max(end, pipeline_free_at_);
+    const TimeMicros proc_start = std::max(end, query_->pipeline_free_at);
     BatchReport report = ProcessBatch(std::move(batch), interval);
     report.queue_delay = proc_start - end;
-    pipeline_free_at_ = proc_start + report.processing_time;
-    report.latency = pipeline_free_at_ - start;
+    query_->pipeline_free_at = proc_start + report.processing_time;
+    report.latency = query_->pipeline_free_at - start;
     if (ingest_ != nullptr) {
       // Fold the batching phase's per-shard stats into the report; this
       // embedded form is the only way callers see per-shard ingest state.
@@ -599,38 +568,26 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
 
     // --- Feedback loops. ---
     // Receiver estimates for Alg. 1 (N_est, K_avg).
-    const double alpha = 0.4;
-    if (!est_init_) {
-      est_tuples_ = static_cast<double>(report.num_tuples);
-      est_keys_ = static_cast<double>(report.num_keys);
-      est_init_ = true;
-    } else {
-      est_tuples_ = alpha * static_cast<double>(report.num_tuples) +
-                    (1 - alpha) * est_tuples_;
-      est_keys_ = alpha * static_cast<double>(report.num_keys) +
-                  (1 - alpha) * est_keys_;
-    }
-    partitioner_->UpdateEstimates(static_cast<uint64_t>(est_tuples_),
-                                  static_cast<uint64_t>(est_keys_));
+    query_->ObserveBatchEstimates(report.num_tuples, report.num_keys);
     if (ingest_ != nullptr) {
-      ingest_->UpdateEstimates(static_cast<uint64_t>(est_tuples_),
-                               static_cast<uint64_t>(est_keys_));
+      ingest_->UpdateEstimates(static_cast<uint64_t>(query_->est_tuples),
+                               static_cast<uint64_t>(query_->est_keys));
     }
 
     // Batch resizing baseline [12]: step the next interval toward the
     // fixed point processing_time = target * interval.
-    if (resizer_ != nullptr) {
+    if (query_->resizer != nullptr) {
       current_interval_ =
-          resizer_->OnBatchCompleted(interval, report.processing_time);
+          query_->resizer->OnBatchCompleted(interval, report.processing_time);
     }
 
     // Alg. 4 elasticity.
-    if (elastic_ != nullptr) {
-      ScaleDecision d = elastic_->OnBatchCompleted(
+    if (query_->elastic != nullptr) {
+      ScaleDecision d = query_->elastic->OnBatchCompleted(
           report.w, report.num_tuples, report.num_keys);
       (void)d;
-      map_tasks_ = elastic_->map_tasks();
-      reduce_tasks_ = elastic_->reduce_tasks();
+      query_->map_tasks = query_->elastic->map_tasks();
+      query_->reduce_tasks = query_->elastic->reduce_tasks();
     }
 
     if (observe) {
@@ -649,12 +606,12 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
     // this batch's report and autopsy verdict; an approved switch is applied
     // here — after Seal of this batch, before Begin of the next — so no
     // in-flight batch ever mixes techniques.
-    if (adapt_ != nullptr) {
+    if (query_->adapt != nullptr) {
       const BatchAutopsy autopsy = ExplainBatch(report, options_.obs.autopsy);
       const AdaptiveDecision decision =
-          adapt_->OnBatchCompleted(report, autopsy);
+          query_->adapt->OnBatchCompleted(report, autopsy);
       if (decision.switch_now) {
-        ApplyTechniqueSwitch(decision);
+        query_->ApplyTechniqueSwitch(decision);
         summary.technique_switches.push_back(RunSummary::TechniqueSwitch{
             report.batch_id, decision.from, decision.to, decision.reason});
         if (std::string_view(decision.reason) == "skew") {
@@ -737,27 +694,11 @@ void MicroBatchEngine::RecordBatchTrace(const BatchReport& report,
   if (extras > 0) rec->AddSpan("extra_queries", cursor, extras, 0);
 }
 
-void MicroBatchEngine::ApplyTechniqueSwitch(const AdaptiveDecision& decision) {
-  std::unique_ptr<BatchPartitioner> next =
-      CreatePartitioner(decision.to, options_.adapt.config);
-  PROMPT_CHECK(next != nullptr);
-  partitioner_ = std::move(next);
-  // Warm start: the incoming technique inherits the EWMA workload estimates
-  // (Alg. 1's N_est / K_avg feed) instead of re-learning from zero.
-  if (est_init_) {
-    partitioner_->UpdateEstimates(static_cast<uint64_t>(est_tuples_),
-                                  static_cast<uint64_t>(est_keys_));
-  }
-  current_technique_ = static_cast<int32_t>(decision.to);
-  pending_switch_mark_ = true;
-  switched_from_ = static_cast<int32_t>(decision.from);
-}
-
 Status MicroBatchEngine::VerifyRecoveryOfLastBatch() {
   if (!options_.replicate_input) {
     return Status::Invalid("replication disabled; enable replicate_input");
   }
-  if (last_replica_ == nullptr) {
+  if (query_->last_replica == nullptr) {
     return Status::Invalid("no batch has been processed yet");
   }
   // Recompute from the replicated input blocks, exactly as the recovery
@@ -767,12 +708,12 @@ Status MicroBatchEngine::VerifyRecoveryOfLastBatch() {
   const uint32_t recovery_cores =
       cluster_ != nullptr ? std::max<uint32_t>(1, cluster_->total_alive_cores())
                           : options_.cores;
-  BatchExecution redo = executor_->Execute(*last_replica_, reduce_tasks_,
+  BatchExecution redo = query_->executor->Execute(*query_->last_replica, query_->reduce_tasks,
                                            recovery_cores, pool_.get());
   last_verify_recovery_cost_ = redo.map_makespan + redo.reduce_makespan;
   std::unordered_map<KeyId, double> original;
-  for (const KV& kv : last_output_) original[kv.key] = kv.value;
-  if (redo.output.size() != last_output_.size()) {
+  for (const KV& kv : query_->last_output) original[kv.key] = kv.value;
+  if (redo.output.size() != query_->last_output.size()) {
     return Status::Unknown("recomputed output cardinality mismatch");
   }
   for (const KV& kv : redo.output) {

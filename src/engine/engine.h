@@ -23,6 +23,7 @@
 #include "obs/batch_report.h"
 #include "obs/observability.h"
 #include "stats/metrics.h"
+#include "tenant/query_context.h"
 #include "workload/source.h"
 
 namespace prompt {
@@ -147,12 +148,12 @@ class MicroBatchEngine {
 
   /// Current windowed query answer. Checkpoint() is available through this
   /// reference; restoring goes through RestoreWindow below.
-  const WindowState& window() const { return *window_; }
+  const WindowState& window() const { return *query_->window; }
 
   /// Replaces the window state from a WindowState::Checkpoint() blob (e.g.
   /// on planned restart). The checkpoint's window geometry must match.
   Status RestoreWindow(const std::string& checkpoint) {
-    return window_->Restore(checkpoint);
+    return query_->window->Restore(checkpoint);
   }
 
   /// Registers an additional streaming query sharing this engine's batching
@@ -166,8 +167,12 @@ class MicroBatchEngine {
   Result<const WindowState*> QueryWindow(size_t query_id) const;
 
   /// Current parallelism (after any elastic scaling).
-  uint32_t map_tasks() const { return map_tasks_; }
-  uint32_t reduce_tasks() const { return reduce_tasks_; }
+  uint32_t map_tasks() const { return query_->map_tasks; }
+  uint32_t reduce_tasks() const { return query_->reduce_tasks; }
+
+  /// The per-query state bag this engine drives (the single-tenant fast
+  /// path: exactly one context, built in the constructor).
+  const QueryContext& query_context() const { return *query_; }
 
   /// §8 fault tolerance: recomputes the most recent batch from its
   /// replicated input blocks and verifies the recomputed output matches the
@@ -213,11 +218,6 @@ class MicroBatchEngine {
   /// Lays the batch's timeline spans into the trace recorder (tracing only).
   void RecordBatchTrace(const BatchReport& report, TimeMicros interval,
                         TimeMicros batch_start);
-  /// Swaps the live partitioner for `decision.to` between heartbeats: the
-  /// outgoing technique sealed the batch that just completed, the incoming
-  /// one begins the next batch, so no in-flight batch mixes techniques. The
-  /// new instance is warm-started from the engine's EWMA estimates.
-  void ApplyTechniqueSwitch(const AdaptiveDecision& decision);
 
   // ---- In-loop fault handling (src/fault/) ----
   /// Node ids currently alive (empty outside cluster mode).
@@ -248,26 +248,17 @@ class MicroBatchEngine {
 
   EngineOptions options_;
   JobSpec job_;
-  std::unique_ptr<BatchPartitioner> partitioner_;
   TupleSource* source_;
-  std::unique_ptr<ReduceAllocator> allocator_;
-  std::unique_ptr<BatchExecutor> executor_;
-  std::unique_ptr<WindowState> window_;
-  std::unique_ptr<ElasticController> elastic_;
+  /// All per-query mutable state: the live partitioner, window, elasticity /
+  /// resizing / adaptive controllers, EWMA estimates, replication
+  /// bookkeeping. The engine drives exactly one context; the multi-tenant
+  /// scheduler (src/tenant/) drives N of them over one shared ingest.
+  std::unique_ptr<QueryContext> query_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SimulatedCluster> cluster_;
   std::unique_ptr<BatchStore> store_;
   std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest_shards > 1
   std::unique_ptr<Observability> obs_;
-  std::unique_ptr<AdaptivePartitionController> adapt_;  // adapt.enabled
-
-  /// PartitionerType of the live partitioner (-1 when its name maps to no
-  /// factory type); stamped into every BatchReport.
-  int32_t current_technique_ = -1;
-  /// Set by ApplyTechniqueSwitch so the next batch's report (and trace)
-  /// carries the switch annotation.
-  bool pending_switch_mark_ = false;
-  int32_t switched_from_ = -1;
 
   // Extra queries sharing the batching phase (AddQuery).
   struct ExtraQuery {
@@ -278,36 +269,15 @@ class MicroBatchEngine {
   std::vector<ExtraQuery> extra_queries_;
   bool run_started_ = false;
 
-  uint32_t map_tasks_;
-  uint32_t reduce_tasks_;
   TimeMicros current_interval_ = 0;
-  std::unique_ptr<BatchIntervalController> resizer_;
-  uint64_t next_batch_id_ = 0;
   TimeMicros next_batch_start_ = 0;
-  TimeMicros pipeline_free_at_ = 0;  ///< when the processing pipeline frees
   bool have_pending_ = false;
   Tuple pending_{};  ///< one-tuple lookahead across batch boundaries
 
-  // EWMA estimates feeding Alg. 1's N_est and K_avg.
-  double est_tuples_ = 0;
-  double est_keys_ = 0;
-  bool est_init_ = false;
-
-  // Replica of the last batch's input + output for recovery verification.
-  std::unique_ptr<PartitionedBatch> last_replica_;
-  std::vector<KV> last_output_;
   TimeMicros last_verify_recovery_cost_ = 0;
 
   // ---- Fault-injection / recovery state (cluster mode) ----
   std::unique_ptr<FaultInjector> fault_;
-  /// Which alive node hosts each in-window batch's reduce-bucket state,
-  /// oldest first, mirroring the window's retained history: when that node
-  /// dies, the batch's contribution is replayed from replicated input.
-  struct WindowReplica {
-    uint64_t batch_id;
-    uint32_t node;
-  };
-  std::deque<WindowReplica> window_state_nodes_;
   /// Nodes killed through the public KillNode API whose recovery runs at the
   /// next batch boundary (the engine's failure-detection point).
   std::vector<uint32_t> pending_node_losses_;

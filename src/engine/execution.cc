@@ -16,12 +16,16 @@ BatchExecutor::BatchExecutor(JobSpec job, CostModel cost_model,
   PROMPT_CHECK(allocator_ != nullptr);
 }
 
-void BatchExecutor::BindMetrics(MetricsRegistry* registry) {
+void BatchExecutor::BindMetrics(MetricsRegistry* registry,
+                                const MetricLabels& labels) {
   if (registry == nullptr) return;
-  map_tasks_total_ = registry->GetCounter("prompt_map_tasks_total");
-  reduce_tasks_total_ = registry->GetCounter("prompt_reduce_tasks_total");
-  map_task_cost_us_ = registry->GetHistogram("prompt_map_task_cost_us");
-  reduce_task_cost_us_ = registry->GetHistogram("prompt_reduce_task_cost_us");
+  map_tasks_total_ = registry->GetCounter("prompt_map_tasks_total", labels);
+  reduce_tasks_total_ =
+      registry->GetCounter("prompt_reduce_tasks_total", labels);
+  map_task_cost_us_ =
+      registry->GetHistogram("prompt_map_task_cost_us", labels);
+  reduce_task_cost_us_ =
+      registry->GetHistogram("prompt_reduce_task_cost_us", labels);
 }
 
 std::vector<MapCluster> BatchExecutor::RunMapTask(

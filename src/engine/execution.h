@@ -70,8 +70,9 @@ class BatchExecutor {
 
   /// Publishes per-task cost distributions and stage counters into
   /// `registry`. nullptr disables (the default) — Execute then records
-  /// nothing beyond the returned BatchExecution.
-  void BindMetrics(MetricsRegistry* registry);
+  /// nothing beyond the returned BatchExecution. `labels` is appended to
+  /// every registered series (multi-tenant runs pass {{"tenant", id}}).
+  void BindMetrics(MetricsRegistry* registry, const MetricLabels& labels = {});
 
   const JobSpec& job() const { return job_; }
 

@@ -52,6 +52,34 @@ std::string PrometheusValue(double v) {
   return os.str();
 }
 
+/// Value of `key` in an URL query string ("a=1&b=2"), "" when absent. No
+/// percent-decoding — tenant ids are plain identifiers.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+/// JSON string escaping for the /tenants.json index.
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 std::string PrometheusExposition(const std::vector<MetricSample>& snapshot) {
@@ -170,8 +198,25 @@ void HttpExporter::AcceptLoop() {
   }
 }
 
-bool HttpExporter::RenderPath(const std::string& path, std::string* body,
+void HttpExporter::AddTimeSeries(const std::string& name,
+                                 const TimeSeriesStore* store) {
+  std::lock_guard<std::mutex> lock(named_mu_);
+  for (auto& [n, s] : named_) {
+    if (n == name) {
+      s = store;
+      return;
+    }
+  }
+  named_.emplace_back(name, store);
+}
+
+bool HttpExporter::RenderPath(const std::string& target, std::string* body,
                               std::string* content_type) const {
+  const size_t qpos = target.find('?');
+  const std::string path =
+      qpos == std::string::npos ? target : target.substr(0, qpos);
+  const std::string query =
+      qpos == std::string::npos ? std::string() : target.substr(qpos + 1);
   if (path == "/healthz") {
     *body = "ok\n";
     *content_type = "text/plain; charset=utf-8";
@@ -182,9 +227,35 @@ bool HttpExporter::RenderPath(const std::string& path, std::string* body,
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
     return true;
   }
-  if (path == "/timeseries.json" && timeseries_ != nullptr) {
+  if (path == "/timeseries.json") {
+    const std::string tenant = QueryParam(query, "tenant");
+    const TimeSeriesStore* store = timeseries_;
+    if (!tenant.empty()) {
+      store = nullptr;
+      std::lock_guard<std::mutex> lock(named_mu_);
+      for (const auto& [n, s] : named_) {
+        if (n == tenant) {
+          store = s;
+          break;
+        }
+      }
+    }
+    if (store == nullptr) return false;  // unknown tenant / no default store
     std::ostringstream os;
-    timeseries_->WriteJson(&os);
+    store->WriteJson(&os);
+    *body = os.str();
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/tenants.json") {
+    std::ostringstream os;
+    os << "{\"tenants\":[";
+    std::lock_guard<std::mutex> lock(named_mu_);
+    for (size_t i = 0; i < named_.size(); ++i) {
+      if (i > 0) os << ',';
+      os << JsonQuote(named_[i].first);
+    }
+    os << "]}";
     *body = os.str();
     *content_type = "application/json";
     return true;
@@ -208,8 +279,8 @@ void HttpExporter::HandleConnection(int fd) const {
   std::istringstream line(request.substr(0, eol));
   std::string method, target;
   line >> method >> target;
-  const size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
+  // The query string passes through: RenderPath splits it off and uses it
+  // to select per-tenant time-series stores.
 
   std::string body, content_type, status = "200 OK";
   if (method != "GET") {

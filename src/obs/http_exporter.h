@@ -1,6 +1,7 @@
 // Minimal embedded HTTP server exporting live telemetry from a running
 // engine: Prometheus text exposition of the MetricsRegistry (`/metrics`),
-// the per-batch time series with windowed aggregates (`/timeseries.json`)
+// the per-batch time series with windowed aggregates (`/timeseries.json`,
+// per-tenant stores via `?tenant=<id>` with the index at `/tenants.json`)
 // and a liveness probe (`/healthz`). One accept thread, one request per
 // connection, responses built from the same snapshot paths the file sinks
 // use — the engine's hot path is never touched by a scrape (registry
@@ -9,8 +10,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -54,9 +57,17 @@ class HttpExporter {
     return requests_.load(std::memory_order_relaxed);
   }
 
-  /// Response-body dispatch, exposed for tests and non-HTTP reuse. Returns
-  /// false for unknown paths. `content_type` is set on success.
-  bool RenderPath(const std::string& path, std::string* body,
+  /// Registers a named (per-tenant) time-series store, served at
+  /// `/timeseries.json?tenant=<name>` and listed by `/tenants.json`. Not
+  /// owned; must outlive the exporter. Thread-safe against in-flight
+  /// scrapes; a re-registered name replaces the earlier store.
+  void AddTimeSeries(const std::string& name, const TimeSeriesStore* store);
+
+  /// Response-body dispatch, exposed for tests and non-HTTP reuse. `target`
+  /// is the request path with an optional query string (`?tenant=<id>`
+  /// selects a named time series). Returns false for unknown paths and
+  /// unknown tenants. `content_type` is set on success.
+  bool RenderPath(const std::string& target, std::string* body,
                   std::string* content_type) const;
 
  private:
@@ -65,6 +76,9 @@ class HttpExporter {
 
   const MetricsRegistry* registry_;
   const TimeSeriesStore* timeseries_;
+  /// Named per-tenant stores (insertion order = /tenants.json order).
+  mutable std::mutex named_mu_;
+  std::vector<std::pair<std::string, const TimeSeriesStore*>> named_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread thread_;

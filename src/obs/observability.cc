@@ -171,6 +171,17 @@ void Observability::OnBatchComplete(const BatchReport& report,
   }
 }
 
+void Observability::EmitAutopsy(const BatchAutopsy& autopsy,
+                                const std::string& tenant) {
+  if (!options_.autopsy_enabled) return;
+  last_autopsy_ = autopsy;
+  if (autopsy_file_ != nullptr) {
+    Record row = AutopsyRecord(autopsy);
+    row.Set("tenant", tenant);
+    autopsy_file_->Write(row);
+  }
+}
+
 void Observability::OnRunEnd() {
   for (Observer* o : observers_) o->OnRunEnd();
   for (auto& sink : trace_sinks_) sink->Flush();

@@ -111,6 +111,13 @@ class Observability final : public Observer {
   /// Only maintained while autopsy_enabled().
   const BatchAutopsy& last_autopsy() const { return last_autopsy_; }
 
+  /// Writes one autopsy row tagged with a `tenant` column to the configured
+  /// autopsy sink and updates last_autopsy(). The multi-tenant engine emits
+  /// each tenant's verdict through this instead of OnBatchComplete, so the
+  /// per-tenant autopsy streams stay separable in one JSONL file. No-op
+  /// unless autopsy_enabled().
+  void EmitAutopsy(const BatchAutopsy& autopsy, const std::string& tenant);
+
   void AddTraceSink(std::unique_ptr<TraceSink> sink);
   /// Per-batch report rows (ReportRecord) flow into these.
   void AddReportSink(std::unique_ptr<RecordSink> sink);

@@ -1,0 +1,256 @@
+#include "query/multi_query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace prompt {
+
+namespace {
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+/// Splits on ':' — filter specs are colon-delimited triples.
+std::vector<std::string> SplitColon(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+Result<uint64_t> ParseU64(const std::string& s, const char* what) {
+  if (s.empty()) return Status::Invalid(std::string(what) + " is empty");
+  uint64_t v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::Invalid(std::string(what) + " is not a number: " + s);
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string KeyFilter::ToString() const {
+  switch (kind) {
+    case Kind::kAll:
+      return "all";
+    case Kind::kModulo:
+      return "mod:" + std::to_string(modulo) + ":" + std::to_string(residue);
+    case Kind::kRange:
+      return "range:" + std::to_string(lo) + ":" + std::to_string(hi);
+  }
+  return "all";
+}
+
+Result<KeyFilter> KeyFilter::Parse(const std::string& text) {
+  KeyFilter f;
+  const std::vector<std::string> parts = SplitColon(text);
+  const std::string kind = Upper(parts[0]);
+  if (kind == "ALL" && parts.size() == 1) return f;
+  if (kind == "MOD" && parts.size() == 3) {
+    f.kind = Kind::kModulo;
+    PROMPT_ASSIGN_OR_RETURN(f.modulo, ParseU64(parts[1], "modulo"));
+    PROMPT_ASSIGN_OR_RETURN(f.residue, ParseU64(parts[2], "residue"));
+    if (f.modulo == 0) return Status::Invalid("modulo must be positive");
+    if (f.residue >= f.modulo) {
+      return Status::Invalid("residue must be < modulo");
+    }
+    return f;
+  }
+  if (kind == "RANGE" && parts.size() == 3) {
+    f.kind = Kind::kRange;
+    PROMPT_ASSIGN_OR_RETURN(f.lo, ParseU64(parts[1], "range lo"));
+    PROMPT_ASSIGN_OR_RETURN(f.hi, ParseU64(parts[2], "range hi"));
+    if (f.lo > f.hi) return Status::Invalid("range lo must be <= hi");
+    return f;
+  }
+  return Status::Invalid("bad key filter (want all | mod:M:R | range:LO:HI): " +
+                         text);
+}
+
+std::string TenantSpecLine(const TenantQuerySpec& spec) {
+  std::string line = "TENANT " + spec.id;
+  line += " WEIGHT " + std::to_string(spec.weight);
+  line += std::string(" TECHNIQUE ") + PartitionerTypeName(spec.technique);
+  if (spec.adaptive) {
+    line += " ADAPTIVE ADAPT_D " + std::to_string(spec.adapt_d);
+    if (!spec.adapt_candidates.empty()) {
+      line += " CANDIDATES ";
+      for (size_t i = 0; i < spec.adapt_candidates.size(); ++i) {
+        if (i > 0) line += ',';
+        line += PartitionerTypeName(spec.adapt_candidates[i]);
+      }
+    }
+  }
+  line += " KEYS " + spec.filter.ToString();
+  line += " QUERY " + spec.query.text;
+  return line;
+}
+
+namespace {
+
+/// Parses one TENANT line (comments/blanks already skipped).
+Result<TenantQuerySpec> ParseSpecLine(const std::string& line, int line_no) {
+  auto fail = [line_no](const std::string& msg) {
+    return Status::Invalid("line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+
+  TenantQuerySpec spec;
+  bool have_technique = false;
+  size_t pos = 0;
+  if (pos >= tokens.size() || Upper(tokens[pos]) != "TENANT") {
+    return fail("expected TENANT");
+  }
+  ++pos;
+  if (pos >= tokens.size()) return fail("missing tenant id");
+  spec.id = tokens[pos++];
+
+  std::string query_text;
+  while (pos < tokens.size()) {
+    const std::string key = Upper(tokens[pos]);
+    if (key == "QUERY") {
+      // Everything after QUERY is the declarative query text, verbatim.
+      const size_t at = Upper(line).find(" QUERY ");
+      query_text = line.substr(at + 7);
+      break;
+    }
+    ++pos;
+    if (key == "WEIGHT") {
+      if (pos >= tokens.size()) return fail("WEIGHT needs a value");
+      const std::string& w = tokens[pos++];
+      // "0" and "-3" both reject: weights are strictly positive integers.
+      if (!w.empty() && w[0] == '-') {
+        return fail("weight must be positive: " + w);
+      }
+      PROMPT_ASSIGN_OR_RETURN(uint64_t v, ParseU64(w, "weight"));
+      if (v == 0) return fail("weight must be positive: " + w);
+      if (v > UINT32_MAX) return fail("weight too large: " + w);
+      spec.weight = static_cast<uint32_t>(v);
+    } else if (key == "TECHNIQUE") {
+      if (pos >= tokens.size()) return fail("TECHNIQUE needs a name");
+      Result<PartitionerType> t = PartitionerTypeFromName(tokens[pos++]);
+      if (!t.ok()) return fail(t.status().message());
+      spec.technique = *t;
+      have_technique = true;
+    } else if (key == "ADAPTIVE") {
+      spec.adaptive = true;
+    } else if (key == "ADAPT_D") {
+      if (pos >= tokens.size()) return fail("ADAPT_D needs a value");
+      PROMPT_ASSIGN_OR_RETURN(uint64_t d, ParseU64(tokens[pos++], "adapt_d"));
+      if (d == 0) return fail("adapt_d must be positive");
+      spec.adapt_d = static_cast<int>(d);
+    } else if (key == "CANDIDATES") {
+      if (pos >= tokens.size()) return fail("CANDIDATES needs a list");
+      std::string list = tokens[pos++];
+      std::string name;
+      std::istringstream ls(list);
+      while (std::getline(ls, name, ',')) {
+        Result<PartitionerType> t = PartitionerTypeFromName(name);
+        if (!t.ok()) return fail(t.status().message());
+        spec.adapt_candidates.push_back(*t);
+      }
+      if (spec.adapt_candidates.empty()) return fail("empty candidate list");
+    } else if (key == "KEYS") {
+      if (pos >= tokens.size()) return fail("KEYS needs a filter");
+      Result<KeyFilter> f = KeyFilter::Parse(tokens[pos++]);
+      if (!f.ok()) return fail(f.status().message());
+      spec.filter = *f;
+    } else {
+      return fail("unknown keyword: " + tokens[pos - 1]);
+    }
+  }
+  if (query_text.empty()) return fail("missing QUERY clause");
+  Result<CompiledQuery> q = ParseQuery(query_text);
+  if (!q.ok()) return fail(q.status().message());
+  spec.query = std::move(*q);
+
+  if (spec.adaptive) {
+    const std::vector<PartitionerType> ladder =
+        spec.adapt_candidates.empty() ? AdaptiveOptionsDefaultLadder()
+                                      : spec.adapt_candidates;
+    // Without an explicit TECHNIQUE an adaptive spec starts on the ladder's
+    // first (cheapest) rung and escalates from there.
+    if (!have_technique) spec.technique = ladder.front();
+    // The engine would warn and run static on a ladder missing the initial
+    // technique; the front door rejects outright so specs fail fast.
+    if (std::find(ladder.begin(), ladder.end(), spec.technique) ==
+        ladder.end()) {
+      return fail(std::string("initial technique ") +
+                  PartitionerTypeName(spec.technique) +
+                  " is not in the adaptive candidate ladder");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<PartitionerType> AdaptiveOptionsDefaultLadder() {
+  return {PartitionerType::kHash, PartitionerType::kPk2,
+          PartitionerType::kPrompt};
+}
+
+Result<std::vector<TenantQuerySpec>> ParseQueryFile(const std::string& text) {
+  std::vector<TenantQuerySpec> specs;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  TimeMicros slide = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip leading whitespace; skip blanks and comments.
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    PROMPT_ASSIGN_OR_RETURN(TenantQuerySpec spec,
+                            ParseSpecLine(line.substr(start), line_no));
+    for (const TenantQuerySpec& other : specs) {
+      if (other.id == spec.id) {
+        return Status::Invalid("line " + std::to_string(line_no) +
+                               ": duplicate tenant id: " + spec.id);
+      }
+    }
+    // The slide is the shared heartbeat: every tenant's window advances on
+    // the same batch boundary, so mismatched slides cannot be served.
+    if (slide == 0) {
+      slide = spec.query.slide;
+    } else if (spec.query.slide != slide) {
+      return Status::Invalid("line " + std::to_string(line_no) +
+                             ": SLIDE differs across tenants (the slide is "
+                             "the shared batch heartbeat)");
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) return Status::Invalid("no TENANT lines in spec");
+  return specs;
+}
+
+Result<std::vector<TenantQuerySpec>> LoadQueryFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseQueryFile(buf.str());
+}
+
+}  // namespace prompt

@@ -1,0 +1,105 @@
+#include "tenant/query_context.h"
+
+#include <algorithm>
+
+#include "baselines/factory.h"
+#include "common/logging.h"
+
+namespace prompt {
+
+QueryContext::QueryContext(std::string id, const QueryContextOptions& options,
+                           JobSpec job_spec,
+                           std::unique_ptr<BatchPartitioner> p,
+                           MetricsRegistry* registry, MetricLabels labels)
+    : job(std::move(job_spec)),
+      partitioner(std::move(p)),
+      map_tasks(options.map_tasks),
+      reduce_tasks(options.reduce_tasks),
+      id_(std::move(id)),
+      options_(options),
+      labels_(std::move(labels)) {
+  PROMPT_CHECK(partitioner != nullptr);
+  if (options_.use_prompt_reduce) {
+    allocator = std::make_unique<PromptReduceAllocator>();
+  } else {
+    allocator = std::make_unique<HashReduceAllocator>();
+  }
+  executor = std::make_unique<BatchExecutor>(job, CostModel(options_.cost),
+                                             allocator.get(), options_.mode);
+  executor->BindMetrics(registry, labels_);
+  window = std::make_unique<WindowState>(job.reduce, job.window_batches);
+  if (options_.elasticity_enabled) {
+    elastic = std::make_unique<ElasticController>(
+        options_.elasticity, options_.map_tasks, options_.reduce_tasks);
+    elastic->BindMetrics(registry, labels_);
+  }
+  if (options_.batch_resizing_enabled) {
+    resizer = std::make_unique<BatchIntervalController>(options_.batch_resizer);
+  }
+  // Every report carries the technique that sealed its batch when the
+  // partitioner's name round-trips through the factory (custom partitioners
+  // stay at -1).
+  {
+    Result<PartitionerType> type = PartitionerTypeFromName(partitioner->name());
+    if (type.ok()) current_technique = static_cast<int32_t>(*type);
+  }
+  if (options_.adapt.enabled) {
+    const auto& candidates = options_.adapt.candidates;
+    const bool known = current_technique >= 0;
+    const bool in_ladder =
+        known && std::find(candidates.begin(), candidates.end(),
+                           static_cast<PartitionerType>(current_technique)) !=
+                     candidates.end();
+    if (!in_ladder || candidates.empty()) {
+      PROMPT_LOG(kWarn) << "adaptive switching disabled: initial partitioner '"
+                        << partitioner->name()
+                        << "' is not in the candidate set";
+    } else {
+      adapt = std::make_unique<AdaptivePartitionController>(
+          options_.adapt, static_cast<PartitionerType>(current_technique));
+      adapt->BindMetrics(registry, labels_);
+    }
+  }
+}
+
+void QueryContext::ObserveBatchEstimates(uint64_t tuples, uint64_t keys) {
+  const double alpha = 0.4;
+  if (!est_init) {
+    est_tuples = static_cast<double>(tuples);
+    est_keys = static_cast<double>(keys);
+    est_init = true;
+  } else {
+    est_tuples = alpha * static_cast<double>(tuples) + (1 - alpha) * est_tuples;
+    est_keys = alpha * static_cast<double>(keys) + (1 - alpha) * est_keys;
+  }
+  partitioner->UpdateEstimates(static_cast<uint64_t>(est_tuples),
+                               static_cast<uint64_t>(est_keys));
+}
+
+void QueryContext::ApplyTechniqueSwitch(const AdaptiveDecision& decision) {
+  std::unique_ptr<BatchPartitioner> next =
+      CreatePartitioner(decision.to, options_.adapt.config);
+  PROMPT_CHECK(next != nullptr);
+  partitioner = std::move(next);
+  // Warm start: the incoming technique inherits the EWMA workload estimates
+  // (Alg. 1's N_est / K_avg feed) instead of re-learning from zero.
+  if (est_init) {
+    partitioner->UpdateEstimates(static_cast<uint64_t>(est_tuples),
+                                 static_cast<uint64_t>(est_keys));
+  }
+  current_technique = static_cast<int32_t>(decision.to);
+  pending_switch_mark = true;
+  switched_from = static_cast<int32_t>(decision.from);
+}
+
+void QueryContext::MarkTechnique(BatchReport* report) {
+  report->technique = current_technique;
+  if (pending_switch_mark) {
+    report->technique_switched = true;
+    report->switched_from = switched_from;
+    pending_switch_mark = false;
+    switched_from = -1;
+  }
+}
+
+}  // namespace prompt

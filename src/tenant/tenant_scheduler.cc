@@ -1,0 +1,88 @@
+#include "tenant/tenant_scheduler.h"
+
+#include <limits>
+
+namespace prompt {
+
+namespace {
+/// Stride numerator: pass_i advances by kStrideScale / w_i per extra slot.
+/// Large enough that distinct weights yield distinct strides, small enough
+/// that passes never overflow in any realistic run length.
+constexpr uint64_t kStrideScale = uint64_t{1} << 20;
+}  // namespace
+
+TenantScheduler::TenantScheduler(TenantSchedulerOptions options)
+    : options_(options) {
+  PROMPT_CHECK(options_.total_slots > 0);
+}
+
+Result<size_t> TenantScheduler::AddTenant(const std::string& id,
+                                          uint32_t weight) {
+  if (weight == 0) return Status::Invalid("tenant weight must be positive");
+  for (const Tenant& t : tenants_) {
+    if (t.id == id) return Status::Invalid("duplicate tenant id: " + id);
+  }
+  if (tenants_.size() + 1 > options_.total_slots) {
+    return Status::Invalid("more tenants than slots: every tenant needs its "
+                           "guaranteed minimum of 1");
+  }
+  // New tenants start at the stride's first tick, like a fresh stride-
+  // scheduling job — not at pass 0, which would let a late joiner monopolize
+  // remainder slots until it caught up.
+  Tenant t;
+  t.id = id;
+  t.weight = weight;
+  t.pending_weight = weight;
+  t.pass = kStrideScale / weight;
+  t.cumulative = 0;
+  tenants_.push_back(std::move(t));
+  return tenants_.size() - 1;
+}
+
+Status TenantScheduler::SetWeight(size_t tenant, uint32_t weight) {
+  if (tenant >= tenants_.size()) return Status::OutOfRange("no such tenant");
+  if (weight == 0) return Status::Invalid("tenant weight must be positive");
+  tenants_[tenant].pending_weight = weight;
+  return Status::OK();
+}
+
+std::vector<uint32_t> TenantScheduler::AllocateSlots() {
+  PROMPT_CHECK(!tenants_.empty());
+  // Batch boundary: pending weight changes land now, before any division.
+  for (Tenant& t : tenants_) t.weight = t.pending_weight;
+
+  uint64_t total_weight = 0;
+  for (const Tenant& t : tenants_) total_weight += t.weight;
+
+  // Guaranteed floor + proportional share of what remains.
+  std::vector<uint32_t> slots(tenants_.size(), 1);
+  const uint64_t avail = options_.total_slots - tenants_.size();
+  uint64_t granted = 0;
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    const uint64_t extra = avail * tenants_[i].weight / total_weight;
+    slots[i] += static_cast<uint32_t>(extra);
+    granted += extra;
+  }
+
+  // Remainder (< #tenants slots) by stride order: min pass wins, ties break
+  // on the lower index; the winner's pass advances by its stride.
+  for (uint64_t r = granted; r < avail; ++r) {
+    size_t winner = 0;
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+      if (tenants_[i].pass < best) {
+        best = tenants_[i].pass;
+        winner = i;
+      }
+    }
+    slots[winner] += 1;
+    tenants_[winner].pass += kStrideScale / tenants_[winner].weight;
+  }
+
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    tenants_[i].cumulative += slots[i];
+  }
+  return slots;
+}
+
+}  // namespace prompt

@@ -1,0 +1,83 @@
+// Weighted-fair task-slot scheduling across tenants (stride scheduling /
+// WFQ): each heartbeat the scheduler hands every tenant a deterministic
+// share of the shared map/reduce task slots proportional to its weight.
+// Allocation depends on weights alone — never on demand — so a tenant whose
+// batches overflow its share queues behind *its own* slots and cannot starve
+// a neighbor (the noisy-neighbor isolation property the multi-tenant bench
+// asserts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace prompt {
+
+struct TenantSchedulerOptions {
+  /// Shared task-slot pool divided each heartbeat (the cluster's cores).
+  uint32_t total_slots = 16;
+};
+
+/// \brief Deterministic weighted-fair slot allocator.
+///
+/// Per heartbeat (AllocateSlots):
+///  1. pending weight changes are applied — SetWeight only ever takes effect
+///     at a batch boundary, so no in-flight batch changes shares;
+///  2. every tenant gets 1 guaranteed slot (starvation-freedom by
+///     construction) plus floor(remaining * w_i / W) proportional slots;
+///  3. leftover slots (< #tenants) go to the lowest-pass tenants in stride
+///     order (pass_i advances by S / w_i per extra slot, ties break on the
+///     lower tenant index), so the remainder rotates fairly across
+///     heartbeats and cumulative shares converge to the exact weight ratio.
+///
+/// Everything is integer arithmetic on fixed inputs: same weights, same
+/// sequence of AllocateSlots calls → bit-identical allocations on every
+/// platform (the determinism guarantee DESIGN.md §12 documents).
+class TenantScheduler {
+ public:
+  explicit TenantScheduler(TenantSchedulerOptions options);
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(TenantScheduler);
+
+  /// Registers a tenant; returns its index (the slot-vector position).
+  /// Invalid on duplicate id, zero weight, or more tenants than slots.
+  Result<size_t> AddTenant(const std::string& id, uint32_t weight);
+
+  /// Queues a weight change; applied by the next AllocateSlots call (batch
+  /// boundary), never mid-heartbeat. Invalid on zero weight / bad index.
+  Status SetWeight(size_t tenant, uint32_t weight);
+
+  /// One heartbeat's slot allocation, tenant-indexed. Sums to total_slots;
+  /// every entry >= 1.
+  std::vector<uint32_t> AllocateSlots();
+
+  size_t tenants() const { return tenants_.size(); }
+  const std::string& id(size_t tenant) const { return tenants_[tenant].id; }
+  /// The weight AllocateSlots would use now (pending changes not yet
+  /// applied are visible through pending_weight).
+  uint32_t weight(size_t tenant) const { return tenants_[tenant].weight; }
+  uint32_t pending_weight(size_t tenant) const {
+    return tenants_[tenant].pending_weight;
+  }
+  /// Slots handed to `tenant` over all heartbeats so far.
+  uint64_t cumulative_slots(size_t tenant) const {
+    return tenants_[tenant].cumulative;
+  }
+  uint32_t total_slots() const { return options_.total_slots; }
+
+ private:
+  struct Tenant {
+    std::string id;
+    uint32_t weight;
+    uint32_t pending_weight;  ///< applied at the next AllocateSlots
+    uint64_t pass;            ///< stride scheduling virtual time
+    uint64_t cumulative;      ///< lifetime slots granted
+  };
+
+  TenantSchedulerOptions options_;
+  std::vector<Tenant> tenants_;
+};
+
+}  // namespace prompt

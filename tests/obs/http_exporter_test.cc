@@ -157,6 +157,82 @@ TEST(HttpExporterTest, RenderPathWithoutSocket) {
   EXPECT_FALSE(exporter.RenderPath("/other", &body, &type));
 }
 
+TEST(HttpExporterTest, PerTenantStoresServeByQueryParameter) {
+  MetricsRegistry registry;
+  TimeSeriesStore default_store;
+  TimeSeriesStore calm_store;
+  TimeSeriesStore noisy_store;
+  TimeSeriesPoint p;
+  p.batch_id = 1;
+  p.set(TimeSeriesSignal::kLatencyUs, 111.0);
+  calm_store.Push(p);
+  p.batch_id = 2;
+  p.set(TimeSeriesSignal::kLatencyUs, 222.0);
+  noisy_store.Push(p);
+
+  HttpExporter exporter(&registry, &default_store);
+  exporter.AddTimeSeries("calm", &calm_store);
+  exporter.AddTimeSeries("noisy", &noisy_store);
+
+  std::string body, type;
+  // The no-arg form keeps serving the default store (backward compatible).
+  ASSERT_TRUE(exporter.RenderPath("/timeseries.json", &body, &type));
+  EXPECT_EQ(body.find("\"batch_id\":1"), std::string::npos) << body;
+
+  ASSERT_TRUE(exporter.RenderPath("/timeseries.json?tenant=calm", &body, &type));
+  EXPECT_EQ(type, "application/json");
+  EXPECT_NE(body.find("\"batch_id\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"latency_us\":111"), std::string::npos);
+
+  ASSERT_TRUE(
+      exporter.RenderPath("/timeseries.json?tenant=noisy", &body, &type));
+  EXPECT_NE(body.find("\"latency_us\":222"), std::string::npos) << body;
+
+  // Unknown tenant -> 404, not the default store.
+  EXPECT_FALSE(
+      exporter.RenderPath("/timeseries.json?tenant=ghost", &body, &type));
+
+  // The tenant index lists every registered store.
+  ASSERT_TRUE(exporter.RenderPath("/tenants.json", &body, &type));
+  EXPECT_EQ(type, "application/json");
+  EXPECT_NE(body.find("\"calm\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"noisy\""), std::string::npos);
+
+  // Re-registering a name replaces the store rather than duplicating it.
+  TimeSeriesStore replacement;
+  p.batch_id = 9;
+  p.set(TimeSeriesSignal::kLatencyUs, 999.0);
+  replacement.Push(p);
+  exporter.AddTimeSeries("calm", &replacement);
+  ASSERT_TRUE(exporter.RenderPath("/timeseries.json?tenant=calm", &body, &type));
+  EXPECT_NE(body.find("\"batch_id\":9"), std::string::npos) << body;
+}
+
+TEST(HttpExporterTest, TenantQueryWorksOverTheSocket) {
+  MetricsRegistry registry;
+  TimeSeriesStore store;
+  TimeSeriesPoint p;
+  p.batch_id = 7;
+  p.set(TimeSeriesSignal::kLatencyUs, 777.0);
+  store.Push(p);
+
+  HttpExporter exporter(&registry, nullptr);
+  exporter.AddTimeSeries("calm", &store);
+  ASSERT_TRUE(exporter.Start(0).ok());
+
+  const std::string ok =
+      HttpGet(exporter.port(), "/timeseries.json?tenant=calm");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("\"batch_id\":7"), std::string::npos);
+
+  const std::string missing =
+      HttpGet(exporter.port(), "/timeseries.json?tenant=ghost");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos) << missing;
+
+  const std::string index = HttpGet(exporter.port(), "/tenants.json");
+  EXPECT_NE(index.find("\"calm\""), std::string::npos) << index;
+}
+
 TEST(HttpExporterTest, BindFailureReturnsIOError) {
   MetricsRegistry registry;
   HttpExporter first(&registry, nullptr);

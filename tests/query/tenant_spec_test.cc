@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "query/multi_query.h"
+
+namespace prompt {
+namespace {
+
+TEST(KeyFilterTest, MatchesByKind) {
+  KeyFilter all;
+  EXPECT_TRUE(all.Matches(0));
+  EXPECT_TRUE(all.Matches(12345));
+
+  KeyFilter mod;
+  mod.kind = KeyFilter::Kind::kModulo;
+  mod.modulo = 4;
+  mod.residue = 1;
+  EXPECT_TRUE(mod.Matches(1));
+  EXPECT_TRUE(mod.Matches(9));
+  EXPECT_FALSE(mod.Matches(2));
+
+  KeyFilter range;
+  range.kind = KeyFilter::Kind::kRange;
+  range.lo = 10;
+  range.hi = 20;
+  EXPECT_FALSE(range.Matches(9));
+  EXPECT_TRUE(range.Matches(10));
+  EXPECT_TRUE(range.Matches(20));
+  EXPECT_FALSE(range.Matches(21));
+}
+
+TEST(KeyFilterTest, ParseRoundTripsToString) {
+  for (const char* text : {"all", "mod:2:1", "range:100:4096"}) {
+    auto parsed = KeyFilter::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.ValueOrDie().ToString(), text);
+  }
+}
+
+TEST(KeyFilterTest, ParseRejectsMalformedFilters) {
+  for (const char* text :
+       {"", "nope", "mod:0:0", "mod:4", "mod:4:4", "range:9:3", "range:7"}) {
+    EXPECT_FALSE(KeyFilter::Parse(text).ok()) << text;
+  }
+}
+
+TEST(TenantSpecTest, ParsesAFullSpecLine) {
+  auto specs = ParseQueryFile(
+      "# two-tenant demo\n"
+      "\n"
+      "TENANT calm  WEIGHT 1 TECHNIQUE Hash KEYS mod:2:0 "
+      "QUERY SELECT COUNT WINDOW 8S\n"
+      "TENANT noisy WEIGHT 3 ADAPTIVE CANDIDATES Hash,Prompt KEYS mod:2:1 "
+      "QUERY SELECT SUM WHERE VALUE > 2.5 WINDOW 4S\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().message();
+  ASSERT_EQ(specs.ValueOrDie().size(), 2u);
+
+  const TenantQuerySpec& calm = specs.ValueOrDie()[0];
+  EXPECT_EQ(calm.id, "calm");
+  EXPECT_EQ(calm.weight, 1u);
+  EXPECT_EQ(calm.technique, PartitionerType::kHash);
+  EXPECT_FALSE(calm.adaptive);
+  EXPECT_EQ(calm.filter.kind, KeyFilter::Kind::kModulo);
+  EXPECT_EQ(calm.filter.modulo, 2u);
+  EXPECT_EQ(calm.filter.residue, 0u);
+  EXPECT_EQ(calm.query.window_batches(), 8u);
+
+  const TenantQuerySpec& noisy = specs.ValueOrDie()[1];
+  EXPECT_EQ(noisy.id, "noisy");
+  EXPECT_EQ(noisy.weight, 3u);
+  EXPECT_TRUE(noisy.adaptive);
+  EXPECT_EQ(noisy.adapt_candidates,
+            (std::vector<PartitionerType>{PartitionerType::kHash,
+                                          PartitionerType::kPrompt}));
+  // Without a TECHNIQUE clause the adaptive spec starts on the ladder's
+  // first rung.
+  EXPECT_EQ(noisy.technique, PartitionerType::kHash);
+  EXPECT_EQ(noisy.query.window_batches(), 4u);
+}
+
+TEST(TenantSpecTest, DefaultsWeightTechniqueAndFilter) {
+  auto specs = ParseQueryFile("TENANT solo QUERY SELECT COUNT WINDOW 30S\n");
+  ASSERT_TRUE(specs.ok()) << specs.status().message();
+  ASSERT_EQ(specs.ValueOrDie().size(), 1u);
+  const TenantQuerySpec& spec = specs.ValueOrDie()[0];
+  EXPECT_EQ(spec.weight, 1u);
+  EXPECT_EQ(spec.technique, PartitionerType::kPrompt);
+  EXPECT_FALSE(spec.adaptive);
+  EXPECT_EQ(spec.filter.kind, KeyFilter::Kind::kAll);
+}
+
+TEST(TenantSpecTest, SpecLineRoundTrips) {
+  const std::string text =
+      "TENANT calm  WEIGHT 2 TECHNIQUE Hash KEYS range:0:499 "
+      "QUERY SELECT COUNT TOP 10 WINDOW 30S\n"
+      "TENANT noisy WEIGHT 5 TECHNIQUE Hash ADAPTIVE ADAPT_D 4 "
+      "CANDIDATES Hash,PK2,Prompt KEYS mod:3:2 "
+      "QUERY SELECT COUNT WINDOW 30S\n";
+  auto first = ParseQueryFile(text);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+
+  // Serialize every spec back to text and re-parse: the second pass must
+  // reproduce the first exactly.
+  std::string round;
+  for (const TenantQuerySpec& spec : first.ValueOrDie()) {
+    round += TenantSpecLine(spec);
+    round += '\n';
+  }
+  auto second = ParseQueryFile(round);
+  ASSERT_TRUE(second.ok()) << second.status().message() << "\n" << round;
+  ASSERT_EQ(second.ValueOrDie().size(), first.ValueOrDie().size());
+  for (size_t i = 0; i < first.ValueOrDie().size(); ++i) {
+    const TenantQuerySpec& a = first.ValueOrDie()[i];
+    const TenantQuerySpec& b = second.ValueOrDie()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.weight, b.weight);
+    EXPECT_EQ(a.technique, b.technique);
+    EXPECT_EQ(a.adaptive, b.adaptive);
+    EXPECT_EQ(a.adapt_d, b.adapt_d);
+    EXPECT_EQ(a.adapt_candidates, b.adapt_candidates);
+    EXPECT_EQ(a.filter.ToString(), b.filter.ToString());
+    EXPECT_EQ(a.query.text, b.query.text);
+    EXPECT_EQ(a.query.window, b.query.window);
+    EXPECT_EQ(a.query.slide, b.query.slide);
+    EXPECT_EQ(a.query.top_k, b.query.top_k);
+  }
+}
+
+TEST(TenantSpecTest, RejectsDuplicateTenantIds) {
+  auto specs = ParseQueryFile(
+      "TENANT a QUERY SELECT COUNT WINDOW 4S\n"
+      "TENANT a QUERY SELECT COUNT WINDOW 8S\n");
+  ASSERT_FALSE(specs.ok());
+  EXPECT_NE(specs.status().message().find("duplicate"), std::string::npos)
+      << specs.status().message();
+}
+
+TEST(TenantSpecTest, RejectsZeroAndNegativeWeights) {
+  EXPECT_FALSE(
+      ParseQueryFile("TENANT a WEIGHT 0 QUERY SELECT COUNT WINDOW 4S\n").ok());
+  EXPECT_FALSE(
+      ParseQueryFile("TENANT a WEIGHT -2 QUERY SELECT COUNT WINDOW 4S\n").ok());
+  EXPECT_FALSE(ParseQueryFile(
+                   "TENANT a WEIGHT banana QUERY SELECT COUNT WINDOW 4S\n")
+                   .ok());
+}
+
+TEST(TenantSpecTest, RejectsMismatchedSlides) {
+  auto specs = ParseQueryFile(
+      "TENANT a QUERY SELECT COUNT WINDOW 8S SLIDE 1S\n"
+      "TENANT b QUERY SELECT COUNT WINDOW 8S SLIDE 2S\n");
+  ASSERT_FALSE(specs.ok());
+  EXPECT_NE(specs.status().message().find("SLIDE"), std::string::npos)
+      << specs.status().message();
+}
+
+TEST(TenantSpecTest, RejectsUnknownTechniqueFilterAndEmptyFiles) {
+  EXPECT_FALSE(
+      ParseQueryFile("TENANT a TECHNIQUE Warp QUERY SELECT COUNT WINDOW 4S\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseQueryFile("TENANT a KEYS mod:0:0 QUERY SELECT COUNT WINDOW 4S\n")
+          .ok());
+  EXPECT_FALSE(ParseQueryFile("").ok());
+  EXPECT_FALSE(ParseQueryFile("# only a comment\n\n").ok());
+  // Missing QUERY clause.
+  EXPECT_FALSE(ParseQueryFile("TENANT a WEIGHT 2\n").ok());
+}
+
+TEST(TenantSpecTest, RejectsAdaptiveLadderMissingInitialTechnique) {
+  // The explicit TECHNIQUE must sit on the candidate ladder, otherwise the
+  // adaptive controller could never escalate away from it.
+  EXPECT_FALSE(ParseQueryFile(
+                   "TENANT a TECHNIQUE cAM ADAPTIVE CANDIDATES Hash,Prompt "
+                   "QUERY SELECT COUNT WINDOW 4S\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace prompt

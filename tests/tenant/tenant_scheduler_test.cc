@@ -1,0 +1,148 @@
+#include "tenant/tenant_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace prompt {
+namespace {
+
+std::unique_ptr<TenantScheduler> MakeScheduler(
+    uint32_t total_slots, const std::vector<uint32_t>& weights) {
+  auto s = std::make_unique<TenantScheduler>(
+      TenantSchedulerOptions{total_slots});
+  for (size_t i = 0; i < weights.size(); ++i) {
+    auto added = s->AddTenant("t" + std::to_string(i), weights[i]);
+    EXPECT_TRUE(added.ok());
+  }
+  return s;
+}
+
+TEST(TenantSchedulerTest, EqualWeightsSplitThePoolEvenly) {
+  auto s = MakeScheduler(16, {1, 1});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{8, 8}));
+  }
+}
+
+TEST(TenantSchedulerTest, OneToThreeWeightsAllocateFourTwelve) {
+  // 16 slots at 1:3 — floors + proportional shares give {4, 11} and leave
+  // one leftover slot that the stride rotates 3:1 toward the heavy tenant:
+  // {4,12} three heartbeats out of four, {5,11} on the fourth. The exact
+  // sequence is deterministic.
+  auto s = MakeScheduler(16, {1, 3});
+  const std::vector<std::vector<uint32_t>> expected = {
+      {4, 12}, {4, 12}, {4, 12}, {5, 11},
+      {4, 12}, {4, 12}, {4, 12}, {5, 11},
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(s->AllocateSlots(), expected[i]) << "heartbeat " << i;
+  }
+}
+
+TEST(TenantSchedulerTest, ThreeTenantWeightsTwoThreeFive) {
+  auto s = MakeScheduler(16, {2, 3, 5});
+  // floor: 1+2, 1+3, 1+6 = 11 granted of 13 available; the 2 leftover slots
+  // go by stride order to the weight-5 then the weight-3 tenant.
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{3, 5, 8}));
+}
+
+TEST(TenantSchedulerTest, EverySlotGrantedAndEveryTenantGetsItsFloor) {
+  // A 1:1000 weight ratio models a permanently overflowing neighbor: the
+  // light tenant still receives its guaranteed slot on every heartbeat
+  // (allocation never consults demand, so overflow cannot starve it).
+  auto s = MakeScheduler(16, {1, 1000});
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<uint32_t> slots = s->AllocateSlots();
+    uint32_t sum = 0;
+    for (uint32_t x : slots) {
+      EXPECT_GE(x, 1u);
+      sum += x;
+    }
+    EXPECT_EQ(sum, 16u);
+  }
+}
+
+TEST(TenantSchedulerTest, RemainderRotatesInStrideOrder) {
+  // 4 slots, 3 equal tenants: floors grant 1 each, the one leftover slot
+  // must rotate deterministically (pass ties break on the lower index).
+  auto s = MakeScheduler(4, {1, 1, 1});
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{2, 1, 1}));
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{1, 2, 1}));
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{1, 1, 2}));
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{2, 1, 1}));
+  // Cumulative shares even out over full rotation cycles.
+  EXPECT_EQ(s->cumulative_slots(0), 6u);
+  EXPECT_EQ(s->cumulative_slots(1), 5u);
+  EXPECT_EQ(s->cumulative_slots(2), 5u);
+}
+
+TEST(TenantSchedulerTest, CumulativeSharesTrackWeights) {
+  auto s = MakeScheduler(10, {1, 4});
+  for (int i = 0; i < 1000; ++i) s->AllocateSlots();
+  // The guaranteed floor gives the light tenant slightly more than its
+  // proportional share on a small pool, so the long-run ratio sits a bit
+  // under the 4.0 weight ratio — but must stay close to it.
+  const double ratio = static_cast<double>(s->cumulative_slots(1)) /
+                       static_cast<double>(s->cumulative_slots(0));
+  EXPECT_GT(ratio, 3.3);
+  EXPECT_LE(ratio, 4.0);
+}
+
+TEST(TenantSchedulerTest, WeightChangeAppliesAtTheNextBatchBoundaryOnly) {
+  auto s = MakeScheduler(16, {1, 1});
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{8, 8}));
+  ASSERT_TRUE(s->SetWeight(1, 3).ok());
+  // Queued, not applied: the live weight is still 1 until AllocateSlots.
+  EXPECT_EQ(s->weight(1), 1u);
+  EXPECT_EQ(s->pending_weight(1), 3u);
+  // The new weights take effect at this boundary. The one leftover slot goes
+  // to tenant 0 (both passes tie from the equal-weight era; lower index
+  // wins), after which the stride favors the now-heavy tenant 3:1.
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{5, 11}));
+  EXPECT_EQ(s->weight(1), 3u);
+  EXPECT_EQ(s->AllocateSlots(), (std::vector<uint32_t>{4, 12}));
+}
+
+TEST(TenantSchedulerTest, RejectsDuplicateIdsZeroWeightsAndOverflow) {
+  TenantScheduler s(TenantSchedulerOptions{2});
+  EXPECT_TRUE(s.AddTenant("a", 1).ok());
+  EXPECT_FALSE(s.AddTenant("a", 2).ok());  // duplicate id
+  EXPECT_FALSE(s.AddTenant("b", 0).ok());  // zero weight
+  EXPECT_TRUE(s.AddTenant("b", 1).ok());
+  // A third tenant cannot receive its guaranteed slot from a 2-slot pool.
+  EXPECT_FALSE(s.AddTenant("c", 1).ok());
+  EXPECT_FALSE(s.SetWeight(0, 0).ok());  // zero weight via SetWeight
+  EXPECT_FALSE(s.SetWeight(9, 1).ok());  // no such tenant
+}
+
+TEST(TenantSchedulerTest, AllocationSequencesAreDeterministic) {
+  auto a = MakeScheduler(16, {2, 3, 5});
+  auto b = MakeScheduler(16, {2, 3, 5});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->AllocateSlots(), b->AllocateSlots()) << "heartbeat " << i;
+  }
+}
+
+TEST(TenantSchedulerTest, LateJoinerCannotMonopolizeTheRemainder) {
+  // A fresh tenant starts at its stride's first tick, not pass 0 — so it
+  // competes fairly for leftovers instead of winning every one until its
+  // pass catches up with the incumbents'.
+  TenantScheduler s(TenantSchedulerOptions{4});
+  ASSERT_TRUE(s.AddTenant("a", 1).ok());
+  ASSERT_TRUE(s.AddTenant("b", 1).ok());
+  for (int i = 0; i < 6; ++i) s.AllocateSlots();
+  ASSERT_TRUE(s.AddTenant("c", 1).ok());
+  uint32_t c_extra = 0;
+  for (int i = 0; i < 6; ++i) {
+    const std::vector<uint32_t> slots = s.AllocateSlots();
+    if (slots[2] > 1) ++c_extra;
+  }
+  // One leftover slot per heartbeat across three tenants: the newcomer must
+  // not take more than its rotating share of the 6 leftovers.
+  EXPECT_LE(c_extra, 3u);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -28,6 +28,16 @@
 //                                        the candidate ladder
 //   --adapt_candidates=Hash,PK2,Prompt   ladder, cheapest→most robust
 //   --adapt_d=3                          consecutive batches before a switch
+//
+// Multi-tenant serving (src/tenant/):
+//   --queries=examples/two_tenants.query N tenant specs share one ingest
+//                                        stream; --tasks is the slot pool a
+//                                        weighted-fair scheduler divides each
+//                                        heartbeat. Per-tenant autopsy rows
+//                                        (--autopsy_out) carry a `tenant`
+//                                        column; the telemetry server adds
+//                                        /tenants.json and
+//                                        /timeseries.json?tenant=<id>.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -40,7 +50,9 @@
 #include "engine/engine.h"
 #include "engine/report_io.h"
 #include "obs/sink.h"
+#include "query/multi_query.h"
 #include "query/parser.h"
+#include "tenant/multi_tenant_engine.h"
 #include "workload/sources.h"
 
 using namespace prompt;
@@ -74,6 +86,118 @@ Result<DatasetId> DatasetFromName(const std::string& name) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "promptctl: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// --queries mode: N tenant specs multiplexed over one shared stream by the
+/// weighted-fair TenantScheduler (src/tenant/).
+int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
+                   double rate, int batches, int tasks, double zipf,
+                   double scale, int seed, int ingest_shards, double map_us,
+                   bool metrics, int metrics_every,
+                   const std::string& metrics_path, int serve_port,
+                   int serve_hold_ms, const std::string& autopsy_path) {
+  auto specs = LoadQueryFile(queries_path);
+  if (!specs.ok()) return Fail(specs.status());
+
+  const TimeMicros slide = (*specs)[0].query.slide;
+  auto profile = std::make_shared<SinusoidalRate>(rate, 0.3, 4 * slide);
+  auto source = MakeDataset(dataset, profile, static_cast<uint64_t>(seed),
+                            zipf, scale);
+
+  MultiTenantEngineOptions options;
+  options.batch_interval = slide;
+  options.total_slots = static_cast<uint32_t>(tasks);
+  options.map_tasks = static_cast<uint32_t>(tasks);
+  options.reduce_tasks = static_cast<uint32_t>(tasks);
+  options.ingest_shards = static_cast<uint32_t>(ingest_shards);
+  options.cost.map_per_tuple_us = map_us;
+  options.cost.map_per_key_us = map_us / 4;
+  options.cost.reduce_per_tuple_us = map_us / 8;
+  options.cost.reduce_per_cluster_us = map_us * 2;
+  options.cost.map_task_fixed_us = 2000;
+  options.cost.reduce_task_fixed_us = 2000;
+  options.obs.collect_partition_metrics = metrics;
+  options.obs.metrics_every = static_cast<uint32_t>(metrics_every);
+  options.obs.metrics_path = metrics_path;
+  options.obs.serve_port = serve_port;
+  options.obs.autopsy_path = autopsy_path;
+  if (!autopsy_path.empty()) {
+    options.obs.autopsy_enabled = true;
+    options.obs.collect_partition_metrics = true;
+  }
+
+  auto engine = MultiTenantEngine::Create(options, *specs, source.get());
+  if (!engine.ok()) return Fail(engine.status());
+  MultiTenantEngine& mt = **engine;
+
+  if (const HttpExporter* exporter = mt.observability()->exporter();
+      exporter != nullptr) {
+    std::printf("serving telemetry on http://127.0.0.1:%u  "
+                "(/metrics /tenants.json /timeseries.json?tenant=<id>)\n",
+                exporter->port());
+  }
+  std::printf("dataset=%s rate=%.0f/s interval=%lldms slots=%d tenants=%zu\n",
+              DatasetName(dataset), rate,
+              static_cast<long long>(slide / 1000), tasks, mt.tenants());
+
+  MultiTenantRunSummary summary = mt.Run(static_cast<uint32_t>(batches));
+
+  bool all_stable = true;
+  for (size_t t = 0; t < summary.tenants.size(); ++t) {
+    const TenantRunResult& result = summary.tenants[t];
+    const TenantQuerySpec& spec = (*specs)[t];
+    std::printf("\ntenant %s  weight=%u keys=%s query=\"%s\"\n",
+                result.id.c_str(), spec.weight,
+                spec.filter.ToString().c_str(), spec.query.text.c_str());
+    TableSink table(&std::cout, /*column_width=*/10);
+    for (const BatchReport& b : result.summary.batches) {
+      Record row;
+      row.Set("batch", b.batch_id)
+          .Set("tuples", b.num_tuples)
+          .Set("keys", b.num_keys)
+          .Set("proc_ms", static_cast<double>(b.processing_time) / 1000.0)
+          .Set("W", b.w)
+          .Set("lat_ms", static_cast<double>(b.latency) / 1000.0);
+      if (spec.adaptive) {
+        row.Set("tech", b.technique >= 0
+                            ? PartitionerTypeName(
+                                  static_cast<PartitionerType>(b.technique))
+                            : "?");
+      }
+      table.Write(row);
+    }
+
+    const uint32_t k = spec.query.top_k > 0 ? spec.query.top_k : 5;
+    std::printf("top-%u keys in %s's window:\n", k, result.id.c_str());
+    for (const KV& kv : mt.window(t).TopK(k)) {
+      std::printf("  %016llx  %.2f\n",
+                  static_cast<unsigned long long>(kv.key), kv.value);
+    }
+    std::printf("%s: slots=%llu mean W=%.2f  %s\n", result.id.c_str(),
+                static_cast<unsigned long long>(result.slots_granted),
+                result.summary.MeanW(2),
+                result.summary.stable
+                    ? "stable"
+                    : "UNSTABLE (back-pressure would engage)");
+    all_stable = all_stable && result.summary.stable;
+    for (const RunSummary::TechniqueSwitch& s :
+         result.summary.technique_switches) {
+      std::printf("  after batch %llu: %s -> %s (%s)\n",
+                  static_cast<unsigned long long>(s.after_batch),
+                  PartitionerTypeName(s.from), PartitionerTypeName(s.to),
+                  s.reason.c_str());
+    }
+  }
+  if (!autopsy_path.empty()) {
+    std::printf("\n(wrote per-tenant autopsy rows to %s)\n",
+                autopsy_path.c_str());
+  }
+  if (mt.observability()->exporter() != nullptr && serve_hold_ms > 0) {
+    std::printf("holding telemetry server for %dms...\n", serve_hold_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_hold_ms));
+  }
+  return all_stable ? 0 : 2;
 }
 
 }  // namespace
@@ -149,10 +273,19 @@ int main(int argc, char** argv) {
   if (!cluster.ok()) return Fail(cluster.status());
   const std::string query_text =
       flags.GetString("query", "SELECT COUNT TOP 10 WINDOW 10S");
+  const std::string queries_path = flags.GetString("queries", "");
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::fprintf(stderr, "promptctl: unknown flag --%s (try --list)\n",
                  unknown.c_str());
     return 1;
+  }
+
+  if (!queries_path.empty()) {
+    // Multi-tenant serving: the spec file replaces --query/--technique.
+    return RunMultiTenant(queries_path, *dataset, *rate, *batches, *tasks,
+                          *zipf, *scale, *seed, *ingest_shards, *map_us,
+                          *metrics, *metrics_every, metrics_path, *serve_port,
+                          *serve_hold_ms, autopsy_path);
   }
 
   auto query = ParseQuery(query_text);
