@@ -9,7 +9,7 @@
 #include <map>
 
 #include "bench_util.h"
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 #include "core/prompt_partitioner.h"
 #include "stats/metrics.h"
 
@@ -30,10 +30,11 @@ void BudgetSweep() {
     opts.budget = budget;
     opts.estimated_tuples = 60000;
     opts.avg_keys = 20000;
-    MicrobatchAccumulator acc(opts);
+    auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat, opts);
+    auto& acc = *acc_ptr;
     acc.Begin(0, Seconds(1));
     for (int i = 0; i < 60000; ++i) {
-      acc.Add(Tuple{i * 16, Mix64(zipf.Sample(rng)), 1.0});
+      acc.OnTuple(Tuple{i * 16, Mix64(zipf.Sample(rng)), 1.0});
     }
     Stopwatch watch;
     auto batch = acc.Seal();
@@ -55,8 +56,8 @@ void BudgetSweep() {
       disp += std::abs(static_cast<double>(pos[exact[i].key]) -
                        static_cast<double>(i));
     }
-    PrintRow({std::to_string(budget), std::to_string(acc.tree_updates()),
-              Fmt(static_cast<double>(acc.tree_updates()) /
+    PrintRow({std::to_string(budget), std::to_string(acc.ordering_updates()),
+              Fmt(static_cast<double>(acc.ordering_updates()) /
                       static_cast<double>(acc.num_keys()),
                   2),
               Fmt(disp / static_cast<double>(top), 1),

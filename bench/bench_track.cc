@@ -12,10 +12,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/accumulator_api.h"
 #include "multi_tenant_util.h"
 #include "obs/timeseries.h"
 
@@ -146,6 +148,81 @@ void TrackMultiTenant(std::vector<Signal>* out) {
                   WindowDrift(shared.calm.window, solo.calm.window), "delta"});
 }
 
+/// Tentpole acceptance signals for the flat accumulator rewrite over a
+/// deterministic replayed stream:
+///  - flat_vs_legacy exactness (gated): 1.0 iff the flat accumulator's
+///    sealed run sequence and chained tuples are bit-identical to the legacy
+///    chain's. Pure data comparison, no clocks — any drift is a real bug.
+///  - single-shard flat/legacy tuples-per-second ratio (ungated): the >= 3x
+///    throughput payoff, wall-clock and therefore host-dependent.
+void TrackIngestAccumulators(std::vector<Signal>* out) {
+  Rng rng(7);
+  ZipfSampler sampler(/*cardinality=*/50000, /*z=*/1.0);
+  std::vector<Tuple> stream;
+  const uint64_t kTuples = 500000;
+  stream.reserve(kTuples);
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    stream.push_back(Tuple{static_cast<TimeMicros>(i),
+                           sampler.Sample(rng), 1.0});
+  }
+
+  struct Sealed {
+    std::unique_ptr<Accumulator> acc;
+    AccumulatedBatch batch;
+    double best_tps = 0;
+  };
+  auto run = [&stream](AccumulatorKind kind) {
+    Sealed s;
+    s.acc = MakeAccumulator(kind);
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      s.acc->Begin(0, static_cast<TimeMicros>(stream.size()));
+      for (const Tuple& t : stream) s.acc->OnTuple(t);
+      s.batch = s.acc->Seal();
+      const double secs =
+          static_cast<double>(watch.ElapsedMicros()) / 1e6;
+      const double tps =
+          secs > 0 ? static_cast<double>(stream.size()) / secs : 0;
+      s.best_tps = std::max(s.best_tps, tps);
+    }
+    return s;
+  };
+  const Sealed legacy = run(AccumulatorKind::kLegacyChain);
+  const Sealed flat = run(AccumulatorKind::kFlat);
+
+  double exact = 1.0;
+  if (legacy.batch.keys().size() != flat.batch.keys().size()) exact = 0.0;
+  for (size_t i = 0; exact == 1.0 && i < legacy.batch.keys().size(); ++i) {
+    const SortedKeyRun& a = legacy.batch.keys()[i];
+    const SortedKeyRun& b = flat.batch.keys()[i];
+    if (a.key != b.key || a.count != b.count) {
+      exact = 0.0;
+      break;
+    }
+    std::vector<Tuple> ta, tb;
+    legacy.batch.ForEachTuple(a, 0, a.count,
+                              [&ta](const Tuple& t) { ta.push_back(t); });
+    flat.batch.ForEachTuple(b, 0, b.count,
+                            [&tb](const Tuple& t) { tb.push_back(t); });
+    for (size_t j = 0; j < ta.size(); ++j) {
+      if (ta[j].ts != tb[j].ts || ta[j].key != tb[j].key ||
+          ta[j].value != tb[j].value) {
+        exact = 0.0;
+        break;
+      }
+    }
+  }
+
+  out->push_back({"ingest_throughput.flat_vs_legacy", exact, "exact"});
+  out->push_back({"ingest_throughput.flat_tuples_per_sec", flat.best_tps,
+                  "tuples/s", /*gate=*/false, /*tolerance_pct=*/100.0});
+  out->push_back({"ingest_throughput.legacy_tuples_per_sec", legacy.best_tps,
+                  "tuples/s", /*gate=*/false, /*tolerance_pct=*/100.0});
+  out->push_back({"ingest_throughput.flat_speedup_ratio",
+                  legacy.best_tps > 0 ? flat.best_tps / legacy.best_tps : 0,
+                  "ratio", /*gate=*/false, /*tolerance_pct=*/100.0});
+}
+
 /// Wall-clock overhead of the telemetry layer (ring + autopsy + exporter)
 /// over a metrics-only run — tracked, not gated.
 double TelemetryOverheadPct() {
@@ -212,6 +289,8 @@ int main(int argc, char** argv) {
   TrackConfig("synd_z1.4_hash", 1.4, PartitionerType::kHash, 8000.0, &signals);
   TrackAdaptiveShift(&signals);
   TrackMultiTenant(&signals);
+  // Flat-accumulator bit-identity (gated) + throughput ratio (ungated).
+  TrackIngestAccumulators(&signals);
 
   // Ungated wall-clock trend signal: loose tolerance recorded for context.
   signals.push_back({"telemetry_overhead_pct", TelemetryOverheadPct(), "%",

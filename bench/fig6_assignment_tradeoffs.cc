@@ -39,13 +39,14 @@ void Compare(const AccumulatedBatch& sealed, uint32_t blocks,
 int main() {
   // The paper's running example shape (Fig. 5): 385 tuples over 8 keys.
   {
-    MicrobatchAccumulator acc;
+    auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+    auto& acc = *acc_ptr;
     acc.Begin(0, Seconds(1));
     const uint64_t counts[8] = {120, 85, 60, 50, 30, 20, 12, 8};
     TimeMicros ts = 0;
     for (uint64_t k = 0; k < 8; ++k) {
       for (uint64_t i = 0; i < counts[k]; ++i) {
-        acc.Add(Tuple{ts++, k + 1, 1.0});
+        acc.OnTuple(Tuple{ts++, k + 1, 1.0});
       }
     }
     auto sealed = acc.Seal();
@@ -54,12 +55,13 @@ int main() {
   }
   // A realistic batch: Zipfian, thousands of keys.
   {
-    MicrobatchAccumulator acc;
+    auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+    auto& acc = *acc_ptr;
     acc.Begin(0, Seconds(1));
     Rng rng(5);
     ZipfSampler zipf(20000, 1.3);
     for (int i = 0; i < 200000; ++i) {
-      acc.Add(Tuple{i * 5, Mix64(zipf.Sample(rng)), 1.0});
+      acc.OnTuple(Tuple{i * 5, Mix64(zipf.Sample(rng)), 1.0});
     }
     auto sealed = acc.Seal();
     Compare(sealed, 16,

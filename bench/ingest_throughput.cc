@@ -1,22 +1,26 @@
-// Ingest scaling harness for the sharded parallel ingest pipeline
-// (src/ingest/): raw Alg. 1 buffering throughput (tuples/s) at 1..S shards
-// over uniform and Zipf key streams, plus a correctness cross-check that the
-// merged batch's per-key counts are bit-identical to a single accumulator
-// fed the same stream.
+// Ingest scaling harness for the accumulator rewrite and the sharded
+// parallel ingest pipeline (src/ingest/): raw Alg. 1 buffering throughput
+// (tuples/s) for each accumulator kind at 1..S shards over uniform and Zipf
+// key streams, plus two correctness cross-checks:
+//   - the merged batch's per-key counts are bit-identical to a single
+//     accumulator fed the same stream, and
+//   - the flat accumulator's sealed run sequence is bit-identical to the
+//     legacy chain's at every shard count (the tentpole acceptance).
 //
 // The streams are pre-generated and replayed from memory, so the measurement
 // isolates route + accumulate + seal + merge — no source pacing, no queueing.
-// Speedups require the shards to actually run on separate cores; on a
-// single-core host the numbers degenerate to ~1x (the routing and ring
-// overhead without the parallelism) — report them for what they are.
+// Multi-shard speedups require the shards to actually run on separate cores;
+// on a single-core host those numbers degenerate to ~1x. The single-shard
+// flat-vs-legacy ratio at the bottom is core-count independent.
 #include <cstdio>
 #include <map>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/random.h"
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 #include "ingest/pipeline.h"
 
 using namespace prompt;
@@ -45,6 +49,17 @@ std::map<KeyId, uint64_t> KeyCounts(const AccumulatedBatch& batch) {
   return counts;
 }
 
+// The exact (key, count) sequence: order matters for the bit-identity check.
+std::vector<std::pair<KeyId, uint64_t>> RunSequence(
+    const AccumulatedBatch& batch) {
+  std::vector<std::pair<KeyId, uint64_t>> runs;
+  runs.reserve(batch.keys().size());
+  for (const SortedKeyRun& run : batch.keys()) {
+    runs.emplace_back(run.key, run.count);
+  }
+  return runs;
+}
+
 /// One timed pass: BeginBatch -> Ingest all -> SealBatch. Returns tuples/s.
 double TimedPass(ParallelIngestPipeline& pipeline,
                  const std::vector<Tuple>& stream) {
@@ -56,40 +71,82 @@ double TimedPass(ParallelIngestPipeline& pipeline,
   return secs > 0 ? static_cast<double>(stream.size()) / secs : 0;
 }
 
+/// Best-of-reps single-accumulator throughput (no pipeline overhead).
+double SingleAccumulatorTps(AccumulatorKind kind,
+                            const std::vector<Tuple>& stream, int reps) {
+  auto acc = MakeAccumulator(kind);
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    acc->Begin(0, static_cast<TimeMicros>(stream.size()));
+    for (const Tuple& t : stream) acc->OnTuple(t);
+    acc->Seal();
+    const double secs = static_cast<double>(watch.ElapsedMicros()) / 1e6;
+    const double tps =
+        secs > 0 ? static_cast<double>(stream.size()) / secs : 0;
+    if (tps > best) best = tps;
+  }
+  return best;
+}
+
 void RunScaling(const char* label, const std::vector<Tuple>& stream,
                 const std::vector<uint32_t>& shard_counts, int reps) {
-  // Ground truth for the bit-identity check.
-  MicrobatchAccumulator reference;
-  reference.Begin(0, static_cast<TimeMicros>(stream.size()));
-  for (const Tuple& t : stream) reference.Add(t);
-  const auto expected = KeyCounts(reference.Seal());
+  // Ground truth for the bit-identity checks: the legacy chain accumulator.
+  auto reference = MakeAccumulator(AccumulatorKind::kLegacyChain);
+  reference->Begin(0, static_cast<TimeMicros>(stream.size()));
+  for (const Tuple& t : stream) reference->OnTuple(t);
+  const auto ref_batch = reference->Seal();
+  const auto expected_counts = KeyCounts(ref_batch);
+  const auto expected_runs = RunSequence(ref_batch);
 
-  std::printf("%-10s %8s %14s %10s %10s %10s\n", label, "shards", "tuples/s",
-              "speedup", "imbalance", "counts");
-  double base = 0;
-  for (uint32_t shards : shard_counts) {
-    ParallelIngestOptions opts;
-    opts.num_shards = shards;
-    ParallelIngestPipeline pipeline(opts);
-    double best = 0;
-    bool exact = true;
-    for (int r = 0; r < reps; ++r) {
-      const double tps = TimedPass(pipeline, stream);
-      if (tps > best) best = tps;
-      if (r == 0) {
-        // Re-run untimed for verification: SealBatch's view was measured
-        // above and is still valid until the next BeginBatch.
-        pipeline.BeginBatch(0, static_cast<TimeMicros>(stream.size()));
-        for (const Tuple& t : stream) pipeline.Ingest(t);
-        exact = KeyCounts(pipeline.SealBatch()) == expected;
+  for (AccumulatorKind kind :
+       {AccumulatorKind::kLegacyChain, AccumulatorKind::kFlat}) {
+    std::printf("%-10s %-8s %8s %14s %10s %10s %12s\n", label,
+                AccumulatorKindName(kind), "shards", "tuples/s", "speedup",
+                "imbalance", "runs");
+    double base = 0;
+    for (uint32_t shards : shard_counts) {
+      IngestOptions opts;
+      opts.shards = shards;
+      opts.accumulator = kind;
+      ParallelIngestPipeline pipeline(opts);
+      double best = 0;
+      bool counts_exact = true;
+      bool runs_exact = true;
+      for (int r = 0; r < reps; ++r) {
+        const double tps = TimedPass(pipeline, stream);
+        if (tps > best) best = tps;
+        if (r == 0) {
+          // Re-run untimed for verification.
+          pipeline.BeginBatch(0, static_cast<TimeMicros>(stream.size()));
+          for (const Tuple& t : stream) pipeline.Ingest(t);
+          const AccumulatedBatch& merged = pipeline.SealBatch();
+          counts_exact = KeyCounts(merged) == expected_counts;
+          // The run *sequence* is only bit-identical to the single legacy
+          // accumulator at 1 shard; multi-shard merges interleave shards.
+          runs_exact = shards > 1 || RunSequence(merged) == expected_runs;
+        }
       }
+      if (shards == shard_counts.front()) base = best;
+      std::printf("%-10s %-8s %8u %14.0f %9.2fx %10.3f %12s\n", "", "",
+                  shards, best, base > 0 ? best / base : 0,
+                  ShardLoadImbalance(pipeline.last_metrics()),
+                  !counts_exact ? "COUNT-MISMATCH"
+                  : !runs_exact ? "RUN-MISMATCH"
+                                : "exact");
     }
-    if (shards == shard_counts.front()) base = best;
-    std::printf("%-10s %8u %14.0f %9.2fx %10.3f %10s\n", "", shards, best,
-                base > 0 ? best / base : 0,
-                ShardLoadImbalance(pipeline.last_metrics()),
-                exact ? "exact" : "MISMATCH");
+    std::printf("\n");
   }
+
+  // The tentpole headline: raw single-shard accumulator throughput.
+  const double legacy_tps =
+      SingleAccumulatorTps(AccumulatorKind::kLegacyChain, stream, reps);
+  const double flat_tps =
+      SingleAccumulatorTps(AccumulatorKind::kFlat, stream, reps);
+  std::printf("%-10s single-shard accumulator: legacy %.0f t/s, flat %.0f "
+              "t/s, flat/legacy %.2fx\n\n",
+              label, legacy_tps, flat_tps,
+              legacy_tps > 0 ? flat_tps / legacy_tps : 0);
 }
 
 }  // namespace
@@ -107,7 +164,6 @@ int main() {
 
   RunScaling("uniform", MakeStream(kTuples, kCardinality, 0.0, 7),
              shard_counts, kReps);
-  std::printf("\n");
   RunScaling("zipf-1.0", MakeStream(kTuples, kCardinality, 1.0, 7),
              shard_counts, kReps);
   return 0;

@@ -5,7 +5,7 @@
 
 #include "baselines/factory.h"
 #include "common/flat_map.h"
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 #include "core/prompt_partitioner.h"
 #include "core/reduce_allocator.h"
 #include "stats/count_tree.h"
@@ -30,50 +30,70 @@ std::vector<Tuple> MakeTuples(uint64_t n, uint64_t cardinality, double z) {
   return tuples;
 }
 
-void BM_AccumulatorAdd(benchmark::State& state) {
+AccumulatorKind KindArg(const benchmark::State& state) {
+  return state.range(1) != 0 ? AccumulatorKind::kFlat
+                             : AccumulatorKind::kLegacyChain;
+}
+
+void BM_AccumulatorOnTuple(benchmark::State& state) {
   const auto tuples = MakeTuples(100000, state.range(0), 1.0);
   AccumulatorOptions opts;
   opts.estimated_tuples = tuples.size();
   opts.avg_keys = state.range(0);
-  MicrobatchAccumulator acc(opts);
+  auto acc = MakeAccumulator(KindArg(state), opts);
   for (auto _ : state) {
-    acc.Begin(0, Seconds(10));
-    for (const Tuple& t : tuples) acc.Add(t);
-    benchmark::DoNotOptimize(acc.num_keys());
+    acc->Begin(0, Seconds(10));
+    for (const Tuple& t : tuples) acc->OnTuple(t);
+    benchmark::DoNotOptimize(acc->num_keys());
   }
   state.SetItemsProcessed(state.iterations() * tuples.size());
+  state.SetLabel(acc->name());
 }
-BENCHMARK(BM_AccumulatorAdd)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_AccumulatorOnTuple)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 void BM_AccumulatorSeal(benchmark::State& state) {
   const auto tuples = MakeTuples(200000, state.range(0), 1.0);
-  MicrobatchAccumulator acc;
+  auto acc = MakeAccumulator(KindArg(state));
   for (auto _ : state) {
     state.PauseTiming();
-    acc.Begin(0, Seconds(10));
-    for (const Tuple& t : tuples) acc.Add(t);
+    acc->Begin(0, Seconds(10));
+    for (const Tuple& t : tuples) acc->OnTuple(t);
     state.ResumeTiming();
-    auto batch = acc.Seal();
+    auto batch = acc->Seal();
     benchmark::DoNotOptimize(batch.keys().size());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(acc->name());
 }
-BENCHMARK(BM_AccumulatorSeal)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_AccumulatorSeal)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 void BM_PostSortSeal(benchmark::State& state) {
   const auto tuples = MakeTuples(200000, state.range(0), 1.0);
-  MicrobatchAccumulator acc;
+  auto acc = MakeAccumulator(KindArg(state));
   for (auto _ : state) {
     state.PauseTiming();
-    acc.Begin(0, Seconds(10));
-    for (const Tuple& t : tuples) acc.Add(t);
+    acc->Begin(0, Seconds(10));
+    for (const Tuple& t : tuples) acc->OnTuple(t);
     state.ResumeTiming();
-    auto batch = acc.SealWithPostSort();
+    auto batch = acc->SealWithPostSort();
     benchmark::DoNotOptimize(batch.keys().size());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(acc->name());
 }
-BENCHMARK(BM_PostSortSeal)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_PostSortSeal)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 void BM_CountTreeUpdate(benchmark::State& state) {
   const uint64_t n = state.range(0);
@@ -95,10 +115,10 @@ BENCHMARK(BM_CountTreeUpdate)->Arg(1000)->Arg(100000);
 
 void BM_PromptPlan(benchmark::State& state) {
   const auto tuples = MakeTuples(200000, state.range(0), 1.2);
-  MicrobatchAccumulator acc;
-  acc.Begin(0, Seconds(10));
-  for (const Tuple& t : tuples) acc.Add(t);
-  auto sealed = acc.Seal();
+  auto acc = MakeAccumulator(AccumulatorKind::kFlat);
+  acc->Begin(0, Seconds(10));
+  for (const Tuple& t : tuples) acc->OnTuple(t);
+  auto sealed = acc->Seal();
   for (auto _ : state) {
     auto plan = BuildPromptPlan(sealed, 16);
     benchmark::DoNotOptimize(plan.fragments);

@@ -37,6 +37,25 @@ if [[ "${TRACE_LINES}" -ne 5 ]]; then
   exit 1
 fi
 
+# Accumulator parity smoke: the same seeded run through each accumulator
+# kind must print a byte-identical TOP-K table — the flat rewrite is only
+# allowed to be faster, never different. (Only the table body is compared;
+# the run header names the kind and the footer has wall-clock figures.)
+for KIND in flat legacy; do
+  "${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+    --rate=4000 --batches=5 --ingest_shards=2 --zipf=1.0 \
+    --accumulator="${KIND}" \
+    2>&1 | tee "${LOG_DIR}/accumulator-${KIND}-smoke.log"
+  sed -n '/^top-/,/^$/p' "${LOG_DIR}/accumulator-${KIND}-smoke.log" \
+    > "${LOG_DIR}/accumulator-${KIND}-topk.txt"
+done
+if ! diff -u "${LOG_DIR}/accumulator-legacy-topk.txt" \
+            "${LOG_DIR}/accumulator-flat-topk.txt"; then
+  echo "accumulator smoke: flat and legacy TOP-K tables diverge" >&2
+  exit 1
+fi
+echo "accumulator smoke: flat/legacy TOP-K tables identical"
+
 # Adaptive-switching smoke: a near-uniform run started on Prompt must shed
 # robustness (>= 1 technique switch), and every switch must be annotated in
 # the trace as an adapt_switch span on the first batch after it.

@@ -108,7 +108,7 @@ PartitionPlan BuildFragMinPlan(const AccumulatedBatch& batch,
 
 PartitionedBatch BpfiBaselinePartitioner::Seal(uint64_t batch_id) {
   Stopwatch watch;
-  AccumulatedBatch sealed = accumulator_.Seal();
+  AccumulatedBatch sealed = accumulator_->Seal();
   PartitionPlan plan = kind_ == Kind::kFfd
                            ? BuildFfdPlan(sealed, num_blocks_)
                            : BuildFragMinPlan(sealed, num_blocks_);

@@ -4,7 +4,9 @@
 // quasi-sorted batch like Prompt, so the three plans are directly comparable.
 #pragma once
 
-#include "core/accumulator.h"
+#include <memory>
+
+#include "core/accumulator_api.h"
 #include "core/prompt_partitioner.h"
 
 namespace prompt {
@@ -30,8 +32,10 @@ class BpfiBaselinePartitioner final : public BatchPartitioner {
  public:
   enum class Kind { kFfd, kFragMin };
 
-  explicit BpfiBaselinePartitioner(Kind kind, AccumulatorOptions options = {})
-      : kind_(kind), accumulator_(options) {}
+  explicit BpfiBaselinePartitioner(
+      Kind kind, AccumulatorOptions options = {},
+      AccumulatorKind accumulator_kind = AccumulatorKind::kFlat)
+      : kind_(kind), accumulator_(MakeAccumulator(accumulator_kind, options)) {}
 
   const char* name() const override {
     return kind_ == Kind::kFfd ? "FFD" : "FragMin";
@@ -40,14 +44,14 @@ class BpfiBaselinePartitioner final : public BatchPartitioner {
   void Begin(uint32_t num_blocks, TimeMicros start, TimeMicros end) override {
     num_blocks_ = num_blocks;
     batch_end_ = end;
-    accumulator_.Begin(start, end);
+    accumulator_->Begin(start, end);
   }
-  void OnTuple(const Tuple& t) override { accumulator_.Add(t); }
+  void OnTuple(const Tuple& t) override { accumulator_->OnTuple(t); }
   PartitionedBatch Seal(uint64_t batch_id) override;
 
  private:
   Kind kind_;
-  MicrobatchAccumulator accumulator_;
+  std::unique_ptr<Accumulator> accumulator_;
   uint32_t num_blocks_ = 1;
   TimeMicros batch_end_ = 0;
 };

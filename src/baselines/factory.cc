@@ -30,10 +30,12 @@ std::unique_ptr<BatchPartitioner> CreatePartitioner(
     }
     case PartitionerType::kFfd:
       return std::make_unique<BpfiBaselinePartitioner>(
-          BpfiBaselinePartitioner::Kind::kFfd, config.prompt.accumulator);
+          BpfiBaselinePartitioner::Kind::kFfd, config.prompt.accumulator,
+          config.prompt.accumulator_kind);
     case PartitionerType::kFragMin:
       return std::make_unique<BpfiBaselinePartitioner>(
-          BpfiBaselinePartitioner::Kind::kFragMin, config.prompt.accumulator);
+          BpfiBaselinePartitioner::Kind::kFragMin, config.prompt.accumulator,
+          config.prompt.accumulator_kind);
     case PartitionerType::kSketch: {
       SketchPartitionerOptions opts;
       opts.sketch_capacity = config.sketch_capacity;

@@ -65,6 +65,14 @@ class FlatMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Slot-array length (power of two).
+  size_t capacity() const { return slots_.size(); }
+
+  /// Bytes of backing storage currently held.
+  size_t capacity_bytes() const {
+    return slots_.capacity() * sizeof(Slot) + used_.capacity();
+  }
+
   /// Drops all entries, retaining capacity.
   void Clear() {
     used_.assign(used_.size(), false);

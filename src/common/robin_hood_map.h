@@ -1,0 +1,231 @@
+// Robin-hood open-addressing hash map specialized for uint64 keys. This is
+// the flat accumulator's HTable: compared to FlatMap's plain linear probing
+// it bounds probe-sequence variance by displacing "rich" entries (those
+// close to their home slot) in favor of "poor" ones, which keeps lookups
+// cache-friendly at higher load factors (0.875 here vs FlatMap's 0.7).
+//
+// Deletion uses backward shifting instead of tombstones, so the table never
+// degrades under insert/erase churn — the property the unit tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace prompt {
+
+/// \brief Robin-hood hash map from uint64 keys to V (V small and movable).
+///
+/// Capacity is always a power of two; growth doubles at 87.5% load.
+/// References returned by GetOrInsert()/Find() are invalidated by any
+/// mutation.
+template <typename V>
+class RobinHoodMap {
+ public:
+  explicit RobinHoodMap(size_t initial_capacity = 16) {
+    size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    keys_.resize(cap);
+    values_.resize(cap);
+    dist_.assign(cap, 0);
+  }
+
+  /// Returns the value slot for `key`, default-constructing it on first
+  /// sight; *inserted reports which case occurred.
+  V& GetOrInsert(uint64_t key, bool* inserted = nullptr) {
+    if ((size_ + 1) * 8 > capacity() * 7) Grow();
+    const size_t mask = capacity() - 1;
+    size_t idx = Home(key);
+    uint32_t d = 1;
+    while (true) {
+      if (dist_[idx] == 0) {
+        keys_[idx] = key;
+        values_[idx] = V{};
+        dist_[idx] = d;
+        ++size_;
+        if (inserted != nullptr) *inserted = true;
+        return values_[idx];
+      }
+      if (keys_[idx] == key) {
+        if (inserted != nullptr) *inserted = false;
+        return values_[idx];
+      }
+      if (dist_[idx] < d) {
+        // Rob the rich: `key` claims this slot (its final position — the
+        // displacement chain below never moves it again), and the evicted
+        // resident is carried forward until it finds a poorer slot or an
+        // empty one. Load < 1 guarantees termination.
+        uint64_t ck = keys_[idx];
+        V cv = std::move(values_[idx]);
+        uint32_t cd = dist_[idx];
+        const size_t home = idx;
+        keys_[idx] = key;
+        values_[idx] = V{};
+        dist_[idx] = d;
+        size_t j = (idx + 1) & mask;
+        ++cd;
+        while (true) {
+          if (dist_[j] == 0) {
+            keys_[j] = ck;
+            values_[j] = std::move(cv);
+            dist_[j] = cd;
+            break;
+          }
+          if (dist_[j] < cd) {
+            std::swap(keys_[j], ck);
+            std::swap(values_[j], cv);
+            std::swap(dist_[j], cd);
+          }
+          j = (j + 1) & mask;
+          ++cd;
+        }
+        ++size_;
+        if (inserted != nullptr) *inserted = true;
+        return values_[home];
+      }
+      idx = (idx + 1) & mask;
+      ++d;
+    }
+  }
+
+  V* Find(uint64_t key) {
+    const size_t idx = FindSlot(key);
+    return idx == kNotFound ? nullptr : &values_[idx];
+  }
+  const V* Find(uint64_t key) const {
+    const size_t idx = FindSlot(key);
+    return idx == kNotFound ? nullptr : &values_[idx];
+  }
+  bool Contains(uint64_t key) const { return FindSlot(key) != kNotFound; }
+
+  /// Removes `key` via backward shifting (no tombstone is left behind).
+  /// Returns false when the key is absent.
+  bool Erase(uint64_t key) {
+    size_t idx = FindSlot(key);
+    if (idx == kNotFound) return false;
+    const size_t mask = capacity() - 1;
+    size_t next = (idx + 1) & mask;
+    // Shift the displaced tail back one slot until a run boundary: an empty
+    // slot or an entry already sitting in its home position (dist == 1).
+    while (dist_[next] > 1) {
+      keys_[idx] = keys_[next];
+      values_[idx] = std::move(values_[next]);
+      dist_[idx] = dist_[next] - 1;
+      idx = next;
+      next = (next + 1) & mask;
+    }
+    dist_[idx] = 0;
+    --size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return keys_.size(); }
+
+  /// Drops all entries, retaining capacity.
+  void Clear() {
+    dist_.assign(dist_.size(), 0);
+    size_ = 0;
+  }
+
+  /// Bytes of backing storage currently held.
+  size_t capacity_bytes() const {
+    return keys_.capacity() * sizeof(uint64_t) +
+           values_.capacity() * sizeof(V) +
+           dist_.capacity() * sizeof(uint32_t);
+  }
+
+  /// Longest probe sequence currently in the table (1 = home slot); test
+  /// observability for the robin-hood variance bound.
+  uint32_t MaxProbeDistance() const {
+    uint32_t max_d = 0;
+    for (uint32_t d : dist_) max_d = d > max_d ? d : max_d;
+    return max_d;
+  }
+
+  /// Applies f(key, value&) to every entry (unspecified order).
+  template <typename F>
+  void ForEach(F&& f) {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (dist_[i] != 0) f(keys_[i], values_[i]);
+    }
+  }
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (dist_[i] != 0) f(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  static constexpr size_t kNotFound = ~size_t{0};
+
+  size_t Home(uint64_t key) const {
+    return static_cast<size_t>(XxMix64(key)) & (capacity() - 1);
+  }
+
+  size_t FindSlot(uint64_t key) const {
+    const size_t mask = capacity() - 1;
+    size_t idx = Home(key);
+    uint32_t d = 1;
+    // Robin-hood invariant: once our probe distance exceeds the resident's,
+    // the key cannot be further along — stop early.
+    while (dist_[idx] >= d) {
+      if (keys_[idx] == key) return idx;
+      idx = (idx + 1) & mask;
+      ++d;
+    }
+    return kNotFound;
+  }
+
+  /// Inserts an entry known to be absent (Grow's rehash path).
+  void InsertAbsent(uint64_t key, V&& value) {
+    const size_t mask = capacity() - 1;
+    uint64_t ck = key;
+    V cv = std::move(value);
+    uint32_t cd = 1;
+    size_t idx = Home(key);
+    while (true) {
+      if (dist_[idx] == 0) {
+        keys_[idx] = ck;
+        values_[idx] = std::move(cv);
+        dist_[idx] = cd;
+        ++size_;
+        return;
+      }
+      if (dist_[idx] < cd) {
+        std::swap(keys_[idx], ck);
+        std::swap(values_[idx], cv);
+        std::swap(dist_[idx], cd);
+      }
+      idx = (idx + 1) & mask;
+      ++cd;
+    }
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    std::vector<uint32_t> old_dist = std::move(dist_);
+    const size_t cap = old_keys.size() * 2;
+    keys_.assign(cap, 0);
+    values_.assign(cap, V{});
+    dist_.assign(cap, 0);
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_dist[i] != 0) InsertAbsent(old_keys[i], std::move(old_values[i]));
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  /// Probe distance + 1 for occupied slots (1 = home position); 0 = empty.
+  std::vector<uint32_t> dist_;
+  size_t size_ = 0;
+};
+
+}  // namespace prompt

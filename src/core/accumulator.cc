@@ -4,7 +4,11 @@
 
 namespace prompt {
 
-void MicrobatchAccumulator::Begin(TimeMicros start, TimeMicros end) {
+const char* LegacyChainAccumulator::name() const {
+  return AccumulatorKindName(AccumulatorKind::kLegacyChain);
+}
+
+void LegacyChainAccumulator::Begin(TimeMicros start, TimeMicros end) {
   PROMPT_CHECK(end > start);
   batch_start_ = start;
   batch_end_ = end;
@@ -21,8 +25,23 @@ void MicrobatchAccumulator::Begin(TimeMicros start, TimeMicros end) {
   initial_f_step_ = std::max<uint64_t>(1, options_.estimated_tuples / denom);
 }
 
-void MicrobatchAccumulator::TreeUpdate(KeyId key, KeyState& ks,
-                                       TimeMicros now) {
+void LegacyChainAccumulator::Reset() {
+  num_tuples_ = 0;
+  tree_updates_ = 0;
+  table_ = FlatMap<KeyState>();
+  tree_.Reset();
+  std::vector<Tuple>().swap(arena_);
+  std::vector<uint32_t>().swap(next_);
+}
+
+size_t LegacyChainAccumulator::capacity_bytes() const {
+  return arena_.capacity() * sizeof(Tuple) +
+         next_.capacity() * sizeof(uint32_t) + table_.capacity_bytes() +
+         tree_.capacity_bytes();
+}
+
+void LegacyChainAccumulator::TreeUpdate(KeyId key, KeyState& ks,
+                                        TimeMicros now) {
   tree_.Update(key, ks.freq_updated, ks.freq_current);
   ++tree_updates_;
   ks.freq_updated = ks.freq_current;
@@ -41,7 +60,7 @@ void MicrobatchAccumulator::TreeUpdate(KeyId key, KeyState& ks,
       now + remaining / std::max<uint32_t>(1, ks.budget_left ? ks.budget_left : 1);
 }
 
-void MicrobatchAccumulator::Add(const Tuple& t) {
+void LegacyChainAccumulator::OnTuple(const Tuple& t) {
   const TimeMicros now = t.ts;
   ++num_tuples_;
 
@@ -81,17 +100,12 @@ void MicrobatchAccumulator::Add(const Tuple& t) {
   // else: key not yet eligible for an update (line 21).
 }
 
-AccumulatedBatch MicrobatchAccumulator::MakeBatch(
+AccumulatedBatch LegacyChainAccumulator::MakeBatch(
     std::vector<SortedKeyRun> keys) const {
-  AccumulatedBatch batch;
-  batch.num_tuples_ = num_tuples_;
-  batch.keys_ = std::move(keys);
-  batch.arena_ = &arena_;
-  batch.next_ = &next_;
-  return batch;
+  return AccumulatedBatch::FromMerged(num_tuples_, std::move(keys), storage());
 }
 
-AccumulatedBatch MicrobatchAccumulator::Seal() {
+AccumulatedBatch LegacyChainAccumulator::Seal() {
   std::vector<SortedKeyRun> keys;
   keys.reserve(tree_.size());
   // Reverse in-order traversal: quasi-sorted, highest tree count first. The
@@ -105,7 +119,7 @@ AccumulatedBatch MicrobatchAccumulator::Seal() {
   return MakeBatch(std::move(keys));
 }
 
-AccumulatedBatch MicrobatchAccumulator::SealWithPostSort() {
+AccumulatedBatch LegacyChainAccumulator::SealWithPostSort() {
   std::vector<SortedKeyRun> keys;
   keys.reserve(table_.size());
   table_.ForEach([&keys](KeyId k, const KeyState& ks) {

@@ -1,101 +1,21 @@
-// Frequency-aware micro-batch buffering (paper §4.1, Algorithm 1).
+// Frequency-aware micro-batch buffering (paper §4.1, Algorithm 1) — the
+// legacy chain implementation. New callers should obtain an Accumulator via
+// MakeAccumulator() (core/accumulator_api.h) instead of naming this class.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "common/clock.h"
 #include "common/flat_map.h"
 #include "common/macros.h"
-#include "model/tuple.h"
+#include "core/accumulator_api.h"
 #include "stats/count_tree.h"
 
 namespace prompt {
 
-/// \brief Tuning knobs of the buffering mechanism.
-struct AccumulatorOptions {
-  /// Maximum CountTree updates allowed per key per batch interval (the
-  /// `budget` of Alg. 1). Bounds total update work to K * budget * log K.
-  uint32_t budget = 16;
-  /// Estimated tuples in the interval (N_est), from the receiver's EWMA of
-  /// past data rates. Used to derive the initial frequency step
-  /// f = N_est / (K_avg * budget).
-  uint64_t estimated_tuples = 100000;
-  /// Average distinct keys over past batches (K_avg).
-  uint64_t avg_keys = 1000;
-};
-
-/// \brief One entry of the sealed quasi-sorted key list:
-/// `⟨key, count, tupleList⟩` with the tuple list referenced as a chain head
-/// into the accumulator's arena.
-struct SortedKeyRun {
-  KeyId key = 0;
-  uint64_t count = 0;
-  uint32_t head = kNoTuple;
-
-  static constexpr uint32_t kNoTuple = 0xffffffffu;
-};
-
-/// \brief View over a sealed batch: quasi-sorted keys (descending frequency)
-/// plus access to each key's buffered tuples. Valid until the owning
-/// accumulator's next Begin().
-class AccumulatedBatch {
- public:
-  uint64_t num_tuples() const { return num_tuples_; }
-  uint64_t num_keys() const { return keys_.size(); }
-
-  /// Keys in (quasi-)descending frequency order; `count` is the *exact*
-  /// final frequency (the HTable always has exact counts — only the ordering
-  /// is approximate, coming from the budget-limited CountTree).
-  const std::vector<SortedKeyRun>& keys() const { return keys_; }
-
-  /// Assembles a batch view over externally owned merged storage — the
-  /// output of the sharded ingest pipeline, whose k-way merge concatenates
-  /// the per-shard arenas (with chain indices rebased) and interleaves the
-  /// per-shard quasi-sorted run lists. The storage must outlive the view,
-  /// exactly like an accumulator's arena outlives its sealed batch.
-  static AccumulatedBatch FromMerged(uint64_t num_tuples,
-                                     std::vector<SortedKeyRun> keys,
-                                     const std::vector<Tuple>* arena,
-                                     const std::vector<uint32_t>* next) {
-    AccumulatedBatch batch;
-    batch.num_tuples_ = num_tuples;
-    batch.keys_ = std::move(keys);
-    batch.arena_ = arena;
-    batch.next_ = next;
-    return batch;
-  }
-
-  /// Applies f(const Tuple&) to up to `limit` tuples of the run, starting
-  /// after skipping `skip` tuples of its chain. Fragmented keys consume their
-  /// chain in segments: fragment i passes skip = sum of earlier fragment
-  /// sizes.
-  template <typename F>
-  void ForEachTuple(const SortedKeyRun& run, uint64_t skip, uint64_t limit,
-                    F&& f) const {
-    uint32_t idx = run.head;
-    while (skip > 0 && idx != SortedKeyRun::kNoTuple) {
-      idx = (*next_)[idx];
-      --skip;
-    }
-    while (limit > 0 && idx != SortedKeyRun::kNoTuple) {
-      f((*arena_)[idx]);
-      idx = (*next_)[idx];
-      --limit;
-    }
-  }
-
- private:
-  friend class MicrobatchAccumulator;
-  uint64_t num_tuples_ = 0;
-  std::vector<SortedKeyRun> keys_;
-  const std::vector<Tuple>* arena_ = nullptr;
-  const std::vector<uint32_t>* next_ = nullptr;
-};
-
-/// \brief Algorithm 1: buffers a batch interval's tuples in an HTable of
-/// per-key chains while progressively maintaining a CountTree of key
-/// frequencies under a per-key update budget.
+/// \brief Algorithm 1 as a literal transcription: buffers a batch interval's
+/// tuples in an HTable of per-key chains while progressively maintaining a
+/// CountTree (AVL of approximate frequencies) under a per-key update budget.
 ///
 /// The HTable value tracks the exact current frequency (Freq_Current), the
 /// frequency last reflected into the tree (Freq_Updated), the remaining
@@ -103,45 +23,38 @@ class AccumulatedBatch {
 /// a tree reposition when it satisfies its key's f.step or t.step; otherwise
 /// the tuple is only chained. Seal() walks the tree in descending order —
 /// the quasi-sorted partitioner input — with no separate sorting pass.
-class MicrobatchAccumulator {
+///
+/// Kept as the reference for differential testing against the flat columnar
+/// implementation; the budget state machine here is the specification the
+/// flat accumulator replicates bit-for-bit.
+class LegacyChainAccumulator final : public Accumulator {
  public:
-  explicit MicrobatchAccumulator(AccumulatorOptions options = {})
+  explicit LegacyChainAccumulator(AccumulatorOptions options = {})
       : options_(options), table_(1024) {}
-  PROMPT_DISALLOW_COPY_AND_ASSIGN(MicrobatchAccumulator);
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(LegacyChainAccumulator);
 
-  /// Starts a new batch interval [start, end). Clears all state.
-  void Begin(TimeMicros start, TimeMicros end);
+  const char* name() const override;
+  void Begin(TimeMicros start, TimeMicros end) override;
+  void OnTuple(const Tuple& t) override;
+  AccumulatedBatch Seal() override;
+  AccumulatedBatch SealWithPostSort() override;
+  void Reset() override;
 
-  /// Ingests one tuple; `t.ts` doubles as Time_Now (tuples arrive in
-  /// timestamp order per the model's assumptions).
-  void Add(const Tuple& t);
-
-  /// Ends the interval: in-order CountTree traversal producing the
-  /// quasi-sorted key list. The accumulator's arena stays alive (and the
-  /// returned view valid) until the next Begin().
-  AccumulatedBatch Seal();
-
-  /// Post-sort baseline (Fig. 14a): ignores the CountTree ordering and
-  /// exactly sorts keys by final frequency at seal time. Costs an explicit
-  /// O(K log K) sort on the critical path, which is what the paper's
-  /// "Post-Sort" configuration measures.
-  AccumulatedBatch SealWithPostSort();
-
-  uint64_t num_tuples() const { return num_tuples_; }
-  uint64_t num_keys() const { return table_.size(); }
+  uint64_t num_tuples() const override { return num_tuples_; }
+  uint64_t num_keys() const override { return table_.size(); }
 
   /// Total CountTree repositionings in the current batch (test/ablation
   /// observability: bounded by num_keys * budget).
-  uint64_t tree_updates() const { return tree_updates_; }
+  uint64_t ordering_updates() const override { return tree_updates_; }
 
-  /// Raw buffered-tuple storage of the current batch. The sharded ingest
-  /// pipeline reads these after Seal() to rebase each shard's chains into
-  /// the merged arena; both stay valid until the next Begin().
-  const std::vector<Tuple>& arena() const { return arena_; }
-  const std::vector<uint32_t>& chain_next() const { return next_; }
+  size_t capacity_bytes() const override;
 
-  const AccumulatorOptions& options() const { return options_; }
-  void set_options(const AccumulatorOptions& o) { options_ = o; }
+  TupleStorageView storage() const override {
+    return TupleStorageView::Rows(arena_.data(), next_.data(), arena_.size());
+  }
+
+  const AccumulatorOptions& options() const override { return options_; }
+  void set_options(const AccumulatorOptions& o) override { options_ = o; }
 
  private:
   struct KeyState {

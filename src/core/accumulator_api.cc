@@ -1,0 +1,42 @@
+#include "core/accumulator_api.h"
+
+#include "core/accumulator.h"
+#include "core/flat_accumulator.h"
+
+namespace prompt {
+
+const char* AccumulatorKindName(AccumulatorKind kind) {
+  switch (kind) {
+    case AccumulatorKind::kLegacyChain:
+      return "legacy";
+    case AccumulatorKind::kFlat:
+      return "flat";
+  }
+  return "unknown";
+}
+
+bool ParseAccumulatorKind(std::string_view name, AccumulatorKind* out) {
+  if (name == "flat") {
+    *out = AccumulatorKind::kFlat;
+    return true;
+  }
+  if (name == "legacy" || name == "legacy_chain") {
+    *out = AccumulatorKind::kLegacyChain;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Accumulator> MakeAccumulator(AccumulatorKind kind,
+                                             AccumulatorOptions options) {
+  switch (kind) {
+    case AccumulatorKind::kLegacyChain:
+      return std::make_unique<LegacyChainAccumulator>(options);
+    case AccumulatorKind::kFlat:
+      return std::make_unique<FlatAccumulator>(options);
+  }
+  PROMPT_CHECK_MSG(false, "unknown AccumulatorKind");
+  return nullptr;
+}
+
+}  // namespace prompt

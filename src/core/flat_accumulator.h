@@ -1,0 +1,108 @@
+// Flat columnar implementation of Alg. 1 (paper §4.1): robin-hood hashing
+// over SoA tuple storage, with the CountTree replaced by a radix-partitioned
+// seal. Callers should obtain it via MakeAccumulator() (accumulator_api.h)
+// rather than naming this class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/robin_hood_map.h"
+#include "core/accumulator_api.h"
+
+namespace prompt {
+
+/// \brief The fast-path accumulator. Produces output bit-identical to
+/// LegacyChainAccumulator — same key order, counts, and chains — without
+/// maintaining an ordering structure per tuple.
+///
+/// Key insight: the legacy CountTree orders keys ascending by
+/// (count, key), and its reverse in-order seal therefore emits descending
+/// (freq_updated, key) — larger key first on count ties — where
+/// freq_updated is each key's last *budgeted* frequency. That final rank is
+/// fully determined by the per-key budget state machine (f_step / t_next),
+/// which is plain integer arithmetic independent of the tree. So this
+/// implementation runs the identical state machine per tuple — updating a
+/// key's freq_updated costs a few ALU ops instead of an O(log K) AVL
+/// erase+insert — and materializes the order once at Seal() via a two-phase
+/// radix-partitioned merge:
+///   phase 1 scatters keys into 64 buckets by bit-width of freq_updated
+///   (a power-of-two frequency histogram, coarsest-to-finest);
+///   phase 2 exact-sorts each small bucket by (freq_updated desc, key desc)
+///   and concatenates buckets high-to-low.
+/// Tuple storage is columnar (key/ts/value/next arrays) rather than an
+/// array-of-Tuple arena, which is what TupleStorageView's columnar flavor
+/// exposes downstream.
+class FlatAccumulator final : public Accumulator {
+ public:
+  explicit FlatAccumulator(AccumulatorOptions options = {})
+      : options_(options), table_(1024) {}
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(FlatAccumulator);
+
+  const char* name() const override;
+  void Begin(TimeMicros start, TimeMicros end) override;
+  void OnTuple(const Tuple& t) override;
+  AccumulatedBatch Seal() override;
+  AccumulatedBatch SealWithPostSort() override;
+  void Reset() override;
+
+  uint64_t num_tuples() const override { return num_tuples_; }
+  uint64_t num_keys() const override { return states_.size(); }
+  uint64_t ordering_updates() const override { return ordering_updates_; }
+  size_t capacity_bytes() const override;
+
+  TupleStorageView storage() const override {
+    return TupleStorageView::Columns(key_col_.data(), ts_col_.data(),
+                                     value_col_.data(), next_.data(),
+                                     key_col_.size());
+  }
+
+  const AccumulatorOptions& options() const override { return options_; }
+  void set_options(const AccumulatorOptions& o) override { options_ = o; }
+
+ private:
+  /// Per-key state, dense (index-addressed by the hash table's value). Same
+  /// budget fields and transitions as the legacy KeyState; `key` is carried
+  /// here so Seal() never touches the hash table.
+  struct KeyState {
+    uint64_t freq_current = 0;
+    uint64_t freq_updated = 0;
+    uint64_t f_step = 1;
+    TimeMicros t_next = 0;
+    KeyId key = 0;
+    uint32_t budget_left = 0;
+    uint32_t head = SortedKeyRun::kNoTuple;
+    uint32_t tail = SortedKeyRun::kNoTuple;
+  };
+
+  /// A key queued for phase-2 sorting: rank fields + run payload.
+  struct SealEntry {
+    uint64_t freq_updated = 0;
+    SortedKeyRun run;
+  };
+
+  void RankUpdate(KeyState& ks, TimeMicros now);
+  AccumulatedBatch MakeBatch(std::vector<SortedKeyRun> keys) const;
+
+  AccumulatorOptions options_;
+  RobinHoodMap<uint32_t> table_;  ///< key -> index into states_
+  std::vector<KeyState> states_;
+  // Columnar tuple storage (SoA): tuple i is (ts_col_[i], key_col_[i],
+  // value_col_[i]) with chain link next_[i].
+  std::vector<KeyId> key_col_;
+  std::vector<TimeMicros> ts_col_;
+  std::vector<double> value_col_;
+  std::vector<uint32_t> next_;
+  /// Phase-1 radix buckets, indexed by bit_width(freq_updated) - 1; member
+  /// so their capacity survives across batches.
+  std::array<std::vector<SealEntry>, 64> radix_buckets_;
+  TimeMicros batch_start_ = 0;
+  TimeMicros batch_end_ = 0;
+  uint64_t num_tuples_ = 0;
+  uint64_t initial_f_step_ = 1;
+  uint64_t ordering_updates_ = 0;
+};
+
+}  // namespace prompt

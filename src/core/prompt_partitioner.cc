@@ -226,17 +226,17 @@ void PromptPartitioner::Begin(uint32_t num_blocks, TimeMicros start,
                               TimeMicros end) {
   num_blocks_ = num_blocks;
   batch_end_ = end;
-  accumulator_.set_options(options_.accumulator);
-  accumulator_.Begin(start, end);
+  accumulator_->set_options(options_.accumulator);
+  accumulator_->Begin(start, end);
 }
 
-void PromptPartitioner::OnTuple(const Tuple& t) { accumulator_.Add(t); }
+void PromptPartitioner::OnTuple(const Tuple& t) { accumulator_->OnTuple(t); }
 
 PartitionedBatch PromptPartitioner::Seal(uint64_t batch_id) {
   Stopwatch watch;
   AccumulatedBatch sealed = options_.post_sort
-                                ? accumulator_.SealWithPostSort()
-                                : accumulator_.Seal();
+                                ? accumulator_->SealWithPostSort()
+                                : accumulator_->Seal();
   PartitionPlan plan = BuildPromptPlan(sealed, num_blocks_);
   const TimeMicros decision_cost = watch.ElapsedMicros();
   PartitionedBatch out = MaterializePlan(sealed, plan, num_blocks_);

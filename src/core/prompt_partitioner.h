@@ -3,9 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 #include "core/partitioner.h"
 
 namespace prompt {
@@ -29,8 +30,11 @@ struct PartitionPlan {
 /// \brief Options of the Prompt batching-phase partitioner.
 struct PromptPartitionerOptions {
   AccumulatorOptions accumulator;
-  /// Use the exact post-sort at seal instead of the CountTree order
-  /// (the Fig. 14a "Post-Sort" ablation).
+  /// Which Alg. 1 implementation buffers the batch (flat columnar by
+  /// default; both produce bit-identical sealed output).
+  AccumulatorKind accumulator_kind = AccumulatorKind::kFlat;
+  /// Use the exact post-sort at seal instead of the maintained quasi-sorted
+  /// order (the Fig. 14a "Post-Sort" ablation).
   bool post_sort = false;
 };
 
@@ -56,7 +60,9 @@ PartitionedBatch MaterializePlan(const AccumulatedBatch& batch,
 class PromptPartitioner final : public BatchPartitioner {
  public:
   explicit PromptPartitioner(PromptPartitionerOptions options = {})
-      : options_(options), accumulator_(options.accumulator) {}
+      : options_(options),
+        accumulator_(
+            MakeAccumulator(options.accumulator_kind, options.accumulator)) {}
 
   const char* name() const override {
     return options_.post_sort ? "Prompt+PostSort" : "Prompt";
@@ -72,15 +78,15 @@ class PromptPartitioner final : public BatchPartitioner {
   bool SealAccumulated(const AccumulatedBatch& accumulated, uint64_t batch_id,
                        PartitionedBatch* out) override;
 
-  /// Accumulator observability (tree updates etc.) for tests/ablations.
-  const MicrobatchAccumulator& accumulator() const { return accumulator_; }
+  /// Accumulator observability (ordering updates etc.) for tests/ablations.
+  const Accumulator& accumulator() const { return *accumulator_; }
 
   /// Updates rate estimates fed into the next Begin (receiver EWMAs).
   void UpdateEstimates(uint64_t estimated_tuples, uint64_t avg_keys) override;
 
  private:
   PromptPartitionerOptions options_;
-  MicrobatchAccumulator accumulator_;
+  std::unique_ptr<Accumulator> accumulator_;
   uint32_t num_blocks_ = 1;
   TimeMicros batch_end_ = 0;
 };

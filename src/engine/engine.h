@@ -80,14 +80,27 @@ struct EngineOptions {
   /// Declare the run unstable once queueing delay exceeds this many
   /// intervals (back-pressure would have engaged).
   double unstable_queue_intervals = 8.0;
-  /// Shards of the parallel ingest pipeline (src/ingest/) used during the
-  /// batching phase. 1 = the seed's single-threaded path (source drained
-  /// straight into the partitioner); > 1 routes tuples by hash(key) % shards
-  /// to that many accumulator workers and k-way merges at the cut-off.
+  /// Batching-phase ingest configuration (shard count, ring capacity,
+  /// accumulator kind, Alg. 1 tuning): see IngestOptions in
+  /// ingest/pipeline.h. ingest.shards = 1 keeps the seed's single-threaded
+  /// path (source drained straight into the partitioner); > 1 routes tuples
+  /// by hash(key) % shards to that many accumulator workers and k-way
+  /// merges at the cut-off.
+  IngestOptions ingest;
+  /// DEPRECATED — pre-grouping aliases of ingest.shards and
+  /// ingest.ring_capacity, honored (with a warning) for one release: a flat
+  /// field moved off its default wins over an untouched grouped field. See
+  /// MergeDeprecatedIngestAliases().
   uint32_t ingest_shards = 1;
-  /// Per-shard SPSC ring capacity when ingest_shards > 1.
   size_t ingest_ring_capacity = 16 * 1024;
 };
+
+/// Folds the deprecated flat ingest fields of EngineOptions into
+/// opts->ingest, logging a deprecation warning for each one that diverges
+/// from its default while the grouped field was left untouched (grouped
+/// settings always win otherwise). The engine constructor applies this to
+/// its options copy; exposed for the alias-merge tests.
+void MergeDeprecatedIngestAliases(EngineOptions* opts);
 
 // BatchReport — the per-batch observability record — lives in
 // obs/batch_report.h so report writers and sinks don't depend on the engine.

@@ -14,11 +14,8 @@ StreamReceiver::StreamReceiver(TupleSource* source,
   PROMPT_CHECK(options_.batch_interval > 0);
   PROMPT_CHECK(options_.early_release_frac >= 0 &&
                options_.early_release_frac < 1);
-  if (options_.ingest_shards > 1) {
-    ParallelIngestOptions pio;
-    pio.num_shards = options_.ingest_shards;
-    pio.ring_capacity = options_.ingest_ring_capacity;
-    pipeline_ = std::make_unique<ParallelIngestPipeline>(pio);
+  if (options_.ingest.shards > 1) {
+    pipeline_ = std::make_unique<ParallelIngestPipeline>(options_.ingest);
   }
 }
 

@@ -28,15 +28,14 @@ struct ReceiverOptions {
   /// Bound of the ingestion queue; a full queue blocks the producer
   /// (back-pressure toward the source).
   size_t queue_capacity = 64 * 1024;
-  /// Shards of the parallel ingest pipeline (src/ingest/). 1 keeps the seed's
-  /// single-threaded path: the batching loop feeds the partitioner directly.
-  /// > 1 routes tuples by hash(key) % shards to that many accumulator
-  /// workers and k-way merges their runs at the cut-off; partitioners that
-  /// support SealAccumulated (Prompt) consume the merged list directly,
-  /// others have it replayed through OnTuple in quasi-sorted order.
-  uint32_t ingest_shards = 1;
-  /// Per-shard SPSC ring capacity when ingest_shards > 1.
-  size_t ingest_ring_capacity = 16 * 1024;
+  /// Batching-phase ingest configuration (src/ingest/). ingest.shards = 1
+  /// keeps the seed's single-threaded path: the batching loop feeds the
+  /// partitioner directly. > 1 routes tuples by hash(key) % shards to that
+  /// many accumulator workers and k-way merges their runs at the cut-off;
+  /// partitioners that support SealAccumulated (Prompt) consume the merged
+  /// list directly, others have it replayed through OnTuple in quasi-sorted
+  /// order.
+  IngestOptions ingest;
 };
 
 /// \brief One sealed batch plus receiver-side accounting.
@@ -79,7 +78,7 @@ class StreamReceiver {
   uint64_t batches_emitted() const { return next_batch_id_; }
 
   /// Per-shard ingest observability for the last sealed batch; nullptr when
-  /// running single-threaded (ingest_shards <= 1).
+  /// running single-threaded (ingest.shards <= 1).
   const IngestMetrics* ingest_metrics() const {
     return pipeline_ != nullptr ? &pipeline_->last_metrics() : nullptr;
   }
@@ -96,7 +95,7 @@ class StreamReceiver {
   BatchPartitioner* partitioner_;
   ReceiverOptions options_;
   BlockingQueue<Tuple> queue_;
-  std::unique_ptr<ParallelIngestPipeline> pipeline_;  // ingest_shards > 1
+  std::unique_ptr<ParallelIngestPipeline> pipeline_;  // ingest.shards > 1
   std::thread producer_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

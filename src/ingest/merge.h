@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/macros.h"
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 
 namespace prompt {
 

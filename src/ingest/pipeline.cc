@@ -24,17 +24,20 @@ AccumulatorOptions ScaleForShard(AccumulatorOptions base, uint32_t shards) {
 
 }  // namespace
 
-ParallelIngestPipeline::ParallelIngestPipeline(ParallelIngestOptions options)
+ParallelIngestPipeline::ParallelIngestPipeline(IngestOptions options)
     : options_(options) {
-  PROMPT_CHECK(options_.num_shards >= 1);
+  PROMPT_CHECK(options_.shards >= 1);
   PROMPT_CHECK(options_.ring_capacity >= 2);
-  shard_options_ = ScaleForShard(options_.accumulator, options_.num_shards);
-  shards_.reserve(options_.num_shards);
-  for (uint32_t i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(options_.ring_capacity));
+  shard_options_ =
+      ScaleForShard(options_.accumulator_options, options_.shards);
+  shards_.reserve(options_.shards);
+  for (uint32_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        options_.ring_capacity,
+        MakeAccumulator(options_.accumulator, shard_options_)));
     shards_.back()->stats.ring_capacity = shards_.back()->ring.capacity();
   }
-  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+  for (uint32_t i = 0; i < options_.shards; ++i) {
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
   }
 }
@@ -52,9 +55,9 @@ ParallelIngestPipeline::~ParallelIngestPipeline() {
 
 void ParallelIngestPipeline::UpdateEstimates(uint64_t estimated_tuples,
                                              uint64_t avg_keys) {
-  options_.accumulator.estimated_tuples =
+  options_.accumulator_options.estimated_tuples =
       std::max<uint64_t>(1, estimated_tuples);
-  options_.accumulator.avg_keys = std::max<uint64_t>(1, avg_keys);
+  options_.accumulator_options.avg_keys = std::max<uint64_t>(1, avg_keys);
 }
 
 void ParallelIngestPipeline::BindMetrics(MetricsRegistry* registry) {
@@ -82,7 +85,8 @@ void ParallelIngestPipeline::BeginBatch(TimeMicros start, TimeMicros end) {
   PROMPT_CHECK(!batch_open_);
   batch_start_ = start;
   batch_end_ = end;
-  shard_options_ = ScaleForShard(options_.accumulator, num_shards());
+  shard_options_ =
+      ScaleForShard(options_.accumulator_options, num_shards());
   {
     std::lock_guard<std::mutex> lock(mu_);
     sealed_count_ = 0;
@@ -181,8 +185,10 @@ const AccumulatedBatch& ParallelIngestPipeline::SealBatch() {
   }
   metrics_.merge_latency = merge_watch.ElapsedMicros();
 
-  merged_batch_ = AccumulatedBatch::FromMerged(total, std::move(runs),
-                                               &merged_arena_, &merged_next_);
+  merged_batch_ = AccumulatedBatch::FromMerged(
+      total, std::move(runs),
+      TupleStorageView::Rows(merged_arena_.data(), merged_next_.data(),
+                             merged_arena_.size()));
   metrics_.shards.clear();
   metrics_.shards.reserve(shards_.size());
   for (const auto& shard : shards_) metrics_.shards.push_back(shard->stats);
@@ -213,19 +219,19 @@ void ParallelIngestPipeline::WorkerLoop(uint32_t index) {
     backoff.Reset();
     switch (msg.kind) {
       case IngestMsg::kTuple:
-        shard.accumulator.Add(msg.tuple);
+        shard.accumulator->OnTuple(msg.tuple);
         break;
       case IngestMsg::kBegin:
-        shard.accumulator.set_options(shard_options_);
-        shard.accumulator.Begin(batch_start_, batch_end_);
+        shard.accumulator->set_options(shard_options_);
+        shard.accumulator->Begin(batch_start_, batch_end_);
         ++my_epoch;
         break;
       case IngestMsg::kSeal: {
         Stopwatch seal_watch;
-        shard.sealed = shard.accumulator.Seal();
+        shard.sealed = shard.accumulator->Seal();
         shard.stats.seal_latency = seal_watch.ElapsedMicros();
-        shard.stats.tuples = shard.accumulator.num_tuples();
-        shard.stats.keys = shard.accumulator.num_keys();
+        shard.stats.tuples = shard.accumulator->num_tuples();
+        shard.stats.keys = shard.accumulator->num_keys();
         {
           std::unique_lock<std::mutex> lock(mu_);
           ++sealed_count_;
@@ -237,13 +243,18 @@ void ParallelIngestPipeline::WorkerLoop(uint32_t index) {
         }
         Stopwatch copy_watch;
         const uint32_t off = static_cast<uint32_t>(shard.arena_offset);
-        const std::vector<Tuple>& arena = shard.accumulator.arena();
-        const std::vector<uint32_t>& next = shard.accumulator.chain_next();
-        std::copy(arena.begin(), arena.end(), merged_arena_.begin() + off);
-        for (size_t i = 0; i < next.size(); ++i) {
-          merged_next_[off + i] = next[i] == SortedKeyRun::kNoTuple
-                                      ? SortedKeyRun::kNoTuple
-                                      : next[i] + off;
+        // The merged arena is row-major regardless of the shard accumulator's
+        // layout: Alg. 2's MaterializePlan walks chains with random access,
+        // which favors whole-tuple rows, and the view keeps the copy generic
+        // across kinds.
+        const TupleStorageView view = shard.accumulator->storage();
+        const size_t n = view.size();
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t idx = static_cast<uint32_t>(i);
+          merged_arena_[off + i] = view.At(idx);
+          const uint32_t nx = view.Next(idx);
+          merged_next_[off + i] =
+              nx == SortedKeyRun::kNoTuple ? SortedKeyRun::kNoTuple : nx + off;
         }
         shard.stats.copy_latency = copy_watch.ElapsedMicros();
         {

@@ -2,14 +2,14 @@
 // with a heartbeat k-way merge.
 //
 // The seed's batching phase is single-threaded — one thread drains the
-// ingestion queue into one MicrobatchAccumulator — so Alg. 1 throughput is
-// capped by one core. Prompt's design shards cleanly: per-key state (HTable
-// chain + CountTree position) is independent across disjoint key sets, so
-// tuples routed by hash(key) % S land in S private accumulators that never
-// share state. At the early-release cut-off a seal barrier stops all shards
-// and a loser-tree k-way merge interleaves the per-shard quasi-sorted run
-// lists into one global quasi-sorted list with exact counts, which feeds
-// Alg. 2 (BuildPromptPlan) unchanged.
+// ingestion queue into one accumulator — so Alg. 1 throughput is capped by
+// one core. Prompt's design shards cleanly: per-key accumulator state is
+// independent across disjoint key sets, so tuples routed by hash(key) % S
+// land in S private accumulators (any AccumulatorKind) that never share
+// state. At the early-release cut-off a seal barrier stops all shards and a
+// loser-tree k-way merge interleaves the per-shard quasi-sorted run lists
+// into one global quasi-sorted list with exact counts, which feeds Alg. 2
+// (BuildPromptPlan) unchanged.
 //
 // Thread roles:
 //   router (caller of Ingest)  --SPSC ring-->  shard worker 0..S-1
@@ -29,38 +29,49 @@
 
 #include "common/clock.h"
 #include "common/macros.h"
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 #include "ingest/spsc_ring.h"
 #include "obs/metrics_registry.h"
 #include "stats/metrics.h"
 
 namespace prompt {
 
-/// \brief Configuration of the sharded ingest pipeline.
-struct ParallelIngestOptions {
-  /// Shard workers (>= 1). 1 still exercises the full route/seal/merge path
-  /// on a single worker thread.
-  uint32_t num_shards = 4;
+/// \brief Batching-phase ingest configuration. This is the grouped options
+/// block exposed as `EngineOptions::ingest` (and mirrored by the receiver
+/// and multi-tenant engine); the pipeline itself consumes it directly.
+struct IngestOptions {
+  /// Shard workers (>= 1). The engine runs the accumulator inline on the
+  /// router thread at 1; the pipeline itself accepts 1 and still exercises
+  /// the full route/seal/merge path on a single worker thread.
+  uint32_t shards = 1;
   /// Per-shard SPSC ring capacity (rounded up to a power of two). A full
   /// ring blocks the router — back-pressure toward the source.
   size_t ring_capacity = 16 * 1024;
-  /// Base (whole-batch) Alg. 1 options. Each shard receives a proportionally
-  /// scaled copy: estimated_tuples / S and avg_keys / S, same budget — the
-  /// per-key frequency step then matches the single-accumulator setting.
-  AccumulatorOptions accumulator;
+  /// Which Alg. 1 implementation every shard runs (flat columnar by
+  /// default; all kinds produce bit-identical sealed output).
+  AccumulatorKind accumulator = AccumulatorKind::kFlat;
+  /// Base (whole-batch) Alg. 1 options — the budget / N_est / K_avg
+  /// overrides. Each shard receives a proportionally scaled copy:
+  /// estimated_tuples / S and avg_keys / S, same budget — the per-key
+  /// frequency step then matches the single-accumulator setting.
+  AccumulatorOptions accumulator_options;
 };
 
-/// \brief S shard workers, each owning a private MicrobatchAccumulator, fed
-/// over lock-free SPSC rings; sealed per-shard runs are k-way merged at the
-/// heartbeat into one AccumulatedBatch with exact per-key counts.
+/// Historical name of the pipeline's config, now the engine-wide grouping.
+using ParallelIngestOptions = IngestOptions;
+
+/// \brief S shard workers, each owning a private Accumulator (created via
+/// MakeAccumulator), fed over lock-free SPSC rings; sealed per-shard runs
+/// are k-way merged at the heartbeat into one AccumulatedBatch with exact
+/// per-key counts.
 ///
 /// Lifecycle per batch interval, driven by one router thread:
 ///   BeginBatch(start, end) -> Ingest(t)* -> SealBatch()
 /// The view returned by SealBatch stays valid until the next BeginBatch,
-/// mirroring MicrobatchAccumulator's arena lifetime contract.
+/// mirroring an accumulator's storage lifetime contract.
 class ParallelIngestPipeline {
  public:
-  explicit ParallelIngestPipeline(ParallelIngestOptions options);
+  explicit ParallelIngestPipeline(IngestOptions options);
   ~ParallelIngestPipeline();
   PROMPT_DISALLOW_COPY_AND_ASSIGN(ParallelIngestPipeline);
 
@@ -102,11 +113,12 @@ class ParallelIngestPipeline {
   };
 
   struct Shard {
-    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+    Shard(size_t ring_capacity, std::unique_ptr<Accumulator> acc)
+        : ring(ring_capacity), accumulator(std::move(acc)) {}
 
     SpscRing<IngestMsg> ring;
     std::thread worker;
-    MicrobatchAccumulator accumulator;
+    std::unique_ptr<Accumulator> accumulator;
 
     // Seal handshake (written by the worker, read by the router after the
     // barrier; the pipeline mutex orders the non-atomic fields).
@@ -121,7 +133,7 @@ class ParallelIngestPipeline {
   void WorkerLoop(uint32_t index);
   void PushMsg(uint32_t shard, const IngestMsg& msg);
 
-  ParallelIngestOptions options_;
+  IngestOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Batch parameters published before the kBegin message is pushed; the

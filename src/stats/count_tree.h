@@ -59,12 +59,25 @@ class CountTree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Bytes of node storage currently held.
+  size_t capacity_bytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           free_list_.capacity() * sizeof(uint32_t);
+  }
+
   /// Resets the tree for the next batch interval.
   void Clear() {
     root_ = kNil;
     size_ = 0;
     nodes_.clear();
     free_list_.clear();
+  }
+
+  /// Clear() plus releasing the node storage back to the allocator.
+  void Reset() {
+    Clear();
+    nodes_.shrink_to_fit();
+    free_list_.shrink_to_fit();
   }
 
   /// Visits entries in descending (count, key) order — the partitioner's

@@ -112,11 +112,8 @@ Result<std::unique_ptr<MultiTenantEngine>> MultiTenantEngine::Create(
     engine->tenants_.push_back(std::move(tenant));
   }
 
-  if (opts.ingest_shards > 1) {
-    ParallelIngestOptions pio;
-    pio.num_shards = opts.ingest_shards;
-    pio.ring_capacity = opts.ingest_ring_capacity;
-    engine->ingest_ = std::make_unique<ParallelIngestPipeline>(pio);
+  if (opts.ingest.shards > 1) {
+    engine->ingest_ = std::make_unique<ParallelIngestPipeline>(opts.ingest);
     engine->ingest_->BindMetrics(engine->obs_->registry());
   }
   return engine;

@@ -58,11 +58,11 @@ struct MultiTenantEngineOptions {
   double early_release_frac = 0.05;
   /// Per-tenant instability bound on queueing delay, in intervals.
   double unstable_queue_intervals = 8.0;
-  /// Shards of the shared ingest pipeline. 1 = route tuples straight into
-  /// each matching tenant's partitioner; > 1 accumulates once (Alg. 1
-  /// sharded) and each tenant replays its filtered slice of the merge.
-  uint32_t ingest_shards = 1;
-  size_t ingest_ring_capacity = 16 * 1024;
+  /// Shared ingest pipeline configuration. ingest.shards = 1 routes tuples
+  /// straight into each matching tenant's partitioner; > 1 accumulates once
+  /// (Alg. 1 sharded) and each tenant replays its filtered slice of the
+  /// merge.
+  IngestOptions ingest;
   /// Shared observability stack. Autopsy rows carry a `tenant` column; the
   /// exporter serves per-tenant stores at /timeseries.json?tenant=<id>.
   ObservabilityOptions obs;
@@ -139,7 +139,7 @@ class MultiTenantEngine {
   TupleSource* source_;
   std::unique_ptr<Observability> obs_;
   std::unique_ptr<TenantScheduler> scheduler_;
-  std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest_shards > 1
+  std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest.shards > 1
   std::unique_ptr<ThreadPool> pool_;                // mode == kReal
   std::vector<Tenant> tenants_;
 

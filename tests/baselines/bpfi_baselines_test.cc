@@ -32,7 +32,8 @@ std::vector<Tuple> PaperExampleTuples() {
 }
 
 TEST(FfdPlanTest, PacksTightButFragmentsMore) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = PaperExampleTuples();
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   auto ffd = BuildFfdPlan(sealed, 4);
@@ -49,7 +50,8 @@ TEST(FfdPlanTest, PacksTightButFragmentsMore) {
 }
 
 TEST(FragMinPlanTest, FragmentsAtMostBlocksMinusOneKeys) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(20000, 300, 1.2, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   for (uint32_t p : {2u, 4u, 8u}) {
@@ -60,7 +62,8 @@ TEST(FragMinPlanTest, FragmentsAtMostBlocksMinusOneKeys) {
 
 TEST(FragMinPlanTest, CardinalityIsImbalanced) {
   // The price of minimal fragmentation: late blocks collect the small keys.
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(30000, 3000, 1.3, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   auto fragmin_batch = MaterializePlan(sealed, BuildFragMinPlan(sealed, 4), 4);
@@ -71,7 +74,8 @@ TEST(FragMinPlanTest, CardinalityIsImbalanced) {
 }
 
 TEST(BpfiPlansTest, BothConserveTuples) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(10000, 150, 1.4, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   auto expected = KeyHistogram(tuples);
@@ -96,7 +100,8 @@ TEST(BpfiPartitionerTest, AdapterRunsFullPipeline) {
 TEST(PromptVsBaselinesTest, PromptBalancesAllThreeObjectives) {
   // The Fig. 6 trade-off: Prompt should be at-or-near FFD's size balance,
   // near FragMin's fragmentation, and better than both on cardinality.
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(40000, 800, 1.5, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   const uint32_t p = 4;

@@ -1,0 +1,138 @@
+#include "common/robin_hood_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace prompt {
+namespace {
+
+TEST(RobinHoodMapTest, InsertAndFind) {
+  RobinHoodMap<uint64_t> map;
+  EXPECT_TRUE(map.empty());
+  for (uint64_t k = 0; k < 100; ++k) {
+    bool inserted = false;
+    map.GetOrInsert(k, &inserted) = k * 10;
+    EXPECT_TRUE(inserted) << k;
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    const uint64_t* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 10);
+  }
+  EXPECT_EQ(map.Find(1000), nullptr);
+}
+
+TEST(RobinHoodMapTest, GetOrInsertIsIdempotent) {
+  RobinHoodMap<int> map;
+  bool inserted = false;
+  map.GetOrInsert(42, &inserted) = 7;
+  EXPECT_TRUE(inserted);
+  int& again = map.GetOrInsert(42, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(again, 7);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(RobinHoodMapTest, GrowthPreservesAllEntries) {
+  RobinHoodMap<uint64_t> map;
+  const size_t initial_capacity = map.capacity();
+  const uint64_t n = 10000;  // forces several doublings
+  for (uint64_t k = 0; k < n; ++k) map.GetOrInsert(k * 7919) = k;
+  EXPECT_GT(map.capacity(), initial_capacity);
+  // Power-of-two capacity.
+  EXPECT_EQ(map.capacity() & (map.capacity() - 1), 0u);
+  // Load factor stays under the 7/8 growth threshold.
+  EXPECT_LE(map.size() * 8, map.capacity() * 7);
+  for (uint64_t k = 0; k < n; ++k) {
+    const uint64_t* v = map.Find(k * 7919);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k);
+  }
+}
+
+TEST(RobinHoodMapTest, ProbeDistancesStayShort) {
+  RobinHoodMap<uint64_t> map;
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) map.GetOrInsert(rng.Next()) = 1;
+  // Robin-hood's displacement equalization keeps the worst probe sequence
+  // short even at ~87% peak load; a plain linear probe would show clusters
+  // hundreds long.
+  EXPECT_LE(map.MaxProbeDistance(), 64u);
+}
+
+TEST(RobinHoodMapTest, EraseRemovesAndBackwardShiftKeepsOthersReachable) {
+  RobinHoodMap<uint64_t> map;
+  const uint64_t n = 4096;
+  for (uint64_t k = 0; k < n; ++k) map.GetOrInsert(k) = k;
+  // Erase every third key; everything else must remain reachable.
+  for (uint64_t k = 0; k < n; k += 3) EXPECT_TRUE(map.Erase(k)) << k;
+  EXPECT_FALSE(map.Erase(0));  // already gone
+  for (uint64_t k = 0; k < n; ++k) {
+    const uint64_t* v = map.Find(k);
+    if (k % 3 == 0) {
+      EXPECT_EQ(v, nullptr) << k;
+    } else {
+      ASSERT_NE(v, nullptr) << k;
+      EXPECT_EQ(*v, k);
+    }
+  }
+  EXPECT_EQ(map.size(), n - (n + 2) / 3);
+}
+
+TEST(RobinHoodMapTest, ChurnMatchesStdMap) {
+  RobinHoodMap<uint64_t> map;
+  std::map<uint64_t, uint64_t> truth;
+  Rng rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t key = rng.NextBounded(5000);
+    switch (rng.NextBounded(3)) {
+      case 0:
+      case 1: {  // upsert
+        map.GetOrInsert(key) = i;
+        truth[key] = static_cast<uint64_t>(i);
+        break;
+      }
+      case 2: {  // erase
+        const bool erased = map.Erase(key);
+        EXPECT_EQ(erased, truth.erase(key) > 0) << "iter " << i;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), truth.size());
+  size_t visited = 0;
+  map.ForEach([&](uint64_t key, const uint64_t& value) {
+    ++visited;
+    auto it = truth.find(key);
+    ASSERT_NE(it, truth.end()) << key;
+    EXPECT_EQ(value, it->second) << key;
+  });
+  EXPECT_EQ(visited, truth.size());
+}
+
+TEST(RobinHoodMapTest, ClearKeepsCapacity) {
+  RobinHoodMap<int> map;
+  for (uint64_t k = 0; k < 1000; ++k) map.GetOrInsert(k) = 1;
+  const size_t cap = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map.GetOrInsert(5) = 9;
+  EXPECT_EQ(*map.Find(5), 9);
+}
+
+TEST(RobinHoodMapTest, CapacityBytesTracksStorage) {
+  RobinHoodMap<uint64_t> map;
+  const size_t before = map.capacity_bytes();
+  for (uint64_t k = 0; k < 10000; ++k) map.GetOrInsert(k) = k;
+  EXPECT_GT(map.capacity_bytes(), before);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -1,8 +1,9 @@
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
 #include "testing/test_helpers.h"
 
@@ -16,18 +17,36 @@ using testing::ZipfTuples;
 constexpr TimeMicros kStart = 0;
 constexpr TimeMicros kEnd = Seconds(1);
 
-TEST(AccumulatorTest, EmptyBatch) {
-  MicrobatchAccumulator acc;
-  acc.Begin(kStart, kEnd);
-  auto batch = acc.Seal();
+// Every behavioural test runs against both implementations of the
+// Accumulator interface: the legacy CountTree chain and the flat columnar
+// rewrite. The two must be observationally identical (see
+// accumulator_differential_test.cc for the bit-identity fuzz).
+class AccumulatorTest : public ::testing::TestWithParam<AccumulatorKind> {
+ protected:
+  std::unique_ptr<Accumulator> Make(AccumulatorOptions opts = {}) const {
+    return MakeAccumulator(GetParam(), opts);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AccumulatorTest,
+                         ::testing::Values(AccumulatorKind::kLegacyChain,
+                                           AccumulatorKind::kFlat),
+                         [](const auto& info) {
+                           return std::string(AccumulatorKindName(info.param));
+                         });
+
+TEST_P(AccumulatorTest, EmptyBatch) {
+  auto acc = Make();
+  acc->Begin(kStart, kEnd);
+  auto batch = acc->Seal();
   EXPECT_EQ(batch.num_tuples(), 0u);
   EXPECT_EQ(batch.num_keys(), 0u);
 }
 
-TEST(AccumulatorTest, CountsAreExact) {
-  MicrobatchAccumulator acc;
+TEST_P(AccumulatorTest, CountsAreExact) {
+  auto acc = Make();
   auto tuples = ZipfTuples(20000, 500, 1.0, kStart, kEnd);
-  auto batch = Accumulate(acc, tuples, kStart, kEnd);
+  auto batch = Accumulate(*acc, tuples, kStart, kEnd);
   auto expected = KeyHistogram(tuples);
 
   EXPECT_EQ(batch.num_tuples(), tuples.size());
@@ -37,10 +56,10 @@ TEST(AccumulatorTest, CountsAreExact) {
   EXPECT_EQ(got, expected);
 }
 
-TEST(AccumulatorTest, ChainsContainAllTuplesOfKey) {
-  MicrobatchAccumulator acc;
+TEST_P(AccumulatorTest, ChainsContainAllTuplesOfKey) {
+  auto acc = Make();
   auto tuples = ZipfTuples(5000, 100, 1.2, kStart, kEnd);
-  auto batch = Accumulate(acc, tuples, kStart, kEnd);
+  auto batch = Accumulate(*acc, tuples, kStart, kEnd);
   for (const auto& run : batch.keys()) {
     uint64_t visited = 0;
     batch.ForEachTuple(run, 0, run.count, [&](const Tuple& t) {
@@ -51,13 +70,13 @@ TEST(AccumulatorTest, ChainsContainAllTuplesOfKey) {
   }
 }
 
-TEST(AccumulatorTest, ChainSkipAndLimitSegmentTheChain) {
-  MicrobatchAccumulator acc;
-  acc.Begin(kStart, kEnd);
+TEST_P(AccumulatorTest, ChainSkipAndLimitSegmentTheChain) {
+  auto acc = Make();
+  acc->Begin(kStart, kEnd);
   for (int i = 0; i < 10; ++i) {
-    acc.Add(Tuple{kStart + i, 7, static_cast<double>(i)});
+    acc->OnTuple(Tuple{kStart + i, 7, static_cast<double>(i)});
   }
-  auto batch = acc.Seal();
+  auto batch = acc->Seal();
   ASSERT_EQ(batch.keys().size(), 1u);
   const auto& run = batch.keys()[0];
   std::vector<double> seg;
@@ -68,25 +87,25 @@ TEST(AccumulatorTest, ChainSkipAndLimitSegmentTheChain) {
   EXPECT_DOUBLE_EQ(seg[3], 6.0);
 }
 
-TEST(AccumulatorTest, PostSortIsExactlyDescending) {
-  MicrobatchAccumulator acc;
+TEST_P(AccumulatorTest, PostSortIsExactlyDescending) {
+  auto acc = Make();
   auto tuples = ZipfTuples(30000, 1000, 1.3, kStart, kEnd);
-  acc.Begin(kStart, kEnd);
-  for (const Tuple& t : tuples) acc.Add(t);
-  auto batch = acc.SealWithPostSort();
+  acc->Begin(kStart, kEnd);
+  for (const Tuple& t : tuples) acc->OnTuple(t);
+  auto batch = acc->SealWithPostSort();
   for (size_t i = 1; i < batch.keys().size(); ++i) {
     EXPECT_GE(batch.keys()[i - 1].count, batch.keys()[i].count);
   }
 }
 
-TEST(AccumulatorTest, QuasiSortedOrderIsNearlyDescending) {
+TEST_P(AccumulatorTest, QuasiSortedOrderIsNearlyDescending) {
   AccumulatorOptions opts;
   opts.budget = 16;
   opts.estimated_tuples = 50000;
   opts.avg_keys = 1000;
-  MicrobatchAccumulator acc(opts);
+  auto acc = Make(opts);
   auto tuples = ZipfTuples(50000, 1000, 1.1, kStart, kEnd);
-  auto batch = Accumulate(acc, tuples, kStart, kEnd);
+  auto batch = Accumulate(*acc, tuples, kStart, kEnd);
 
   // Measure order quality: fraction of adjacent pairs in correct order.
   size_t ordered = 0;
@@ -110,27 +129,27 @@ TEST(AccumulatorTest, QuasiSortedOrderIsNearlyDescending) {
   EXPECT_LT(max_pos, batch.keys().size() / 10);
 }
 
-TEST(AccumulatorTest, TreeUpdatesRespectBudget) {
+TEST_P(AccumulatorTest, OrderingUpdatesRespectBudget) {
   AccumulatorOptions opts;
   opts.budget = 4;
   opts.estimated_tuples = 100000;
   opts.avg_keys = 100;
-  MicrobatchAccumulator acc(opts);
+  auto acc = Make(opts);
   auto tuples = ZipfTuples(100000, 100, 0.8, kStart, kEnd);
-  Accumulate(acc, tuples, kStart, kEnd);
+  Accumulate(*acc, tuples, kStart, kEnd);
   // Each key gets 1 insert + at most `budget` repositionings.
-  EXPECT_LE(acc.tree_updates(), acc.num_keys() * opts.budget);
+  EXPECT_LE(acc->ordering_updates(), acc->num_keys() * opts.budget);
 }
 
-TEST(AccumulatorTest, LargerBudgetImprovesOrdering) {
-  auto order_quality = [](uint32_t budget) {
+TEST_P(AccumulatorTest, LargerBudgetImprovesOrdering) {
+  auto order_quality = [this](uint32_t budget) {
     AccumulatorOptions opts;
     opts.budget = budget;
     opts.estimated_tuples = 60000;
     opts.avg_keys = 2000;
-    MicrobatchAccumulator acc(opts);
+    auto acc = Make(opts);
     auto tuples = ZipfTuples(60000, 2000, 1.0, kStart, kEnd, 7);
-    auto batch = Accumulate(acc, tuples, kStart, kEnd);
+    auto batch = Accumulate(*acc, tuples, kStart, kEnd);
     // Kendall-ish metric: mean absolute displacement of the top 50 keys
     // versus the exact order.
     auto exact = batch.keys();
@@ -154,41 +173,59 @@ TEST(AccumulatorTest, LargerBudgetImprovesOrdering) {
   EXPECT_LE(order_quality(32), order_quality(2) + 1.0);
 }
 
-TEST(AccumulatorTest, BeginResetsAllState) {
-  MicrobatchAccumulator acc;
+TEST_P(AccumulatorTest, BeginResetsAllState) {
+  auto acc = Make();
   auto tuples = ZipfTuples(1000, 50, 1.0, kStart, kEnd);
-  Accumulate(acc, tuples, kStart, kEnd);
-  acc.Begin(kEnd, kEnd + Seconds(1));
-  EXPECT_EQ(acc.num_tuples(), 0u);
-  EXPECT_EQ(acc.num_keys(), 0u);
-  acc.Add(Tuple{kEnd + 5, 1, 1.0});
-  auto batch = acc.Seal();
+  Accumulate(*acc, tuples, kStart, kEnd);
+  acc->Begin(kEnd, kEnd + Seconds(1));
+  EXPECT_EQ(acc->num_tuples(), 0u);
+  EXPECT_EQ(acc->num_keys(), 0u);
+  acc->OnTuple(Tuple{kEnd + 5, 1, 1.0});
+  auto batch = acc->Seal();
   EXPECT_EQ(batch.num_tuples(), 1u);
   ASSERT_EQ(batch.keys().size(), 1u);
   EXPECT_EQ(batch.keys()[0].count, 1u);
 }
 
-TEST(AccumulatorTest, TimeStepUpdatesLowFrequencyKeys) {
+TEST_P(AccumulatorTest, ResetReleasesCapacity) {
+  auto acc = Make();
+  auto tuples = ZipfTuples(20000, 2000, 1.0, kStart, kEnd);
+  Accumulate(*acc, tuples, kStart, kEnd);
+  EXPECT_GT(acc->capacity_bytes(), 0u);
+  acc->Reset();
+  EXPECT_EQ(acc->num_tuples(), 0u);
+  EXPECT_EQ(acc->num_keys(), 0u);
+  // Reset must release the bulk of the batch storage (small fixed-size
+  // tables may remain).
+  EXPECT_LT(acc->capacity_bytes(), 64u * 1024u);
+  // And the accumulator is reusable after a Reset.
+  acc->Begin(kStart, kEnd);
+  acc->OnTuple(Tuple{kStart + 1, 3, 1.0});
+  auto batch = acc->Seal();
+  EXPECT_EQ(batch.num_tuples(), 1u);
+}
+
+TEST_P(AccumulatorTest, TimeStepUpdatesLowFrequencyKeys) {
   // A key whose arrivals are far apart never satisfies f.step, but t.step
-  // (Alg. 1 lines 15-19) still refreshes its tree position over the
+  // (Alg. 1 lines 15-19) still refreshes its ordering position over the
   // interval.
   AccumulatorOptions opts;
   opts.budget = 8;
   opts.estimated_tuples = 1000000;  // huge N_est => huge initial f.step
   opts.avg_keys = 1;
-  MicrobatchAccumulator acc(opts);
-  acc.Begin(0, Seconds(1));
+  auto acc = Make(opts);
+  acc->Begin(0, Seconds(1));
   // Key 7 arrives 10 times, spread across the whole interval; key 1 floods
-  // early so the tree has competing mass.
-  for (int i = 0; i < 50; ++i) acc.Add(Tuple{Millis(1) + i, 1, 1.0});
+  // early so the ordering has competing mass.
+  for (int i = 0; i < 50; ++i) acc->OnTuple(Tuple{Millis(1) + i, 1, 1.0});
   for (int i = 0; i < 10; ++i) {
-    acc.Add(Tuple{Millis(100) * (i + 1), 7, 1.0});
+    acc->OnTuple(Tuple{Millis(100) * (i + 1), 7, 1.0});
   }
-  const uint64_t updates = acc.tree_updates();
+  const uint64_t updates = acc->ordering_updates();
   // Key 7's time-step must have fired at least a few times (initial f.step
   // is ~125k arrivals, unreachable; only t.step can trigger).
   EXPECT_GE(updates, 3u);
-  auto batch = acc.Seal();
+  auto batch = acc->Seal();
   // Both keys report exact counts regardless of update cadence.
   for (const auto& run : batch.keys()) {
     if (run.key == 1) {
@@ -200,26 +237,67 @@ TEST(AccumulatorTest, TimeStepUpdatesLowFrequencyKeys) {
   }
 }
 
-TEST(AccumulatorTest, ZeroBudgetStillCountsExactly) {
+TEST_P(AccumulatorTest, ZeroBudgetStillCountsExactly) {
   AccumulatorOptions opts;
   opts.budget = 0;  // no repositioning at all beyond the initial insert
-  MicrobatchAccumulator acc(opts);
+  auto acc = Make(opts);
   auto tuples = ZipfTuples(5000, 200, 1.2, kStart, kEnd);
-  auto batch = Accumulate(acc, tuples, kStart, kEnd);
+  auto batch = Accumulate(*acc, tuples, kStart, kEnd);
   EXPECT_EQ(testing::KeyHistogram(tuples).size(), batch.num_keys());
   std::map<KeyId, uint64_t> got;
   for (const auto& run : batch.keys()) got[run.key] = run.count;
   EXPECT_EQ(got, testing::KeyHistogram(tuples));
 }
 
-TEST(AccumulatorTest, SingleKeyBatch) {
-  MicrobatchAccumulator acc;
-  acc.Begin(kStart, kEnd);
-  for (int i = 0; i < 1000; ++i) acc.Add(Tuple{kStart + i, 99, 1.0});
-  auto batch = acc.Seal();
+TEST_P(AccumulatorTest, SingleKeyBatch) {
+  auto acc = Make();
+  acc->Begin(kStart, kEnd);
+  for (int i = 0; i < 1000; ++i) acc->OnTuple(Tuple{kStart + i, 99, 1.0});
+  auto batch = acc->Seal();
   ASSERT_EQ(batch.keys().size(), 1u);
   EXPECT_EQ(batch.keys()[0].key, 99u);
   EXPECT_EQ(batch.keys()[0].count, 1000u);
+}
+
+TEST(AccumulatorFactoryTest, KindNamesRoundTrip) {
+  EXPECT_STREQ(AccumulatorKindName(AccumulatorKind::kFlat), "flat");
+  EXPECT_STREQ(AccumulatorKindName(AccumulatorKind::kLegacyChain), "legacy");
+  AccumulatorKind kind;
+  EXPECT_TRUE(ParseAccumulatorKind("flat", &kind));
+  EXPECT_EQ(kind, AccumulatorKind::kFlat);
+  EXPECT_TRUE(ParseAccumulatorKind("legacy", &kind));
+  EXPECT_EQ(kind, AccumulatorKind::kLegacyChain);
+  EXPECT_TRUE(ParseAccumulatorKind("legacy_chain", &kind));
+  EXPECT_EQ(kind, AccumulatorKind::kLegacyChain);
+  EXPECT_FALSE(ParseAccumulatorKind("treap", &kind));
+}
+
+TEST(AccumulatorFactoryTest, FactoryReportsKindName) {
+  EXPECT_STREQ(MakeAccumulator(AccumulatorKind::kFlat)->name(), "flat");
+  EXPECT_STREQ(MakeAccumulator(AccumulatorKind::kLegacyChain)->name(),
+               "legacy");
+}
+
+TEST(TupleStorageViewTest, RowsAndColumnsMaterializeIdentically) {
+  const Tuple rows[3] = {{10, 1, 0.5}, {20, 2, 1.5}, {30, 1, 2.5}};
+  const uint32_t next[3] = {2, SortedKeyRun::kNoTuple, SortedKeyRun::kNoTuple};
+  const KeyId keys[3] = {1, 2, 1};
+  const TimeMicros ts[3] = {10, 20, 30};
+  const double values[3] = {0.5, 1.5, 2.5};
+
+  const auto row_view = TupleStorageView::Rows(rows, next, 3);
+  const auto col_view = TupleStorageView::Columns(keys, ts, values, next, 3);
+  EXPECT_FALSE(row_view.columnar());
+  EXPECT_TRUE(col_view.columnar());
+  ASSERT_EQ(row_view.size(), col_view.size());
+  for (uint32_t i = 0; i < 3; ++i) {
+    const Tuple a = row_view.At(i);
+    const Tuple b = col_view.At(i);
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_EQ(row_view.Next(i), col_view.Next(i));
+  }
 }
 
 }  // namespace

@@ -19,7 +19,8 @@ constexpr TimeMicros kStart = 0;
 constexpr TimeMicros kEnd = Seconds(1);
 
 TEST(PromptPlanTest, EmptyBatchYieldsEmptyBlocks) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   acc.Begin(kStart, kEnd);
   auto sealed = acc.Seal();
   auto plan = BuildPromptPlan(sealed, 4);
@@ -30,7 +31,8 @@ TEST(PromptPlanTest, EmptyBatchYieldsEmptyBlocks) {
 }
 
 TEST(PromptPlanTest, PlanCoversEveryTupleExactlyOnce) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(30000, 2000, 1.2, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   auto plan = BuildPromptPlan(sealed, 8);
@@ -47,7 +49,8 @@ TEST(PromptPlanTest, PlanCoversEveryTupleExactlyOnce) {
 }
 
 TEST(PromptPlanTest, MaterializedBatchPreservesKeyHistogram) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(20000, 500, 1.5, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   auto plan = BuildPromptPlan(sealed, 6);
@@ -58,7 +61,8 @@ TEST(PromptPlanTest, MaterializedBatchPreservesKeyHistogram) {
 }
 
 TEST(PromptPlanTest, BlockSizesAreNearlyEqualUnderHeavySkew) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(50000, 10000, 1.8, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   const uint32_t p = 8;
@@ -72,7 +76,8 @@ TEST(PromptPlanTest, BlockSizesAreNearlyEqualUnderHeavySkew) {
 }
 
 TEST(PromptPlanTest, CardinalityIsBalanced) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(40000, 4000, 1.0, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   const uint32_t p = 5;
@@ -91,7 +96,8 @@ TEST(PromptPlanTest, CardinalityIsBalanced) {
 }
 
 TEST(PromptPlanTest, FragmentationIsLimited) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(50000, 5000, 1.4, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   const uint32_t p = 8;
@@ -106,7 +112,8 @@ TEST(PromptPlanTest, FragmentationIsLimited) {
 }
 
 TEST(PromptPlanTest, SingleBlockTakesEverything) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(1000, 100, 1.0, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   auto plan = BuildPromptPlan(sealed, 1);
@@ -116,10 +123,11 @@ TEST(PromptPlanTest, SingleBlockTakesEverything) {
 }
 
 TEST(PromptPlanTest, MoreBlocksThanKeys) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   acc.Begin(kStart, kEnd);
   for (int i = 0; i < 90; ++i) {
-    acc.Add(Tuple{kStart + i, static_cast<KeyId>(i % 3), 1.0});
+    acc.OnTuple(Tuple{kStart + i, static_cast<KeyId>(i % 3), 1.0});
   }
   auto sealed = acc.Seal();
   auto plan = BuildPromptPlan(sealed, 6);
@@ -134,11 +142,12 @@ TEST(PromptPlanTest, MoreBlocksThanKeys) {
 }
 
 TEST(PromptPlanTest, OneGiantKeyIsSpreadAcrossBlocks) {
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   acc.Begin(kStart, kEnd);
-  for (int i = 0; i < 10000; ++i) acc.Add(Tuple{kStart + i, 42, 1.0});
+  for (int i = 0; i < 10000; ++i) acc.OnTuple(Tuple{kStart + i, 42, 1.0});
   for (int i = 0; i < 100; ++i) {
-    acc.Add(Tuple{kStart + 20000 + i, static_cast<KeyId>(100 + i), 1.0});
+    acc.OnTuple(Tuple{kStart + 20000 + i, static_cast<KeyId>(100 + i), 1.0});
   }
   auto sealed = acc.Seal();
   const uint32_t p = 4;
@@ -172,7 +181,8 @@ class PromptPlanSweepTest : public ::testing::TestWithParam<PlanSweepParam> {};
 
 TEST_P(PromptPlanSweepTest, InvariantsHold) {
   const auto& p = GetParam();
-  MicrobatchAccumulator acc;
+  auto acc_ptr = MakeAccumulator(AccumulatorKind::kFlat);
+  auto& acc = *acc_ptr;
   auto tuples = ZipfTuples(p.tuples, p.cardinality, p.z, kStart, kEnd);
   auto sealed = Accumulate(acc, tuples, kStart, kEnd);
   auto plan = BuildPromptPlan(sealed, p.blocks);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <random>
 #include <vector>
 
@@ -51,23 +52,62 @@ std::map<KeyId, uint64_t> KeyCounts(const PartitionedBatch& batch) {
   return counts;
 }
 
+// Full observable state of a merged batch: the quasi-sorted (key, count)
+// sequence plus every chained tuple in chain order.
+struct BatchImage {
+  std::vector<std::pair<KeyId, uint64_t>> runs;
+  std::vector<Tuple> chained;
+  bool operator==(const BatchImage& o) const {
+    if (runs != o.runs || chained.size() != o.chained.size()) return false;
+    for (size_t i = 0; i < chained.size(); ++i) {
+      if (chained[i].ts != o.chained[i].ts ||
+          chained[i].key != o.chained[i].key ||
+          chained[i].value != o.chained[i].value) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+BatchImage Image(const AccumulatedBatch& batch) {
+  BatchImage img;
+  for (const SortedKeyRun& run : batch.keys()) {
+    img.runs.emplace_back(run.key, run.count);
+    batch.ForEachTuple(run, 0, run.count,
+                       [&](const Tuple& t) { img.chained.push_back(t); });
+  }
+  return img;
+}
+
+class ParallelIngestPipelineTest
+    : public ::testing::TestWithParam<AccumulatorKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ParallelIngestPipelineTest,
+                         ::testing::Values(AccumulatorKind::kLegacyChain,
+                                           AccumulatorKind::kFlat),
+                         [](const auto& info) {
+                           return std::string(AccumulatorKindName(info.param));
+                         });
+
 // Tentpole acceptance: for any shard count the merged batch's per-key counts
 // are bit-identical to a single accumulator fed the same stream, and the
 // merged list stays quasi-sorted with every tuple reachable through the
 // rebased chains.
-TEST(ParallelIngestPipelineTest, MergedCountsMatchSingleAccumulator) {
+TEST_P(ParallelIngestPipelineTest, MergedCountsMatchSingleAccumulator) {
   const TimeMicros start = 0, end = Seconds(1);
   const auto stream = MakeStream(20000, 400, 7, start, end);
 
-  MicrobatchAccumulator reference;
-  reference.Begin(start, end);
-  for (const Tuple& t : stream) reference.Add(t);
-  const auto expected = KeyCounts(reference.Seal());
+  auto reference = MakeAccumulator(GetParam());
+  reference->Begin(start, end);
+  for (const Tuple& t : stream) reference->OnTuple(t);
+  const auto expected = KeyCounts(reference->Seal());
 
   for (uint32_t shards : {1u, 2u, 3u, 4u}) {
-    ParallelIngestOptions opts;
-    opts.num_shards = shards;
+    IngestOptions opts;
+    opts.shards = shards;
     opts.ring_capacity = 256;  // small ring: exercises back-pressure
+    opts.accumulator = GetParam();
     ParallelIngestPipeline pipeline(opts);
     pipeline.BeginBatch(start, end);
     for (const Tuple& t : stream) pipeline.Ingest(t);
@@ -95,18 +135,42 @@ TEST(ParallelIngestPipelineTest, MergedCountsMatchSingleAccumulator) {
   }
 }
 
-TEST(ParallelIngestPipelineTest, MultipleBatchesReuseWorkers) {
-  ParallelIngestOptions opts;
-  opts.num_shards = 3;
+// Shard invariance across accumulator kinds: at every shard count the flat
+// pipeline's merged batch is bit-identical to the legacy pipeline's —
+// identical run sequence and identical chained tuples.
+TEST(ParallelIngestPipelineDifferentialTest, FlatMatchesLegacyAtEveryShardCount) {
+  const TimeMicros start = 0, end = Seconds(1);
+  const auto stream = MakeStream(30000, 800, 13, start, end);
+
+  for (uint32_t shards : {1u, 2u, 3u, 4u}) {
+    auto run = [&](AccumulatorKind kind) {
+      IngestOptions opts;
+      opts.shards = shards;
+      opts.accumulator = kind;
+      ParallelIngestPipeline pipeline(opts);
+      pipeline.BeginBatch(start, end);
+      for (const Tuple& t : stream) pipeline.Ingest(t);
+      return Image(pipeline.SealBatch());
+    };
+    const BatchImage legacy = run(AccumulatorKind::kLegacyChain);
+    const BatchImage flat = run(AccumulatorKind::kFlat);
+    EXPECT_TRUE(flat == legacy) << "shards=" << shards;
+  }
+}
+
+TEST_P(ParallelIngestPipelineTest, MultipleBatchesReuseWorkers) {
+  IngestOptions opts;
+  opts.shards = 3;
+  opts.accumulator = GetParam();
   ParallelIngestPipeline pipeline(opts);
   for (int b = 0; b < 4; ++b) {
     const TimeMicros start = Seconds(b), end = Seconds(b + 1);
     const auto stream =
         MakeStream(5000, 100, 100 + static_cast<uint64_t>(b), start, end);
-    MicrobatchAccumulator reference;
-    reference.Begin(start, end);
-    for (const Tuple& t : stream) reference.Add(t);
-    const auto expected = KeyCounts(reference.Seal());
+    auto reference = MakeAccumulator(GetParam());
+    reference->Begin(start, end);
+    for (const Tuple& t : stream) reference->OnTuple(t);
+    const auto expected = KeyCounts(reference->Seal());
 
     pipeline.BeginBatch(start, end);
     for (const Tuple& t : stream) pipeline.Ingest(t);
@@ -115,9 +179,10 @@ TEST(ParallelIngestPipelineTest, MultipleBatchesReuseWorkers) {
   }
 }
 
-TEST(ParallelIngestPipelineTest, EmptyBatch) {
-  ParallelIngestOptions opts;
-  opts.num_shards = 4;
+TEST_P(ParallelIngestPipelineTest, EmptyBatch) {
+  IngestOptions opts;
+  opts.shards = 4;
+  opts.accumulator = GetParam();
   ParallelIngestPipeline pipeline(opts);
   pipeline.BeginBatch(0, Seconds(1));
   const AccumulatedBatch& merged = pipeline.SealBatch();
@@ -135,9 +200,10 @@ TEST(ParallelIngestPipelineTest, EmptyBatch) {
   EXPECT_EQ(merged2.keys()[0].key, 42u);
 }
 
-TEST(ParallelIngestPipelineTest, ShardStatsCoverAllTuples) {
-  ParallelIngestOptions opts;
-  opts.num_shards = 4;
+TEST_P(ParallelIngestPipelineTest, ShardStatsCoverAllTuples) {
+  IngestOptions opts;
+  opts.shards = 4;
+  opts.accumulator = GetParam();
   ParallelIngestPipeline pipeline(opts);
   const auto stream = MakeStream(10000, 1000, 3, 0, Seconds(1));
   pipeline.BeginBatch(0, Seconds(1));
@@ -176,8 +242,8 @@ TEST(ReceiverShardedIngestTest, MatchesSingleThreadedReceiver) {
   ReceiverOptions opts_a;
   opts_a.batch_interval = Millis(200);
   ReceiverOptions opts_b = opts_a;
-  opts_b.ingest_shards = 3;
-  opts_b.ingest_ring_capacity = 512;
+  opts_b.ingest.shards = 3;
+  opts_b.ingest.ring_capacity = 512;
 
   StreamReceiver single(source_a.get(), &part_a, opts_a);
   StreamReceiver sharded(source_b.get(), &part_b, opts_b);
@@ -209,7 +275,7 @@ TEST(ReceiverShardedIngestTest, FallbackReplayForOnlinePartitioner) {
   ReceiverOptions opts_a;
   opts_a.batch_interval = Millis(200);
   ReceiverOptions opts_b = opts_a;
-  opts_b.ingest_shards = 2;
+  opts_b.ingest.shards = 2;
 
   StreamReceiver single(source_a.get(), &part_a, opts_a);
   StreamReceiver sharded(source_b.get(), &part_b, opts_b);

@@ -179,7 +179,7 @@ TEST(MultiTenantEngineTest, ShardedIngestPreservesTenantAnswers) {
     KeyMappedSource odd(inner_odd.get(), 2, 1);
     CompositeSource shared({&even, &odd});
     MultiTenantEngineOptions opts = FastOptions(/*total_slots=*/8);
-    opts.ingest_shards = shards;
+    opts.ingest.shards = shards;
     auto mt = MultiTenantEngine::Create(
         opts,
         {MakeSpec("even", 1, kQuery, ModFilter(2, 0)),

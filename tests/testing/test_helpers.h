@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "core/accumulator.h"
+#include "core/accumulator_api.h"
 #include "core/partitioner.h"
 #include "model/tuple.h"
 
@@ -45,11 +45,11 @@ inline PartitionedBatch RunBatch(BatchPartitioner& partitioner,
 }
 
 /// Feeds tuples into an accumulator and seals it.
-inline AccumulatedBatch Accumulate(MicrobatchAccumulator& acc,
+inline AccumulatedBatch Accumulate(Accumulator& acc,
                                    const std::vector<Tuple>& tuples,
                                    TimeMicros start, TimeMicros end) {
   acc.Begin(start, end);
-  for (const Tuple& t : tuples) acc.Add(t);
+  for (const Tuple& t : tuples) acc.OnTuple(t);
   return acc.Seal();
 }
 

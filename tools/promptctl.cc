@@ -92,10 +92,11 @@ int Fail(const Status& status) {
 /// weighted-fair TenantScheduler (src/tenant/).
 int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
                    double rate, int batches, int tasks, double zipf,
-                   double scale, int seed, int ingest_shards, double map_us,
-                   bool metrics, int metrics_every,
-                   const std::string& metrics_path, int serve_port,
-                   int serve_hold_ms, const std::string& autopsy_path) {
+                   double scale, int seed, int ingest_shards,
+                   AccumulatorKind accumulator, double map_us, bool metrics,
+                   int metrics_every, const std::string& metrics_path,
+                   int serve_port, int serve_hold_ms,
+                   const std::string& autopsy_path) {
   auto specs = LoadQueryFile(queries_path);
   if (!specs.ok()) return Fail(specs.status());
 
@@ -109,7 +110,9 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
   options.total_slots = static_cast<uint32_t>(tasks);
   options.map_tasks = static_cast<uint32_t>(tasks);
   options.reduce_tasks = static_cast<uint32_t>(tasks);
-  options.ingest_shards = static_cast<uint32_t>(ingest_shards);
+  options.ingest.shards = static_cast<uint32_t>(ingest_shards);
+  options.ingest.accumulator = accumulator;
+  options.adapt_base.config.prompt.accumulator_kind = accumulator;
   options.cost.map_per_tuple_us = map_us;
   options.cost.map_per_key_us = map_us / 4;
   options.cost.reduce_per_tuple_us = map_us / 8;
@@ -229,6 +232,11 @@ int main(int argc, char** argv) {
   if (*ingest_shards < 1) {
     return Fail(Status::Invalid("--ingest_shards must be >= 1"));
   }
+  const std::string accumulator_name = flags.GetString("accumulator", "flat");
+  AccumulatorKind accumulator = AccumulatorKind::kFlat;
+  if (!ParseAccumulatorKind(accumulator_name, &accumulator)) {
+    return Fail(Status::Invalid("--accumulator must be 'flat' or 'legacy'"));
+  }
   auto elastic = flags.GetBool("elastic", false);
   if (!elastic.ok()) return Fail(elastic.status());
   auto adaptive = flags.GetBool("adaptive", false);
@@ -283,9 +291,9 @@ int main(int argc, char** argv) {
   if (!queries_path.empty()) {
     // Multi-tenant serving: the spec file replaces --query/--technique.
     return RunMultiTenant(queries_path, *dataset, *rate, *batches, *tasks,
-                          *zipf, *scale, *seed, *ingest_shards, *map_us,
-                          *metrics, *metrics_every, metrics_path, *serve_port,
-                          *serve_hold_ms, autopsy_path);
+                          *zipf, *scale, *seed, *ingest_shards, accumulator,
+                          *map_us, *metrics, *metrics_every, metrics_path,
+                          *serve_port, *serve_hold_ms, autopsy_path);
   }
 
   auto query = ParseQuery(query_text);
@@ -318,7 +326,13 @@ int main(int argc, char** argv) {
     // The straggler/split-key rules read the partition-metrics pass.
     options.obs.collect_partition_metrics = true;
   }
-  options.ingest_shards = static_cast<uint32_t>(*ingest_shards);
+  options.ingest.shards = static_cast<uint32_t>(*ingest_shards);
+  options.ingest.accumulator = accumulator;
+  // Keep the partitioner's own accumulator (single-threaded path) and any
+  // adaptive-switch replacements on the same implementation.
+  PartitionerConfig partitioner_config;
+  partitioner_config.prompt.accumulator_kind = accumulator;
+  options.adapt.config.prompt.accumulator_kind = accumulator;
   options.cost.map_per_tuple_us = *map_us;
   options.cost.map_per_key_us = *map_us / 4;
   options.cost.reduce_per_tuple_us = *map_us / 8;
@@ -375,7 +389,8 @@ int main(int argc, char** argv) {
     options.cores = options.cluster.nodes * options.cluster.cores_per_node;
   }
 
-  MicroBatchEngine engine(options, query->job, CreatePartitioner(*technique),
+  MicroBatchEngine engine(options, query->job,
+                          CreatePartitioner(*technique, partitioner_config),
                           source.get());
   if (const Status& st = engine.observability()->init_status(); !st.ok()) {
     return Fail(st);
@@ -387,10 +402,12 @@ int main(int argc, char** argv) {
                 exporter->port());
   }
 
-  std::printf("dataset=%s technique=%s rate=%.0f/s interval=%lldms query=\"%s\"\n\n",
-              DatasetName(*dataset), PartitionerTypeName(*technique), *rate,
-              static_cast<long long>(query->slide / 1000),
-              query_text.c_str());
+  std::printf(
+      "dataset=%s technique=%s accumulator=%s rate=%.0f/s interval=%lldms "
+      "query=\"%s\"\n\n",
+      DatasetName(*dataset), PartitionerTypeName(*technique),
+      AccumulatorKindName(accumulator), *rate,
+      static_cast<long long>(query->slide / 1000), query_text.c_str());
 
   RunSummary summary = engine.Run(static_cast<uint32_t>(*batches));
   TableSink table(&std::cout, /*column_width=*/10);
