@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "core/accumulator_api.h"
+#include "durability_util.h"
 #include "multi_tenant_util.h"
 #include "obs/timeseries.h"
 
@@ -223,6 +224,47 @@ void TrackIngestAccumulators(std::vector<Signal>* out) {
                   "ratio", /*gate=*/false, /*tolerance_pct=*/100.0});
 }
 
+/// The crash-restart drill (bench/durability.cc), fully virtual-time: for
+/// each fsync policy, kill the engine at batch 4's map stage and restart
+/// over the surviving segments. Recovered-batch counts, torn records and
+/// the recovered-vs-reference window drift are exact integers/zeros on a
+/// healthy store, so all of them are gated; drift in particular must stay
+/// 0.0 — any nonzero value means recovery fabricated or lost window state.
+void TrackDurability(std::vector<Signal>* out) {
+  const DurabilityDrillSetup setup;
+  for (FsyncPolicy fsync :
+       {FsyncPolicy::kNever, FsyncPolicy::kBatch, FsyncPolicy::kAlways}) {
+    const DurabilityDrillResult r = RunDurabilityDrill(
+        fsync, setup, std::string("track_") + FsyncPolicyName(fsync));
+    const std::string name = std::string("durability.") + FsyncPolicyName(fsync);
+    out->push_back({name + ".recovered_batches",
+                    static_cast<double>(r.recovery.batches_recovered),
+                    "count"});
+    out->push_back({name + ".torn_records",
+                    static_cast<double>(r.recovery.torn_records), "count"});
+    out->push_back({name + ".data_loss", r.recovery.data_loss ? 1.0 : 0.0,
+                    "bool"});
+    out->push_back({name + ".recovered_window_drift",
+                    WindowDrift(r.recovered_window, r.reference_window),
+                    "delta"});
+  }
+
+  // One adversarial stream through the same drill: the flash crowd's
+  // mid-window key burst is the hardest state to reproduce from the log.
+  DurabilityDrillSetup scen = setup;
+  scen.crash_at = 5;
+  scen.run_batches = 10;
+  const DurabilityDrillResult crowd =
+      RunScenarioDrill(ScenarioId::kFlashCrowd, FsyncPolicy::kBatch, scen,
+                       /*rate_tps=*/20000, /*seed=*/17);
+  out->push_back({"durability.flash_crowd.recovered_batches",
+                  static_cast<double>(crowd.recovery.batches_recovered),
+                  "count"});
+  out->push_back({"durability.flash_crowd.recovered_window_drift",
+                  WindowDrift(crowd.recovered_window, crowd.reference_window),
+                  "delta"});
+}
+
 /// Wall-clock overhead of the telemetry layer (ring + autopsy + exporter)
 /// over a metrics-only run — tracked, not gated.
 double TelemetryOverheadPct() {
@@ -291,6 +333,9 @@ int main(int argc, char** argv) {
   TrackMultiTenant(&signals);
   // Flat-accumulator bit-identity (gated) + throughput ratio (ungated).
   TrackIngestAccumulators(&signals);
+  // Crash-restart recovery contract per fsync policy (all gated; the
+  // window-drift signals must hold at exactly zero).
+  TrackDurability(&signals);
 
   // Ungated wall-clock trend signal: loose tolerance recorded for context.
   signals.push_back({"telemetry_overhead_pct", TelemetryOverheadPct(), "%",

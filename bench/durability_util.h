@@ -1,0 +1,153 @@
+// Shared scaffolding for the durability harnesses: the crash-restart drill
+// (kill the engine mid-window, restart a fresh engine over the same store
+// directory, compare the recovered window against an uninterrupted twin)
+// used by bench/durability.cc and the gated durability.* signals in
+// bench_track.cc. Everything runs in virtual time over deterministic
+// sources, so recovered-batch counts and window drift are exact numbers a
+// regression gate can hold at zero tolerance.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/factory.h"
+#include "engine/engine.h"
+#include "fault/fault_injector.h"
+#include "workload/scenarios.h"
+#include "workload/sources.h"
+
+namespace prompt::bench {
+
+struct DurabilityDrillSetup {
+  uint64_t crash_at = 4;     ///< the batch whose processing dies
+  uint32_t run_batches = 8;  ///< batches the doomed run was asked for
+  uint32_t window_batches = 10;
+  uint32_t rf = 2;
+  double rate_tps = 8000;
+  uint64_t seed = 5;
+};
+
+inline EngineOptions DurabilityDrillOptions(const std::string& dir,
+                                            FsyncPolicy fsync,
+                                            const DurabilityDrillSetup& setup) {
+  EngineOptions opts;
+  opts.batch_interval = Millis(200);
+  opts.map_tasks = 4;
+  opts.reduce_tasks = 3;
+  opts.cores = 8;
+  opts.cluster_enabled = true;
+  opts.cluster.nodes = 4;
+  opts.cluster.cores_per_node = 2;
+  opts.cluster.replication_factor = setup.rf;
+  opts.store.dir = dir;
+  opts.store.fsync = fsync;
+  return opts;
+}
+
+inline std::unique_ptr<TupleSource> DurabilityDrillSource(
+    const DurabilityDrillSetup& setup) {
+  ZipfKeyedSource::Params params;
+  params.cardinality = 800;
+  params.zipf = 1.0;
+  params.seed = setup.seed;
+  params.rate = std::make_shared<ConstantRate>(setup.rate_tps);
+  return std::make_unique<SynDSource>(std::move(params));
+}
+
+/// A scratch store directory under the system temp dir, wiped before use.
+inline std::string FreshDrillDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "prompt_durability_bench" /
+       name)
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct DurabilityDrillResult {
+  RunSummary doomed;  ///< the crashed run's summary
+  MicroBatchEngine::DurableRecovery recovery;
+  /// The restarted engine's window, and the window of an uninterrupted
+  /// memory-only run over `recovery.batches_recovered` batches — equal iff
+  /// recovery was bit-exact for everything the fsync policy persisted.
+  std::unordered_map<KeyId, double> recovered_window;
+  std::unordered_map<KeyId, double> reference_window;
+  uint64_t live_batches = 0;  ///< store-held batches after restart
+  uint64_t disk_bytes = 0;
+};
+
+/// Kill the engine at `setup.crash_at` (map stage), restart over the same
+/// store directory, and replay an uninterrupted reference for comparison.
+/// `make_source` must yield bit-identical streams on every call.
+template <typename SourceFactory>
+DurabilityDrillResult RunDurabilityDrill(FsyncPolicy fsync,
+                                         const DurabilityDrillSetup& setup,
+                                         const std::string& dir_name,
+                                         SourceFactory make_source) {
+  const std::string dir = FreshDrillDir(dir_name);
+  DurabilityDrillResult result;
+
+  {  // --- the doomed run ---------------------------------------------
+    auto source = make_source();
+    EngineOptions opts = DurabilityDrillOptions(dir, fsync, setup);
+    auto faults =
+        ParseFaultSchedule("crash:" + std::to_string(setup.crash_at) + ".map");
+    PROMPT_CHECK(faults.ok());
+    opts.faults = *faults;
+    MicroBatchEngine engine(opts, JobSpec::WordCount(setup.window_batches),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    result.doomed = engine.Run(setup.run_batches);
+    PROMPT_CHECK(result.doomed.crashed);
+  }
+
+  {  // --- the restart ------------------------------------------------
+    auto source = make_source();
+    MicroBatchEngine engine(DurabilityDrillOptions(dir, fsync, setup),
+                            JobSpec::WordCount(setup.window_batches),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    result.recovery = engine.durable_recovery();
+    result.recovered_window = engine.window().Result();
+    if (engine.durable_store() != nullptr) {
+      result.live_batches = engine.durable_store()->live_batches();
+      result.disk_bytes = engine.durable_store()->disk_bytes();
+    }
+  }
+
+  {  // --- the uninterrupted reference (memory-only) ------------------
+    auto source = make_source();
+    EngineOptions opts = DurabilityDrillOptions("", fsync, setup);
+    opts.store = StoreOptions{};
+    MicroBatchEngine engine(opts, JobSpec::WordCount(setup.window_batches),
+                            CreatePartitioner(PartitionerType::kPrompt),
+                            source.get());
+    engine.Run(static_cast<uint32_t>(result.recovery.batches_recovered));
+    result.reference_window = engine.window().Result();
+  }
+
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+inline DurabilityDrillResult RunDurabilityDrill(
+    FsyncPolicy fsync, const DurabilityDrillSetup& setup,
+    const std::string& dir_name) {
+  return RunDurabilityDrill(fsync, setup, dir_name,
+                            [&setup]() { return DurabilityDrillSource(setup); });
+}
+
+/// Crash-restart drill over a named adversarial scenario: same shape, but
+/// the stream is the scenario's (deterministic per seed, so the restart and
+/// the reference replay the identical input).
+inline DurabilityDrillResult RunScenarioDrill(ScenarioId id, FsyncPolicy fsync,
+                                              const DurabilityDrillSetup& setup,
+                                              double rate_tps, uint64_t seed) {
+  return RunDurabilityDrill(
+      fsync, setup, std::string("scenario_") + ScenarioName(id),
+      [id, rate_tps, seed]() { return MakeScenario(id, rate_tps, seed).source; });
+}
+
+}  // namespace prompt::bench

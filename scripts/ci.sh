@@ -136,3 +136,47 @@ grep -q '^tenant noisy' "${LOG_DIR}/mt-smoke.log" || {
   exit 1
 }
 echo "multi-tenant smoke: per-tenant autopsy streams OK"
+
+# Crash-restart durability smoke: run with a durable store and SIGKILL the
+# process mid-run (--crash_after raises SIGKILL from inside promptctl — a
+# real process death, not a simulated one), then restart in --recover_only
+# mode. The recovered TOP-K table must be byte-identical to an uninterrupted
+# run of the surviving prefix; fsync=batch means zero torn records here.
+# (The store's unit tests themselves run under ctest above, so SANITIZE
+# builds cover the segment/recovery code paths too.)
+STORE_DIR="${LOG_DIR}/crash-smoke-store"
+REF_STORE="${LOG_DIR}/crash-smoke-ref-store"
+rm -rf "${STORE_DIR}" "${REF_STORE}"
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=4000 --batches=6 --zipf=1.0 \
+  --store_dir="${REF_STORE}" --fsync=batch \
+  2>&1 | tee "${LOG_DIR}/crash-smoke-ref.log"
+set +e
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=4000 --batches=12 --zipf=1.0 \
+  --store_dir="${STORE_DIR}" --fsync=batch --crash_after=6 \
+  > "${LOG_DIR}/crash-smoke-kill.log" 2>&1
+KILL_STATUS=$?
+set -e
+if [[ "${KILL_STATUS}" -ne 137 ]]; then
+  echo "crash smoke: expected SIGKILL exit 137, got ${KILL_STATUS}" >&2
+  exit 1
+fi
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=4000 --zipf=1.0 --recover_only --store_dir="${STORE_DIR}" \
+  2>&1 | tee "${LOG_DIR}/crash-smoke-recover.log"
+grep -q 'durable store: recovered 6 batch(es)' \
+  "${LOG_DIR}/crash-smoke-recover.log" || {
+  echo "crash smoke: restart did not recover all 6 synced batches" >&2
+  exit 1
+}
+sed -n '/^top-/,/^$/p' "${LOG_DIR}/crash-smoke-ref.log" \
+  > "${LOG_DIR}/crash-smoke-ref-topk.txt"
+sed -n '/^top-/,/^$/p' "${LOG_DIR}/crash-smoke-recover.log" \
+  > "${LOG_DIR}/crash-smoke-recover-topk.txt"
+if ! diff -u "${LOG_DIR}/crash-smoke-ref-topk.txt" \
+            "${LOG_DIR}/crash-smoke-recover-topk.txt"; then
+  echo "crash smoke: recovered TOP-K diverges from the uninterrupted run" >&2
+  exit 1
+fi
+echo "crash smoke: kill-restart TOP-K identical to uninterrupted run"

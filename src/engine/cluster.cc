@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/logging.h"
 #include "engine/serde.h"
 
 namespace prompt {
@@ -135,7 +136,27 @@ LocalityStageResult ScheduleMapStageWithLocality(
   return result;
 }
 
-Result<uint32_t> BatchStore::Write(const PartitionedBatch& batch) {
+void BatchStore::AttachDurable(DurableBlockStore* durable, uint32_t owner) {
+  durable_ = durable;
+  owner_ = owner;
+}
+
+size_t& BatchStore::NodeBytes(uint32_t node) {
+  if (bytes_on_node_.size() <= node) bytes_on_node_.resize(node + 1, 0);
+  return bytes_on_node_[node];
+}
+
+void BatchStore::PlaceCopy(uint64_t batch_id, uint32_t node,
+                           std::string bytes) {
+  std::string& slot = replicas_[batch_id][node];
+  size_t& counter = NodeBytes(node);
+  counter -= slot.size();  // overwrite: retire the old copy's bytes first
+  counter += bytes.size();
+  slot = std::move(bytes);
+}
+
+Result<uint32_t> BatchStore::PlaceReplicas(uint64_t batch_id,
+                                           const std::string& bytes) {
   std::vector<uint32_t> targets;
   for (uint32_t n = 0; n < cluster_->nodes(); ++n) {
     if (cluster_->alive(n)) targets.push_back(n);
@@ -148,34 +169,115 @@ Result<uint32_t> BatchStore::Write(const PartitionedBatch& batch) {
   const uint32_t rf = std::min<uint32_t>(
       cluster_->options().replication_factor,
       static_cast<uint32_t>(targets.size()));
-  std::string bytes = EncodeBatch(batch);
-  auto& copies = replicas_[batch.batch_id];
-  copies.clear();
+  EvictMemory(batch_id);  // a re-write replaces any previous copies wholesale
   // Spread replica sets by batch id so one failure doesn't hit every batch.
-  const size_t start = batch.batch_id % targets.size();
+  const size_t start = batch_id % targets.size();
   for (uint32_t r = 0; r < rf; ++r) {
-    copies[targets[(start + r) % targets.size()]] = bytes;
+    PlaceCopy(batch_id, targets[(start + r) % targets.size()], bytes);
   }
   return rf;
 }
 
+Result<uint32_t> BatchStore::Write(const PartitionedBatch& batch) {
+  const std::string bytes = EncodeBatch(batch);
+  last_write_bytes_ = bytes.size();
+  if (durable_ != nullptr) {
+    // Durability first: once Put returns, a crash can lose at most the
+    // fsync-policy window, regardless of what happens to the memory tier.
+    PROMPT_RETURN_NOT_OK(durable_->Put(owner_, batch.batch_id, bytes));
+  }
+  PROMPT_ASSIGN_OR_RETURN(uint32_t rf, PlaceReplicas(batch.batch_id, bytes));
+  SpillOverBudget(batch.batch_id);
+  return rf;
+}
+
+Result<uint32_t> BatchStore::Restore(const PartitionedBatch& batch) {
+  const std::string bytes = EncodeBatch(batch);
+  last_write_bytes_ = bytes.size();
+  PROMPT_ASSIGN_OR_RETURN(uint32_t rf, PlaceReplicas(batch.batch_id, bytes));
+  SpillOverBudget(batch.batch_id);
+  return rf;
+}
+
+void BatchStore::SpillOverBudget(uint64_t just_written) {
+  last_spill_count_ = 0;
+  if (durable_ == nullptr) return;
+  const size_t budget = durable_->options().memory_budget_bytes;
+  if (budget == 0) return;
+  for (uint32_t node = 0; node < cluster_->nodes(); ++node) {
+    if (BytesOnNode(node) <= budget) continue;
+    // Oldest first (map order); only copies the log already holds are
+    // droppable — spilling must never turn a durable batch into a lost one.
+    for (auto it = replicas_.begin();
+         it != replicas_.end() && BytesOnNode(node) > budget;) {
+      if (it->first == just_written ||
+          !durable_->Contains(owner_, it->first)) {
+        ++it;
+        continue;
+      }
+      auto copy = it->second.find(node);
+      if (copy == it->second.end()) {
+        ++it;
+        continue;
+      }
+      NodeBytes(node) -= copy->second.size();
+      it->second.erase(copy);
+      ++last_spill_count_;
+      it = it->second.empty() ? replicas_.erase(it) : std::next(it);
+    }
+  }
+}
+
 Result<PartitionedBatch> BatchStore::Read(uint64_t batch_id) const {
   auto it = replicas_.find(batch_id);
+  if (it != replicas_.end()) {
+    for (const auto& [node, bytes] : it->second) {
+      if (cluster_->alive(node)) return DecodeBatch(bytes);
+    }
+  }
+  if (durable_ != nullptr && durable_->Contains(owner_, batch_id)) {
+    PROMPT_ASSIGN_OR_RETURN(std::string bytes,
+                            durable_->Get(owner_, batch_id));
+    return DecodeBatch(bytes);
+  }
   if (it == replicas_.end()) {
     return Status::KeyError("batch " + std::to_string(batch_id) +
                             " not in the store");
-  }
-  for (const auto& [node, bytes] : it->second) {
-    if (cluster_->alive(node)) return DecodeBatch(bytes);
   }
   return Status::Unknown("every replica of batch " + std::to_string(batch_id) +
                          " was lost");
 }
 
-void BatchStore::Evict(uint64_t batch_id) { replicas_.erase(batch_id); }
+void BatchStore::EvictMemory(uint64_t batch_id) {
+  auto it = replicas_.find(batch_id);
+  if (it == replicas_.end()) return;
+  for (const auto& [node, bytes] : it->second) {
+    NodeBytes(node) -= bytes.size();
+  }
+  replicas_.erase(it);
+}
+
+void BatchStore::Evict(uint64_t batch_id) {
+  EvictMemory(batch_id);
+  if (durable_ != nullptr) {
+    if (Status st = durable_->Evict(owner_, batch_id); !st.ok()) {
+      PROMPT_LOG(kWarn) << "durable evict of batch " << batch_id
+                        << " failed: " << st.ToString();
+    }
+  }
+}
 
 void BatchStore::DropNode(uint32_t node) {
-  for (auto& [id, copies] : replicas_) copies.erase(node);
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    auto copy = it->second.find(node);
+    if (copy != it->second.end()) {
+      NodeBytes(node) -= copy->second.size();
+      it->second.erase(copy);
+    }
+    // Keep empty entries: the id is still known (and possibly on disk);
+    // Read/TopUp decide whether it is recoverable.
+    ++it;
+  }
 }
 
 uint32_t BatchStore::AliveReplicaCount(uint64_t batch_id) const {
@@ -205,15 +307,25 @@ TopUpResult BatchStore::TopUpReplication(uint32_t replication_factor) {
   const uint32_t target = std::min<uint32_t>(
       replication_factor, static_cast<uint32_t>(alive_ids.size()));
   for (auto& [id, copies] : replicas_) {
-    const std::string* source = nullptr;
+    std::string source;
     uint32_t alive_copies = 0;
     for (const auto& [node, bytes] : copies) {
       if (cluster_->alive(node)) {
         ++alive_copies;
-        source = &bytes;
+        if (source.empty()) source = bytes;
       }
     }
-    if (source == nullptr) {
+    if (source.empty() && durable_ != nullptr &&
+        durable_->Contains(owner_, id)) {
+      // Every memory copy died with its node, but the log still has the
+      // batch: rebuild the replica set from disk (rf=1 + durable tier is
+      // what makes this rescue possible at all).
+      if (auto bytes = durable_->Get(owner_, id); bytes.ok()) {
+        source = std::move(bytes).ValueUnsafe();
+        ++durable_rescues_;
+      }
+    }
+    if (source.empty()) {
       // Every copy died with its node: unrecoverable, permanently lost.
       ++result.under_replicated;
       continue;
@@ -221,12 +333,10 @@ TopUpResult BatchStore::TopUpReplication(uint32_t replication_factor) {
     for (uint32_t n : alive_ids) {
       if (alive_copies >= target) break;
       if (copies.count(n) > 0 && cluster_->alive(n)) continue;
-      const std::string bytes = *source;
-      copies[n] = bytes;
-      source = &copies[n];
+      PlaceCopy(id, n, source);
       ++alive_copies;
       ++result.copies_added;
-      result.bytes_copied += static_cast<uint32_t>(bytes.size());
+      result.bytes_copied += static_cast<uint32_t>(source.size());
     }
     if (alive_copies < replication_factor) ++result.under_replicated;
   }
@@ -234,12 +344,7 @@ TopUpResult BatchStore::TopUpReplication(uint32_t replication_factor) {
 }
 
 size_t BatchStore::BytesOnNode(uint32_t node) const {
-  size_t total = 0;
-  for (const auto& [id, copies] : replicas_) {
-    auto it = copies.find(node);
-    if (it != copies.end()) total += it->second.size();
-  }
-  return total;
+  return node < bytes_on_node_.size() ? bytes_on_node_[node] : 0;
 }
 
 }  // namespace prompt

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "engine/scheduler.h"
 #include "model/batch.h"
+#include "store/block_store.h"
 
 namespace prompt {
 
@@ -99,14 +100,27 @@ class BatchStore {
  public:
   explicit BatchStore(const SimulatedCluster* cluster) : cluster_(cluster) {}
 
+  /// Attaches the durable tier (non-owning). Every subsequent Write also
+  /// appends to `durable` under `owner`; Read falls back to it when every
+  /// memory replica is gone; Evict tombstones it. With a memory budget in
+  /// `durable->options()`, over-budget nodes spill their oldest
+  /// durably-stored copies to keep RAM bounded.
+  void AttachDurable(DurableBlockStore* durable, uint32_t owner);
+
   /// Stores the batch on `replication_factor` alive nodes, degrading to
   /// however many are alive when the cluster is short (the batch is then
   /// under-replicated, not failed). Returns the number of copies placed;
   /// ResourceExhausted only when no node is alive.
   Result<uint32_t> Write(const PartitionedBatch& batch);
 
-  /// Recovers a batch from any alive replica; KeyError if unknown,
-  /// Unknown if every replica's node is dead.
+  /// Places memory copies of an already-durable batch WITHOUT re-appending
+  /// to the durable log — the recovery path after a restart (the log
+  /// already holds the record; re-putting it would double the segment).
+  Result<uint32_t> Restore(const PartitionedBatch& batch);
+
+  /// Recovers a batch from any alive replica, falling back to the durable
+  /// tier when every memory copy is gone; KeyError if unknown,
+  /// Unknown if every replica's node is dead and the disk has no copy.
   Result<PartitionedBatch> Read(uint64_t batch_id) const;
 
   /// Drops a batch's replicas everywhere (it expired from the window and is
@@ -130,14 +144,38 @@ class BatchStore {
   /// unrecoverable and stay lost (counted in `under_replicated`).
   TopUpResult TopUpReplication(uint32_t replication_factor);
 
-  /// Total bytes held on the given node (capacity accounting).
+  /// Total bytes held on the given node — O(1) from running counters that
+  /// Write/Evict/DropNode/TopUpReplication keep balanced.
   size_t BytesOnNode(uint32_t node) const;
 
+  /// Memory copies dropped by the spill policy on the latest Write.
+  uint32_t last_spill_count() const { return last_spill_count_; }
+  /// Serialized size of the batch most recently written or restored.
+  size_t last_write_bytes() const { return last_write_bytes_; }
+  /// Copies rebuilt from the durable tier by the latest TopUpReplication.
+  uint32_t durable_rescues() const { return durable_rescues_; }
+
  private:
+  /// Inserts/overwrites one copy, keeping bytes_on_node_ balanced.
+  void PlaceCopy(uint64_t batch_id, uint32_t node, std::string bytes);
+  /// Drops memory copies only (the durable record, if any, stays).
+  void EvictMemory(uint64_t batch_id);
+  /// Places `rf` copies of pre-encoded bytes (shared Write/Restore body).
+  Result<uint32_t> PlaceReplicas(uint64_t batch_id, const std::string& bytes);
+  /// Evicts oldest durably-stored copies from nodes over the memory budget.
+  void SpillOverBudget(uint64_t just_written);
+  size_t& NodeBytes(uint32_t node);
+
   const SimulatedCluster* cluster_;
   // batch id -> (node -> serialized copy). Copies on dead nodes stay until
   // DropNode, mirroring memory lost with the process (unreadable meanwhile).
   std::map<uint64_t, std::map<uint32_t, std::string>> replicas_;
+  std::vector<size_t> bytes_on_node_;
+  DurableBlockStore* durable_ = nullptr;  ///< non-owning; null = memory-only
+  uint32_t owner_ = 0;
+  uint32_t last_spill_count_ = 0;
+  uint32_t durable_rescues_ = 0;
+  size_t last_write_bytes_ = 0;
 };
 
 }  // namespace prompt

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "engine/serde.h"
 #include "fault/recovery.h"
 
 namespace prompt {
@@ -87,9 +88,25 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
   if (options_.mode == ExecutionMode::kReal) {
     pool_ = std::make_unique<ThreadPool>(options_.cores);
   }
+  if (options_.store.enabled()) {
+    // The durable tier backs the §8 BatchStore; no store without a cluster.
+    options_.cluster_enabled = true;
+  }
   if (options_.cluster_enabled) {
     cluster_ = std::make_unique<SimulatedCluster>(options_.cluster);
     store_ = std::make_unique<BatchStore>(cluster_.get());
+  }
+  if (options_.store.enabled()) {
+    auto durable = DurableBlockStore::Open(options_.store);
+    if (durable.ok()) {
+      durable_ = std::move(durable).ValueUnsafe();
+      durable_->BindMetrics(obs_->registry());
+      store_->AttachDurable(durable_.get(), /*owner=*/0);
+      RecoverFromDurableStore();
+    } else {
+      PROMPT_LOG(kWarn) << "durable store disabled: "
+                        << durable.status().ToString();
+    }
   }
   if (options_.faults.enabled()) {
     fault_ = std::make_unique<FaultInjector>(options_.faults);
@@ -113,6 +130,70 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
 }
 
 MicroBatchEngine::~MicroBatchEngine() = default;
+
+void MicroBatchEngine::RecoverFromDurableStore() {
+  const StoreRecovery& scan = durable_->recovery();
+  durable_recovery_.torn_records = scan.torn_records;
+  // A torn tail is a batch that was written but did not survive the crash:
+  // report it as loss, never paper over it with a fabricated batch.
+  durable_recovery_.data_loss = scan.torn_records > 0;
+
+  const uint32_t cores =
+      std::max<uint32_t>(1, cluster_->total_alive_cores());
+  for (uint64_t id : durable_->LiveBatches(/*owner=*/0)) {
+    Result<std::string> bytes = durable_->Get(/*owner=*/0, id);
+    if (!bytes.ok()) {
+      PROMPT_LOG(kWarn) << "recovery: cannot read batch " << id << ": "
+                        << bytes.status().ToString();
+      durable_recovery_.data_loss = true;
+      continue;
+    }
+    Result<PartitionedBatch> decoded = DecodeBatch(*bytes);
+    if (!decoded.ok()) {
+      PROMPT_LOG(kWarn) << "recovery: cannot decode batch " << id << ": "
+                        << decoded.status().ToString();
+      durable_recovery_.data_loss = true;
+      continue;
+    }
+    PartitionedBatch batch = std::move(decoded).ValueUnsafe();
+    // Deterministic re-execution: partitioned input + the same reduce logic
+    // give bit-identical per-key aggregates, so the recovered window equals
+    // an uninterrupted run over the surviving batches.
+    BatchExecution exec = query_->executor->Execute(
+        batch, query_->reduce_tasks, cores, pool_.get());
+    query_->window->AddBatch(std::move(exec.output));
+    // Memory-tier placement only — the log already holds this batch, and
+    // re-appending on every restart would grow the segments without bound.
+    if (Result<uint32_t> placed = store_->Restore(batch); !placed.ok()) {
+      PROMPT_LOG(kWarn) << "recovery: replica placement for batch " << id
+                        << " failed: " << placed.status().ToString();
+    }
+    query_->window_state_nodes.push_back(
+        QueryContext::WindowReplica{id, PickStateNode(id)});
+    while (query_->window_state_nodes.size() > query_->window->depth()) {
+      query_->window_state_nodes.pop_front();
+    }
+    ++durable_recovery_.batches_recovered;
+    durable_recovery_.first_recovered_batch =
+        std::min(durable_recovery_.first_recovered_batch, id);
+    durable_recovery_.last_recovered_batch =
+        std::max(durable_recovery_.last_recovered_batch, id);
+    query_->next_batch_id = std::max(query_->next_batch_id, id + 1);
+  }
+  if (durable_recovery_.batches_recovered > 0) {
+    // Resume the virtual clock where the crashed run's batching left off.
+    next_batch_start_ =
+        static_cast<TimeMicros>(durable_recovery_.last_recovered_batch + 1) *
+        options_.batch_interval;
+    PROMPT_LOG(kInfo) << "recovered " << durable_recovery_.batches_recovered
+                      << " batch(es) [" << durable_recovery_.first_recovered_batch
+                      << ".." << durable_recovery_.last_recovered_batch
+                      << "] from " << options_.store.dir
+                      << (durable_recovery_.data_loss
+                              ? " (torn tail truncated: data loss)"
+                              : "");
+  }
+}
 
 BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
                                            TimeMicros interval) {
@@ -150,6 +231,11 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
       PROMPT_LOG(kWarn) << "batch replication failed: "
                         << copies.status().ToString();
     }
+    if (durable_ != nullptr) {
+      report.store_append_us = durable_->last_append_micros();
+      report.store_bytes_appended = store_->last_write_bytes();
+      report.store_spilled_copies = store_->last_spill_count();
+    }
     // Gauge, not an event count: while the cluster is degraded every batch
     // reports how many in-window batches sit below the configured factor
     // (a later top-up in this same batch refreshes the field).
@@ -164,6 +250,7 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
   }
   pending_node_losses_.clear();
   PollFaults(batch.batch_id, FaultPoint::kBatchStart, &report);
+  if (crashed_) return report;  // the process died before any stage ran
 
   const uint32_t cluster_cores =
       cluster_ != nullptr ? std::max<uint32_t>(1, cluster_->total_alive_cores())
@@ -217,6 +304,7 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
   replay_current |= PollFaults(batch.batch_id, FaultPoint::kMapStage, &report);
   replay_current |=
       PollFaults(batch.batch_id, FaultPoint::kReduceStage, &report);
+  if (crashed_) return report;  // died mid-stage: this batch never completes
   if (replay_current) {
     Result<BatchExecution> redo =
         store_ != nullptr
@@ -291,6 +379,14 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
       query_->window_state_nodes.pop_front();
     }
   }
+  if (durable_ != nullptr && options_.store.fsync == FsyncPolicy::kBatch) {
+    // The kBatch durability point: everything up to and including this
+    // batch is on disk once this returns; a crash before it loses only the
+    // current batch's (torn) append.
+    if (Status st = durable_->Sync(); !st.ok()) {
+      PROMPT_LOG(kWarn) << "durable sync failed: " << st.ToString();
+    }
+  }
   return report;
 }
 
@@ -360,6 +456,25 @@ bool MicroBatchEngine::PollFaults(uint64_t batch_id, FaultPoint point,
   if (fault_ == nullptr || cluster_ == nullptr) return false;
   bool killed = false;
   for (const FaultEvent& event : fault_->Poll(batch_id, point, AliveNodes())) {
+    if (event.kind == FaultKind::kCrash) {
+      // The whole process dies: the durable store keeps only what was
+      // fsynced (plus a torn tail for recovery to truncate); everything in
+      // memory — window, replicas, this batch — is gone. The run stops.
+      PROMPT_LOG(kWarn) << "fault injected: process crash at batch "
+                        << batch_id;
+      crashed_ = true;
+      crashed_at_batch_ = batch_id;
+      if (durable_ != nullptr) {
+        if (Status st = durable_->SimulateCrash(/*tear_tail=*/true);
+            !st.ok()) {
+          PROMPT_LOG(kWarn) << "crash simulation failed: " << st.ToString();
+        }
+      }
+      break;
+    }
+    if (event.kind == FaultKind::kRestart) {
+      continue;  // consumed by scenario runners, not the engine itself
+    }
     if (event.kind == FaultKind::kKillNode) {
       Status st = cluster_->KillNode(event.target);
       if (!st.ok()) continue;  // already dead / unknown node: no-op
@@ -492,6 +607,11 @@ Result<std::vector<KV>> MicroBatchEngine::RecomputeBatchFromStore(
 RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
   run_started_ = true;
   RunSummary summary;
+  if (crashed_) {
+    summary.crashed = true;
+    summary.crashed_at_batch = crashed_at_batch_;
+    return summary;
+  }
   summary.batches.reserve(num_batches);
   const bool observe = obs_->active();
   if (observe) obs_->OnRunStart(num_batches);
@@ -552,6 +672,14 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
     // frees if earlier batches are still running (queueing). ---
     const TimeMicros proc_start = std::max(end, query_->pipeline_free_at);
     BatchReport report = ProcessBatch(std::move(batch), interval);
+    if (crashed_) {
+      // The process died inside this batch: its report is never published
+      // (no window contribution, no feedback) — exactly what an external
+      // SIGKILL leaves behind.
+      summary.crashed = true;
+      summary.crashed_at_batch = crashed_at_batch_;
+      break;
+    }
     report.queue_delay = proc_start - end;
     query_->pipeline_free_at = proc_start + report.processing_time;
     report.latency = query_->pipeline_free_at - start;
@@ -672,6 +800,11 @@ void MicroBatchEngine::RecordBatchTrace(const BatchReport& report,
     rec->AddSpan("seal_barrier", interval, report.ingest.seal_barrier_latency,
                  1);
     rec->AddSpan("kway_merge", interval, report.ingest.merge_latency, 1);
+  }
+  if (report.store_append_us > 0) {
+    // Durable-log append of the sealed batch, right at the cut-off (wall
+    // clock, annotation depth: the virtual timeline is unaffected).
+    rec->AddSpan("store_append", interval, report.store_append_us, 1);
   }
   // The B-BPFI plan runs inside the early-release slack; only its overflow
   // reaches the critical path (as the "plan_overflow" span below).

@@ -72,6 +72,12 @@ struct EngineOptions {
   /// batch replicas, node-failure injection (KillNode).
   bool cluster_enabled = false;
   ClusterOptions cluster;
+  /// Durable block store (src/store/): when store.dir is set the engine
+  /// opens an append-only segment log under it, every sealed batch is
+  /// logged before any stage runs, and a fresh engine over the same dir
+  /// recovers the surviving in-window batches on construction. Implies
+  /// cluster mode (the store backs the §8 BatchStore).
+  StoreOptions store;
   /// Adaptive batch resizing (Das et al. [12]) — a comparison baseline that
   /// grows/shrinks the batch interval instead of fixing it. Mutually
   /// exclusive with elasticity in experiments (the paper contrasts them).
@@ -126,6 +132,11 @@ struct RunSummary {
   /// True when any batch needed a replica that no longer existed
   /// (replication factor too low): exactly-once was not preserved.
   bool data_loss = false;
+
+  /// A `crash:` fault fired: the run stopped at `crashed_at_batch` and the
+  /// durable store dropped its unsynced tail (reopen the dir to recover).
+  bool crashed = false;
+  uint64_t crashed_at_batch = UINT64_MAX;
 
   // ---- Adaptive technique switching (src/adapt/), zeros on static runs.
   struct TechniqueSwitch {
@@ -215,6 +226,27 @@ class MicroBatchEngine {
   const SimulatedCluster* cluster() const { return cluster_.get(); }
   const BatchStore* store() const { return store_.get(); }
 
+  // ---- Durable store (options.store.dir non-empty) ----
+
+  /// What the constructor recovered from the store directory.
+  struct DurableRecovery {
+    /// In-window batches decoded, re-executed and re-admitted to the window.
+    uint64_t batches_recovered = 0;
+    uint64_t first_recovered_batch = UINT64_MAX;
+    uint64_t last_recovered_batch = 0;
+    /// Torn-tail records truncated away during the segment scan.
+    uint64_t torn_records = 0;
+    /// True when the log showed evidence of dropped writes (torn tail):
+    /// the recovered window is complete only up to the fsync watermark.
+    bool data_loss = false;
+  };
+  const DurableRecovery& durable_recovery() const { return durable_recovery_; }
+  const DurableBlockStore* durable_store() const { return durable_.get(); }
+
+  /// True once a `crash:` fault fired; the engine refuses further Runs
+  /// (build a fresh engine over the same store dir to model the restart).
+  bool crashed() const { return crashed_; }
+
   const EngineOptions& options() const { return options_; }
 
   /// The engine's observability stack (registry, trace recorder, sinks).
@@ -270,6 +302,7 @@ class MicroBatchEngine {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SimulatedCluster> cluster_;
   std::unique_ptr<BatchStore> store_;
+  std::unique_ptr<DurableBlockStore> durable_;
   std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest_shards > 1
   std::unique_ptr<Observability> obs_;
 
@@ -294,6 +327,13 @@ class MicroBatchEngine {
   /// Nodes killed through the public KillNode API whose recovery runs at the
   /// next batch boundary (the engine's failure-detection point).
   std::vector<uint32_t> pending_node_losses_;
+
+  /// Replays surviving batches from the durable log into the window (ctor).
+  void RecoverFromDurableStore();
+
+  DurableRecovery durable_recovery_;
+  bool crashed_ = false;
+  uint64_t crashed_at_batch_ = UINT64_MAX;
 };
 
 }  // namespace prompt

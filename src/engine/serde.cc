@@ -84,8 +84,14 @@ Result<DataBlock> DecodeBlock(const std::string& bytes, size_t* offset) {
       !GetU64(bytes, offset, &fragments)) {
     return Status::Invalid("truncated block header");
   }
-  // Sanity bound: each tuple needs 24 bytes, each fragment 17.
-  if (tuples * 24 + fragments * 17 > bytes.size() - *offset) {
+  // Sanity bound: each tuple needs 24 bytes, each fragment 17. Compare by
+  // division — a forged count near 2^64 would wrap a multiplied form and
+  // sail straight past the check into a giant reserve().
+  const uint64_t avail = bytes.size() - *offset;
+  if (tuples > avail / 24) {
+    return Status::Invalid("block header inconsistent with payload size");
+  }
+  if (fragments > (avail - tuples * 24) / 17) {
     return Status::Invalid("block header inconsistent with payload size");
   }
   DataBlock block(block_id);
@@ -151,6 +157,12 @@ Result<PartitionedBatch> DecodeBatch(const std::string& bytes) {
       !GetI64(bytes, &off, &batch.partition_cost) ||
       !GetU32(bytes, &off, &num_blocks)) {
     return Status::Invalid("truncated batch header");
+  }
+  // Every block costs at least its 20-byte header; a count promising more
+  // blocks than the remaining bytes could hold is forged (and must not
+  // drive the reserve() below).
+  if (num_blocks > (bytes.size() - off) / 20) {
+    return Status::Invalid("batch header inconsistent with payload size");
   }
   batch.blocks.reserve(num_blocks);
   for (uint32_t b = 0; b < num_blocks; ++b) {

@@ -123,6 +123,23 @@ Result<FaultOptions> ParseFaultSchedule(const std::string& spec) {
     }
 
     FaultEvent event;
+    if (kind == "crash" || kind == "restart") {
+      // No node id: the target is the whole process.
+      event.kind = kind == "crash" ? FaultKind::kCrash : FaultKind::kRestart;
+      std::string rest = body;
+      const size_t dot = rest.find('.');
+      if (dot != std::string::npos) {
+        if (kind == "restart") {
+          return Status::Invalid(
+              "fault schedule: restart takes restart:<batch> (no stage)");
+        }
+        PROMPT_ASSIGN_OR_RETURN(event.point, ParseStage(rest.substr(dot + 1)));
+        rest = rest.substr(0, dot);
+      }
+      PROMPT_ASSIGN_OR_RETURN(event.batch_id, ParseUint(rest, "batch id"));
+      options.schedule.push_back(event);
+      continue;
+    }
     if (kind == "kill") {
       event.kind = FaultKind::kKillNode;
       PROMPT_RETURN_NOT_OK(ParseTargetAt(body, &event));
@@ -172,8 +189,11 @@ std::vector<FaultEvent> FaultInjector::Poll(
   std::vector<FaultEvent> fired;
   for (const FaultEvent& e : options_.schedule) {
     if (e.batch_id != batch_id || e.point != point) continue;
-    if (e.kind != FaultKind::kKillNode && e.kind != FaultKind::kReviveNode) {
+    if (e.kind == FaultKind::kDelayTask || e.kind == FaultKind::kFailTask) {
       continue;  // task perturbations flow through TaskFaults()
+    }
+    if (e.kind == FaultKind::kRestart && point != FaultPoint::kBatchStart) {
+      continue;  // restart markers fire once, at the batch boundary
     }
     fired.push_back(e);
   }

@@ -29,6 +29,10 @@ enum class FaultKind {
   kReviveNode,  ///< node rejoins with empty memory (capacity only)
   kDelayTask,   ///< map task `target` takes `delay` extra µs (straggler)
   kFailTask,    ///< map task `target` fails `times` times before succeeding
+  kCrash,       ///< the whole engine process dies (durable tier loses its
+                ///< unsynced tail; the run stops with summary.crashed set)
+  kRestart,     ///< marker consumed by scenario runners: build a fresh
+                ///< engine over the same store dir at this batch
 };
 
 /// \brief One scheduled fault.
@@ -113,10 +117,16 @@ class FaultInjector {
 ///   revive:<node>@<batch>[.<stage>]   is `start`
 ///   delay:<task>@<batch>:<micros>     map task straggles by <micros> µs
 ///   fail:<task>@<batch>[:<times>]     map task fails <times> times (def. 1)
+///   crash:<batch>[.<stage>]           whole-process kill: the run stops
+///                                     here and the durable store drops its
+///                                     unsynced tail (torn, like SIGKILL)
+///   restart:<batch>                   scenario-runner marker: reopen the
+///                                     store dir with a fresh engine
 ///   random:p=<prob>[,seed=<s>][,max_kills=<n>][,revive_after=<b>]
 ///
 /// Example: "kill:2@5.map;revive:2@9" kills node 2 during batch 5's map
-/// stage and revives it at batch 9.
+/// stage and revives it at batch 9. "crash:6.map;restart:6" dies mid-map of
+/// batch 6 and resumes from the store's recovered state.
 Result<FaultOptions> ParseFaultSchedule(const std::string& spec);
 
 }  // namespace prompt

@@ -67,6 +67,15 @@ struct BatchReport {
   /// exactly-once could not be preserved for at least one batch.
   bool unrecoverable = false;
 
+  // ---- Durable block store (src/store/), zeros when no store is attached.
+  /// Wall-clock cost of appending this batch to the durable log.
+  TimeMicros store_append_us = 0;
+  /// Serialized batch bytes appended to the durable log this interval.
+  uint64_t store_bytes_appended = 0;
+  /// Memory-tier copies spilled to stay under the node memory budget
+  /// (the batch stays readable from disk).
+  uint32_t store_spilled_copies = 0;
+
   /// Per-shard ingest observability of this batch's batching phase.
   /// Populated (has_ingest = true) when the engine runs the sharded ingest
   /// pipeline (EngineOptions::ingest_shards > 1); default otherwise.

@@ -1,0 +1,443 @@
+#include "store/block_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+#include "store/crc32c.h"
+
+namespace prompt {
+
+namespace {
+
+constexpr uint8_t kRecordPut = 1;
+constexpr uint8_t kRecordTombstone = 2;
+/// kind u8 + owner u32 + batch_id u64.
+constexpr size_t kPayloadHeaderBytes = 13;
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+/// Builds the record payload framing a put/tombstone.
+std::string MakePayload(uint8_t kind, uint32_t owner, uint64_t batch_id,
+                        const std::string& body) {
+  std::string payload;
+  payload.reserve(kPayloadHeaderBytes + body.size());
+  payload.push_back(static_cast<char>(kind));
+  PutU32(owner, &payload);
+  PutU64(batch_id, &payload);
+  payload += body;
+  return payload;
+}
+
+struct ParsedPayload {
+  uint8_t kind = 0;
+  uint32_t owner = 0;
+  uint64_t batch_id = 0;
+  size_t body_offset = kPayloadHeaderBytes;
+};
+
+bool ParsePayload(const std::string& payload, ParsedPayload* out) {
+  if (payload.size() < kPayloadHeaderBytes) return false;
+  out->kind = static_cast<uint8_t>(payload[0]);
+  std::memcpy(&out->owner, payload.data() + 1, 4);
+  std::memcpy(&out->batch_id, payload.data() + 5, 8);
+  return out->kind == kRecordPut || out->kind == kRecordTombstone;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kAlways: return "always";
+  }
+  return "?";
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "never") return FsyncPolicy::kNever;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "always") return FsyncPolicy::kAlways;
+  return Status::Invalid("unknown fsync policy '" + name +
+                         "' (want never|batch|always)");
+}
+
+DurableBlockStore::DurableBlockStore(StoreOptions options)
+    : options_(std::move(options)) {}
+
+DurableBlockStore::~DurableBlockStore() = default;
+
+std::string DurableBlockStore::SegmentPath(uint64_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.log",
+                static_cast<unsigned long long>(id));
+  return options_.dir + "/" + name;
+}
+
+Result<std::unique_ptr<DurableBlockStore>> DurableBlockStore::Open(
+    StoreOptions options) {
+  if (!options.enabled()) {
+    return Status::Invalid("store directory not configured");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IOError("create store dir " + options.dir + ": " +
+                           ec.message());
+  }
+  auto store =
+      std::unique_ptr<DurableBlockStore>(new DurableBlockStore(options));
+  PROMPT_RETURN_NOT_OK(store->ScanExisting());
+  return store;
+}
+
+Status DurableBlockStore::ScanExisting() {
+  // Segment ids are their filenames; std::map keeps them in log order.
+  std::vector<uint64_t> ids;
+  for (const auto& entry : std::filesystem::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long id = 0;
+    if (std::sscanf(name.c_str(), "seg-%6llu.log", &id) == 1) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+
+  for (uint64_t id : ids) {
+    const std::string path = SegmentPath(id);
+    PROMPT_ASSIGN_OR_RETURN(SegmentScan scan, ScanSegmentFile(path));
+    ++recovery_.segments_scanned;
+    recovery_.torn_records += scan.torn_records;
+    recovery_.torn_bytes += scan.torn_bytes;
+    if (!scan.header_ok) {
+      // Nothing in the file can be trusted; drop it rather than let a
+      // future append chase a corrupt header.
+      PROMPT_LOG(kWarn) << "store: segment " << path
+                        << " has a corrupt header; removing";
+      std::filesystem::remove(path);
+      continue;
+    }
+    if (scan.torn_bytes > 0) {
+      // Truncate at the first bad CRC/length — the torn-tail repair rule.
+      PROMPT_LOG(kWarn) << "store: truncating torn tail of " << path << " ("
+                        << scan.torn_bytes << " bytes past offset "
+                        << scan.valid_bytes << ")";
+      PROMPT_RETURN_NOT_OK(TruncateFile(path, scan.valid_bytes));
+    }
+    Segment segment;
+    segment.id = id;
+    segment.path = path;
+    segment.bytes = scan.valid_bytes;
+    next_segment_id_ = std::max(next_segment_id_, id + 1);
+
+    for (SegmentRecord& record : scan.records) {
+      ParsedPayload parsed;
+      if (!ParsePayload(record.payload, &parsed)) {
+        // Checksum-valid but unparseable means a format bug, not bit rot;
+        // be conservative and skip (never fabricate a batch from it).
+        PROMPT_LOG(kWarn) << "store: skipping unparseable record in " << path;
+        continue;
+      }
+      const auto key = std::make_pair(parsed.owner, parsed.batch_id);
+      if (parsed.kind == kRecordPut) {
+        Location loc;
+        loc.segment_id = id;
+        loc.offset = record.offset;
+        loc.payload_bytes = record.payload.size();
+        index_[key] = loc;
+      } else {
+        ++recovery_.tombstones;
+        index_.erase(key);
+      }
+    }
+    segments_.emplace(id, std::move(segment));
+  }
+
+  // Live accounting from the final (post-tombstone) index.
+  for (const auto& [key, loc] : index_) {
+    auto it = segments_.find(loc.segment_id);
+    PROMPT_CHECK(it != segments_.end());
+    ++it->second.live_puts;
+    it->second.live_put_bytes += loc.payload_bytes - kPayloadHeaderBytes;
+    live_bytes_ += loc.payload_bytes - kPayloadHeaderBytes;
+  }
+  recovery_.batches_recovered = index_.size();
+
+  // Reopen the newest segment for appends; everything valid in it was
+  // either fsynced before the shutdown or survived the crash anyway, and
+  // the torn-tail repair truncated the rest — treat it as durable.
+  if (!segments_.empty()) {
+    Segment& last = segments_.rbegin()->second;
+    PROMPT_ASSIGN_OR_RETURN(last.writer,
+                            SegmentWriter::OpenExisting(last.path, last.bytes));
+  }
+  CollectPrefix();
+  return Status::OK();
+}
+
+DurableBlockStore::Segment* DurableBlockStore::ActiveSegment() {
+  if (!segments_.empty()) {
+    Segment& last = segments_.rbegin()->second;
+    if (last.writer != nullptr && last.bytes < options_.segment_bytes) {
+      return &last;
+    }
+    if (last.writer != nullptr) {
+      // Seal: one final fsync so only the active segment ever has an
+      // unsynced tail, then drop the fd.
+      if (Status st = last.writer->Sync(); !st.ok()) {
+        PROMPT_LOG(kWarn) << "store: seal fsync failed: " << st.ToString();
+      }
+      last.writer.reset();
+    }
+  }
+  const uint64_t id = next_segment_id_++;
+  Segment segment;
+  segment.id = id;
+  segment.path = SegmentPath(id);
+  auto writer = SegmentWriter::Create(segment.path);
+  if (!writer.ok()) {
+    PROMPT_LOG(kWarn) << "store: cannot create segment " << segment.path
+                      << ": " << writer.status().ToString();
+    return nullptr;
+  }
+  segment.writer = std::move(writer).ValueUnsafe();
+  segment.bytes = segment.writer->size();
+  if (segments_created_total_ != nullptr) segments_created_total_->Increment();
+  return &segments_.emplace(id, std::move(segment)).first->second;
+}
+
+Status DurableBlockStore::AppendRecord(const std::string& payload,
+                                       Location* loc) {
+  Segment* segment = ActiveSegment();
+  if (segment == nullptr) {
+    return Status::IOError("store: no writable segment");
+  }
+  PROMPT_ASSIGN_OR_RETURN(uint64_t offset, segment->writer->Append(payload));
+  segment->bytes = segment->writer->size();
+  if (options_.fsync == FsyncPolicy::kAlways) {
+    PROMPT_RETURN_NOT_OK(segment->writer->Sync());
+    if (syncs_total_ != nullptr) syncs_total_->Increment();
+  }
+  loc->segment_id = segment->id;
+  loc->offset = offset;
+  loc->payload_bytes = payload.size();
+  if (appends_total_ != nullptr) {
+    appends_total_->Increment();
+    append_bytes_total_->Increment(kRecordHeaderBytes + payload.size());
+    disk_bytes_gauge_->Set(static_cast<double>(disk_bytes()));
+  }
+  return Status::OK();
+}
+
+Status DurableBlockStore::Put(uint32_t owner, uint64_t batch_id,
+                              const std::string& encoded) {
+  Stopwatch watch;
+  Location loc;
+  PROMPT_RETURN_NOT_OK(AppendRecord(
+      MakePayload(kRecordPut, owner, batch_id, encoded), &loc));
+  const auto key = std::make_pair(owner, batch_id);
+  if (auto it = index_.find(key); it != index_.end()) {
+    // Overwrite (a re-put): the old record becomes dead weight.
+    Segment& old = segments_.at(it->second.segment_id);
+    --old.live_puts;
+    old.live_put_bytes -= it->second.payload_bytes - kPayloadHeaderBytes;
+    live_bytes_ -= it->second.payload_bytes - kPayloadHeaderBytes;
+  }
+  index_[key] = loc;
+  Segment& segment = segments_.at(loc.segment_id);
+  ++segment.live_puts;
+  segment.live_put_bytes += encoded.size();
+  live_bytes_ += encoded.size();
+  last_append_micros_ = watch.ElapsedMicros();
+  if (live_batches_gauge_ != nullptr) {
+    live_batches_gauge_->Set(static_cast<double>(index_.size()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> DurableBlockStore::Get(uint32_t owner,
+                                           uint64_t batch_id) const {
+  auto it = index_.find(std::make_pair(owner, batch_id));
+  if (it == index_.end()) {
+    return Status::KeyError("batch " + std::to_string(batch_id) +
+                            " (owner " + std::to_string(owner) +
+                            ") not in the durable store");
+  }
+  const Location& loc = it->second;
+  const auto seg = segments_.find(loc.segment_id);
+  PROMPT_CHECK(seg != segments_.end());
+  std::ifstream in(seg->second.path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + seg->second.path);
+  in.seekg(static_cast<std::streamoff>(loc.offset));
+  std::string frame(kRecordHeaderBytes + loc.payload_bytes, '\0');
+  in.read(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (in.gcount() != static_cast<std::streamsize>(frame.size())) {
+    return Status::IOError("short read from " + seg->second.path);
+  }
+  uint32_t stored = 0;
+  std::memcpy(&stored, frame.data() + 4, 4);
+  if (MaskCrc32c(Crc32c(frame.data() + kRecordHeaderBytes,
+                        loc.payload_bytes)) != stored) {
+    return Status::IOError("record checksum mismatch in " + seg->second.path);
+  }
+  return frame.substr(kRecordHeaderBytes + kPayloadHeaderBytes);
+}
+
+bool DurableBlockStore::Contains(uint32_t owner, uint64_t batch_id) const {
+  return index_.count(std::make_pair(owner, batch_id)) > 0;
+}
+
+Status DurableBlockStore::Evict(uint32_t owner, uint64_t batch_id) {
+  const auto key = std::make_pair(owner, batch_id);
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::OK();
+  Location tombstone_loc;
+  PROMPT_RETURN_NOT_OK(AppendRecord(
+      MakePayload(kRecordTombstone, owner, batch_id, ""), &tombstone_loc));
+  Segment& segment = segments_.at(it->second.segment_id);
+  --segment.live_puts;
+  segment.live_put_bytes -= it->second.payload_bytes - kPayloadHeaderBytes;
+  live_bytes_ -= it->second.payload_bytes - kPayloadHeaderBytes;
+  index_.erase(it);
+  if (evictions_total_ != nullptr) {
+    evictions_total_->Increment();
+    live_batches_gauge_->Set(static_cast<double>(index_.size()));
+  }
+  CollectPrefix();
+  // Interior holes (non-FIFO eviction) escape prefix GC; fall back to a
+  // full rewrite once dead weight dominates.
+  const uint64_t on_disk = disk_bytes();
+  if (on_disk > 2 * options_.segment_bytes &&
+      static_cast<double>(live_bytes_) <
+          options_.compact_live_frac * static_cast<double>(on_disk)) {
+    PROMPT_RETURN_NOT_OK(Compact());
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> DurableBlockStore::LiveBatches(uint32_t owner) const {
+  std::vector<uint64_t> ids;
+  // The index is ordered by (owner, batch_id), so this range is ascending.
+  for (auto it = index_.lower_bound(std::make_pair(owner, uint64_t{0}));
+       it != index_.end() && it->first.first == owner; ++it) {
+    ids.push_back(it->first.second);
+  }
+  return ids;
+}
+
+Status DurableBlockStore::Sync() {
+  if (segments_.empty()) return Status::OK();
+  Segment& last = segments_.rbegin()->second;
+  if (last.writer == nullptr) return Status::OK();
+  PROMPT_RETURN_NOT_OK(last.writer->Sync());
+  if (syncs_total_ != nullptr) syncs_total_->Increment();
+  return Status::OK();
+}
+
+void DurableBlockStore::CollectPrefix() {
+  // Deleting from the front is the only single-segment GC that can never
+  // resurrect: a tombstone always lands at or after its put, so a prefix
+  // segment's tombstones only ever target already-deleted segments.
+  while (segments_.size() > 1) {
+    auto front = segments_.begin();
+    if (front->second.live_puts > 0) break;
+    if (front->second.writer != nullptr) break;  // never delete the active one
+    std::filesystem::remove(front->second.path);
+    if (segments_deleted_total_ != nullptr) {
+      segments_deleted_total_->Increment();
+      disk_bytes_gauge_->Set(static_cast<double>(disk_bytes()));
+    }
+    segments_.erase(front);
+  }
+}
+
+Status DurableBlockStore::Compact() {
+  // Full rewrite: read every live put, restart the log, re-append. Partial
+  // (per-segment) rewrites would have to reason about which tombstones are
+  // still load-bearing; a full rewrite leaves none behind by construction.
+  std::vector<std::pair<std::pair<uint32_t, uint64_t>, std::string>> live;
+  live.reserve(index_.size());
+  for (const auto& [key, loc] : index_) {
+    PROMPT_ASSIGN_OR_RETURN(std::string body, Get(key.first, key.second));
+    live.emplace_back(key, std::move(body));
+  }
+  for (auto& [id, segment] : segments_) {
+    segment.writer.reset();  // close before unlink (tidier on all platforms)
+    std::filesystem::remove(segment.path);
+    if (segments_deleted_total_ != nullptr) {
+      segments_deleted_total_->Increment();
+    }
+  }
+  segments_.clear();
+  index_.clear();
+  live_bytes_ = 0;
+  for (auto& [key, body] : live) {
+    PROMPT_RETURN_NOT_OK(Put(key.first, key.second, body));
+  }
+  // The rewritten log must be at least as durable as what it replaced.
+  PROMPT_RETURN_NOT_OK(Sync());
+  if (disk_bytes_gauge_ != nullptr) {
+    disk_bytes_gauge_->Set(static_cast<double>(disk_bytes()));
+  }
+  return Status::OK();
+}
+
+Status DurableBlockStore::SimulateCrash(bool tear_tail) {
+  for (auto& [id, segment] : segments_) {
+    if (segment.writer == nullptr) continue;  // sealed segments are synced
+    const uint64_t synced = segment.writer->synced_bytes();
+    const uint64_t size = segment.writer->size();
+    if (size > synced) {
+      // Worst case: nothing unsynced survived. With tear_tail, leave the
+      // first 11 bytes of the first unsynced record — a complete length
+      // prefix whose payload is cut short — so recovery exercises the
+      // truncate-at-first-bad-CRC path rather than a clean end-of-file.
+      const uint64_t keep =
+          tear_tail ? synced + std::min<uint64_t>(size - synced, 11) : synced;
+      PROMPT_RETURN_NOT_OK(segment.writer->TruncateTo(keep));
+    }
+    segment.writer.reset();  // the "process" holding the fd is gone
+    segment.bytes = std::min(segment.bytes, size);
+  }
+  return Status::OK();
+}
+
+uint64_t DurableBlockStore::disk_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, segment] : segments_) total += segment.bytes;
+  return total;
+}
+
+void DurableBlockStore::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  appends_total_ = registry->GetCounter("prompt_store_appends_total");
+  append_bytes_total_ = registry->GetCounter("prompt_store_append_bytes_total");
+  evictions_total_ = registry->GetCounter("prompt_store_evictions_total");
+  syncs_total_ = registry->GetCounter("prompt_store_syncs_total");
+  segments_created_total_ =
+      registry->GetCounter("prompt_store_segments_created_total");
+  segments_deleted_total_ =
+      registry->GetCounter("prompt_store_segments_deleted_total");
+  torn_records_total_ =
+      registry->GetCounter("prompt_store_torn_records_total");
+  torn_records_total_->Increment(recovery_.torn_records);
+  live_batches_gauge_ = registry->GetGauge("prompt_store_live_batches");
+  live_batches_gauge_->Set(static_cast<double>(index_.size()));
+  disk_bytes_gauge_ = registry->GetGauge("prompt_store_disk_bytes");
+  disk_bytes_gauge_->Set(static_cast<double>(disk_bytes()));
+}
+
+}  // namespace prompt

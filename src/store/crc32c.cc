@@ -1,0 +1,53 @@
+#include "store/crc32c.h"
+
+#include <array>
+
+namespace prompt {
+
+namespace {
+
+// Slicing-by-4 tables for the reflected Castagnoli polynomial. Table 0 is
+// the classic byte-at-a-time table; tables 1..3 fold 4 bytes per step.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+
+  constexpr Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+constexpr Crc32cTables kTables{};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t init) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~init;
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace prompt

@@ -1,0 +1,28 @@
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every segment record of the durable block store. CRC-32C
+// is the storage-industry standard for torn-write detection (iSCSI, ext4,
+// LevelDB/RocksDB logs); unlike the FNV mix inside EncodeBatch it has
+// guaranteed burst-error detection, which is what a torn tail produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prompt {
+
+/// \brief CRC-32C of `len` bytes starting at `data`, seeded by `init`
+/// (pass the previous return value to checksum data in chunks).
+uint32_t Crc32c(const void* data, size_t len, uint32_t init = 0);
+
+/// \brief Masked CRC in the LevelDB/RocksDB style: storing the raw CRC of
+/// data that itself embeds CRCs makes accidental fixed points more likely,
+/// so the stored form is rotated and offset. Verify by unmasking.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace prompt

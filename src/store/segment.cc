@@ -1,0 +1,180 @@
+#include "store/segment.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "store/crc32c.h"
+
+namespace prompt {
+
+namespace {
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("segment write: ") +
+                             std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SegmentScan> ScanSegmentFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open segment " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("cannot read segment " + path);
+
+  SegmentScan scan;
+  scan.file_bytes = bytes.size();
+  if (bytes.size() < kSegmentHeaderBytes ||
+      ReadU32(bytes.data()) != kSegmentMagic ||
+      ReadU32(bytes.data() + 4) != kSegmentVersion) {
+    // No trustworthy header: nothing in the file can be believed.
+    scan.header_ok = false;
+    scan.valid_bytes = 0;
+    scan.torn_bytes = bytes.size();
+    scan.torn_records = bytes.empty() ? 0 : 1;
+    return scan;
+  }
+  scan.header_ok = true;
+
+  uint64_t off = kSegmentHeaderBytes;
+  while (off < bytes.size()) {
+    if (off + kRecordHeaderBytes > bytes.size()) break;  // partial header
+    const uint64_t len = ReadU32(bytes.data() + off);
+    const uint32_t stored = ReadU32(bytes.data() + off + 4);
+    if (len > kMaxRecordBytes || off + kRecordHeaderBytes + len > bytes.size()) {
+      break;  // insane or partial payload — a torn write
+    }
+    const char* payload = bytes.data() + off + kRecordHeaderBytes;
+    if (MaskCrc32c(Crc32c(payload, len)) != stored) break;  // bit rot / tear
+    SegmentRecord record;
+    record.offset = off;
+    record.payload.assign(payload, len);
+    scan.records.push_back(std::move(record));
+    off += kRecordHeaderBytes + len;
+  }
+  scan.valid_bytes = off;
+  scan.torn_bytes = bytes.size() - off;
+  scan.torn_records = scan.torn_bytes > 0 ? 1 : 0;
+  return scan;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IOError("truncate " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+SegmentWriter::SegmentWriter(std::string path, int fd, uint64_t size,
+                             uint64_t synced)
+    : path_(std::move(path)), fd_(fd), size_(size), synced_bytes_(synced) {}
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SegmentWriter>> SegmentWriter::Create(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("create segment " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string header;
+  PutU32(kSegmentMagic, &header);
+  PutU32(kSegmentVersion, &header);
+  if (Status st = WriteAll(fd, header.data(), header.size()); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::IOError("fsync segment header " + path + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<SegmentWriter>(new SegmentWriter(
+      path, fd, kSegmentHeaderBytes, kSegmentHeaderBytes));
+}
+
+Result<std::unique_ptr<SegmentWriter>> SegmentWriter::OpenExisting(
+    const std::string& path, uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("open segment " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::lseek(fd, static_cast<off_t>(size), SEEK_SET) < 0) {
+    Status st = Status::IOError("seek segment " + path + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<SegmentWriter>(
+      new SegmentWriter(path, fd, size, size));
+}
+
+Result<uint64_t> SegmentWriter::Append(const std::string& payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::Invalid("segment record exceeds the size bound");
+  }
+  std::string frame;
+  frame.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(static_cast<uint32_t>(payload.size()), &frame);
+  PutU32(MaskCrc32c(Crc32c(payload.data(), payload.size())), &frame);
+  frame += payload;
+  PROMPT_RETURN_NOT_OK(WriteAll(fd_, frame.data(), frame.size()));
+  const uint64_t offset = size_;
+  size_ += frame.size();
+  return offset;
+}
+
+Status SegmentWriter::Sync() {
+  if (synced_bytes_ == size_) return Status::OK();
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  synced_bytes_ = size_;
+  return Status::OK();
+}
+
+Status SegmentWriter::TruncateTo(uint64_t size) {
+  if (size > size_) return Status::Invalid("segment truncate cannot extend");
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError("ftruncate " + path_ + ": " + std::strerror(errno));
+  }
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    return Status::IOError("seek " + path_ + ": " + std::strerror(errno));
+  }
+  size_ = size;
+  synced_bytes_ = std::min(synced_bytes_, size);
+  return Status::OK();
+}
+
+}  // namespace prompt

@@ -1,0 +1,107 @@
+// Append-only segment files for the durable block store: a fixed header
+// followed by length-prefixed, CRC32C-checksummed records (the log format
+// of LevelDB/Kafka-style stores, here one record per serialized batch or
+// tombstone). A torn tail — the partial record a crash leaves behind — is
+// detected by the length/CRC check and truncated away on open; everything
+// before the first bad byte is trusted, nothing after it is.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prompt {
+
+/// File header: magic + format version, fsynced at creation.
+inline constexpr uint32_t kSegmentMagic = 0x50534731;  // "PSG1"
+inline constexpr uint32_t kSegmentVersion = 1;
+inline constexpr uint64_t kSegmentHeaderBytes = 8;
+
+/// Record framing: [payload length u32][masked crc32c(payload) u32][payload].
+inline constexpr uint64_t kRecordHeaderBytes = 8;
+
+/// Records larger than this fail the sanity check during a scan (a corrupt
+/// length prefix must not drive a multi-gigabyte read).
+inline constexpr uint64_t kMaxRecordBytes = 1ull << 30;
+
+/// \brief One valid record found by ScanSegmentFile.
+struct SegmentRecord {
+  uint64_t offset = 0;  ///< file offset of the record header
+  std::string payload;
+};
+
+/// \brief Result of scanning one segment file.
+struct SegmentScan {
+  std::vector<SegmentRecord> records;
+  /// Offset of the first byte that is NOT part of a valid record — the
+  /// truncation point a recovery applies. Equals the file size when the
+  /// segment is clean.
+  uint64_t valid_bytes = 0;
+  uint64_t file_bytes = 0;
+  /// Bytes past valid_bytes (a torn or corrupt tail; 0 when clean).
+  uint64_t torn_bytes = 0;
+  /// 1 when a partial/corrupt record was found and dropped, else 0. (All
+  /// records after the first bad one are unreachable, so at most one
+  /// *detected* drop per segment.)
+  uint32_t torn_records = 0;
+  bool header_ok = false;
+};
+
+/// \brief Reads a segment file and validates every record in order,
+/// stopping at the first bad length or CRC. Never fabricates: a record is
+/// returned only when its checksum verifies. IO errors (unreadable file)
+/// fail the Result; corruption does not — it is reported in the scan.
+Result<SegmentScan> ScanSegmentFile(const std::string& path);
+
+/// \brief Truncates `path` to `size` bytes (torn-tail repair and crash
+/// simulation both reduce files, never extend them).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// \brief Appender over one segment file with an explicit fsync watermark.
+///
+/// Append() buffers nothing — every record is write()n to the file — but
+/// only Sync() advances the *durability* watermark. SimulateCrash() on the
+/// owning store truncates to that watermark: the worst-case machine-crash
+/// outcome where nothing unsynced survived.
+class SegmentWriter {
+ public:
+  /// Creates the file, writes the header and fsyncs it (one fsync per
+  /// segment lifetime regardless of policy; creation is a metadata event).
+  static Result<std::unique_ptr<SegmentWriter>> Create(const std::string& path);
+
+  /// Reopens an existing (scanned) segment for further appends. The first
+  /// `size` bytes are assumed valid AND durable — recovery fsyncs after
+  /// repairing a tail, so reopened content counts as synced.
+  static Result<std::unique_ptr<SegmentWriter>> OpenExisting(
+      const std::string& path, uint64_t size);
+
+  ~SegmentWriter();
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(SegmentWriter);
+
+  /// Appends one framed record; returns the record's file offset.
+  Result<uint64_t> Append(const std::string& payload);
+
+  /// fsyncs the file and advances the durability watermark to size().
+  Status Sync();
+
+  /// Truncates the file to `size` and clamps the watermark (crash
+  /// simulation only; normal operation is append-only).
+  Status TruncateTo(uint64_t size);
+
+  uint64_t size() const { return size_; }
+  uint64_t synced_bytes() const { return synced_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentWriter(std::string path, int fd, uint64_t size, uint64_t synced);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  uint64_t synced_bytes_ = 0;
+};
+
+}  // namespace prompt

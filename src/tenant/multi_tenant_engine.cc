@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "engine/serde.h"
 #include "stats/metrics.h"
 
 namespace prompt {
@@ -115,6 +116,55 @@ Result<std::unique_ptr<MultiTenantEngine>> MultiTenantEngine::Create(
   if (opts.ingest.shards > 1) {
     engine->ingest_ = std::make_unique<ParallelIngestPipeline>(opts.ingest);
     engine->ingest_->BindMetrics(engine->obs_->registry());
+  }
+
+  if (opts.store.enabled()) {
+    // One shared segment log; tenant index = owner namespace. Recovery
+    // replays each tenant's surviving batches into its own window, exactly
+    // like the single-tenant path.
+    PROMPT_ASSIGN_OR_RETURN(engine->durable_,
+                            DurableBlockStore::Open(opts.store));
+    engine->durable_->BindMetrics(engine->obs_->registry());
+    DurableRecovery& rec = engine->durable_recovery_;
+    rec.torn_records = engine->durable_->recovery().torn_records;
+    rec.data_loss = rec.torn_records > 0;
+    uint64_t max_recovered = 0;
+    bool any = false;
+    for (size_t ti = 0; ti < engine->tenants_.size(); ++ti) {
+      QueryContext& ctx = *engine->tenants_[ti].ctx;
+      for (uint64_t id :
+           engine->durable_->LiveBatches(static_cast<uint32_t>(ti))) {
+        Result<std::string> bytes =
+            engine->durable_->Get(static_cast<uint32_t>(ti), id);
+        Result<PartitionedBatch> decoded =
+            bytes.ok() ? DecodeBatch(*bytes)
+                       : Result<PartitionedBatch>(bytes.status());
+        if (!decoded.ok()) {
+          PROMPT_LOG(kWarn) << "tenant " << ctx.id()
+                            << ": cannot recover batch " << id << ": "
+                            << decoded.status().ToString();
+          rec.data_loss = true;
+          continue;
+        }
+        BatchExecution exec = engine->tenants_[ti].ctx->executor->Execute(
+            *decoded, ctx.reduce_tasks,
+            std::max<uint32_t>(1, opts.total_slots), nullptr);
+        ctx.window->AddBatch(std::move(exec.output));
+        ctx.next_batch_id = std::max(ctx.next_batch_id, id + 1);
+        max_recovered = std::max(max_recovered, id);
+        any = true;
+        ++rec.batches_recovered;
+      }
+    }
+    if (any) {
+      // All tenants share the heartbeat clock: resume it past the newest
+      // recovered batch anywhere in the log.
+      engine->next_batch_start_ =
+          static_cast<TimeMicros>(max_recovered + 1) * opts.batch_interval;
+      for (Tenant& tenant : engine->tenants_) {
+        tenant.ctx->next_batch_id = max_recovered + 1;
+      }
+    }
   }
   return engine;
 }
@@ -280,6 +330,26 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
         batch = ctx.partitioner->Seal(ctx.next_batch_id++);
       }
 
+      if (durable_ != nullptr) {
+        // Log the sealed batch before any stage runs (same rule as the
+        // single-tenant engine); expired window slots free their records.
+        const uint32_t owner = static_cast<uint32_t>(ti);
+        if (Status st =
+                durable_->Put(owner, batch.batch_id, EncodeBatch(batch));
+            !st.ok()) {
+          PROMPT_LOG(kWarn) << "tenant " << ctx.id()
+                            << ": durable append failed: " << st.ToString();
+        }
+        if (batch.batch_id >= ctx.window->depth()) {
+          if (Status st =
+                  durable_->Evict(owner, batch.batch_id - ctx.window->depth());
+              !st.ok()) {
+            PROMPT_LOG(kWarn) << "tenant " << ctx.id()
+                              << ": durable evict failed: " << st.ToString();
+          }
+        }
+      }
+
       // Processing starts at the heartbeat, or when *this tenant's*
       // pipeline frees — one tenant's overflow queues behind its own slots.
       const TimeMicros proc_start = std::max(end, ctx.pipeline_free_at);
@@ -353,6 +423,13 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
       }
       ingest_->UpdateEstimates(static_cast<uint64_t>(est_tuples_),
                                static_cast<uint64_t>(est_keys_));
+    }
+
+    if (durable_ != nullptr && options_.store.fsync == FsyncPolicy::kBatch) {
+      // One durability point per heartbeat covers every tenant's append.
+      if (Status st = durable_->Sync(); !st.ok()) {
+        PROMPT_LOG(kWarn) << "durable sync failed: " << st.ToString();
+      }
     }
   }
   if (obs_->active()) obs_->OnRunEnd();

@@ -69,6 +69,11 @@ struct MultiTenantEngineOptions {
   /// Template for adaptive tenants: thresholds, window and partitioner
   /// config come from here; enabled/d/candidates come from each spec.
   AdaptiveOptions adapt_base;
+  /// Durable block store shared by every tenant (src/store/): batch ids are
+  /// namespaced by tenant index, each tenant's sealed batch is logged
+  /// before processing, and Create() recovers every tenant's surviving
+  /// in-window batches from the same directory.
+  StoreOptions store;
 };
 
 /// \brief One tenant's results for a Run call.
@@ -116,6 +121,17 @@ class MultiTenantEngine {
   const Observability* observability() const { return obs_.get(); }
   const MultiTenantEngineOptions& options() const { return options_; }
 
+  /// What Create() recovered from the shared store directory.
+  struct DurableRecovery {
+    uint64_t batches_recovered = 0;  ///< across all tenants
+    uint64_t torn_records = 0;
+    /// Torn tail or undecodable record: at least one logged batch did not
+    /// survive (reported, never fabricated).
+    bool data_loss = false;
+  };
+  const DurableRecovery& durable_recovery() const { return durable_recovery_; }
+  const DurableBlockStore* durable_store() const { return durable_.get(); }
+
  private:
   struct Tenant {
     TenantQuerySpec spec;
@@ -141,6 +157,8 @@ class MultiTenantEngine {
   std::unique_ptr<TenantScheduler> scheduler_;
   std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest.shards > 1
   std::unique_ptr<ThreadPool> pool_;                // mode == kReal
+  std::unique_ptr<DurableBlockStore> durable_;      // store.dir non-empty
+  DurableRecovery durable_recovery_;
   std::vector<Tenant> tenants_;
 
   TimeMicros next_batch_start_ = 0;

@@ -1,0 +1,98 @@
+#include "workload/scenarios.h"
+
+#include "common/hash.h"
+
+namespace prompt {
+
+FlashCrowdSource::FlashCrowdSource(Params params, BurstParams burst)
+    : ZipfKeyedSource(std::move(params)), burst_(burst) {
+  PROMPT_CHECK(burst_.burst_frac >= 0 && burst_.burst_frac <= 1);
+  PROMPT_CHECK(burst_.hot_keys >= 1);
+}
+
+bool FlashCrowdSource::Next(Tuple* t) {
+  t->ts = NextTimestamp();
+  // One rank draw per tuple whether or not it is redirected, so the
+  // background stream after the burst is identical to a burst-free run.
+  const uint64_t rank = zipf_.Sample(rng_);
+  const bool in_burst = t->ts >= burst_.burst_start &&
+                        t->ts < burst_.burst_start + burst_.burst_len;
+  if (in_burst && rng_.NextBool(burst_.burst_frac)) {
+    // Viral keys live outside the background key space (salted mixing), so
+    // the crowd adds new heavy hitters instead of amplifying existing ones.
+    const uint64_t viral = rank % burst_.hot_keys;
+    t->key = Mix64(viral ^ (params_.seed << 32) ^ 0xF1A54C09DULL);
+  } else {
+    t->key = Mix64(rank ^ (params_.seed << 32));
+  }
+  t->value = 1.0;
+  return true;
+}
+
+VocabularyChurnSource::VocabularyChurnSource(Params params,
+                                             TimeMicros epoch_len)
+    : ZipfKeyedSource(std::move(params)), epoch_len_(epoch_len) {
+  PROMPT_CHECK(epoch_len > 0);
+}
+
+bool VocabularyChurnSource::Next(Tuple* t) {
+  t->ts = NextTimestamp();
+  const uint64_t rank = zipf_.Sample(rng_);
+  // Salting the mix with the epoch index rotates the whole vocabulary:
+  // rank 1 (the hottest key) is a *different* key each epoch, while the
+  // rank distribution — what the partitioner can actually learn — repeats.
+  const uint64_t epoch = static_cast<uint64_t>(t->ts / epoch_len_);
+  t->key = Mix64(rank ^ (params_.seed << 32) ^ (epoch * 0x9E3779B97F4A7C15ULL));
+  t->value = 1.0;
+  return true;
+}
+
+ScenarioSpec MakeScenario(ScenarioId id, double rate_tps, uint64_t seed) {
+  ScenarioSpec spec;
+  ZipfKeyedSource::Params params;
+  params.cardinality = 100000;
+  params.zipf = 1.0;
+  params.seed = seed;
+  switch (id) {
+    case ScenarioId::kDiurnal: {
+      // Troughs at the base rate, a ~4× spike once per 20 s "day".
+      params.rate =
+          std::make_shared<DiurnalRate>(rate_tps, 3.0, Seconds(20), 9);
+      spec.source = std::make_unique<SynDSource>(std::move(params));
+      spec.description = "diurnal rate swings (sharp 4x peak per 20s day)";
+      break;
+    }
+    case ScenarioId::kFlashCrowd: {
+      params.rate = std::make_shared<ConstantRate>(rate_tps);
+      FlashCrowdSource::BurstParams burst;
+      burst.burst_start = Seconds(4);
+      burst.burst_len = Seconds(4);
+      burst.burst_frac = 0.6;
+      burst.hot_keys = 3;
+      spec.source =
+          std::make_unique<FlashCrowdSource>(std::move(params), burst);
+      spec.description =
+          "flash crowd: 60% of tuples collapse onto 3 viral keys for 4s";
+      break;
+    }
+    case ScenarioId::kVocabChurn: {
+      params.rate = std::make_shared<ConstantRate>(rate_tps);
+      spec.source = std::make_unique<VocabularyChurnSource>(std::move(params),
+                                                            Seconds(3));
+      spec.description = "vocabulary churn: full key-space rotation every 3s";
+      break;
+    }
+  }
+  return spec;
+}
+
+const char* ScenarioName(ScenarioId id) {
+  switch (id) {
+    case ScenarioId::kDiurnal: return "diurnal";
+    case ScenarioId::kFlashCrowd: return "flash_crowd";
+    case ScenarioId::kVocabChurn: return "vocab_churn";
+  }
+  return "?";
+}
+
+}  // namespace prompt

@@ -1,0 +1,117 @@
+// Bursty / adversarial workload scenarios for the robustness suite: inputs
+// deliberately shaped to stress the partitioner's weak spots — rate swings
+// that defeat a fixed batch plan, flash-crowd key bursts that concentrate
+// load on a handful of keys mid-run, and vocabulary churn that invalidates
+// any frequency history the planner accumulated. All are deterministic
+// functions of (seed, params): the same scenario replays bit-identically,
+// which the crash-restart tests rely on.
+#pragma once
+
+#include <memory>
+
+#include "workload/rate_profile.h"
+#include "workload/sources.h"
+
+namespace prompt {
+
+/// \brief A day-like rate curve: a sinusoid sharpened by an odd power, so
+/// the peak is a short rush-hour spike rather than a gentle hump. With
+/// peak_frac well above 1/sharpness the off-peak troughs starve batches
+/// while the peak overruns them — the diurnal stress for the batch resizer
+/// and elastic controller.
+class DiurnalRate final : public RateProfile {
+ public:
+  /// \param base off-peak rate (tuples/sec), must be > 0
+  /// \param peak_frac peak adds peak_frac × base on top of the base rate
+  /// \param period one simulated "day"
+  /// \param sharpness odd-ish exponent (≥ 1) narrowing the peak; 1 = plain
+  ///        sinusoid, 9 ≈ a two-hour rush in a 24-hour day
+  DiurnalRate(double base, double peak_frac, TimeMicros period,
+              uint32_t sharpness = 9)
+      : base_(base),
+        peak_frac_(peak_frac),
+        period_(period),
+        sharpness_(sharpness) {
+    PROMPT_CHECK(base > 0);
+    PROMPT_CHECK(peak_frac >= 0);
+    PROMPT_CHECK(period > 0);
+    PROMPT_CHECK(sharpness >= 1);
+  }
+
+  double RateAt(TimeMicros t) const override {
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(t % period_) /
+                         static_cast<double>(period_);
+    // sin^2k keeps the curve in [0,1]; raising the power narrows the peak
+    // while the integral (mean load) shrinks — exactly a commute spike.
+    double s = std::sin(phase / 2.0);
+    s *= s;
+    double peak = 1.0;
+    for (uint32_t i = 0; i < sharpness_; ++i) peak *= s;
+    return base_ * (1.0 + peak_frac_ * peak);
+  }
+
+ private:
+  double base_;
+  double peak_frac_;
+  TimeMicros period_;
+  uint32_t sharpness_;
+};
+
+/// \brief Flash crowd: a background Zipf stream in which, during
+/// [burst_start, burst_start + burst_len), a fraction of tuples collapses
+/// onto `hot_keys` "viral" keys. The aggregate rate is unchanged — only the
+/// key concentration explodes, so block-size imbalance (not throughput) is
+/// what spikes. The canonical trigger for an adaptive escalation to a
+/// split-capable technique.
+class FlashCrowdSource final : public ZipfKeyedSource {
+ public:
+  struct BurstParams {
+    TimeMicros burst_start = 0;
+    TimeMicros burst_len = 0;
+    /// Probability a burst-window tuple is redirected to a viral key.
+    double burst_frac = 0.6;
+    /// Number of distinct viral keys the crowd converges on.
+    uint64_t hot_keys = 3;
+  };
+
+  FlashCrowdSource(Params params, BurstParams burst);
+  const char* name() const override { return "FlashCrowd"; }
+  bool Next(Tuple* t) override;
+
+ private:
+  BurstParams burst_;
+};
+
+/// \brief Vocabulary churn: every `epoch_len` of stream time the key space
+/// rotates — ranks map through a different epoch-salted mixing, so the
+/// previous epoch's hot keys vanish and an entirely fresh vocabulary (same
+/// Zipf shape) replaces them. Frequency histories and learned key→bucket
+/// routings are worthless across epochs; only the distribution *shape*
+/// carries over.
+class VocabularyChurnSource final : public ZipfKeyedSource {
+ public:
+  VocabularyChurnSource(Params params, TimeMicros epoch_len);
+  const char* name() const override { return "VocabChurn"; }
+  bool Next(Tuple* t) override;
+
+ private:
+  TimeMicros epoch_len_;
+};
+
+/// \brief Named scenario presets used by promptctl --scenario and the
+/// durability bench (one place defines rates/seeds so CLI runs, tests and
+/// BENCH signals agree on the workload).
+enum class ScenarioId { kDiurnal, kFlashCrowd, kVocabChurn };
+
+struct ScenarioSpec {
+  std::unique_ptr<TupleSource> source;
+  const char* description = "";
+};
+
+/// \param rate_tps mean offered load; \param seed drives every draw.
+ScenarioSpec MakeScenario(ScenarioId id, double rate_tps, uint64_t seed);
+
+const char* ScenarioName(ScenarioId id);
+
+}  // namespace prompt

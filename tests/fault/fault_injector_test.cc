@@ -144,5 +144,48 @@ TEST(FaultInjectorTest, RandomModeSchedulesRevives) {
   EXPECT_TRUE(injector.Poll(2, FaultPoint::kBatchStart, FourNodes()).empty());
 }
 
+TEST(FaultScheduleParseTest, CrashAndRestart) {
+  auto options = ParseFaultSchedule("crash:6.map;restart:6");
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  ASSERT_EQ(options->schedule.size(), 2u);
+  EXPECT_EQ(options->schedule[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(options->schedule[0].batch_id, 6u);
+  EXPECT_EQ(options->schedule[0].point, FaultPoint::kMapStage);
+  EXPECT_EQ(options->schedule[1].kind, FaultKind::kRestart);
+  EXPECT_EQ(options->schedule[1].batch_id, 6u);
+  EXPECT_EQ(options->schedule[1].point, FaultPoint::kBatchStart);
+
+  // Default stage is the batch boundary, like every other event.
+  auto boundary = ParseFaultSchedule("crash:3");
+  ASSERT_TRUE(boundary.ok());
+  EXPECT_EQ(boundary->schedule[0].point, FaultPoint::kBatchStart);
+}
+
+TEST(FaultScheduleParseTest, RejectsMalformedCrashSpecs) {
+  // Crash kills the whole process; a node id makes no sense.
+  EXPECT_TRUE(ParseFaultSchedule("crash:2@5").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("crash:x").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("crash:5.shuffle").status().IsInvalid());
+  // Restart is a batch-boundary marker; it cannot take a stage.
+  EXPECT_TRUE(ParseFaultSchedule("restart:5.map").status().IsInvalid());
+  EXPECT_TRUE(ParseFaultSchedule("restart:").status().IsInvalid());
+}
+
+TEST(FaultInjectorTest, CrashFiresAtItsStageAndRestartOnlyAtBatchStart) {
+  auto options = ParseFaultSchedule("crash:4.reduce;restart:4");
+  ASSERT_TRUE(options.ok());
+  FaultInjector injector(*options);
+
+  // The restart marker must never leak into mid-stage polls.
+  auto start = injector.Poll(4, FaultPoint::kBatchStart, FourNodes());
+  ASSERT_EQ(start.size(), 1u);
+  EXPECT_EQ(start[0].kind, FaultKind::kRestart);
+
+  EXPECT_TRUE(injector.Poll(4, FaultPoint::kMapStage, FourNodes()).empty());
+  auto reduce = injector.Poll(4, FaultPoint::kReduceStage, FourNodes());
+  ASSERT_EQ(reduce.size(), 1u);
+  EXPECT_EQ(reduce[0].kind, FaultKind::kCrash);
+}
+
 }  // namespace
 }  // namespace prompt

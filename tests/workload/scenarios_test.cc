@@ -1,0 +1,151 @@
+// Bursty/adversarial scenario pack: every scenario must be a deterministic
+// function of (seed, params) — the crash-restart suite diffs runs across
+// process restarts — and must actually exhibit the stress it claims.
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace prompt {
+namespace {
+
+std::vector<Tuple> Draw(TupleSource* source, size_t n) {
+  std::vector<Tuple> tuples(n);
+  for (Tuple& t : tuples) EXPECT_TRUE(source->Next(&t));
+  return tuples;
+}
+
+TEST(ScenariosTest, EveryScenarioReplaysBitIdentically) {
+  for (ScenarioId id : {ScenarioId::kDiurnal, ScenarioId::kFlashCrowd,
+                        ScenarioId::kVocabChurn}) {
+    ScenarioSpec a = MakeScenario(id, 20000, 7);
+    ScenarioSpec b = MakeScenario(id, 20000, 7);
+    auto ta = Draw(a.source.get(), 5000);
+    auto tb = Draw(b.source.get(), 5000);
+    for (size_t i = 0; i < ta.size(); ++i) {
+      ASSERT_EQ(ta[i].ts, tb[i].ts) << ScenarioName(id) << " i=" << i;
+      ASSERT_EQ(ta[i].key, tb[i].key) << ScenarioName(id) << " i=" << i;
+      ASSERT_EQ(ta[i].value, tb[i].value) << ScenarioName(id) << " i=" << i;
+    }
+  }
+}
+
+TEST(ScenariosTest, DifferentSeedsDiverge) {
+  ScenarioSpec a = MakeScenario(ScenarioId::kFlashCrowd, 20000, 7);
+  ScenarioSpec b = MakeScenario(ScenarioId::kFlashCrowd, 20000, 8);
+  auto ta = Draw(a.source.get(), 500);
+  auto tb = Draw(b.source.get(), 500);
+  size_t same = 0;
+  for (size_t i = 0; i < ta.size(); ++i) same += ta[i].key == tb[i].key;
+  EXPECT_LT(same, ta.size() / 10);
+}
+
+TEST(DiurnalRateTest, PeakIsSharpAndTroughIsFlat) {
+  DiurnalRate rate(1000, 3.0, Seconds(20), 9);
+  EXPECT_NEAR(rate.RateAt(0), 1000, 1e-6);
+  EXPECT_NEAR(rate.RateAt(Seconds(10)), 4000, 1e-6);  // mid-"day" rush
+  // Shoulders: with sharpness 9 the quarter-day points are near base — the
+  // spike is narrow, not a gentle sinusoid hump.
+  EXPECT_LT(rate.RateAt(Seconds(5)), 1100);
+  EXPECT_LT(rate.RateAt(Seconds(15)), 1100);
+  // Periodic: the next day repeats.
+  EXPECT_NEAR(rate.RateAt(Seconds(30)), rate.RateAt(Seconds(10)), 1e-6);
+}
+
+TEST(FlashCrowdTest, BurstConcentratesOnViralKeys) {
+  ScenarioSpec spec = MakeScenario(ScenarioId::kFlashCrowd, 40000, 11);
+  std::map<uint64_t, uint64_t> in_burst, outside;
+  Tuple t;
+  while (spec.source->Next(&t) && t.ts < Seconds(10)) {
+    const bool burst = t.ts >= Seconds(4) && t.ts < Seconds(8);
+    ++(burst ? in_burst : outside)[t.key];
+  }
+  auto top3_share = [](const std::map<uint64_t, uint64_t>& hist) {
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    for (const auto& [key, c] : hist) {
+      counts.push_back(c);
+      total += c;
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    uint64_t top = 0;
+    for (size_t i = 0; i < counts.size() && i < 3; ++i) top += counts[i];
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  // 60% of burst tuples collapse onto 3 keys; the Zipf background's top-3
+  // holds far less of a 100k-key z=1.0 draw.
+  EXPECT_GT(top3_share(in_burst), 0.55);
+  EXPECT_LT(top3_share(outside), 0.35);
+}
+
+TEST(FlashCrowdTest, PreBurstStreamMatchesPlainZipf) {
+  // Until the burst begins the source must be indistinguishable from the
+  // plain background — the burst is a redirection, not a different stream.
+  ZipfKeyedSource::Params params;
+  params.cardinality = 100000;
+  params.zipf = 1.0;
+  params.seed = 7;
+  params.rate = std::make_shared<ConstantRate>(20000);
+  SynDSource plain(std::move(params));
+  ScenarioSpec crowd = MakeScenario(ScenarioId::kFlashCrowd, 20000, 7);
+  for (int i = 0; i < 1000; ++i) {  // 1000 tuples at 20k/s ≈ 50ms << 4s
+    Tuple a, b;
+    ASSERT_TRUE(plain.Next(&a));
+    ASSERT_TRUE(crowd.source->Next(&b));
+    ASSERT_EQ(a.ts, b.ts) << i;
+    ASSERT_EQ(a.key, b.key) << i;
+  }
+}
+
+TEST(VocabularyChurnTest, EpochsShareAlmostNoKeys) {
+  ScenarioSpec spec = MakeScenario(ScenarioId::kVocabChurn, 40000, 13);
+  std::set<uint64_t> epoch0, epoch1;
+  Tuple t;
+  while (spec.source->Next(&t) && t.ts < Seconds(6)) {
+    (t.ts < Seconds(3) ? epoch0 : epoch1).insert(t.key);
+  }
+  ASSERT_GT(epoch0.size(), 1000u);
+  ASSERT_GT(epoch1.size(), 1000u);
+  size_t shared = 0;
+  for (uint64_t k : epoch0) shared += epoch1.count(k);
+  // The whole vocabulary rotates: only chance Mix64 collisions remain.
+  EXPECT_LT(shared, epoch0.size() / 100);
+}
+
+TEST(VocabularyChurnTest, DistributionShapeCarriesAcrossEpochs) {
+  ScenarioSpec spec = MakeScenario(ScenarioId::kVocabChurn, 40000, 13);
+  std::map<uint64_t, uint64_t> epoch0, epoch1;
+  Tuple t;
+  while (spec.source->Next(&t) && t.ts < Seconds(6)) {
+    ++(t.ts < Seconds(3) ? epoch0 : epoch1)[t.key];
+  }
+  auto top_count = [](const std::map<uint64_t, uint64_t>& hist) {
+    uint64_t top = 0;
+    for (const auto& [key, c] : hist) top = std::max(top, c);
+    return top;
+  };
+  // Different keys, same Zipf: the hottest key's mass is comparable.
+  const double ratio = static_cast<double>(top_count(epoch0)) /
+                       static_cast<double>(top_count(epoch1));
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(ScenariosTest, NamesAreStable) {
+  EXPECT_STREQ(ScenarioName(ScenarioId::kDiurnal), "diurnal");
+  EXPECT_STREQ(ScenarioName(ScenarioId::kFlashCrowd), "flash_crowd");
+  EXPECT_STREQ(ScenarioName(ScenarioId::kVocabChurn), "vocab_churn");
+  for (ScenarioId id : {ScenarioId::kDiurnal, ScenarioId::kFlashCrowd,
+                        ScenarioId::kVocabChurn}) {
+    ScenarioSpec spec = MakeScenario(id, 1000, 1);
+    EXPECT_NE(spec.source, nullptr);
+    EXPECT_NE(spec.description[0], '\0');
+  }
+}
+
+}  // namespace
+}  // namespace prompt

@@ -23,6 +23,18 @@
 //   --explain=N                per-cause autopsy of batch N after the run
 //   --autopsy_out=a.jsonl      one autopsy record per batch
 //
+// Durability (src/store/, enables cluster mode):
+//   --store_dir=DIR            append-only durable block store; on start the
+//                              engine recovers surviving in-window batches
+//   --fsync=never|batch|always when appends reach disk (default: batch)
+//   --memory_budget_mb=N       per-node cap on in-memory replicas; older
+//                              durably-stored batches spill past it (0 = off)
+//   --recover_only             recover from --store_dir, print the recovered
+//                              window's TOP-K and exit without new batches
+//   --crash_after=N            process N batches then die by SIGKILL — the
+//                              crash half of a kill/restart drill (pair the
+//                              restart with --recover_only)
+//
 // Adaptive technique switching (src/adapt/):
 //   --adaptive                           telemetry-driven switching across
 //                                        the candidate ladder
@@ -40,6 +52,7 @@
 //                                        /timeseries.json?tenant=<id>.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -96,7 +109,8 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
                    AccumulatorKind accumulator, double map_us, bool metrics,
                    int metrics_every, const std::string& metrics_path,
                    int serve_port, int serve_hold_ms,
-                   const std::string& autopsy_path) {
+                   const std::string& autopsy_path,
+                   const StoreOptions& store) {
   auto specs = LoadQueryFile(queries_path);
   if (!specs.ok()) return Fail(specs.status());
 
@@ -129,9 +143,18 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
     options.obs.collect_partition_metrics = true;
   }
 
+  options.store = store;
+
   auto engine = MultiTenantEngine::Create(options, *specs, source.get());
   if (!engine.ok()) return Fail(engine.status());
   MultiTenantEngine& mt = **engine;
+  if (store.enabled() && mt.durable_recovery().batches_recovered > 0) {
+    std::printf("durable store: recovered %llu batch(es) from %s%s\n",
+                static_cast<unsigned long long>(
+                    mt.durable_recovery().batches_recovered),
+                store.dir.c_str(),
+                mt.durable_recovery().data_loss ? "  DATA LOSS" : "");
+  }
 
   if (const HttpExporter* exporter = mt.observability()->exporter();
       exporter != nullptr) {
@@ -282,6 +305,28 @@ int main(int argc, char** argv) {
   const std::string query_text =
       flags.GetString("query", "SELECT COUNT TOP 10 WINDOW 10S");
   const std::string queries_path = flags.GetString("queries", "");
+  const std::string store_dir = flags.GetString("store_dir", "");
+  auto fsync = ParseFsyncPolicy(flags.GetString("fsync", "batch"));
+  if (!fsync.ok()) return Fail(fsync.status());
+  auto memory_budget_mb = flags.GetInt("memory_budget_mb", 0);
+  if (!memory_budget_mb.ok()) return Fail(memory_budget_mb.status());
+  if (*memory_budget_mb < 0) {
+    return Fail(Status::Invalid("--memory_budget_mb must be >= 0"));
+  }
+  auto recover_only = flags.GetBool("recover_only", false);
+  if (!recover_only.ok()) return Fail(recover_only.status());
+  auto crash_after = flags.GetInt("crash_after", -1);
+  if (!crash_after.ok()) return Fail(crash_after.status());
+  if ((*recover_only || *crash_after >= 0) && store_dir.empty()) {
+    return Fail(Status::Invalid(
+        "--recover_only/--crash_after need --store_dir (nothing durable "
+        "survives a crash without it)"));
+  }
+  StoreOptions store_options;
+  store_options.dir = store_dir;
+  store_options.fsync = *fsync;
+  store_options.memory_budget_bytes =
+      static_cast<size_t>(*memory_budget_mb) << 20;
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::fprintf(stderr, "promptctl: unknown flag --%s (try --list)\n",
                  unknown.c_str());
@@ -293,7 +338,8 @@ int main(int argc, char** argv) {
     return RunMultiTenant(queries_path, *dataset, *rate, *batches, *tasks,
                           *zipf, *scale, *seed, *ingest_shards, accumulator,
                           *map_us, *metrics, *metrics_every, metrics_path,
-                          *serve_port, *serve_hold_ms, autopsy_path);
+                          *serve_port, *serve_hold_ms, autopsy_path,
+                          store_options);
   }
 
   auto query = ParseQuery(query_text);
@@ -380,20 +426,49 @@ int main(int argc, char** argv) {
     if (!faults.ok()) return Fail(faults.status());
     options.faults = *faults;
   }
-  if (*cluster || !fault_spec.empty()) {
-    // Fault injection targets nodes, so a schedule implies cluster mode.
+  if (*cluster || !fault_spec.empty() || store_options.enabled()) {
+    // Fault injection targets nodes and the durable store backs the node
+    // replica tier, so either one implies cluster mode.
     options.cluster_enabled = true;
     options.cluster.nodes = static_cast<uint32_t>(*nodes);
     options.cluster.cores_per_node = static_cast<uint32_t>(*cores_per_node);
     options.cluster.replication_factor = static_cast<uint32_t>(*replication);
     options.cores = options.cluster.nodes * options.cluster.cores_per_node;
   }
+  options.store = store_options;
 
   MicroBatchEngine engine(options, query->job,
                           CreatePartitioner(*technique, partitioner_config),
                           source.get());
   if (const Status& st = engine.observability()->init_status(); !st.ok()) {
     return Fail(st);
+  }
+  if (store_options.enabled()) {
+    const MicroBatchEngine::DurableRecovery& rec = engine.durable_recovery();
+    if (rec.batches_recovered > 0 || *recover_only) {
+      std::printf("durable store: recovered %llu batch(es)",
+                  static_cast<unsigned long long>(rec.batches_recovered));
+      if (rec.batches_recovered > 0) {
+        std::printf(" [%llu..%llu]",
+                    static_cast<unsigned long long>(rec.first_recovered_batch),
+                    static_cast<unsigned long long>(rec.last_recovered_batch));
+      }
+      std::printf(" torn_records=%llu%s\n",
+                  static_cast<unsigned long long>(rec.torn_records),
+                  rec.data_loss ? "  DATA LOSS" : "");
+    }
+  }
+  if (*recover_only) {
+    // Restart half of a crash drill: the constructor already replayed the
+    // store into the window — print the recovered answer and stop.
+    const uint32_t k = query->top_k > 0 ? query->top_k : 10;
+    std::printf("\ntop-%u keys in the window:\n", k);
+    for (const KV& kv : engine.window().TopK(k)) {
+      std::printf("  %016llx  %.2f\n",
+                  static_cast<unsigned long long>(kv.key), kv.value);
+    }
+    std::printf("\n");  // same block shape as a full run, for diffing
+    return engine.durable_recovery().data_loss ? 3 : 0;
   }
   if (const HttpExporter* exporter = engine.observability()->exporter();
       exporter != nullptr) {
@@ -408,6 +483,16 @@ int main(int argc, char** argv) {
       DatasetName(*dataset), PartitionerTypeName(*technique),
       AccumulatorKindName(accumulator), *rate,
       static_cast<long long>(query->slide / 1000), query_text.c_str());
+
+  if (*crash_after >= 0) {
+    // Crash drill: process some batches, then die the way a power cut would
+    // — no destructors, no flushes beyond what --fsync already forced.
+    engine.Run(static_cast<uint32_t>(*crash_after));
+    std::printf("crash drill: dying by SIGKILL after %lld batch(es)\n",
+                static_cast<long long>(*crash_after));
+    std::fflush(stdout);
+    std::raise(SIGKILL);
+  }
 
   RunSummary summary = engine.Run(static_cast<uint32_t>(*batches));
   TableSink table(&std::cout, /*column_width=*/10);
@@ -483,6 +568,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(summary.tasks_speculated),
         static_cast<double>(summary.max_recovery_time) / 1000.0,
         summary.data_loss ? "  DATA LOSS (raise --replication)" : "");
+  }
+  if (summary.crashed) {
+    std::printf("crash injected at batch %llu%s\n",
+                static_cast<unsigned long long>(summary.crashed_at_batch),
+                store_options.enabled()
+                    ? "; rerun with --recover_only to replay the store"
+                    : " (no --store_dir: nothing survives)");
   }
   if (*adaptive) {
     std::printf("adaptive: %llu switch(es) (up=%llu down=%llu)\n",
