@@ -300,6 +300,7 @@ uint32_t BatchStore::UnderReplicatedCount(uint32_t replication_factor) const {
 
 TopUpResult BatchStore::TopUpReplication(uint32_t replication_factor) {
   TopUpResult result;
+  durable_rescues_ = 0;  // per-call, like last_spill_count_ per Write
   std::vector<uint32_t> alive_ids;
   for (uint32_t n = 0; n < cluster_->nodes(); ++n) {
     if (cluster_->alive(n)) alive_ids.push_back(n);

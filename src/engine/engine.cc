@@ -104,8 +104,15 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
       store_->AttachDurable(durable_.get(), /*owner=*/0);
       RecoverFromDurableStore();
     } else {
-      PROMPT_LOG(kWarn) << "durable store disabled: "
-                        << durable.status().ToString();
+      // Durability was explicitly requested; running memory-only behind the
+      // operator's back would mask real loss ("recovered 0 batches" looks
+      // like a clean log). Surface a construction failure instead — the
+      // caller must check init_status() before trusting this engine.
+      init_status_ = Status::IOError("durable store " + options_.store.dir +
+                                     " cannot be opened: " +
+                                     durable.status().ToString());
+      durable_recovery_.data_loss = true;
+      PROMPT_LOG(kError) << init_status_.ToString();
     }
   }
   if (options_.faults.enabled()) {

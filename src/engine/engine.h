@@ -243,6 +243,12 @@ class MicroBatchEngine {
   const DurableRecovery& durable_recovery() const { return durable_recovery_; }
   const DurableBlockStore* durable_store() const { return durable_.get(); }
 
+  /// Not-OK when the constructor could not deliver something the options
+  /// demanded — today: a requested durable store that failed to open (the
+  /// engine then runs memory-only and data_loss is set). Callers that rely
+  /// on durability must check this before the first Run.
+  const Status& init_status() const { return init_status_; }
+
   /// True once a `crash:` fault fired; the engine refuses further Runs
   /// (build a fresh engine over the same store dir to model the restart).
   bool crashed() const { return crashed_; }
@@ -332,6 +338,7 @@ class MicroBatchEngine {
   void RecoverFromDurableStore();
 
   DurableRecovery durable_recovery_;
+  Status init_status_;
   bool crashed_ = false;
   uint64_t crashed_at_batch_ = UINT64_MAX;
 };

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 #include "common/logging.h"
 #include "store/crc32c.h"
@@ -56,6 +57,30 @@ bool ParsePayload(const std::string& payload, ParsedPayload* out) {
   return out->kind == kRecordPut || out->kind == kRecordTombstone;
 }
 
+/// Strictly parses "seg-<digits>.log" — the full name, any digit count —
+/// so stray files (seg-000001.log.bak, editor droppings) are never taken
+/// for segments and ids past 6 digits keep working.
+bool ParseSegmentFilename(const std::string& name, uint64_t* id) {
+  constexpr std::string_view kPrefix = "seg-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() < kPrefix.size() + 1 + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *id = value;
+  return true;
+}
+
 }  // namespace
 
 const char* FsyncPolicyName(FsyncPolicy policy) {
@@ -105,19 +130,27 @@ Result<std::unique_ptr<DurableBlockStore>> DurableBlockStore::Open(
 }
 
 Status DurableBlockStore::ScanExisting() {
-  // Segment ids are their filenames; std::map keeps them in log order.
-  std::vector<uint64_t> ids;
+  // Segment ids are their filenames. Keep each entry's own path (never
+  // re-derive it from the id: a hand-renamed but still well-formed name
+  // like seg-1.log must be read from where it actually is).
+  std::vector<std::pair<uint64_t, std::string>> found;
   for (const auto& entry : std::filesystem::directory_iterator(options_.dir)) {
-    const std::string name = entry.path().filename().string();
-    unsigned long long id = 0;
-    if (std::sscanf(name.c_str(), "seg-%6llu.log", &id) == 1) {
-      ids.push_back(id);
+    uint64_t id = 0;
+    if (ParseSegmentFilename(entry.path().filename().string(), &id)) {
+      found.emplace_back(id, entry.path().string());
     }
   }
-  std::sort(ids.begin(), ids.end());
+  std::sort(found.begin(), found.end());
 
-  for (uint64_t id : ids) {
-    const std::string path = SegmentPath(id);
+  for (const auto& [id, path] : found) {
+    if (segments_.count(id) > 0) {
+      // Two well-formed names for one id (seg-1.log vs seg-000001.log):
+      // trust the first, never index records whose offsets belong to a
+      // file the id no longer names.
+      PROMPT_LOG(kWarn) << "store: duplicate segment id " << id << " at "
+                        << path << "; ignoring the file";
+      continue;
+    }
     PROMPT_ASSIGN_OR_RETURN(SegmentScan scan, ScanSegmentFile(path));
     ++recovery_.segments_scanned;
     recovery_.torn_records += scan.torn_records;
@@ -128,6 +161,7 @@ Status DurableBlockStore::ScanExisting() {
       PROMPT_LOG(kWarn) << "store: segment " << path
                         << " has a corrupt header; removing";
       std::filesystem::remove(path);
+      SyncDirBestEffort();
       continue;
     }
     if (scan.torn_bytes > 0) {
@@ -215,6 +249,14 @@ DurableBlockStore::Segment* DurableBlockStore::ActiveSegment() {
   }
   segment.writer = std::move(writer).ValueUnsafe();
   segment.bytes = segment.writer->size();
+  // The new file's directory entry must be durable before any record in it
+  // counts as synced — an fsynced record in an unlinked file is still lost.
+  if (Status st = SyncDir(options_.dir); !st.ok()) {
+    PROMPT_LOG(kWarn) << "store: cannot sync dir after creating "
+                      << segment.path << ": " << st.ToString();
+    std::filesystem::remove(segment.path);
+    return nullptr;
+  }
   if (segments_created_total_ != nullptr) segments_created_total_->Increment();
   return &segments_.emplace(id, std::move(segment)).first->second;
 }
@@ -351,44 +393,75 @@ void DurableBlockStore::CollectPrefix() {
   // Deleting from the front is the only single-segment GC that can never
   // resurrect: a tombstone always lands at or after its put, so a prefix
   // segment's tombstones only ever target already-deleted segments.
+  bool removed = false;
   while (segments_.size() > 1) {
     auto front = segments_.begin();
     if (front->second.live_puts > 0) break;
     if (front->second.writer != nullptr) break;  // never delete the active one
     std::filesystem::remove(front->second.path);
+    removed = true;
     if (segments_deleted_total_ != nullptr) {
       segments_deleted_total_->Increment();
       disk_bytes_gauge_->Set(static_cast<double>(disk_bytes()));
     }
     segments_.erase(front);
   }
+  if (removed) SyncDirBestEffort();
+}
+
+void DurableBlockStore::SyncDirBestEffort() {
+  // Deletion durability is advisory: a removed segment reappearing after a
+  // machine crash replays like a crash before the delete — safe under
+  // last-write-wins — so a failed directory sync only costs disk space.
+  if (Status st = SyncDir(options_.dir); !st.ok()) {
+    PROMPT_LOG(kWarn) << "store: dir sync failed: " << st.ToString();
+  }
 }
 
 Status DurableBlockStore::Compact() {
-  // Full rewrite: read every live put, restart the log, re-append. Partial
-  // (per-segment) rewrites would have to reason about which tombstones are
-  // still load-bearing; a full rewrite leaves none behind by construction.
+  // Full rewrite, crash-atomic: copy every live put into *fresh* segments,
+  // fsync the new generation, and only then delete the old one. Recovery
+  // replays segments in id order with last-write-wins, so a crash that
+  // leaves both generations on disk is harmless — the re-appended copies
+  // have higher segment ids and shadow the originals. Partial (per-segment)
+  // rewrites would have to reason about which tombstones are still
+  // load-bearing; a full rewrite leaves none behind by construction.
   std::vector<std::pair<std::pair<uint32_t, uint64_t>, std::string>> live;
   live.reserve(index_.size());
   for (const auto& [key, loc] : index_) {
     PROMPT_ASSIGN_OR_RETURN(std::string body, Get(key.first, key.second));
     live.emplace_back(key, std::move(body));
   }
+  std::vector<uint64_t> old_ids;
+  old_ids.reserve(segments_.size());
   for (auto& [id, segment] : segments_) {
-    segment.writer.reset();  // close before unlink (tidier on all platforms)
-    std::filesystem::remove(segment.path);
-    if (segments_deleted_total_ != nullptr) {
-      segments_deleted_total_->Increment();
-    }
+    old_ids.push_back(id);
+    // Seal (no sync needed: this generation is about to be deleted) so the
+    // re-appends below roll into brand-new segments.
+    segment.writer.reset();
   }
-  segments_.clear();
-  index_.clear();
-  live_bytes_ = 0;
   for (auto& [key, body] : live) {
     PROMPT_RETURN_NOT_OK(Put(key.first, key.second, body));
   }
-  // The rewritten log must be at least as durable as what it replaced.
+  // The new generation must be durable before the old one disappears:
+  // sealed new segments were fsynced when they rolled, this covers the
+  // active one.
   PROMPT_RETURN_NOT_OK(Sync());
+  // Delete old segments front-first (ascending id), the same
+  // never-resurrect order CollectPrefix relies on: a tombstone always
+  // lands at or after its put, so a crash mid-loop can only ever have
+  // removed puts before their tombstones.
+  for (uint64_t id : old_ids) {
+    auto it = segments_.find(id);
+    PROMPT_CHECK(it != segments_.end());
+    PROMPT_CHECK(it->second.live_puts == 0);  // every live put moved above
+    std::filesystem::remove(it->second.path);
+    if (segments_deleted_total_ != nullptr) {
+      segments_deleted_total_->Increment();
+    }
+    segments_.erase(it);
+  }
+  SyncDirBestEffort();
   if (disk_bytes_gauge_ != nullptr) {
     disk_bytes_gauge_->Set(static_cast<double>(disk_bytes()));
   }

@@ -22,8 +22,10 @@
 // appends a tombstone, and whole segments are deleted from the *front* of
 // the log once they hold no live put (prefix deletion can never resurrect
 // a batch, because a tombstone always lands at or after its put).
-// Compact() additionally rewrites interior segments whose live fraction
-// fell below the configured threshold by re-appending their live puts.
+// Compact() additionally reclaims interior holes with a crash-atomic full
+// rewrite: live puts are re-appended into fresh segments and fsynced
+// *before* the old generation is deleted (front-first), so a kill at any
+// point mid-compaction leaves a recoverable, last-write-wins log.
 #pragma once
 
 #include <cstdint>
@@ -109,8 +111,11 @@ class DurableBlockStore {
   /// fsyncs the active segment (the kBatch policy's once-per-batch call).
   Status Sync();
 
-  /// Rewrites sealed segments below the live-fraction threshold by
-  /// re-appending their live puts, then deletes them.
+  /// Crash-atomic full rewrite: re-appends every live put into fresh
+  /// segments, fsyncs the new generation, then deletes the old segments
+  /// front-first. A kill at any point leaves a recoverable log (both
+  /// generations may briefly coexist; last-write-wins replay shadows the
+  /// old copies).
   Status Compact();
 
   /// Models a process/machine kill for tests and fault schedules: every
@@ -156,6 +161,9 @@ class DurableBlockStore {
   Status AppendRecord(const std::string& payload, Location* loc);
   /// Deletes zero-live segments from the front of the log.
   void CollectPrefix();
+  /// fsyncs the store directory after a segment delete, warning (not
+  /// failing) on error — undone deletes are harmless, leaked ones not.
+  void SyncDirBestEffort();
   Status ScanExisting();
 
   StoreOptions options_;

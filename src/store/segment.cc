@@ -88,6 +88,31 @@ Status TruncateFile(const std::string& path, uint64_t size) {
   if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
     return Status::IOError("truncate " + path + ": " + std::strerror(errno));
   }
+  // The repair must itself be durable: a machine crash right after recovery
+  // must not bring the torn tail back behind a reopened writer's back.
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IOError("reopen for fsync " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync dir " + dir + ": " + std::strerror(errno));
+  }
   return Status::OK();
 }
 

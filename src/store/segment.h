@@ -56,9 +56,14 @@ struct SegmentScan {
 /// fail the Result; corruption does not — it is reported in the scan.
 Result<SegmentScan> ScanSegmentFile(const std::string& path);
 
-/// \brief Truncates `path` to `size` bytes (torn-tail repair and crash
-/// simulation both reduce files, never extend them).
+/// \brief Truncates `path` to `size` bytes and fsyncs the result (torn-tail
+/// repair and crash simulation both reduce files, never extend them; the
+/// fsync keeps the repair durable across a machine crash).
 Status TruncateFile(const std::string& path, uint64_t size);
+
+/// \brief fsyncs a directory, making recent file creations/deletions inside
+/// it durable (a synced record in an unlinked-by-crash file is still lost).
+Status SyncDir(const std::string& dir);
 
 /// \brief Appender over one segment file with an explicit fsync watermark.
 ///
@@ -73,8 +78,9 @@ class SegmentWriter {
   static Result<std::unique_ptr<SegmentWriter>> Create(const std::string& path);
 
   /// Reopens an existing (scanned) segment for further appends. The first
-  /// `size` bytes are assumed valid AND durable — recovery fsyncs after
-  /// repairing a tail, so reopened content counts as synced.
+  /// `size` bytes are assumed valid AND durable — recovery fsyncs any
+  /// tail repair (TruncateFile), and bytes that survived the crash are by
+  /// definition on disk — so reopened content counts as synced.
   static Result<std::unique_ptr<SegmentWriter>> OpenExisting(
       const std::string& path, uint64_t size);
 

@@ -157,6 +157,10 @@ TEST(BatchStoreDurableTest, TopUpRescuesFromDurableWhenMemoryIsGone) {
   auto read = store.Read(7);
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   EXPECT_EQ(read->batch_id, 7u);
+  // The counter is per-call: a follow-up with nothing left to rescue
+  // reads zero, not the running total.
+  store.TopUpReplication(2);
+  EXPECT_EQ(store.durable_rescues(), 0u);
 }
 
 TEST(BatchStoreDurableTest, RestoreDoesNotGrowTheLog) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -212,6 +213,25 @@ TEST(DurabilityTest, WindowEvictionTombstonesTheStore) {
   EXPECT_EQ(engine.durable_recovery().batches_recovered, 3u);
   EXPECT_EQ(engine.durable_recovery().first_recovered_batch, 3u);
   EXPECT_EQ(engine.durable_recovery().last_recovered_batch, 5u);
+}
+
+TEST(DurabilityTest, UnopenableStoreFailsInitStatusNotSilently) {
+  // A requested store dir that cannot be opened (here: a regular file
+  // squats on the path) must surface in init_status() and data_loss, never
+  // silently degrade the engine to memory-only durability.
+  const std::string path = FreshDir("unopenable");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "a file where the store dir should be";
+  }
+  auto source = MakeSource();
+  MicroBatchEngine engine(StoreOpts(path, FsyncPolicy::kBatch, 1),
+                          JobSpec::WordCount(10),
+                          CreatePartitioner(PartitionerType::kPrompt),
+                          source.get());
+  EXPECT_FALSE(engine.init_status().ok());
+  EXPECT_TRUE(engine.durable_recovery().data_loss);
+  EXPECT_EQ(engine.durable_store(), nullptr);
 }
 
 }  // namespace

@@ -383,6 +383,102 @@ TEST(BlockStoreTest, MetricsCountAppendsAndEvictions) {
   EXPECT_GT(registry.GetGauge("prompt_store_disk_bytes")->value(), 0.0);
 }
 
+// Builds a record payload exactly as the store frames it:
+// [kind u8][owner u32][batch_id u64][body] with kind 1 = put, 2 =
+// tombstone. Tests use it to lay down disk states (e.g. mid-compaction)
+// that recovery must tolerate.
+std::string RecordPayload(uint8_t kind, uint32_t owner, uint64_t batch_id,
+                          const std::string& body) {
+  std::string p;
+  p.push_back(static_cast<char>(kind));
+  p.append(reinterpret_cast<const char*>(&owner), 4);
+  p.append(reinterpret_cast<const char*>(&batch_id), 8);
+  p += body;
+  return p;
+}
+
+void WriteSegment(const std::string& path,
+                  const std::vector<std::string>& payloads) {
+  auto writer = SegmentWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const std::string& p : payloads) {
+    ASSERT_TRUE((*writer)->Append(p).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+}
+
+TEST(BlockStoreTest, CompactionInterruptedBetweenGenerationsRecovers) {
+  // The disk state a kill mid-Compact() leaves behind: the old generation
+  // (a live put, a doomed put, its tombstone) still present, the new
+  // generation (the re-appended live put) already written. Last-write-wins
+  // replay must keep the new copy and never resurrect the tombstoned batch.
+  const std::string dir = FreshDir("compact_both_gens");
+  std::filesystem::create_directories(dir);
+  WriteSegment(dir + "/seg-000000.log",
+               {RecordPayload(1, 0, 0, "old-zero"),
+                RecordPayload(1, 0, 1, "doomed"),
+                RecordPayload(2, 0, 1, "")});
+  WriteSegment(dir + "/seg-000001.log",
+               {RecordPayload(1, 0, 0, "new-zero")});
+
+  auto store = MustOpen(Opts(dir));
+  EXPECT_EQ(store->LiveBatches(0), (std::vector<uint64_t>{0}));
+  EXPECT_EQ(*store->Get(0, 0), "new-zero");
+  EXPECT_FALSE(store->Contains(0, 1));
+}
+
+TEST(BlockStoreTest, CompactionIsDurableBeforeOldSegmentsGo) {
+  // Compact() must fsync the rewritten generation before the old one is
+  // deleted — under fsync=never a crash straight after compaction would
+  // otherwise lose every live batch.
+  const std::string dir = FreshDir("compact_crash");
+  StoreOptions opts = Opts(dir, FsyncPolicy::kNever);
+  opts.segment_bytes = 256;
+  opts.compact_live_frac = 0;
+  {
+    auto store = MustOpen(opts);
+    for (uint64_t id = 0; id < 10; ++id) {
+      ASSERT_TRUE(store->Put(0, id, Body(id, 100)).ok());
+    }
+    for (uint64_t id : {1u, 2u, 3u, 5u, 6u, 7u, 8u}) {
+      ASSERT_TRUE(store->Evict(0, id).ok());
+    }
+    ASSERT_TRUE(store->Compact().ok());
+    ASSERT_TRUE(store->SimulateCrash(/*tear_tail=*/false).ok());
+  }
+  auto store = MustOpen(opts);
+  EXPECT_EQ(store->LiveBatches(0), (std::vector<uint64_t>{0, 4, 9}));
+  for (uint64_t id : {0u, 4u, 9u}) {
+    EXPECT_EQ(*store->Get(0, id), Body(id, 100));
+  }
+}
+
+TEST(BlockStoreTest, StrictFilenameParsingSkipsStraysAndReadsLongIds) {
+  const std::string dir = FreshDir("filenames");
+  std::filesystem::create_directories(dir);
+  // A 7-digit id (past the zero-padded width) and an unpadded name are
+  // both real segments; the .bak impostor is neither indexed nor deleted.
+  WriteSegment(dir + "/seg-1.log", {RecordPayload(1, 0, 1, "one")});
+  WriteSegment(dir + "/seg-1000000.log", {RecordPayload(1, 0, 2, "two")});
+  {
+    std::ofstream f(dir + "/seg-000001.log.bak", std::ios::binary);
+    f << "junk";
+  }
+
+  auto store = MustOpen(Opts(dir));
+  EXPECT_EQ(store->LiveBatches(0), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(*store->Get(0, 1), "one");
+  EXPECT_EQ(*store->Get(0, 2), "two");
+  EXPECT_TRUE(std::filesystem::exists(dir + "/seg-000001.log.bak"));
+  // New appends land past the highest seen id and survive a reopen.
+  ASSERT_TRUE(store->Put(0, 3, "three").ok());
+  ASSERT_TRUE(store->Sync().ok());
+  store.reset();
+  store = MustOpen(Opts(dir));
+  EXPECT_EQ(store->LiveBatches(0), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(*store->Get(0, 3), "three");
+}
+
 TEST(BlockStoreTest, CorruptHeaderFileIsDroppedNotFatal) {
   const std::string dir = FreshDir("bad_header");
   std::filesystem::create_directories(dir);

@@ -443,6 +443,11 @@ int main(int argc, char** argv) {
   if (const Status& st = engine.observability()->init_status(); !st.ok()) {
     return Fail(st);
   }
+  if (const Status& st = engine.init_status(); !st.ok()) {
+    // A requested --store_dir that cannot be opened must never silently
+    // degrade to memory-only (or report a crash drill as "recovered 0").
+    return Fail(st);
+  }
   if (store_options.enabled()) {
     const MicroBatchEngine::DurableRecovery& rec = engine.durable_recovery();
     if (rec.batches_recovered > 0 || *recover_only) {
