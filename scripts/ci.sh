@@ -180,3 +180,30 @@ if ! diff -u "${LOG_DIR}/crash-smoke-ref-topk.txt" \
   exit 1
 fi
 echo "crash smoke: kill-restart TOP-K identical to uninterrupted run"
+
+# Flight-recorder smoke (DESIGN.md §16): record a 12-batch sharded adaptive
+# run, replay it from the journal alone, and require bit-identical outcome
+# streams (promptctl --replay exits 4 on any divergence). Then diff the
+# journal against its own re-recording: zero divergent batches. Journal and
+# reports land in $LOG_DIR for artifact upload.
+RECORD_DIR="${LOG_DIR}/replay-smoke-journal"
+rm -rf "${RECORD_DIR}" "${RECORD_DIR}.replay"
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=4000 --batches=12 --ingest_shards=2 --zipf=1.0 --adaptive \
+  --record="${RECORD_DIR}" \
+  2>&1 | tee "${LOG_DIR}/replay-smoke-record.log"
+"${BUILD_DIR}/tools/promptctl" --replay="${RECORD_DIR}" \
+  2>&1 | tee "${LOG_DIR}/replay-smoke-replay.log"
+grep -q 'journals identical over 12 published batches' \
+  "${LOG_DIR}/replay-smoke-replay.log" || {
+  echo "replay smoke: replay was not bit-identical over all 12 batches" >&2
+  exit 1
+}
+"${BUILD_DIR}/tools/promptctl" \
+  --diff="${RECORD_DIR},${RECORD_DIR}.replay" \
+  2>&1 | tee "${LOG_DIR}/replay-smoke-diff.log"
+grep -q 'journals identical' "${LOG_DIR}/replay-smoke-diff.log" || {
+  echo "replay smoke: --diff found divergence between record and replay" >&2
+  exit 1
+}
+echo "replay smoke: record -> replay -> diff bit-identical"

@@ -5,11 +5,130 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "baselines/factory.h"
 #include "common/logging.h"
 #include "engine/serde.h"
 #include "fault/recovery.h"
 
 namespace prompt {
+
+namespace {
+
+/// The flight-recorder manifest: every option that shapes the run's
+/// deterministic outcome, serialized key=value. The replayer's
+/// SingleOptionsFromManifest (src/replay/replayer.cc) parses exactly these
+/// keys back; ReplayResult::manifest_match catches any drift between the
+/// two. Directory paths and journal settings are deliberately absent — a
+/// journal must replay from any location.
+JournalManifest BuildSingleManifest(const EngineOptions& o, const JobSpec& job,
+                                    int32_t technique) {
+  JournalManifest m;
+  m.Set("format", "prompt-journal-v1");
+  m.Set("mode", "single");
+  m.Set("batch_interval", static_cast<int64_t>(o.batch_interval));
+  m.Set("window_batches", static_cast<uint64_t>(job.window_batches));
+  if (!o.journal.query.empty()) m.Set("query", o.journal.query);
+  m.Set("technique",
+        technique >= 0
+            ? PartitionerTypeName(static_cast<PartitionerType>(technique))
+            : "custom");
+  m.Set("exec_mode",
+        o.mode == ExecutionMode::kReal ? "real" : "simulated");
+  m.Set("map_tasks", static_cast<uint64_t>(o.map_tasks));
+  m.Set("reduce_tasks", static_cast<uint64_t>(o.reduce_tasks));
+  m.Set("cores", static_cast<uint64_t>(o.cores));
+  m.Set("cores_track_tasks", o.cores_track_tasks);
+  m.Set("early_release_frac", o.early_release_frac);
+  m.Set("use_prompt_reduce", o.use_prompt_reduce);
+  m.Set("unstable_queue_intervals", o.unstable_queue_intervals);
+  m.Set("cost.map_task_fixed_us", o.cost.map_task_fixed_us);
+  m.Set("cost.map_per_tuple_us", o.cost.map_per_tuple_us);
+  m.Set("cost.map_per_key_us", o.cost.map_per_key_us);
+  m.Set("cost.reduce_task_fixed_us", o.cost.reduce_task_fixed_us);
+  m.Set("cost.reduce_per_tuple_us", o.cost.reduce_per_tuple_us);
+  m.Set("cost.reduce_per_cluster_us", o.cost.reduce_per_cluster_us);
+  m.Set("cost.partition_cost_scale", o.cost.partition_cost_scale);
+  m.Set("cost.replicate_per_kib_us", o.cost.replicate_per_kib_us);
+  m.Set("elasticity_enabled", o.elasticity_enabled);
+  m.Set("elasticity.threshold", o.elasticity.threshold);
+  m.Set("elasticity.step", o.elasticity.step);
+  m.Set("elasticity.d", static_cast<int64_t>(o.elasticity.d));
+  m.Set("elasticity.min_map_tasks",
+        static_cast<uint64_t>(o.elasticity.min_map_tasks));
+  m.Set("elasticity.min_reduce_tasks",
+        static_cast<uint64_t>(o.elasticity.min_reduce_tasks));
+  m.Set("elasticity.max_map_tasks",
+        static_cast<uint64_t>(o.elasticity.max_map_tasks));
+  m.Set("elasticity.max_reduce_tasks",
+        static_cast<uint64_t>(o.elasticity.max_reduce_tasks));
+  m.Set("elasticity.trend_lookback",
+        static_cast<int64_t>(o.elasticity.trend_lookback));
+  m.Set("adapt.enabled", o.adapt.enabled);
+  m.Set("adapt.d", static_cast<int64_t>(o.adapt.d));
+  m.Set("adapt.grace", static_cast<int64_t>(o.adapt.grace));
+  m.Set("adapt.window", static_cast<uint64_t>(o.adapt.window));
+  m.Set("adapt.calm_block_load_ratio", o.adapt.calm_block_load_ratio);
+  m.Set("adapt.calm_split_key_frac", o.adapt.calm_split_key_frac);
+  {
+    std::string csv;
+    for (PartitionerType t : o.adapt.candidates) {
+      if (!csv.empty()) csv += ',';
+      csv += PartitionerTypeName(t);
+    }
+    m.Set("adapt.candidates", csv);
+  }
+  m.Set("partitioner.accumulator",
+        AccumulatorKindName(o.adapt.config.prompt.accumulator_kind));
+  m.Set("partitioner.post_sort", o.adapt.config.prompt.post_sort);
+  m.Set("partitioner.cam_candidates",
+        static_cast<uint64_t>(o.adapt.config.cam_candidates));
+  m.Set("partitioner.sketch_capacity",
+        static_cast<uint64_t>(o.adapt.config.sketch_capacity));
+  m.Set("obs.collect_partition_metrics", o.obs.collect_partition_metrics);
+  m.Set("obs.autopsy.min_excess_frac", o.obs.autopsy.min_excess_frac);
+  m.Set("obs.autopsy.min_excess_us",
+        static_cast<int64_t>(o.obs.autopsy.min_excess_us));
+  m.Set("obs.autopsy.ring_pressure_threshold",
+        o.obs.autopsy.ring_pressure_threshold);
+  if (o.faults.enabled()) {
+    m.Set("faults", FormatFaultSchedule(o.faults));
+    // Policy knobs the spec grammar cannot express.
+    m.Set("faults.max_task_retries",
+          static_cast<uint64_t>(o.faults.max_task_retries));
+    m.Set("faults.retry_backoff", static_cast<int64_t>(o.faults.retry_backoff));
+    m.Set("faults.speculation_enabled", o.faults.speculation_enabled);
+    m.Set("faults.speculation_multiplier", o.faults.speculation_multiplier);
+  }
+  m.Set("replicate_input", o.replicate_input);
+  m.Set("cluster_enabled", o.cluster_enabled);
+  m.Set("cluster.nodes", static_cast<uint64_t>(o.cluster.nodes));
+  m.Set("cluster.cores_per_node",
+        static_cast<uint64_t>(o.cluster.cores_per_node));
+  m.Set("cluster.replication_factor",
+        static_cast<uint64_t>(o.cluster.replication_factor));
+  m.Set("cluster.remote_read_penalty", o.cluster.remote_read_penalty);
+  m.Set("store.enabled", o.store.enabled());
+  m.Set("store.fsync", FsyncPolicyName(o.store.fsync));
+  m.Set("store.memory_budget_bytes",
+        static_cast<uint64_t>(o.store.memory_budget_bytes));
+  m.Set("store.retain_bytes", static_cast<uint64_t>(o.store.retain_bytes));
+  m.Set("store.retain_batches", o.store.retain_batches);
+  m.Set("batch_resizing_enabled", o.batch_resizing_enabled);
+  m.Set("resizer.min_interval",
+        static_cast<int64_t>(o.batch_resizer.min_interval));
+  m.Set("resizer.max_interval",
+        static_cast<int64_t>(o.batch_resizer.max_interval));
+  m.Set("resizer.target_ratio", o.batch_resizer.target_ratio);
+  m.Set("resizer.lookback", static_cast<int64_t>(o.batch_resizer.lookback));
+  m.Set("resizer.gain", o.batch_resizer.gain);
+  m.Set("ingest.shards", static_cast<uint64_t>(o.ingest.shards));
+  m.Set("ingest.ring_capacity",
+        static_cast<uint64_t>(o.ingest.ring_capacity));
+  m.Set("ingest.accumulator", AccumulatorKindName(o.ingest.accumulator));
+  return m;
+}
+
+}  // namespace
 
 double RunSummary::MeanW(size_t warmup) const {
   if (batches.size() <= warmup) return 0;
@@ -133,6 +252,23 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
   if (options_.ingest.shards > 1) {
     ingest_ = std::make_unique<ParallelIngestPipeline>(options_.ingest);
     ingest_->BindMetrics(obs_->registry());
+  }
+  if (options_.journal.enabled()) {
+    auto journal = JournalWriter::Open(
+        options_.journal,
+        BuildSingleManifest(options_, job_, query_->current_technique));
+    if (journal.ok()) {
+      journal_ = std::move(journal).ValueUnsafe();
+    } else {
+      // Recording was explicitly requested; running unrecorded would break
+      // the operator's replay guarantee silently. Same contract as the
+      // durable store: surface a construction failure.
+      Status failed = Status::IOError(
+          "journal " + options_.journal.dir + " cannot be opened: " +
+          journal.status().ToString());
+      PROMPT_LOG(kError) << failed.ToString();
+      if (init_status_.ok()) init_status_ = failed;
+    }
   }
 }
 
@@ -376,6 +512,12 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
     // again, so its replicas are dropped.
     store_->Evict(batch.batch_id - job_.window_batches);
   }
+  if (journal_ != nullptr) {
+    // Commutative hash of the per-key window contribution, taken at the
+    // exact hand-off into the window: equal hashes every batch imply equal
+    // window aggregates between record and replay.
+    report.output_hash = HashBatchOutput(exec.output);
+  }
   query_->window->AddBatch(std::move(exec.output));
   if (cluster_ != nullptr) {
     // Track which node hosts this batch's reduce-bucket state, mirroring the
@@ -462,8 +604,20 @@ bool MicroBatchEngine::PollFaults(uint64_t batch_id, FaultPoint point,
                                   BatchReport* report) {
   if (fault_ == nullptr || cluster_ == nullptr) return false;
   bool killed = false;
+  auto journal_fault = [&](const FaultEvent& event) {
+    if (journal_ == nullptr) return;
+    JournalFault jf;
+    jf.batch_id = batch_id;
+    jf.point = static_cast<uint8_t>(point);
+    jf.kind = static_cast<uint8_t>(event.kind);
+    jf.target = event.target;
+    if (Status st = journal_->AppendFault(jf); !st.ok()) {
+      PROMPT_LOG(kWarn) << "journal: fault append failed: " << st.ToString();
+    }
+  };
   for (const FaultEvent& event : fault_->Poll(batch_id, point, AliveNodes())) {
     if (event.kind == FaultKind::kCrash) {
+      journal_fault(event);
       // The whole process dies: the durable store keeps only what was
       // fsynced (plus a torn tail for recovery to truncate); everything in
       // memory — window, replicas, this batch — is gone. The run stops.
@@ -487,12 +641,14 @@ bool MicroBatchEngine::PollFaults(uint64_t batch_id, FaultPoint point,
       if (!st.ok()) continue;  // already dead / unknown node: no-op
       PROMPT_LOG(kWarn) << "fault injected: node " << event.target
                         << " killed at batch " << batch_id;
+      journal_fault(event);
       store_->DropNode(event.target);
       RecoverFromNodeLoss(event.target, report);
       killed = true;
     } else if (event.kind == FaultKind::kReviveNode) {
       Status st = cluster_->ReviveNode(event.target);
       if (!st.ok()) continue;
+      journal_fault(event);
       // The node rejoins with empty memory: capacity is back (the elastic
       // controller may scale out again) and the extra room lets the store
       // restore the replication factor.
@@ -633,6 +789,10 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
     query_->partitioner->Begin(query_->map_tasks, start, end);
     if (ingest_ != nullptr) ingest_->BeginBatch(start, end);
     auto sink = [&](const Tuple& t) {
+      // The flight-recorder tap: every consumed tuple, in consumption
+      // order, before shard routing — replay re-forms identical batches
+      // from `ts < end` at any shard count.
+      if (journal_ != nullptr) journal_->RecordTuple(t);
       if (ingest_ != nullptr) {
         ingest_->Ingest(t);
       } else {
@@ -675,6 +835,21 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
       batch = query_->partitioner->Seal(query_->next_batch_id++);
     }
 
+    // Flight recorder: journal the sealed batch's tuples and wall-clock
+    // inputs *before* processing, so a crashed batch's stream is on record;
+    // under --replay the recorded inputs are injected here instead.
+    const BatchEnv batch_env = SettleBatchEnv(
+        options_.journal.inject, /*owner=*/0, &batch,
+        ingest_ != nullptr ? &ingest_->last_metrics() : nullptr);
+    if (journal_ != nullptr) {
+      if (Status st = journal_->AppendBatchTuples(batch.batch_id); !st.ok()) {
+        PROMPT_LOG(kWarn) << "journal: tuple append failed: " << st.ToString();
+      }
+      if (Status st = journal_->AppendEnv(0, batch_env); !st.ok()) {
+        PROMPT_LOG(kWarn) << "journal: env append failed: " << st.ToString();
+      }
+    }
+
     // --- Processing phase: starts at the heartbeat, or when the pipeline
     // frees if earlier batches are still running (queueing). ---
     const TimeMicros proc_start = std::max(end, query_->pipeline_free_at);
@@ -685,6 +860,15 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
       // SIGKILL leaves behind.
       summary.crashed = true;
       summary.crashed_at_batch = crashed_at_batch_;
+      // The journal is the observer of the crash, not its victim: flush so
+      // the crashed batch's tuples (already appended above) survive for
+      // replay. An external SIGKILL would lose the unsynced tail instead —
+      // and replay then runs exactly the published batches, consistently.
+      if (journal_ != nullptr) {
+        if (Status st = journal_->Sync(); !st.ok()) {
+          PROMPT_LOG(kWarn) << "journal: crash flush failed: " << st.ToString();
+        }
+      }
       break;
     }
     report.queue_delay = proc_start - end;
@@ -695,6 +879,8 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
       // embedded form is the only way callers see per-shard ingest state.
       report.ingest = ingest_->last_metrics();
       report.has_ingest = true;
+      InjectIngestEnv(options_.journal.inject, /*owner=*/0, batch_env,
+                      &report);
     }
 
     // Fault-tolerance aggregates.
@@ -768,7 +954,46 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
         } else {
           ++summary.technique_switches_down;
         }
+        if (journal_ != nullptr) {
+          JournalSwitch js;
+          js.owner = 0;
+          js.after_batch = report.batch_id;
+          js.from = static_cast<int32_t>(decision.from);
+          js.to = static_cast<int32_t>(decision.to);
+          js.reason = decision.reason;
+          if (Status st = journal_->AppendSwitch(js); !st.ok()) {
+            PROMPT_LOG(kWarn) << "journal: switch append failed: "
+                              << st.ToString();
+          }
+        }
       }
+    }
+
+    if (journal_ != nullptr) {
+      // The published batch's fingerprint: signals, verdict, output hash.
+      // ExplainBatch is a pure function of the report, so this recompute
+      // costs nothing in determinism even when the adaptive path already
+      // ran it.
+      const BatchAutopsy autopsy = ExplainBatch(report, options_.obs.autopsy);
+      if (Status st = journal_->AppendOutcome(0, OutcomeFrom(report, autopsy));
+          !st.ok()) {
+        PROMPT_LOG(kWarn) << "journal: outcome append failed: "
+                          << st.ToString();
+      }
+      if (Status st = journal_->SyncBatch(); !st.ok()) {
+        PROMPT_LOG(kWarn) << "journal: sync failed: " << st.ToString();
+      }
+    }
+
+    if (HttpExporter* exporter = obs_->exporter(); exporter != nullptr) {
+      HealthStatus health;
+      health.data_loss = durable_recovery_.data_loss || summary.data_loss;
+      health.init_status =
+          init_status_.ok() ? "ok" : init_status_.ToString();
+      health.last_batch_id = static_cast<int64_t>(report.batch_id);
+      health.journal_lag_bytes =
+          journal_ != nullptr ? journal_->unsynced_bytes() : 0;
+      exporter->UpdateHealth(health);
     }
 
     summary.batches.push_back(report);

@@ -22,6 +22,7 @@
 #include "ingest/pipeline.h"
 #include "obs/batch_report.h"
 #include "obs/observability.h"
+#include "replay/journal.h"
 #include "stats/metrics.h"
 #include "tenant/query_context.h"
 #include "workload/source.h"
@@ -78,6 +79,13 @@ struct EngineOptions {
   /// recovers the surviving in-window batches on construction. Implies
   /// cluster mode (the store backs the §8 BatchStore).
   StoreOptions store;
+  /// Flight recorder (src/replay/): when journal.dir is set the engine
+  /// records everything needed to reproduce this run bit-identically — the
+  /// consumed tuple stream, per-batch outcome fingerprints, wall-clock
+  /// inputs, fault firings, adaptive switches and the effective options
+  /// manifest. journal.inject carries a recorded run's wall-clock inputs
+  /// back in during --replay.
+  JournalOptions journal;
   /// Adaptive batch resizing (Das et al. [12]) — a comparison baseline that
   /// grows/shrinks the batch interval instead of fixing it. Mutually
   /// exclusive with elasticity in experiments (the paper contrasts them).
@@ -243,6 +251,9 @@ class MicroBatchEngine {
   const DurableRecovery& durable_recovery() const { return durable_recovery_; }
   const DurableBlockStore* durable_store() const { return durable_.get(); }
 
+  /// The flight recorder (null unless options.journal.dir is set).
+  const JournalWriter* journal() const { return journal_.get(); }
+
   /// Not-OK when the constructor could not deliver something the options
   /// demanded — today: a requested durable store that failed to open (the
   /// engine then runs memory-only and data_loss is set). Callers that rely
@@ -336,6 +347,9 @@ class MicroBatchEngine {
 
   /// Replays surviving batches from the durable log into the window (ctor).
   void RecoverFromDurableStore();
+
+  // ---- Flight recorder (src/replay/) ----
+  std::unique_ptr<JournalWriter> journal_;
 
   DurableRecovery durable_recovery_;
   Status init_status_;

@@ -1,6 +1,7 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace prompt {
 
@@ -178,6 +179,64 @@ Result<FaultOptions> ParseFaultSchedule(const std::string& spec) {
     return Status::Invalid("fault schedule: empty spec");
   }
   return options;
+}
+
+std::string FormatFaultSchedule(const FaultOptions& options) {
+  if (!options.enabled()) return "";
+  auto stage_suffix = [](FaultPoint point) -> const char* {
+    switch (point) {
+      case FaultPoint::kMapStage:
+        return ".map";
+      case FaultPoint::kReduceStage:
+        return ".reduce";
+      case FaultPoint::kBatchStart:
+        break;
+    }
+    return "";  // `start` is the grammar's default
+  };
+  std::string spec;
+  auto add = [&spec](const std::string& item) {
+    if (!spec.empty()) spec += ';';
+    spec += item;
+  };
+  for (const FaultEvent& e : options.schedule) {
+    const std::string batch = std::to_string(e.batch_id);
+    const std::string target = std::to_string(e.target);
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        add("crash:" + batch + stage_suffix(e.point));
+        break;
+      case FaultKind::kRestart:
+        add("restart:" + batch);
+        break;
+      case FaultKind::kKillNode:
+        add("kill:" + target + "@" + batch + stage_suffix(e.point));
+        break;
+      case FaultKind::kReviveNode:
+        add("revive:" + target + "@" + batch + stage_suffix(e.point));
+        break;
+      case FaultKind::kDelayTask:
+        add("delay:" + target + "@" + batch + stage_suffix(e.point) + ":" +
+            std::to_string(e.delay));
+        break;
+      case FaultKind::kFailTask: {
+        std::string item =
+            "fail:" + target + "@" + batch + stage_suffix(e.point);
+        if (e.times != 1) item += ":" + std::to_string(e.times);
+        add(item);
+        break;
+      }
+    }
+  }
+  if (options.random.enabled) {
+    char prob[64];
+    std::snprintf(prob, sizeof(prob), "%.17g", options.random.kill_prob);
+    add("random:p=" + std::string(prob) +
+        ",seed=" + std::to_string(options.random.seed) +
+        ",max_kills=" + std::to_string(options.random.max_kills) +
+        ",revive_after=" + std::to_string(options.random.revive_after));
+  }
+  return spec;
 }
 
 FaultInjector::FaultInjector(FaultOptions options)

@@ -129,4 +129,11 @@ class FaultInjector {
 /// batch 6 and resumes from the store's recovered state.
 Result<FaultOptions> ParseFaultSchedule(const std::string& spec);
 
+/// \brief Renders a schedule back into the ParseFaultSchedule grammar, such
+/// that Parse(Format(o)) reproduces the scheduled events and random-mode
+/// parameters exactly (the flight recorder's manifest round-trip). Returns
+/// "" for a disabled FaultOptions. Policy knobs that have no spec syntax
+/// (max_task_retries, backoff, speculation) are not represented.
+std::string FormatFaultSchedule(const FaultOptions& options);
+
 }  // namespace prompt

@@ -81,6 +81,11 @@ struct BatchReport {
   /// pipeline (EngineOptions::ingest_shards > 1); default otherwise.
   IngestMetrics ingest;
   bool has_ingest = false;
+
+  /// Order-independent hash of the batch's per-key window contribution.
+  /// Computed only while the flight recorder (src/replay/) is journaling —
+  /// equal hashes on every batch imply bit-identical window aggregates.
+  uint64_t output_hash = 0;
 };
 
 }  // namespace prompt

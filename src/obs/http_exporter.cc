@@ -210,6 +210,11 @@ void HttpExporter::AddTimeSeries(const std::string& name,
   named_.emplace_back(name, store);
 }
 
+void HttpExporter::UpdateHealth(const HealthStatus& health) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_ = health;
+}
+
 bool HttpExporter::RenderPath(const std::string& target, std::string* body,
                               std::string* content_type) const {
   const size_t qpos = target.find('?');
@@ -218,8 +223,20 @@ bool HttpExporter::RenderPath(const std::string& target, std::string* body,
   const std::string query =
       qpos == std::string::npos ? std::string() : target.substr(qpos + 1);
   if (path == "/healthz") {
-    *body = "ok\n";
-    *content_type = "text/plain; charset=utf-8";
+    HealthStatus health;
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      health = health_;
+    }
+    const bool healthy = !health.data_loss && health.init_status == "ok";
+    std::ostringstream os;
+    os << "{\"status\":" << JsonQuote(healthy ? "ok" : "degraded")
+       << ",\"data_loss\":" << (health.data_loss ? "true" : "false")
+       << ",\"init_status\":" << JsonQuote(health.init_status)
+       << ",\"last_batch_id\":" << health.last_batch_id
+       << ",\"journal_lag_bytes\":" << health.journal_lag_bytes << "}\n";
+    *body = os.str();
+    *content_type = "application/json";
     return true;
   }
   if (path == "/metrics" && registry_ != nullptr) {

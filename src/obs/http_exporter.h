@@ -27,6 +27,22 @@ namespace prompt {
 /// (quantile-labeled series plus _sum and _count).
 std::string PrometheusExposition(const std::vector<MetricSample>& snapshot);
 
+/// \brief What /healthz reports — the engine publishes a fresh snapshot
+/// after every batch, so a probe sees real run health, not a bare 200.
+struct HealthStatus {
+  /// A recovery scan or replication shortfall lost data this process knows
+  /// about (the same flag RunSummary/DurableRecovery carry).
+  bool data_loss = false;
+  /// "ok", or the engine's construction failure (Status::ToString()).
+  std::string init_status = "ok";
+  /// Last published batch id; -1 before the first batch completes.
+  int64_t last_batch_id = -1;
+  /// Flight-recorder bytes appended but not yet fsynced (0 when the journal
+  /// is off or fully durable) — how much record/replay evidence a crash
+  /// right now would lose.
+  uint64_t journal_lag_bytes = 0;
+};
+
 /// \brief Embedded telemetry HTTP server.
 ///
 /// Serves GET /metrics, /timeseries.json and /healthz until Stop() (also run
@@ -57,6 +73,10 @@ class HttpExporter {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Publishes a new /healthz snapshot. Thread-safe against in-flight
+  /// scrapes; the last write wins.
+  void UpdateHealth(const HealthStatus& health);
+
   /// Registers a named (per-tenant) time-series store, served at
   /// `/timeseries.json?tenant=<name>` and listed by `/tenants.json`. Not
   /// owned; must outlive the exporter. Thread-safe against in-flight
@@ -79,6 +99,8 @@ class HttpExporter {
   /// Named per-tenant stores (insertion order = /tenants.json order).
   mutable std::mutex named_mu_;
   std::vector<std::pair<std::string, const TimeSeriesStore*>> named_;
+  mutable std::mutex health_mu_;
+  HealthStatus health_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread thread_;

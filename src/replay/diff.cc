@@ -1,0 +1,345 @@
+#include "replay/diff.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/factory.h"
+#include "obs/record.h"
+
+namespace prompt {
+
+namespace {
+
+std::string Hex64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string TechniqueName(int32_t technique) {
+  if (technique < 0) return "custom";
+  return PartitionerTypeName(static_cast<PartitionerType>(technique));
+}
+
+std::string SwitchLine(const JournalSwitch& s) {
+  return "owner " + std::to_string(s.owner) + " after batch " +
+         std::to_string(s.after_batch) + ": " + TechniqueName(s.from) + "->" +
+         TechniqueName(s.to) + " (" + s.reason + ")";
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+double DeltaPct(double a, double b) {
+  if (a == b) return 0.0;
+  if (a == 0.0) return b > 0 ? 100.0 : -100.0;
+  return (b - a) / std::fabs(a) * 100.0;
+}
+
+/// Appends one numeric delta row when the values' bit patterns differ.
+void NumField(std::vector<DiffField>* fields, const std::string& name,
+              double a, double b) {
+  if (BitEqual(a, b)) return;
+  DiffField f;
+  f.field = name;
+  f.a = Num(a);
+  f.b = Num(b);
+  f.delta_pct = DeltaPct(a, b);
+  f.numeric = true;
+  fields->push_back(std::move(f));
+}
+
+void TextField(std::vector<DiffField>* fields, const std::string& name,
+               std::string a, std::string b) {
+  if (a == b) return;
+  DiffField f;
+  f.field = name;
+  f.a = std::move(a);
+  f.b = std::move(b);
+  fields->push_back(std::move(f));
+}
+
+/// The per-field delta table for one divergent batch pair.
+std::vector<DiffField> FieldDeltas(const BatchOutcome& a,
+                                   const BatchOutcome& b) {
+  std::vector<DiffField> fields;
+  TextField(&fields, "output_hash", Hex64(a.output_hash), Hex64(b.output_hash));
+  for (size_t i = 0; i < kTimeSeriesSignals; ++i) {
+    NumField(&fields,
+             std::string(TimeSeriesSignalName(static_cast<TimeSeriesSignal>(i))),
+             a.signals[i], b.signals[i]);
+  }
+  NumField(&fields, "map_makespan_us", static_cast<double>(a.map_makespan),
+           static_cast<double>(b.map_makespan));
+  NumField(&fields, "reduce_makespan_us",
+           static_cast<double>(a.reduce_makespan),
+           static_cast<double>(b.reduce_makespan));
+  NumField(&fields, "partition_overflow_us",
+           static_cast<double>(a.partition_overflow),
+           static_cast<double>(b.partition_overflow));
+  TextField(&fields, "technique", TechniqueName(a.technique),
+            TechniqueName(b.technique));
+  TextField(&fields, "technique_switched",
+            a.technique_switched ? "true" : "false",
+            b.technique_switched ? "true" : "false");
+  if (a.switched_from != b.switched_from) {
+    TextField(&fields, "switched_from", TechniqueName(a.switched_from),
+              TechniqueName(b.switched_from));
+  }
+  TextField(&fields, "verdict", std::string(BatchCauseName(a.dominant)),
+            std::string(BatchCauseName(b.dominant)));
+  NumField(&fields, "autopsy_total_excess_us",
+           static_cast<double>(a.total_excess),
+           static_cast<double>(b.total_excess));
+  NumField(&fields, "autopsy_threshold_us", static_cast<double>(a.threshold),
+           static_cast<double>(b.threshold));
+  for (size_t i = 0; i < kBatchCauses; ++i) {
+    if (a.excess[i] == b.excess[i]) continue;
+    NumField(&fields,
+             std::string("excess_") +
+                 std::string(BatchCauseName(static_cast<BatchCause>(i))),
+             static_cast<double>(a.excess[i]),
+             static_cast<double>(b.excess[i]));
+  }
+  return fields;
+}
+
+/// The headline fields for the one-line summary: verdict and technique
+/// changes first, then the largest-magnitude signal delta.
+std::string SummarizeFields(const std::vector<DiffField>& fields) {
+  std::string parts;
+  auto add = [&parts](const std::string& p) {
+    if (!parts.empty()) parts += ", ";
+    parts += p;
+  };
+  const DiffField* top_numeric = nullptr;
+  for (const DiffField& f : fields) {
+    if (f.field == "verdict" || f.field == "technique" ||
+        f.field == "output_hash") {
+      add(f.field + " " + f.a + "->" + f.b);
+    } else if (f.numeric &&
+               (top_numeric == nullptr ||
+                std::fabs(f.delta_pct) > std::fabs(top_numeric->delta_pct))) {
+      top_numeric = &f;
+    }
+  }
+  if (top_numeric != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", top_numeric->delta_pct);
+    add(top_numeric->field + " " + buf);
+  }
+  return parts;
+}
+
+void MarkDivergence(JournalDiff* diff, uint32_t owner, uint64_t batch_id) {
+  if (!diff->identical && batch_id >= diff->first_divergent_batch) return;
+  diff->identical = false;
+  diff->divergent_owner = owner;
+  diff->first_divergent_batch = batch_id;
+  diff->fields.clear();
+}
+
+}  // namespace
+
+JournalDiff DiffJournals(const JournalData& a, const JournalData& b) {
+  JournalDiff diff;
+
+  // Manifest deltas are configuration notes, not run divergence: a replay
+  // intentionally reproduces the manifest, but diffing two hand-made runs
+  // (e.g. with and without a fault schedule) should still compare outcomes.
+  {
+    const auto& ea = a.manifest.entries();
+    const auto& eb = b.manifest.entries();
+    size_t i = 0;
+    for (; i < ea.size() && i < eb.size(); ++i) {
+      if (ea[i] == eb[i]) continue;
+      diff.notes.push_back("manifest: " + ea[i].first + "=" + ea[i].second +
+                           " vs " + eb[i].first + "=" + eb[i].second);
+    }
+    for (; i < ea.size(); ++i) {
+      diff.notes.push_back("manifest: only A has " + ea[i].first + "=" +
+                           ea[i].second);
+    }
+    for (; i < eb.size(); ++i) {
+      diff.notes.push_back("manifest: only B has " + eb[i].first + "=" +
+                           eb[i].second);
+    }
+  }
+  if (a.attempts.size() != b.attempts.size()) {
+    diff.notes.push_back("attempts: " + std::to_string(a.attempts.size()) +
+                         " vs " + std::to_string(b.attempts.size()));
+  }
+
+  const auto outcomes_a = a.AllOutcomes();
+  const auto outcomes_b = b.AllOutcomes();
+  for (const auto& [owner, batches_a] : outcomes_a) {
+    auto it = outcomes_b.find(owner);
+    if (it == outcomes_b.end()) {
+      diff.notes.push_back("owner " + std::to_string(owner) +
+                           ": present only in A");
+      if (!batches_a.empty()) MarkDivergence(&diff, owner,
+                                             batches_a.front().batch_id);
+      continue;
+    }
+    const auto& batches_b = it->second;
+    const size_t n = std::min(batches_a.size(), batches_b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const BatchOutcome& oa = batches_a[i];
+      const BatchOutcome& ob = batches_b[i];
+      if (oa.batch_id != ob.batch_id) {
+        MarkDivergence(&diff, owner, std::min(oa.batch_id, ob.batch_id));
+        if (diff.first_divergent_batch == std::min(oa.batch_id, ob.batch_id) &&
+            diff.divergent_owner == owner) {
+          diff.notes.push_back("owner " + std::to_string(owner) +
+                               ": batch id sequence differs (" +
+                               std::to_string(oa.batch_id) + " vs " +
+                               std::to_string(ob.batch_id) + ")");
+        }
+        break;
+      }
+      if (oa.BitIdentical(ob)) {
+        ++diff.identical_batches;
+        continue;
+      }
+      const uint64_t batch_id = oa.batch_id;
+      const bool earliest =
+          diff.identical || batch_id < diff.first_divergent_batch;
+      MarkDivergence(&diff, owner, batch_id);
+      if (earliest) diff.fields = FieldDeltas(oa, ob);
+      break;
+    }
+    if (batches_a.size() != batches_b.size()) {
+      diff.notes.push_back("owner " + std::to_string(owner) + ": " +
+                           std::to_string(batches_a.size()) + " vs " +
+                           std::to_string(batches_b.size()) +
+                           " published batches");
+      if (n < std::max(batches_a.size(), batches_b.size())) {
+        const auto& longer = batches_a.size() > batches_b.size() ? batches_a
+                                                                 : batches_b;
+        MarkDivergence(&diff, owner, longer[n].batch_id);
+      }
+    }
+  }
+  for (const auto& [owner, batches_b] : outcomes_b) {
+    if (outcomes_a.count(owner) != 0) continue;
+    diff.notes.push_back("owner " + std::to_string(owner) +
+                         ": present only in B");
+    if (!batches_b.empty()) MarkDivergence(&diff, owner,
+                                           batches_b.front().batch_id);
+  }
+
+  // The adaptive-switch sequence must match exactly; a switch delta usually
+  // explains every later per-batch delta, so surface it as a note even when
+  // an earlier batch already diverged.
+  const auto switches_a = a.AllSwitches();
+  const auto switches_b = b.AllSwitches();
+  const size_t ns = std::min(switches_a.size(), switches_b.size());
+  for (size_t i = 0; i < ns; ++i) {
+    if (switches_a[i] == switches_b[i]) continue;
+    diff.notes.push_back("switch[" + std::to_string(i) + "]: " +
+                         SwitchLine(switches_a[i]) + " vs " +
+                         SwitchLine(switches_b[i]));
+    MarkDivergence(&diff, switches_a[i].owner,
+                   std::min(switches_a[i].after_batch,
+                            switches_b[i].after_batch) + 1);
+    break;
+  }
+  if (switches_a.size() != switches_b.size()) {
+    diff.notes.push_back("switch count: " + std::to_string(switches_a.size()) +
+                         " vs " + std::to_string(switches_b.size()));
+    const auto& longer =
+        switches_a.size() > switches_b.size() ? switches_a : switches_b;
+    if (ns < longer.size()) {
+      diff.notes.push_back("switch only in " +
+                           std::string(switches_a.size() > switches_b.size()
+                                           ? "A"
+                                           : "B") +
+                           ": " + SwitchLine(longer[ns]));
+      MarkDivergence(&diff, longer[ns].owner, longer[ns].after_batch + 1);
+    }
+  }
+
+  if (diff.identical) {
+    diff.summary = "journals identical over " +
+                   std::to_string(diff.identical_batches) +
+                   " published batches";
+  } else {
+    diff.summary = "first divergence at batch " +
+                   std::to_string(diff.first_divergent_batch) + " (owner " +
+                   std::to_string(diff.divergent_owner) + ")";
+    const std::string detail = SummarizeFields(diff.fields);
+    if (!detail.empty()) {
+      diff.summary += ": " + detail;
+    } else if (!diff.notes.empty()) {
+      diff.summary += ": " + diff.notes.back();
+    }
+  }
+  return diff;
+}
+
+void WriteDiffRecords(const JournalDiff& diff, RecordSink* sink) {
+  for (const DiffField& f : diff.fields) {
+    Record r;
+    r.Set("row", "diff_field")
+        .Set("batch_id", diff.first_divergent_batch)
+        .Set("owner", diff.divergent_owner)
+        .Set("field", f.field)
+        .Set("a", f.a)
+        .Set("b", f.b)
+        .Set("delta_pct", f.delta_pct);
+    sink->Write(r);
+  }
+  for (const std::string& note : diff.notes) {
+    Record r;
+    r.Set("row", "diff_note")
+        .Set("batch_id", diff.identical ? uint64_t{0}
+                                        : diff.first_divergent_batch)
+        .Set("owner", diff.divergent_owner)
+        .Set("field", "note")
+        .Set("a", note)
+        .Set("b", "")
+        .Set("delta_pct", 0.0);
+    sink->Write(r);
+  }
+  sink->Flush();
+}
+
+void WriteDiffText(const JournalDiff& diff, std::ostream* out) {
+  *out << diff.summary << "\n";
+  if (!diff.fields.empty()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-28s %16s %16s %10s\n", "field",
+                  "A", "B", "delta");
+    *out << line;
+    for (const DiffField& f : diff.fields) {
+      if (f.numeric) {
+        char delta[32];
+        std::snprintf(delta, sizeof(delta), "%+.1f%%", f.delta_pct);
+        std::snprintf(line, sizeof(line), "  %-28s %16s %16s %10s\n",
+                      f.field.c_str(), f.a.c_str(), f.b.c_str(), delta);
+      } else {
+        std::snprintf(line, sizeof(line), "  %-28s %16s %16s %10s\n",
+                      f.field.c_str(), f.a.c_str(), f.b.c_str(), "-");
+      }
+      *out << line;
+    }
+  }
+  for (const std::string& note : diff.notes) {
+    *out << "  note: " << note << "\n";
+  }
+  out->flush();
+}
+
+}  // namespace prompt

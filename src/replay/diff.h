@@ -1,0 +1,60 @@
+// Run-diff autopsy (DESIGN.md §16): compares two journals' per-batch
+// outcome streams — time-series signals, trace-span inputs, autopsy
+// verdicts, window output hashes and the adaptive-switch sequence — and
+// pinpoints the first divergent batch with a per-field delta table. The
+// report renders through the standard RecordSink path, so one writer serves
+// the human table (promptctl --diff), JSONL artifacts and tests.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.h"
+#include "replay/journal.h"
+
+namespace prompt {
+
+/// \brief One differing field at the first divergent batch.
+struct DiffField {
+  std::string field;    ///< signal/verdict/technique/... wire name
+  std::string a;        ///< rendered value in journal A
+  std::string b;        ///< rendered value in journal B
+  double delta_pct = 0; ///< (b-a)/|a| * 100 for numeric fields, else 0
+  bool numeric = false;
+};
+
+/// \brief The comparison verdict over two journals.
+struct JournalDiff {
+  /// Every owner's outcome stream and the switch sequence matched
+  /// bit-for-bit (manifest differences are reported as notes only).
+  bool identical = true;
+  /// Batches compared bit-identically across all owners.
+  uint64_t identical_batches = 0;
+  /// Owner (tenant index) and batch id of the earliest divergence.
+  uint32_t divergent_owner = 0;
+  uint64_t first_divergent_batch = UINT64_MAX;
+  /// Field-by-field delta table at the first divergent batch; empty when
+  /// the divergence is a missing batch/owner rather than a changed one.
+  std::vector<DiffField> fields;
+  /// Shape and configuration notes (manifest deltas, attempt/owner/batch
+  /// count mismatches, switch-sequence deltas).
+  std::vector<std::string> notes;
+  /// One-line human verdict ("journals identical over N batches" /
+  /// "first divergence at batch K (owner 0): ...").
+  std::string summary;
+};
+
+/// \brief Compares two parsed journals (A = baseline, B = candidate).
+JournalDiff DiffJournals(const JournalData& a, const JournalData& b);
+
+/// \brief Emits the diff as records: one `diff_field` row per differing
+/// field (columns field/a/b/delta_pct) plus one `diff_note` row per note.
+void WriteDiffRecords(const JournalDiff& diff, RecordSink* sink);
+
+/// \brief Human-readable report: the summary line, the delta table and the
+/// notes (what promptctl --diff prints).
+void WriteDiffText(const JournalDiff& diff, std::ostream* out);
+
+}  // namespace prompt

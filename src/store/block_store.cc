@@ -307,6 +307,53 @@ Status DurableBlockStore::Put(uint32_t owner, uint64_t batch_id,
   if (live_batches_gauge_ != nullptr) {
     live_batches_gauge_->Set(static_cast<double>(index_.size()));
   }
+  // Compaction's own re-appends skip retention: both generations are on
+  // disk mid-rewrite, so the byte cap would spuriously trigger (and then
+  // recurse through Compact → Put → here forever).
+  return compacting_ ? Status::OK() : EnforceRetention();
+}
+
+Status DurableBlockStore::EnforceRetention() {
+  if (options_.retain_batches > 0) {
+    // Per owner, expire the oldest ids beyond the count cap. The index is
+    // ordered by (owner, batch_id), so each owner's range is ascending.
+    std::vector<std::pair<uint32_t, uint64_t>> expired;
+    for (auto it = index_.begin(); it != index_.end();) {
+      const uint32_t owner = it->first.first;
+      uint64_t owned = 0;
+      for (auto scan = it; scan != index_.end() && scan->first.first == owner;
+           ++scan) {
+        ++owned;
+      }
+      for (; it != index_.end() && it->first.first == owner; ++it) {
+        if (owned <= options_.retain_batches) break;
+        expired.push_back(it->first);
+        --owned;
+      }
+      while (it != index_.end() && it->first.first == owner) ++it;
+    }
+    for (const auto& [owner, batch_id] : expired) {
+      PROMPT_RETURN_NOT_OK(Evict(owner, batch_id));
+    }
+  }
+  if (options_.retain_bytes > 0 && disk_bytes() > options_.retain_bytes) {
+    // Dead weight first: a compaction may fit the cap without touching any
+    // live batch.
+    PROMPT_RETURN_NOT_OK(Compact());
+    while (disk_bytes() > options_.retain_bytes && index_.size() > 1) {
+      // Expire the oldest-appended live batch (smallest log position).
+      auto oldest = index_.begin();
+      for (auto it = index_.begin(); it != index_.end(); ++it) {
+        if (it->second.segment_id < oldest->second.segment_id ||
+            (it->second.segment_id == oldest->second.segment_id &&
+             it->second.offset < oldest->second.offset)) {
+          oldest = it;
+        }
+      }
+      const auto key = oldest->first;
+      PROMPT_RETURN_NOT_OK(Evict(key.first, key.second));
+    }
+  }
   return Status::OK();
 }
 
@@ -440,9 +487,15 @@ Status DurableBlockStore::Compact() {
     // re-appends below roll into brand-new segments.
     segment.writer.reset();
   }
+  compacting_ = true;
   for (auto& [key, body] : live) {
-    PROMPT_RETURN_NOT_OK(Put(key.first, key.second, body));
+    const Status put = Put(key.first, key.second, body);
+    if (!put.ok()) {
+      compacting_ = false;
+      return put;
+    }
   }
+  compacting_ = false;
   // The new generation must be durable before the old one disappears:
   // sealed new segments were fsynced when they rolled, this covers the
   // active one.

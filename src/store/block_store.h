@@ -64,6 +64,14 @@ struct StoreOptions {
   /// Compact() rewrites sealed segments whose live-put byte fraction is
   /// below this threshold.
   double compact_live_frac = 0.5;
+  /// Size-based retention beyond window eviction (0 = unlimited). When the
+  /// segment files exceed `retain_bytes` after a Put, the store compacts
+  /// away dead weight and then expires the oldest-appended live batches
+  /// until it fits (the newest batch always survives).
+  size_t retain_bytes = 0;
+  /// Per-owner count-based retention (0 = unlimited): after a Put, each
+  /// owner keeps only its `retain_batches` newest live batches.
+  uint64_t retain_batches = 0;
 
   bool enabled() const { return !dir.empty(); }
 };
@@ -161,6 +169,9 @@ class DurableBlockStore {
   Status AppendRecord(const std::string& payload, Location* loc);
   /// Deletes zero-live segments from the front of the log.
   void CollectPrefix();
+  /// Applies retain_batches / retain_bytes after a Put (tombstoning through
+  /// Evict, so expiry is as crash-safe as window eviction).
+  Status EnforceRetention();
   /// fsyncs the store directory after a segment delete, warning (not
   /// failing) on error — undone deletes are harmless, leaked ones not.
   void SyncDirBestEffort();
@@ -175,6 +186,10 @@ class DurableBlockStore {
   uint64_t next_segment_id_ = 0;
   uint64_t live_bytes_ = 0;
   TimeMicros last_append_micros_ = 0;
+  /// True while Compact() re-appends the live generation: those internal
+  /// Puts must not re-enter retention (mid-rewrite both generations are on
+  /// disk, so a size-triggered compaction would recurse without bound).
+  bool compacting_ = false;
 
   // prompt_store_* instrumentation (null when metrics are disabled).
   Counter* appends_total_ = nullptr;

@@ -36,6 +36,70 @@ QueryContextOptions ContextOptionsFrom(const MultiTenantEngineOptions& options,
   return qc;
 }
 
+/// The multi-tenant manifest. Every key mirrors one read in the replayer's
+/// MultiOptionsFromManifest (plus the tenant= spec lines SpecsFromManifest
+/// consumes); ReplayResult::manifest_match catches drift between the two.
+JournalManifest BuildMultiManifest(const MultiTenantEngineOptions& o,
+                                   const std::vector<TenantQuerySpec>& specs) {
+  JournalManifest m;
+  m.Set("format", "prompt-journal-v1");
+  m.Set("mode", "multi");
+  m.Set("batch_interval", static_cast<int64_t>(o.batch_interval));
+  m.Set("total_slots", static_cast<uint64_t>(o.total_slots));
+  m.Set("map_tasks", static_cast<uint64_t>(o.map_tasks));
+  m.Set("reduce_tasks", static_cast<uint64_t>(o.reduce_tasks));
+  m.Set("exec_mode", o.mode == ExecutionMode::kReal ? "real" : "simulated");
+  m.Set("use_prompt_reduce", o.use_prompt_reduce);
+  m.Set("early_release_frac", o.early_release_frac);
+  m.Set("unstable_queue_intervals", o.unstable_queue_intervals);
+  m.Set("cost.map_task_fixed_us", o.cost.map_task_fixed_us);
+  m.Set("cost.map_per_tuple_us", o.cost.map_per_tuple_us);
+  m.Set("cost.map_per_key_us", o.cost.map_per_key_us);
+  m.Set("cost.reduce_task_fixed_us", o.cost.reduce_task_fixed_us);
+  m.Set("cost.reduce_per_tuple_us", o.cost.reduce_per_tuple_us);
+  m.Set("cost.reduce_per_cluster_us", o.cost.reduce_per_cluster_us);
+  m.Set("cost.partition_cost_scale", o.cost.partition_cost_scale);
+  m.Set("cost.replicate_per_kib_us", o.cost.replicate_per_kib_us);
+  {
+    std::string csv;
+    for (PartitionerType t : o.adapt_base.candidates) {
+      if (!csv.empty()) csv += ',';
+      csv += PartitionerTypeName(t);
+    }
+    m.Set("adapt.candidates", csv);
+  }
+  m.Set("adapt.grace", static_cast<int64_t>(o.adapt_base.grace));
+  m.Set("adapt.window", static_cast<uint64_t>(o.adapt_base.window));
+  m.Set("adapt.calm_block_load_ratio", o.adapt_base.calm_block_load_ratio);
+  m.Set("adapt.calm_split_key_frac", o.adapt_base.calm_split_key_frac);
+  m.Set("partitioner.accumulator",
+        AccumulatorKindName(o.adapt_base.config.prompt.accumulator_kind));
+  m.Set("partitioner.post_sort", o.adapt_base.config.prompt.post_sort);
+  m.Set("partitioner.cam_candidates",
+        static_cast<uint64_t>(o.adapt_base.config.cam_candidates));
+  m.Set("partitioner.sketch_capacity",
+        static_cast<uint64_t>(o.adapt_base.config.sketch_capacity));
+  m.Set("obs.collect_partition_metrics", o.obs.collect_partition_metrics);
+  m.Set("obs.autopsy.min_excess_frac", o.obs.autopsy.min_excess_frac);
+  m.Set("obs.autopsy.min_excess_us",
+        static_cast<int64_t>(o.obs.autopsy.min_excess_us));
+  m.Set("obs.autopsy.ring_pressure_threshold",
+        o.obs.autopsy.ring_pressure_threshold);
+  m.Set("store.enabled", o.store.enabled());
+  m.Set("store.fsync", FsyncPolicyName(o.store.fsync));
+  m.Set("store.memory_budget_bytes",
+        static_cast<uint64_t>(o.store.memory_budget_bytes));
+  m.Set("store.retain_bytes", static_cast<uint64_t>(o.store.retain_bytes));
+  m.Set("store.retain_batches", o.store.retain_batches);
+  m.Set("ingest.shards", static_cast<uint64_t>(o.ingest.shards));
+  m.Set("ingest.ring_capacity", static_cast<uint64_t>(o.ingest.ring_capacity));
+  m.Set("ingest.accumulator", AccumulatorKindName(o.ingest.accumulator));
+  for (const TenantQuerySpec& spec : specs) {
+    m.Set("tenant", TenantSpecLine(spec));
+  }
+  return m;
+}
+
 }  // namespace
 
 MultiTenantEngine::MultiTenantEngine(MultiTenantEngineOptions options,
@@ -65,6 +129,10 @@ Result<std::unique_ptr<MultiTenantEngine>> MultiTenantEngine::Create(
   auto engine = std::unique_ptr<MultiTenantEngine>(
       new MultiTenantEngine(std::move(options), source));
   const MultiTenantEngineOptions& opts = engine->options_;
+  // Built before the specs are moved into tenants_; opened after recovery so
+  // a journal on a failing store directory never leaves stray files behind.
+  JournalManifest manifest;
+  if (opts.journal.enabled()) manifest = BuildMultiManifest(opts, specs);
 
   engine->obs_ = std::make_unique<Observability>(opts.obs);
   if (!engine->obs_->init_status().ok()) {
@@ -166,6 +234,13 @@ Result<std::unique_ptr<MultiTenantEngine>> MultiTenantEngine::Create(
       }
     }
   }
+
+  if (opts.journal.enabled()) {
+    // Recording was explicitly requested; running unrecorded would break the
+    // operator's replay guarantee silently — Create fails loudly instead.
+    PROMPT_ASSIGN_OR_RETURN(engine->journal_,
+                            JournalWriter::Open(opts.journal, manifest));
+  }
   return engine;
 }
 
@@ -237,6 +312,11 @@ BatchReport MultiTenantEngine::ProcessTenantBatch(Tenant* tenant,
     report.reduce_completion_max_ms = hi;
   }
 
+  // The fingerprint hashes the reduce output before the window consumes it;
+  // computed only when recording (the hash walk is not free).
+  if (journal_ != nullptr) {
+    report.output_hash = HashBatchOutput(exec.output);
+  }
   ctx.window->AddBatch(std::move(exec.output));
   return report;
 }
@@ -270,6 +350,9 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
     }
     if (ingest_ != nullptr) ingest_->BeginBatch(start, end);
     auto sink = [&](const Tuple& t) {
+      // Flight-recorder tap: the raw consumed stream, before fan-out, so
+      // replay re-derives every tenant's slice from the same tuples.
+      if (journal_ != nullptr) journal_->RecordTuple(t);
       if (ingest_ != nullptr) {
         ingest_->Ingest(t);
         return;
@@ -297,6 +380,15 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
     }
     const AccumulatedBatch* merged =
         ingest_ != nullptr ? &ingest_->SealBatch() : nullptr;
+
+    if (journal_ != nullptr) {
+      // One tuple record per heartbeat, stamped with the shared batch id
+      // (every tenant's next_batch_id agrees — they ride one clock).
+      if (Status st = journal_->AppendBatchTuples(tenants_[0].ctx->next_batch_id);
+          !st.ok()) {
+        PROMPT_LOG(kWarn) << "journal tuple append failed: " << st.ToString();
+      }
+    }
 
     // --- Per-tenant seal + processing on the granted slots. ---
     for (size_t ti = 0; ti < tenants_.size(); ++ti) {
@@ -328,6 +420,20 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
         batch.partition_cost += ingest_->last_metrics().merge_latency;
       } else {
         batch = ctx.partitioner->Seal(ctx.next_batch_id++);
+      }
+
+      // Settled after the merge-latency add so the recorded partition_cost
+      // is the final value a replay must reproduce.
+      const BatchEnv batch_env = SettleBatchEnv(
+          options_.journal.inject, static_cast<uint32_t>(ti), &batch,
+          ingest_ != nullptr ? &ingest_->last_metrics() : nullptr);
+      if (journal_ != nullptr) {
+        if (Status st =
+                journal_->AppendEnv(static_cast<uint32_t>(ti), batch_env);
+            !st.ok()) {
+          PROMPT_LOG(kWarn) << "tenant " << ctx.id()
+                            << ": journal env append failed: " << st.ToString();
+        }
       }
 
       if (durable_ != nullptr) {
@@ -362,6 +468,8 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
         report.ingest = ingest_->last_metrics();
         report.has_ingest = true;
       }
+      InjectIngestEnv(options_.journal.inject, static_cast<uint32_t>(ti),
+                      batch_env, &report);
 
       if (static_cast<double>(report.queue_delay) >
           options_.unstable_queue_intervals * static_cast<double>(interval)) {
@@ -383,6 +491,19 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
             ctx.adapt->OnBatchCompleted(report, autopsy);
         if (decision.switch_now) {
           ctx.ApplyTechniqueSwitch(decision);
+          if (journal_ != nullptr) {
+            JournalSwitch js;
+            js.owner = static_cast<uint32_t>(ti);
+            js.after_batch = report.batch_id;
+            js.from = static_cast<int32_t>(decision.from);
+            js.to = static_cast<int32_t>(decision.to);
+            js.reason = decision.reason;
+            if (Status st = journal_->AppendSwitch(js); !st.ok()) {
+              PROMPT_LOG(kWarn) << "tenant " << ctx.id()
+                                << ": journal switch append failed: "
+                                << st.ToString();
+            }
+          }
           result.summary.technique_switches.push_back(
               RunSummary::TechniqueSwitch{report.batch_id, decision.from,
                                           decision.to, decision.reason});
@@ -404,6 +525,15 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
       }
 
       result.slots_granted += slots[ti];
+      if (journal_ != nullptr) {
+        if (Status st = journal_->AppendOutcome(static_cast<uint32_t>(ti),
+                                                OutcomeFrom(report, autopsy));
+            !st.ok()) {
+          PROMPT_LOG(kWarn) << "tenant " << ctx.id()
+                            << ": journal outcome append failed: "
+                            << st.ToString();
+        }
+      }
       result.summary.batches.push_back(std::move(report));
     }
 
@@ -430,6 +560,23 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
       if (Status st = durable_->Sync(); !st.ok()) {
         PROMPT_LOG(kWarn) << "durable sync failed: " << st.ToString();
       }
+    }
+    if (journal_ != nullptr) {
+      // Same cadence as the durable store: one journal durability point per
+      // heartbeat covers every tenant's records.
+      if (Status st = journal_->SyncBatch(); !st.ok()) {
+        PROMPT_LOG(kWarn) << "journal sync failed: " << st.ToString();
+      }
+    }
+
+    if (HttpExporter* exporter = obs_->exporter(); exporter != nullptr) {
+      HealthStatus health;
+      health.data_loss = durable_recovery_.data_loss;
+      health.last_batch_id =
+          static_cast<int64_t>(tenants_[0].ctx->next_batch_id) - 1;
+      health.journal_lag_bytes =
+          journal_ != nullptr ? journal_->unsynced_bytes() : 0;
+      exporter->UpdateHealth(health);
     }
   }
   if (obs_->active()) obs_->OnRunEnd();

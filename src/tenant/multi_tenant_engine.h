@@ -30,6 +30,7 @@
 #include "obs/autopsy.h"
 #include "obs/observability.h"
 #include "query/multi_query.h"
+#include "replay/journal.h"
 #include "tenant/query_context.h"
 #include "tenant/tenant_scheduler.h"
 #include "workload/source.h"
@@ -74,6 +75,11 @@ struct MultiTenantEngineOptions {
   /// before processing, and Create() recovers every tenant's surviving
   /// in-window batches from the same directory.
   StoreOptions store;
+  /// Flight recorder (src/replay/): when journal.dir is set, every tuple,
+  /// sealed-batch boundary, per-tenant outcome fingerprint, adaptive switch
+  /// and wall-clock input is journaled; outcome records are namespaced by
+  /// tenant index, mirroring the durable store's owner namespace.
+  JournalOptions journal;
 };
 
 /// \brief One tenant's results for a Run call.
@@ -131,6 +137,8 @@ class MultiTenantEngine {
   };
   const DurableRecovery& durable_recovery() const { return durable_recovery_; }
   const DurableBlockStore* durable_store() const { return durable_.get(); }
+  /// The flight recorder, or null when options.journal is disabled.
+  const JournalWriter* journal() const { return journal_.get(); }
 
  private:
   struct Tenant {
@@ -158,6 +166,7 @@ class MultiTenantEngine {
   std::unique_ptr<ParallelIngestPipeline> ingest_;  // ingest.shards > 1
   std::unique_ptr<ThreadPool> pool_;                // mode == kReal
   std::unique_ptr<DurableBlockStore> durable_;      // store.dir non-empty
+  std::unique_ptr<JournalWriter> journal_;          // journal.dir non-empty
   DurableRecovery durable_recovery_;
   std::vector<Tenant> tenants_;
 

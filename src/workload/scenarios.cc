@@ -1,6 +1,7 @@
 #include "workload/scenarios.h"
 
 #include "common/hash.h"
+#include "replay/journal.h"
 
 namespace prompt {
 
@@ -84,6 +85,28 @@ ScenarioSpec MakeScenario(ScenarioId id, double rate_tps, uint64_t seed) {
     }
   }
   return spec;
+}
+
+Result<ScenarioSpec> MakeScenario(const std::string& spec, double rate_tps,
+                                  uint64_t seed) {
+  if (spec.rfind("replay:", 0) == 0) {
+    const std::string dir = spec.substr(7);
+    if (dir.empty()) {
+      return Status::Invalid("scenario 'replay:' needs a journal directory");
+    }
+    PROMPT_ASSIGN_OR_RETURN(JournalData journal, ReadJournal(dir));
+    ScenarioSpec out;
+    out.source = std::make_unique<JournalTupleSource>(journal.AllTuples());
+    out.description = "captured tuple stream replayed from a run journal";
+    return out;
+  }
+  for (ScenarioId id :
+       {ScenarioId::kDiurnal, ScenarioId::kFlashCrowd, ScenarioId::kVocabChurn}) {
+    if (spec == ScenarioName(id)) return MakeScenario(id, rate_tps, seed);
+  }
+  return Status::Invalid(
+      "unknown scenario '" + spec +
+      "' (want diurnal, flash_crowd, vocab_churn or replay:<dir>)");
 }
 
 const char* ScenarioName(ScenarioId id) {

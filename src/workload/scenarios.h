@@ -8,7 +8,9 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "common/result.h"
 #include "workload/rate_profile.h"
 #include "workload/sources.h"
 
@@ -111,6 +113,14 @@ struct ScenarioSpec {
 
 /// \param rate_tps mean offered load; \param seed drives every draw.
 ScenarioSpec MakeScenario(ScenarioId id, double rate_tps, uint64_t seed);
+
+/// String-spec scenarios for promptctl --scenario: a preset name
+/// ("diurnal", "flash_crowd", "vocab_churn"), or "replay:<dir>" — the
+/// captured tuple stream of a flight-recorder journal (src/replay/),
+/// replayed in recorded order across every attempt in the directory.
+/// rate/seed are ignored by replay: the journal carries its own timing.
+Result<ScenarioSpec> MakeScenario(const std::string& spec, double rate_tps,
+                                  uint64_t seed);
 
 const char* ScenarioName(ScenarioId id);
 

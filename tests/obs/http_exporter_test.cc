@@ -233,6 +233,49 @@ TEST(HttpExporterTest, TenantQueryWorksOverTheSocket) {
   EXPECT_NE(index.find("\"calm\""), std::string::npos) << index;
 }
 
+TEST(HttpExporterTest, HealthzReportsEngineHealthAsJson) {
+  HttpExporter exporter(nullptr, nullptr);
+  ASSERT_TRUE(exporter.Start(0).ok());
+
+  // Before any engine publishes, /healthz serves the healthy defaults.
+  std::string health = HttpGet(exporter.port(), "/healthz");
+  EXPECT_NE(health.find("application/json"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"data_loss\":false"), std::string::npos);
+  EXPECT_NE(health.find("\"init_status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"last_batch_id\":-1"), std::string::npos);
+  EXPECT_NE(health.find("\"journal_lag_bytes\":0"), std::string::npos);
+
+  // The engine's per-batch publish lands verbatim.
+  HealthStatus status;
+  status.data_loss = false;
+  status.init_status = "ok";
+  status.last_batch_id = 41;
+  status.journal_lag_bytes = 1234;
+  exporter.UpdateHealth(status);
+  health = HttpGet(exporter.port(), "/healthz");
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"last_batch_id\":41"), std::string::npos);
+  EXPECT_NE(health.find("\"journal_lag_bytes\":1234"), std::string::npos);
+
+  // Data loss flips the top-level verdict to degraded.
+  status.data_loss = true;
+  exporter.UpdateHealth(status);
+  health = HttpGet(exporter.port(), "/healthz");
+  EXPECT_NE(health.find("\"status\":\"degraded\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"data_loss\":true"), std::string::npos);
+
+  // So does a failed engine init, and the status string passes through
+  // JSON-quoted.
+  status.data_loss = false;
+  status.init_status = "IOError: store segment unreadable";
+  exporter.UpdateHealth(status);
+  health = HttpGet(exporter.port(), "/healthz");
+  EXPECT_NE(health.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(health.find("store segment unreadable"), std::string::npos);
+}
+
 TEST(HttpExporterTest, BindFailureReturnsIOError) {
   MetricsRegistry registry;
   HttpExporter first(&registry, nullptr);

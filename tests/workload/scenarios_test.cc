@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <vector>
+
+#include "replay/journal.h"
 
 namespace prompt {
 namespace {
@@ -145,6 +148,51 @@ TEST(ScenariosTest, NamesAreStable) {
     EXPECT_NE(spec.source, nullptr);
     EXPECT_NE(spec.description[0], '\0');
   }
+}
+
+TEST(ScenariosTest, StringSpecResolvesPresetsAndRejectsUnknown) {
+  for (const char* name : {"diurnal", "flash_crowd", "vocab_churn"}) {
+    auto spec = MakeScenario(std::string(name), 1000, 1);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_NE(spec->source, nullptr);
+  }
+  EXPECT_FALSE(MakeScenario(std::string("thundering_herd"), 1000, 1).ok());
+  EXPECT_FALSE(MakeScenario(std::string("replay:"), 1000, 1).ok());
+  EXPECT_FALSE(
+      MakeScenario(std::string("replay:/nonexistent/journal"), 1000, 1).ok());
+}
+
+TEST(ScenariosTest, ReplaySpecServesAJournalsRecordedStream) {
+  const std::string dir = ::testing::TempDir() + "/scenario_replay_journal";
+  std::filesystem::remove_all(dir);
+  JournalManifest manifest;
+  manifest.Set("mode", "single");
+  JournalOptions options;
+  options.dir = dir;
+  {
+    auto writer = JournalWriter::Open(options, manifest);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    Tuple t;
+    for (uint64_t i = 0; i < 50; ++i) {
+      t.ts = static_cast<TimeMicros>(i * 1000);
+      t.key = i * 3 + 1;
+      t.value = static_cast<double>(i);
+      (*writer)->RecordTuple(t);
+    }
+    ASSERT_TRUE((*writer)->AppendBatchTuples(0).ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+
+  auto spec = MakeScenario("replay:" + dir, /*rate ignored*/ 0, /*seed*/ 0);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Tuple t;
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(spec->source->Next(&t)) << i;
+    EXPECT_EQ(t.ts, static_cast<TimeMicros>(i * 1000));
+    EXPECT_EQ(t.key, i * 3 + 1);
+    EXPECT_EQ(t.value, static_cast<double>(i));
+  }
+  EXPECT_FALSE(spec->source->Next(&t));
 }
 
 }  // namespace

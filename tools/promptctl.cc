@@ -50,6 +50,24 @@
 //                                        column; the telemetry server adds
 //                                        /tenants.json and
 //                                        /timeseries.json?tenant=<id>.
+//
+// Flight recorder (src/replay/):
+//   --record=DIR               journal the run (tuples, outcomes, switches,
+//                              faults, wall-clock inputs) for replay
+//   --replay=DIR               re-run a journal bit-identically, re-record
+//                              it (into --record, or DIR.replay) and verify;
+//                              exit 4 if any batch diverged
+//   --diff=DIRA,DIRB           compare two journals; prints the first
+//                              divergent batch with a per-field delta
+//                              table; exit 4 on divergence
+//   --scenario=NAME            replace --dataset with a stress preset
+//                              (diurnal, flash_crowd, vocab_churn) or
+//                              replay:<dir> (a journal's captured stream)
+//
+// Store retention (with --store_dir):
+//   --retain_batches=N         keep at most N newest batches per owner
+//   --retain_bytes=N           cap the on-disk segment bytes (oldest
+//                              batches expire first; the newest survives)
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -65,7 +83,10 @@
 #include "obs/sink.h"
 #include "query/multi_query.h"
 #include "query/parser.h"
+#include "replay/diff.h"
+#include "replay/replayer.h"
 #include "tenant/multi_tenant_engine.h"
+#include "workload/scenarios.h"
 #include "workload/sources.h"
 
 using namespace prompt;
@@ -101,6 +122,45 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// --diff mode: compare two journal directories, print the first divergent
+/// batch's delta table. Exit 0 identical, 4 divergent, 1 on read errors.
+int RunDiff(const std::string& spec) {
+  const size_t comma = spec.find(',');
+  if (comma == std::string::npos || comma == 0 || comma + 1 == spec.size()) {
+    return Fail(Status::Invalid("--diff wants two directories: dirA,dirB"));
+  }
+  auto a = ReadJournal(spec.substr(0, comma));
+  if (!a.ok()) return Fail(a.status());
+  auto b = ReadJournal(spec.substr(comma + 1));
+  if (!b.ok()) return Fail(b.status());
+  const JournalDiff diff = DiffJournals(*a, *b);
+  WriteDiffText(diff, &std::cout);
+  return diff.identical ? 0 : 4;
+}
+
+/// --replay mode: drive fresh engines over a journal's attempts, re-record,
+/// and verify the rerun against the recording. Exit 4 if anything diverged.
+int RunReplay(const std::string& journal_dir, const std::string& record_dir) {
+  ReplayOptions options;
+  options.journal_dir = journal_dir;
+  options.output_dir =
+      record_dir.empty() ? journal_dir + ".replay" : record_dir;
+  auto result = ReplayJournal(options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("replayed %s (%s mode): %llu attempt(s), %llu batch(es), "
+              "re-recorded into %s\n",
+              journal_dir.c_str(), result->mode.c_str(),
+              static_cast<unsigned long long>(result->attempts),
+              static_cast<unsigned long long>(result->batches),
+              options.output_dir.c_str());
+  if (!result->manifest_match) {
+    std::printf("MANIFEST MISMATCH: the replayed engine options do not "
+                "round-trip\n");
+  }
+  WriteDiffText(result->diff, &std::cout);
+  return result->BitIdentical() ? 0 : 4;
+}
+
 /// --queries mode: N tenant specs multiplexed over one shared stream by the
 /// weighted-fair TenantScheduler (src/tenant/).
 int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
@@ -110,7 +170,8 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
                    int metrics_every, const std::string& metrics_path,
                    int serve_port, int serve_hold_ms,
                    const std::string& autopsy_path,
-                   const StoreOptions& store) {
+                   const StoreOptions& store, const std::string& scenario_spec,
+                   const std::string& record_dir) {
   auto specs = LoadQueryFile(queries_path);
   if (!specs.ok()) return Fail(specs.status());
 
@@ -118,6 +179,12 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
   auto profile = std::make_shared<SinusoidalRate>(rate, 0.3, 4 * slide);
   auto source = MakeDataset(dataset, profile, static_cast<uint64_t>(seed),
                             zipf, scale);
+  if (!scenario_spec.empty()) {
+    auto scenario =
+        MakeScenario(scenario_spec, rate, static_cast<uint64_t>(seed));
+    if (!scenario.ok()) return Fail(scenario.status());
+    source = std::move(scenario->source);
+  }
 
   MultiTenantEngineOptions options;
   options.batch_interval = slide;
@@ -144,6 +211,7 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
   }
 
   options.store = store;
+  options.journal.dir = record_dir;
 
   auto engine = MultiTenantEngine::Create(options, *specs, source.get());
   if (!engine.ok()) return Fail(engine.status());
@@ -217,6 +285,10 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
   if (!autopsy_path.empty()) {
     std::printf("\n(wrote per-tenant autopsy rows to %s)\n",
                 autopsy_path.c_str());
+  }
+  if (!record_dir.empty()) {
+    std::printf("(recorded run journal to %s — promptctl --replay=%s)\n",
+                record_dir.c_str(), record_dir.c_str());
   }
   if (mt.observability()->exporter() != nullptr && serve_hold_ms > 0) {
     std::printf("holding telemetry server for %dms...\n", serve_hold_ms);
@@ -322,16 +394,32 @@ int main(int argc, char** argv) {
         "--recover_only/--crash_after need --store_dir (nothing durable "
         "survives a crash without it)"));
   }
+  auto retain_bytes = flags.GetInt("retain_bytes", 0);
+  if (!retain_bytes.ok()) return Fail(retain_bytes.status());
+  auto retain_batches = flags.GetInt("retain_batches", 0);
+  if (!retain_batches.ok()) return Fail(retain_batches.status());
+  if (*retain_bytes < 0 || *retain_batches < 0) {
+    return Fail(Status::Invalid("--retain_bytes/--retain_batches must be >= 0"));
+  }
+  const std::string record_dir = flags.GetString("record", "");
+  const std::string replay_dir = flags.GetString("replay", "");
+  const std::string diff_spec = flags.GetString("diff", "");
+  const std::string scenario_spec = flags.GetString("scenario", "");
   StoreOptions store_options;
   store_options.dir = store_dir;
   store_options.fsync = *fsync;
   store_options.memory_budget_bytes =
       static_cast<size_t>(*memory_budget_mb) << 20;
+  store_options.retain_bytes = static_cast<size_t>(*retain_bytes);
+  store_options.retain_batches = static_cast<uint64_t>(*retain_batches);
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::fprintf(stderr, "promptctl: unknown flag --%s (try --list)\n",
                  unknown.c_str());
     return 1;
   }
+
+  if (!diff_spec.empty()) return RunDiff(diff_spec);
+  if (!replay_dir.empty()) return RunReplay(replay_dir, record_dir);
 
   if (!queries_path.empty()) {
     // Multi-tenant serving: the spec file replaces --query/--technique.
@@ -339,7 +427,7 @@ int main(int argc, char** argv) {
                           *zipf, *scale, *seed, *ingest_shards, accumulator,
                           *map_us, *metrics, *metrics_every, metrics_path,
                           *serve_port, *serve_hold_ms, autopsy_path,
-                          store_options);
+                          store_options, scenario_spec, record_dir);
   }
 
   auto query = ParseQuery(query_text);
@@ -355,6 +443,12 @@ int main(int argc, char** argv) {
                                                   4 * query->slide);
   auto source = MakeDataset(*dataset, profile, static_cast<uint64_t>(*seed),
                             *zipf, *scale);
+  if (!scenario_spec.empty()) {
+    auto scenario =
+        MakeScenario(scenario_spec, *rate, static_cast<uint64_t>(*seed));
+    if (!scenario.ok()) return Fail(scenario.status());
+    source = std::move(scenario->source);
+  }
 
   EngineOptions options;
   options.batch_interval = query->slide;
@@ -378,7 +472,10 @@ int main(int argc, char** argv) {
   // adaptive-switch replacements on the same implementation.
   PartitionerConfig partitioner_config;
   partitioner_config.prompt.accumulator_kind = accumulator;
-  options.adapt.config.prompt.accumulator_kind = accumulator;
+  // adapt.config is also what the flight recorder's manifest records as the
+  // construction config, so keep it literally the config passed to
+  // CreatePartitioner below.
+  options.adapt.config = partitioner_config;
   options.cost.map_per_tuple_us = *map_us;
   options.cost.map_per_key_us = *map_us / 4;
   options.cost.reduce_per_tuple_us = *map_us / 8;
@@ -436,6 +533,12 @@ int main(int argc, char** argv) {
     options.cores = options.cluster.nodes * options.cluster.cores_per_node;
   }
   options.store = store_options;
+  if (!record_dir.empty()) {
+    options.journal.dir = record_dir;
+    // Journaling the query text lets replay rebuild the job (map/reduce
+    // logic, window, top-k) instead of assuming word count.
+    options.journal.query = query_text;
+  }
 
   MicroBatchEngine engine(options, query->job,
                           CreatePartitioner(*technique, partitioner_config),
@@ -543,6 +646,10 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     std::printf("\n(wrote %zu batch traces to %s)\n", summary.batches.size(),
                 trace_path.c_str());
+  }
+  if (!record_dir.empty()) {
+    std::printf("\n(recorded run journal to %s — promptctl --replay=%s)\n",
+                record_dir.c_str(), record_dir.c_str());
   }
   if (!csv_path.empty()) {
     if (auto st = WriteReportsCsvFile(summary.batches, csv_path); !st.ok()) {
