@@ -13,14 +13,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include <filesystem>
 
 #include "bench_util.h"
+#include "common/hash.h"
+#include "common/random.h"
 #include "core/accumulator_api.h"
+#include "core/prompt_partitioner.h"
 #include "durability_util.h"
+#include "ingest/merge.h"
+#include "ingest/pipeline.h"
 #include "multi_tenant_util.h"
 #include "obs/timeseries.h"
 #include "replay/replayer.h"
@@ -227,6 +233,155 @@ void TrackIngestAccumulators(std::vector<Signal>* out) {
                   "ratio", /*gate=*/false, /*tolerance_pct=*/100.0});
 }
 
+/// Heavy-hitter mode acceptance (DESIGN.md §17) on a deterministic
+/// high-cardinality Zipf z=1.0 stream (scaled-down twin of bench/sketch_scale
+/// so the nightly track stays fast). All gated — every signal is a pure
+/// data-structure or virtual-plan property, no clocks:
+///  - memory_within_budget: 1.0 iff sketch key_state_bytes() (the
+///    O(distinct-keys) axis; tuple columns are O(tuples) in both modes)
+///    <= 10% of exact mode's.
+///  - bsi_excess_ok: 1.0 iff (bsi_sketch - bsi_exact) / avg_block_size
+///    <= 0.15 — the documented tail-bucket imbalance bound.
+///  - exact_shard_invariance: 1.0 iff at each shard count in {1, 4} the
+///    exact-mode pipeline's sealed merged batch is bit-identical to an
+///    inline pre-PR reference (route by hash, flat accumulators,
+///    LoserTree merge) — proving the sketch machinery is inert when off.
+///  - key_state_ratio / head_coverage: the underlying gated trends.
+void TrackSketchScale(std::vector<Signal>* out) {
+  constexpr uint32_t kBlocks = 16;
+  constexpr uint64_t kCardinality = 1000000;
+  Rng rng(42);
+  ZipfSampler sampler(kCardinality, /*z=*/1.0);
+  std::vector<Tuple> stream;
+  const uint64_t kTuples = 2000000;
+  stream.reserve(kTuples);
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    stream.push_back(Tuple{static_cast<TimeMicros>(i),
+                           static_cast<KeyId>(sampler.Sample(rng)), 1.0});
+  }
+
+  struct ModeResult {
+    size_t key_state_bytes = 0;
+    double bsi = 0;
+    double avg_block_size = 0;
+    double head_coverage = 1.0;
+  };
+  auto run_mode = [&stream](AccumulatorKind kind) {
+    AccumulatorOptions opts;
+    opts.estimated_tuples = stream.size();
+    opts.avg_keys = kCardinality;  // auto promote threshold ~ 4x mean freq
+    opts.sketch.capacity = 16384;
+    opts.sketch.tail_buckets = 8 * kBlocks;
+    auto acc = MakeAccumulator(kind, opts);
+    acc->Begin(0, static_cast<TimeMicros>(stream.size()));
+    for (const Tuple& t : stream) acc->OnTuple(t);
+    AccumulatedBatch batch = acc->Seal();
+    ModeResult r;
+    r.key_state_bytes = acc->key_state_bytes();
+    r.head_coverage = batch.stats().sketch_mode
+                          ? batch.stats().head_coverage()
+                          : 1.0;
+    const PartitionPlan plan = BuildPromptPlan(batch, kBlocks);
+    const PartitionedBatch parts = MaterializePlan(batch, plan, kBlocks);
+    const PartitionMetrics m = ComputeBlockMetrics(parts);
+    r.bsi = m.bsi;
+    r.avg_block_size = m.avg_block_size;
+    return r;
+  };
+  const ModeResult exact = run_mode(AccumulatorKind::kFlat);
+  const ModeResult sketch = run_mode(AccumulatorKind::kSketch);
+
+  const double mem_ratio =
+      static_cast<double>(sketch.key_state_bytes) /
+      static_cast<double>(std::max<size_t>(1, exact.key_state_bytes));
+  const double bsi_excess =
+      (sketch.bsi - exact.bsi) / std::max(1.0, exact.avg_block_size);
+
+  // Exact-mode inertness over a 500k-tuple slice: at each shard count the
+  // pipeline must be bit-identical to the pre-PR reference merge (hash
+  // routing into flat accumulators + LoserTree). Different shard counts
+  // legitimately interleave equal-count runs differently, so {1} and {4}
+  // are each checked against their own reference, not against each other.
+  constexpr size_t kSlice = 500000;
+  auto pipeline_image = [&stream](uint32_t shards) {
+    IngestOptions opts;
+    opts.shards = shards;
+    ParallelIngestPipeline pipeline(opts);
+    pipeline.BeginBatch(0, static_cast<TimeMicros>(stream.size()));
+    for (size_t i = 0; i < kSlice; ++i) pipeline.Ingest(stream[i]);
+    const AccumulatedBatch& merged = pipeline.SealBatch();
+    std::vector<SortedKeyRun> runs;
+    std::vector<Tuple> chained;
+    for (const SortedKeyRun& run : merged.keys()) {
+      runs.push_back(run);
+      merged.ForEachTuple(run, 0, run.count,
+                          [&](const Tuple& t) { chained.push_back(t); });
+    }
+    return std::make_pair(std::move(runs), std::move(chained));
+  };
+  auto reference_image = [&stream](uint32_t shards) {
+    AccumulatorOptions scaled;  // defaults, matching IngestOptions
+    scaled.estimated_tuples =
+        std::max<uint64_t>(1, scaled.estimated_tuples / shards);
+    scaled.avg_keys = std::max<uint64_t>(1, scaled.avg_keys / shards);
+    std::vector<std::unique_ptr<Accumulator>> accs;
+    for (uint32_t s = 0; s < shards; ++s) {
+      accs.push_back(MakeAccumulator(AccumulatorKind::kFlat, scaled));
+      accs.back()->Begin(0, static_cast<TimeMicros>(stream.size()));
+    }
+    for (size_t i = 0; i < kSlice; ++i) {
+      accs[HashKey(stream[i].key) % shards]->OnTuple(stream[i]);
+    }
+    std::vector<AccumulatedBatch> sealed;
+    for (auto& acc : accs) sealed.push_back(acc->Seal());
+    std::vector<std::span<const SortedKeyRun>> inputs;
+    for (const AccumulatedBatch& b : sealed) inputs.emplace_back(b.keys());
+    LoserTree tree(std::move(inputs));
+    std::vector<SortedKeyRun> runs;
+    std::vector<Tuple> chained;
+    SortedKeyRun run;
+    uint32_t source = 0;
+    while (tree.Next(&run, &source)) {
+      runs.push_back(run);
+      sealed[source].ForEachTuple(
+          run, 0, run.count, [&](const Tuple& t) { chained.push_back(t); });
+    }
+    return std::make_pair(std::move(runs), std::move(chained));
+  };
+  double invariant = 1.0;
+  for (const uint32_t shards : {1u, 4u}) {
+    const auto got = pipeline_image(shards);
+    const auto want = reference_image(shards);
+    if (got.first.size() != want.first.size() ||
+        got.second.size() != want.second.size()) {
+      invariant = 0.0;
+    }
+    for (size_t i = 0; invariant == 1.0 && i < got.first.size(); ++i) {
+      if (got.first[i].key != want.first[i].key ||
+          got.first[i].count != want.first[i].count) {
+        invariant = 0.0;
+      }
+    }
+    for (size_t i = 0; invariant == 1.0 && i < got.second.size(); ++i) {
+      if (got.second[i].ts != want.second[i].ts ||
+          got.second[i].key != want.second[i].key ||
+          got.second[i].value != want.second[i].value) {
+        invariant = 0.0;
+      }
+    }
+  }
+
+  out->push_back({"sketch_scale.memory_within_budget",
+                  mem_ratio <= 0.10 ? 1.0 : 0.0, "bool"});
+  out->push_back({"sketch_scale.bsi_excess_ok",
+                  bsi_excess <= 0.15 ? 1.0 : 0.0, "bool"});
+  out->push_back({"sketch_scale.exact_shard_invariance", invariant, "bool"});
+  out->push_back({"sketch_scale.key_state_ratio", mem_ratio, "ratio",
+                  /*gate=*/true, /*tolerance_pct=*/10.0});
+  out->push_back({"sketch_scale.head_coverage", sketch.head_coverage, "frac",
+                  /*gate=*/true, /*tolerance_pct=*/10.0});
+}
+
 /// The crash-restart drill (bench/durability.cc), fully virtual-time: for
 /// each fsync policy, kill the engine at batch 4's map stage and restart
 /// over the surviving segments. Recovered-batch counts, torn records and
@@ -414,6 +569,8 @@ int main(int argc, char** argv) {
   TrackMultiTenant(&signals);
   // Flat-accumulator bit-identity (gated) + throughput ratio (ungated).
   TrackIngestAccumulators(&signals);
+  // Heavy-hitter mode contract: memory budget, BSI bound, shard invariance.
+  TrackSketchScale(&signals);
   // Crash-restart recovery contract per fsync policy (all gated; the
   // window-drift signals must hold at exactly zero).
   TrackDurability(&signals);

@@ -7,6 +7,8 @@
 # Environment:
 #   WARN_ONLY=1        report regressions without failing (nightly mode)
 #   UPDATE_BASELINE=1  rewrite the committed baseline from this run
+#   NIGHTLY=1          additionally run the slow self-asserting benches
+#                      (bench/sketch_scale at 10M keys), warn-only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +22,17 @@ if [[ ! -x "${BUILD_DIR}/bench/bench_track" ]]; then
 fi
 
 "${BUILD_DIR}/bench/bench_track" "${CURRENT}"
+
+# Nightly: the full heavy-hitter frontier (10M-key Zipf, exact vs sketch at
+# three capacities, self-asserting the §17 memory/BSI/inertness contract).
+# Warn-only — the fast gated subset already runs above as the
+# sketch_scale.* signals; this catches full-scale-only drift without letting
+# a noisy host block the nightly.
+if [[ "${NIGHTLY:-0}" == "1" ]]; then
+  if ! "${BUILD_DIR}/bench/sketch_scale"; then
+    echo "WARNING: bench/sketch_scale failed its self-checks (warn-only)" >&2
+  fi
+fi
 
 if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
   cp "${CURRENT}" "${BASELINE}"

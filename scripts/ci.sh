@@ -56,6 +56,34 @@ if ! diff -u "${LOG_DIR}/accumulator-legacy-topk.txt" \
 fi
 echo "accumulator smoke: flat/legacy TOP-K tables identical"
 
+# Heavy-hitter smoke (DESIGN.md §17): a 1M-key sketch-mode run
+# (--cardinality_scale=1.0 puts SynD at its full Table-1 cardinality) must
+# stay inside a peak-RSS budget and report nonzero head coverage — i.e. the
+# sketch actually promoted heavy keys instead of degenerating to
+# tail-only hashing.
+"${BUILD_DIR}/tools/promptctl" --dataset=SynD --technique=Prompt \
+  --rate=50000 --batches=5 --ingest_shards=2 --zipf=1.0 \
+  --cardinality_scale=1.0 --key_mode=sketch --sketch_capacity=4096 \
+  2>&1 | tee "${LOG_DIR}/sketch-smoke.log"
+SKETCH_COV="$(sed -n 's/^sketch: mean head coverage=\([0-9.]*\).*/\1/p' \
+  "${LOG_DIR}/sketch-smoke.log")"
+SKETCH_RSS_MB="$(sed -n 's/.*peak_rss=\([0-9.]*\) MB$/\1/p' \
+  "${LOG_DIR}/sketch-smoke.log")"
+if [[ -z "${SKETCH_COV}" || -z "${SKETCH_RSS_MB}" ]]; then
+  echo "sketch smoke: coverage/peak-RSS footer missing from promptctl output" >&2
+  exit 1
+fi
+python3 - "${SKETCH_COV}" "${SKETCH_RSS_MB}" <<'PYEOF'
+import sys
+coverage, peak_mb = float(sys.argv[1]), float(sys.argv[2])
+if coverage <= 0.0:
+    sys.exit(f"sketch smoke: head coverage {coverage} must be > 0")
+if peak_mb > 128.0:
+    sys.exit(f"sketch smoke: peak RSS {peak_mb} MB exceeds the 128 MB budget")
+PYEOF
+echo "sketch smoke: head coverage ${SKETCH_COV} > 0," \
+  "peak RSS ${SKETCH_RSS_MB} MB <= 128 MB"
+
 # Adaptive-switching smoke: a near-uniform run started on Prompt must shed
 # robustness (>= 1 technique switch), and every switch must be annotated in
 # the trace as an adapt_switch span on the first batch after it.

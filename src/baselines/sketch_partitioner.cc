@@ -28,14 +28,26 @@ PartitionedBatch SketchPartitioner::Seal(uint64_t batch_id) {
   for (uint32_t b = 0; b < num_blocks_; ++b) out.blocks.emplace_back(b);
 
   // Heavy = estimated share above 1 / (heavy_fraction * blocks): such keys
-  // would overflow a block on their own, so they round-robin.
-  const double threshold =
-      static_cast<double>(sketch_.total()) /
-      (options_.heavy_fraction * static_cast<double>(num_blocks_));
+  // would overflow a block on their own, so they round-robin. A single block
+  // can't split anything — skip detection entirely rather than let the
+  // degenerate threshold (total / heavy_fraction) label keys "heavy" with
+  // nowhere to spread them.
   FlatMap<uint32_t> heavy_cursor(sketch_.capacity());
-  for (const auto& e : sketch_.TopEntries()) {
-    if (static_cast<double>(e.count) > threshold) {
-      heavy_cursor.GetOrInsert(e.key) = HashKey(e.key) % num_blocks_;
+  if (num_blocks_ > 1) {
+    const double threshold =
+        static_cast<double>(sketch_.total()) /
+        (options_.heavy_fraction * static_cast<double>(num_blocks_));
+    for (const auto& e : sketch_.TopEntries()) {
+      if (static_cast<double>(e.count) > threshold) {
+        // Resume the round-robin where the previous batch stopped: seeding
+        // from the key hash every batch would land each heavy key's first
+        // (largest) fragment on the same block batch after batch,
+        // concentrating load on the hash-favored blocks across the run.
+        uint32_t* prev = cursor_.Find(e.key);
+        heavy_cursor.GetOrInsert(e.key) =
+            prev != nullptr ? *prev % num_blocks_
+                            : HashKey(e.key) % num_blocks_;
+      }
     }
   }
 
@@ -53,6 +65,10 @@ PartitionedBatch SketchPartitioner::Seal(uint64_t batch_id) {
     out.blocks[block].Append(t);
   }
   out.num_keys = distinct.size();
+  // Carry the advanced cursors into the next batch; replacing the map also
+  // drops keys that stopped being heavy, so it stays bounded by the sketch
+  // capacity instead of accreting every heavy key the run ever saw.
+  cursor_ = std::move(heavy_cursor);
   for (DataBlock& b : out.blocks) b.Finalize();
   out.ComputeSplitFlags();
   out.partition_cost = watch.ElapsedMicros();

@@ -42,6 +42,10 @@ class SketchPartitioner final : public BatchPartitioner {
   SketchPartitionerOptions options_;
   SpaceSaving sketch_;
   std::vector<Tuple> buffer_;
+  /// Round-robin positions of the previous batch's heavy keys — persisted
+  /// across batches so a stable heavy key keeps rotating instead of dropping
+  /// its first fragment on the same hash-chosen block every batch.
+  FlatMap<uint32_t> cursor_{16};
   uint32_t num_blocks_ = 1;
   TimeMicros batch_end_ = 0;
 };

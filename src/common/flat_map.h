@@ -15,9 +15,13 @@ namespace prompt {
 
 /// \brief Linear-probing hash map from uint64 keys to V.
 ///
-/// Tombstone-free: the accumulator never erases individual keys (batches are
-/// cleared wholesale), so deletion is simply not offered. Load factor is kept
-/// under 0.7 by doubling.
+/// Supports erasure via tombstones for churn-heavy users (the Space-Saving
+/// sketch evicts a key on every miss once full). Tombstones count toward the
+/// load-factor trigger — a probe chain only terminates at a truly empty
+/// slot, so a table whose dead slots went unaccounted would degrade Find to
+/// O(n) under churn. When the trigger fires on tombstone pressure alone the
+/// table is rehashed in place (same capacity, tombstones dropped) instead of
+/// doubled, keeping memory proportional to the live entry count.
 template <typename V>
 class FlatMap {
  public:
@@ -30,40 +34,67 @@ class FlatMap {
     size_t cap = 16;
     while (cap < initial_capacity * 2) cap <<= 1;
     slots_.resize(cap);
-    used_.assign(cap, false);
+    used_.assign(cap, kEmpty);
   }
 
   /// Returns the value for key, inserting a default-constructed V first if
   /// absent. `inserted` (optional) reports whether an insert happened.
   V& GetOrInsert(uint64_t key, bool* inserted = nullptr) {
-    if ((size_ + 1) * 10 >= slots_.size() * 7) Grow();
-    size_t idx = Probe(key);
-    if (!used_[idx]) {
-      used_[idx] = true;
-      slots_[idx].key = key;
-      slots_[idx].value = V{};
-      ++size_;
-      if (inserted) *inserted = true;
-    } else if (inserted) {
-      *inserted = false;
+    // Tombstones occupy probe-chain slots just like live entries, so they
+    // participate in the resize trigger.
+    if ((size_ + tombstones_ + 1) * 10 >= slots_.size() * 7) Rehash();
+    const size_t mask = slots_.size() - 1;
+    size_t idx = HashKey(key) & mask;
+    size_t reuse = kNoSlot;
+    while (used_[idx] != kEmpty) {
+      if (used_[idx] == kUsed && slots_[idx].key == key) {
+        if (inserted) *inserted = false;
+        return slots_[idx].value;
+      }
+      if (used_[idx] == kTombstone && reuse == kNoSlot) reuse = idx;
+      idx = (idx + 1) & mask;
     }
+    if (reuse != kNoSlot) {
+      idx = reuse;  // reclaim the first tombstone on the probe path
+      --tombstones_;
+    }
+    used_[idx] = kUsed;
+    slots_[idx].key = key;
+    slots_[idx].value = V{};
+    ++size_;
+    if (inserted) *inserted = true;
     return slots_[idx].value;
   }
 
   /// Pointer to value or nullptr when absent.
   V* Find(uint64_t key) {
-    size_t idx = Probe(key);
-    return used_[idx] ? &slots_[idx].value : nullptr;
+    const size_t idx = FindSlot(key);
+    return idx == kNoSlot ? nullptr : &slots_[idx].value;
   }
   const V* Find(uint64_t key) const {
-    size_t idx = Probe(key);
-    return used_[idx] ? &slots_[idx].value : nullptr;
+    const size_t idx = FindSlot(key);
+    return idx == kNoSlot ? nullptr : &slots_[idx].value;
   }
 
   bool Contains(uint64_t key) const { return Find(key) != nullptr; }
 
+  /// Removes the entry for key, leaving a tombstone. Returns whether the key
+  /// was present.
+  bool Erase(uint64_t key) {
+    const size_t idx = FindSlot(key);
+    if (idx == kNoSlot) return false;
+    used_[idx] = kTombstone;
+    ++tombstones_;
+    --size_;
+    return true;
+  }
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Tombstoned slots awaiting the next rehash (observability for the churn
+  /// tests; always 0 for erase-free users).
+  size_t tombstones() const { return tombstones_; }
 
   /// Slot-array length (power of two).
   size_t capacity() const { return slots_.size(); }
@@ -75,50 +106,67 @@ class FlatMap {
 
   /// Drops all entries, retaining capacity.
   void Clear() {
-    used_.assign(used_.size(), false);
+    used_.assign(used_.size(), kEmpty);
     size_ = 0;
+    tombstones_ = 0;
   }
 
   /// Applies f(key, value&) to every entry (unspecified order).
   template <typename F>
   void ForEach(F&& f) {
     for (size_t i = 0; i < slots_.size(); ++i) {
-      if (used_[i]) f(slots_[i].key, slots_[i].value);
+      if (used_[i] == kUsed) f(slots_[i].key, slots_[i].value);
     }
   }
   template <typename F>
   void ForEach(F&& f) const {
     for (size_t i = 0; i < slots_.size(); ++i) {
-      if (used_[i]) f(slots_[i].key, slots_[i].value);
+      if (used_[i] == kUsed) f(slots_[i].key, slots_[i].value);
     }
   }
 
  private:
-  size_t Probe(uint64_t key) const {
-    size_t mask = slots_.size() - 1;
+  enum : char { kEmpty = 0, kUsed = 1, kTombstone = 2 };
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  /// Index of the live slot holding key, or kNoSlot. Probes past tombstones
+  /// (a key inserted before an intervening erase still has its chain).
+  size_t FindSlot(uint64_t key) const {
+    const size_t mask = slots_.size() - 1;
     size_t idx = HashKey(key) & mask;
-    while (used_[idx] && slots_[idx].key != key) idx = (idx + 1) & mask;
-    return idx;
+    while (used_[idx] != kEmpty) {
+      if (used_[idx] == kUsed && slots_[idx].key == key) return idx;
+      idx = (idx + 1) & mask;
+    }
+    return kNoSlot;
   }
 
-  void Grow() {
+  /// Doubles when live entries alone demand it; otherwise rehashes at the
+  /// same capacity to shed tombstones (churn-only workloads stay bounded).
+  void Rehash() {
+    size_t new_cap = slots_.size();
+    if ((size_ + 1) * 10 >= new_cap * 7) new_cap <<= 1;
     std::vector<Slot> old_slots = std::move(slots_);
     std::vector<char> old_used = std::move(used_);
-    slots_.assign(old_slots.size() * 2, Slot{});
-    used_.assign(old_used.size() * 2, false);
+    slots_.assign(new_cap, Slot{});
+    used_.assign(new_cap, kEmpty);
     size_ = 0;
+    tombstones_ = 0;
+    const size_t mask = new_cap - 1;
     for (size_t i = 0; i < old_slots.size(); ++i) {
-      if (!old_used[i]) continue;
-      size_t idx = Probe(old_slots[i].key);
-      used_[idx] = true;
+      if (old_used[i] != kUsed) continue;
+      size_t idx = HashKey(old_slots[i].key) & mask;
+      while (used_[idx] != kEmpty) idx = (idx + 1) & mask;
+      used_[idx] = kUsed;
       slots_[idx] = std::move(old_slots[i]);
       ++size_;
     }
   }
 
   std::vector<Slot> slots_;
-  std::vector<char> used_;  // char, not bool, to avoid bitset proxies
+  std::vector<char> used_;  // kEmpty / kUsed / kTombstone
   size_t size_ = 0;
+  size_t tombstones_ = 0;
 };
 
 }  // namespace prompt

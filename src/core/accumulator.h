@@ -49,6 +49,12 @@ class LegacyChainAccumulator final : public Accumulator {
 
   size_t capacity_bytes() const override;
 
+  /// Key-proportional state: HTable + CountTree (the arena and chain column
+  /// are O(tuples) and excluded).
+  size_t key_state_bytes() const override {
+    return table_.capacity_bytes() + tree_.capacity_bytes();
+  }
+
   TupleStorageView storage() const override {
     return TupleStorageView::Rows(arena_.data(), next_.data(), arena_.size());
   }

@@ -2,6 +2,7 @@
 
 #include "core/accumulator.h"
 #include "core/flat_accumulator.h"
+#include "core/sketch_accumulator.h"
 
 namespace prompt {
 
@@ -11,6 +12,8 @@ const char* AccumulatorKindName(AccumulatorKind kind) {
       return "legacy";
     case AccumulatorKind::kFlat:
       return "flat";
+    case AccumulatorKind::kSketch:
+      return "sketch";
   }
   return "unknown";
 }
@@ -24,6 +27,10 @@ bool ParseAccumulatorKind(std::string_view name, AccumulatorKind* out) {
     *out = AccumulatorKind::kLegacyChain;
     return true;
   }
+  if (name == "sketch") {
+    *out = AccumulatorKind::kSketch;
+    return true;
+  }
   return false;
 }
 
@@ -34,6 +41,8 @@ std::unique_ptr<Accumulator> MakeAccumulator(AccumulatorKind kind,
       return std::make_unique<LegacyChainAccumulator>(options);
     case AccumulatorKind::kFlat:
       return std::make_unique<FlatAccumulator>(options);
+    case AccumulatorKind::kSketch:
+      return std::make_unique<SketchAccumulator>(options);
   }
   PROMPT_CHECK_MSG(false, "unknown AccumulatorKind");
   return nullptr;

@@ -11,9 +11,30 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "model/sketch_stats.h"
 #include "model/tuple.h"
 
 namespace prompt {
+
+/// \brief Knobs specific to the sketch (heavy-hitter) accumulator. Inert for
+/// the exact implementations.
+struct SketchSettings {
+  /// Space-Saving counter slots. Doubles as the cap on keys promoted to
+  /// exact tracking, so head state is O(capacity) by construction.
+  uint32_t capacity = 4096;
+  /// Hash buckets the untracked tail flows through (no per-key state; each
+  /// bucket is one tuple chain). Must be >= 1.
+  uint32_t tail_buckets = 64;
+  /// Estimated count at which a sketch-tracked key is promoted to exact
+  /// accounting. 0 = auto: max(8, 4 * estimated_tuples / avg_keys).
+  uint64_t promote_threshold = 0;
+  /// Count-Min cross-check width (counters per row). 0 disables the CMS;
+  /// when enabled a promotion needs both sketches to clear the threshold,
+  /// vetoing Space-Saving's inherited-count over-estimates.
+  uint32_t cms_width = 0;
+  /// Count-Min rows (only read when cms_width > 0).
+  uint32_t cms_depth = 4;
+};
 
 /// \brief Tuning knobs of the buffering mechanism.
 struct AccumulatorOptions {
@@ -26,6 +47,8 @@ struct AccumulatorOptions {
   uint64_t estimated_tuples = 100000;
   /// Average distinct keys over past batches (K_avg).
   uint64_t avg_keys = 1000;
+  /// Heavy-hitter mode settings (used only by AccumulatorKind::kSketch).
+  SketchSettings sketch;
 };
 
 /// \brief Selects the Alg. 1 accumulator implementation.
@@ -37,13 +60,18 @@ enum class AccumulatorKind {
   /// radix-partitioned seal. Bit-identical output, no per-update tree
   /// rebalancing — the default.
   kFlat,
+  /// Heavy-hitter mode (DESIGN.md §17): a Space-Saving sketch decides which
+  /// keys earn exact counters and chains; everything else flows through
+  /// hash-partitioned tail buckets with no per-key state. Key-proportional
+  /// memory is O(sketch capacity), not O(distinct keys).
+  kSketch,
 };
 
-/// Canonical lowercase name ("legacy" / "flat") for flags and logs.
+/// Canonical lowercase name ("legacy" / "flat" / "sketch") for flags and logs.
 const char* AccumulatorKindName(AccumulatorKind kind);
 
-/// Parses "flat" / "legacy" (also accepts "legacy_chain"). Returns false on
-/// unknown names, leaving *out untouched.
+/// Parses "flat" / "legacy" / "sketch" (also accepts "legacy_chain").
+/// Returns false on unknown names, leaving *out untouched.
 bool ParseAccumulatorKind(std::string_view name, AccumulatorKind* out);
 
 /// \brief One entry of the sealed quasi-sorted key list:
@@ -117,6 +145,16 @@ class TupleStorageView {
   size_t size_ = 0;
 };
 
+/// \brief One hash bucket of the sketch accumulator's tail: a chain of
+/// tuples whose keys never earned exact state. All tuples of a given tail
+/// key land in exactly one bucket (bucket = hash(key) % bucket count), so a
+/// bucket can be placed on one block without splitting any tail key.
+struct TailBucket {
+  uint32_t head = SortedKeyRun::kNoTuple;
+  uint32_t tail = SortedKeyRun::kNoTuple;
+  uint64_t tuples = 0;
+};
+
 /// \brief View over a sealed batch: quasi-sorted keys (descending frequency)
 /// plus access to each key's buffered tuples. Valid until the owning
 /// accumulator's next Begin() (or, for merged batches, until the merge
@@ -134,6 +172,14 @@ class AccumulatedBatch {
   /// The tuple storage the key runs chain into.
   const TupleStorageView& storage() const { return storage_; }
 
+  /// Tail buckets (empty for exact accumulators). Tail tuples are NOT
+  /// reachable through keys(); downstream consumers that iterate runs must
+  /// also drain these chains.
+  const std::vector<TailBucket>& tail() const { return tail_; }
+
+  /// Sketch-mode telemetry (`stats().sketch_mode` gates interpretation).
+  const SketchBatchStats& stats() const { return stats_; }
+
   /// Assembles a batch view over externally owned storage — an accumulator's
   /// sealed buffers, or the sharded pipeline's merged arena (per-shard chains
   /// rebased, per-shard run lists interleaved).
@@ -144,6 +190,18 @@ class AccumulatedBatch {
     batch.num_tuples_ = num_tuples;
     batch.keys_ = std::move(keys);
     batch.storage_ = storage;
+    return batch;
+  }
+
+  /// Sketch-mode variant: also carries the tail chains and batch telemetry.
+  static AccumulatedBatch FromMergedSketch(uint64_t num_tuples,
+                                           std::vector<SortedKeyRun> keys,
+                                           TupleStorageView storage,
+                                           std::vector<TailBucket> tail,
+                                           SketchBatchStats stats) {
+    AccumulatedBatch batch = FromMerged(num_tuples, std::move(keys), storage);
+    batch.tail_ = std::move(tail);
+    batch.stats_ = stats;
     return batch;
   }
 
@@ -167,10 +225,23 @@ class AccumulatedBatch {
     }
   }
 
+  /// Applies f(const Tuple&) to every tuple chained in a tail bucket.
+  template <typename F>
+  void ForEachTailTuple(const TailBucket& bucket, F&& f) const {
+    uint32_t idx = bucket.head;
+    while (idx != SortedKeyRun::kNoTuple) {
+      const Tuple t = storage_.At(idx);
+      f(t);
+      idx = storage_.Next(idx);
+    }
+  }
+
  private:
   uint64_t num_tuples_ = 0;
   std::vector<SortedKeyRun> keys_;
   TupleStorageView storage_;
+  std::vector<TailBucket> tail_;
+  SketchBatchStats stats_;
 };
 
 /// \brief Algorithm 1 batch buffering behind a stable seam.
@@ -220,6 +291,13 @@ class Accumulator {
   /// ordering structures). Capacity accounting for admission/elasticity
   /// decisions; grows amortized, only Reset() gives it back.
   virtual size_t capacity_bytes() const = 0;
+
+  /// Bytes of *key-proportional* state only: hash tables, per-key records,
+  /// sketches, ordering structures — excluding tuple buffers, which are
+  /// O(tuples) in every mode. This is the memory-wall axis heavy-hitter mode
+  /// exists to bound: O(distinct keys) for the exact accumulators,
+  /// O(sketch capacity) for kSketch.
+  virtual size_t key_state_bytes() const = 0;
 
   /// View over the current batch's buffered tuples; the sharded pipeline
   /// reads this after Seal() to copy/rebase shard chains into the merged

@@ -53,6 +53,17 @@ class FlatAccumulator final : public Accumulator {
   uint64_t ordering_updates() const override { return ordering_updates_; }
   size_t capacity_bytes() const override;
 
+  /// Key-proportional state: hash table + per-key records + seal buckets
+  /// (tuple columns are O(tuples) and excluded).
+  size_t key_state_bytes() const override {
+    size_t bytes =
+        table_.capacity_bytes() + states_.capacity() * sizeof(KeyState);
+    for (const auto& bucket : radix_buckets_) {
+      bytes += bucket.capacity() * sizeof(SealEntry);
+    }
+    return bytes;
+  }
+
   TupleStorageView storage() const override {
     return TupleStorageView::Columns(key_col_.data(), ts_col_.data(),
                                      value_col_.data(), next_.data(),

@@ -66,7 +66,7 @@ PartitionPlan BuildPromptPlan(const AccumulatedBatch& batch,
   const auto& keys = batch.keys();
   const uint64_t n_c = batch.num_tuples();
   const uint64_t k = keys.size();
-  if (k == 0) return plan;
+  if (k == 0 && batch.tail().empty()) return plan;
 
   // Alg. 2 lines 1-3.
   const uint64_t p_size = (n_c + num_blocks - 1) / num_blocks;
@@ -123,6 +123,33 @@ PartitionPlan BuildPromptPlan(const AccumulatedBatch& batch,
       } else {
         j = next;
       }
+    }
+  }
+
+  // --- Tail buckets (sketch mode): place each bucket whole, largest first,
+  // on the currently smallest block. Buckets are opaque (no per-key stats),
+  // so this is plain LPT over bucket sizes. This runs AFTER the zigzag pass:
+  // zigzag is load-oblivious, so a large head run can lump one block, and
+  // with tail_buckets >> num_blocks the buckets are fine-grained enough for
+  // LPT to fill the valleys around those lumps. The residual pass below then
+  // sees the true per-block load including tail. Exact batches have no tail
+  // and skip this entirely.
+  if (!batch.tail().empty()) {
+    const auto& tail = batch.tail();
+    plan.tail_bucket_block.assign(tail.size(), 0);
+    std::vector<uint32_t> order(tail.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&tail](uint32_t a, uint32_t b) {
+      return tail[a].tuples != tail[b].tuples ? tail[a].tuples > tail[b].tuples
+                                              : a < b;
+    });
+    for (uint32_t bucket : order) {
+      uint32_t smallest = 0;
+      for (uint32_t b = 1; b < num_blocks; ++b) {
+        if (load.sizes[b] < load.sizes[smallest]) smallest = b;
+      }
+      plan.tail_bucket_block[bucket] = smallest;
+      load.sizes[smallest] += tail[bucket].tuples;
     }
   }
 
@@ -196,6 +223,25 @@ PartitionedBatch MaterializePlan(const AccumulatedBatch& batch,
   PartitionedBatch out;
   out.num_tuples = batch.num_tuples();
   out.num_keys = batch.num_keys();
+  out.sketch = batch.stats();
+  if (out.sketch.sketch_mode) {
+    // Exact per-key cardinality is unknown by design; carry the HLL
+    // estimate so Alg. 4's data-distribution statistic stays honest.
+    out.num_keys = std::max(out.num_keys, out.sketch.distinct_estimate);
+  }
+
+  // Head keys, for attributing tail-resident tuples of promoted keys: those
+  // keys span a tail block and head block(s), so they MUST surface in the
+  // tail block's fragment table or the reduce stage would route the same key
+  // from two blocks as if it were whole (duplicate output keys). Tail-only
+  // keys appear in exactly one block and legitimately stay summary-free.
+  FlatMap<char> head_keys(batch.keys().size() + 8);
+  if (!batch.tail().empty()) {
+    for (const SortedKeyRun& run : batch.keys()) {
+      head_keys.GetOrInsert(run.key) = 1;
+    }
+  }
+
   out.blocks.reserve(num_blocks);
   for (uint32_t b = 0; b < num_blocks; ++b) {
     DataBlock block(b);
@@ -210,6 +256,15 @@ PartitionedBatch MaterializePlan(const AccumulatedBatch& batch,
         block.Append(t);
       });
       per_key.GetOrInsert(run.key) += pl.take;
+    }
+    for (uint32_t t = 0; t < plan.tail_bucket_block.size(); ++t) {
+      if (plan.tail_bucket_block[t] != b) continue;
+      batch.ForEachTailTuple(batch.tail()[t], [&](const Tuple& tup) {
+        block.Append(tup);
+        if (head_keys.Find(tup.key) != nullptr) {
+          ++per_key.GetOrInsert(tup.key);
+        }
+      });
     }
     auto& frags = block.mutable_fragments();
     frags.reserve(per_key.size());

@@ -23,6 +23,11 @@ struct PlanPlacement {
 /// \brief Keys-to-blocks assignment produced by the B-BPFI heuristic.
 struct PartitionPlan {
   std::vector<std::vector<PlanPlacement>> blocks;
+  /// Sketch mode only: block assignment of each tail bucket (index-aligned
+  /// with AccumulatedBatch::tail()). A bucket is unsplittable — all of a
+  /// tail key's tuples share its bucket, so whole-bucket placement is what
+  /// keeps never-promoted keys split-free with zero per-key state.
+  std::vector<uint32_t> tail_bucket_block;
   uint64_t split_keys = 0;     ///< keys fragmented over 2+ blocks
   uint64_t fragments = 0;      ///< total placements after per-block merging
 };

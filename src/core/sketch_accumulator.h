@@ -1,0 +1,136 @@
+// Heavy-hitter (sketch-bounded) implementation of Alg. 1 buffering
+// (DESIGN.md §17). Exact per-key state is the memory wall at DEBS scale
+// (~8M distinct keys): the HTable, per-key records, and ordering structures
+// all grow O(K). This accumulator keeps that state only for the keys that
+// matter to Alg. 2 — the head a Space-Saving sketch confirms as heavy — and
+// lets the tail flow through hash-partitioned bucket chains with no per-key
+// state at all, so key-proportional memory is O(sketch capacity).
+// Callers should obtain it via MakeAccumulator() (accumulator_api.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/robin_hood_map.h"
+#include "core/accumulator_api.h"
+#include "stats/count_min.h"
+#include "stats/hyperloglog.h"
+#include "stats/space_saving.h"
+
+namespace prompt {
+
+/// \brief The bounded-memory accumulator behind `key_mode = sketch`.
+///
+/// Per tuple, exactly one of two paths runs:
+///   head — the key already holds exact state (it was promoted): chain the
+///   tuple, bump the exact count, run the same budget-limited rank state
+///   machine as the flat accumulator;
+///   tail — feed the Space-Saving sketch (plus the optional Count-Min
+///   cross-check) and, if the key's estimate now clears the promotion
+///   threshold and a counter slot is free, promote it: it leaves the sketch
+///   and gets an exact record seeded with the sketch estimate as its rank
+///   base. Otherwise the tuple is appended to tail bucket
+///   hash(key) % tail_buckets — a bare chain, no per-key bookkeeping.
+///
+/// Consequences downstream documents must honor:
+///   - A promoted key's run count covers only its post-promotion tuples; the
+///     pre-promotion occurrences sit in its tail bucket. The key therefore
+///     spans a head block and a tail block, which per-block fragment
+///     summaries already surface as a split key.
+///   - All tuples of a never-promoted key land in one bucket (same hash on
+///     every shard), so placing a bucket on one block splits no tail key.
+///   - Seal ordering ranks promoted keys by rank_base + freq_updated (the
+///     sketch's estimate of the full-batch frequency), while run counts stay
+///     chain-exact — Alg. 2 consumes counts as take-amounts, so they must
+///     match the chains tuple-for-tuple.
+class SketchAccumulator final : public Accumulator {
+ public:
+  explicit SketchAccumulator(AccumulatorOptions options = {});
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(SketchAccumulator);
+
+  const char* name() const override;
+  void Begin(TimeMicros start, TimeMicros end) override;
+  void OnTuple(const Tuple& t) override;
+  AccumulatedBatch Seal() override;
+  AccumulatedBatch SealWithPostSort() override;
+  void Reset() override;
+
+  uint64_t num_tuples() const override { return num_tuples_; }
+  /// Keys with exact state (promoted head keys) — tail keys are uncounted
+  /// by design; stats().distinct_estimate carries the HLL cardinality.
+  uint64_t num_keys() const override { return states_.size(); }
+  uint64_t ordering_updates() const override { return ordering_updates_; }
+  size_t capacity_bytes() const override;
+  size_t key_state_bytes() const override;
+
+  TupleStorageView storage() const override {
+    return TupleStorageView::Columns(key_col_.data(), ts_col_.data(),
+                                     value_col_.data(), next_.data(),
+                                     key_col_.size());
+  }
+
+  const AccumulatorOptions& options() const override { return options_; }
+  void set_options(const AccumulatorOptions& o) override { options_ = o; }
+
+  /// The live sketch (read-only): SketchPartitioner and the pipeline's seal
+  /// barrier consume it instead of building a private copy.
+  const SpaceSaving& sketch() const { return *sketch_; }
+
+  /// Effective promotion threshold for the current batch (after the auto
+  /// rule resolves promote_threshold == 0).
+  uint64_t promote_threshold() const { return promote_threshold_; }
+
+  /// Folds another shard's sketch/HLL into this one (seal-barrier merge;
+  /// hash-routed shards see disjoint keys).
+  void MergeSketchFrom(const SketchAccumulator& other);
+
+  /// Sketch telemetry for the current batch (also embedded in the sealed
+  /// batch via AccumulatedBatch::stats()).
+  SketchBatchStats ComputeStats() const;
+
+ private:
+  /// Exact state for a promoted key. Budget fields mirror FlatAccumulator's
+  /// KeyState; rank_base carries the sketch estimate at promotion so seal
+  /// ordering reflects full-batch frequency while counts stay chain-exact.
+  struct KeyState {
+    uint64_t freq_current = 0;
+    uint64_t freq_updated = 0;
+    uint64_t rank_base = 0;
+    uint64_t f_step = 1;
+    TimeMicros t_next = 0;
+    KeyId key = 0;
+    uint32_t budget_left = 0;
+    uint32_t head = SortedKeyRun::kNoTuple;
+    uint32_t tail = SortedKeyRun::kNoTuple;
+  };
+
+  void RankUpdate(KeyState& ks, TimeMicros now);
+  void Promote(KeyId key, uint64_t estimate, uint32_t tuple_idx,
+               TimeMicros now);
+  AccumulatedBatch MakeBatch(std::vector<SortedKeyRun> keys) const;
+
+  AccumulatorOptions options_;
+  std::unique_ptr<SpaceSaving> sketch_;
+  std::unique_ptr<CountMin> cms_;  ///< null when cms_width == 0
+  HyperLogLog hll_;
+  RobinHoodMap<uint32_t> table_;  ///< promoted key -> index into states_
+  std::vector<KeyState> states_;
+  std::vector<TailBucket> tail_buckets_;
+  // Columnar tuple storage shared by head chains and tail buckets.
+  std::vector<KeyId> key_col_;
+  std::vector<TimeMicros> ts_col_;
+  std::vector<double> value_col_;
+  std::vector<uint32_t> next_;
+  TimeMicros batch_start_ = 0;
+  TimeMicros batch_end_ = 0;
+  uint64_t num_tuples_ = 0;
+  uint64_t head_tuples_ = 0;
+  uint64_t tail_tuples_ = 0;
+  uint64_t promote_threshold_ = 0;
+  uint64_t initial_f_step_ = 1;
+  uint64_t ordering_updates_ = 0;
+};
+
+}  // namespace prompt

@@ -125,6 +125,15 @@ JournalManifest BuildSingleManifest(const EngineOptions& o, const JobSpec& job,
   m.Set("ingest.ring_capacity",
         static_cast<uint64_t>(o.ingest.ring_capacity));
   m.Set("ingest.accumulator", AccumulatorKindName(o.ingest.accumulator));
+  m.Set("ingest.key_mode", KeyModeName(o.ingest.key_mode));
+  if (o.ingest.key_mode == KeyMode::kSketch) {
+    m.Set("ingest.sketch_capacity",
+          static_cast<uint64_t>(
+              o.ingest.accumulator_options.sketch.capacity));
+    m.Set("ingest.tail_buckets",
+          static_cast<uint64_t>(
+              o.ingest.accumulator_options.sketch.tail_buckets));
+  }
   return m;
 }
 
@@ -249,7 +258,10 @@ MicroBatchEngine::MicroBatchEngine(EngineOptions options, JobSpec job,
     }
   }
   current_interval_ = options_.batch_interval;
-  if (options_.ingest.shards > 1) {
+  // Sketch mode needs the pipeline even at one shard: the partitioner's own
+  // accumulator is exact, and only the pipeline swaps in the sketch kind.
+  if (options_.ingest.shards > 1 ||
+      options_.ingest.key_mode == KeyMode::kSketch) {
     ingest_ = std::make_unique<ParallelIngestPipeline>(options_.ingest);
     ingest_->BindMetrics(obs_->registry());
   }
@@ -348,6 +360,7 @@ BatchReport MicroBatchEngine::ProcessBatch(PartitionedBatch batch,
   report.map_tasks = static_cast<uint32_t>(batch.blocks.size());
   report.reduce_tasks = query_->reduce_tasks;
   report.partition_cost = batch.partition_cost;
+  report.sketch = batch.sketch;
   query_->MarkTechnique(&report);
 
   // Early Batch Release (§4.2): the partitioner worked during the slack
@@ -825,6 +838,13 @@ RunSummary MicroBatchEngine::Run(uint32_t num_batches) {
           merged.ForEachTuple(run, 0, run.count,
                               [&](const Tuple& t) { query_->partitioner->OnTuple(t); });
         }
+        // Sketch mode keeps tail tuples outside the run list — replay them
+        // too, or never-promoted keys silently vanish from the batch.
+        for (const TailBucket& bucket : merged.tail()) {
+          merged.ForEachTailTuple(bucket, [&](const Tuple& t) {
+            query_->partitioner->OnTuple(t);
+          });
+        }
         batch = query_->partitioner->Seal(query_->next_batch_id);
       }
       ++query_->next_batch_id;
@@ -1032,6 +1052,14 @@ void MicroBatchEngine::RecordBatchTrace(const BatchReport& report,
     rec->AddSpan("seal_barrier", interval, report.ingest.seal_barrier_latency,
                  1);
     rec->AddSpan("kway_merge", interval, report.ingest.merge_latency, 1);
+  }
+  if (report.sketch.sketch_mode) {
+    // Annotation marking a heavy-hitter batch with its coverage (promille,
+    // spans carry no float payload): sketch_mode:987 = 98.7% head coverage.
+    std::string note = "sketch_mode:";
+    note += std::to_string(
+        static_cast<int>(report.sketch.head_coverage() * 1000.0));
+    rec->AddSpan(note, 0, 0, 1);
   }
   if (report.store_append_us > 0) {
     // Durable-log append of the sealed batch, right at the cut-off (wall

@@ -14,7 +14,10 @@ StreamReceiver::StreamReceiver(TupleSource* source,
   PROMPT_CHECK(options_.batch_interval > 0);
   PROMPT_CHECK(options_.early_release_frac >= 0 &&
                options_.early_release_frac < 1);
-  if (options_.ingest.shards > 1) {
+  // Sketch mode requires the pipeline even at one shard: only the pipeline
+  // swaps the accumulator kind, the partitioner's own stays exact.
+  if (options_.ingest.shards > 1 ||
+      options_.ingest.key_mode == KeyMode::kSketch) {
     pipeline_ = std::make_unique<ParallelIngestPipeline>(options_.ingest);
   }
 }
@@ -153,16 +156,28 @@ Result<ReceivedBatch> StreamReceiver::NextBatchSharded(uint32_t num_blocks,
       merged.ForEachTuple(run, 0, run.count,
                           [&](const Tuple& t) { partitioner_->OnTuple(t); });
     }
+    // Sketch mode keeps tail tuples outside the run list — replay them too.
+    for (const TailBucket& bucket : merged.tail()) {
+      merged.ForEachTailTuple(
+          bucket, [&](const Tuple& t) { partitioner_->OnTuple(t); });
+    }
     out.batch = partitioner_->Seal(next_batch_id_);
   }
   ++next_batch_id_;
   out.deferred_tuples = deferred;
 
   // EWMA feedback for the per-shard Alg. 1 scaling (mirrors the engine's
-  // alpha = 0.4 receiver estimates).
+  // alpha = 0.4 receiver estimates). In sketch mode num_keys() counts only
+  // promoted head runs — feeding that back would collapse K_avg toward 1,
+  // blow up the auto promote threshold (4 * N_est / K_avg) and lock the
+  // sketch out of ever promoting again; the HLL estimate is the honest
+  // cardinality signal there.
   constexpr double kAlpha = 0.4;
   const double tuples = static_cast<double>(merged.num_tuples());
-  const double keys = static_cast<double>(merged.num_keys());
+  const double keys = static_cast<double>(
+      merged.stats().sketch_mode
+          ? std::max(merged.num_keys(), merged.stats().distinct_estimate)
+          : merged.num_keys());
   if (!est_init_) {
     est_tuples_ = tuples;
     est_keys_ = keys;

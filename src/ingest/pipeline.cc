@@ -24,17 +24,43 @@ AccumulatorOptions ScaleForShard(AccumulatorOptions base, uint32_t shards) {
 
 }  // namespace
 
+const char* KeyModeName(KeyMode mode) {
+  switch (mode) {
+    case KeyMode::kExact:
+      return "exact";
+    case KeyMode::kSketch:
+      return "sketch";
+  }
+  return "unknown";
+}
+
+bool ParseKeyMode(std::string_view name, KeyMode* out) {
+  if (name == "exact") {
+    *out = KeyMode::kExact;
+    return true;
+  }
+  if (name == "sketch") {
+    *out = KeyMode::kSketch;
+    return true;
+  }
+  return false;
+}
+
 ParallelIngestPipeline::ParallelIngestPipeline(IngestOptions options)
     : options_(options) {
   PROMPT_CHECK(options_.shards >= 1);
   PROMPT_CHECK(options_.ring_capacity >= 2);
+  // Heavy-hitter mode forces the sketch accumulator on every shard; the
+  // `accumulator` knob only selects among the exact implementations.
+  const AccumulatorKind kind = options_.key_mode == KeyMode::kSketch
+                                   ? AccumulatorKind::kSketch
+                                   : options_.accumulator;
   shard_options_ =
       ScaleForShard(options_.accumulator_options, options_.shards);
   shards_.reserve(options_.shards);
   for (uint32_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(
-        options_.ring_capacity,
-        MakeAccumulator(options_.accumulator, shard_options_)));
+        options_.ring_capacity, MakeAccumulator(kind, shard_options_)));
     shards_.back()->stats.ring_capacity = shards_.back()->ring.capacity();
   }
   for (uint32_t i = 0; i < options_.shards; ++i) {
@@ -185,10 +211,58 @@ const AccumulatedBatch& ParallelIngestPipeline::SealBatch() {
   }
   metrics_.merge_latency = merge_watch.ElapsedMicros();
 
-  merged_batch_ = AccumulatedBatch::FromMerged(
-      total, std::move(runs),
-      TupleStorageView::Rows(merged_arena_.data(), merged_next_.data(),
-                             merged_arena_.size()));
+  const TupleStorageView merged_view = TupleStorageView::Rows(
+      merged_arena_.data(), merged_next_.data(), merged_arena_.size());
+  if (options_.key_mode == KeyMode::kSketch) {
+    // Stitch per-shard tail buckets: the tail hash is identical on every
+    // shard, so global bucket i is the concatenation of each shard's bucket
+    // i. Workers already rebased their chain links into the merged arena;
+    // the router only rewrites each shard-chain terminator to point at the
+    // next shard's bucket head. Runs after the copy barrier — the
+    // terminators being patched were written by the workers.
+    size_t num_buckets = 0;
+    for (const auto& shard : shards_) {
+      num_buckets = std::max(num_buckets, shard->sealed.tail().size());
+    }
+    std::vector<TailBucket> merged_tail(num_buckets);
+    SketchBatchStats stats;
+    stats.sketch_mode = true;
+    for (const auto& shard : shards_) {
+      const uint32_t off = static_cast<uint32_t>(shard->arena_offset);
+      const auto& shard_tail = shard->sealed.tail();
+      for (size_t b = 0; b < shard_tail.size(); ++b) {
+        if (shard_tail[b].head == SortedKeyRun::kNoTuple) continue;
+        const uint32_t head = shard_tail[b].head + off;
+        const uint32_t tail = shard_tail[b].tail + off;
+        if (merged_tail[b].head == SortedKeyRun::kNoTuple) {
+          merged_tail[b].head = head;
+        } else {
+          merged_next_[merged_tail[b].tail] = head;
+        }
+        merged_tail[b].tail = tail;
+        merged_tail[b].tuples += shard_tail[b].tuples;
+      }
+      // Shards see disjoint key sets, so additive fields sum exactly; the
+      // untracked-frequency ceiling is the worst shard's floor.
+      const SketchBatchStats& s = shard->sealed.stats();
+      stats.head_tuples += s.head_tuples;
+      stats.tail_tuples += s.tail_tuples;
+      stats.tracked_keys += s.tracked_keys;
+      stats.promoted_keys += s.promoted_keys;
+      stats.distinct_estimate += s.distinct_estimate;
+      stats.min_count = std::max(stats.min_count, s.min_count);
+      stats.error_frac +=
+          s.error_frac * static_cast<double>(s.head_tuples + s.tail_tuples);
+    }
+    stats.error_frac = total == 0
+                           ? 0.0
+                           : stats.error_frac / static_cast<double>(total);
+    merged_batch_ = AccumulatedBatch::FromMergedSketch(
+        total, std::move(runs), merged_view, std::move(merged_tail), stats);
+  } else {
+    merged_batch_ = AccumulatedBatch::FromMerged(total, std::move(runs),
+                                                 merged_view);
+  }
   metrics_.shards.clear();
   metrics_.shards.reserve(shards_.size());
   for (const auto& shard : shards_) metrics_.shards.push_back(shard->stats);

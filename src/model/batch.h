@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/flat_map.h"
 #include "model/block.h"
+#include "model/sketch_stats.h"
 
 namespace prompt {
 
@@ -25,6 +26,13 @@ struct PartitionedBatch {
   /// Release this is overlapped with the tail of the batch interval, so the
   /// scheduler only counts the part exceeding the slack.
   TimeMicros partition_cost = 0;
+  /// Heavy-hitter mode telemetry (sketch_mode == false for exact batches).
+  /// In sketch mode, blocks' fragment tables cover head keys plus the
+  /// tail-resident remnants of promoted keys; tail-only keys carry no
+  /// per-key summary — that is the memory bound the mode exists for — so
+  /// block cardinality() under-counts them (num_keys carries the HLL
+  /// estimate instead).
+  SketchBatchStats sketch;
   std::vector<DataBlock> blocks;
 
   /// Marks keys appearing in more than one block as split, completing each

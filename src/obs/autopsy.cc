@@ -23,6 +23,8 @@ std::string_view BatchCauseName(BatchCause cause) {
       return "bucket_skew";
     case BatchCause::kIngestBackpressure:
       return "ingest_backpressure";
+    case BatchCause::kSketchSaturated:
+      return "sketch_saturated";
     case BatchCause::kCauseCount:
       break;
   }
@@ -54,10 +56,21 @@ BatchAutopsy ExplainBatch(const BatchReport& report,
   // Straggler excess: the share of the Map makespan a balanced plan (every
   // block at the average load) would not have spent. Needs the
   // partition-metrics pass; without it max/avg are zero and the rule is mute.
+  // When the batch ran in sketch mode with collapsed head coverage, the same
+  // excess is attributed to sketch saturation instead (never both): the
+  // imbalance came from unsplittable tail buckets, not Alg. 2's plan, and
+  // the fix is a larger sketch capacity rather than more map tasks.
+  if (report.sketch.sketch_mode) {
+    a.head_coverage = report.sketch.head_coverage();
+  }
   if (pm.max_block_size > 0 && a.block_load_ratio > 1.0) {
-    set(BatchCause::kStragglerCore,
+    const auto imbalance_excess =
         static_cast<TimeMicros>(static_cast<double>(report.map_makespan) *
-                                (1.0 - 1.0 / a.block_load_ratio)));
+                                (1.0 - 1.0 / a.block_load_ratio));
+    const bool saturated = report.sketch.sketch_mode &&
+                           a.head_coverage < options.sketch_coverage_threshold;
+    set(saturated ? BatchCause::kSketchSaturated : BatchCause::kStragglerCore,
+        imbalance_excess);
   }
   // Bucket-skew excess: how far the slowest reduce bucket dragged past the
   // stage's mean completion — the Fig. 13 spread, in microseconds.
@@ -104,7 +117,8 @@ Record AutopsyRecord(const BatchAutopsy& autopsy) {
   }
   r.Set("block_load_ratio", autopsy.block_load_ratio)
       .Set("split_key_frac", autopsy.split_key_frac)
-      .Set("ring_occupancy", autopsy.ring_occupancy);
+      .Set("ring_occupancy", autopsy.ring_occupancy)
+      .Set("head_coverage", autopsy.head_coverage);
   return r;
 }
 
@@ -129,6 +143,7 @@ void WriteAutopsyText(const BatchAutopsy& autopsy, const BatchReport& report,
   *out << "context: block_load_ratio=" << autopsy.block_load_ratio
        << " split_key_frac=" << autopsy.split_key_frac
        << " ring_occupancy=" << autopsy.ring_occupancy
+       << " head_coverage=" << autopsy.head_coverage
        << " queue_ms=" << static_cast<double>(report.queue_delay) / 1000.0
        << " recovery_ms="
        << static_cast<double>(report.recovery_time) / 1000.0 << "\n";

@@ -29,6 +29,8 @@ enum class BatchCause : size_t {
   kStragglerCore,       ///< one Map block dominated the stage makespan
   kBucketSkew,          ///< uneven reduce buckets spread completion times
   kIngestBackpressure,  ///< an ingest ring ran near capacity at the cut-off
+  kSketchSaturated,     ///< sketch-mode head coverage collapsed: unsplittable
+                        ///< tail buckets drove the Map imbalance
   kCauseCount
 };
 
@@ -46,6 +48,11 @@ struct AutopsyOptions {
   TimeMicros min_excess_us = 1000;
   /// Ring occupancy at or above this fraction counts as back-pressure.
   double ring_pressure_threshold = 0.75;
+  /// Sketch-mode head coverage below this fraction reattributes the Map
+  /// imbalance excess from straggler_core to sketch_saturated: most tuples
+  /// flowed through unsplittable tail buckets, so the plan could not
+  /// balance no matter what Alg. 2 did — the sketch capacity is the lever.
+  double sketch_coverage_threshold = 0.5;
 };
 
 /// \brief One batch's explained verdict.
@@ -63,6 +70,8 @@ struct BatchAutopsy {
   double block_load_ratio = 1.0;
   double split_key_frac = 0;
   double ring_occupancy = 0;
+  /// 1.0 outside sketch mode (exact tracking covers everything).
+  double head_coverage = 1.0;
 
   TimeMicros excess_of(BatchCause cause) const {
     return excess[static_cast<size_t>(cause)];

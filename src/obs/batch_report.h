@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "model/sketch_stats.h"
 #include "stats/metrics.h"
 
 namespace prompt {
@@ -75,6 +76,13 @@ struct BatchReport {
   /// Memory-tier copies spilled to stay under the node memory budget
   /// (the batch stays readable from disk).
   uint32_t store_spilled_copies = 0;
+
+  /// Heavy-hitter ingest telemetry (DESIGN.md §17). `sketch.sketch_mode` is
+  /// false (all fields zero) unless the batch was accumulated with
+  /// key_mode = sketch; then head_coverage() / error_frac feed the
+  /// kHeadCoverage / kSketchErrorFrac time-series signals and ExplainBatch's
+  /// sketch-saturation rule.
+  SketchBatchStats sketch;
 
   /// Per-shard ingest observability of this batch's batching phase.
   /// Populated (has_ingest = true) when the engine runs the sharded ingest

@@ -124,6 +124,20 @@ void Observability::OnBatchComplete(const BatchReport& report,
       seal_barrier_us_->Observe(
           static_cast<double>(report.ingest.seal_barrier_latency));
     }
+    if (report.sketch.sketch_mode) {
+      // Registered lazily: most runs use exact key tracking.
+      if (head_coverage_gauge_ == nullptr) {
+        head_coverage_gauge_ =
+            registry_->GetGauge("prompt_sketch_head_coverage");
+        sketch_error_gauge_ =
+            registry_->GetGauge("prompt_sketch_error_frac");
+        promoted_keys_gauge_ =
+            registry_->GetGauge("prompt_sketch_promoted_keys");
+      }
+      head_coverage_gauge_->Set(report.sketch.head_coverage());
+      sketch_error_gauge_->Set(report.sketch.error_frac);
+      promoted_keys_gauge_->Set(static_cast<double>(report.sketch.promoted_keys));
+    }
     const bool did_recovery = report.batches_replayed > 0 ||
                               report.tasks_retried > 0 ||
                               report.tasks_speculated > 0 ||

@@ -168,6 +168,11 @@ class Observability final : public Observer {
   HistogramMetric* merge_us_ = nullptr;
   HistogramMetric* seal_barrier_us_ = nullptr;
 
+  // Sketch-mode handles, registered lazily on the first heavy-hitter batch.
+  Gauge* head_coverage_gauge_ = nullptr;
+  Gauge* sketch_error_gauge_ = nullptr;
+  Gauge* promoted_keys_gauge_ = nullptr;
+
   // Recovery handles, registered lazily on the first batch that did
   // recovery work — failure-free runs never see these series.
   Counter* batches_replayed_total_ = nullptr;

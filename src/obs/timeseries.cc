@@ -50,6 +50,10 @@ std::string_view TimeSeriesSignalName(TimeSeriesSignal signal) {
       return "tuples";
     case TimeSeriesSignal::kActiveTechnique:
       return "active_technique";
+    case TimeSeriesSignal::kHeadCoverage:
+      return "head_coverage";
+    case TimeSeriesSignal::kSketchErrorFrac:
+      return "sketch_error_frac";
     case TimeSeriesSignal::kSignalCount:
       break;
   }
@@ -89,6 +93,12 @@ TimeSeriesPoint TimeSeriesStore::PointFrom(const BatchReport& report) {
   p.set(TimeSeriesSignal::kTuples, static_cast<double>(report.num_tuples));
   p.set(TimeSeriesSignal::kActiveTechnique,
         static_cast<double>(report.technique));
+  // Exact batches report full coverage and zero sketch error, so the
+  // signals stay meaningful when modes mix across a run.
+  p.set(TimeSeriesSignal::kHeadCoverage,
+        report.sketch.sketch_mode ? report.sketch.head_coverage() : 1.0);
+  p.set(TimeSeriesSignal::kSketchErrorFrac,
+        report.sketch.sketch_mode ? report.sketch.error_frac : 0.0);
   return p;
 }
 

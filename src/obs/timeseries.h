@@ -35,6 +35,8 @@ enum class TimeSeriesSignal : size_t {
   kRecoveryUs,          ///< recovery work charged to the batch
   kTuples,              ///< batch size (rate proxy at fixed interval)
   kActiveTechnique,     ///< PartitionerType that sealed the batch (-1 n/a)
+  kHeadCoverage,        ///< sketch mode: exact-tracked tuple fraction (1 = exact)
+  kSketchErrorFrac,     ///< sketch mode: summed count-error / batch tuples
   kSignalCount
 };
 

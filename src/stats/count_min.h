@@ -1,0 +1,81 @@
+// Count-Min sketch (Cormode & Muthukrishnan) — the cross-check companion to
+// the Space-Saving sketch in heavy-hitter ingest mode (DESIGN.md §17).
+// Space-Saving decides *which* keys are tracked; CMS provides an independent
+// frequency estimate for any key, so a promotion decision can be vetoed when
+// the two sketches disagree badly (a symptom of an under-sized counter set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "model/tuple.h"
+
+namespace prompt {
+
+/// \brief Fixed-size d x w counter matrix with point-query over-estimates.
+///
+/// Estimate(key) >= true count always; with width w and depth d the excess
+/// is below 2N/w with probability 1 - (1/2)^d. All state is POD vectors, so
+/// Merge is element-wise addition and memory is exactly d*w counters.
+class CountMin {
+ public:
+  /// Width is rounded up to a power of two so row indexing is a mask.
+  CountMin(size_t width, size_t depth) : depth_(depth) {
+    PROMPT_CHECK(width >= 1 && depth >= 1);
+    width_ = 16;
+    while (width_ < width) width_ <<= 1;
+    rows_.assign(depth_ * width_, 0);
+  }
+  PROMPT_DISALLOW_COPY_AND_ASSIGN(CountMin);
+
+  /// Observes `weight` occurrences of `key`.
+  void Add(KeyId key, uint64_t weight = 1) {
+    total_ += weight;
+    for (size_t d = 0; d < depth_; ++d) {
+      rows_[d * width_ + Slot(key, d)] += weight;
+    }
+  }
+
+  /// Point query: minimum across rows (never underestimates).
+  uint64_t Estimate(KeyId key) const {
+    uint64_t est = rows_[Slot(key, 0)];
+    for (size_t d = 1; d < depth_; ++d) {
+      const uint64_t v = rows_[d * width_ + Slot(key, d)];
+      if (v < est) est = v;
+    }
+    return est;
+  }
+
+  /// Element-wise sum; both sketches must share dimensions.
+  void Merge(const CountMin& other) {
+    PROMPT_CHECK(width_ == other.width_ && depth_ == other.depth_);
+    for (size_t i = 0; i < rows_.size(); ++i) rows_[i] += other.rows_[i];
+    total_ += other.total_;
+  }
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  uint64_t total() const { return total_; }
+
+  size_t capacity_bytes() const { return rows_.capacity() * sizeof(uint64_t); }
+
+  void Clear() {
+    rows_.assign(rows_.size(), 0);
+    total_ = 0;
+  }
+
+ private:
+  size_t Slot(KeyId key, size_t row) const {
+    // Distinct seeds act as pairwise-independent row hashes.
+    return HashKey(key, 0x9e37u + row) & (width_ - 1);
+  }
+
+  size_t width_ = 0;
+  size_t depth_ = 0;
+  std::vector<uint64_t> rows_;  // row-major d x w
+  uint64_t total_ = 0;
+};
+
+}  // namespace prompt

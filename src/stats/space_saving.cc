@@ -24,4 +24,37 @@ std::vector<SpaceSaving::Entry> SpaceSaving::HeavyHitters(double phi) const {
   return out;
 }
 
+void SpaceSaving::Merge(const SpaceSaving& other) {
+  total_ += other.total_;
+  std::vector<Entry> combined = heap_;
+  FlatMap<uint32_t> pos(combined.size() + other.heap_.size());
+  for (uint32_t i = 0; i < combined.size(); ++i) {
+    pos.GetOrInsert(combined[i].key) = i;
+  }
+  for (const Entry& e : other.heap_) {
+    if (uint32_t* p = pos.Find(e.key)) {
+      combined[*p].count += e.count;
+      combined[*p].error += e.error;
+    } else {
+      pos.GetOrInsert(e.key) = static_cast<uint32_t>(combined.size());
+      combined.push_back(e);
+    }
+  }
+  if (combined.size() > capacity_) {
+    // Deterministic survivor set: largest counts win, key breaks ties.
+    std::sort(combined.begin(), combined.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.count != b.count ? a.count > b.count : a.key < b.key;
+              });
+    combined.resize(capacity_);
+  }
+  // An array sorted ascending by count is a valid min-heap.
+  std::sort(combined.begin(), combined.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.count != b.count ? a.count < b.count : a.key < b.key;
+            });
+  heap_ = std::move(combined);
+  RebuildIndex();
+}
+
 }  // namespace prompt

@@ -2,9 +2,10 @@
 // approximate alternative to Prompt's exact HTable+CountTree statistics.
 // Gedik's partitioning functions [18] use lossy counting in the same role;
 // the paper's position (§2.2.4) is that micro-batching makes *exact*
-// per-batch statistics affordable. This sketch exists to quantify that
-// trade-off (ablation A7): what a sketch-driven partitioner loses in
-// ordering quality and split decisions.
+// per-batch statistics affordable. Under the heavy-hitter ingest mode
+// (DESIGN.md §17) this sketch graduates to the hot path: it decides which
+// keys earn exact accumulator state, so memory stays O(capacity) instead of
+// O(distinct keys) on 10M-key streams.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +22,8 @@ namespace prompt {
 ///
 /// Holds at most `capacity` counters. A hit increments its counter; a miss
 /// evicts the minimum counter and inherits its count + 1 (the classical
-/// Space-Saving overestimate). Count error per key is bounded by the evicted
-/// minimum at its insertion.
+/// Space-Saving overestimate). Per tracked key the classical bound holds:
+/// `count - error <= true frequency <= count`.
 class SpaceSaving {
  public:
   struct Entry {
@@ -37,46 +38,53 @@ class SpaceSaving {
   }
   PROMPT_DISALLOW_COPY_AND_ASSIGN(SpaceSaving);
 
-  /// Observes one occurrence of `key`.
-  void Add(KeyId key) {
-    ++total_;
+  /// Observes `weight` occurrences of `key`.
+  void Add(KeyId key, uint64_t weight = 1) {
+    total_ += weight;
     uint32_t* slot = index_.Find(key);
-    if (slot != nullptr && *slot != kEvicted) {
-      heap_[*slot].count++;
+    if (slot != nullptr) {
+      heap_[*slot].count += weight;
       SiftDown(*slot);
       return;
     }
     if (heap_.size() < capacity_) {
-      heap_.push_back(Entry{key, 1, 0});
+      heap_.push_back(Entry{key, weight, 0});
       index_.GetOrInsert(key) = static_cast<uint32_t>(heap_.size() - 1);
       SiftUp(static_cast<uint32_t>(heap_.size() - 1));
       return;
     }
-    // Evict the minimum: the newcomer inherits min+1 with error = min.
-    // FlatMap has no erase, so the evicted key leaves a tombstone; the
-    // index is rebuilt once tombstones dominate, keeping memory O(capacity)
-    // amortized.
+    // Evict the minimum: the newcomer inherits min+weight with error = min.
+    // The index erase leaves a FlatMap tombstone which the map itself
+    // accounts for and compacts, so a churn-only workload (every Add a miss)
+    // keeps the index O(capacity).
     Entry& min = heap_[0];
-    index_.GetOrInsert(min.key) = kEvicted;
-    ++tombstones_;
-    min = Entry{key, min.count + 1, min.count};
+    index_.Erase(min.key);
+    min = Entry{key, min.count + weight, min.count};
     index_.GetOrInsert(key) = 0;
     SiftDown(0);
-    if (tombstones_ > 8 * capacity_) RebuildIndex();
   }
 
   /// Estimated count for a key (0 when not tracked).
   uint64_t Estimate(KeyId key) const {
     const uint32_t* slot = index_.Find(key);
-    if (slot == nullptr || *slot == kEvicted) return 0;
-    return heap_[*slot].count;
+    return slot == nullptr ? 0 : heap_[*slot].count;
+  }
+
+  /// Guaranteed lower bound on a key's true count (0 when not tracked).
+  uint64_t LowerBound(KeyId key) const {
+    const uint32_t* slot = index_.Find(key);
+    return slot == nullptr ? 0 : heap_[*slot].count - heap_[*slot].error;
   }
 
   /// True when the key currently holds a counter.
-  bool Tracks(KeyId key) const {
-    const uint32_t* slot = index_.Find(key);
-    return slot != nullptr && *slot != kEvicted;
-  }
+  bool Tracks(KeyId key) const { return index_.Find(key) != nullptr; }
+
+  /// Smallest tracked count — the ceiling on any untracked key's frequency.
+  uint64_t MinCount() const { return heap_.empty() ? 0 : heap_[0].count; }
+
+  /// Raw tracked entries in heap (unspecified) order — for telemetry that
+  /// only aggregates; use TopEntries() when order matters.
+  const std::vector<Entry>& entries() const { return heap_; }
 
   /// Entries sorted by decreasing estimated count.
   std::vector<Entry> TopEntries() const;
@@ -85,20 +93,54 @@ class SpaceSaving {
   /// exceeds phi * total observations.
   std::vector<Entry> HeavyHitters(double phi) const;
 
+  /// Drops a key's counter, freeing its slot (heavy-hitter mode removes a
+  /// key from the sketch once it is promoted to exact tracking). Returns
+  /// whether the key was tracked.
+  bool Remove(KeyId key) {
+    uint32_t* slot = index_.Find(key);
+    if (slot == nullptr) return false;
+    const uint32_t i = *slot;
+    const uint32_t last = static_cast<uint32_t>(heap_.size() - 1);
+    index_.Erase(key);
+    if (i != last) {
+      heap_[i] = heap_[last];
+      index_.GetOrInsert(heap_[i].key) = i;
+      heap_.pop_back();
+      // The relocated element is a former leaf: SiftDown restores order
+      // below i; if it did not move, it may still beat i's parent (the
+      // removed element's descendants were all >= that parent, but the
+      // relocated element came from elsewhere), so SiftUp finishes the job.
+      SiftDown(i);
+      SiftUp(i);
+    } else {
+      heap_.pop_back();
+    }
+    return true;
+  }
+
+  /// Folds `other` into this sketch. Intended for sharded ingest where the
+  /// two sketches observed *disjoint* key sets (hash-routed shards): the
+  /// union is then exact up to each input's own error. Keys present in both
+  /// sum counts and errors (still a valid over-estimate); when the union
+  /// exceeds capacity only the top `capacity` entries by count survive.
+  void Merge(const SpaceSaving& other);
+
   size_t size() const { return heap_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t total() const { return total_; }
+
+  /// Bytes of backing storage (counter heap + key index).
+  size_t capacity_bytes() const {
+    return heap_.capacity() * sizeof(Entry) + index_.capacity_bytes();
+  }
 
   void Clear() {
     heap_.clear();
     index_.Clear();
     total_ = 0;
-    tombstones_ = 0;
   }
 
  private:
-  static constexpr uint32_t kEvicted = 0xffffffffu;
-
   void Swap(uint32_t a, uint32_t b) {
     std::swap(heap_[a], heap_[b]);
     index_.GetOrInsert(heap_[a].key) = a;
@@ -129,18 +171,16 @@ class SpaceSaving {
   }
 
   void RebuildIndex() {
-    index_ = FlatMap<uint32_t>(capacity_);
+    index_.Clear();
     for (uint32_t i = 0; i < heap_.size(); ++i) {
       index_.GetOrInsert(heap_[i].key) = i;
     }
-    tombstones_ = 0;
   }
 
   size_t capacity_;
-  std::vector<Entry> heap_;      // min-heap by count
-  FlatMap<uint32_t> index_;      // key -> heap slot (kEvicted = gone)
+  std::vector<Entry> heap_;  // min-heap by count
+  FlatMap<uint32_t> index_;  // key -> heap slot
   uint64_t total_ = 0;
-  size_t tombstones_ = 0;
 };
 
 }  // namespace prompt

@@ -94,6 +94,7 @@ JournalManifest BuildMultiManifest(const MultiTenantEngineOptions& o,
   m.Set("ingest.shards", static_cast<uint64_t>(o.ingest.shards));
   m.Set("ingest.ring_capacity", static_cast<uint64_t>(o.ingest.ring_capacity));
   m.Set("ingest.accumulator", AccumulatorKindName(o.ingest.accumulator));
+  m.Set("ingest.key_mode", KeyModeName(o.ingest.key_mode));
   for (const TenantQuerySpec& spec : specs) {
     m.Set("tenant", TenantSpecLine(spec));
   }
@@ -181,7 +182,10 @@ Result<std::unique_ptr<MultiTenantEngine>> MultiTenantEngine::Create(
     engine->tenants_.push_back(std::move(tenant));
   }
 
-  if (opts.ingest.shards > 1) {
+  // Sketch mode needs the shared pipeline even at one shard — only the
+  // pipeline swaps in the sketch accumulator kind.
+  if (opts.ingest.shards > 1 ||
+      opts.ingest.key_mode == KeyMode::kSketch) {
     engine->ingest_ = std::make_unique<ParallelIngestPipeline>(opts.ingest);
     engine->ingest_->BindMetrics(engine->obs_->registry());
   }
@@ -269,6 +273,7 @@ BatchReport MultiTenantEngine::ProcessTenantBatch(Tenant* tenant,
   report.map_tasks = static_cast<uint32_t>(batch.blocks.size());
   report.reduce_tasks = ctx.reduce_tasks;
   report.partition_cost = batch.partition_cost;
+  report.sketch = batch.sketch;
   ctx.MarkTechnique(&report);
 
   // Early Batch Release (§4.2): same slack rule as the single-tenant engine.
@@ -412,6 +417,15 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
                                    ctx.partitioner->OnTuple(t);
                                  });
           }
+          // Sketch-mode tail buckets mix keys, so the filter applies per
+          // tuple rather than per run.
+          for (const TailBucket& bucket : merged->tail()) {
+            merged->ForEachTailTuple(bucket, [&](const Tuple& t) {
+              if (tenant.spec.filter.Matches(t.key)) {
+                ctx.partitioner->OnTuple(t);
+              }
+            });
+          }
           batch = ctx.partitioner->Seal(ctx.next_batch_id);
         }
         ++ctx.next_batch_id;
@@ -542,7 +556,13 @@ MultiTenantRunSummary MultiTenantEngine::Run(uint32_t num_batches) {
     if (merged != nullptr) {
       constexpr double kAlpha = 0.4;
       const double mt = static_cast<double>(merged->num_tuples());
-      const double mk = static_cast<double>(merged->num_keys());
+      // Sketch mode: num_keys() is promoted head runs only; use the HLL
+      // estimate so K_avg (and the auto promote threshold derived from it)
+      // tracks true cardinality instead of spiraling toward 1.
+      const double mk = static_cast<double>(
+          merged->stats().sketch_mode
+              ? std::max(merged->num_keys(), merged->stats().distinct_estimate)
+              : merged->num_keys());
       if (!est_init_) {
         est_tuples_ = mt;
         est_keys_ = mk;

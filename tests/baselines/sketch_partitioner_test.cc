@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/prompt_partitioner.h"
 #include "stats/metrics.h"
 #include "testing/test_helpers.h"
@@ -83,6 +85,64 @@ TEST(SketchPartitionerTest, ReusableAcrossBatches) {
     auto batch =
         RunBatch(partitioner, tuples, 4, i * kEnd, (i + 1) * kEnd, i);
     EXPECT_EQ(batch.num_tuples, 2000u) << i;
+  }
+}
+
+TEST(SketchPartitionerTest, SingleBlockSkipsHeavyDetection) {
+  SketchPartitioner partitioner;
+  partitioner.Begin(1, kStart, kEnd);
+  // At one block the old share cutoff (total / heavy_fraction) still labeled
+  // dominating keys "heavy" with nowhere to spread them; everything must
+  // land in block 0 unsplit regardless.
+  for (int i = 0; i < 6000; ++i) partitioner.OnTuple(Tuple{kStart + i, 7, 1.0});
+  for (int i = 0; i < 1000; ++i) {
+    partitioner.OnTuple(
+        Tuple{kStart + 6000 + i, static_cast<KeyId>(50 + i % 100), 1.0});
+  }
+  auto batch = partitioner.Seal(0);
+  ASSERT_EQ(batch.blocks.size(), 1u);
+  EXPECT_EQ(batch.blocks[0].tuples().size(), 7000u);
+  for (const auto& f : batch.blocks[0].fragments()) EXPECT_FALSE(f.split);
+}
+
+// The round-robin cursor must persist across batches: with one dominating
+// key whose per-batch count splits unevenly over the blocks, a cursor that
+// re-seeds from the key hash every batch piles the extra fragment onto the
+// same block each time, while a persistent cursor rotates the surplus.
+TEST(SketchPartitionerTest, HeavyCursorRotatesAcrossBatches) {
+  constexpr uint32_t kBlocks = 4;
+  constexpr int kBatches = 8;
+  // 10 hot tuples per batch over 4 blocks: 2 blocks get 3 fragments' worth,
+  // 2 get 2 — the surplus position is what must rotate.
+  constexpr int kHotPerBatch = 10;
+  SketchPartitioner partitioner;
+  std::array<uint64_t, kBlocks> hot_load{};
+  for (int b = 0; b < kBatches; ++b) {
+    const TimeMicros start = b * kEnd, end = (b + 1) * kEnd;
+    partitioner.Begin(kBlocks, start, end);
+    for (int i = 0; i < kHotPerBatch; ++i) {
+      partitioner.OnTuple(Tuple{start + i, 1, 1.0});
+    }
+    // Light tail so the sketch sees a mixture (still leaves key 1 heavy).
+    for (int i = 0; i < 20; ++i) {
+      partitioner.OnTuple(
+          Tuple{start + kHotPerBatch + i, static_cast<KeyId>(100 + i), 1.0});
+    }
+    auto batch = partitioner.Seal(b);
+    for (uint32_t blk = 0; blk < kBlocks; ++blk) {
+      for (const Tuple& t : batch.blocks[blk].tuples()) {
+        if (t.key == 1) ++hot_load[blk];
+      }
+    }
+  }
+  // 8 batches * 10 tuples = 80 hot tuples over 4 blocks: a rotating cursor
+  // gives every block exactly 20; the pre-fix re-seeded cursor gives the
+  // hash-favored blocks 24 and the others 16.
+  const uint64_t total =
+      hot_load[0] + hot_load[1] + hot_load[2] + hot_load[3];
+  EXPECT_EQ(total, static_cast<uint64_t>(kBatches * kHotPerBatch));
+  for (uint32_t blk = 0; blk < kBlocks; ++blk) {
+    EXPECT_EQ(hot_load[blk], total / kBlocks) << "block " << blk;
   }
 }
 

@@ -1,0 +1,92 @@
+#include "stats/count_min.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace prompt {
+namespace {
+
+TEST(CountMinTest, ExactForSparseKeys) {
+  CountMin cms(1024, 4);
+  cms.Add(1, 5);
+  cms.Add(2, 3);
+  cms.Add(3);
+  EXPECT_EQ(cms.Estimate(1), 5u);
+  EXPECT_EQ(cms.Estimate(2), 3u);
+  EXPECT_EQ(cms.Estimate(3), 1u);
+  EXPECT_EQ(cms.total(), 9u);
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMin cms(256, 4);
+  Rng rng(21);
+  ZipfSampler zipf(5000, 1.1);
+  std::map<KeyId, uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    KeyId k = zipf.Sample(rng);
+    ++truth[k];
+    cms.Add(k);
+  }
+  for (const auto& [k, c] : truth) {
+    EXPECT_GE(cms.Estimate(k), c) << "key " << k;
+  }
+}
+
+TEST(CountMinTest, ErrorBoundedByWidth) {
+  // Classical bound: excess < 2N/w with prob 1-(1/2)^d. With d=4 rows a
+  // handful of the 5000 keys may exceed it; allow a small failure budget.
+  CountMin cms(512, 4);
+  Rng rng(33);
+  ZipfSampler zipf(5000, 1.0);
+  std::map<KeyId, uint64_t> truth;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    KeyId k = zipf.Sample(rng);
+    ++truth[k];
+    cms.Add(k);
+  }
+  const uint64_t budget = 2ull * n / cms.width();
+  size_t violations = 0;
+  for (const auto& [k, c] : truth) {
+    if (cms.Estimate(k) - c > budget) ++violations;
+  }
+  EXPECT_LT(violations, truth.size() / 16) << "error bound broken too often";
+}
+
+TEST(CountMinTest, MergeMatchesCombinedStream) {
+  CountMin a(256, 4), b(256, 4), combined(256, 4);
+  Rng rng(55);
+  for (int i = 0; i < 20000; ++i) {
+    KeyId k = rng.NextBounded(1000);
+    (i % 2 == 0 ? a : b).Add(k);
+    combined.Add(k);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), combined.total());
+  for (KeyId k = 0; k < 1000; ++k) {
+    EXPECT_EQ(a.Estimate(k), combined.Estimate(k)) << "key " << k;
+  }
+}
+
+TEST(CountMinTest, WidthRoundsToPowerOfTwo) {
+  CountMin cms(100, 2);
+  EXPECT_EQ(cms.width(), 128u);
+  EXPECT_EQ(cms.depth(), 2u);
+  EXPECT_EQ(cms.capacity_bytes(), 128u * 2 * sizeof(uint64_t));
+}
+
+TEST(CountMinTest, ClearResets) {
+  CountMin cms(64, 2);
+  cms.Add(9, 42);
+  cms.Clear();
+  EXPECT_EQ(cms.Estimate(9), 0u);
+  EXPECT_EQ(cms.total(), 0u);
+  cms.Add(9);
+  EXPECT_EQ(cms.Estimate(9), 1u);
+}
+
+}  // namespace
+}  // namespace prompt

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/random.h"
 
 namespace prompt {
@@ -69,6 +71,64 @@ TEST(HyperLogLogTest, LowPrecisionStillReasonable) {
   HyperLogLog hll(6);  // 64 registers, ~13% error
   for (uint64_t k = 0; k < 100000; ++k) hll.Add(k);
   EXPECT_NEAR(hll.Estimate(), 100000, 35000);
+}
+
+// Heavy-hitter mode feeds the HLL a duplicate-heavy Zipf stream (the same
+// key arrives thousands of times): the estimate must track the number of
+// DISTINCT keys drawn, not the number of Add calls.
+TEST(HyperLogLogTest, DuplicateHeavyZipfStreamTracksDistinctDraws) {
+  Rng rng(1234);
+  ZipfSampler sampler(/*cardinality=*/200000, /*z=*/1.0);
+  HyperLogLog hll(12);
+  std::vector<bool> seen(200001, false);
+  uint64_t distinct = 0;
+  for (int i = 0; i < 500000; ++i) {
+    const uint64_t key = sampler.Sample(rng);
+    if (!seen[key]) {
+      seen[key] = true;
+      ++distinct;
+    }
+    hll.Add(key);
+  }
+  // 500k draws collapse to far fewer distinct keys; 6% tolerance matches
+  // the sequential-stream accuracy cases above.
+  EXPECT_LT(distinct, 200000u);
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(distinct),
+              0.06 * static_cast<double>(distinct));
+}
+
+// Merge is a register-wise max: commutative, and merging a sketch into
+// itself (or an empty one into anything) must not move the estimate.
+TEST(HyperLogLogTest, MergeIsCommutativeAndIdempotent) {
+  HyperLogLog a(12), b(12);
+  for (uint64_t k = 0; k < 40000; ++k) a.Add(k);
+  for (uint64_t k = 25000; k < 90000; ++k) b.Add(k * 7 + 3);
+
+  HyperLogLog ab = a, ba = b;
+  ASSERT_TRUE(ab.Merge(b).ok());
+  ASSERT_TRUE(ba.Merge(a).ok());
+  EXPECT_DOUBLE_EQ(ab.Estimate(), ba.Estimate());
+
+  const double before = ab.Estimate();
+  ASSERT_TRUE(ab.Merge(ab).ok());  // self-merge: register-wise no-op
+  EXPECT_DOUBLE_EQ(ab.Estimate(), before);
+
+  HyperLogLog empty(12);
+  ASSERT_TRUE(ab.Merge(empty).ok());  // empty is the identity
+  EXPECT_DOUBLE_EQ(ab.Estimate(), before);
+}
+
+// Sharded ingest folds per-shard HLLs by addition of estimates only when
+// shards see disjoint keys; the sketch itself must stay deterministic so
+// that fold is reproducible run to run.
+TEST(HyperLogLogTest, DeterministicAcrossIdenticalStreams) {
+  Rng rng_a(77), rng_b(77);
+  HyperLogLog a(10), b(10);
+  for (int i = 0; i < 100000; ++i) {
+    a.Add(rng_a.Next() % 30000);
+    b.Add(rng_b.Next() % 30000);
+  }
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
 }
 
 }  // namespace

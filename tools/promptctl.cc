@@ -68,6 +68,15 @@
 //   --retain_batches=N         keep at most N newest batches per owner
 //   --retain_bytes=N           cap the on-disk segment bytes (oldest
 //                              batches expire first; the newest survives)
+//
+// Heavy-hitter mode (DESIGN.md §17):
+//   --key_mode=exact|sketch    sketch bounds per-key ingest state to
+//                              O(sketch capacity): heavy hitters get exact
+//                              counters, the tail flows through hash
+//                              buckets. Per-batch `cov` column = fraction
+//                              of tuples on exactly-tracked keys; the run
+//                              footer prints mean coverage + peak RSS.
+//   --sketch_capacity=N        Space-Saving entries per shard (default 4096)
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -122,6 +131,37 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Peak resident set size of this process, in bytes (0 where unsupported).
+/// The heavy-hitter smoke in ci.sh budgets this: sketch mode must hold a
+/// 1M-key stream without exact-mode's O(distinct keys) table.
+size_t PeakRssBytes() {
+#ifdef __linux__
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    size_t kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    return kb * 1024;
+  }
+#endif
+  return 0;
+}
+
+/// Mean head coverage over a run's batches (sketch mode only; exact batches
+/// report 1.0 and are skipped so mixed runs stay meaningful).
+double MeanHeadCoverage(const std::vector<BatchReport>& batches) {
+  double sum = 0;
+  size_t n = 0;
+  for (const BatchReport& b : batches) {
+    if (!b.sketch.sketch_mode) continue;
+    sum += b.sketch.head_coverage();
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
 /// --diff mode: compare two journal directories, print the first divergent
 /// batch's delta table. Exit 0 identical, 4 divergent, 1 on read errors.
 int RunDiff(const std::string& spec) {
@@ -166,7 +206,8 @@ int RunReplay(const std::string& journal_dir, const std::string& record_dir) {
 int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
                    double rate, int batches, int tasks, double zipf,
                    double scale, int seed, int ingest_shards,
-                   AccumulatorKind accumulator, double map_us, bool metrics,
+                   AccumulatorKind accumulator, KeyMode key_mode,
+                   int sketch_capacity, double map_us, bool metrics,
                    int metrics_every, const std::string& metrics_path,
                    int serve_port, int serve_hold_ms,
                    const std::string& autopsy_path,
@@ -193,6 +234,11 @@ int RunMultiTenant(const std::string& queries_path, DatasetId dataset,
   options.reduce_tasks = static_cast<uint32_t>(tasks);
   options.ingest.shards = static_cast<uint32_t>(ingest_shards);
   options.ingest.accumulator = accumulator;
+  options.ingest.key_mode = key_mode;
+  if (sketch_capacity > 0) {
+    options.ingest.accumulator_options.sketch.capacity =
+        static_cast<size_t>(sketch_capacity);
+  }
   options.adapt_base.config.prompt.accumulator_kind = accumulator;
   options.cost.map_per_tuple_us = map_us;
   options.cost.map_per_key_us = map_us / 4;
@@ -332,6 +378,16 @@ int main(int argc, char** argv) {
   if (!ParseAccumulatorKind(accumulator_name, &accumulator)) {
     return Fail(Status::Invalid("--accumulator must be 'flat' or 'legacy'"));
   }
+  const std::string key_mode_name = flags.GetString("key_mode", "exact");
+  KeyMode key_mode = KeyMode::kExact;
+  if (!ParseKeyMode(key_mode_name, &key_mode)) {
+    return Fail(Status::Invalid("--key_mode must be 'exact' or 'sketch'"));
+  }
+  auto sketch_capacity = flags.GetInt("sketch_capacity", 0);
+  if (!sketch_capacity.ok()) return Fail(sketch_capacity.status());
+  if (*sketch_capacity < 0) {
+    return Fail(Status::Invalid("--sketch_capacity must be >= 0"));
+  }
   auto elastic = flags.GetBool("elastic", false);
   if (!elastic.ok()) return Fail(elastic.status());
   auto adaptive = flags.GetBool("adaptive", false);
@@ -425,9 +481,10 @@ int main(int argc, char** argv) {
     // Multi-tenant serving: the spec file replaces --query/--technique.
     return RunMultiTenant(queries_path, *dataset, *rate, *batches, *tasks,
                           *zipf, *scale, *seed, *ingest_shards, accumulator,
-                          *map_us, *metrics, *metrics_every, metrics_path,
-                          *serve_port, *serve_hold_ms, autopsy_path,
-                          store_options, scenario_spec, record_dir);
+                          key_mode, *sketch_capacity, *map_us, *metrics,
+                          *metrics_every, metrics_path, *serve_port,
+                          *serve_hold_ms, autopsy_path, store_options,
+                          scenario_spec, record_dir);
   }
 
   auto query = ParseQuery(query_text);
@@ -468,6 +525,11 @@ int main(int argc, char** argv) {
   }
   options.ingest.shards = static_cast<uint32_t>(*ingest_shards);
   options.ingest.accumulator = accumulator;
+  options.ingest.key_mode = key_mode;
+  if (*sketch_capacity > 0) {
+    options.ingest.accumulator_options.sketch.capacity =
+        static_cast<size_t>(*sketch_capacity);
+  }
   // Keep the partitioner's own accumulator (single-threaded path) and any
   // adaptive-switch replacements on the same implementation.
   PartitionerConfig partitioner_config;
@@ -624,6 +686,9 @@ int main(int argc, char** argv) {
       row.Set("bsi", b.partition_metrics.bsi)
           .Set("ksr", b.partition_metrics.ksr);
     }
+    if (key_mode == KeyMode::kSketch) {
+      row.Set("cov", b.sketch.head_coverage());
+    }
     table.Write(row);
   }
 
@@ -669,6 +734,11 @@ int main(int argc, char** argv) {
               summary.MeanW(2),
               summary.MeanThroughputTuplesPerSec(query->slide, 2),
               summary.stable ? "stable" : "UNSTABLE (back-pressure would engage)");
+  if (key_mode == KeyMode::kSketch) {
+    std::printf("sketch: mean head coverage=%.3f  peak_rss=%.1f MB\n",
+                MeanHeadCoverage(summary.batches),
+                static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
+  }
   if (summary.failures_recovered > 0 || summary.batches_replayed > 0 ||
       summary.tasks_retried > 0 || summary.tasks_speculated > 0) {
     std::printf(
